@@ -1,0 +1,89 @@
+//! Criterion benches for the DESIGN.md §5 ablations:
+//!
+//! * level-only vs depth vs combined (Eq 6 / Eq 8 / Eq 9) pair similarity;
+//! * collective vectors vs full `B^TCBOW` rows (the paper's dimensionality
+//!   trade-off, Section 5.2.2);
+//! * enrichment cost as ζ grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soulmate_bench::{default_dataset, default_pipeline_config, ExpArgs};
+use soulmate_core::{Pipeline, TemporalEmbedding};
+use soulmate_text::SimilarWords;
+
+fn fitted() -> Pipeline {
+    let args = ExpArgs {
+        authors: 30,
+        tweets_per_author: 30,
+        concepts: 6,
+        dim: 24,
+        epochs: 2,
+        ..Default::default()
+    };
+    let dataset = default_dataset(&args);
+    Pipeline::fit(&dataset, default_pipeline_config(&args)).unwrap()
+}
+
+fn tcbow_attributes(c: &mut Criterion) {
+    let pipeline = fitted();
+    let te: &TemporalEmbedding = &pipeline.temporal;
+    let pairs: Vec<(u32, u32)> = (0..64u32).map(|i| (i, (i * 7 + 3) % 64)).collect();
+
+    let mut group = c.benchmark_group("tcbow_attributes");
+    group.bench_function("level_only", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(i, j)| te.level_similarity(0, i, j))
+                .sum::<f32>()
+        })
+    });
+    group.bench_function("depth_recursive", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(i, j)| te.depth_similarity(0, i, j))
+                .sum::<f32>()
+        })
+    });
+    group.bench_function("combined_eq9", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(i, j)| te.pair_similarity(i, j))
+                .sum::<f32>()
+        })
+    });
+    group.finish();
+}
+
+fn vector_spaces(c: &mut Criterion) {
+    let pipeline = fitted();
+    let te = &pipeline.temporal;
+    let mut group = c.benchmark_group("vector_spaces");
+    group.sample_size(10);
+    group.bench_function("collective_vector", |b| {
+        b.iter(|| te.collective_vector(5))
+    });
+    group.bench_function("tcbow_row", |b| b.iter(|| te.tcbow_row(5)));
+    group.finish();
+}
+
+fn enrichment_cost(c: &mut Criterion) {
+    let pipeline = fitted();
+    let words: Vec<u32> = (0..32u32).collect();
+    let mut group = c.benchmark_group("enrichment_cost");
+    for &zeta in &[5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("top_similar", zeta), &zeta, |b, &zeta| {
+            b.iter(|| {
+                words
+                    .iter()
+                    .map(|&w| pipeline.collective.top_similar(w, zeta).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tcbow_attributes, vector_spaces, enrichment_cost);
+criterion_main!(benches);

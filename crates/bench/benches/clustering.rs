@@ -1,0 +1,58 @@
+//! Criterion benches: the clustering substrates (DBSCAN, K-medoids, HAC)
+//! and the quality indices over tweet-vector-like points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use soulmate_cluster::{
+    davies_bouldin, dbscan, kmedoids, pairwise, silhouette_score, Dendrogram, EuclideanDistance,
+    Linkage,
+};
+
+fn blobby_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let center = (i % 8) as f32;
+            (0..dim)
+                .map(|_| center + rng.gen_range(-0.4f32..0.4))
+                .collect()
+        })
+        .collect()
+}
+
+fn clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+    for &n in &[100usize, 300] {
+        let pts = blobby_points(n, 16, 5);
+        let dist = pairwise(&pts, &EuclideanDistance);
+        group.bench_with_input(BenchmarkId::new("pairwise", n), &pts, |b, pts| {
+            b.iter(|| pairwise(pts, &EuclideanDistance))
+        });
+        group.bench_with_input(BenchmarkId::new("dbscan", n), &dist, |b, dist| {
+            b.iter(|| dbscan(dist, 1.0, 4).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("kmedoids_k8", n), &dist, |b, dist| {
+            b.iter(|| kmedoids(dist, 8, 20).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hac_complete", n), &dist, |b, dist| {
+            b.iter(|| Dendrogram::build(dist, Linkage::Complete).unwrap())
+        });
+        let labels: Vec<Option<usize>> = (0..n).map(|i| Some(i % 8)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("silhouette", n),
+            &(&dist, &labels),
+            |b, (dist, labels)| b.iter(|| silhouette_score(dist, labels)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("davies_bouldin", n),
+            &(&pts, &labels),
+            |b, (pts, labels)| b.iter(|| davies_bouldin(pts, labels)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, clustering);
+criterion_main!(benches);

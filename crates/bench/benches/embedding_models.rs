@@ -1,0 +1,143 @@
+//! Criterion benches: training throughput of the four embedding models
+//! (the performance companion to Fig 8b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soulmate_bench::ExpArgs;
+use soulmate_embedding::{
+    train_cbow, train_cbow_parallel, train_glove, train_skipgram, train_svd, CbowConfig,
+    CoocMatrix, GloveConfig, SkipGramConfig, SoftmaxMode, SvdConfig,
+};
+use soulmate_text::TokenizerConfig;
+
+fn bench_corpus() -> (Vec<Vec<u32>>, usize) {
+    let args = ExpArgs {
+        authors: 40,
+        tweets_per_author: 40,
+        concepts: 8,
+        ..Default::default()
+    };
+    let dataset = soulmate_bench::default_dataset(&args);
+    let corpus = dataset.encode(&TokenizerConfig::default(), 3);
+    let docs: Vec<Vec<u32>> = corpus.tweets.iter().map(|t| t.words.clone()).collect();
+    (docs, corpus.vocab.len())
+}
+
+fn embedding_training(c: &mut Criterion) {
+    let (docs, vocab) = bench_corpus();
+    let dim = 32usize;
+    let mut group = c.benchmark_group("embedding_training");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("cbow_negative", dim), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            train_cbow(
+                &docs,
+                vocab,
+                &CbowConfig {
+                    dim,
+                    epochs: 1,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("cbow_full_softmax", dim), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            train_cbow(
+                &docs,
+                vocab,
+                &CbowConfig {
+                    dim,
+                    epochs: 1,
+                    mode: SoftmaxMode::Full,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("cbow_parallel_4", dim), |b| {
+        b.iter(|| {
+            train_cbow_parallel(
+                &docs,
+                vocab,
+                &CbowConfig {
+                    dim,
+                    epochs: 1,
+                    ..Default::default()
+                },
+                4,
+                1,
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("skipgram", dim), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            train_skipgram(
+                &docs,
+                vocab,
+                &SkipGramConfig {
+                    dim,
+                    epochs: 1,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+
+    let cooc = CoocMatrix::build(&docs, vocab, 4, true);
+    group.bench_function(BenchmarkId::new("glove_5_epochs", dim), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            train_glove(
+                &cooc,
+                &GloveConfig {
+                    dim,
+                    epochs: 5,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+
+    let cooc_plain = CoocMatrix::build(&docs, vocab, 4, false);
+    group.bench_function(BenchmarkId::new("svd", dim), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            train_svd(
+                &cooc_plain,
+                &SvdConfig {
+                    dim,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("cooc_build", |b| {
+        b.iter(|| CoocMatrix::build(&docs, vocab, 4, true))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, embedding_training);
+criterion_main!(benches);

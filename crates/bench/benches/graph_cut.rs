@@ -1,0 +1,55 @@
+//! Criterion benches: SW-MST vs the literal Algorithm 1 vs classical
+//! Kruskal across graph sizes (the DESIGN.md §5 ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use soulmate_graph::{kruskal_max_forest, swmst, WeightedGraph};
+use soulmate_graph::swmst::swmst_literal;
+
+fn dense_graph(n: usize, seed: u64) -> WeightedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedGraph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(i, j, rng.gen_range(0.0..1.0)).unwrap();
+        }
+    }
+    g
+}
+
+fn graph_cut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_cut");
+    for &n in &[50usize, 150, 400] {
+        let g = dense_graph(n, 7);
+        group.bench_with_input(BenchmarkId::new("swmst", n), &g, |b, g| {
+            b.iter(|| swmst(g))
+        });
+        group.bench_with_input(BenchmarkId::new("swmst_literal", n), &g, |b, g| {
+            b.iter(|| swmst_literal(g))
+        });
+        group.bench_with_input(BenchmarkId::new("kruskal", n), &g, |b, g| {
+            b.iter(|| kruskal_max_forest(g))
+        });
+    }
+    group.finish();
+}
+
+fn graph_construction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 300usize;
+    let sim: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let mut group = c.benchmark_group("graph_construction");
+    group.bench_function("full_similarity_graph", |b| {
+        b.iter(|| WeightedGraph::from_similarity(&sim, -1.0, 0).unwrap())
+    });
+    group.bench_function("thresholded_topk_graph", |b| {
+        b.iter(|| WeightedGraph::from_similarity(&sim, 0.8, 3).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, graph_cut, graph_construction);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benches: individual offline-phase stages on a fixed fitted
+//! pipeline — tweet-vector composition, author aggregation, similarity
+//! matrices, temporal grids, and the online query path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soulmate_bench::{fit_default_pipeline, ExpArgs};
+use soulmate_core::{
+    author_content_vectors, similarity_matrix, similarity_matrix_parallel, tweet_vectors,
+    AuthorCombiner, Combiner,
+};
+use soulmate_temporal::{similarity_grid, Facet};
+
+fn pipeline_stages(c: &mut Criterion) {
+    let args = ExpArgs {
+        authors: 40,
+        tweets_per_author: 40,
+        concepts: 8,
+        dim: 32,
+        epochs: 2,
+        ..Default::default()
+    };
+    let (dataset, pipeline) = fit_default_pipeline(&args);
+    let docs = pipeline.corpus.documents();
+
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(10);
+
+    group.bench_function("tweet_vectors_avg", |b| {
+        b.iter(|| tweet_vectors(&docs, &pipeline.collective, Combiner::Avg))
+    });
+
+    group.bench_function("author_content_kfold", |b| {
+        b.iter(|| {
+            author_content_vectors(
+                &pipeline.tweet_vectors,
+                &pipeline.tweet_author,
+                pipeline.n_authors(),
+                AuthorCombiner::KFold { bins: 10 },
+            )
+        })
+    });
+
+    group.bench_function("author_similarity_matrix", |b| {
+        b.iter(|| similarity_matrix(&pipeline.author_content))
+    });
+
+    group.bench_function("author_similarity_matrix_4_threads", |b| {
+        b.iter(|| similarity_matrix_parallel(&pipeline.author_content, 4))
+    });
+
+    group.bench_function("temporal_day_grid", |b| {
+        b.iter(|| similarity_grid(&pipeline.corpus, Facet::DayOfWeek, |_| true))
+    });
+
+    group.bench_function("collective_embedding", |b| {
+        b.iter(|| pipeline.temporal.collective_embedding())
+    });
+
+    let query_tweets: Vec<(soulmate_corpus::Timestamp, String)> = dataset
+        .tweets
+        .iter()
+        .filter(|t| t.author == 0)
+        .take(10)
+        .map(|t| (t.timestamp, t.text.clone()))
+        .collect();
+    group.bench_function("online_link_query_author", |b| {
+        b.iter(|| pipeline.link_query_author(&query_tweets).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_stages);
+criterion_main!(benches);

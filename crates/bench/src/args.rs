@@ -1,0 +1,92 @@
+//! Minimal command-line flag parsing for the experiment binaries (no
+//! external dependency: flags are `--name value` pairs).
+
+/// Common experiment knobs.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Number of authors to generate.
+    pub authors: usize,
+    /// Mean tweets per author.
+    pub tweets_per_author: usize,
+    /// Number of latent concepts in the generator.
+    pub concepts: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Embedding dimensionality used by pipeline-based experiments.
+    pub dim: usize,
+    /// CBOW epochs for pipeline-based experiments.
+    pub epochs: usize,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            authors: 120,
+            tweets_per_author: 60,
+            concepts: 12,
+            seed: 42,
+            dim: 40,
+            epochs: 4,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parse `--authors N --tweets N --concepts N --seed N --dim N
+    /// --epochs N` from an iterator of arguments (unknown flags are
+    /// ignored so binaries can add their own).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> ExpArgs {
+        let mut out = ExpArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let Some(value) = it.next() else { break };
+            match flag.as_str() {
+                "--authors" => out.authors = value.parse().unwrap_or(out.authors),
+                "--tweets" => {
+                    out.tweets_per_author = value.parse().unwrap_or(out.tweets_per_author)
+                }
+                "--concepts" => out.concepts = value.parse().unwrap_or(out.concepts),
+                "--seed" => out.seed = value.parse().unwrap_or(out.seed),
+                "--dim" => out.dim = value.parse().unwrap_or(out.dim),
+                "--epochs" => out.epochs = value.parse().unwrap_or(out.epochs),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Parse from the process arguments (skipping the binary name).
+    pub fn from_env() -> ExpArgs {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_known_flags() {
+        let a = ExpArgs::parse(s(&["--authors", "50", "--seed", "7", "--dim", "32"]));
+        assert_eq!(a.authors, 50);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.dim, 32);
+        assert_eq!(a.tweets_per_author, ExpArgs::default().tweets_per_author);
+    }
+
+    #[test]
+    fn ignores_unknown_flags_and_bad_values() {
+        let a = ExpArgs::parse(s(&["--wat", "9", "--authors", "abc"]));
+        assert_eq!(a.authors, ExpArgs::default().authors);
+    }
+
+    #[test]
+    fn empty_args_are_defaults() {
+        let a = ExpArgs::parse(Vec::<String>::new());
+        assert_eq!(a.authors, ExpArgs::default().authors);
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `soulmate_bench::experiments::ext_btcbow`.
+
+fn main() {
+    let args = soulmate_bench::ExpArgs::from_env();
+    print!("{}", soulmate_bench::experiments::ext_btcbow::run(&args));
+}

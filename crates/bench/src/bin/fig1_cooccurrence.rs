@@ -1,0 +1,6 @@
+//! Experiment binary: see `soulmate_bench::experiments::fig1`.
+
+fn main() {
+    let args = soulmate_bench::ExpArgs::from_env();
+    print!("{}", soulmate_bench::experiments::fig1::run(&args));
+}

@@ -1,0 +1,30 @@
+//! Run every experiment in paper order and write the collected reports to
+//! `EXPERIMENTS-results.md` in the current directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args = soulmate_bench::ExpArgs::from_env();
+    let mut collected = String::new();
+    let _ = writeln!(
+        collected,
+        "# SoulMate reproduction — measured results\n\n\
+         Configuration: {} authors, {} mean tweets/author, {} concepts, \
+         dim {}, {} epochs, seed {}.\n",
+        args.authors, args.tweets_per_author, args.concepts, args.dim, args.epochs, args.seed
+    );
+    for (id, title, runner) in soulmate_bench::experiments::all() {
+        eprintln!(">>> running {id}: {title}");
+        let start = Instant::now();
+        let report = runner(&args);
+        let secs = start.elapsed().as_secs_f32();
+        eprintln!("    done in {secs:.1}s");
+        let _ = writeln!(collected, "## {title}\n\n```text\n{report}```\n");
+        println!("==== {title} ====\n{report}");
+    }
+    match std::fs::write("EXPERIMENTS-results.md", &collected) {
+        Ok(()) => eprintln!("wrote EXPERIMENTS-results.md"),
+        Err(e) => eprintln!("could not write EXPERIMENTS-results.md: {e}"),
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `soulmate_bench::experiments::table5`.
+
+fn main() {
+    let args = soulmate_bench::ExpArgs::from_env();
+    print!("{}", soulmate_bench::experiments::table5::run(&args));
+}

@@ -1,0 +1,81 @@
+//! Fig 1 — word-pair co-occurrence probability across temporal
+//! dimensions.
+//!
+//! The paper plots the co-occurrence distribution of commute-flavoured
+//! word pairs over the 24 hours (Fig 1a) and of weather-flavoured pairs
+//! over the seasons (Fig 1b). Our generator plants the same structure:
+//! concept 0 is a morning/weekday/summer concept, concept 2 an
+//! evening/winter one — their (head, entity) signature pairs reproduce the
+//! skews.
+
+use crate::args::ExpArgs;
+use crate::setup::default_dataset;
+use soulmate_corpus::stats::{pair_cooccurrence_by_hour, pair_cooccurrence_by_season};
+use soulmate_eval::TextTable;
+use soulmate_text::TokenizerConfig;
+
+/// Run the experiment and return the report.
+pub fn run(args: &ExpArgs) -> String {
+    let dataset = default_dataset(args);
+    let corpus = dataset.encode(&TokenizerConfig::default(), 3);
+    let lex = &dataset.ground_truth.lexicon;
+
+    let pair = |concept: usize| {
+        let head = corpus.vocab.id(&lex.concepts[concept].head);
+        let entity = corpus.vocab.id(&lex.concepts[concept].base_forms[0]);
+        (head, entity)
+    };
+
+    let mut out = String::new();
+    out.push_str("(a) Hour dimension — co-occurrence probability per hour\n\n");
+    let mut hours = TextTable::new(
+        std::iter::once("pair".to_string()).chain((0..24).map(|h| format!("{h:02}"))),
+    );
+    for (label, concept) in [("morning-pair (c0)", 0usize), ("evening-pair (c2)", 2)] {
+        let (Some(h), Some(e)) = pair(concept) else {
+            continue;
+        };
+        let dist = pair_cooccurrence_by_hour(&corpus, h, e);
+        hours.row(
+            std::iter::once(label.to_string()).chain(dist.iter().map(|p| format!("{p:.3}"))),
+        );
+    }
+    out.push_str(&hours.render());
+
+    out.push_str("\n(b) Season dimension — co-occurrence probability per season\n\n");
+    let mut seasons = TextTable::new(["pair", "summer", "autumn", "winter", "spring"]);
+    for (label, concept) in [("summer-pair (c0)", 0usize), ("winter-pair (c2)", 2)] {
+        let (Some(h), Some(e)) = pair(concept) else {
+            continue;
+        };
+        let dist = pair_cooccurrence_by_season(&corpus, h, e);
+        seasons.row(
+            std::iter::once(label.to_string()).chain(dist.iter().map(|p| format!("{p:.3}"))),
+        );
+    }
+    out.push_str(&seasons.render());
+    out.push_str(
+        "\nPaper shape: commute pairs peak 6-11am (second bump in the evening);\n\
+         Cold+Drink / Hot+Day pairs dominate in summer and nearly vanish in winter.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_both_dimensions() {
+        let args = ExpArgs {
+            authors: 20,
+            tweets_per_author: 25,
+            concepts: 6,
+            ..Default::default()
+        };
+        let report = run(&args);
+        assert!(report.contains("Hour dimension"));
+        assert!(report.contains("Season dimension"));
+        assert!(report.contains("morning-pair"));
+    }
+}

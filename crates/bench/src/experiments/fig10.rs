@@ -1,0 +1,132 @@
+//! Fig 10 — weighted precision (`P_Textual`) by enrichment depth ζ for
+//! the candidate clustering thresholds (DBSCAN ε values and K-medoids K
+//! values shortlisted by the Fig 9 sweep).
+
+use crate::args::ExpArgs;
+use crate::setup::fit_default_pipeline;
+use soulmate_cluster::{dbscan, kmedoids, pairwise, EuclideanDistance};
+use soulmate_eval::{cluster_quality, ExpertPanel, PanelConfig, TextTable};
+
+/// Run the experiment and return the report.
+pub fn run(args: &ExpArgs) -> String {
+    let (dataset, pipeline) = fit_default_pipeline(args);
+    let panel_cfg = PanelConfig::default();
+    let panel = ExpertPanel::new(&dataset, &pipeline.corpus, &panel_cfg);
+
+    // Normalized subsample, remembering original tweet indices.
+    let n = pipeline.tweet_vectors.rows();
+    let stride = n.div_ceil(600).max(1);
+    let indices: Vec<usize> = (0..n).step_by(stride).collect();
+    let points: Vec<Vec<f32>> = indices
+        .iter()
+        .map(|&i| {
+            let mut v = pipeline.tweet_vectors.row(i).to_vec();
+            soulmate_linalg::normalize(&mut v);
+            v
+        })
+        .collect();
+    let dist = pairwise(&points, &EuclideanDistance);
+
+    let zetas = [5usize, 10, 15, 20];
+    let mut out = String::new();
+
+    out.push_str("Fig 10a — DBSCAN: P_Textual by zeta per eps\n\n");
+    let mut dtable = TextTable::new(
+        std::iter::once("eps".to_string()).chain(zetas.iter().map(|z| format!("zeta {z}"))),
+    );
+    for eps in [0.32f32, 0.36, 0.40, 0.44] {
+        let mut row = vec![format!("{eps:.2}")];
+        match dbscan(&dist, eps, 4) {
+            Ok(r) if r.n_clusters > 0 => {
+                let members = members_of(&r.labels, r.n_clusters, &indices);
+                for &zeta in &zetas {
+                    let p = cluster_quality(
+                        &panel,
+                        &pipeline.corpus,
+                        &members,
+                        &pipeline.collective,
+                        zeta,
+                        10,
+                        25,
+                    )
+                    .map(|c| format!("{:.3}", c.p_textual()))
+                    .unwrap_or_else(|_| "-".into());
+                    row.push(p);
+                }
+            }
+            _ => row.extend(zetas.iter().map(|_| "-".to_string())),
+        }
+        dtable.row(row);
+    }
+    out.push_str(&dtable.render());
+
+    out.push_str("\nFig 10b — K-medoids: P_Textual by zeta per K\n\n");
+    let mut ktable = TextTable::new(
+        std::iter::once("K".to_string()).chain(zetas.iter().map(|z| format!("zeta {z}"))),
+    );
+    for k in [20usize, 22, 24, 26] {
+        let mut row = vec![k.to_string()];
+        let r = kmedoids(&dist, k.min(points.len()), 30).expect("kmedoids runs");
+        let labels: Vec<Option<usize>> = r.labels.iter().map(|&l| Some(l)).collect();
+        let members = members_of(&labels, k.min(points.len()), &indices);
+        for &zeta in &zetas {
+            let p = cluster_quality(
+                &panel,
+                &pipeline.corpus,
+                &members,
+                &pipeline.collective,
+                zeta,
+                10,
+                25,
+            )
+            .map(|c| format!("{:.3}", c.p_textual()))
+            .unwrap_or_else(|_| "-".into());
+            row.push(p);
+        }
+        ktable.row(row);
+    }
+    out.push_str(&ktable.render());
+    out.push_str(
+        "\nPaper shape: one DBSCAN eps (0.36 there) is stable across zeta while\n\
+         others fluctuate; for K-medoids no K dominates, with K=22 strongest\n\
+         around zeta=10.\n",
+    );
+    out
+}
+
+/// Map sampled-point labels back to original tweet indices per cluster.
+fn members_of(
+    labels: &[Option<usize>],
+    n_clusters: usize,
+    indices: &[usize],
+) -> Vec<Vec<usize>> {
+    let mut members = vec![Vec::new(); n_clusters];
+    for (pos, l) in labels.iter().enumerate() {
+        if let Some(c) = l {
+            members[*c].push(indices[pos]);
+        }
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "fits a full pipeline; run with `cargo test --release -- --ignored`"]
+    fn report_has_dbscan_and_kmedoids_grids() {
+        let args = ExpArgs {
+            authors: 20,
+            tweets_per_author: 20,
+            concepts: 6,
+            dim: 12,
+            epochs: 2,
+            ..Default::default()
+        };
+        let report = run(&args);
+        assert!(report.contains("Fig 10a"));
+        assert!(report.contains("Fig 10b"));
+        assert!(report.contains("zeta 10"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Fig 9 — clustering threshold sweeps: cluster count and quality
+//! (Silhouette ↑, Davies–Bouldin ↓) as K (K-medoids) and ε (DBSCAN) vary
+//! over L2-normalized tweet vectors.
+
+use crate::args::ExpArgs;
+use crate::setup::fit_default_pipeline;
+use soulmate_cluster::{
+    davies_bouldin, dbscan, kmedoids, pairwise, silhouette_score, EuclideanDistance,
+};
+use soulmate_eval::TextTable;
+
+/// Deterministically subsample and L2-normalize tweet vectors for the
+/// sweep (O(n²) clustering).
+fn sample_points(pipeline: &soulmate_core::Pipeline, cap: usize) -> Vec<Vec<f32>> {
+    let n = pipeline.tweet_vectors.rows();
+    let stride = n.div_ceil(cap).max(1);
+    (0..n)
+        .step_by(stride)
+        .map(|i| {
+            let mut v = pipeline.tweet_vectors.row(i).to_vec();
+            soulmate_linalg::normalize(&mut v);
+            v
+        })
+        .collect()
+}
+
+/// Run the experiment and return the report.
+pub fn run(args: &ExpArgs) -> String {
+    let (_, pipeline) = fit_default_pipeline(args);
+    let points = sample_points(&pipeline, 800);
+    let dist = pairwise(&points, &EuclideanDistance);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Sweeps over {} L2-normalized tweet vectors\n\n",
+        points.len()
+    ));
+
+    out.push_str("Fig 9a — K-medoids: quality vs K\n\n");
+    let mut ktable = TextTable::new(["K", "silhouette", "davies-bouldin"]);
+    for k in (2..=40).step_by(2) {
+        let r = kmedoids(&dist, k, 30).expect("kmedoids runs");
+        let labels: Vec<Option<usize>> = r.labels.iter().map(|&l| Some(l)).collect();
+        let sil = silhouette_score(&dist, &labels).unwrap_or(0.0);
+        let db = davies_bouldin(&points, &labels).unwrap_or(f32::NAN);
+        ktable.row([k.to_string(), format!("{sil:.3}"), format!("{db:.3}")]);
+    }
+    out.push_str(&ktable.render());
+
+    out.push_str("\nFig 9b/9c — DBSCAN: cluster count and quality vs eps\n\n");
+    let mut etable = TextTable::new(["eps", "clusters", "noise", "silhouette", "davies-bouldin"]);
+    for step in 0..14 {
+        let eps = 0.08 + step as f32 * 0.04;
+        let r = dbscan(&dist, eps, 4).expect("dbscan runs");
+        let sil = silhouette_score(&dist, &r.labels).unwrap_or(0.0);
+        let db = davies_bouldin(&points, &r.labels).unwrap_or(f32::NAN);
+        etable.row([
+            format!("{eps:.2}"),
+            r.n_clusters.to_string(),
+            r.noise().len().to_string(),
+            format!("{sil:.3}"),
+            format!("{db:.3}"),
+        ]);
+    }
+    out.push_str(&etable.render());
+    out.push_str(
+        "\nPaper shape: a mid-range K window maximizes cluster count at good\n\
+         quality (paper picks K in [15,30], finally 22); DBSCAN cluster count\n\
+         peaks in a mid eps band (paper 0.325-0.475, finally 0.36) and both\n\
+         count and quality fall once eps grows past the band.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "fits a full pipeline; run with `cargo test --release -- --ignored`"]
+    fn report_has_both_sweeps() {
+        let args = ExpArgs {
+            authors: 20,
+            tweets_per_author: 20,
+            concepts: 6,
+            dim: 12,
+            epochs: 2,
+            ..Default::default()
+        };
+        let report = run(&args);
+        assert!(report.contains("Fig 9a"));
+        assert!(report.contains("Fig 9b"));
+        assert!(report.contains("silhouette"));
+    }
+}

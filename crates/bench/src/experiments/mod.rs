@@ -1,0 +1,104 @@
+//! One module per reproduced table/figure. Every experiment is a pure
+//! `run(&ExpArgs) -> String` returning the printable report.
+
+pub mod ext_ablation;
+pub mod ext_btcbow;
+pub mod ext_scaling;
+pub mod ext_community;
+pub mod ext_popularity;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig3;
+pub mod fig4;
+pub mod fig8;
+pub mod fig9;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+use crate::args::ExpArgs;
+
+/// An experiment entry: `(id, title, runner)`.
+pub type Experiment = (&'static str, &'static str, fn(&ExpArgs) -> String);
+
+/// All experiments in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        (
+            "fig1",
+            "Fig 1 — co-occurrence probability across temporal dimensions",
+            fig1::run,
+        ),
+        (
+            "fig3",
+            "Fig 3 + Table 3 — day similarity grid, dendrogram, slabs",
+            fig3::run,
+        ),
+        (
+            "fig4",
+            "Figs 4–5 + Table 4 — hour slabs conditioned on day slabs",
+            fig4::run,
+        ),
+        (
+            "fig8",
+            "Fig 8 — analogy accuracy and training time of vector space models",
+            fig8::run,
+        ),
+        (
+            "table5",
+            "Table 5 — precision of author similarity in subgraph mining",
+            table5::run,
+        ),
+        (
+            "table6",
+            "Table 6 — weighted precision of author content vectors",
+            table6::run,
+        ),
+        (
+            "fig9",
+            "Fig 9 — clustering threshold sweeps (K-medoids K, DBSCAN eps)",
+            fig9::run,
+        ),
+        (
+            "fig10",
+            "Fig 10 — weighted precision by zeta for clustering thresholds",
+            fig10::run,
+        ),
+        (
+            "table7",
+            "Table 7 — precision of author concept vectors",
+            table7::run,
+        ),
+        (
+            "fig11",
+            "Fig 11 — impact of alpha on effectiveness",
+            fig11::run,
+        ),
+        (
+            "ext_popularity",
+            "Extension — popularity-weighted concept nomination (future work)",
+            ext_popularity::run,
+        ),
+        (
+            "ext_community",
+            "Extension — community recovery (NMI/ARI) of SW-MST subgraphs",
+            ext_community::run,
+        ),
+        (
+            "ext_ablation",
+            "Extension — TCBOW fusion ablations (level/depth, accuracy weights)",
+            ext_ablation::run,
+        ),
+        (
+            "ext_btcbow",
+            "Extension — B^TCBOW (|V|-dim) vs collective V^C (|d|-dim)",
+            ext_btcbow::run,
+        ),
+        (
+            "ext_scaling",
+            "Extension — offline/online scaling with corpus size",
+            ext_scaling::run,
+        ),
+    ]
+}

@@ -1,0 +1,99 @@
+//! Table 5 — precision of author similarity in subgraph mining.
+//!
+//! Every method produces an author similarity matrix; the identical SW-MST
+//! cut extracts author subgraphs; the Table 5 protocol (seed authors →
+//! top MSTs → top tweet pairs → simulated expert votes) scores each, split
+//! into the paper's two columns: fraction of pairs scored 2
+//! (textual↑ conceptual↑) and scored 3 (textual↓ conceptual↑).
+
+use crate::args::ExpArgs;
+use crate::setup::fit_default_pipeline;
+use soulmate_core::{author_similarity, Method};
+use soulmate_eval::{subgraph_precision, ExpertPanel, PanelConfig, SubgraphProtocol, TextTable};
+
+/// Run the experiment and return the report.
+pub fn run(args: &ExpArgs) -> String {
+    let (dataset, pipeline) = fit_default_pipeline(args);
+    let panel_cfg = PanelConfig::default();
+    let panel = ExpertPanel::new(&dataset, &pipeline.corpus, &panel_cfg);
+    let protocol = SubgraphProtocol {
+        seed: args.seed,
+        ..Default::default()
+    };
+
+    let methods = [
+        Method::SoulMateConcept,
+        Method::SoulMateContent,
+        Method::SoulMateJoint { alpha: 0.6 },
+        Method::TemporalCollective { zeta: 10 },
+        Method::CbowEnriched { zeta: 10 },
+        Method::DocumentVector,
+        Method::ExactMatching,
+    ];
+
+    let ctx = pipeline.baseline_context();
+    let mut table = TextTable::new([
+        "method",
+        "textual^ conceptual^",
+        "textual_v conceptual^",
+        "pairs",
+    ]);
+    for method in methods {
+        let sim = author_similarity(&ctx, method).expect("baseline computes");
+        let forest = pipeline.subgraphs_for(&sim).expect("graph cut runs");
+        match subgraph_precision(&panel, &pipeline.corpus, &forest, &protocol) {
+            Ok(p) => {
+                table.row([
+                    method.name().to_string(),
+                    format!("{:.2}", p.textual_high),
+                    format!("{:.2}", p.textual_low),
+                    p.counts.total().to_string(),
+                ]);
+            }
+            Err(e) => {
+                table.row([method.name().to_string(), "-".into(), "-".into(), e.to_string()]);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("Table 5 — precision of author similarity in subgraph mining\n\n");
+    out.push_str(&table.render());
+    out.push_str(
+        "\nPaper shape: SoulMate_Joint best on both columns (0.67 / 0.32);\n\
+         SoulMate_Concept dominates the textual_v column (0.30) where all pure\n\
+         textual methods collapse (<= 0.01); SoulMate_Content and Temporal\n\
+         Collective lead the textual^ column among non-joint methods.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "fits a full pipeline; run with `cargo test --release -- --ignored`"]
+    fn report_covers_all_seven_methods() {
+        let args = ExpArgs {
+            authors: 24,
+            tweets_per_author: 25,
+            concepts: 6,
+            dim: 16,
+            epochs: 2,
+            ..Default::default()
+        };
+        let report = run(&args);
+        for m in [
+            "SoulMate_Concept",
+            "SoulMate_Content",
+            "SoulMate_Joint",
+            "Temporal Collective",
+            "CBOW Enriched",
+            "Document Vector",
+            "Exact Matching",
+        ] {
+            assert!(report.contains(m), "missing {m}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness reproducing every table and figure of the SoulMate
+//! paper's evaluation (Section 5).
+//!
+//! Each experiment lives in [`experiments`] as a pure function returning a
+//! printable report; the `src/bin/` binaries are thin wrappers, and
+//! `run_all` chains everything and appends the measured numbers to
+//! `EXPERIMENTS-results.md`.
+//!
+//! Run e.g.:
+//! ```text
+//! cargo run -p soulmate-bench --release --bin table5_subgraph_precision -- --authors 200
+//! ```
+
+// Index-based loops are used deliberately where two mirrored cells of a
+// symmetric matrix (or several parallel arrays) are written per step —
+// iterator rewrites obscure those invariants.
+#![allow(clippy::needless_range_loop)]
+
+pub mod args;
+pub mod experiments;
+pub mod setup;
+
+pub use args::ExpArgs;
+pub use setup::{default_dataset, default_pipeline_config, fit_default_pipeline};

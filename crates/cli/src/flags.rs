@@ -1,0 +1,94 @@
+//! Tiny `--name value` flag parser shared by the CLI subcommands.
+
+use crate::CliError;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Parsed `--name value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parse flag pairs; non-flag tokens and trailing flags without values
+    /// are ignored (subcommands validate required flags explicitly).
+    pub fn parse(args: &[String]) -> Flags {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    values.insert(name.to_string(), args[i + 1].clone());
+                    i += 2;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        Flags { values }
+    }
+
+    /// Raw string value of a flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Parse a flag as `usize`.
+    pub fn get_usize(&self, name: &str) -> Option<usize> {
+        self.get(name).and_then(|v| v.parse().ok())
+    }
+
+    /// Parse a flag as `u64`.
+    pub fn get_u64(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(|v| v.parse().ok())
+    }
+
+    /// Parse a flag as `f32`.
+    pub fn get_f32(&self, name: &str) -> Option<f32> {
+        self.get(name).and_then(|v| v.parse().ok())
+    }
+
+    /// A required path flag.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] when the flag is missing.
+    pub fn require_path(&self, name: &str) -> Result<PathBuf, CliError> {
+        self.get(name)
+            .map(PathBuf::from)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Flags {
+        Flags::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_pairs_and_types() {
+        let f = parse(&["--authors", "50", "--alpha", "0.6", "--out", "x.json"]);
+        assert_eq!(f.get_usize("authors"), Some(50));
+        assert_eq!(f.get_f32("alpha"), Some(0.6));
+        assert_eq!(f.get("out"), Some("x.json"));
+        assert_eq!(f.get("missing"), None);
+    }
+
+    #[test]
+    fn ignores_valueless_and_positional_tokens() {
+        let f = parse(&["positional", "--flag", "--other", "1"]);
+        assert_eq!(f.get("flag"), None);
+        assert_eq!(f.get_usize("other"), Some(1));
+    }
+
+    #[test]
+    fn require_path_errors_when_missing() {
+        let f = parse(&[]);
+        assert!(f.require_path("out").is_err());
+        let f = parse(&["--out", "a.json"]);
+        assert_eq!(f.require_path("out").unwrap(), PathBuf::from("a.json"));
+    }
+}

@@ -1,0 +1,477 @@
+//! Library backing the `soulmate` CLI binary. Command logic lives here so
+//! it can be unit-tested without spawning processes.
+
+use soulmate_bench::ExpArgs;
+use soulmate_core::{Pipeline, PipelineSnapshot};
+use soulmate_corpus::{generate, io as corpus_io, GeneratorConfig, Timestamp};
+use soulmate_temporal::{similarity_grid, slabs_from_grid, Facet};
+use soulmate_text::TokenizerConfig;
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use soulmate_graph::{swmst, WeightedGraph};
+
+mod flags;
+pub use flags::Flags;
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation; the message is the usage text.
+    Usage(String),
+    /// A command failed while executing.
+    Failed(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+const USAGE: &str = "soulmate — short-text author linking (SoulMate reproduction)
+
+USAGE:
+  soulmate generate  --out <data.json> [--authors N] [--tweets N] [--concepts N] [--seed N]
+  soulmate fit       --data <data.json> --out <model.json> [--dim N] [--epochs N] [--alpha X]
+  soulmate subgraphs --model <model.json> [--top N]
+  soulmate link      --model <model.json> --tweets <tweets.txt>
+  soulmate slabs     --data <data.json> [--threshold X]
+  soulmate eval      --data <data.json> [--dim N] [--epochs N] [--k N]
+  soulmate experiment <id> [--authors N] [--tweets N] [--seed N] [--dim N] [--epochs N]
+
+The tweets file for `link` holds one tweet per line; an optional leading
+`<minute-of-year><TAB>` sets the timestamp (defaults to minute 0).
+Experiment ids: fig1 fig3 fig4 fig8 fig9 fig10 fig11 table5 table6 table7
+ext_popularity ext_community ext_ablation ext_btcbow ext_scaling.";
+
+/// Execute a CLI invocation, writing human output to `out`.
+///
+/// # Errors
+/// [`CliError::Usage`] for malformed invocations, [`CliError::Failed`] for
+/// runtime failures.
+pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage(USAGE.to_string()));
+    };
+    let flags = Flags::parse(&args[1..]);
+    match command.as_str() {
+        "generate" => cmd_generate(&flags, out),
+        "fit" => cmd_fit(&flags, out),
+        "subgraphs" => cmd_subgraphs(&flags, out),
+        "link" => cmd_link(&flags, out),
+        "slabs" => cmd_slabs(&flags, out),
+        "eval" => cmd_eval(&flags, out),
+        "experiment" => cmd_experiment(args.get(1), &args[1.min(args.len())..], out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").ok();
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn cmd_generate<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    let path = flags.require_path("out")?;
+    let config = GeneratorConfig {
+        seed: flags.get_u64("seed").unwrap_or(42),
+        n_authors: flags.get_usize("authors").unwrap_or(120),
+        n_communities: flags
+            .get_usize("communities")
+            .unwrap_or_else(|| (flags.get_usize("authors").unwrap_or(120) / 15).clamp(2, 16)),
+        n_concepts: flags.get_usize("concepts").unwrap_or(8),
+        mean_tweets_per_author: flags.get_usize("tweets").unwrap_or(60),
+        ..Default::default()
+    };
+    let dataset = generate(&config).map_err(|e| CliError::Failed(e.to_string()))?;
+    corpus_io::save_json(&dataset, &path).map_err(|e| CliError::Failed(e.to_string()))?;
+    writeln!(
+        out,
+        "wrote {} ({} authors, {} tweets, seed {})",
+        path.display(),
+        dataset.n_authors(),
+        dataset.n_tweets(),
+        config.seed
+    )
+    .ok();
+    Ok(())
+}
+
+fn cmd_fit<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    let data = flags.require_path("data")?;
+    let model_path = flags.require_path("out")?;
+    let dataset = corpus_io::load_json(&data).map_err(|e| CliError::Failed(e.to_string()))?;
+
+    let exp = ExpArgs {
+        authors: dataset.n_authors(),
+        seed: flags.get_u64("seed").unwrap_or(42),
+        dim: flags.get_usize("dim").unwrap_or(40),
+        epochs: flags.get_usize("epochs").unwrap_or(4),
+        ..Default::default()
+    };
+    let mut config = soulmate_bench::default_pipeline_config(&exp);
+    if let Some(alpha) = flags.get_f32("alpha") {
+        config.alpha = alpha;
+    }
+    let started = std::time::Instant::now();
+    let pipeline =
+        Pipeline::fit(&dataset, config).map_err(|e| CliError::Failed(e.to_string()))?;
+    let handles: Vec<String> = dataset.authors.iter().map(|a| a.handle.clone()).collect();
+    let snapshot = pipeline.snapshot(&handles);
+    snapshot
+        .save(&model_path)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    writeln!(
+        out,
+        "fitted in {:.1}s: vocab {}, {} concepts, {} temporal slabs -> {}",
+        started.elapsed().as_secs_f32(),
+        pipeline.corpus.vocab.len(),
+        pipeline.concepts.n_concepts(),
+        pipeline.temporal.slab_index().total_slabs(),
+        model_path.display()
+    )
+    .ok();
+    Ok(())
+}
+
+fn cmd_subgraphs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    let model = load_model(flags)?;
+    let top = flags.get_usize("top").unwrap_or(10);
+    let graph = WeightedGraph::from_similarity(
+        &model.x_total,
+        model.graph_min_sim,
+        model.graph_top_k,
+    )
+    .map_err(|e| CliError::Failed(e.to_string()))?;
+    let forest = swmst(&graph);
+    let mut components = forest.components();
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    writeln!(out, "{} linked-author subgraphs:", components.len()).ok();
+    for (i, group) in components.iter().take(top).enumerate() {
+        let names: Vec<&str> = group
+            .iter()
+            .map(|&a| model.author_handles[a].as_str())
+            .collect();
+        writeln!(
+            out,
+            "  #{i} ({} authors, avg weight {:.3}): {}",
+            group.len(),
+            forest.component_avg_weight(group),
+            names.join(", ")
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    let model = load_model(flags)?;
+    let tweets_path = flags.require_path("tweets")?;
+    let tweets = read_tweets_file(&tweets_path)?;
+    let outcome = model
+        .link_query_author(&tweets)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    writeln!(
+        out,
+        "query author joined a subgraph of {} nodes (avg edge weight {:.3})",
+        outcome.subgraph.len(),
+        outcome.subgraph_avg_weight
+    )
+    .ok();
+    let mut ranked: Vec<(usize, f32)> = outcome
+        .similarities
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    writeln!(out, "most similar authors:").ok();
+    for (a, s) in ranked.into_iter().take(5) {
+        writeln!(out, "  {} (similarity {s:.3})", model.author_handles[a]).ok();
+    }
+    let mates: Vec<&str> = outcome
+        .subgraph
+        .iter()
+        .filter(|&&a| a != outcome.query_index)
+        .map(|&a| model.author_handles[a].as_str())
+        .collect();
+    writeln!(out, "linked with: {}", mates.join(", ")).ok();
+    Ok(())
+}
+
+fn cmd_slabs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    let data = flags.require_path("data")?;
+    let dataset = corpus_io::load_json(&data).map_err(|e| CliError::Failed(e.to_string()))?;
+    let corpus = dataset.encode(&TokenizerConfig::default(), 3);
+    let threshold = flags.get_f32("threshold").unwrap_or(0.4);
+    let grid = similarity_grid(&corpus, Facet::DayOfWeek, |_| true);
+    writeln!(out, "day-of-week similarity grid:\n{}", grid.render()).ok();
+    let (slabs, _) = slabs_from_grid(&grid, threshold);
+    writeln!(out, "day slabs @ {threshold}: {}", slabs.render()).ok();
+    Ok(())
+}
+
+fn cmd_eval<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    let data = flags.require_path("data")?;
+    let dataset = corpus_io::load_json(&data).map_err(|e| CliError::Failed(e.to_string()))?;
+    let exp = ExpArgs {
+        authors: dataset.n_authors(),
+        seed: flags.get_u64("seed").unwrap_or(42),
+        dim: flags.get_usize("dim").unwrap_or(40),
+        epochs: flags.get_usize("epochs").unwrap_or(4),
+        ..Default::default()
+    };
+    let k = flags.get_usize("k").unwrap_or(5);
+    let pipeline = Pipeline::fit(&dataset, soulmate_bench::default_pipeline_config(&exp))
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let forest = pipeline
+        .subgraphs()
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let truth = &dataset.ground_truth.author_community;
+    let predicted = soulmate_eval::partition_from_components(
+        &forest.components(),
+        pipeline.n_authors(),
+    );
+    writeln!(out, "evaluation against planted communities:").ok();
+    writeln!(
+        out,
+        "  subgraphs: {} (over {} authors)",
+        forest.components().len(),
+        pipeline.n_authors()
+    )
+    .ok();
+    writeln!(
+        out,
+        "  NMI: {:.3}   ARI: {:.3}   P@{k}: {:.3}",
+        soulmate_eval::normalized_mutual_information(&predicted, truth),
+        soulmate_eval::adjusted_rand_index(&predicted, truth),
+        soulmate_eval::community_precision_at_k(&pipeline.x_total, truth, k),
+    )
+    .ok();
+    Ok(())
+}
+
+fn cmd_experiment<W: Write>(
+    id: Option<&String>,
+    rest: &[String],
+    out: &mut W,
+) -> Result<(), CliError> {
+    let Some(id) = id else {
+        return Err(CliError::Usage(
+            "experiment needs an id (fig1..fig11, table5..7, ext_*)".into(),
+        ));
+    };
+    let runner = soulmate_bench::experiments::all()
+        .into_iter()
+        .find(|(eid, _, _)| eid == id)
+        .map(|(_, _, r)| r)
+        .ok_or_else(|| CliError::Usage(format!("unknown experiment id `{id}`")))?;
+    let args = ExpArgs::parse(rest.iter().skip(1).cloned());
+    write!(out, "{}", runner(&args)).ok();
+    Ok(())
+}
+
+fn load_model(flags: &Flags) -> Result<PipelineSnapshot, CliError> {
+    let path = flags.require_path("model")?;
+    PipelineSnapshot::load(&path).map_err(|e| CliError::Failed(e.to_string()))
+}
+
+/// Parse a tweets file: each line is `minute<TAB>text` or just `text`.
+fn read_tweets_file(path: &Path) -> Result<Vec<(Timestamp, String)>, CliError> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Failed(format!("cannot read {}: {e}", path.display())))?;
+    let mut tweets = Vec::new();
+    for line in content.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (minute, text) = match line.split_once('\t') {
+            Some((m, t)) => (m.parse::<u32>().unwrap_or(0), t.to_string()),
+            None => (0, line.to_string()),
+        };
+        tweets.push((Timestamp(minute), text));
+    }
+    if tweets.is_empty() {
+        return Err(CliError::Failed(format!(
+            "no tweets found in {}",
+            path.display()
+        )));
+    }
+    Ok(tweets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("soulmate-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn no_args_prints_usage_error() {
+        assert!(matches!(run_to_string(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_to_string(&["bogus"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_to_string(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_requires_out_flag() {
+        assert!(matches!(
+            run_to_string(&["generate"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn full_cli_workflow_generate_fit_subgraphs_link() {
+        let data = tmp("wf-data.json");
+        let model = tmp("wf-model.json");
+        let tweets = tmp("wf-tweets.txt");
+
+        let out = run_to_string(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--authors",
+            "14",
+            "--tweets",
+            "15",
+            "--concepts",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("14 authors"));
+
+        let out = run_to_string(&[
+            "fit",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--dim",
+            "10",
+            "--epochs",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("fitted in"), "got: {out}");
+
+        let out = run_to_string(&[
+            "subgraphs",
+            "--model",
+            model.to_str().unwrap(),
+            "--top",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("linked-author subgraphs"));
+
+        // Link a query built from real generated text (so some tokens are
+        // in vocabulary).
+        let dataset = corpus_io::load_json(&data).unwrap();
+        let lines: Vec<String> = dataset
+            .tweets
+            .iter()
+            .take(5)
+            .map(|t| format!("{}\t{}", t.timestamp.0, t.text))
+            .collect();
+        std::fs::write(&tweets, lines.join("\n")).unwrap();
+        let out = run_to_string(&[
+            "link",
+            "--model",
+            model.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("query author joined"), "got: {out}");
+        assert!(out.contains("most similar authors"));
+
+        let out = run_to_string(&["slabs", "--data", data.to_str().unwrap()]).unwrap();
+        assert!(out.contains("day slabs @"));
+
+        for p in [&data, &model, &tweets] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn eval_reports_community_metrics() {
+        let data = tmp("eval-data.json");
+        run_to_string(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--authors",
+            "12",
+            "--tweets",
+            "12",
+            "--concepts",
+            "4",
+        ])
+        .unwrap();
+        let out = run_to_string(&[
+            "eval",
+            "--data",
+            data.to_str().unwrap(),
+            "--dim",
+            "8",
+            "--epochs",
+            "1",
+        ])
+        .unwrap();
+        std::fs::remove_file(&data).ok();
+        assert!(out.contains("NMI:"), "got: {out}");
+        assert!(out.contains("P@5"), "got: {out}");
+    }
+
+    #[test]
+    fn experiment_rejects_unknown_id() {
+        assert!(matches!(
+            run_to_string(&["experiment", "nope"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string(&["experiment"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn read_tweets_file_parses_both_forms() {
+        let path = tmp("tweets-parse.txt");
+        std::fs::write(&path, "100\thello world\nplain line\n\n").unwrap();
+        let tweets = read_tweets_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(tweets.len(), 2);
+        assert_eq!(tweets[0].0, Timestamp(100));
+        assert_eq!(tweets[0].1, "hello world");
+        assert_eq!(tweets[1].0, Timestamp(0));
+    }
+}

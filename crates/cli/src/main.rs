@@ -1,0 +1,27 @@
+//! `soulmate` — the command-line interface to the SoulMate reproduction.
+//!
+//! ```text
+//! soulmate generate --out data.json [--authors 120] [--tweets 60] [--seed 42]
+//! soulmate fit      --data data.json --out model.json [--dim 40] [--epochs 4]
+//! soulmate subgraphs --model model.json [--top 10]
+//! soulmate link     --model model.json --tweets tweets.txt
+//! soulmate slabs    --data data.json
+//! soulmate experiment <id> [experiment flags]   # fig1..fig11, table5..7, ext_*
+//! ```
+
+use soulmate_cli::{run, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args, &mut std::io::stdout()) {
+        Ok(()) => {}
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! DBSCAN density-based clustering (Schubert et al., TODS 2017; paper
+//! Section 4.1.4).
+//!
+//! DBSCAN "detects the densely grouped tweets" and deliberately casts out
+//! low-density outliers as noise — exactly the property the paper exploits
+//! (and later criticizes: K-medoids covers what DBSCAN ignores).
+
+use crate::distance::DistanceMatrix;
+use crate::error::ClusterError;
+
+/// Outcome of a DBSCAN run.
+#[derive(Debug, Clone)]
+pub struct DbscanResult {
+    /// Cluster id per point; `None` marks noise.
+    pub labels: Vec<Option<usize>>,
+    /// Number of clusters found.
+    pub n_clusters: usize,
+}
+
+impl DbscanResult {
+    /// Indices of noise points.
+    pub fn noise(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.is_none().then_some(i))
+            .collect()
+    }
+
+    /// Members of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| (*l == Some(c)).then_some(i))
+            .collect()
+    }
+}
+
+/// Run DBSCAN over a precomputed distance matrix.
+///
+/// * `eps` — neighbourhood radius (the paper's ε, Fig. 9b/9c sweeps it);
+/// * `min_pts` — minimum neighbourhood size (*including* the point itself)
+///   for a point to be a core point.
+///
+/// # Examples
+/// ```
+/// use soulmate_cluster::{dbscan, pairwise, EuclideanDistance};
+///
+/// let points = vec![vec![0.0], vec![0.1], vec![9.0], vec![9.1], vec![50.0]];
+/// let dist = pairwise(&points, &EuclideanDistance);
+/// let result = dbscan(&dist, 0.5, 2).unwrap();
+/// assert_eq!(result.n_clusters, 2);
+/// assert_eq!(result.noise(), vec![4]); // the lone outlier
+/// ```
+///
+/// # Errors
+/// [`ClusterError::InvalidParameter`] for non-positive `eps` or
+/// `min_pts == 0`; [`ClusterError::EmptyInput`] for an empty matrix.
+pub fn dbscan(dist: &DistanceMatrix, eps: f32, min_pts: usize) -> Result<DbscanResult, ClusterError> {
+    if dist.is_empty() {
+        return Err(ClusterError::EmptyInput);
+    }
+    // NaN-safe positivity check (NaN fails both comparisons).
+    if eps.is_nan() || eps <= 0.0 {
+        return Err(ClusterError::InvalidParameter("eps must be positive"));
+    }
+    if min_pts == 0 {
+        return Err(ClusterError::InvalidParameter("min_pts must be >= 1"));
+    }
+
+    let n = dist.len();
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut label = vec![UNVISITED; n];
+    let mut n_clusters = 0usize;
+
+    for p in 0..n {
+        if label[p] != UNVISITED {
+            continue;
+        }
+        let neighbours = dist.neighbours_within(p, eps);
+        if neighbours.len() + 1 < min_pts {
+            label[p] = NOISE;
+            continue;
+        }
+        // p is a core point: start a new cluster and expand it.
+        let cluster = n_clusters;
+        n_clusters += 1;
+        label[p] = cluster;
+        let mut frontier = neighbours;
+        let mut i = 0usize;
+        while i < frontier.len() {
+            let q = frontier[i];
+            i += 1;
+            if label[q] == NOISE {
+                label[q] = cluster; // border point reached by density
+                continue;
+            }
+            if label[q] != UNVISITED {
+                continue;
+            }
+            label[q] = cluster;
+            let q_neighbours = dist.neighbours_within(q, eps);
+            if q_neighbours.len() + 1 >= min_pts {
+                // q is also core: its neighbourhood joins the frontier.
+                frontier.extend(q_neighbours);
+            }
+        }
+    }
+
+    let labels = label
+        .into_iter()
+        .map(|l| (l < NOISE).then_some(l))
+        .collect();
+    Ok(DbscanResult { labels, n_clusters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{pairwise, EuclideanDistance};
+    use proptest::prelude::*;
+
+    fn cluster_points(pts: &[Vec<f32>], eps: f32, min_pts: usize) -> DbscanResult {
+        let m = pairwise(pts, &EuclideanDistance);
+        dbscan(&m, eps, min_pts).unwrap()
+    }
+
+    #[test]
+    fn two_blobs_and_noise() {
+        let pts = vec![
+            // Blob A around (0, 0).
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            // Blob B around (10, 10).
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+            // Outlier.
+            vec![5.0, 5.0],
+        ];
+        let r = cluster_points(&pts, 0.5, 2);
+        assert_eq!(r.n_clusters, 2);
+        assert_eq!(r.labels[0], r.labels[1]);
+        assert_eq!(r.labels[1], r.labels[2]);
+        assert_eq!(r.labels[3], r.labels[4]);
+        assert_ne!(r.labels[0], r.labels[3]);
+        assert_eq!(r.labels[6], None);
+        assert_eq!(r.noise(), vec![6]);
+    }
+
+    #[test]
+    fn all_noise_when_eps_tiny() {
+        let pts: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32 * 10.0]).collect();
+        let r = cluster_points(&pts, 0.001, 2);
+        assert_eq!(r.n_clusters, 0);
+        assert!(r.labels.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn single_cluster_when_eps_huge() {
+        let pts: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32]).collect();
+        let r = cluster_points(&pts, 100.0, 2);
+        assert_eq!(r.n_clusters, 1);
+        assert!(r.labels.iter().all(|l| *l == Some(0)));
+    }
+
+    #[test]
+    fn chain_is_density_connected() {
+        // Points spaced 1 apart: each reaches the next, whole chain = 1 cluster.
+        let pts: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let r = cluster_points(&pts, 1.1, 2);
+        assert_eq!(r.n_clusters, 1);
+    }
+
+    #[test]
+    fn border_point_joins_cluster() {
+        // Dense core of 3 plus a border point only reachable from the edge.
+        let pts = vec![vec![0.0], vec![0.1], vec![0.2], vec![1.0]];
+        let r = cluster_points(&pts, 0.9, 3);
+        assert_eq!(r.n_clusters, 1);
+        assert_eq!(r.labels[3], Some(0), "border point should join");
+    }
+
+    #[test]
+    fn min_pts_one_makes_every_point_core() {
+        let pts = vec![vec![0.0], vec![100.0]];
+        let r = cluster_points(&pts, 1.0, 1);
+        assert_eq!(r.n_clusters, 2);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let pts = vec![vec![0.0]];
+        let m = pairwise(&pts, &EuclideanDistance);
+        assert!(dbscan(&m, 0.0, 2).is_err());
+        assert!(dbscan(&m, -1.0, 2).is_err());
+        assert!(dbscan(&m, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn members_lists_cluster() {
+        let pts = vec![vec![0.0], vec![0.1], vec![9.0]];
+        let r = cluster_points(&pts, 0.5, 2);
+        assert_eq!(r.members(0), vec![0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_labels_cover_all_points(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(-10.0f32..10.0, 2), 1..25),
+            eps in 0.1f32..5.0,
+            min_pts in 1usize..5,
+        ) {
+            let r = cluster_points(&pts, eps, min_pts);
+            prop_assert_eq!(r.labels.len(), pts.len());
+            // Every assigned label is < n_clusters.
+            for l in r.labels.iter().flatten() {
+                prop_assert!(*l < r.n_clusters);
+            }
+            // Every cluster id is used at least once.
+            for c in 0..r.n_clusters {
+                prop_assert!(!r.members(c).is_empty());
+            }
+        }
+
+        #[test]
+        fn prop_core_points_never_noise(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(-3.0f32..3.0, 2), 2..20),
+            eps in 0.5f32..3.0,
+        ) {
+            let min_pts = 3usize;
+            let m = pairwise(&pts, &EuclideanDistance);
+            let r = dbscan(&m, eps, min_pts).unwrap();
+            for p in 0..pts.len() {
+                if m.neighbours_within(p, eps).len() + 1 >= min_pts {
+                    prop_assert!(r.labels[p].is_some(), "core point {} marked noise", p);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Distance metrics and the condensed pairwise distance matrix.
+
+use soulmate_linalg::{cosine, euclidean};
+
+/// A dissimilarity between two points. Implementations must be symmetric
+/// and non-negative with `d(x, x) = 0`.
+pub trait Distance {
+    /// Distance between two equal-dimension points.
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32;
+}
+
+/// Euclidean distance (Eq. 14 of the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EuclideanDistance;
+
+impl Distance for EuclideanDistance {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        euclidean(a, b)
+    }
+}
+
+/// Cosine distance `1 - cos(a, b)`, in `[0, 2]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CosineDistance;
+
+impl Distance for CosineDistance {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        1.0 - cosine(a, b)
+    }
+}
+
+/// Symmetric pairwise distance matrix in condensed (upper-triangular)
+/// storage: `n*(n-1)/2` floats instead of `n²`.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    condensed: Vec<f32>,
+}
+
+impl DistanceMatrix {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Condensed index of the unordered pair `(i, j)`, `i != j`.
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        // Offset of row `lo` in the condensed triangle plus column offset.
+        lo * self.n - lo * (lo + 1) / 2 + (hi - lo - 1)
+    }
+
+    /// Distance between points `i` and `j` (`0.0` when `i == j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        if i == j {
+            return 0.0;
+        }
+        self.condensed[self.index(i, j)]
+    }
+
+    /// Overwrite the distance of the pair `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, d: f32) {
+        if i != j {
+            let idx = self.index(i, j);
+            self.condensed[idx] = d;
+        }
+    }
+
+    /// Build directly from a condensed buffer (row-major upper triangle).
+    pub fn from_condensed(n: usize, condensed: Vec<f32>) -> Option<Self> {
+        (condensed.len() == n * (n - 1) / 2).then_some(DistanceMatrix { n, condensed })
+    }
+
+    /// All indices within distance `eps` of point `i` (excluding `i`).
+    pub fn neighbours_within(&self, i: usize, eps: f32) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&j| j != i && self.get(i, j) <= eps)
+            .collect()
+    }
+}
+
+/// Compute the full pairwise distance matrix of `points` under `metric`.
+pub fn pairwise<D: Distance>(points: &[impl AsRef<[f32]>], metric: &D) -> DistanceMatrix {
+    let n = points.len();
+    let mut condensed = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for i in 0..n {
+        let a = points[i].as_ref();
+        for b in points.iter().skip(i + 1) {
+            condensed.push(metric.distance(a, b.as_ref()));
+        }
+    }
+    DistanceMatrix { n, condensed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn euclidean_metric() {
+        let d = EuclideanDistance;
+        assert_eq!(d.distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn cosine_metric_range() {
+        let d = CosineDistance;
+        assert!((d.distance(&[1.0, 0.0], &[1.0, 0.0])).abs() < 1e-6);
+        assert!((d.distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pairwise_symmetric_lookup() {
+        let pts = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![6.0, 8.0]];
+        let m = pairwise(&pts, &EuclideanDistance);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 2), 10.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn neighbours_within_radius() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]];
+        let m = pairwise(&pts, &EuclideanDistance);
+        assert_eq!(m.neighbours_within(1, 1.0), vec![0, 2]);
+        assert_eq!(m.neighbours_within(3, 1.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn set_overwrites_pair() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let mut m = pairwise(&pts, &EuclideanDistance);
+        m.set(0, 1, 9.0);
+        assert_eq!(m.get(1, 0), 9.0);
+    }
+
+    #[test]
+    fn from_condensed_validates_length() {
+        assert!(DistanceMatrix::from_condensed(3, vec![1.0, 2.0, 3.0]).is_some());
+        assert!(DistanceMatrix::from_condensed(3, vec![1.0]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pairwise_matches_metric(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(-5.0f32..5.0, 3), 2..10),
+        ) {
+            let m = pairwise(&pts, &EuclideanDistance);
+            for i in 0..pts.len() {
+                for j in 0..pts.len() {
+                    let expect = if i == j { 0.0 } else { euclidean(&pts[i], &pts[j]) };
+                    prop_assert!((m.get(i, j) - expect).abs() < 1e-5);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Error type for clustering.
+
+use std::fmt;
+
+/// Errors raised by clustering routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Requested more clusters than points.
+    TooManyClusters { k: usize, n: usize },
+    /// The input point set was empty.
+    EmptyInput,
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::TooManyClusters { k, n } => {
+                write!(f, "cannot form {k} clusters from {n} points")
+            }
+            ClusterError::EmptyInput => write!(f, "input point set is empty"),
+            ClusterError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

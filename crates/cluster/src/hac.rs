@@ -1,0 +1,367 @@
+//! Bottom-up Hierarchical Agglomerative Clustering with dendrogram output.
+//!
+//! The paper uses HAC with *complete linkage* to bundle similar temporal
+//! splits into slabs (Section 4.1.1): "the bottom-up Hierarchical
+//! Agglomerative Clustering (HAC via complete linkage) can bundle similar
+//! temporal splits in each latent temporal facet to shape the final
+//! temporal slabs". The dendrogram is exactly what Figs 3 and 5 plot; the
+//! threshold *cut* yields Tables 3 and 4.
+//!
+//! Sizes here are tiny (7 day splits, 24 hour splits, dozens of concept
+//! clusters), so the implementation favours clarity: clusters are merged by
+//! directly recomputing linkage distances from the original matrix.
+
+use crate::distance::DistanceMatrix;
+use crate::error::ClusterError;
+
+/// Inter-cluster distance definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chains clusters).
+    Single,
+    /// Maximum pairwise distance — the paper's choice for temporal slabs.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// One agglomeration step: clusters `left` and `right` merged at `height`.
+///
+/// Cluster ids follow the scipy convention: leaves are `0..n`, the cluster
+/// created by merge `i` has id `n + i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// Id of the first merged cluster.
+    pub left: usize,
+    /// Id of the second merged cluster.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub height: f32,
+}
+
+/// A full agglomeration history over `n` points.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Agglomerate all points of `dist` under `linkage`.
+    ///
+    /// # Errors
+    /// [`ClusterError::EmptyInput`] when the matrix covers no points.
+    pub fn build(dist: &DistanceMatrix, linkage: Linkage) -> Result<Self, ClusterError> {
+        let n = dist.len();
+        if n == 0 {
+            return Err(ClusterError::EmptyInput);
+        }
+        // Active clusters: (cluster id, member point indices).
+        let mut active: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+        let mut merges = Vec::with_capacity(n.saturating_sub(1));
+        let mut next_id = n;
+
+        while active.len() > 1 {
+            // Find the closest active pair under the linkage.
+            let mut best: Option<(usize, usize, f32)> = None;
+            for i in 0..active.len() {
+                for j in (i + 1)..active.len() {
+                    let d = linkage_distance(dist, &active[i].1, &active[j].1, linkage);
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
+                        best = Some((i, j, d));
+                    }
+                }
+            }
+            let (i, j, height) = best.expect("at least two active clusters");
+            // j > i, so removing j first leaves index i pointing at the
+            // same cluster (swap_remove moves only the last element).
+            let (right_id, right_members) = active.swap_remove(j);
+            let (left_id, mut left_members) = active.swap_remove(i);
+            left_members.extend(right_members);
+            merges.push(Merge {
+                left: left_id,
+                right: right_id,
+                height,
+            });
+            active.push((next_id, left_members));
+            next_id += 1;
+        }
+
+        Ok(Dendrogram { n, merges })
+    }
+
+    /// Number of leaf points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the dendrogram covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The agglomeration steps in merge order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cut the dendrogram: apply every merge with `height <= threshold` and
+    /// return the resulting clusters as sorted member lists, ordered by
+    /// their smallest member.
+    pub fn cut(&self, threshold: f32) -> Vec<Vec<usize>> {
+        let mut parent: Vec<usize> = (0..self.n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        // Map cluster id -> representative point for merged clusters.
+        let mut rep: Vec<Option<usize>> = (0..self.n + self.merges.len())
+            .map(|id| (id < self.n).then_some(id))
+            .collect();
+        for (step, m) in self.merges.iter().enumerate() {
+            let id = self.n + step;
+            let lrep = rep[m.left].expect("left cluster exists");
+            let rrep = rep[m.right].expect("right cluster exists");
+            if m.height <= threshold {
+                let lr = find(&mut parent, lrep);
+                let rr = find(&mut parent, rrep);
+                parent[lr] = rr;
+            }
+            // The new cluster's representative is the left one regardless:
+            // later merges refer to this id even if the cut skipped it.
+            rep[id] = Some(lrep);
+        }
+        let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for p in 0..self.n {
+            let r = find(&mut parent, p);
+            groups.entry(r).or_default().push(p);
+        }
+        let mut clusters: Vec<Vec<usize>> = groups.into_values().collect();
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        clusters.sort_by_key(|c| c[0]);
+        clusters
+    }
+
+    /// Cut into exactly `k` clusters (or `n` singletons if `k >= n`), by
+    /// undoing the last `k - 1` merges.
+    pub fn cut_into(&self, k: usize) -> Vec<Vec<usize>> {
+        if k == 0 || k >= self.n {
+            return (0..self.n).map(|i| vec![i]).collect();
+        }
+        // Applying the first n-k merges yields exactly k clusters; use the
+        // height of the (n-k)-th merge as the threshold, but cut by merge
+        // count to be robust to ties.
+        let applied = self.n - k;
+        let mut parent: Vec<usize> = (0..self.n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let mut rep: Vec<Option<usize>> = (0..self.n + self.merges.len())
+            .map(|id| (id < self.n).then_some(id))
+            .collect();
+        for (step, m) in self.merges.iter().enumerate() {
+            let id = self.n + step;
+            let lrep = rep[m.left].expect("left exists");
+            let rrep = rep[m.right].expect("right exists");
+            if step < applied {
+                let lr = find(&mut parent, lrep);
+                let rr = find(&mut parent, rrep);
+                parent[lr] = rr;
+            }
+            rep[id] = Some(lrep);
+        }
+        let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for p in 0..self.n {
+            let r = find(&mut parent, p);
+            groups.entry(r).or_default().push(p);
+        }
+        let mut clusters: Vec<Vec<usize>> = groups.into_values().collect();
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        clusters.sort_by_key(|c| c[0]);
+        clusters
+    }
+}
+
+/// Linkage distance between two member sets.
+fn linkage_distance(dist: &DistanceMatrix, a: &[usize], b: &[usize], linkage: Linkage) -> f32 {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    let mut sum = 0.0f32;
+    for &i in a {
+        for &j in b {
+            let d = dist.get(i, j);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+        }
+    }
+    match linkage {
+        Linkage::Single => min,
+        Linkage::Complete => max,
+        Linkage::Average => sum / (a.len() * b.len()) as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{pairwise, EuclideanDistance};
+    use proptest::prelude::*;
+
+    fn line_points(xs: &[f32]) -> Vec<Vec<f32>> {
+        xs.iter().map(|&x| vec![x]).collect()
+    }
+
+    #[test]
+    fn merges_count_is_n_minus_one() {
+        let pts = line_points(&[0.0, 1.0, 5.0, 6.0]);
+        let m = pairwise(&pts, &EuclideanDistance);
+        let d = Dendrogram::build(&m, Linkage::Complete).unwrap();
+        assert_eq!(d.merges().len(), 3);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn complete_linkage_two_pairs() {
+        let pts = line_points(&[0.0, 1.0, 10.0, 11.0]);
+        let m = pairwise(&pts, &EuclideanDistance);
+        let d = Dendrogram::build(&m, Linkage::Complete).unwrap();
+        let clusters = d.cut(2.0);
+        assert_eq!(clusters, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn cut_at_zero_gives_singletons() {
+        let pts = line_points(&[0.0, 3.0, 9.0]);
+        let m = pairwise(&pts, &EuclideanDistance);
+        let d = Dendrogram::build(&m, Linkage::Complete).unwrap();
+        let clusters = d.cut(-1.0);
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn cut_at_infinity_gives_one_cluster() {
+        let pts = line_points(&[0.0, 3.0, 9.0]);
+        let m = pairwise(&pts, &EuclideanDistance);
+        let d = Dendrogram::build(&m, Linkage::Complete).unwrap();
+        let clusters = d.cut(f32::INFINITY);
+        assert_eq!(clusters, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn single_vs_complete_on_a_chain() {
+        // A chain 0-1-2-3 each 1 apart: single linkage merges the whole
+        // chain below height 1.5; complete linkage cannot.
+        let pts = line_points(&[0.0, 1.0, 2.0, 3.0]);
+        let m = pairwise(&pts, &EuclideanDistance);
+        let single = Dendrogram::build(&m, Linkage::Single).unwrap();
+        let complete = Dendrogram::build(&m, Linkage::Complete).unwrap();
+        assert_eq!(single.cut(1.5).len(), 1);
+        assert!(complete.cut(1.5).len() > 1);
+    }
+
+    #[test]
+    fn average_linkage_between_extremes() {
+        let pts = line_points(&[0.0, 1.0, 2.0, 3.0]);
+        let m = pairwise(&pts, &EuclideanDistance);
+        let avg = Dendrogram::build(&m, Linkage::Average).unwrap();
+        let last = avg.merges().last().unwrap().height;
+        let single_last = Dendrogram::build(&m, Linkage::Single)
+            .unwrap()
+            .merges()
+            .last()
+            .unwrap()
+            .height;
+        let complete_last = Dendrogram::build(&m, Linkage::Complete)
+            .unwrap()
+            .merges()
+            .last()
+            .unwrap()
+            .height;
+        assert!(single_last <= last && last <= complete_last);
+    }
+
+    #[test]
+    fn cut_into_exact_k() {
+        let pts = line_points(&[0.0, 1.0, 10.0, 11.0, 20.0]);
+        let m = pairwise(&pts, &EuclideanDistance);
+        let d = Dendrogram::build(&m, Linkage::Complete).unwrap();
+        assert_eq!(d.cut_into(3), vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert_eq!(d.cut_into(5).len(), 5);
+        assert_eq!(d.cut_into(1).len(), 1);
+        assert_eq!(d.cut_into(99).len(), 5);
+    }
+
+    #[test]
+    fn single_point_dendrogram() {
+        let pts = line_points(&[42.0]);
+        let m = pairwise(&pts, &EuclideanDistance);
+        let d = Dendrogram::build(&m, Linkage::Complete).unwrap();
+        assert!(d.merges().is_empty());
+        assert_eq!(d.cut(1.0), vec![vec![0]]);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let m = pairwise(&Vec::<Vec<f32>>::new(), &EuclideanDistance);
+        assert!(matches!(
+            Dendrogram::build(&m, Linkage::Complete),
+            Err(ClusterError::EmptyInput)
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cut_partitions_points(
+            xs in proptest::collection::vec(-50.0f32..50.0, 1..12),
+            threshold in 0.0f32..100.0,
+        ) {
+            let pts = line_points(&xs);
+            let m = pairwise(&pts, &EuclideanDistance);
+            let d = Dendrogram::build(&m, Linkage::Complete).unwrap();
+            let clusters = d.cut(threshold);
+            let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..xs.len()).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_monotone_threshold_coarsens(
+            xs in proptest::collection::vec(-50.0f32..50.0, 2..10),
+            t1 in 0.0f32..50.0,
+            t2 in 0.0f32..50.0,
+        ) {
+            let (lo, hi) = if t1 < t2 { (t1, t2) } else { (t2, t1) };
+            let pts = line_points(&xs);
+            let m = pairwise(&pts, &EuclideanDistance);
+            let d = Dendrogram::build(&m, Linkage::Complete).unwrap();
+            prop_assert!(d.cut(hi).len() <= d.cut(lo).len());
+        }
+
+        #[test]
+        fn prop_single_linkage_merge_heights_nondecreasing(
+            xs in proptest::collection::vec(-50.0f32..50.0, 2..10),
+        ) {
+            // Single linkage is provably monotone (no inversions).
+            let pts = line_points(&xs);
+            let m = pairwise(&pts, &EuclideanDistance);
+            let d = Dendrogram::build(&m, Linkage::Single).unwrap();
+            for w in d.merges().windows(2) {
+                prop_assert!(w[0].height <= w[1].height + 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! K-medoids clustering via PAM (Partitioning Around Medoids).
+//!
+//! The paper pairs K-medoids with DBSCAN because it "discovers the
+//! outliers, that have been cast-out by the DB-Scan algorithm" — every
+//! point gets a cluster. This is the classic BUILD + SWAP PAM of Kaufman &
+//! Rousseeuw, deterministic given the distance matrix (BUILD is greedy, no
+//! random initialization), with a bounded number of SWAP passes.
+
+use crate::distance::DistanceMatrix;
+use crate::error::ClusterError;
+
+/// Outcome of a K-medoids run.
+#[derive(Debug, Clone)]
+pub struct KMedoidsResult {
+    /// Point indices chosen as medoids, one per cluster.
+    pub medoids: Vec<usize>,
+    /// Cluster id per point (index into `medoids`).
+    pub labels: Vec<usize>,
+    /// Total distance of points to their medoid (the PAM objective).
+    pub cost: f32,
+}
+
+impl KMedoidsResult {
+    /// Members of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == c).then_some(i))
+            .collect()
+    }
+}
+
+/// Run PAM K-medoids.
+///
+/// `max_swaps` bounds the SWAP phase iterations (each pass is O(k·n²));
+/// 50 is far more than the handful PAM needs to converge on these sizes.
+///
+/// # Errors
+/// [`ClusterError::TooManyClusters`] when `k > n` or `k == 0`;
+/// [`ClusterError::EmptyInput`] for an empty matrix.
+pub fn kmedoids(
+    dist: &DistanceMatrix,
+    k: usize,
+    max_swaps: usize,
+) -> Result<KMedoidsResult, ClusterError> {
+    let n = dist.len();
+    if n == 0 {
+        return Err(ClusterError::EmptyInput);
+    }
+    if k == 0 || k > n {
+        return Err(ClusterError::TooManyClusters { k, n });
+    }
+
+    // ---- BUILD: greedily pick medoids that most reduce total cost. ----
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    // First medoid: the point minimizing total distance to all others.
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f32 = (0..n).map(|j| dist.get(a, j)).sum();
+            let cb: f32 = (0..n).map(|j| dist.get(b, j)).sum();
+            ca.partial_cmp(&cb).unwrap()
+        })
+        .expect("n > 0");
+    medoids.push(first);
+
+    // nearest[i] = distance from i to its closest chosen medoid.
+    let mut nearest: Vec<f32> = (0..n).map(|i| dist.get(i, first)).collect();
+    while medoids.len() < k {
+        // Pick the candidate with the largest total cost reduction.
+        let mut best: Option<(usize, f32)> = None;
+        for c in 0..n {
+            if medoids.contains(&c) {
+                continue;
+            }
+            let gain: f32 = (0..n)
+                .map(|i| (nearest[i] - dist.get(i, c)).max(0.0))
+                .sum();
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((c, gain));
+            }
+        }
+        let (chosen, _) = best.expect("k <= n leaves candidates");
+        medoids.push(chosen);
+        for i in 0..n {
+            nearest[i] = nearest[i].min(dist.get(i, chosen));
+        }
+    }
+
+    // ---- SWAP: steepest-descent medoid replacement. ----
+    //
+    // The classical delta formulation: with each point's nearest and
+    // second-nearest medoid distances cached, the cost change of swapping
+    // medoid `m` for candidate `c` is a single O(n) accumulation, so a
+    // full pass is O(k·(n−k)·n) instead of the naive O(k²·n²) of
+    // recomputing the objective per trial swap.
+    let mut is_medoid = vec![false; n];
+    for &m in &medoids {
+        is_medoid[m] = true;
+    }
+    let (mut nearest_d, mut nearest_m, mut second_d) = nearest_two(dist, &medoids);
+    for _ in 0..max_swaps {
+        let mut best_swap: Option<(usize, usize, f32)> = None; // (medoid idx, candidate, delta)
+        for c in 0..n {
+            if is_medoid[c] {
+                continue;
+            }
+            // Accumulate the swap delta for removing each medoid, sharing
+            // the per-point d(j, c) computation across all k removals.
+            let mut removal_delta = vec![0.0f32; medoids.len()];
+            let mut gain_others = 0.0f32; // points whose nearest is kept
+            for j in 0..n {
+                let dc = dist.get(j, c);
+                let mi = nearest_m[j];
+                if dc < nearest_d[j] {
+                    // c becomes j's nearest regardless of which medoid
+                    // leaves; removing j's current nearest adds the same.
+                    gain_others += dc - nearest_d[j];
+                } else {
+                    // c only matters for the medoid j currently uses.
+                    removal_delta[mi] += dc.min(second_d[j]) - nearest_d[j];
+                }
+            }
+            for (mi, &rd) in removal_delta.iter().enumerate() {
+                let delta = gain_others + rd;
+                if delta < -1e-6 && best_swap.is_none_or(|(_, _, bd)| delta < bd) {
+                    best_swap = Some((mi, c, delta));
+                }
+            }
+        }
+        match best_swap {
+            Some((mi, c, _)) => {
+                is_medoid[medoids[mi]] = false;
+                is_medoid[c] = true;
+                medoids[mi] = c;
+                let refreshed = nearest_two(dist, &medoids);
+                nearest_d = refreshed.0;
+                nearest_m = refreshed.1;
+                second_d = refreshed.2;
+            }
+            None => break, // local optimum
+        }
+    }
+    // Recompute the objective exactly: the incremental deltas only steer
+    // the search, the reported cost must match the final assignment.
+    let cost = total_cost(dist, &medoids);
+
+    let labels = assign(dist, &medoids);
+    Ok(KMedoidsResult {
+        medoids,
+        labels,
+        cost,
+    })
+}
+
+/// Assign each point to its nearest medoid.
+fn assign(dist: &DistanceMatrix, medoids: &[usize]) -> Vec<usize> {
+    (0..dist.len())
+        .map(|i| {
+            medoids
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    dist.get(i, a).partial_cmp(&dist.get(i, b)).unwrap()
+                })
+                .map(|(c, _)| c)
+                .expect("at least one medoid")
+        })
+        .collect()
+}
+
+/// PAM objective: sum of distances to nearest medoid.
+fn total_cost(dist: &DistanceMatrix, medoids: &[usize]) -> f32 {
+    (0..dist.len())
+        .map(|i| {
+            medoids
+                .iter()
+                .map(|&m| dist.get(i, m))
+                .fold(f32::INFINITY, f32::min)
+        })
+        .sum()
+}
+
+/// Per point: (nearest medoid distance, nearest medoid *index into the
+/// medoid list*, second-nearest distance).
+fn nearest_two(dist: &DistanceMatrix, medoids: &[usize]) -> (Vec<f32>, Vec<usize>, Vec<f32>) {
+    let n = dist.len();
+    let mut nearest_d = vec![f32::INFINITY; n];
+    let mut nearest_m = vec![0usize; n];
+    let mut second_d = vec![f32::INFINITY; n];
+    for j in 0..n {
+        for (mi, &m) in medoids.iter().enumerate() {
+            let d = dist.get(j, m);
+            if d < nearest_d[j] {
+                second_d[j] = nearest_d[j];
+                nearest_d[j] = d;
+                nearest_m[j] = mi;
+            } else if d < second_d[j] {
+                second_d[j] = d;
+            }
+        }
+    }
+    (nearest_d, nearest_m, second_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{pairwise, EuclideanDistance};
+    use proptest::prelude::*;
+
+    fn run(pts: &[Vec<f32>], k: usize) -> KMedoidsResult {
+        let m = pairwise(pts, &EuclideanDistance);
+        kmedoids(&m, k, 50).unwrap()
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.0],
+            vec![0.0, 0.2],
+            vec![10.0, 10.0],
+            vec![10.2, 10.0],
+            vec![10.0, 10.2],
+        ];
+        let r = run(&pts, 2);
+        assert_eq!(r.medoids.len(), 2);
+        assert_eq!(r.labels[0], r.labels[1]);
+        assert_eq!(r.labels[1], r.labels[2]);
+        assert_eq!(r.labels[3], r.labels[4]);
+        assert_ne!(r.labels[0], r.labels[3]);
+    }
+
+    #[test]
+    fn every_point_is_assigned() {
+        let pts: Vec<Vec<f32>> = (0..9).map(|i| vec![i as f32]).collect();
+        let r = run(&pts, 3);
+        assert_eq!(r.labels.len(), 9);
+        for c in 0..3 {
+            assert!(!r.members(c).is_empty());
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_cost() {
+        let pts: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32 * 3.0]).collect();
+        let r = run(&pts, 4);
+        assert!(r.cost.abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_one_picks_the_1_median() {
+        // For points 0, 1, 10 on a line, the 1-median is point 1.
+        let pts = vec![vec![0.0], vec![1.0], vec![10.0]];
+        let r = run(&pts, 1);
+        assert_eq!(r.medoids, vec![1]);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let m = pairwise(&pts, &EuclideanDistance);
+        assert!(matches!(
+            kmedoids(&m, 0, 10),
+            Err(ClusterError::TooManyClusters { .. })
+        ));
+        assert!(matches!(
+            kmedoids(&m, 3, 10),
+            Err(ClusterError::TooManyClusters { .. })
+        ));
+    }
+
+    #[test]
+    fn outliers_still_get_clusters_unlike_dbscan() {
+        // The paper's motivation: the far outlier is still assigned.
+        let pts = vec![vec![0.0], vec![0.1], vec![0.2], vec![100.0]];
+        let r = run(&pts, 2);
+        assert_eq!(r.labels.len(), 4);
+        // Outlier forms (or belongs to) some cluster — never dropped.
+        assert!(r.labels[3] < 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_labels_point_to_nearest_medoid(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(-10.0f32..10.0, 2), 3..15),
+            k in 1usize..4,
+        ) {
+            prop_assume!(k <= pts.len());
+            let m = pairwise(&pts, &EuclideanDistance);
+            let r = kmedoids(&m, k, 50).unwrap();
+            for (i, &l) in r.labels.iter().enumerate() {
+                let d_assigned = m.get(i, r.medoids[l]);
+                for &mm in &r.medoids {
+                    prop_assert!(d_assigned <= m.get(i, mm) + 1e-5);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_medoids_label_themselves(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(-5.0f32..5.0, 2), 3..12),
+            k in 1usize..4,
+        ) {
+            prop_assume!(k <= pts.len());
+            let m = pairwise(&pts, &EuclideanDistance);
+            let r = kmedoids(&m, k, 50).unwrap();
+            // Distinct medoids.
+            let mut ms = r.medoids.clone();
+            ms.sort_unstable();
+            ms.dedup();
+            prop_assert_eq!(ms.len(), k);
+        }
+
+        #[test]
+        fn prop_cost_matches_labels(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(-5.0f32..5.0, 2), 2..12),
+        ) {
+            let m = pairwise(&pts, &EuclideanDistance);
+            let r = kmedoids(&m, 2.min(pts.len()), 50).unwrap();
+            let recomputed: f32 = r
+                .labels
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| m.get(i, r.medoids[l]))
+                .sum();
+            prop_assert!((recomputed - r.cost).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Clustering algorithms and quality indices for the SoulMate pipeline.
+//!
+//! The paper uses clustering in three places:
+//!
+//! * **HAC** (complete linkage) bundles similar temporal splits into slabs
+//!   (Section 4.1.1, Figs 3–5);
+//! * **DBSCAN** and **K-medoids** discover latent *concepts* from tweet
+//!   vectors (Section 4.1.4, Figs 9–10);
+//! * **Silhouette** and **Davies–Bouldin** select clustering thresholds
+//!   (Section 5.2.4).
+//!
+//! All algorithms work against a precomputed [`DistanceMatrix`] so the same
+//! O(n²) distance pass is shared, and every model is deterministic given a
+//! seeded RNG.
+
+// Index-based loops are used deliberately where two mirrored cells of a
+// symmetric matrix (or several parallel arrays) are written per step —
+// iterator rewrites obscure those invariants.
+#![allow(clippy::needless_range_loop)]
+
+pub mod dbscan;
+pub mod distance;
+pub mod error;
+pub mod hac;
+pub mod kmedoids;
+pub mod metrics;
+
+pub use dbscan::{dbscan, DbscanResult};
+pub use distance::{pairwise, CosineDistance, Distance, DistanceMatrix, EuclideanDistance};
+pub use error::ClusterError;
+pub use hac::{Dendrogram, Linkage, Merge};
+pub use kmedoids::{kmedoids, KMedoidsResult};
+pub use metrics::{davies_bouldin, silhouette_score};

@@ -1,0 +1,229 @@
+//! Cluster-quality indices: Silhouette score (Rousseeuw 1987) and the
+//! Davies–Bouldin index (1979), used in Section 5.2.4 to narrow the
+//! K-medoids `K` and DBSCAN `ε` threshold ranges (Fig. 9).
+
+use crate::distance::DistanceMatrix;
+
+/// Mean Silhouette coefficient over all *clustered* points.
+///
+/// `labels[i] = Some(c)` assigns point `i` to cluster `c`; `None` (DBSCAN
+/// noise) is excluded from the average, matching common practice. Returns
+/// `None` when fewer than 2 clusters have members or no point is clustered —
+/// the score is undefined there.
+///
+/// Higher is better; range `[-1, 1]`.
+pub fn silhouette_score(dist: &DistanceMatrix, labels: &[Option<usize>]) -> Option<f32> {
+    let n = dist.len();
+    debug_assert_eq!(n, labels.len(), "labels must cover all points");
+    let n_clusters = labels.iter().flatten().copied().max().map(|m| m + 1)?;
+    if n_clusters < 2 {
+        return None;
+    }
+    // Member lists per cluster.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_clusters];
+    for (i, l) in labels.iter().enumerate() {
+        if let Some(c) = l {
+            members[*c].push(i);
+        }
+    }
+    if members.iter().filter(|m| !m.is_empty()).count() < 2 {
+        return None;
+    }
+
+    let mut total = 0.0f32;
+    let mut counted = 0usize;
+    for (i, l) in labels.iter().enumerate() {
+        let Some(c) = l else { continue };
+        let own = &members[*c];
+        // Singleton clusters get silhouette 0 by convention.
+        if own.len() <= 1 {
+            counted += 1;
+            continue;
+        }
+        // a(i): mean intra-cluster distance (excluding self).
+        let a = own
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| dist.get(i, j))
+            .sum::<f32>()
+            / (own.len() - 1) as f32;
+        // b(i): minimum mean distance to another non-empty cluster.
+        let mut b = f32::INFINITY;
+        for (oc, other) in members.iter().enumerate() {
+            if oc == *c || other.is_empty() {
+                continue;
+            }
+            let mean = other.iter().map(|&j| dist.get(i, j)).sum::<f32>() / other.len() as f32;
+            b = b.min(mean);
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+        counted += 1;
+    }
+    (counted > 0).then(|| total / counted as f32)
+}
+
+/// Davies–Bouldin index over clustered points.
+///
+/// Needs the raw points (centroids are means, which a distance matrix
+/// cannot provide). `None`-labelled points are excluded. Returns `None`
+/// with fewer than 2 non-empty clusters.
+///
+/// Lower is better; `0` is the ideal.
+pub fn davies_bouldin(points: &[impl AsRef<[f32]>], labels: &[Option<usize>]) -> Option<f32> {
+    debug_assert_eq!(points.len(), labels.len());
+    let n_clusters = labels.iter().flatten().copied().max().map(|m| m + 1)?;
+    if n_clusters < 2 {
+        return None;
+    }
+    let dim = points.first()?.as_ref().len();
+
+    // Centroids and mean intra-cluster scatter.
+    let mut centroids = vec![vec![0.0f32; dim]; n_clusters];
+    let mut counts = vec![0usize; n_clusters];
+    for (p, l) in points.iter().zip(labels) {
+        if let Some(c) = l {
+            soulmate_linalg::add_assign(&mut centroids[*c], p.as_ref());
+            counts[*c] += 1;
+        }
+    }
+    let live: Vec<usize> = (0..n_clusters).filter(|&c| counts[c] > 0).collect();
+    if live.len() < 2 {
+        return None;
+    }
+    for &c in &live {
+        soulmate_linalg::scale(&mut centroids[c], 1.0 / counts[c] as f32);
+    }
+    let mut scatter = vec![0.0f32; n_clusters];
+    for (p, l) in points.iter().zip(labels) {
+        if let Some(c) = l {
+            scatter[*c] += soulmate_linalg::euclidean(p.as_ref(), &centroids[*c]);
+        }
+    }
+    for &c in &live {
+        scatter[c] /= counts[c] as f32;
+    }
+
+    // DB = mean over clusters of the worst (S_i + S_j) / d(c_i, c_j).
+    let mut total = 0.0f32;
+    for &i in &live {
+        let mut worst = 0.0f32;
+        for &j in &live {
+            if i == j {
+                continue;
+            }
+            let sep = soulmate_linalg::euclidean(&centroids[i], &centroids[j]);
+            if sep > 0.0 {
+                worst = worst.max((scatter[i] + scatter[j]) / sep);
+            }
+        }
+        total += worst;
+    }
+    Some(total / live.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{pairwise, EuclideanDistance};
+
+    fn blobs() -> (Vec<Vec<f32>>, Vec<Option<usize>>) {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![0.0, 0.2],
+            vec![10.0, 10.0],
+            vec![10.1, 10.1],
+            vec![10.0, 10.2],
+        ];
+        let labels = vec![Some(0), Some(0), Some(0), Some(1), Some(1), Some(1)];
+        (pts, labels)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let (pts, labels) = blobs();
+        let m = pairwise(&pts, &EuclideanDistance);
+        let s = silhouette_score(&m, &labels).unwrap();
+        assert!(s > 0.9, "separated blobs should score near 1, got {s}");
+    }
+
+    #[test]
+    fn silhouette_low_for_bad_assignment() {
+        let (pts, _) = blobs();
+        // Deliberately mix the blobs.
+        let bad = vec![Some(0), Some(1), Some(0), Some(1), Some(0), Some(1)];
+        let m = pairwise(&pts, &EuclideanDistance);
+        let s = silhouette_score(&m, &bad).unwrap();
+        assert!(s < 0.0, "mixed assignment should score negative, got {s}");
+    }
+
+    #[test]
+    fn silhouette_undefined_for_single_cluster() {
+        let (pts, _) = blobs();
+        let one = vec![Some(0); 6];
+        let m = pairwise(&pts, &EuclideanDistance);
+        assert_eq!(silhouette_score(&m, &one), None);
+    }
+
+    #[test]
+    fn silhouette_ignores_noise() {
+        let (pts, mut labels) = blobs();
+        labels[0] = None;
+        let m = pairwise(&pts, &EuclideanDistance);
+        let s = silhouette_score(&m, &labels).unwrap();
+        assert!(s > 0.9);
+    }
+
+    #[test]
+    fn silhouette_all_noise_is_none() {
+        let (pts, _) = blobs();
+        let m = pairwise(&pts, &EuclideanDistance);
+        assert_eq!(silhouette_score(&m, &[None; 6]), None);
+    }
+
+    #[test]
+    fn davies_bouldin_low_for_separated_blobs() {
+        let (pts, labels) = blobs();
+        let db = davies_bouldin(&pts, &labels).unwrap();
+        assert!(db < 0.1, "separated blobs should have tiny DB, got {db}");
+    }
+
+    #[test]
+    fn davies_bouldin_higher_for_overlapping_clusters() {
+        let pts = vec![
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![1.5],
+            vec![2.5],
+            vec![3.5],
+        ];
+        let labels = vec![Some(0), Some(0), Some(0), Some(1), Some(1), Some(1)];
+        let db = davies_bouldin(&pts, &labels).unwrap();
+        assert!(db > 0.5, "overlapping clusters should have high DB, got {db}");
+    }
+
+    #[test]
+    fn davies_bouldin_undefined_for_single_cluster() {
+        let (pts, _) = blobs();
+        assert_eq!(davies_bouldin(&pts, &[Some(0); 6]), None);
+    }
+
+    #[test]
+    fn indices_agree_on_better_clustering() {
+        // Good vs bad assignment on the same data: silhouette should be
+        // higher and DB lower for the good one.
+        let (pts, good) = blobs();
+        let bad = vec![Some(0), Some(1), Some(0), Some(1), Some(0), Some(1)];
+        let m = pairwise(&pts, &EuclideanDistance);
+        let s_good = silhouette_score(&m, &good).unwrap();
+        let s_bad = silhouette_score(&m, &bad).unwrap();
+        let db_good = davies_bouldin(&pts, &good).unwrap();
+        let db_bad = davies_bouldin(&pts, &bad).unwrap();
+        assert!(s_good > s_bad);
+        assert!(db_good < db_bad);
+    }
+}

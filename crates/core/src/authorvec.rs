@@ -1,0 +1,217 @@
+//! Author content and concept vectors (Section 4.1.5, Eq 16, Fig 7).
+
+use crate::tweetvec::Combiner;
+use soulmate_linalg::Matrix;
+
+/// How an author's tweet vectors aggregate into the author content vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthorCombiner {
+    /// Element-wise sum (Eq 16).
+    Sum,
+    /// Element-wise average (Eq 16).
+    Avg,
+    /// The paper's K-Fold statistical aggregation (Fig 7): per dimension,
+    /// tweet-vector values (L2-normalized into `[-1, 1]`) are histogrammed
+    /// into `bins` equal bins over `[-1, 1]`; the author takes the
+    /// midpoint of the majority bin, with ties averaging the tied bins'
+    /// midpoints (the paper's "linked list" of equal bins).
+    KFold {
+        /// Number of histogram bins (`ς`, paper default 10).
+        bins: usize,
+    },
+}
+
+/// Aggregate per-author tweet vectors into author content vectors.
+///
+/// `tweet_author[i]` gives the author of tweet `i` (row `i` of
+/// `tweet_vecs`); authors with no tweets get zero vectors.
+pub fn author_content_vectors(
+    tweet_vecs: &Matrix,
+    tweet_author: &[u32],
+    n_authors: usize,
+    combiner: AuthorCombiner,
+) -> Matrix {
+    debug_assert_eq!(tweet_vecs.rows(), tweet_author.len());
+    let dim = tweet_vecs.cols();
+    // Group tweet row indices by author.
+    let mut by_author: Vec<Vec<usize>> = vec![Vec::new(); n_authors];
+    for (i, &a) in tweet_author.iter().enumerate() {
+        if (a as usize) < n_authors {
+            by_author[a as usize].push(i);
+        }
+    }
+
+    let mut out = Matrix::zeros(n_authors, dim);
+    for (a, rows) in by_author.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let v = match combiner {
+            AuthorCombiner::Sum => {
+                Combiner::Sum.combine(rows.iter().map(|&i| tweet_vecs.row(i)), dim)
+            }
+            AuthorCombiner::Avg => {
+                Combiner::Avg.combine(rows.iter().map(|&i| tweet_vecs.row(i)), dim)
+            }
+            AuthorCombiner::KFold { bins } => {
+                kfold_vector(rows.iter().map(|&i| tweet_vecs.row(i)), dim, bins)
+            }
+        };
+        out.row_mut(a).copy_from_slice(&v);
+    }
+    out
+}
+
+/// The K-Fold aggregation of Fig 7 over one author's tweet vectors.
+fn kfold_vector<'a, I>(rows: I, dim: usize, bins: usize) -> Vec<f32>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    let bins = bins.max(1);
+    // Normalize each tweet vector to unit L2 so every component lies in
+    // [-1, 1] — the domain the paper's bins partition.
+    let normalized: Vec<Vec<f32>> = rows
+        .into_iter()
+        .map(|r| {
+            let mut v = r.to_vec();
+            soulmate_linalg::normalize(&mut v);
+            v
+        })
+        .collect();
+    if normalized.is_empty() {
+        return vec![0.0; dim];
+    }
+    let bin_width = 2.0 / bins as f32;
+    let mut counts = vec![0u32; bins];
+    let mut out = vec![0.0f32; dim];
+    for (d, o) in out.iter_mut().enumerate() {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for v in &normalized {
+            let x = v[d].clamp(-1.0, 1.0);
+            let mut b = ((x + 1.0) / bin_width) as usize;
+            if b >= bins {
+                b = bins - 1; // x == 1.0 lands in the last bin
+            }
+            counts[b] += 1;
+        }
+        let max = *counts.iter().max().expect("bins >= 1");
+        // Midpoints of all majority bins, averaged on ties.
+        let midpoints: Vec<f32> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == max)
+            .map(|(b, _)| -1.0 + (b as f32 + 0.5) * bin_width)
+            .collect();
+        *o = midpoints.iter().sum::<f32>() / midpoints.len() as f32;
+    }
+    out
+}
+
+/// Author concept vectors: the average of each author's tweet concept
+/// vectors (Section 4.2.1 uses averaging for the query author; the offline
+/// phase aggregates identically).
+pub fn author_concept_vectors(
+    tweet_concept_vecs: &Matrix,
+    tweet_author: &[u32],
+    n_authors: usize,
+) -> Matrix {
+    debug_assert_eq!(tweet_concept_vecs.rows(), tweet_author.len());
+    let dim = tweet_concept_vecs.cols();
+    let mut out = Matrix::zeros(n_authors, dim);
+    let mut counts = vec![0usize; n_authors];
+    for (i, &a) in tweet_author.iter().enumerate() {
+        if (a as usize) < n_authors {
+            soulmate_linalg::add_assign(out.row_mut(a as usize), tweet_concept_vecs.row(i));
+            counts[a as usize] += 1;
+        }
+    }
+    for (a, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            soulmate_linalg::scale(out.row_mut(a), 1.0 / c as f32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweets() -> (Matrix, Vec<u32>) {
+        // Author 0 owns rows 0,1; author 1 owns row 2; author 2 none.
+        let m = Matrix::from_rows(&[vec![1.0, 0.0], vec![3.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        (m, vec![0, 0, 1])
+    }
+
+    #[test]
+    fn sum_and_avg_aggregation() {
+        let (m, authors) = tweets();
+        let sum = author_content_vectors(&m, &authors, 3, AuthorCombiner::Sum);
+        assert_eq!(sum.row(0), &[4.0, 0.0]);
+        assert_eq!(sum.row(1), &[0.0, 2.0]);
+        assert_eq!(sum.row(2), &[0.0, 0.0]);
+        let avg = author_content_vectors(&m, &authors, 3, AuthorCombiner::Avg);
+        assert_eq!(avg.row(0), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn kfold_majority_bin() {
+        // Three tweets along +x, one along +y: dimension 0 of the
+        // normalized vectors is mostly 1.0 → majority bin is the last one,
+        // midpoint 0.9 with 10 bins.
+        let m = Matrix::from_rows(&[
+            vec![2.0, 0.0],
+            vec![5.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let authors = vec![0, 0, 0, 0];
+        let kf = author_content_vectors(&m, &authors, 1, AuthorCombiner::KFold { bins: 10 });
+        assert!((kf.get(0, 0) - 0.9).abs() < 1e-6, "got {}", kf.get(0, 0));
+    }
+
+    #[test]
+    fn kfold_tie_averages_midpoints() {
+        // Two tweets at +x, two at -x → bins -1.0..-0.8 and 0.8..1.0 tie;
+        // averaged midpoints = 0.
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![-3.0, 0.0],
+        ])
+        .unwrap();
+        let authors = vec![0, 0, 0, 0];
+        let kf = author_content_vectors(&m, &authors, 1, AuthorCombiner::KFold { bins: 10 });
+        assert!(kf.get(0, 0).abs() < 1e-6, "got {}", kf.get(0, 0));
+    }
+
+    #[test]
+    fn kfold_authorless_rows_zero() {
+        let (m, authors) = tweets();
+        let kf = author_content_vectors(&m, &authors, 3, AuthorCombiner::KFold { bins: 10 });
+        assert_eq!(kf.row(2), &[0.0, 0.0]);
+        // KFold values live in [-1, 1].
+        assert!(kf.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn concept_vector_averaging() {
+        let cv = Matrix::from_rows(&[vec![1.0, 3.0], vec![3.0, 1.0], vec![0.0, 8.0]]).unwrap();
+        let authors = vec![0, 0, 1];
+        let av = author_concept_vectors(&cv, &authors, 3);
+        assert_eq!(av.row(0), &[2.0, 2.0]);
+        assert_eq!(av.row(1), &[0.0, 8.0]);
+        assert_eq!(av.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn out_of_range_authors_ignored() {
+        let (m, _) = tweets();
+        let authors = vec![0, 9, 9];
+        let sum = author_content_vectors(&m, &authors, 2, AuthorCombiner::Sum);
+        assert_eq!(sum.row(0), &[1.0, 0.0]);
+        assert_eq!(sum.row(1), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,351 @@
+//! The author-similarity methods compared in Section 5.1.1 / Table 5.
+//!
+//! Three are SoulMate variants (concept / content / joint similarity
+//! matrices produced by the pipeline); four are the competitors:
+//!
+//! * **Temporal Collective** — collective (temporal) word vectors enrich
+//!   each author's contents with its top-ζ similar words, then TF-IDF
+//!   cosine compares the enriched contents;
+//! * **CBOW Enriched** — plain CBOW vectors enrich the contents, Jaccard
+//!   compares them;
+//! * **Document Vector** — TF-IDF cosine over the raw author contents;
+//! * **Exact Matching** — Jaccard over the raw author contents.
+
+use crate::error::CoreError;
+use crate::similarity::{fuse_similarities, standardize_offdiagonal};
+use soulmate_corpus::EncodedCorpus;
+use soulmate_embedding::Embedding;
+use soulmate_text::{jaccard, DocumentTfIdf, SimilarWords, WordId};
+use std::collections::HashMap;
+
+/// An author-similarity method (Section 5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// `SoulMate_Concept`: cosine over author concept vectors.
+    SoulMateConcept,
+    /// `SoulMate_Content`: cosine over author content vectors.
+    SoulMateContent,
+    /// `SoulMate_Joint`: α-fused concept+content similarities (Eq 17).
+    SoulMateJoint {
+        /// Concept impact ratio (paper optimum 0.6).
+        alpha: f32,
+    },
+    /// Temporal collective vectors + top-ζ enrichment + TF-IDF cosine.
+    TemporalCollective {
+        /// Enrichment depth.
+        zeta: usize,
+    },
+    /// Plain CBOW + top-ζ enrichment + Jaccard.
+    CbowEnriched {
+        /// Enrichment depth.
+        zeta: usize,
+    },
+    /// Raw TF-IDF cosine.
+    DocumentVector,
+    /// Raw Jaccard token overlap.
+    ExactMatching,
+}
+
+impl Method {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::SoulMateConcept => "SoulMate_Concept",
+            Method::SoulMateContent => "SoulMate_Content",
+            Method::SoulMateJoint { .. } => "SoulMate_Joint",
+            Method::TemporalCollective { .. } => "Temporal Collective",
+            Method::CbowEnriched { .. } => "CBOW Enriched",
+            Method::DocumentVector => "Document Vector",
+            Method::ExactMatching => "Exact Matching",
+        }
+    }
+}
+
+/// Everything a baseline may need, borrowed from a fitted pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineContext<'a> {
+    /// The encoded corpus.
+    pub corpus: &'a EncodedCorpus,
+    /// Temporal collective word vectors (`V^C`).
+    pub collective: &'a Embedding,
+    /// Plain (non-temporal) CBOW word vectors.
+    pub cbow: &'a Embedding,
+    /// `X^Content` from the pipeline.
+    pub x_content: &'a [Vec<f32>],
+    /// `X^Concept` from the pipeline.
+    pub x_concept: &'a [Vec<f32>],
+    /// Off-diagonal (mean, std) of `X^Concept` (fusion standardization).
+    pub concept_stats: (f32, f32),
+    /// Off-diagonal (mean, std) of `X^Content` (fusion standardization).
+    pub content_stats: (f32, f32),
+}
+
+/// Author documents are capped at this many tokens before enrichment so a
+/// hyper-active author cannot blow up the enriched TF-IDF to
+/// `tokens × (ζ+1)` unbounded (deterministic stride subsampling).
+const MAX_AUTHOR_TOKENS: usize = 3000;
+
+/// Compute the full author-similarity matrix for `method`.
+///
+/// # Errors
+/// Propagates fusion errors (bad α) via [`CoreError`].
+pub fn author_similarity(
+    ctx: &BaselineContext<'_>,
+    method: Method,
+) -> Result<Vec<Vec<f32>>, CoreError> {
+    match method {
+        Method::SoulMateConcept => Ok(ctx.x_concept.to_vec()),
+        Method::SoulMateContent => Ok(ctx.x_content.to_vec()),
+        Method::SoulMateJoint { alpha } => fuse_similarities(
+            &standardize_offdiagonal(ctx.x_concept, ctx.concept_stats.0, ctx.concept_stats.1),
+            &standardize_offdiagonal(ctx.x_content, ctx.content_stats.0, ctx.content_stats.1),
+            alpha,
+        ),
+        Method::TemporalCollective { zeta } => {
+            Ok(enriched_tfidf_similarity(ctx.corpus, ctx.collective, zeta))
+        }
+        Method::CbowEnriched { zeta } => {
+            Ok(enriched_jaccard_similarity(ctx.corpus, ctx.cbow, zeta))
+        }
+        Method::DocumentVector => Ok(document_vector_similarity(ctx.corpus)),
+        Method::ExactMatching => Ok(exact_matching_similarity(ctx.corpus)),
+    }
+}
+
+/// Cap an author document deterministically (every k-th token).
+fn cap_document(doc: &[WordId]) -> Vec<WordId> {
+    if doc.len() <= MAX_AUTHOR_TOKENS {
+        return doc.to_vec();
+    }
+    let stride = doc.len().div_ceil(MAX_AUTHOR_TOKENS);
+    doc.iter().step_by(stride).copied().collect()
+}
+
+/// Expand every token of every author document by its top-ζ neighbours,
+/// memoizing neighbourhoods per word.
+fn enrich_author_documents<S: SimilarWords>(
+    corpus: &EncodedCorpus,
+    provider: &S,
+    zeta: usize,
+) -> Vec<Vec<WordId>> {
+    let mut cache: HashMap<WordId, Vec<WordId>> = HashMap::new();
+    corpus
+        .author_documents()
+        .iter()
+        .map(|doc| {
+            let doc = cap_document(doc);
+            let mut out = Vec::with_capacity(doc.len() * (zeta + 1));
+            for &w in &doc {
+                out.push(w);
+                let neighbours = cache
+                    .entry(w)
+                    .or_insert_with(|| provider.top_similar(w, zeta));
+                out.extend_from_slice(neighbours);
+            }
+            out
+        })
+        .collect()
+}
+
+/// Temporal Collective baseline: enriched contents compared by TF-IDF
+/// cosine.
+pub fn enriched_tfidf_similarity(
+    corpus: &EncodedCorpus,
+    embedding: &Embedding,
+    zeta: usize,
+) -> Vec<Vec<f32>> {
+    let docs = enrich_author_documents(corpus, embedding, zeta);
+    tfidf_similarity(&docs, corpus.vocab.len())
+}
+
+/// CBOW Enriched baseline: enriched contents compared by Jaccard.
+pub fn enriched_jaccard_similarity(
+    corpus: &EncodedCorpus,
+    embedding: &Embedding,
+    zeta: usize,
+) -> Vec<Vec<f32>> {
+    let docs = enrich_author_documents(corpus, embedding, zeta);
+    jaccard_similarity(&docs)
+}
+
+/// Document Vector baseline: TF-IDF cosine over raw author contents.
+pub fn document_vector_similarity(corpus: &EncodedCorpus) -> Vec<Vec<f32>> {
+    let docs: Vec<Vec<WordId>> = corpus
+        .author_documents()
+        .iter()
+        .map(|d| cap_document(d))
+        .collect();
+    tfidf_similarity(&docs, corpus.vocab.len())
+}
+
+/// Exact Matching baseline: Jaccard over raw author contents.
+pub fn exact_matching_similarity(corpus: &EncodedCorpus) -> Vec<Vec<f32>> {
+    let docs: Vec<Vec<WordId>> = corpus
+        .author_documents()
+        .iter()
+        .map(|d| cap_document(d))
+        .collect();
+    jaccard_similarity(&docs)
+}
+
+fn tfidf_similarity(docs: &[Vec<WordId>], vocab_size: usize) -> Vec<Vec<f32>> {
+    let model = DocumentTfIdf::fit(docs.iter().map(Vec::as_slice), vocab_size);
+    let weighted: Vec<_> = docs.iter().map(|d| model.weigh(d)).collect();
+    let n = docs.len();
+    let mut sim = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        sim[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let s = weighted[i].cosine(&weighted[j]);
+            sim[i][j] = s;
+            sim[j][i] = s;
+        }
+    }
+    sim
+}
+
+fn jaccard_similarity(docs: &[Vec<WordId>]) -> Vec<Vec<f32>> {
+    let n = docs.len();
+    let mut sim = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        sim[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let s = jaccard(&docs[i], &docs[j]);
+            sim[i][j] = s;
+            sim[j][i] = s;
+        }
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soulmate_corpus::{generate, GeneratorConfig};
+    use soulmate_text::TokenizerConfig;
+
+    fn corpus() -> (soulmate_corpus::Dataset, EncodedCorpus) {
+        let d = generate(&GeneratorConfig {
+            n_authors: 12,
+            n_communities: 3,
+            n_concepts: 6,
+            entities_per_concept: 8,
+            mean_tweets_per_author: 25,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let enc = d.encode(&TokenizerConfig::default(), 2);
+        (d, enc)
+    }
+
+    /// Identity-neighbourhood embedding for enrichment tests.
+    fn flat_embedding(n: usize) -> Embedding {
+        // All distinct axis directions: no similar words at all.
+        let mut m = soulmate_linalg::Matrix::zeros(n, n.min(64));
+        for i in 0..n {
+            m.set(i, i % m.cols(), 1.0);
+        }
+        Embedding::from_matrix(m)
+    }
+
+    #[test]
+    fn exact_matching_same_community_scores_higher() {
+        let (d, enc) = corpus();
+        let sim = exact_matching_similarity(&enc);
+        // Authors 0 and 3 share community (12 authors, 3 communities →
+        // community = a % 3); 0 and 1 do not.
+        let same = sim[0][3];
+        let diff = sim[0][1];
+        assert!(
+            same > diff,
+            "community {} vs cross {} — planted structure missing",
+            same,
+            diff
+        );
+        let _ = d;
+    }
+
+    #[test]
+    fn similarity_matrices_are_well_formed() {
+        let (_, enc) = corpus();
+        for sim in [
+            exact_matching_similarity(&enc),
+            document_vector_similarity(&enc),
+        ] {
+            let n = sim.len();
+            assert_eq!(n, enc.n_authors);
+            for i in 0..n {
+                assert_eq!(sim[i][i], 1.0);
+                for j in 0..n {
+                    assert!((sim[i][j] - sim[j][i]).abs() < 1e-6);
+                    assert!((-1.0..=1.0 + 1e-6).contains(&sim[i][j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enrichment_with_flat_embedding_reduces_to_raw() {
+        let (_, enc) = corpus();
+        let flat = flat_embedding(enc.vocab.len());
+        // With zeta = 0, enrichment is the identity transform.
+        let enriched = enriched_jaccard_similarity(&enc, &flat, 0);
+        let raw = exact_matching_similarity(&enc);
+        for (er, rr) in enriched.iter().zip(&raw) {
+            for (a, b) in er.iter().zip(rr) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_covers_simple_methods() {
+        let (_, enc) = corpus();
+        let flat = flat_embedding(enc.vocab.len());
+        let x = vec![vec![1.0, 0.5], vec![0.5, 1.0]];
+        let ctx = BaselineContext {
+            corpus: &enc,
+            collective: &flat,
+            cbow: &flat,
+            x_content: &x,
+            x_concept: &x,
+            concept_stats: (0.0, 1.0),
+            content_stats: (0.0, 1.0),
+        };
+        assert_eq!(
+            author_similarity(&ctx, Method::SoulMateContent).unwrap(),
+            x
+        );
+        assert_eq!(
+            author_similarity(&ctx, Method::SoulMateConcept).unwrap(),
+            x
+        );
+        let joint = author_similarity(&ctx, Method::SoulMateJoint { alpha: 0.5 }).unwrap();
+        assert!((joint[0][1] - 0.5).abs() < 1e-6);
+        assert!(author_similarity(&ctx, Method::SoulMateJoint { alpha: 2.0 }).is_err());
+        assert_eq!(
+            author_similarity(&ctx, Method::ExactMatching).unwrap().len(),
+            enc.n_authors
+        );
+    }
+
+    #[test]
+    fn method_names_match_paper() {
+        assert_eq!(Method::SoulMateJoint { alpha: 0.6 }.name(), "SoulMate_Joint");
+        assert_eq!(
+            Method::TemporalCollective { zeta: 10 }.name(),
+            "Temporal Collective"
+        );
+        assert_eq!(Method::ExactMatching.name(), "Exact Matching");
+    }
+
+    #[test]
+    fn cap_document_bounds_and_preserves_short() {
+        let short: Vec<WordId> = (0..10).collect();
+        assert_eq!(cap_document(&short), short);
+        let long: Vec<WordId> = (0..10_000).collect();
+        let capped = cap_document(&long);
+        assert!(capped.len() <= MAX_AUTHOR_TOKENS);
+        assert!(capped.len() > MAX_AUTHOR_TOKENS / 2);
+    }
+}

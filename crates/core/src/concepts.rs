@@ -1,0 +1,405 @@
+//! Concept discovery by tweet-vector clustering (Section 4.1.4) and tweet
+//! concept vectors (Eq 15).
+//!
+//! "We need to dynamically discover the concepts that are shared among
+//! each group of tweets": DBSCAN finds the dense concept cores (casting
+//! out outliers), K-medoids covers everything. A tweet's *concept vector*
+//! lists its Euclidean distance to every concept centroid — small values
+//! mean strong affinity.
+//!
+//! Clustering is O(n²) in the number of points, so corpora beyond
+//! `max_sample` tweets are clustered on a deterministic subsample and the
+//! resulting centroids serve the full corpus — the concept space is what
+//! matters downstream, not per-tweet cluster membership.
+
+use crate::error::CoreError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use soulmate_cluster::{dbscan, kmedoids, pairwise, EuclideanDistance};
+use soulmate_linalg::{euclidean, Matrix};
+
+/// Which clustering model discovers the concepts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConceptModel {
+    /// K-medoids with `k` clusters (paper default `K = 22`).
+    KMedoids {
+        /// Number of medoids.
+        k: usize,
+    },
+    /// DBSCAN with radius `eps` (paper default `ε = 0.36`) and minimum
+    /// neighbourhood size `min_pts`.
+    Dbscan {
+        /// Neighbourhood radius.
+        eps: f32,
+        /// Core-point threshold (including the point itself).
+        min_pts: usize,
+    },
+}
+
+/// Concept discovery configuration.
+#[derive(Debug, Clone)]
+pub struct ConceptConfig {
+    /// The clustering model.
+    pub model: ConceptModel,
+    /// Cluster at most this many tweets (deterministic subsample above).
+    pub max_sample: usize,
+    /// Subsampling seed.
+    pub seed: u64,
+}
+
+impl Default for ConceptConfig {
+    fn default() -> Self {
+        ConceptConfig {
+            model: ConceptModel::KMedoids { k: 22 },
+            max_sample: 2000,
+            seed: 42,
+        }
+    }
+}
+
+/// The discovered concept space.
+#[derive(Debug, Clone)]
+pub struct ConceptSpace {
+    /// One centroid per concept, in tweet-vector space. When popularity
+    /// weighting is active, ordered by descending aggregate popularity
+    /// (the paper's future-work concept *nomination* order).
+    pub centroids: Vec<Vec<f32>>,
+    /// Cluster labels of the *sampled* points (diagnostics / quality
+    /// indices); `None` marks DBSCAN noise.
+    pub sample_labels: Vec<Option<usize>>,
+    /// Indices (into the original tweet list) of the sampled points.
+    pub sample_indices: Vec<usize>,
+    /// Aggregate sample weight per concept (uniform weights when no
+    /// popularity signal was provided), aligned with `centroids`.
+    pub concept_weights: Vec<f32>,
+}
+
+impl ConceptSpace {
+    /// Number of discovered concepts.
+    pub fn n_concepts(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Tweet concept vector (Eq 15): Euclidean distance from `tweet_vec`
+    /// to every concept centroid.
+    pub fn concept_vector(&self, tweet_vec: &[f32]) -> Vec<f32> {
+        self.centroids
+            .iter()
+            .map(|c| euclidean(tweet_vec, c))
+            .collect()
+    }
+
+    /// Concept vectors for all rows of a tweet-vector matrix.
+    pub fn concept_vectors(&self, tweet_vecs: &Matrix) -> Matrix {
+        let mut m = Matrix::zeros(tweet_vecs.rows(), self.n_concepts());
+        for i in 0..tweet_vecs.rows() {
+            let v = self.concept_vector(tweet_vecs.row(i));
+            m.row_mut(i).copy_from_slice(&v);
+        }
+        m
+    }
+}
+
+/// Cluster tweet vectors into a concept space (uniform tweet importance).
+///
+/// # Errors
+/// Propagates clustering failures ([`CoreError::Cluster`]); fails with
+/// [`CoreError::Invalid`] when no tweets are available or DBSCAN labels
+/// everything noise (no concepts discoverable at this ε).
+pub fn discover_concepts(
+    tweet_vecs: &Matrix,
+    config: &ConceptConfig,
+) -> Result<ConceptSpace, CoreError> {
+    discover_concepts_weighted(tweet_vecs, None, config)
+}
+
+/// Cluster tweet vectors into a concept space with optional per-tweet
+/// importance weights — the paper's future-work extension (Section 6):
+/// "to nominate the concepts from short-text clusters, we should not only
+/// consider the relevance of the short-texts but also grant higher
+/// importance to the concepts of those with higher popularity".
+///
+/// With `weights = Some(w)` (one weight per tweet row, e.g.
+/// `1 + popularity`), cluster **centroids become weighted means** — viral
+/// tweets pull their concept's representative point toward them — and the
+/// returned concepts are ordered by descending aggregate weight (the
+/// nomination ranking).
+///
+/// # Errors
+/// As [`discover_concepts`], plus [`CoreError::Invalid`] when the weight
+/// vector length mismatches or contains non-finite/negative entries.
+pub fn discover_concepts_weighted(
+    tweet_vecs: &Matrix,
+    weights: Option<&[f32]>,
+    config: &ConceptConfig,
+) -> Result<ConceptSpace, CoreError> {
+    let n = tweet_vecs.rows();
+    if n == 0 {
+        return Err(CoreError::Invalid("no tweet vectors to cluster".into()));
+    }
+    if let Some(w) = weights {
+        if w.len() != n {
+            return Err(CoreError::Invalid(format!(
+                "weight count {} != tweet count {n}",
+                w.len()
+            )));
+        }
+        if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return Err(CoreError::Invalid(
+                "weights must be finite and non-negative".into(),
+            ));
+        }
+    }
+    // Deterministic subsample.
+    let mut indices: Vec<usize> = (0..n).collect();
+    if n > config.max_sample {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        indices.shuffle(&mut rng);
+        indices.truncate(config.max_sample);
+        indices.sort_unstable();
+    }
+    let points: Vec<&[f32]> = indices.iter().map(|&i| tweet_vecs.row(i)).collect();
+    let dist = pairwise(&points, &EuclideanDistance);
+
+    let (labels, n_clusters) = match config.model {
+        ConceptModel::KMedoids { k } => {
+            let r = kmedoids(&dist, k.min(points.len()), 50)?;
+            let labels: Vec<Option<usize>> = r.labels.iter().map(|&l| Some(l)).collect();
+            (labels, r.medoids.len())
+        }
+        ConceptModel::Dbscan { eps, min_pts } => {
+            let r = dbscan(&dist, eps, min_pts)?;
+            (r.labels, r.n_clusters)
+        }
+    };
+    if n_clusters == 0 {
+        return Err(CoreError::Invalid(
+            "clustering produced no concepts (all noise)".into(),
+        ));
+    }
+
+    // Centroids: (weighted) mean of member vectors (for K-medoids this is
+    // the cluster mean, slightly tighter than the medoid itself; Eq 15
+    // only needs a representative point).
+    let dim = tweet_vecs.cols();
+    let mut centroids = vec![vec![0.0f32; dim]; n_clusters];
+    let mut totals = vec![0.0f32; n_clusters];
+    for ((pos, p), l) in points.iter().enumerate().zip(&labels) {
+        if let Some(c) = l {
+            let w = weights.map_or(1.0, |w| w[indices[pos]]);
+            soulmate_linalg::axpy(w, p, &mut centroids[*c]);
+            totals[*c] += w;
+        }
+    }
+    for (c, &total) in centroids.iter_mut().zip(&totals) {
+        if total > 0.0 {
+            soulmate_linalg::scale(c, 1.0 / total);
+        }
+    }
+
+    // Nomination order: with a popularity signal, the weightiest concepts
+    // come first; keep discovery order otherwise.
+    let mut order: Vec<usize> = (0..n_clusters).collect();
+    if weights.is_some() {
+        order.sort_by(|&a, &b| totals[b].partial_cmp(&totals[a]).unwrap());
+    }
+    let remap: std::collections::HashMap<usize, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+    let centroids: Vec<Vec<f32>> = order.iter().map(|&o| centroids[o].clone()).collect();
+    let concept_weights: Vec<f32> = order.iter().map(|&o| totals[o]).collect();
+    let labels: Vec<Option<usize>> = labels
+        .into_iter()
+        .map(|l| l.map(|c| remap[&c]))
+        .collect();
+
+    Ok(ConceptSpace {
+        centroids,
+        sample_labels: labels,
+        sample_indices: indices,
+        concept_weights,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tweet vectors in two obvious blobs.
+    fn blob_matrix() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f32 * 0.01;
+            if i % 2 == 0 {
+                rows.push(vec![0.0 + jitter, 0.0]);
+            } else {
+                rows.push(vec![5.0 + jitter, 5.0]);
+            }
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn kmedoids_finds_two_blobs() {
+        let m = blob_matrix();
+        let space = discover_concepts(
+            &m,
+            &ConceptConfig {
+                model: ConceptModel::KMedoids { k: 2 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(space.n_concepts(), 2);
+        // Centroids near (0,0) and (5,5) in some order.
+        let mut xs: Vec<f32> = space.centroids.iter().map(|c| c[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(xs[0] < 1.0 && xs[1] > 4.0);
+    }
+
+    #[test]
+    fn dbscan_discovers_blobs_and_errors_when_all_noise() {
+        let m = blob_matrix();
+        let ok = discover_concepts(
+            &m,
+            &ConceptConfig {
+                model: ConceptModel::Dbscan {
+                    eps: 0.5,
+                    min_pts: 2,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ok.n_concepts(), 2);
+        let err = discover_concepts(
+            &m,
+            &ConceptConfig {
+                model: ConceptModel::Dbscan {
+                    eps: 0.001,
+                    min_pts: 3,
+                },
+                ..Default::default()
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn concept_vector_is_distance_to_centroids() {
+        let m = blob_matrix();
+        let space = discover_concepts(
+            &m,
+            &ConceptConfig {
+                model: ConceptModel::KMedoids { k: 2 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let v = space.concept_vector(&[0.0, 0.0]);
+        assert_eq!(v.len(), 2);
+        // One distance near 0, the other near 5*sqrt(2).
+        let (lo, hi) = (v[0].min(v[1]), v[0].max(v[1]));
+        assert!(lo < 0.2, "closest centroid distance {lo}");
+        assert!(hi > 6.0, "farthest centroid distance {hi}");
+    }
+
+    #[test]
+    fn concept_vectors_batch_shape() {
+        let m = blob_matrix();
+        let space = discover_concepts(
+            &m,
+            &ConceptConfig {
+                model: ConceptModel::KMedoids { k: 3 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let cv = space.concept_vectors(&m);
+        assert_eq!(cv.rows(), 20);
+        assert_eq!(cv.cols(), space.n_concepts());
+        assert!(cv.as_slice().iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn subsampling_is_deterministic_and_bounded() {
+        let m = blob_matrix();
+        let cfg = ConceptConfig {
+            model: ConceptModel::KMedoids { k: 2 },
+            max_sample: 8,
+            seed: 5,
+        };
+        let a = discover_concepts(&m, &cfg).unwrap();
+        let b = discover_concepts(&m, &cfg).unwrap();
+        assert_eq!(a.sample_indices.len(), 8);
+        assert_eq!(a.sample_indices, b.sample_indices);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn weighted_centroids_move_toward_heavy_tweets() {
+        // One blob, but one member is 100x more popular: the weighted
+        // centroid must sit far closer to it than the uniform one.
+        let m = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+        ])
+        .unwrap();
+        let cfg = ConceptConfig {
+            model: ConceptModel::KMedoids { k: 1 },
+            ..Default::default()
+        };
+        let uniform = discover_concepts(&m, &cfg).unwrap();
+        let weighted =
+            discover_concepts_weighted(&m, Some(&[1.0, 1.0, 100.0]), &cfg).unwrap();
+        assert!((uniform.centroids[0][0] - 1.0).abs() < 1e-5);
+        assert!(weighted.centroids[0][0] > 1.8, "centroid did not move");
+        assert_eq!(weighted.concept_weights.len(), 1);
+    }
+
+    #[test]
+    fn nomination_orders_concepts_by_weight() {
+        let m = blob_matrix();
+        // All weight goes to the (5,5) blob (odd rows).
+        let weights: Vec<f32> = (0..20).map(|i| if i % 2 == 1 { 10.0 } else { 1.0 }).collect();
+        let space = discover_concepts_weighted(
+            &m,
+            Some(&weights),
+            &ConceptConfig {
+                model: ConceptModel::KMedoids { k: 2 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Concept 0 (heaviest) is the (5,5) blob.
+        assert!(space.centroids[0][0] > 4.0, "{:?}", space.centroids);
+        assert!(space.concept_weights[0] > space.concept_weights[1]);
+        // Labels were remapped consistently with the reordering.
+        for (pos, l) in space.sample_labels.iter().enumerate() {
+            let i = space.sample_indices[pos];
+            let expected = if i % 2 == 1 { 0 } else { 1 };
+            assert_eq!(*l, Some(expected));
+        }
+    }
+
+    #[test]
+    fn weighted_rejects_bad_weights() {
+        let m = blob_matrix();
+        let cfg = ConceptConfig::default();
+        assert!(discover_concepts_weighted(&m, Some(&[1.0]), &cfg).is_err());
+        let neg = vec![-1.0f32; 20];
+        assert!(discover_concepts_weighted(&m, Some(&neg), &cfg).is_err());
+        let nan = vec![f32::NAN; 20];
+        assert!(discover_concepts_weighted(&m, Some(&nan), &cfg).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let m = Matrix::zeros(0, 4);
+        assert!(discover_concepts(&m, &ConceptConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the SoulMate core pipeline.
+
+use std::fmt;
+
+/// Errors raised while fitting or querying the SoulMate pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Temporal slab construction failed.
+    Temporal(soulmate_temporal::TemporalError),
+    /// An embedding trainer failed.
+    Embedding(soulmate_embedding::EmbeddingError),
+    /// A clustering stage failed.
+    Cluster(soulmate_cluster::ClusterError),
+    /// Graph construction failed.
+    Graph(soulmate_graph::GraphError),
+    /// A pipeline precondition was violated (message explains).
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Temporal(e) => write!(f, "temporal stage: {e}"),
+            CoreError::Embedding(e) => write!(f, "embedding stage: {e}"),
+            CoreError::Cluster(e) => write!(f, "clustering stage: {e}"),
+            CoreError::Graph(e) => write!(f, "graph stage: {e}"),
+            CoreError::Invalid(msg) => write!(f, "invalid pipeline state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Temporal(e) => Some(e),
+            CoreError::Embedding(e) => Some(e),
+            CoreError::Cluster(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            CoreError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<soulmate_temporal::TemporalError> for CoreError {
+    fn from(e: soulmate_temporal::TemporalError) -> Self {
+        CoreError::Temporal(e)
+    }
+}
+
+impl From<soulmate_embedding::EmbeddingError> for CoreError {
+    fn from(e: soulmate_embedding::EmbeddingError) -> Self {
+        CoreError::Embedding(e)
+    }
+}
+
+impl From<soulmate_cluster::ClusterError> for CoreError {
+    fn from(e: soulmate_cluster::ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+impl From<soulmate_graph::GraphError> for CoreError {
+    fn from(e: soulmate_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}

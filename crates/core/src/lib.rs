@@ -1,0 +1,47 @@
+//! The SoulMate framework core — the paper's contribution assembled from
+//! the workspace substrates.
+//!
+//! **Offline phase** (Section 4.1): [`tcbow`] trains one CBOW model per
+//! temporal slab and fuses them — via analogy-accuracy-weighted level and
+//! depth attributes (Eqs 6–12) — into collective word vectors `V^C`;
+//! [`tweetvec`] composes tweet vectors (Eq 13); [`concepts`] clusters tweet
+//! vectors into latent concepts and derives tweet concept vectors (Eq 15);
+//! [`authorvec`] aggregates tweets into author content/concept vectors
+//! (Eq 16, Fig 7); [`similarity`] builds `X^Content` / `X^Concept` and
+//! fuses them with α (Eq 17); [`baselines`] implements every comparison
+//! method of Section 5.1.1.
+//!
+//! **Online phase** (Section 4.2): [`online`] inserts a (possibly
+//! cold-start) query author, updates the similarity matrices, and extracts
+//! the query author's subgraph with SW-MST; a rebuild [`online::Trigger`]
+//! schedules periodic offline refreshes.
+//!
+//! [`pipeline::Pipeline`] orchestrates the whole offline phase from a raw
+//! dataset.
+
+// Index-based loops are used deliberately where two mirrored cells of a
+// symmetric matrix (or several parallel arrays) are written per step —
+// iterator rewrites obscure those invariants.
+#![allow(clippy::needless_range_loop)]
+
+pub mod authorvec;
+pub mod baselines;
+pub mod concepts;
+pub mod error;
+pub mod online;
+pub mod pipeline;
+pub mod similarity;
+pub mod snapshot;
+pub mod tcbow;
+pub mod tweetvec;
+
+pub use authorvec::{author_concept_vectors, author_content_vectors, AuthorCombiner};
+pub use baselines::{author_similarity, Method};
+pub use concepts::{discover_concepts, discover_concepts_weighted, ConceptConfig, ConceptModel, ConceptSpace};
+pub use error::CoreError;
+pub use online::{link_query, QueryModel, QueryOutcome, Trigger};
+pub use pipeline::{Pipeline, PipelineConfig};
+pub use snapshot::PipelineSnapshot;
+pub use similarity::{fuse_similarities, similarity_matrix, similarity_matrix_parallel};
+pub use tcbow::{SlabModel, TcbowConfig, TemporalEmbedding};
+pub use tweetvec::{tweet_vectors, Combiner};

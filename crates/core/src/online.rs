@@ -1,0 +1,361 @@
+//! The online phase (Section 4.2): query-author inclusion, subgraph
+//! extraction, and the rebuild trigger.
+//!
+//! A query author — possibly cold-start with a handful of tweets — is
+//! vectorized against the *precomputed* collective embedding and concept
+//! centroids ("this step is not time-consuming as the language model is
+//! already generated in the offline phase"), the similarity matrices gain
+//! one row/column, and SW-MST over the extended graph yields the subgraph
+//! `g̃_q` containing the query author.
+
+use crate::error::CoreError;
+use crate::pipeline::Pipeline;
+use crate::tweetvec::{tweet_vector, Combiner};
+use soulmate_corpus::Timestamp;
+use soulmate_embedding::Embedding;
+use soulmate_graph::{swmst, WeightedGraph};
+use soulmate_linalg::{cosine, euclidean, Matrix};
+use soulmate_text::{tokenize, TokenizerConfig, Vocabulary};
+
+/// Result of linking a query author.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query author's node index in the extended graph (`n_authors`).
+    pub query_index: usize,
+    /// Nodes of the subgraph containing the query author (includes the
+    /// query index itself).
+    pub subgraph: Vec<usize>,
+    /// Mean edge weight within the query subgraph.
+    pub subgraph_avg_weight: f32,
+    /// The query author's content vector.
+    pub content_vector: Vec<f32>,
+    /// The query author's concept vector.
+    pub concept_vector: Vec<f32>,
+    /// Fused similarity of the query author to every existing author.
+    pub similarities: Vec<f32>,
+}
+
+/// Everything the online phase needs, borrowed from either a fitted
+/// [`Pipeline`] or a persisted [`crate::snapshot::PipelineSnapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryModel<'a> {
+    /// Offline vocabulary.
+    pub vocab: &'a Vocabulary,
+    /// Tokenizer settings matching the offline encode.
+    pub tokenizer: &'a TokenizerConfig,
+    /// Collective word vectors `V^C`.
+    pub collective: &'a Embedding,
+    /// Concept centroids in tweet-vector space.
+    pub centroids: &'a [Vec<f32>],
+    /// Author content vectors (row per author).
+    pub author_content: &'a Matrix,
+    /// Author concept vectors (row per author).
+    pub author_concept: &'a Matrix,
+    /// Population means of the concept profiles; both the query and the
+    /// stored author profiles are centered by these before cosine.
+    pub concept_means: &'a [f32],
+    /// Off-diagonal (mean, std) of the offline `X^Concept` — query concept
+    /// similarities are standardized by these before fusing.
+    pub concept_stats: (f32, f32),
+    /// Off-diagonal (mean, std) of the offline `X^Content`.
+    pub content_stats: (f32, f32),
+    /// Fused author similarity matrix `X^Total-α`.
+    pub x_total: &'a [Vec<f32>],
+    /// Concept impact ratio α.
+    pub alpha: f32,
+    /// Word→tweet combiner (Eq 13).
+    pub tweet_combiner: Combiner,
+    /// Graph sparsification: minimum similarity.
+    pub graph_min_sim: f32,
+    /// Graph sparsification: per-node lifelines.
+    pub graph_top_k: usize,
+}
+
+/// Include a query author against a [`QueryModel`] and extract their
+/// subgraph (Problems 2 & 3, online side).
+///
+/// # Errors
+/// [`CoreError::Invalid`] when no tweet yields any in-vocabulary token
+/// (the author cannot be represented at all).
+pub fn link_query(
+    model: &QueryModel<'_>,
+    tweets: &[(Timestamp, String)],
+) -> Result<QueryOutcome, CoreError> {
+    if tweets.is_empty() {
+        return Err(CoreError::Invalid("query author has no tweets".into()));
+    }
+    // Encode with the *existing* vocabulary; OOV tokens drop out.
+    let docs: Vec<Vec<u32>> = tweets
+        .iter()
+        .map(|(_, text)| {
+            let tokens = tokenize(text, model.tokenizer);
+            model.vocab.encode(tokens.iter().map(String::as_str))
+        })
+        .collect();
+    if docs.iter().all(Vec::is_empty) {
+        return Err(CoreError::Invalid(
+            "no in-vocabulary tokens in the query author's tweets".into(),
+        ));
+    }
+
+    // Tweet vectors from the precomputed collective embedding
+    // (Section 4.2.1), then content vector by averaging.
+    let tvecs: Vec<Vec<f32>> = docs
+        .iter()
+        .filter(|d| !d.is_empty())
+        .map(|d| tweet_vector(d, model.collective, model.tweet_combiner))
+        .collect();
+    let dim = model.collective.dim();
+    let content_vector = Combiner::Avg.combine(tvecs.iter().map(Vec::as_slice), dim);
+
+    // Concept vector: average distance profile to the centroids (Eq 15).
+    let concept_dim = model.centroids.len();
+    let concept_rows: Vec<Vec<f32>> = tvecs
+        .iter()
+        .map(|tv| {
+            model
+                .centroids
+                .iter()
+                .map(|c| euclidean(tv, c))
+                .collect()
+        })
+        .collect();
+    let concept_vector =
+        Combiner::Avg.combine(concept_rows.iter().map(Vec::as_slice), concept_dim);
+
+    // Similarity of the query author to every existing author, fused per
+    // Eq 17. Concept profiles are centered by the offline population means
+    // (matching `concept_similarity_matrix`).
+    let n = model.author_content.rows();
+    let mut centered_query = concept_vector.clone();
+    soulmate_linalg::sub_assign(&mut centered_query, model.concept_means);
+    let mut centered_author = vec![0.0f32; model.concept_means.len()];
+    let mut similarities = Vec::with_capacity(n);
+    for a in 0..n {
+        let s_content = (cosine(&content_vector, model.author_content.row(a))
+            - model.content_stats.0)
+            / model.content_stats.1;
+        centered_author.copy_from_slice(model.author_concept.row(a));
+        soulmate_linalg::sub_assign(&mut centered_author, model.concept_means);
+        let s_concept = (cosine(&centered_query, &centered_author) - model.concept_stats.0)
+            / model.concept_stats.1;
+        similarities.push(model.alpha * s_concept + (1.0 - model.alpha) * s_content);
+    }
+
+    // Extend X^Total with the query row/column and cut the graph.
+    let mut extended: Vec<Vec<f32>> = model
+        .x_total
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut r = row.clone();
+            r.push(similarities[i]);
+            r
+        })
+        .collect();
+    let mut qrow = similarities.clone();
+    qrow.push(1.0);
+    extended.push(qrow);
+
+    let graph = WeightedGraph::from_similarity(&extended, model.graph_min_sim, model.graph_top_k)?;
+    let forest = swmst(&graph);
+    let query_index = n;
+    let subgraph = forest
+        .query_subgraph(query_index)
+        .expect("query node exists in forest");
+    let subgraph_avg_weight = forest.component_avg_weight(&subgraph);
+
+    Ok(QueryOutcome {
+        query_index,
+        subgraph,
+        subgraph_avg_weight,
+        content_vector,
+        concept_vector,
+        similarities,
+    })
+}
+
+impl Pipeline {
+    /// The [`QueryModel`] view over this fitted pipeline.
+    pub fn query_model(&self) -> QueryModel<'_> {
+        QueryModel {
+            vocab: &self.corpus.vocab,
+            tokenizer: &self.config.tokenizer,
+            collective: &self.collective,
+            centroids: &self.concepts.centroids,
+            author_content: &self.author_content,
+            author_concept: &self.author_concept,
+            concept_means: &self.concept_means,
+            concept_stats: self.concept_stats,
+            content_stats: self.content_stats,
+            x_total: &self.x_total,
+            alpha: self.config.alpha,
+            tweet_combiner: self.config.tweet_combiner,
+            graph_min_sim: self.config.graph_min_sim,
+            graph_top_k: self.config.graph_top_k,
+        }
+    }
+
+    /// Include a query author given their tweets and extract their
+    /// subgraph (Problems 2 & 3, online side).
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] when no tweet yields any in-vocabulary token
+    /// (the author cannot be represented at all).
+    pub fn link_query_author(
+        &self,
+        tweets: &[(Timestamp, String)],
+    ) -> Result<QueryOutcome, CoreError> {
+        link_query(&self.query_model(), tweets)
+    }
+}
+
+/// The offline-rebuild trigger (Section 4.2.1): "Trigger follows frequent
+/// intervals to continuously rebuild the slabs and subsequently construct
+/// the vector representations."
+///
+/// Counts arriving tweets and fires once `interval` have accumulated; the
+/// caller then re-runs [`Pipeline::fit`] over the grown dataset.
+#[derive(Debug, Clone)]
+pub struct Trigger {
+    interval: usize,
+    pending: usize,
+    fired: usize,
+}
+
+impl Trigger {
+    /// Fire after every `interval` new tweets (`interval == 0` never
+    /// fires).
+    pub fn new(interval: usize) -> Trigger {
+        Trigger {
+            interval,
+            pending: 0,
+            fired: 0,
+        }
+    }
+
+    /// Record `n` newly arrived tweets; returns `true` when a rebuild is
+    /// due (and resets the counter).
+    pub fn notify(&mut self, n: usize) -> bool {
+        if self.interval == 0 {
+            return false;
+        }
+        self.pending += n;
+        if self.pending >= self.interval {
+            self.pending = 0;
+            self.fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tweets accumulated since the last firing.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// How many rebuilds have been signalled.
+    pub fn times_fired(&self) -> usize {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use soulmate_corpus::{generate, GeneratorConfig};
+
+    fn fitted() -> (soulmate_corpus::Dataset, Pipeline) {
+        let d = generate(&GeneratorConfig {
+            n_authors: 20,
+            n_communities: 4,
+            n_concepts: 6,
+            entities_per_concept: 10,
+            mean_tweets_per_author: 30,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let p = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+        (d, p)
+    }
+
+    #[test]
+    fn query_author_joins_a_subgraph() {
+        let (d, p) = fitted();
+        // Borrow a few real tweets from author 0 as the "query author".
+        let tweets: Vec<(Timestamp, String)> = d
+            .tweets
+            .iter()
+            .filter(|t| t.author == 0)
+            .take(8)
+            .map(|t| (t.timestamp, t.text.clone()))
+            .collect();
+        let out = p.link_query_author(&tweets).unwrap();
+        assert_eq!(out.query_index, 20);
+        assert!(out.subgraph.contains(&20));
+        assert_eq!(out.similarities.len(), 20);
+        assert!(out.similarities.iter().all(|s| s.is_finite()));
+        assert_eq!(out.content_vector.len(), p.collective.dim());
+        assert_eq!(out.concept_vector.len(), p.concepts.n_concepts());
+    }
+
+    #[test]
+    fn query_clone_of_author_is_most_similar_to_it() {
+        let (d, p) = fitted();
+        // Feed author 3's full history: the query should resemble author 3
+        // more than the average author.
+        let tweets: Vec<(Timestamp, String)> = d
+            .tweets
+            .iter()
+            .filter(|t| t.author == 3)
+            .map(|t| (t.timestamp, t.text.clone()))
+            .collect();
+        let out = p.link_query_author(&tweets).unwrap();
+        let s3 = out.similarities[3];
+        let avg: f32 = out.similarities.iter().sum::<f32>() / out.similarities.len() as f32;
+        assert!(
+            s3 > avg,
+            "self-similarity {s3} not above average {avg}"
+        );
+    }
+
+    #[test]
+    fn cold_start_single_tweet_works() {
+        let (d, p) = fitted();
+        let tweet = d.tweets[0].clone();
+        let out = p
+            .link_query_author(&[(tweet.timestamp, tweet.text)])
+            .unwrap();
+        assert!(!out.subgraph.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_and_oov_queries() {
+        let (_, p) = fitted();
+        assert!(p.link_query_author(&[]).is_err());
+        let gibberish = vec![(Timestamp(0), "qqqqxyzzzz wwwwqqq".to_string())];
+        assert!(p.link_query_author(&gibberish).is_err());
+    }
+
+    #[test]
+    fn trigger_fires_on_interval() {
+        let mut t = Trigger::new(10);
+        assert!(!t.notify(4));
+        assert_eq!(t.pending(), 4);
+        assert!(!t.notify(5));
+        assert!(t.notify(1));
+        assert_eq!(t.pending(), 0);
+        assert_eq!(t.times_fired(), 1);
+        assert!(t.notify(25));
+        assert_eq!(t.times_fired(), 2);
+    }
+
+    #[test]
+    fn zero_interval_never_fires() {
+        let mut t = Trigger::new(0);
+        assert!(!t.notify(1_000_000));
+        assert_eq!(t.times_fired(), 0);
+    }
+}

@@ -1,0 +1,388 @@
+//! The offline phase, end to end (Fig 2, left side).
+//!
+//! [`Pipeline::fit`] runs: encode → temporal slabs → per-slab TCBOW →
+//! collective vectors → tweet vectors → concept discovery → author
+//! content/concept vectors → similarity matrices → α-fusion. The fitted
+//! pipeline then builds the authors' weighted graph and extracts subgraphs
+//! with SW-MST, and serves the online phase (see [`crate::online`]).
+
+use crate::authorvec::{author_concept_vectors, author_content_vectors, AuthorCombiner};
+use crate::baselines::BaselineContext;
+use crate::concepts::{discover_concepts, ConceptConfig, ConceptSpace};
+use crate::error::CoreError;
+use crate::similarity::{
+    concept_similarity_matrix, fuse_similarities, offdiagonal_stats, similarity_matrix,
+    standardize_offdiagonal,
+};
+use crate::tcbow::{TcbowConfig, TemporalEmbedding};
+use crate::tweetvec::{tweet_vectors, Combiner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soulmate_corpus::{build_analogy_suite, Dataset, EncodedCorpus};
+use soulmate_embedding::{train_cbow, Embedding};
+use soulmate_graph::{swmst, SpanningForest, WeightedGraph};
+use soulmate_linalg::Matrix;
+use soulmate_text::TokenizerConfig;
+
+/// Offline-phase configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Tokenizer settings applied to raw tweets.
+    pub tokenizer: TokenizerConfig,
+    /// Vocabulary pruning threshold (word2vec-style min count).
+    pub min_count: u64,
+    /// TCBOW (per-slab embedding) settings.
+    pub tcbow: TcbowConfig,
+    /// Size of the analogy suite used to weight slabs.
+    pub analogy_questions: usize,
+    /// How word vectors combine into tweet vectors (Eq 13).
+    pub tweet_combiner: Combiner,
+    /// How tweet vectors aggregate into author content vectors (Eq 16 /
+    /// Fig 7).
+    pub author_combiner: AuthorCombiner,
+    /// Concept discovery settings.
+    pub concept: ConceptConfig,
+    /// Concept impact ratio α of Eq 17 (paper optimum 0.6).
+    pub alpha: f32,
+    /// Graph sparsification: minimum similarity for an edge (use a very
+    /// low value for the paper's fully connected graph).
+    pub graph_min_sim: f32,
+    /// Graph sparsification: per-node strongest-neighbour lifelines.
+    pub graph_top_k: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            tokenizer: TokenizerConfig::default(),
+            min_count: 3,
+            tcbow: TcbowConfig::default(),
+            analogy_questions: 2000,
+            tweet_combiner: Combiner::Avg,
+            author_combiner: AuthorCombiner::Avg,
+            concept: ConceptConfig::default(),
+            alpha: 0.6,
+            graph_min_sim: -1.0,
+            graph_top_k: 0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fast configuration for tests and examples (small embedding, one
+    /// facet level, few epochs).
+    pub fn fast() -> Self {
+        use soulmate_embedding::CbowConfig;
+        use soulmate_temporal::{Facet, HierarchyConfig};
+        PipelineConfig {
+            min_count: 3,
+            tcbow: TcbowConfig {
+                cbow: CbowConfig {
+                    dim: 16,
+                    window: 3,
+                    epochs: 3,
+                    lr: 0.05,
+                    ..Default::default()
+                },
+                hierarchy: HierarchyConfig {
+                    // 0.4 reproduces the weekday/weekend split on
+                    // synthetic-corpus similarity scales (see Table 3).
+                    facets: vec![Facet::DayOfWeek, Facet::Hour],
+                    thresholds: vec![0.4, 0.3],
+                },
+                seed: 42,
+                threads: 4,
+            },
+            analogy_questions: 200,
+            concept: ConceptConfig {
+                model: crate::concepts::ConceptModel::KMedoids { k: 8 },
+                max_sample: 600,
+                seed: 42,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// A fitted SoulMate pipeline: every offline artifact of Fig 2.
+#[derive(Debug)]
+pub struct Pipeline {
+    /// The configuration the pipeline was fitted with.
+    pub config: PipelineConfig,
+    /// The encoded corpus (vocabulary + interned tweets).
+    pub corpus: EncodedCorpus,
+    /// The multi-aspect temporal embedding (per-slab models).
+    pub temporal: TemporalEmbedding,
+    /// Collective word vectors `V^C` (Eq 12).
+    pub collective: Embedding,
+    /// Plain (non-temporal) CBOW vectors, for the comparison baselines.
+    pub plain_cbow: Embedding,
+    /// Tweet vectors (Eq 13), row per tweet.
+    pub tweet_vectors: Matrix,
+    /// Owner of each tweet row.
+    pub tweet_author: Vec<u32>,
+    /// Discovered concept space.
+    pub concepts: ConceptSpace,
+    /// Tweet concept vectors (Eq 15), row per tweet.
+    pub tweet_concept_vectors: Matrix,
+    /// Author content vectors, row per author.
+    pub author_content: Matrix,
+    /// Author concept vectors, row per author.
+    pub author_concept: Matrix,
+    /// Population means of the concept profiles (centering offsets for
+    /// online queries).
+    pub concept_means: Vec<f32>,
+    /// Off-diagonal (mean, std) of `X^Concept`, for online standardization.
+    pub concept_stats: (f32, f32),
+    /// Off-diagonal (mean, std) of `X^Content`, for online standardization.
+    pub content_stats: (f32, f32),
+    /// `X^Content` similarity matrix.
+    pub x_content: Vec<Vec<f32>>,
+    /// `X^Concept` similarity matrix.
+    pub x_concept: Vec<Vec<f32>>,
+    /// `X^Total-α` fused similarity matrix (Eq 17).
+    pub x_total: Vec<Vec<f32>>,
+}
+
+impl Pipeline {
+    /// Run the full offline phase on a dataset.
+    ///
+    /// # Errors
+    /// Propagates failures from every stage ([`CoreError`]).
+    pub fn fit(dataset: &Dataset, config: PipelineConfig) -> Result<Pipeline, CoreError> {
+        let corpus = dataset.encode(&config.tokenizer, config.min_count);
+        if corpus.vocab.is_empty() {
+            return Err(CoreError::Invalid(
+                "vocabulary is empty after pruning".into(),
+            ));
+        }
+        let questions = build_analogy_suite(
+            &dataset.ground_truth.lexicon,
+            &corpus.vocab,
+            config.analogy_questions,
+            config.tcbow.seed,
+        );
+
+        // Temporal embedding (one CBOW per slab) and its collective fusion.
+        let temporal = TemporalEmbedding::train(&corpus, &questions, &config.tcbow)?;
+        let collective = temporal.collective_embedding();
+
+        // Plain CBOW over the whole corpus (baseline comparator).
+        let docs = corpus.documents();
+        let mut rng = StdRng::seed_from_u64(config.tcbow.seed ^ 0x5eed);
+        let plain_cbow = train_cbow(&docs, corpus.vocab.len(), &config.tcbow.cbow, &mut rng)?;
+
+        // Tweet vectors and concepts.
+        let tvecs = tweet_vectors(&docs, &collective, config.tweet_combiner);
+        let concepts = discover_concepts(&tvecs, &config.concept)?;
+        let tweet_concept_vectors = concepts.concept_vectors(&tvecs);
+
+        // Author vectors.
+        let tweet_author: Vec<u32> = corpus.tweets.iter().map(|t| t.author).collect();
+        let author_content = author_content_vectors(
+            &tvecs,
+            &tweet_author,
+            corpus.n_authors,
+            config.author_combiner,
+        );
+        let author_concept =
+            author_concept_vectors(&tweet_concept_vectors, &tweet_author, corpus.n_authors);
+
+        // Similarity matrices and fusion. Concept profiles are centered
+        // against the author population before cosine (see
+        // `concept_similarity_matrix`); the means are kept for online
+        // queries.
+        let x_content = similarity_matrix(&author_content);
+        let (x_concept, concept_means) = concept_similarity_matrix(&author_concept);
+        // Standardize both views onto a common scale before Eq 17: the
+        // centered concept cosines and the compressed content cosines have
+        // very different spreads, and α only blends meaningfully when
+        // neither scale dominates. The stats are kept for online queries.
+        let concept_stats = offdiagonal_stats(&x_concept);
+        let content_stats = offdiagonal_stats(&x_content);
+        let x_total = fuse_similarities(
+            &standardize_offdiagonal(&x_concept, concept_stats.0, concept_stats.1),
+            &standardize_offdiagonal(&x_content, content_stats.0, content_stats.1),
+            config.alpha,
+        )?;
+
+        Ok(Pipeline {
+            config,
+            corpus,
+            temporal,
+            collective,
+            plain_cbow,
+            tweet_vectors: tvecs,
+            tweet_author,
+            concepts,
+            tweet_concept_vectors,
+            author_content,
+            author_concept,
+            concept_means,
+            concept_stats,
+            content_stats,
+            x_content,
+            x_concept,
+            x_total,
+        })
+    }
+
+    /// Number of authors.
+    pub fn n_authors(&self) -> usize {
+        self.corpus.n_authors
+    }
+
+    /// Build the authors' weighted graph from a similarity matrix under
+    /// the configured sparsification.
+    pub fn author_graph(&self, sim: &[Vec<f32>]) -> Result<WeightedGraph, CoreError> {
+        Ok(WeightedGraph::from_similarity(
+            sim,
+            self.config.graph_min_sim,
+            self.config.graph_top_k,
+        )?)
+    }
+
+    /// Extract the linked-author subgraphs (SW-MST over `X^Total-α`).
+    pub fn subgraphs(&self) -> Result<SpanningForest, CoreError> {
+        let g = self.author_graph(&self.x_total)?;
+        Ok(swmst(&g))
+    }
+
+    /// Subgraphs under an arbitrary similarity matrix (used to evaluate
+    /// each baseline with the identical graph cut, per Section 5.2.2).
+    pub fn subgraphs_for(&self, sim: &[Vec<f32>]) -> Result<SpanningForest, CoreError> {
+        let g = self.author_graph(sim)?;
+        Ok(swmst(&g))
+    }
+
+    /// The borrowed context baselines need.
+    pub fn baseline_context(&self) -> BaselineContext<'_> {
+        BaselineContext {
+            corpus: &self.corpus,
+            collective: &self.collective,
+            cbow: &self.plain_cbow,
+            x_content: &self.x_content,
+            x_concept: &self.x_concept,
+            concept_stats: self.concept_stats,
+            content_stats: self.content_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soulmate_corpus::{generate, GeneratorConfig};
+
+    fn small_dataset() -> Dataset {
+        generate(&GeneratorConfig {
+            n_authors: 24,
+            n_communities: 4,
+            n_concepts: 6,
+            entities_per_concept: 10,
+            mean_tweets_per_author: 30,
+            ..GeneratorConfig::small()
+        })
+        .unwrap()
+    }
+
+    fn fitted() -> (Dataset, Pipeline) {
+        let d = small_dataset();
+        let p = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+        (d, p)
+    }
+
+    #[test]
+    fn fit_produces_consistent_shapes() {
+        let (d, p) = fitted();
+        let n = d.n_authors();
+        assert_eq!(p.n_authors(), n);
+        assert_eq!(p.tweet_vectors.rows(), p.corpus.tweets.len());
+        assert_eq!(p.tweet_concept_vectors.rows(), p.corpus.tweets.len());
+        assert_eq!(p.tweet_concept_vectors.cols(), p.concepts.n_concepts());
+        assert_eq!(p.author_content.rows(), n);
+        assert_eq!(p.author_concept.rows(), n);
+        assert_eq!(p.x_total.len(), n);
+        assert!(p.x_total.iter().all(|r| r.len() == n));
+    }
+
+    #[test]
+    fn same_community_authors_more_similar_in_x_total() {
+        let (d, p) = fitted();
+        let communities = &d.ground_truth.author_community;
+        let n = d.n_authors();
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if communities[i] == communities[j] {
+                    same.push(p.x_total[i][j]);
+                } else {
+                    diff.push(p.x_total[i][j]);
+                }
+            }
+        }
+        let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+        assert!(
+            avg(&same) > avg(&diff),
+            "community signal missing: same={} diff={}",
+            avg(&same),
+            avg(&diff)
+        );
+    }
+
+    #[test]
+    fn subgraphs_cover_all_authors() {
+        let (_, p) = fitted();
+        let forest = p.subgraphs().unwrap();
+        let covered: usize = forest.components().iter().map(Vec::len).sum();
+        assert_eq!(covered, p.n_authors());
+    }
+
+    #[test]
+    fn subgraph_members_share_communities_more_than_random() {
+        let (d, p) = fitted();
+        let forest = p.subgraphs().unwrap();
+        let communities = &d.ground_truth.author_community;
+        // Purity of multi-member components vs the global baseline rate.
+        let mut same_pairs = 0usize;
+        let mut total_pairs = 0usize;
+        for comp in forest.components() {
+            for (i, &a) in comp.iter().enumerate() {
+                for &b in &comp[i + 1..] {
+                    total_pairs += 1;
+                    if communities[a] == communities[b] {
+                        same_pairs += 1;
+                    }
+                }
+            }
+        }
+        if total_pairs == 0 {
+            return; // degenerate all-singleton forest: nothing to assert
+        }
+        let purity = same_pairs as f32 / total_pairs as f32;
+        // 4 communities → random pairing purity ≈ 0.25.
+        assert!(
+            purity > 0.3,
+            "subgraph community purity {purity} not above chance"
+        );
+    }
+
+    #[test]
+    fn fit_fails_on_overpruned_vocab() {
+        let d = small_dataset();
+        let cfg = PipelineConfig {
+            min_count: 1_000_000,
+            ..PipelineConfig::fast()
+        };
+        assert!(Pipeline::fit(&d, cfg).is_err());
+    }
+
+    #[test]
+    fn baseline_context_borrows_fitted_artifacts() {
+        let (_, p) = fitted();
+        let ctx = p.baseline_context();
+        assert_eq!(ctx.x_content.len(), p.n_authors());
+        assert_eq!(ctx.collective.len(), p.corpus.vocab.len());
+    }
+}

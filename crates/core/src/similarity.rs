@@ -1,0 +1,309 @@
+//! Author similarity matrices and their α-fusion (Eq 17).
+
+use crate::error::CoreError;
+use soulmate_linalg::{cosine, Matrix};
+
+/// Full pairwise cosine similarity matrix over the rows of `vectors`
+/// (diagonal fixed at 1). Zero rows (authors with no usable content) get
+/// similarity 0 to everyone.
+///
+/// Switches to a threaded computation above [`PARALLEL_THRESHOLD`] rows —
+/// the O(n²·d) pass dominates the offline phase at the paper's 4 000
+/// authors.
+pub fn similarity_matrix(vectors: &Matrix) -> Vec<Vec<f32>> {
+    let n = vectors.rows();
+    if n >= PARALLEL_THRESHOLD {
+        return similarity_matrix_parallel(
+            vectors,
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(4),
+        );
+    }
+    let mut sim = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        sim[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let s = cosine(vectors.row(i), vectors.row(j));
+            sim[i][j] = s;
+            sim[j][i] = s;
+        }
+    }
+    sim
+}
+
+/// Row count beyond which [`similarity_matrix`] parallelizes.
+pub const PARALLEL_THRESHOLD: usize = 512;
+
+/// Threaded pairwise cosine matrix: rows are striped across `threads`
+/// scoped workers (stripes, not blocks, so the triangular workload
+/// balances), each computing the upper triangle of its rows; the mirror
+/// half is filled afterwards.
+pub fn similarity_matrix_parallel(vectors: &Matrix, threads: usize) -> Vec<Vec<f32>> {
+    let n = vectors.rows();
+    let threads = threads.max(1).min(n.max(1));
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move || {
+                // Worker t owns rows t, t+threads, t+2*threads, ...
+                let mut out: Vec<(usize, Vec<f32>)> = Vec::new();
+                let mut i = t;
+                while i < n {
+                    let mut row = vec![0.0f32; n];
+                    row[i] = 1.0;
+                    for j in (i + 1)..n {
+                        row[j] = cosine(vectors.row(i), vectors.row(j));
+                    }
+                    out.push((i, row));
+                    i += threads;
+                }
+                out
+            }));
+        }
+        let mut collected: Vec<(usize, Vec<f32>)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("similarity worker panicked"))
+            .collect();
+        collected.sort_by_key(|(i, _)| *i);
+        rows.extend(collected.into_iter().map(|(_, r)| r));
+    });
+    // Mirror the upper triangle.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            rows[j][i] = rows[i][j];
+        }
+    }
+    rows
+}
+
+/// Per-dimension population means of a vector matrix (used to center
+/// concept vectors).
+pub fn column_means(vectors: &Matrix) -> Vec<f32> {
+    let (n, dim) = (vectors.rows(), vectors.cols());
+    let mut means = vec![0.0f32; dim];
+    for i in 0..n {
+        soulmate_linalg::add_assign(&mut means, vectors.row(i));
+    }
+    if n > 0 {
+        soulmate_linalg::scale(&mut means, 1.0 / n as f32);
+    }
+    means
+}
+
+/// Subtract `means` from every row, returning the centered matrix.
+pub fn center_rows(vectors: &Matrix, means: &[f32]) -> Matrix {
+    let mut centered = vectors.clone();
+    for i in 0..centered.rows() {
+        soulmate_linalg::sub_assign(centered.row_mut(i), means);
+    }
+    centered
+}
+
+/// Concept-space similarity: concept vectors are *distances* to centroids
+/// (Eq 15) — strictly positive profiles whose raw cosine saturates near 1
+/// for every author pair (the shared "distance offset" dominates). The
+/// informative signal is how an author's profile deviates from the
+/// population, so `X^Concept` is the cosine of **mean-centered** profiles
+/// (Pearson-style): authors leaning toward the same concepts score
+/// positive, opposite leanings negative.
+///
+/// Returns `(matrix, means)`; the means must be reused when centering a
+/// query author's concept vector online.
+pub fn concept_similarity_matrix(concept_vectors: &Matrix) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let means = column_means(concept_vectors);
+    let centered = center_rows(concept_vectors, &means);
+    (similarity_matrix(&centered), means)
+}
+
+/// Mean and standard deviation of a similarity matrix's off-diagonal
+/// entries.
+pub fn offdiagonal_stats(sim: &[Vec<f32>]) -> (f32, f32) {
+    let n = sim.len();
+    if n < 2 {
+        return (0.0, 1.0);
+    }
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for (i, row) in sim.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if i != j {
+                sum += v as f64;
+                count += 1;
+            }
+        }
+    }
+    let mean = (sum / count as f64) as f32;
+    let mut var = 0.0f64;
+    for (i, row) in sim.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if i != j {
+                let d = (v - mean) as f64;
+                var += d * d;
+            }
+        }
+    }
+    let std = ((var / count as f64) as f32).sqrt().max(1e-6);
+    (mean, std)
+}
+
+/// Z-score the off-diagonal entries of a similarity matrix with the given
+/// stats (diagonal left at its original value). Used to put `X^Concept`
+/// and `X^Content` on a common scale before the α-fusion: the two
+/// similarity functions have very different spreads (centered concept
+/// cosines span [-1, 1]; content cosines compress near 1), and fusing raw
+/// values would let whichever matrix has the wider spread dictate the
+/// edge ranking regardless of α.
+pub fn standardize_offdiagonal(sim: &[Vec<f32>], mean: f32, std: f32) -> Vec<Vec<f32>> {
+    sim.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            row.iter()
+                .enumerate()
+                .map(|(j, &v)| if i == j { v } else { (v - mean) / std })
+                .collect()
+        })
+        .collect()
+}
+
+/// Fuse concept and content similarity matrices (Eq 17):
+/// `X^Total = α · X^Concept + (1 − α) · X^Content`.
+///
+/// # Errors
+/// [`CoreError::Invalid`] when α ∉ [0, 1] or the shapes differ.
+pub fn fuse_similarities(
+    concept: &[Vec<f32>],
+    content: &[Vec<f32>],
+    alpha: f32,
+) -> Result<Vec<Vec<f32>>, CoreError> {
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(CoreError::Invalid(format!("alpha {alpha} not in [0, 1]")));
+    }
+    if concept.len() != content.len() {
+        return Err(CoreError::Invalid(format!(
+            "matrix sizes differ: {} vs {}",
+            concept.len(),
+            content.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(concept.len());
+    for (crow, trow) in concept.iter().zip(content) {
+        if crow.len() != trow.len() {
+            return Err(CoreError::Invalid("ragged similarity matrix".into()));
+        }
+        out.push(
+            crow.iter()
+                .zip(trow)
+                .map(|(&c, &t)| alpha * c + (1.0 - alpha) * t)
+                .collect(),
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similarity_matrix_geometry() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let s = similarity_matrix(&m);
+        assert!((s[0][1] - 1.0).abs() < 1e-6);
+        assert!(s[0][2].abs() < 1e-6);
+        assert_eq!(s[1][1], 1.0);
+        assert_eq!(s[0][2], s[2][0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Matrix::random_uniform(37, 8, 1.0, &mut rng);
+        let seq = similarity_matrix(&m);
+        for threads in [1usize, 2, 4, 7] {
+            let par = similarity_matrix_parallel(&m, threads);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                for (x, y) in a.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_tiny_inputs() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0]]).unwrap();
+        let s = similarity_matrix_parallel(&m, 8);
+        assert_eq!(s, vec![vec![1.0]]);
+        let empty = Matrix::zeros(0, 4);
+        assert!(similarity_matrix_parallel(&empty, 4).is_empty());
+    }
+
+    #[test]
+    fn zero_rows_are_dissimilar_to_all() {
+        let m = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0]]).unwrap();
+        let s = similarity_matrix(&m);
+        assert_eq!(s[0][1], 0.0);
+        assert_eq!(s[0][0], 1.0); // diagonal fixed by convention
+    }
+
+    #[test]
+    fn fuse_interpolates() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let b = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let f = fuse_similarities(&a, &b, 0.25).unwrap();
+        assert!((f[0][1] - 0.75).abs() < 1e-6);
+        assert!((f[0][0] - 0.25).abs() < 1e-6);
+        // Extremes.
+        assert_eq!(fuse_similarities(&a, &b, 0.0).unwrap(), b);
+        assert_eq!(fuse_similarities(&a, &b, 1.0).unwrap(), a);
+    }
+
+    #[test]
+    fn offdiagonal_stats_and_standardize() {
+        let sim = vec![
+            vec![1.0, 0.2, 0.4],
+            vec![0.2, 1.0, 0.6],
+            vec![0.4, 0.6, 1.0],
+        ];
+        let (mean, std) = offdiagonal_stats(&sim);
+        assert!((mean - 0.4).abs() < 1e-5);
+        assert!(std > 0.0);
+        let z = standardize_offdiagonal(&sim, mean, std);
+        // Diagonal preserved, off-diagonals zero-mean.
+        assert_eq!(z[0][0], 1.0);
+        let total: f32 = (0..3)
+            .flat_map(|i| (0..3).filter(move |&j| j != i).map({
+                let z = &z;
+                move |j| z[i][j]
+            }))
+            .sum();
+        assert!(total.abs() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_stats_do_not_blow_up() {
+        let sim = vec![vec![1.0]];
+        let (mean, std) = offdiagonal_stats(&sim);
+        assert_eq!((mean, std), (0.0, 1.0));
+        let flat = vec![vec![1.0, 0.5], vec![0.5, 1.0]];
+        let (m, s2) = offdiagonal_stats(&flat);
+        assert!((m - 0.5).abs() < 1e-6);
+        assert!(s2 > 0.0); // clamped std, no division by zero downstream
+    }
+
+    #[test]
+    fn fuse_validates_inputs() {
+        let a = vec![vec![1.0]];
+        let b = vec![vec![1.0, 2.0]];
+        assert!(fuse_similarities(&a, &a, 1.5).is_err());
+        assert!(fuse_similarities(&a, &a, -0.1).is_err());
+        assert!(fuse_similarities(&a, &b, 0.5).is_err());
+        let c = vec![vec![1.0], vec![2.0]];
+        assert!(fuse_similarities(&a, &c, 0.5).is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! Pipeline persistence: save a fitted offline model and serve online
+//! queries from it without retraining.
+//!
+//! The paper's deployment story ("the language model is already generated
+//! in the offline phase") implies the offline artifacts outlive a process.
+//! [`PipelineSnapshot`] captures exactly the state the online phase needs —
+//! vocabulary, collective embedding, concept centroids, author vectors and
+//! the fused similarity matrix — and serializes it to a single JSON file.
+//! A loaded snapshot answers [`PipelineSnapshot::link_query_author`]
+//! identically to the pipeline it came from.
+
+use crate::error::CoreError;
+use crate::online::{link_query, QueryModel, QueryOutcome};
+use crate::pipeline::Pipeline;
+use crate::tweetvec::Combiner;
+use serde::{Deserialize, Serialize};
+use soulmate_corpus::Timestamp;
+use soulmate_embedding::Embedding;
+use soulmate_linalg::Matrix;
+use soulmate_text::{TokenizerConfig, Vocabulary};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Serializable `Combiner` mirror (the tweet combiner is the only enum
+/// configuration the online phase needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CombinerTag {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise average.
+    Avg,
+}
+
+impl From<Combiner> for CombinerTag {
+    fn from(c: Combiner) -> Self {
+        match c {
+            Combiner::Sum => CombinerTag::Sum,
+            Combiner::Avg => CombinerTag::Avg,
+        }
+    }
+}
+
+impl From<CombinerTag> for Combiner {
+    fn from(t: CombinerTag) -> Self {
+        match t {
+            CombinerTag::Sum => Combiner::Sum,
+            CombinerTag::Avg => Combiner::Avg,
+        }
+    }
+}
+
+/// The persisted offline model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineSnapshot {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Offline vocabulary.
+    pub vocab: Vocabulary,
+    /// Tokenizer settings the vocabulary was built with.
+    pub tokenizer: TokenizerConfig,
+    /// Collective word vectors `V^C`.
+    pub collective: Embedding,
+    /// Concept centroids in tweet-vector space.
+    pub centroids: Vec<Vec<f32>>,
+    /// Author content vectors.
+    pub author_content: Matrix,
+    /// Author concept vectors.
+    pub author_concept: Matrix,
+    /// Population means of the concept profiles (online centering).
+    #[serde(default)]
+    pub concept_means: Vec<f32>,
+    /// Off-diagonal (mean, std) of `X^Concept` (fusion standardization).
+    #[serde(default = "default_stats")]
+    pub concept_stats: (f32, f32),
+    /// Off-diagonal (mean, std) of `X^Content` (fusion standardization).
+    #[serde(default = "default_stats")]
+    pub content_stats: (f32, f32),
+    /// Fused author similarity matrix.
+    pub x_total: Vec<Vec<f32>>,
+    /// Concept impact ratio α.
+    pub alpha: f32,
+    /// Word→tweet combiner.
+    pub tweet_combiner: CombinerTag,
+    /// Graph sparsification: minimum similarity.
+    pub graph_min_sim: f32,
+    /// Graph sparsification: per-node lifelines.
+    pub graph_top_k: usize,
+    /// Author display handles, index-aligned with the vectors.
+    pub author_handles: Vec<String>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Serde default for missing standardization stats (identity transform).
+fn default_stats() -> (f32, f32) {
+    (0.0, 1.0)
+}
+
+impl Pipeline {
+    /// Capture the online-serving state of this fitted pipeline.
+    ///
+    /// `author_handles` labels the rows (pass the dataset's handles, or an
+    /// empty slice to auto-number).
+    pub fn snapshot(&self, author_handles: &[String]) -> PipelineSnapshot {
+        let handles = if author_handles.len() == self.n_authors() {
+            author_handles.to_vec()
+        } else {
+            (0..self.n_authors()).map(|a| format!("author{a:04}")).collect()
+        };
+        PipelineSnapshot {
+            version: SNAPSHOT_VERSION,
+            vocab: self.corpus.vocab.clone(),
+            tokenizer: self.config.tokenizer.clone(),
+            collective: self.collective.clone(),
+            centroids: self.concepts.centroids.clone(),
+            author_content: self.author_content.clone(),
+            author_concept: self.author_concept.clone(),
+            concept_means: self.concept_means.clone(),
+            concept_stats: self.concept_stats,
+            content_stats: self.content_stats,
+            x_total: self.x_total.clone(),
+            alpha: self.config.alpha,
+            tweet_combiner: self.config.tweet_combiner.into(),
+            graph_min_sim: self.config.graph_min_sim,
+            graph_top_k: self.config.graph_top_k,
+            author_handles: handles,
+        }
+    }
+}
+
+impl PipelineSnapshot {
+    /// Number of authors in the snapshot.
+    pub fn n_authors(&self) -> usize {
+        self.author_content.rows()
+    }
+
+    /// Write the snapshot as JSON.
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] wraps I/O and serialization failures.
+    pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        let file = File::create(path)
+            .map_err(|e| CoreError::Invalid(format!("cannot create {}: {e}", path.display())))?;
+        serde_json::to_writer(BufWriter::new(file), self)
+            .map_err(|e| CoreError::Invalid(format!("snapshot serialization failed: {e}")))
+    }
+
+    /// Read a snapshot saved by [`PipelineSnapshot::save`].
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] for I/O or parse failures, shape
+    /// inconsistencies, and unknown snapshot versions.
+    pub fn load(path: &Path) -> Result<PipelineSnapshot, CoreError> {
+        let file = File::open(path)
+            .map_err(|e| CoreError::Invalid(format!("cannot open {}: {e}", path.display())))?;
+        let mut snapshot: PipelineSnapshot = serde_json::from_reader(BufReader::new(file))
+            .map_err(|e| CoreError::Invalid(format!("snapshot parse failed: {e}")))?;
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(CoreError::Invalid(format!(
+                "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
+        snapshot.validate()?;
+        // The vocabulary's string→id index is skipped by serde.
+        snapshot.vocab.rebuild_index();
+        Ok(snapshot)
+    }
+
+    /// Cross-check internal shapes (called on load; public for callers
+    /// constructing snapshots by hand).
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] describing the first inconsistency found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let n = self.author_content.rows();
+        if self.author_concept.rows() != n {
+            return Err(CoreError::Invalid(
+                "author concept/content row counts differ".into(),
+            ));
+        }
+        if self.x_total.len() != n || self.x_total.iter().any(|r| r.len() != n) {
+            return Err(CoreError::Invalid("x_total is not n x n".into()));
+        }
+        if self.author_handles.len() != n {
+            return Err(CoreError::Invalid("author handle count mismatch".into()));
+        }
+        if self.author_concept.cols() != self.centroids.len() {
+            return Err(CoreError::Invalid(
+                "concept vector width != centroid count".into(),
+            ));
+        }
+        if self.concept_means.len() != self.centroids.len() {
+            return Err(CoreError::Invalid(
+                "concept means width != centroid count".into(),
+            ));
+        }
+        if self
+            .centroids
+            .iter()
+            .any(|c| c.len() != self.collective.dim())
+        {
+            return Err(CoreError::Invalid(
+                "centroid dimension != embedding dimension".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(CoreError::Invalid(format!("alpha {} out of range", self.alpha)));
+        }
+        Ok(())
+    }
+
+    /// The [`QueryModel`] view over this snapshot.
+    pub fn query_model(&self) -> QueryModel<'_> {
+        QueryModel {
+            vocab: &self.vocab,
+            tokenizer: &self.tokenizer,
+            collective: &self.collective,
+            centroids: &self.centroids,
+            author_content: &self.author_content,
+            author_concept: &self.author_concept,
+            concept_means: &self.concept_means,
+            concept_stats: self.concept_stats,
+            content_stats: self.content_stats,
+            x_total: &self.x_total,
+            alpha: self.alpha,
+            tweet_combiner: self.tweet_combiner.into(),
+            graph_min_sim: self.graph_min_sim,
+            graph_top_k: self.graph_top_k,
+        }
+    }
+
+    /// Serve an online query from the persisted model — identical
+    /// behaviour to [`Pipeline::link_query_author`].
+    ///
+    /// # Errors
+    /// Same conditions as [`Pipeline::link_query_author`].
+    pub fn link_query_author(
+        &self,
+        tweets: &[(Timestamp, String)],
+    ) -> Result<QueryOutcome, CoreError> {
+        link_query(&self.query_model(), tweets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use soulmate_corpus::{generate, GeneratorConfig};
+
+    fn fitted() -> (soulmate_corpus::Dataset, Pipeline) {
+        let d = generate(&GeneratorConfig {
+            n_authors: 16,
+            n_communities: 4,
+            n_concepts: 5,
+            entities_per_concept: 8,
+            mean_tweets_per_author: 25,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let p = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+        (d, p)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("soulmate-snapshot-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_disk() {
+        let (d, p) = fitted();
+        let handles: Vec<String> = d.authors.iter().map(|a| a.handle.clone()).collect();
+        let snap = p.snapshot(&handles);
+        let path = tmp("roundtrip.json");
+        snap.save(&path).unwrap();
+        let loaded = PipelineSnapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.n_authors(), p.n_authors());
+        assert_eq!(loaded.author_handles, handles);
+        assert_eq!(loaded.x_total, p.x_total);
+        assert_eq!(
+            loaded.collective.matrix().as_slice(),
+            p.collective.matrix().as_slice()
+        );
+    }
+
+    #[test]
+    fn loaded_snapshot_answers_queries_like_the_pipeline() {
+        let (d, p) = fitted();
+        let snap = p.snapshot(&[]);
+        let path = tmp("query.json");
+        snap.save(&path).unwrap();
+        let loaded = PipelineSnapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let tweets: Vec<(Timestamp, String)> = d
+            .tweets
+            .iter()
+            .filter(|t| t.author == 2)
+            .take(6)
+            .map(|t| (t.timestamp, t.text.clone()))
+            .collect();
+        let from_pipeline = p.link_query_author(&tweets).unwrap();
+        let from_snapshot = loaded.link_query_author(&tweets).unwrap();
+        assert_eq!(from_pipeline.subgraph, from_snapshot.subgraph);
+        assert_eq!(from_pipeline.similarities, from_snapshot.similarities);
+    }
+
+    #[test]
+    fn mismatched_handles_auto_number() {
+        let (_, p) = fitted();
+        let snap = p.snapshot(&["just-one".to_string()]);
+        assert_eq!(snap.author_handles.len(), p.n_authors());
+        assert!(snap.author_handles[0].starts_with("author"));
+    }
+
+    #[test]
+    fn validate_catches_shape_corruption() {
+        let (_, p) = fitted();
+        let mut snap = p.snapshot(&[]);
+        snap.author_handles.pop();
+        assert!(snap.validate().is_err());
+
+        let mut snap2 = p.snapshot(&[]);
+        snap2.alpha = 3.0;
+        assert!(snap2.validate().is_err());
+
+        let mut snap3 = p.snapshot(&[]);
+        snap3.centroids.pop();
+        assert!(snap3.validate().is_err());
+    }
+
+    #[test]
+    fn load_rejects_wrong_version_and_garbage() {
+        let (_, p) = fitted();
+        let mut snap = p.snapshot(&[]);
+        snap.version = 99;
+        let path = tmp("badversion.json");
+        // Serialize the bad version manually.
+        let file = File::create(&path).unwrap();
+        serde_json::to_writer(BufWriter::new(file), &snap).unwrap();
+        assert!(PipelineSnapshot::load(&path).is_err());
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(PipelineSnapshot::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+        assert!(PipelineSnapshot::load(Path::new("/definitely/missing.json")).is_err());
+    }
+}

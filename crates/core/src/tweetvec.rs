@@ -1,0 +1,109 @@
+//! Tweet vectors from word vectors (Section 4.1.4, Eq 13).
+
+use soulmate_embedding::Embedding;
+use soulmate_linalg::Matrix;
+use soulmate_text::WordId;
+
+/// How word vectors combine into a tweet vector (and tweet vectors into an
+/// author content vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combiner {
+    /// Element-wise sum — "generates vectors with bigger values".
+    Sum,
+    /// Element-wise average — "places the resulting vector between input
+    /// vectors, which can better represent the blending".
+    Avg,
+}
+
+impl Combiner {
+    /// Combine a set of vectors into one of dimension `dim`.
+    pub fn combine<'a, I>(&self, vectors: I, dim: usize) -> Vec<f32>
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        match self {
+            Combiner::Sum => soulmate_linalg::sum_of(vectors, dim),
+            Combiner::Avg => soulmate_linalg::mean_of(vectors, dim),
+        }
+    }
+}
+
+/// Compute the vector of a single tweet from its word ids (Eq 13). Words
+/// outside the embedding are skipped; an all-OOV (or empty) tweet yields
+/// the zero vector.
+pub fn tweet_vector(words: &[WordId], embedding: &Embedding, combiner: Combiner) -> Vec<f32> {
+    let in_vocab = words
+        .iter()
+        .filter(|&&w| (w as usize) < embedding.len())
+        .map(|&w| embedding.vector(w));
+    combiner.combine(in_vocab, embedding.dim())
+}
+
+/// Compute vectors for a batch of tweets; row `i` is tweet `i`.
+pub fn tweet_vectors(
+    docs: &[impl AsRef<[WordId]>],
+    embedding: &Embedding,
+    combiner: Combiner,
+) -> Matrix {
+    let mut m = Matrix::zeros(docs.len(), embedding.dim());
+    for (i, doc) in docs.iter().enumerate() {
+        let v = tweet_vector(doc.as_ref(), embedding, combiner);
+        m.row_mut(i).copy_from_slice(&v);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_embedding() -> Embedding {
+        Embedding::from_matrix(
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, 2.0]]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn sum_and_avg_combiners() {
+        let e = toy_embedding();
+        assert_eq!(tweet_vector(&[0, 1], &e, Combiner::Sum), vec![1.0, 1.0]);
+        assert_eq!(tweet_vector(&[0, 1], &e, Combiner::Avg), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn oov_words_skipped() {
+        let e = toy_embedding();
+        // Word 9 is out of vocabulary; Avg divides by the raw token count
+        // only for in-vocab items.
+        assert_eq!(tweet_vector(&[0, 9], &e, Combiner::Sum), vec![1.0, 0.0]);
+        assert_eq!(tweet_vector(&[0, 9], &e, Combiner::Avg), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_tweet_is_zero_vector() {
+        let e = toy_embedding();
+        assert_eq!(tweet_vector(&[], &e, Combiner::Avg), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let e = toy_embedding();
+        let docs = vec![vec![0u32, 1], vec![2], vec![]];
+        let m = tweet_vectors(&docs, &e, Combiner::Avg);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.row(0), tweet_vector(&docs[0], &e, Combiner::Avg).as_slice());
+        assert_eq!(m.row(1), &[2.0, 2.0]);
+        assert_eq!(m.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_scales_with_repetition_avg_does_not() {
+        let e = toy_embedding();
+        let s1 = tweet_vector(&[0], &e, Combiner::Sum);
+        let s3 = tweet_vector(&[0, 0, 0], &e, Combiner::Sum);
+        assert_eq!(s3[0], 3.0 * s1[0]);
+        let a1 = tweet_vector(&[0], &e, Combiner::Avg);
+        let a3 = tweet_vector(&[0, 0, 0], &e, Combiner::Avg);
+        assert_eq!(a1, a3);
+    }
+}

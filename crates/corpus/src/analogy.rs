@@ -1,0 +1,180 @@
+//! Analogy question suite derived from the generated lexicon.
+//!
+//! Substitutes the Google word-analogy test of Section 5.2.1: questions of
+//! the form *"a is to b as c is to ?"*. Two relation families come straight
+//! from the lexicon's planted structure:
+//!
+//! * **mode** (syntactic-like): `base_i : variant_i :: base_j : variant_j` —
+//!   the base→variant shift is signalled by shared contextual markers, so a
+//!   good embedding learns it as a consistent direction;
+//! * **head** (semantic-like): `entity_i^c : head_c :: entity_j^{c'} :
+//!   head_{c'}` — the entity→head shift is the "topical anchor" direction
+//!   within each concept.
+//!
+//! Questions are only emitted when all four words survived vocabulary
+//! pruning, mirroring how the paper's corpus "suffices the words for only
+//! ≈7K questions" of the original 20K.
+
+use crate::lexicon::Lexicon;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use soulmate_text::{Vocabulary, WordId};
+
+/// One analogy question: `a : b :: c : expected`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalogyQuestion {
+    /// First pair, left.
+    pub a: WordId,
+    /// First pair, right.
+    pub b: WordId,
+    /// Second pair, left.
+    pub c: WordId,
+    /// The answer the model must produce.
+    pub expected: WordId,
+}
+
+/// Build the analogy suite for `lexicon` against `vocab`.
+///
+/// Generates up to `max_questions` questions, balanced between the two
+/// relation families, shuffled deterministically by `seed`.
+pub fn build_analogy_suite(
+    lexicon: &Lexicon,
+    vocab: &Vocabulary,
+    max_questions: usize,
+    seed: u64,
+) -> Vec<AnalogyQuestion> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut questions = Vec::new();
+
+    // Collect in-vocabulary (base, variant) pairs and (entity, head) pairs.
+    let mut mode_pairs: Vec<(WordId, WordId)> = Vec::new();
+    let mut head_pairs: Vec<(WordId, WordId)> = Vec::new();
+    for spec in &lexicon.concepts {
+        let head_id = vocab.id(&spec.head);
+        for (b, v) in spec.base_forms.iter().zip(&spec.variant_forms) {
+            let bid = vocab.id(b);
+            let vid = vocab.id(v);
+            if let (Some(bid), Some(vid)) = (bid, vid) {
+                mode_pairs.push((bid, vid));
+            }
+            if let (Some(bid), Some(hid)) = (bid, head_id) {
+                head_pairs.push((bid, hid));
+            }
+        }
+    }
+    mode_pairs.shuffle(&mut rng);
+    head_pairs.shuffle(&mut rng);
+
+    let per_family = max_questions / 2;
+    emit_cross_questions(&mode_pairs, per_family, &mut questions);
+    emit_cross_questions(&head_pairs, max_questions - questions.len().min(max_questions), &mut questions);
+    questions.truncate(max_questions);
+    questions.shuffle(&mut rng);
+    questions
+}
+
+/// Pair up consecutive relation pairs into questions `p[i] :: p[i+1]`,
+/// skipping degenerate combinations (shared words).
+fn emit_cross_questions(
+    pairs: &[(WordId, WordId)],
+    limit: usize,
+    out: &mut Vec<AnalogyQuestion>,
+) {
+    let mut emitted = 0usize;
+    'outer: for stride in 1..pairs.len().max(1) {
+        for i in 0..pairs.len() {
+            if emitted >= limit {
+                break 'outer;
+            }
+            let j = (i + stride) % pairs.len();
+            if i == j {
+                continue;
+            }
+            let (a, b) = pairs[i];
+            let (c, d) = pairs[j];
+            // All four words must be distinct for a well-posed question.
+            if a == c || a == d || b == c || b == d {
+                continue;
+            }
+            out.push(AnalogyQuestion {
+                a,
+                b,
+                c,
+                expected: d,
+            });
+            emitted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use soulmate_text::TokenizerConfig;
+
+    fn suite() -> (Vec<AnalogyQuestion>, Vocabulary) {
+        let d = generate(&GeneratorConfig::small()).unwrap();
+        let enc = d.encode(&TokenizerConfig::default(), 2);
+        let qs = build_analogy_suite(&d.ground_truth.lexicon, &enc.vocab, 500, 7);
+        (qs, enc.vocab)
+    }
+
+    #[test]
+    fn suite_is_nonempty_and_bounded() {
+        let (qs, _) = suite();
+        assert!(!qs.is_empty());
+        assert!(qs.len() <= 500);
+    }
+
+    #[test]
+    fn all_question_words_in_vocab_and_distinct() {
+        let (qs, vocab) = suite();
+        for q in &qs {
+            for id in [q.a, q.b, q.c, q.expected] {
+                assert!(vocab.word(id).is_some());
+            }
+            assert_ne!(q.a, q.c);
+            assert_ne!(q.b, q.expected);
+            assert_ne!(q.a, q.expected);
+            assert_ne!(q.b, q.c);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let d = generate(&GeneratorConfig::small()).unwrap();
+        let enc = d.encode(&TokenizerConfig::default(), 2);
+        let q1 = build_analogy_suite(&d.ground_truth.lexicon, &enc.vocab, 100, 7);
+        let q2 = build_analogy_suite(&d.ground_truth.lexicon, &enc.vocab, 100, 7);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn mode_questions_relate_base_to_variant() {
+        let (qs, vocab) = suite();
+        // At least some questions must be of the base→variant family:
+        // b ends with "ex" iff it is a variant form.
+        let mode_q = qs
+            .iter()
+            .filter(|q| vocab.word(q.b).is_some_and(|w| w.ends_with("ex")))
+            .count();
+        assert!(mode_q > 0, "no mode-family questions found");
+    }
+
+    #[test]
+    fn empty_vocab_yields_empty_suite() {
+        let lex = Lexicon::build(2, 2, 1, 0);
+        let vocab = Vocabulary::new();
+        assert!(build_analogy_suite(&lex, &vocab, 100, 0).is_empty());
+    }
+
+    #[test]
+    fn max_questions_zero_yields_empty() {
+        let (_, _) = suite();
+        let d = generate(&GeneratorConfig::small()).unwrap();
+        let enc = d.encode(&TokenizerConfig::default(), 2);
+        assert!(build_analogy_suite(&d.ground_truth.lexicon, &enc.vocab, 0, 7).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for corpus generation and serialization.
+
+use std::fmt;
+
+/// Errors raised while generating, encoding, or (de)serializing datasets.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Configuration values are inconsistent (message explains).
+    InvalidConfig(String),
+    /// An I/O failure during import/export.
+    Io(std::io::Error),
+    /// Malformed JSONL during import.
+    Parse(String),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::InvalidConfig(msg) => write!(f, "invalid generator config: {msg}"),
+            CorpusError::Io(e) => write!(f, "I/O error: {e}"),
+            CorpusError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}

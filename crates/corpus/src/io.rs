@@ -1,0 +1,124 @@
+//! Dataset (de)serialization.
+//!
+//! Two formats:
+//! * a single JSON document for full datasets (including ground truth);
+//! * a JSONL tweet export (one `{author, minute, text}` object per line)
+//!   for interoperability with external tooling.
+
+use crate::dataset::Dataset;
+use crate::error::CorpusError;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Save a full dataset (tweets + ground truth) as one JSON file.
+pub fn save_json(dataset: &Dataset, path: &Path) -> Result<(), CorpusError> {
+    let file = File::create(path)?;
+    let writer = BufWriter::new(file);
+    serde_json::to_writer(writer, dataset).map_err(|e| CorpusError::Parse(e.to_string()))
+}
+
+/// Load a dataset saved by [`save_json`].
+pub fn load_json(path: &Path) -> Result<Dataset, CorpusError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut dataset: Dataset =
+        serde_json::from_reader(reader).map_err(|e| CorpusError::Parse(e.to_string()))?;
+    // Vocabulary-free structure; nothing to rebuild, but keep ids dense.
+    for (i, a) in dataset.authors.iter_mut().enumerate() {
+        a.id = i as u32;
+    }
+    for (i, t) in dataset.tweets.iter_mut().enumerate() {
+        t.id = i as u32;
+    }
+    Ok(dataset)
+}
+
+/// Export tweets only, one JSON object per line.
+pub fn export_tweets_jsonl(dataset: &Dataset, path: &Path) -> Result<(), CorpusError> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    for t in &dataset.tweets {
+        let line = serde_json::json!({
+            "author": t.author,
+            "minute": t.timestamp.0,
+            "text": t.text,
+        });
+        writeln!(writer, "{line}")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Count the lines of a JSONL export (cheap sanity check for tests/tools).
+pub fn count_jsonl_lines(path: &Path) -> Result<usize, CorpusError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    Ok(reader.lines().count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("soulmate-corpus-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_dataset() {
+        let d = generate(&GeneratorConfig {
+            n_authors: 10,
+            n_communities: 2,
+            mean_tweets_per_author: 10,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let path = tmp("roundtrip.json");
+        save_json(&d, &path).unwrap();
+        let loaded = load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.n_authors(), d.n_authors());
+        assert_eq!(loaded.n_tweets(), d.n_tweets());
+        assert_eq!(loaded.tweets[3].text, d.tweets[3].text);
+        assert_eq!(loaded.tweets[3].timestamp, d.tweets[3].timestamp);
+        assert_eq!(
+            loaded.ground_truth.author_community,
+            d.ground_truth.author_community
+        );
+    }
+
+    #[test]
+    fn jsonl_export_has_one_line_per_tweet() {
+        let d = generate(&GeneratorConfig {
+            n_authors: 5,
+            n_communities: 1,
+            mean_tweets_per_author: 6,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let path = tmp("tweets.jsonl");
+        export_tweets_jsonl(&d, &path).unwrap();
+        let lines = count_jsonl_lines(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(lines, d.n_tweets());
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_json(Path::new("/nonexistent/definitely/missing.json"));
+        assert!(matches!(err, Err(CorpusError::Io(_))));
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, "not json at all {{{").unwrap();
+        let err = load_json(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, Err(CorpusError::Parse(_))));
+    }
+}

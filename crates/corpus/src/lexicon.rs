@@ -1,0 +1,327 @@
+//! The generated lexicon: concepts, relational word forms, markers and
+//! noise variants.
+//!
+//! Words are synthesized from consonant-vowel syllables so they are unique,
+//! pronounceable and collision-free at any configured scale. The lexicon is
+//! *structured*:
+//!
+//! * every concept owns a **head word** (appears in most of its tweets — a
+//!   topical anchor like "beach" for a beach concept);
+//! * every concept owns `entities_per_concept` **entity stems**, each with a
+//!   **base** and a **variant** form (`…a` / `…en` suffixes). Which form a
+//!   tweet uses is governed by its *mode*, signalled by shared mode-marker
+//!   words — this plants the linear regularity that word-analogy tests
+//!   (Fig. 8) probe;
+//! * a pool of shared **marker words** per mode (base/variant) common to all
+//!   concepts;
+//! * per-word **noise variants**: an abbreviation (prefix clip) and a
+//!   misspelling (vowel swap), injected by the generator at a configurable
+//!   rate to reproduce microblog noisiness (Challenge 1).
+
+use serde::{Deserialize, Serialize};
+
+/// A single concept's vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConceptSpec {
+    /// Human-readable concept label ("concept03").
+    pub label: String,
+    /// The topical anchor word.
+    pub head: String,
+    /// Entity base forms.
+    pub base_forms: Vec<String>,
+    /// Entity variant forms (same length as `base_forms`).
+    pub variant_forms: Vec<String>,
+}
+
+impl ConceptSpec {
+    /// Number of entities.
+    pub fn n_entities(&self) -> usize {
+        self.base_forms.len()
+    }
+}
+
+/// The complete generated lexicon.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lexicon {
+    /// One spec per concept.
+    pub concepts: Vec<ConceptSpec>,
+    /// Marker words signalling base mode.
+    pub base_markers: Vec<String>,
+    /// Marker words signalling variant mode.
+    pub variant_markers: Vec<String>,
+    /// Filler words (near-stopword chatter, shared by all concepts).
+    pub fillers: Vec<String>,
+    /// Homograph words: each is shared by *two* concepts with different
+    /// temporal profiles (paper Challenge 2 — "word proximity patterns
+    /// alter in various temporal facets"). Time-sliced embeddings can
+    /// separate the senses; a single global embedding cannot.
+    #[serde(default)]
+    pub homographs: Vec<String>,
+    /// The two concepts each homograph belongs to, parallel to
+    /// `homographs`.
+    #[serde(default)]
+    pub homograph_concepts: Vec<(usize, usize)>,
+}
+
+impl Lexicon {
+    /// Build a lexicon with `n_concepts` concepts, `entities_per_concept`
+    /// entity stems each, `n_markers` markers per mode and `n_fillers`
+    /// filler words.
+    pub fn build(
+        n_concepts: usize,
+        entities_per_concept: usize,
+        n_markers: usize,
+        n_fillers: usize,
+    ) -> Lexicon {
+        Self::build_with_homographs(n_concepts, entities_per_concept, n_markers, n_fillers, 0)
+    }
+
+    /// Like [`Lexicon::build`], plus `n_homographs` words each shared by a
+    /// pair of concepts `(h % C, (h + C/2) % C)` — pairs chosen to have
+    /// different planted temporal profiles.
+    pub fn build_with_homographs(
+        n_concepts: usize,
+        entities_per_concept: usize,
+        n_markers: usize,
+        n_fillers: usize,
+        n_homographs: usize,
+    ) -> Lexicon {
+        let mut namer = WordNamer::new();
+        let concepts = (0..n_concepts)
+            .map(|c| {
+                let head = namer.word(3);
+                let mut base_forms = Vec::with_capacity(entities_per_concept);
+                let mut variant_forms = Vec::with_capacity(entities_per_concept);
+                for _ in 0..entities_per_concept {
+                    let stem = namer.word(2);
+                    base_forms.push(format!("{stem}a"));
+                    variant_forms.push(format!("{stem}ex"));
+                }
+                ConceptSpec {
+                    label: format!("concept{c:02}"),
+                    head,
+                    base_forms,
+                    variant_forms,
+                }
+            })
+            .collect();
+        let base_markers = (0..n_markers).map(|_| namer.word(2)).collect();
+        let variant_markers = (0..n_markers).map(|_| namer.word(2)).collect();
+        let fillers = (0..n_fillers).map(|_| namer.word(2)).collect();
+        let homographs: Vec<String> = (0..n_homographs).map(|_| namer.word(3)).collect();
+        let homograph_concepts = (0..n_homographs)
+            .map(|h| {
+                let a = h % n_concepts;
+                let b = (h + (n_concepts / 2).max(1)) % n_concepts;
+                (a, b)
+            })
+            .collect();
+        Lexicon {
+            concepts,
+            base_markers,
+            variant_markers,
+            fillers,
+            homographs,
+            homograph_concepts,
+        }
+    }
+
+    /// Homographs belonging to concept `c` (either sense).
+    pub fn homographs_of(&self, c: usize) -> Vec<&str> {
+        self.homographs
+            .iter()
+            .zip(&self.homograph_concepts)
+            .filter(|(_, &(a, b))| a == c || b == c)
+            .map(|(w, _)| w.as_str())
+            .collect()
+    }
+
+    /// Total distinct clean (noise-free) words in the lexicon.
+    pub fn clean_vocab_size(&self) -> usize {
+        self.concepts
+            .iter()
+            .map(|c| 1 + c.base_forms.len() + c.variant_forms.len())
+            .sum::<usize>()
+            + self.base_markers.len()
+            + self.variant_markers.len()
+            + self.fillers.len()
+    }
+
+    /// Abbreviated (clipped) noise variant of a word: first 3+ characters.
+    /// "arvo"-style shortenings — a distinct rare token the tokenizer keeps.
+    pub fn abbreviate(word: &str) -> String {
+        let take = (word.len() / 2).max(3).min(word.len());
+        word[..take].to_string()
+    }
+
+    /// Misspelled noise variant: swap the first two vowels' order (a common
+    /// typo class); falls back to doubling the final character.
+    pub fn misspell(word: &str) -> String {
+        let chars: Vec<char> = word.chars().collect();
+        let vowel_positions: Vec<usize> = chars
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| "aeiou".contains(**c))
+            .map(|(i, _)| i)
+            .collect();
+        if vowel_positions.len() >= 2 && chars[vowel_positions[0]] != chars[vowel_positions[1]] {
+            let mut out = chars.clone();
+            out.swap(vowel_positions[0], vowel_positions[1]);
+            out.into_iter().collect()
+        } else {
+            let mut out = word.to_string();
+            if let Some(last) = word.chars().last() {
+                out.push(last);
+            }
+            out
+        }
+    }
+}
+
+/// Deterministic pronounceable-word generator: enumerates CV-syllable
+/// combinations in a fixed order so the n-th word is always the same.
+struct WordNamer {
+    counter: usize,
+}
+
+const CONSONANTS: &[char] = &[
+    'b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z',
+];
+const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
+
+impl WordNamer {
+    fn new() -> Self {
+        WordNamer { counter: 0 }
+    }
+
+    /// Next unique word of `syllables` CV syllables, derived from an
+    /// incrementing counter (mixed-radix digits → syllables). A terminal
+    /// consonant keyed to the counter keeps words of different calls
+    /// distinct even across syllable counts.
+    fn word(&mut self, syllables: usize) -> String {
+        let mut n = self.counter;
+        self.counter += 1;
+        let mut w = String::with_capacity(syllables * 2 + 1);
+        for _ in 0..syllables {
+            let c = CONSONANTS[n % CONSONANTS.len()];
+            n /= CONSONANTS.len();
+            let v = VOWELS[n % VOWELS.len()];
+            n /= VOWELS.len();
+            w.push(c);
+            w.push(v);
+        }
+        // Tail consonant encodes any remaining counter bits plus the
+        // syllable count, preventing prefix collisions like "ba" vs "ba+ba".
+        w.push(CONSONANTS[(n + syllables) % CONSONANTS.len()]);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn build_produces_requested_counts() {
+        let lex = Lexicon::build(4, 6, 5, 8);
+        assert_eq!(lex.concepts.len(), 4);
+        for c in &lex.concepts {
+            assert_eq!(c.n_entities(), 6);
+            assert_eq!(c.base_forms.len(), c.variant_forms.len());
+        }
+        assert_eq!(lex.base_markers.len(), 5);
+        assert_eq!(lex.variant_markers.len(), 5);
+        assert_eq!(lex.fillers.len(), 8);
+        assert_eq!(lex.clean_vocab_size(), 4 * (1 + 12) + 5 + 5 + 8);
+    }
+
+    #[test]
+    fn all_words_unique() {
+        let lex = Lexicon::build(10, 20, 10, 20);
+        let mut seen = HashSet::new();
+        let mut all: Vec<&String> = Vec::new();
+        for c in &lex.concepts {
+            all.push(&c.head);
+            all.extend(&c.base_forms);
+            all.extend(&c.variant_forms);
+        }
+        all.extend(&lex.base_markers);
+        all.extend(&lex.variant_markers);
+        all.extend(&lex.fillers);
+        for w in all {
+            assert!(seen.insert(w.clone()), "duplicate word {w}");
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Lexicon::build(3, 4, 2, 2);
+        let b = Lexicon::build(3, 4, 2, 2);
+        assert_eq!(a.concepts[2].base_forms, b.concepts[2].base_forms);
+        assert_eq!(a.fillers, b.fillers);
+    }
+
+    #[test]
+    fn base_and_variant_share_a_stem() {
+        let lex = Lexicon::build(1, 3, 1, 0);
+        let c = &lex.concepts[0];
+        for (b, v) in c.base_forms.iter().zip(&c.variant_forms) {
+            assert!(b.ends_with('a'));
+            assert!(v.ends_with("ex"));
+            assert_eq!(&b[..b.len() - 1], &v[..v.len() - 2], "stems must match");
+        }
+    }
+
+    #[test]
+    fn words_are_lowercase_alphabetic() {
+        let lex = Lexicon::build(5, 10, 5, 5);
+        for c in &lex.concepts {
+            for w in c.base_forms.iter().chain(&c.variant_forms).chain([&c.head]) {
+                assert!(w.chars().all(|ch| ch.is_ascii_lowercase()), "bad word {w}");
+                assert!(w.len() >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn homographs_are_shared_by_two_distinct_concepts() {
+        let lex = Lexicon::build_with_homographs(6, 4, 2, 2, 6);
+        assert_eq!(lex.homographs.len(), 6);
+        for &(a, b) in &lex.homograph_concepts {
+            assert!(a < 6 && b < 6);
+            assert_ne!(a, b, "homograph must span two concepts");
+        }
+        // homographs_of finds each word under both of its concepts.
+        let w = lex.homographs[0].as_str();
+        let (a, b) = lex.homograph_concepts[0];
+        assert!(lex.homographs_of(a).contains(&w));
+        assert!(lex.homographs_of(b).contains(&w));
+        // Plain build has none.
+        assert!(Lexicon::build(4, 4, 2, 2).homographs.is_empty());
+    }
+
+    #[test]
+    fn abbreviation_is_shorter_prefix() {
+        let abbr = Lexicon::abbreviate("afternoon");
+        assert!(abbr.len() < "afternoon".len());
+        assert!("afternoon".starts_with(&abbr));
+        // Short words degrade gracefully.
+        assert_eq!(Lexicon::abbreviate("bad"), "bad");
+    }
+
+    #[test]
+    fn misspelling_differs_but_same_length_class() {
+        let w = "baneto";
+        let m = Lexicon::misspell(w);
+        assert_ne!(m, w);
+        // Vowel swap keeps length; doubling adds one.
+        assert!(m.len() == w.len() || m.len() == w.len() + 1);
+    }
+
+    #[test]
+    fn misspelling_fallback_for_single_vowel() {
+        let m = Lexicon::misspell("bab");
+        assert_eq!(m, "babb");
+    }
+}

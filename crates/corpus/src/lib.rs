@@ -1,0 +1,47 @@
+//! Synthetic microblog corpus generator for the SoulMate reproduction.
+//!
+//! The paper evaluates on 1M geo-tagged Australian tweets from ~4K users —
+//! a proprietary crawl we cannot redistribute. This crate substitutes a
+//! *generative* corpus with **planted structure** that exercises the same
+//! code paths and, crucially, carries ground truth:
+//!
+//! * **Latent concepts** with dedicated vocabularies (→ concept clustering
+//!   has something to find);
+//! * **Author communities** mixing 2–3 concepts (→ author linking has a
+//!   correct answer);
+//! * **Temporal modulation** — concepts carry weekday/weekend day profiles
+//!   and diurnal hour windows, plus seasonal affinity (→ temporal slabs and
+//!   the TCBOW embedding have real signal, reproducing the paper's Fig. 1
+//!   motivation);
+//! * **Relational word forms** (base/variant under contextual "mode"
+//!   markers and concept head words) from which an analogy question suite
+//!   is derived (→ substitutes the Google analogy test of Fig. 8);
+//! * **Microblog noise** — misspellings, abbreviations, mentions, hashtags,
+//!   elongations (→ exact textual matching degrades just like on Twitter).
+//!
+//! The output [`Dataset`] is plain `(author, timestamp, text)` records; the
+//! ground truth lives beside it and is consumed **only** by the evaluation
+//! crate's simulated experts, never by the pipeline under test.
+
+// Index-based loops are used deliberately where two mirrored cells of a
+// symmetric matrix (or several parallel arrays) are written per step —
+// iterator rewrites obscure those invariants.
+#![allow(clippy::needless_range_loop)]
+
+pub mod analogy;
+pub mod dataset;
+pub mod error;
+pub mod generator;
+pub mod io;
+pub mod lexicon;
+pub mod stats;
+pub mod time;
+
+pub use analogy::{build_analogy_suite, AnalogyQuestion};
+pub use dataset::{
+    Author, AuthorId, Dataset, EncodedCorpus, EncodedTweet, GroundTruth, Tweet, TweetId,
+};
+pub use error::CorpusError;
+pub use generator::{generate, GeneratorConfig};
+pub use lexicon::{ConceptSpec, Lexicon};
+pub use time::{Season, Timestamp, MINUTES_PER_DAY, MINUTES_PER_YEAR};

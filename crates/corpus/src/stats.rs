@@ -1,0 +1,116 @@
+//! Corpus statistics: word-pair co-occurrence distributions over temporal
+//! facets (the paper's Fig. 1 observation).
+
+use crate::dataset::EncodedCorpus;
+use soulmate_text::WordId;
+
+/// Distribution of a word pair's tweet-level co-occurrences over the 24
+/// hours of the day. Entry `h` is the fraction of all co-occurrences that
+/// happen in hour `h` (all-zero when the pair never co-occurs).
+pub fn pair_cooccurrence_by_hour(corpus: &EncodedCorpus, w1: WordId, w2: WordId) -> [f32; 24] {
+    let mut counts = [0u32; 24];
+    for t in &corpus.tweets {
+        if t.words.contains(&w1) && t.words.contains(&w2) {
+            counts[t.timestamp.hour() as usize] += 1;
+        }
+    }
+    normalize(&counts)
+}
+
+/// Distribution of a word pair's co-occurrences over the four seasons.
+pub fn pair_cooccurrence_by_season(corpus: &EncodedCorpus, w1: WordId, w2: WordId) -> [f32; 4] {
+    let mut counts = [0u32; 4];
+    for t in &corpus.tweets {
+        if t.words.contains(&w1) && t.words.contains(&w2) {
+            counts[t.timestamp.season().index()] += 1;
+        }
+    }
+    normalize(&counts)
+}
+
+/// Distribution of a word pair's co-occurrences over the seven weekdays
+/// (Monday first).
+pub fn pair_cooccurrence_by_weekday(corpus: &EncodedCorpus, w1: WordId, w2: WordId) -> [f32; 7] {
+    let mut counts = [0u32; 7];
+    for t in &corpus.tweets {
+        if t.words.contains(&w1) && t.words.contains(&w2) {
+            counts[t.timestamp.day_of_week() as usize] += 1;
+        }
+    }
+    normalize(&counts)
+}
+
+fn normalize<const N: usize>(counts: &[u32; N]) -> [f32; N] {
+    let total: u32 = counts.iter().sum();
+    let mut out = [0.0f32; N];
+    if total > 0 {
+        for (o, &c) in out.iter_mut().zip(counts) {
+            *o = c as f32 / total as f32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use soulmate_text::TokenizerConfig;
+
+    #[test]
+    fn morning_concept_pair_peaks_in_morning_hours() {
+        let d = generate(&GeneratorConfig::small()).unwrap();
+        let enc = d.encode(&TokenizerConfig::default(), 2);
+        let lex = &d.ground_truth.lexicon;
+        // Concept 0 peaks at hour 8 on weekdays; its head and first base
+        // form co-occur constantly.
+        let h = enc.vocab.id(&lex.concepts[0].head).unwrap();
+        let e = enc.vocab.id(&lex.concepts[0].base_forms[0]).unwrap();
+        let dist = pair_cooccurrence_by_hour(&enc, h, e);
+        let morning: f32 = dist[6..=11].iter().sum();
+        let night: f32 = dist[0..=4].iter().sum();
+        assert!(
+            morning > night * 2.0,
+            "expected morning peak, got morning={morning} night={night}"
+        );
+        let total: f32 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn seasonal_pair_prefers_its_season() {
+        let d = generate(&GeneratorConfig::small()).unwrap();
+        let enc = d.encode(&TokenizerConfig::default(), 2);
+        let lex = &d.ground_truth.lexicon;
+        // Concept 1 is seasonal (season index 1 = autumn).
+        let h = enc.vocab.id(&lex.concepts[1].head).unwrap();
+        let e = enc.vocab.id(&lex.concepts[1].base_forms[0]).unwrap();
+        let dist = pair_cooccurrence_by_season(&enc, h, e);
+        assert!(dist[1] > 0.4, "seasonal skew missing: {dist:?}");
+    }
+
+    #[test]
+    fn never_cooccurring_pair_is_all_zero() {
+        let d = generate(&GeneratorConfig::small()).unwrap();
+        let enc = d.encode(&TokenizerConfig::default(), 2);
+        // A word with itself... pick two ids that never share a tweet by
+        // using an id far outside the vocabulary.
+        let dist = pair_cooccurrence_by_hour(&enc, 999_999, 999_998);
+        assert!(dist.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn weekday_distribution_sums_to_one() {
+        let d = generate(&GeneratorConfig::small()).unwrap();
+        let enc = d.encode(&TokenizerConfig::default(), 2);
+        let lex = &d.ground_truth.lexicon;
+        let h = enc.vocab.id(&lex.concepts[0].head).unwrap();
+        let e = enc.vocab.id(&lex.concepts[0].base_forms[0]).unwrap();
+        let dist = pair_cooccurrence_by_weekday(&enc, h, e);
+        let total: f32 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+        // Concept 0 is weekday-heavy.
+        let wd: f32 = dist[..5].iter().sum();
+        assert!(wd > 0.7, "weekday mass only {wd}");
+    }
+}

@@ -1,0 +1,208 @@
+//! A minimal synthetic calendar.
+//!
+//! The generator works on a clean model year: **52 weeks = 364 days**,
+//! starting on a Monday, split into four 13-week seasons. Real-calendar
+//! irregularities (leap days, months of unequal length) would only add
+//! noise to the temporal facets without exercising any additional code, so
+//! the model calendar keeps the split structure exact: 7 day-of-week
+//! splits, 24 hour splits, 4 season splits — precisely the facets the paper
+//! uses.
+
+use serde::{Deserialize, Serialize};
+
+/// Minutes in a model day.
+pub const MINUTES_PER_DAY: u32 = 24 * 60;
+/// Days in a model year (52 exact weeks).
+pub const DAYS_PER_YEAR: u32 = 364;
+/// Minutes in a model year.
+pub const MINUTES_PER_YEAR: u32 = DAYS_PER_YEAR * MINUTES_PER_DAY;
+
+/// The four seasons of the model year (13 weeks each). The generator's
+/// corpus is "Australian", so the year opens in summer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Season {
+    /// Weeks 0–12.
+    Summer,
+    /// Weeks 13–25.
+    Autumn,
+    /// Weeks 26–38.
+    Winter,
+    /// Weeks 39–51.
+    Spring,
+}
+
+impl Season {
+    /// All seasons in calendar order.
+    pub const ALL: [Season; 4] = [Season::Summer, Season::Autumn, Season::Winter, Season::Spring];
+
+    /// Season index 0..4.
+    pub fn index(self) -> usize {
+        match self {
+            Season::Summer => 0,
+            Season::Autumn => 1,
+            Season::Winter => 2,
+            Season::Spring => 3,
+        }
+    }
+
+    /// Season from an index 0..4.
+    pub fn from_index(i: usize) -> Season {
+        Season::ALL[i % 4]
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Season::Summer => "summer",
+            Season::Autumn => "autumn",
+            Season::Winter => "winter",
+            Season::Spring => "spring",
+        }
+    }
+}
+
+/// A point in the model year, stored as minutes since year start
+/// (midnight of the first Monday).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Timestamp(pub u32);
+
+impl Timestamp {
+    /// Construct from components. `day_of_year` wraps at 364, `hour` at 24,
+    /// `minute` at 60 — convenient for additive generation.
+    pub fn from_parts(day_of_year: u32, hour: u32, minute: u32) -> Timestamp {
+        Timestamp(
+            (day_of_year % DAYS_PER_YEAR) * MINUTES_PER_DAY + (hour % 24) * 60 + (minute % 60),
+        )
+    }
+
+    /// Minutes since year start, normalized into the year.
+    pub fn minute_of_year(self) -> u32 {
+        self.0 % MINUTES_PER_YEAR
+    }
+
+    /// Day of year, 0..364.
+    pub fn day_of_year(self) -> u32 {
+        self.minute_of_year() / MINUTES_PER_DAY
+    }
+
+    /// Hour of day, 0..24.
+    pub fn hour(self) -> u32 {
+        (self.minute_of_year() % MINUTES_PER_DAY) / 60
+    }
+
+    /// Minute of hour, 0..60.
+    pub fn minute(self) -> u32 {
+        self.minute_of_year() % 60
+    }
+
+    /// Day of week, 0..7, where 0 = Monday (the model year starts Monday).
+    pub fn day_of_week(self) -> u32 {
+        self.day_of_year() % 7
+    }
+
+    /// Week of year, 0..52.
+    pub fn week(self) -> u32 {
+        self.day_of_year() / 7
+    }
+
+    /// Month of year, 0..13 (thirteen exact 4-week months).
+    pub fn month(self) -> u32 {
+        self.week() / 4
+    }
+
+    /// Season of year.
+    pub fn season(self) -> Season {
+        Season::from_index((self.week() / 13) as usize)
+    }
+
+    /// True on Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        self.day_of_week() >= 5
+    }
+
+    /// English weekday name (Monday-start).
+    pub fn weekday_name(self) -> &'static str {
+        ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][self.day_of_week() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn year_zero_is_monday_midnight_summer() {
+        let t = Timestamp(0);
+        assert_eq!(t.day_of_week(), 0);
+        assert_eq!(t.hour(), 0);
+        assert_eq!(t.season(), Season::Summer);
+        assert_eq!(t.weekday_name(), "Mon");
+        assert!(!t.is_weekend());
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let t = Timestamp::from_parts(10, 14, 30);
+        assert_eq!(t.day_of_year(), 10);
+        assert_eq!(t.hour(), 14);
+        assert_eq!(t.minute(), 30);
+        assert_eq!(t.day_of_week(), 3); // day 10 = Thursday
+    }
+
+    #[test]
+    fn from_parts_wraps_components() {
+        let t = Timestamp::from_parts(365, 25, 61);
+        assert_eq!(t.day_of_year(), 1);
+        assert_eq!(t.hour(), 1);
+        assert_eq!(t.minute(), 1);
+    }
+
+    #[test]
+    fn weekend_detection() {
+        assert!(Timestamp::from_parts(5, 12, 0).is_weekend()); // Saturday
+        assert!(Timestamp::from_parts(6, 12, 0).is_weekend()); // Sunday
+        assert!(!Timestamp::from_parts(4, 12, 0).is_weekend()); // Friday
+    }
+
+    #[test]
+    fn seasons_partition_the_year() {
+        assert_eq!(Timestamp::from_parts(0, 0, 0).season(), Season::Summer);
+        assert_eq!(Timestamp::from_parts(13 * 7, 0, 0).season(), Season::Autumn);
+        assert_eq!(Timestamp::from_parts(26 * 7, 0, 0).season(), Season::Winter);
+        assert_eq!(Timestamp::from_parts(39 * 7, 0, 0).season(), Season::Spring);
+        assert_eq!(Timestamp::from_parts(51 * 7 + 6, 23, 59).season(), Season::Spring);
+    }
+
+    #[test]
+    fn season_index_roundtrip() {
+        for s in Season::ALL {
+            assert_eq!(Season::from_index(s.index()), s);
+        }
+    }
+
+    #[test]
+    fn months_cover_thirteen_four_week_blocks() {
+        assert_eq!(Timestamp::from_parts(0, 0, 0).month(), 0);
+        assert_eq!(Timestamp::from_parts(28, 0, 0).month(), 1);
+        assert_eq!(Timestamp::from_parts(363, 0, 0).month(), 12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_component_ranges(m in 0u32..(2 * MINUTES_PER_YEAR)) {
+            let t = Timestamp(m);
+            prop_assert!(t.hour() < 24);
+            prop_assert!(t.minute() < 60);
+            prop_assert!(t.day_of_week() < 7);
+            prop_assert!(t.day_of_year() < DAYS_PER_YEAR);
+            prop_assert!(t.week() < 52);
+            prop_assert!(t.month() < 13);
+        }
+
+        #[test]
+        fn prop_minute_of_year_wraps(m in 0u32..MINUTES_PER_YEAR) {
+            prop_assert_eq!(Timestamp(m).minute_of_year(), Timestamp(m + MINUTES_PER_YEAR).minute_of_year());
+        }
+    }
+}

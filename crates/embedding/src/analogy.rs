@@ -1,0 +1,93 @@
+//! Word-analogy evaluation (Section 5.2.1, Fig. 8a).
+//!
+//! Answers *"a is to b as c is to ?"* with 3CosAdd over the embedding and
+//! scores accuracy against the expected word. The same accuracy, computed
+//! per slab, becomes the Ã weights of the TCBOW fusion (Eqs 6–12).
+
+use crate::embedding::Embedding;
+use soulmate_text::WordId;
+
+/// Accuracy of `embedding` on an analogy question set: the fraction of
+/// questions where the 3CosAdd answer equals the expected word. Questions
+/// whose words fall outside the embedding are skipped (not counted).
+/// Returns `0.0` when no question is answerable.
+pub fn evaluate_analogy(
+    embedding: &Embedding,
+    questions: &[(WordId, WordId, WordId, WordId)],
+) -> f32 {
+    let mut answered = 0usize;
+    let mut correct = 0usize;
+    for &(a, b, c, expected) in questions {
+        match embedding.analogy(a, b, c) {
+            Some(got) => {
+                answered += 1;
+                if got == expected {
+                    correct += 1;
+                }
+            }
+            None => continue,
+        }
+    }
+    if answered == 0 {
+        0.0
+    } else {
+        correct as f32 / answered as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soulmate_linalg::Matrix;
+
+    /// A hand-placed embedding on the unit circle where the relation
+    /// "rotate by ~80°" maps 0→1 and 2→3, and words 4/5 sit far away as
+    /// distractors.
+    fn rotational_embedding() -> Embedding {
+        let deg = |d: f32| {
+            let r = d.to_radians();
+            vec![r.cos(), r.sin()]
+        };
+        Embedding::from_matrix(
+            Matrix::from_rows(&[
+                deg(0.0),    // 0: a
+                deg(80.0),   // 1: b = rot(a)
+                deg(10.0),   // 2: c
+                deg(90.0),   // 3: d = rot(c)
+                deg(200.0),  // 4: distractor
+                deg(-120.0), // 5: distractor
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn perfect_embedding_scores_one() {
+        let e = rotational_embedding();
+        let qs = vec![(0, 1, 2, 3), (2, 3, 0, 1)];
+        assert_eq!(evaluate_analogy(&e, &qs), 1.0);
+    }
+
+    #[test]
+    fn unanswerable_questions_are_skipped() {
+        let e = rotational_embedding();
+        let qs = vec![(0, 1, 99, 3), (0, 1, 2, 3)];
+        // The first question is skipped, the second answered correctly.
+        assert_eq!(evaluate_analogy(&e, &qs), 1.0);
+    }
+
+    #[test]
+    fn empty_set_scores_zero() {
+        let e = rotational_embedding();
+        assert_eq!(evaluate_analogy(&e, &[]), 0.0);
+        assert_eq!(evaluate_analogy(&e, &[(0, 1, 99, 3)]), 0.0);
+    }
+
+    #[test]
+    fn wrong_expectations_score_zero() {
+        let e = rotational_embedding();
+        // The 3CosAdd answer is word 3; expecting a distractor scores 0.
+        let qs = vec![(0, 1, 2, 4), (0, 1, 2, 5)];
+        assert_eq!(evaluate_analogy(&e, &qs), 0.0);
+    }
+}

@@ -1,0 +1,690 @@
+//! Continuous bag-of-words (CBOW) training from scratch (Mikolov et al.
+//! 2013; the paper's Eqs 2–4 and Fig. 6).
+//!
+//! The hidden layer is the mean of the context words' input vectors
+//! (Eq. 2); the output layer scores every vocabulary word (Eq. 3) and is
+//! normalized by softmax (Eq. 4). Two objectives are provided:
+//!
+//! * [`SoftmaxMode::Full`] — the exact softmax of the paper, O(|V|) per
+//!   target, fine for slab-sized vocabularies;
+//! * [`SoftmaxMode::Negative`] — negative sampling (the word2vec speedup),
+//!   the default for corpus-scale training.
+//!
+//! Learning follows the original word2vec reference implementation:
+//! dynamic window shrinking, linearly decaying learning rate, unigram^0.75
+//! negative-sampling table.
+
+use crate::embedding::Embedding;
+use crate::error::EmbeddingError;
+use rand::{Rng, SeedableRng};
+use soulmate_linalg::{axpy, dot, softmax_in_place, Matrix};
+use soulmate_text::WordId;
+
+/// Output-layer objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoftmaxMode {
+    /// Exact softmax over the whole vocabulary (Eq. 4).
+    Full,
+    /// Negative sampling with this many noise words per target.
+    Negative(usize),
+}
+
+/// CBOW hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct CbowConfig {
+    /// Hidden-layer dimensionality `N`.
+    pub dim: usize,
+    /// Maximum context window `C` on each side.
+    pub window: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to `lr / 10^4`).
+    pub lr: f32,
+    /// Output-layer objective.
+    pub mode: SoftmaxMode,
+    /// Frequent-word subsampling threshold `t` (word2vec's 1e-3): a word
+    /// with corpus frequency `f` is kept with probability
+    /// `sqrt(t/f) + t/f`. `None` disables subsampling.
+    pub subsample: Option<f32>,
+}
+
+impl Default for CbowConfig {
+    fn default() -> Self {
+        CbowConfig {
+            dim: 50,
+            window: 4,
+            epochs: 5,
+            lr: 0.05,
+            mode: SoftmaxMode::Negative(5),
+            subsample: None,
+        }
+    }
+}
+
+/// Train CBOW over encoded documents.
+///
+/// Returns the hidden-layer (input) matrix as the word embedding, per the
+/// paper: "both models return the word vectors that are trained in the
+/// hidden layer".
+///
+/// # Errors
+/// * [`EmbeddingError::EmptyVocabulary`] when `vocab_size == 0`;
+/// * [`EmbeddingError::EmptyCorpus`] when no document has ≥ 2 tokens;
+/// * [`EmbeddingError::InvalidConfig`] for zero dim/window/epochs.
+pub fn train_cbow<R: Rng>(
+    docs: &[impl AsRef<[WordId]>],
+    vocab_size: usize,
+    config: &CbowConfig,
+    rng: &mut R,
+) -> Result<Embedding, EmbeddingError> {
+    validate(vocab_size, config)?;
+    let trainable = docs.iter().filter(|d| d.as_ref().len() >= 2).count();
+    if trainable == 0 {
+        return Err(EmbeddingError::EmptyCorpus);
+    }
+
+    let dim = config.dim;
+    let mut input = Matrix::random_uniform(vocab_size, dim, 0.5 / dim as f32, rng);
+    let mut output = Matrix::zeros(vocab_size, dim);
+    train_cbow_core(docs, vocab_size, config, &mut input, &mut output, rng);
+    Ok(Embedding::from_matrix(input))
+}
+
+/// The CBOW SGD loop over pre-initialized matrices (shared by the
+/// sequential and the sharded-parallel trainers).
+fn train_cbow_core<R: Rng>(
+    docs: &[impl AsRef<[WordId]>],
+    vocab_size: usize,
+    config: &CbowConfig,
+    input: &mut Matrix,
+    output: &mut Matrix,
+    rng: &mut R,
+) {
+    let dim = config.dim;
+    let unigram = UnigramTable::build(docs, vocab_size);
+    let total_targets: usize = docs
+        .iter()
+        .map(|d| d.as_ref().len())
+        .sum::<usize>()
+        .max(1)
+        * config.epochs;
+    let min_lr = config.lr * 1e-4;
+
+    let keep_prob = config
+        .subsample
+        .map(|t| keep_probabilities(docs, vocab_size, t));
+
+    let mut h = vec![0.0f32; dim];
+    let mut e = vec![0.0f32; dim];
+    let mut logits = vec![0.0f32; vocab_size];
+    let mut filtered: Vec<WordId> = Vec::new();
+    let mut seen = 0usize;
+
+    for _ in 0..config.epochs {
+        for doc in docs {
+            let words: &[WordId] = match &keep_prob {
+                Some(kp) => {
+                    filtered.clear();
+                    filtered.extend(
+                        doc.as_ref()
+                            .iter()
+                            .filter(|&&w| rng.gen_range(0.0f32..1.0) < kp[w as usize])
+                            .copied(),
+                    );
+                    &filtered
+                }
+                None => doc.as_ref(),
+            };
+            if words.len() < 2 {
+                seen += words.len();
+                continue;
+            }
+            for t in 0..words.len() {
+                seen += 1;
+                let lr = (config.lr
+                    * (1.0 - seen as f32 / total_targets as f32))
+                    .max(min_lr);
+                // Dynamic window, as in word2vec: uniform in [1, window].
+                let b = rng.gen_range(1..=config.window);
+                let lo = t.saturating_sub(b);
+                let hi = (t + b + 1).min(words.len());
+                let context: &[WordId] = &words[lo..hi];
+                let n_context = context.len() - 1; // excluding the target
+                if n_context == 0 {
+                    continue;
+                }
+                // h = mean of context input vectors (Eq. 2).
+                h.iter_mut().for_each(|x| *x = 0.0);
+                for (ci, &c) in context.iter().enumerate() {
+                    if lo + ci == t {
+                        continue;
+                    }
+                    axpy(1.0, input.row(c as usize), &mut h);
+                }
+                let inv = 1.0 / n_context as f32;
+                h.iter_mut().for_each(|x| *x *= inv);
+
+                e.iter_mut().for_each(|x| *x = 0.0);
+                let target = words[t] as usize;
+                match config.mode {
+                    SoftmaxMode::Negative(k) => {
+                        // Positive example plus k noise words.
+                        train_pair(target, 1.0, lr, &h, &mut e, output);
+                        for _ in 0..k {
+                            let noise = unigram.sample(rng);
+                            if noise == target {
+                                continue;
+                            }
+                            train_pair(noise, 0.0, lr, &h, &mut e, output);
+                        }
+                    }
+                    SoftmaxMode::Full => {
+                        // Exact softmax (Eqs 3–4): u_j = v'_j · h.
+                        for (j, l) in logits.iter_mut().enumerate() {
+                            *l = dot(output.row(j), &h);
+                        }
+                        softmax_in_place(&mut logits);
+                        for (j, &y) in logits.iter().enumerate() {
+                            let err = y - if j == target { 1.0 } else { 0.0 };
+                            if err == 0.0 {
+                                continue;
+                            }
+                            let g = lr * err;
+                            // e accumulates against the pre-update row —
+                            // the same convention as word2vec's SGNS path.
+                            axpy(-g, output.row(j), &mut e);
+                            axpy(-g, &h, output.row_mut(j));
+                        }
+                    }
+                }
+                // Propagate the accumulated error to every context word.
+                for (ci, &c) in context.iter().enumerate() {
+                    if lo + ci == t {
+                        continue;
+                    }
+                    axpy(1.0, &e, input.row_mut(c as usize));
+                }
+            }
+        }
+    }
+}
+
+/// Sharded-parallel CBOW: the corpus is split into `threads` contiguous
+/// shards that train *from a shared random initialization* on independent
+/// threads; the shard models are then averaged, weighted by shard token
+/// count (one-shot parameter averaging). Deterministic for a fixed
+/// `(seed, threads)` pair; results differ slightly from the sequential
+/// trainer (averaging approximates, not replays, the joint SGD).
+///
+/// # Errors
+/// Same conditions as [`train_cbow`].
+pub fn train_cbow_parallel(
+    docs: &[impl AsRef<[WordId]> + Sync],
+    vocab_size: usize,
+    config: &CbowConfig,
+    threads: usize,
+    seed: u64,
+) -> Result<Embedding, EmbeddingError> {
+    validate(vocab_size, config)?;
+    let trainable = docs.iter().filter(|d| d.as_ref().len() >= 2).count();
+    if trainable == 0 {
+        return Err(EmbeddingError::EmptyCorpus);
+    }
+    let threads = threads.max(1).min(docs.len().max(1));
+
+    // Shared initialization: every shard starts in the same basin so the
+    // averaged model is meaningful.
+    let dim = config.dim;
+    let mut init_rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let init_input = Matrix::random_uniform(vocab_size, dim, 0.5 / dim as f32, &mut init_rng);
+
+    let shard_size = docs.len().div_ceil(threads);
+    let shards: Vec<&[_]> = docs.chunks(shard_size).collect();
+    let results: Vec<(Matrix, usize)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards.len());
+        for (tid, shard) in shards.iter().enumerate() {
+            let mut input = init_input.clone();
+            let config = config.clone();
+            handles.push(scope.spawn(move || {
+                let mut output = Matrix::zeros(vocab_size, dim);
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(seed ^ ((tid as u64 + 1) << 17));
+                train_cbow_core(shard, vocab_size, &config, &mut input, &mut output, &mut rng);
+                let tokens: usize = shard.iter().map(|d| d.as_ref().len()).sum();
+                (input, tokens)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cbow shard panicked"))
+            .collect()
+    });
+
+    // Token-weighted average of the shard input matrices.
+    let total_tokens: usize = results.iter().map(|(_, t)| *t).sum();
+    let mut averaged = Matrix::zeros(vocab_size, dim);
+    for (m, tokens) in &results {
+        let w = if total_tokens > 0 {
+            *tokens as f32 / total_tokens as f32
+        } else {
+            1.0 / results.len() as f32
+        };
+        axpy_matrix(w, m, &mut averaged);
+    }
+    Ok(Embedding::from_matrix(averaged))
+}
+
+/// `acc += w * m`, element-wise over whole matrices.
+fn axpy_matrix(w: f32, m: &Matrix, acc: &mut Matrix) {
+    for i in 0..m.rows() {
+        axpy(w, m.row(i), acc.row_mut(i));
+    }
+}
+
+/// One SGNS pair update: label 1 for the true target, 0 for noise.
+#[inline]
+fn train_pair(word: usize, label: f32, lr: f32, h: &[f32], e: &mut [f32], output: &mut Matrix) {
+    let row = output.row(word);
+    let f = sigmoid(dot(row, h));
+    let g = lr * (label - f);
+    // e += g * W'_w (with the pre-update row, as word2vec does).
+    axpy(g, row, e);
+    // W'_w += g * h.
+    let row = output.row_mut(word);
+    axpy(g, h, row);
+}
+
+/// Per-word keep probability under word2vec subsampling:
+/// `p(w) = sqrt(t/f(w)) + t/f(w)` clamped to 1, where `f(w)` is the word's
+/// relative corpus frequency.
+pub(crate) fn keep_probabilities(
+    docs: &[impl AsRef<[WordId]>],
+    vocab_size: usize,
+    t: f32,
+) -> Vec<f32> {
+    let mut counts = vec![0u64; vocab_size];
+    let mut total = 0u64;
+    for doc in docs {
+        for &w in doc.as_ref() {
+            if (w as usize) < vocab_size {
+                counts[w as usize] += 1;
+                total += 1;
+            }
+        }
+    }
+    counts
+        .iter()
+        .map(|&c| {
+            if c == 0 || total == 0 {
+                return 1.0;
+            }
+            let f = c as f32 / total as f32;
+            ((t / f).sqrt() + t / f).min(1.0)
+        })
+        .collect()
+}
+
+/// Numerically clamped logistic function.
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x > 8.0 {
+        1.0
+    } else if x < -8.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+/// word2vec's unigram^0.75 negative-sampling table.
+pub(crate) struct UnigramTable {
+    table: Vec<u32>,
+}
+
+impl UnigramTable {
+    const SIZE: usize = 1 << 17;
+
+    pub(crate) fn build(docs: &[impl AsRef<[WordId]>], vocab_size: usize) -> UnigramTable {
+        let mut counts = vec![0u64; vocab_size];
+        for doc in docs {
+            for &w in doc.as_ref() {
+                if (w as usize) < vocab_size {
+                    counts[w as usize] += 1;
+                }
+            }
+        }
+        let powered: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+        let total: f64 = powered.iter().sum();
+        let mut table = Vec::with_capacity(Self::SIZE);
+        if total == 0.0 {
+            // Degenerate corpus: uniform table.
+            for i in 0..Self::SIZE {
+                table.push((i % vocab_size.max(1)) as u32);
+            }
+            return UnigramTable { table };
+        }
+        let mut cum = 0.0f64;
+        let mut w = 0usize;
+        for i in 0..Self::SIZE {
+            let frac = (i as f64 + 0.5) / Self::SIZE as f64;
+            while cum + powered[w] / total < frac && w + 1 < vocab_size {
+                cum += powered[w] / total;
+                w += 1;
+            }
+            table.push(w as u32);
+        }
+        UnigramTable { table }
+    }
+
+    #[inline]
+    pub(crate) fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        self.table[rng.gen_range(0..self.table.len())] as usize
+    }
+}
+
+fn validate(vocab_size: usize, config: &CbowConfig) -> Result<(), EmbeddingError> {
+    if vocab_size == 0 {
+        return Err(EmbeddingError::EmptyVocabulary);
+    }
+    if config.dim == 0 {
+        return Err(EmbeddingError::InvalidConfig("dim must be > 0"));
+    }
+    if config.window == 0 {
+        return Err(EmbeddingError::InvalidConfig("window must be > 0"));
+    }
+    if config.epochs == 0 {
+        return Err(EmbeddingError::InvalidConfig("epochs must be > 0"));
+    }
+    if config.lr.is_nan() || config.lr <= 0.0 {
+        return Err(EmbeddingError::InvalidConfig("lr must be positive"));
+    }
+    if let SoftmaxMode::Negative(0) = config.mode {
+        return Err(EmbeddingError::InvalidConfig(
+            "negative sampling needs k >= 1",
+        ));
+    }
+    if let Some(t) = config.subsample {
+        if t.is_nan() || t <= 0.0 {
+            return Err(EmbeddingError::InvalidConfig(
+                "subsample threshold must be positive",
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two 10-word cliques that never co-occur: {0..10} and {10..20}.
+    /// Documents sample 6 random words from one clique, so in-clique words
+    /// share most of their context distribution (small cliques with
+    /// round-robin docs would give words *complementary* contexts and CBOW
+    /// would rightly anti-correlate them).
+    fn clique_docs(n: usize) -> Vec<Vec<WordId>> {
+        let mut rng = StdRng::seed_from_u64(99);
+        (0..n)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0u32 } else { 10 };
+                (0..6).map(|_| base + rng.gen_range(0..10)).collect()
+            })
+            .collect()
+    }
+
+    fn intra_vs_inter(e: &Embedding) -> (f32, f32) {
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                intra.push(e.cosine(a, b));
+                intra.push(e.cosine(a + 10, b + 10));
+            }
+            for b in 10..20u32 {
+                inter.push(e.cosine(a, b));
+            }
+        }
+        let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        (avg(&intra), avg(&inter))
+    }
+
+    #[test]
+    fn negative_sampling_separates_cliques() {
+        let docs = clique_docs(200);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = CbowConfig {
+            dim: 16,
+            window: 3,
+            epochs: 80,
+            lr: 0.1,
+            mode: SoftmaxMode::Negative(5),
+            subsample: None,
+        };
+        let e = train_cbow(&docs, 20, &cfg, &mut rng).unwrap();
+        let (intra, inter) = intra_vs_inter(&e);
+        assert!(
+            intra > inter + 0.3,
+            "cliques not separated: intra={intra} inter={inter}"
+        );
+    }
+
+    #[test]
+    fn full_softmax_separates_cliques() {
+        let docs = clique_docs(150);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = CbowConfig {
+            dim: 12,
+            window: 3,
+            epochs: 60,
+            lr: 0.2,
+            mode: SoftmaxMode::Full,
+            subsample: None,
+        };
+        let e = train_cbow(&docs, 20, &cfg, &mut rng).unwrap();
+        let (intra, inter) = intra_vs_inter(&e);
+        assert!(
+            intra > inter + 0.2,
+            "full softmax failed: intra={intra} inter={inter}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let docs = clique_docs(20);
+        let cfg = CbowConfig::default();
+        let e1 = train_cbow(&docs, 20, &cfg, &mut StdRng::seed_from_u64(3)).unwrap();
+        let e2 = train_cbow(&docs, 20, &cfg, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(e1.matrix().as_slice(), e2.matrix().as_slice());
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let docs = clique_docs(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(train_cbow(&docs, 0, &CbowConfig::default(), &mut rng).is_err());
+        for bad in [
+            CbowConfig {
+                dim: 0,
+                ..Default::default()
+            },
+            CbowConfig {
+                window: 0,
+                ..Default::default()
+            },
+            CbowConfig {
+                epochs: 0,
+                ..Default::default()
+            },
+            CbowConfig {
+                lr: 0.0,
+                ..Default::default()
+            },
+            CbowConfig {
+                mode: SoftmaxMode::Negative(0),
+                ..Default::default()
+            },
+        ] {
+            assert!(train_cbow(&docs, 20, &bad, &mut rng).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_corpus_rejected() {
+        let docs: Vec<Vec<WordId>> = vec![vec![0], vec![]];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            train_cbow(&docs, 2, &CbowConfig::default(), &mut rng),
+            Err(EmbeddingError::EmptyCorpus)
+        ));
+    }
+
+    #[test]
+    fn embedding_has_expected_shape() {
+        let docs = clique_docs(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = CbowConfig {
+            dim: 8,
+            epochs: 1,
+            ..Default::default()
+        };
+        let e = train_cbow(&docs, 20, &cfg, &mut rng).unwrap();
+        assert_eq!(e.len(), 20);
+        assert_eq!(e.dim(), 8);
+        assert!(e.matrix().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn parallel_cbow_separates_cliques_and_is_deterministic() {
+        let docs = clique_docs(200);
+        let cfg = CbowConfig {
+            dim: 16,
+            window: 3,
+            epochs: 40,
+            lr: 0.1,
+            mode: SoftmaxMode::Negative(5),
+            subsample: None,
+        };
+        let a = train_cbow_parallel(&docs, 20, &cfg, 4, 7).unwrap();
+        let b = train_cbow_parallel(&docs, 20, &cfg, 4, 7).unwrap();
+        assert_eq!(a.matrix().as_slice(), b.matrix().as_slice());
+        // Structure survives the parameter averaging.
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for x in 0..10u32 {
+            for y in (x + 1)..10 {
+                intra.push(a.cosine(x, y));
+            }
+            for y in 10..20u32 {
+                inter.push(a.cosine(x, y));
+            }
+        }
+        let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            avg(&intra) > avg(&inter) + 0.2,
+            "parallel cbow lost structure: intra={} inter={}",
+            avg(&intra),
+            avg(&inter)
+        );
+    }
+
+    #[test]
+    fn parallel_cbow_single_thread_close_to_sequential_shape() {
+        // threads = 1 still trains a usable model (single shard, no
+        // averaging losses) and rejects the same bad inputs.
+        let docs = clique_docs(50);
+        let cfg = CbowConfig {
+            dim: 8,
+            epochs: 5,
+            ..Default::default()
+        };
+        let e = train_cbow_parallel(&docs, 20, &cfg, 1, 3).unwrap();
+        assert_eq!(e.len(), 20);
+        assert!(e.matrix().as_slice().iter().all(|v| v.is_finite()));
+        assert!(train_cbow_parallel(
+            &Vec::<Vec<WordId>>::new(),
+            20,
+            &cfg,
+            2,
+            3
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unigram_table_prefers_frequent_words() {
+        let docs: Vec<Vec<WordId>> = vec![vec![0; 90].into_iter().chain(vec![1; 10]).collect()];
+        let table = UnigramTable::build(&docs, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut count0 = 0;
+        for _ in 0..1000 {
+            if table.sample(&mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        // 90^0.75 : 10^0.75 ≈ 29 : 5.6 → ~84% of samples.
+        assert!(count0 > 700, "unigram skew missing: {count0}/1000");
+        assert!(count0 < 950);
+    }
+
+    #[test]
+    fn subsampling_still_trains_and_differs() {
+        let docs = clique_docs(100);
+        let base = CbowConfig {
+            dim: 16,
+            window: 3,
+            epochs: 20,
+            lr: 0.1,
+            mode: SoftmaxMode::Negative(5),
+            subsample: None,
+        };
+        let plain = train_cbow(&docs, 20, &base, &mut StdRng::seed_from_u64(4)).unwrap();
+        let sub = train_cbow(
+            &docs,
+            20,
+            &CbowConfig {
+                subsample: Some(1e-2),
+                ..base
+            },
+            &mut StdRng::seed_from_u64(4),
+        )
+        .unwrap();
+        assert_ne!(plain.matrix().as_slice(), sub.matrix().as_slice());
+        assert!(sub.matrix().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn keep_probabilities_penalize_frequent_words() {
+        let docs: Vec<Vec<WordId>> =
+            vec![std::iter::repeat_n(0, 95).chain([1; 5]).collect()];
+        let kp = keep_probabilities(&docs, 2, 1e-2);
+        assert!(kp[0] < kp[1], "frequent word should be kept less: {kp:?}");
+        assert!((0.0..=1.0).contains(&kp[0]));
+        assert_eq!(keep_probabilities(&docs, 3, 1e-2)[2], 1.0);
+    }
+
+    #[test]
+    fn invalid_subsample_rejected() {
+        let docs = clique_docs(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(train_cbow(
+            &docs,
+            20,
+            &CbowConfig {
+                subsample: Some(0.0),
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert_eq!(sigmoid(100.0), 1.0);
+        assert_eq!(sigmoid(-100.0), 0.0);
+        assert!(sigmoid(2.0) > 0.8);
+    }
+}

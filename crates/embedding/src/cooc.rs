@@ -1,0 +1,280 @@
+//! Windowed word co-occurrence counting.
+//!
+//! Both GloVe and the SVD baseline consume co-occurrence statistics; CBOW
+//! and skip-gram stream over the corpus directly. Counts are accumulated
+//! sparsely (vocabularies are large, windows small) with optional
+//! 1/distance weighting (GloVe's convention) and count clamping (the
+//! paper's `SVD-15:15000` variant limits pair counts to `[15, 15000]`).
+
+use soulmate_text::WordId;
+use std::collections::HashMap;
+
+/// A sparse symmetric co-occurrence matrix.
+#[derive(Debug, Clone)]
+pub struct CoocMatrix {
+    n: usize,
+    rows: Vec<HashMap<WordId, f32>>,
+    total: f64,
+}
+
+impl CoocMatrix {
+    /// Count co-occurrences over encoded documents.
+    ///
+    /// For every token, every neighbour within `window` positions (same
+    /// document) is counted. With `distance_weighting` each pair
+    /// contributes `1/d` (GloVe); otherwise `1` (SVD/PPMI convention).
+    pub fn build(docs: &[impl AsRef<[WordId]>], vocab_size: usize, window: usize, distance_weighting: bool) -> CoocMatrix {
+        let mut rows: Vec<HashMap<WordId, f32>> = vec![HashMap::new(); vocab_size];
+        let mut total = 0.0f64;
+        for doc in docs {
+            let words = doc.as_ref();
+            for (i, &w) in words.iter().enumerate() {
+                if (w as usize) >= vocab_size {
+                    continue;
+                }
+                let end = (i + window + 1).min(words.len());
+                for (d, &c) in words[i + 1..end].iter().enumerate() {
+                    if (c as usize) >= vocab_size {
+                        continue;
+                    }
+                    let weight = if distance_weighting {
+                        1.0 / (d + 1) as f32
+                    } else {
+                        1.0
+                    };
+                    *rows[w as usize].entry(c).or_insert(0.0) += weight;
+                    *rows[c as usize].entry(w).or_insert(0.0) += weight;
+                    total += 2.0 * weight as f64;
+                }
+            }
+        }
+        CoocMatrix { n: vocab_size, rows, total }
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no co-occurrences were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0.0
+    }
+
+    /// Co-occurrence weight of an ordered pair (symmetric by construction).
+    pub fn get(&self, i: WordId, j: WordId) -> f32 {
+        self.rows
+            .get(i as usize)
+            .and_then(|r| r.get(&j))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Total accumulated weight (both directions).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Marginal (row sum) of word `i`.
+    pub fn row_sum(&self, i: WordId) -> f32 {
+        self.rows
+            .get(i as usize)
+            .map(|r| r.values().sum())
+            .unwrap_or(0.0)
+    }
+
+    /// Number of non-zero pairs (ordered).
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(HashMap::len).sum()
+    }
+
+    /// Iterate all ordered `(i, j, weight)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, WordId, f32)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| r.iter().map(move |(&j, &w)| (i as WordId, j, w)))
+    }
+
+    /// Clamp pair counts into `[min, max]`: pairs below `min` are dropped,
+    /// counts above `max` are capped — the paper's `SVD-15:15000` recipe
+    /// for taming noisy microblog co-occurrences.
+    pub fn clamped(&self, min: f32, max: f32) -> CoocMatrix {
+        let mut rows: Vec<HashMap<WordId, f32>> = vec![HashMap::new(); self.n];
+        let mut total = 0.0f64;
+        for (i, row) in self.rows.iter().enumerate() {
+            for (&j, &w) in row {
+                if w >= min {
+                    let capped = w.min(max);
+                    rows[i].insert(j, capped);
+                    total += capped as f64;
+                }
+            }
+        }
+        CoocMatrix { n: self.n, rows, total }
+    }
+
+    /// Sparse positive pointwise mutual information matrix in CSR form —
+    /// the scalable counterpart of [`CoocMatrix::to_ppmi`] (PPMI keeps the
+    /// co-occurrence sparsity pattern, so nnz ≪ |V|²).
+    pub fn to_ppmi_sparse(&self) -> soulmate_linalg::SparseMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        if self.total > 0.0 {
+            let sums: Vec<f64> = (0..self.n)
+                .map(|i| self.row_sum(i as WordId) as f64)
+                .collect();
+            for (i, row) in self.rows.iter().enumerate() {
+                for (&j, &w) in row {
+                    let denom = sums[i] * sums[j as usize];
+                    if denom > 0.0 {
+                        let pmi = ((w as f64 * self.total) / denom).ln();
+                        if pmi > 0.0 {
+                            triplets.push((i, j as usize, pmi as f32));
+                        }
+                    }
+                }
+            }
+        }
+        soulmate_linalg::SparseMatrix::from_triplets(self.n, self.n, triplets)
+            .expect("triplets within shape by construction")
+    }
+
+    /// Dense positive pointwise mutual information matrix:
+    /// `PPMI[i][j] = max(0, ln(x_ij * total / (sum_i * sum_j)))`.
+    pub fn to_ppmi(&self) -> soulmate_linalg::Matrix {
+        let mut m = soulmate_linalg::Matrix::zeros(self.n, self.n);
+        if self.total == 0.0 {
+            return m;
+        }
+        let sums: Vec<f64> = (0..self.n).map(|i| self.row_sum(i as WordId) as f64).collect();
+        for (i, row) in self.rows.iter().enumerate() {
+            for (&j, &w) in row {
+                let denom = sums[i] * sums[j as usize];
+                if denom > 0.0 {
+                    let pmi = ((w as f64 * self.total) / denom).ln();
+                    if pmi > 0.0 {
+                        m.set(i, j as usize, pmi as f32);
+                    }
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(raw: &[&[WordId]]) -> Vec<Vec<WordId>> {
+        raw.iter().map(|d| d.to_vec()).collect()
+    }
+
+    #[test]
+    fn counts_adjacent_pairs() {
+        let d = docs(&[&[0, 1, 2]]);
+        let c = CoocMatrix::build(&d, 3, 1, false);
+        assert_eq!(c.get(0, 1), 1.0);
+        assert_eq!(c.get(1, 0), 1.0);
+        assert_eq!(c.get(1, 2), 1.0);
+        assert_eq!(c.get(0, 2), 0.0); // distance 2 > window 1
+    }
+
+    #[test]
+    fn window_reaches_further() {
+        let d = docs(&[&[0, 1, 2]]);
+        let c = CoocMatrix::build(&d, 3, 2, false);
+        assert_eq!(c.get(0, 2), 1.0);
+    }
+
+    #[test]
+    fn distance_weighting_halves_far_pairs() {
+        let d = docs(&[&[0, 1, 2]]);
+        let c = CoocMatrix::build(&d, 3, 2, true);
+        assert_eq!(c.get(0, 1), 1.0);
+        assert_eq!(c.get(0, 2), 0.5);
+    }
+
+    #[test]
+    fn documents_do_not_leak_context() {
+        let d = docs(&[&[0], &[1]]);
+        let c = CoocMatrix::build(&d, 2, 5, false);
+        assert_eq!(c.get(0, 1), 0.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn repeated_pairs_accumulate() {
+        let d = docs(&[&[0, 1], &[0, 1], &[1, 0]]);
+        let c = CoocMatrix::build(&d, 2, 1, false);
+        assert_eq!(c.get(0, 1), 3.0);
+        assert_eq!(c.total(), 6.0);
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn out_of_vocab_ids_skipped() {
+        let d = docs(&[&[0, 9, 1]]);
+        let c = CoocMatrix::build(&d, 2, 2, false);
+        assert_eq!(c.get(0, 9), 0.0);
+        assert_eq!(c.get(0, 1), 1.0); // distance 2 within window
+    }
+
+    #[test]
+    fn clamped_drops_rare_and_caps_frequent() {
+        let d = docs(&[&[0, 1], &[0, 1], &[0, 1], &[0, 2]]);
+        let c = CoocMatrix::build(&d, 3, 1, false);
+        let k = c.clamped(2.0, 2.5);
+        assert_eq!(k.get(0, 1), 2.5); // capped from 3
+        assert_eq!(k.get(0, 2), 0.0); // dropped (1 < 2)
+    }
+
+    #[test]
+    fn row_sum_is_marginal() {
+        let d = docs(&[&[0, 1, 2]]);
+        let c = CoocMatrix::build(&d, 3, 2, false);
+        assert_eq!(c.row_sum(1), 2.0);
+        assert_eq!(c.row_sum(0), 2.0);
+    }
+
+    #[test]
+    fn ppmi_positive_for_strong_pairs_zero_for_absent() {
+        // 0 and 1 always together; 2 and 3 always together; never crossed.
+        let d = docs(&[&[0, 1], &[0, 1], &[2, 3], &[2, 3]]);
+        let c = CoocMatrix::build(&d, 4, 1, false);
+        let ppmi = c.to_ppmi();
+        assert!(ppmi.get(0, 1) > 0.0);
+        assert_eq!(ppmi.get(0, 2), 0.0);
+        // Symmetric.
+        assert!((ppmi.get(0, 1) - ppmi.get(1, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_ppmi_matches_dense() {
+        let d = docs(&[&[0, 1], &[0, 1], &[2, 3], &[2, 3], &[1, 2]]);
+        let c = CoocMatrix::build(&d, 4, 1, false);
+        let dense = c.to_ppmi();
+        let sparse = c.to_ppmi_sparse();
+        assert_eq!(sparse.rows(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (dense.get(i, j) - sparse.get(i, j)).abs() < 1e-6,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+        // Sparsity preserved: zero-PMI and absent pairs are not stored.
+        assert!(sparse.nnz() <= c.nnz());
+    }
+
+    #[test]
+    fn iter_covers_all_pairs() {
+        let d = docs(&[&[0, 1, 2]]);
+        let c = CoocMatrix::build(&d, 3, 1, false);
+        let triples: Vec<_> = c.iter().collect();
+        assert_eq!(triples.len(), c.nnz());
+        let sum: f32 = triples.iter().map(|&(_, _, w)| w).sum();
+        assert!((sum as f64 - c.total()).abs() < 1e-6);
+    }
+}

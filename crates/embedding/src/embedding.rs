@@ -1,0 +1,239 @@
+//! The common trained-embedding type all models produce.
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use soulmate_linalg::{cosine, dot, l2_norm, Matrix};
+use soulmate_text::{SimilarWords, WordId};
+
+/// A trained word embedding: one `dim`-dimensional vector per vocabulary
+/// word, with cached norms for fast cosine queries.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    vectors: Matrix,
+    norms: Vec<f32>,
+}
+
+impl Embedding {
+    /// Wrap a `|V| x dim` matrix of word vectors.
+    pub fn from_matrix(vectors: Matrix) -> Embedding {
+        let norms = vectors.iter_rows().map(l2_norm).collect();
+        Embedding { vectors, norms }
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.vectors.rows()
+    }
+
+    /// True when the embedding covers no words.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.rows() == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.vectors.cols()
+    }
+
+    /// The vector of word `w`.
+    ///
+    /// # Panics
+    /// Panics if `w` is out of range.
+    pub fn vector(&self, w: WordId) -> &[f32] {
+        self.vectors.row(w as usize)
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.vectors
+    }
+
+    /// Cosine similarity between two words (Eq. 5).
+    pub fn cosine(&self, a: WordId, b: WordId) -> f32 {
+        let (na, nb) = (self.norms[a as usize], self.norms[b as usize]);
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (dot(self.vector(a), self.vector(b)) / (na * nb)).clamp(-1.0, 1.0)
+    }
+
+    /// The `k` most similar words to `w` (descending similarity, `w`
+    /// excluded). Zero-norm words never appear.
+    pub fn most_similar(&self, w: WordId, k: usize) -> Vec<(WordId, f32)> {
+        if (w as usize) >= self.len() || k == 0 {
+            return Vec::new();
+        }
+        let mut best: Vec<(WordId, f32)> = Vec::with_capacity(k + 1);
+        for cand in 0..self.len() as WordId {
+            if cand == w || self.norms[cand as usize] == 0.0 {
+                continue;
+            }
+            let s = self.cosine(w, cand);
+            // Keep a small sorted buffer — k is tiny (ζ ≈ 10).
+            if best.len() < k || s > best.last().map(|&(_, bs)| bs).unwrap_or(f32::NEG_INFINITY) {
+                let pos = best
+                    .iter()
+                    .position(|&(_, bs)| s > bs)
+                    .unwrap_or(best.len());
+                best.insert(pos, (cand, s));
+                best.truncate(k);
+            }
+        }
+        best
+    }
+
+    /// 3CosAdd analogy query: the word most similar to `b - a + c`,
+    /// excluding `a`, `b`, `c` themselves. `None` when any input is out of
+    /// range or has a zero vector.
+    pub fn analogy(&self, a: WordId, b: WordId, c: WordId) -> Option<WordId> {
+        let n = self.len();
+        if [a, b, c].iter().any(|&w| (w as usize) >= n) {
+            return None;
+        }
+        if [a, b, c].iter().any(|&w| self.norms[w as usize] == 0.0) {
+            return None;
+        }
+        // Normalized query direction: b̂ - â + ĉ.
+        let dim = self.dim();
+        let mut q = vec![0.0f32; dim];
+        for (sign, w) in [(1.0f32, b), (-1.0, a), (1.0, c)] {
+            let norm = self.norms[w as usize];
+            for (qi, vi) in q.iter_mut().zip(self.vector(w)) {
+                *qi += sign * vi / norm;
+            }
+        }
+        let mut best: Option<(WordId, f32)> = None;
+        for cand in 0..n as WordId {
+            if cand == a || cand == b || cand == c || self.norms[cand as usize] == 0.0 {
+                continue;
+            }
+            let s = dot(self.vector(cand), &q) / self.norms[cand as usize];
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((cand, s));
+            }
+        }
+        best.map(|(w, _)| w)
+    }
+
+    /// Full cosine similarity to every word (used to build the paper's
+    /// `B^TCBOW` |V|x|V| rows).
+    pub fn similarity_row(&self, w: WordId) -> Vec<f32> {
+        (0..self.len() as WordId).map(|o| self.cosine(w, o)).collect()
+    }
+}
+
+impl Serialize for Embedding {
+    /// Serializes only the vector matrix; norms are derived state and are
+    /// recomputed on deserialization.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.vectors.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Embedding {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let vectors = Matrix::deserialize(deserializer)?;
+        Ok(Embedding::from_matrix(vectors))
+    }
+}
+
+impl SimilarWords for Embedding {
+    fn top_similar(&self, word: WordId, zeta: usize) -> Vec<WordId> {
+        self.most_similar(word, zeta)
+            .into_iter()
+            .map(|(w, _)| w)
+            .collect()
+    }
+}
+
+/// Convenience: raw cosine between two external vectors re-exported for
+/// callers that mix embedding vectors with composed (tweet/author) vectors.
+pub fn vector_cosine(a: &[f32], b: &[f32]) -> f32 {
+    cosine(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built embedding: words 0,1 point along +x; 2,3 along +y;
+    /// word 4 is the zero vector.
+    fn toy() -> Embedding {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![0.0, 1.0],
+            vec![0.1, 0.9],
+            vec![0.0, 0.0],
+        ])
+        .unwrap();
+        Embedding::from_matrix(m)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let e = toy();
+        assert_eq!(e.len(), 5);
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.vector(2), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn cosine_matches_geometry() {
+        let e = toy();
+        assert!((e.cosine(0, 0) - 1.0).abs() < 1e-6);
+        assert!(e.cosine(0, 1) > 0.9);
+        assert!(e.cosine(0, 2) < 0.1);
+        assert_eq!(e.cosine(0, 4), 0.0);
+    }
+
+    #[test]
+    fn most_similar_orders_by_similarity() {
+        let e = toy();
+        let sims = e.most_similar(0, 3);
+        assert_eq!(sims[0].0, 1);
+        assert!(sims[0].1 > sims[1].1);
+        // Zero-norm word 4 never appears.
+        assert!(sims.iter().all(|&(w, _)| w != 4));
+        // Self excluded.
+        assert!(sims.iter().all(|&(w, _)| w != 0));
+    }
+
+    #[test]
+    fn most_similar_k_zero_or_oob() {
+        let e = toy();
+        assert!(e.most_similar(0, 0).is_empty());
+        assert!(e.most_similar(99, 3).is_empty());
+    }
+
+    #[test]
+    fn similar_words_trait_strips_scores() {
+        let e = toy();
+        let ws = e.top_similar(0, 2);
+        assert_eq!(ws, vec![1, 3]);
+    }
+
+    #[test]
+    fn analogy_parallelogram() {
+        // 0:1 (x-words) :: 2:? should give 3 (the other y-word):
+        // q = v1 - v0 + v2 = (-0.1, 0.1) + (0, 1) ≈ (−0.08, 1.06)… closest
+        // to word 3's direction among candidates excluding {0,1,2}.
+        let e = toy();
+        assert_eq!(e.analogy(0, 1, 2), Some(3));
+    }
+
+    #[test]
+    fn analogy_rejects_bad_inputs() {
+        let e = toy();
+        assert_eq!(e.analogy(0, 1, 99), None);
+        assert_eq!(e.analogy(0, 1, 4), None); // zero vector
+    }
+
+    #[test]
+    fn similarity_row_full_width() {
+        let e = toy();
+        let row = e.similarity_row(0);
+        assert_eq!(row.len(), 5);
+        assert!((row[0] - 1.0).abs() < 1e-6);
+        assert!(row.iter().all(|s| (-1.0..=1.0).contains(s)));
+    }
+}

@@ -1,0 +1,26 @@
+//! Error type for embedding training.
+
+use std::fmt;
+
+/// Errors raised by embedding trainers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbeddingError {
+    /// The training corpus contained no usable tokens.
+    EmptyCorpus,
+    /// The vocabulary was empty.
+    EmptyVocabulary,
+    /// A configuration value was out of range.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbeddingError::EmptyCorpus => write!(f, "training corpus is empty"),
+            EmbeddingError::EmptyVocabulary => write!(f, "vocabulary is empty"),
+            EmbeddingError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingError {}

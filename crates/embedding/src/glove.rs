@@ -1,0 +1,212 @@
+//! GloVe: global vectors from weighted least-squares co-occurrence
+//! factorization (Pennington et al. 2014).
+//!
+//! Minimizes `Σ f(x_ij) (wᵢ·w̃ⱼ + bᵢ + b̃ⱼ − ln x_ij)²` with AdaGrad, where
+//! `f(x) = (x / x_max)^α` capped at 1. The paper's `GloVe-30` variant is
+//! just `epochs = 30`.
+
+use crate::cooc::CoocMatrix;
+use crate::embedding::Embedding;
+use crate::error::EmbeddingError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use soulmate_linalg::{dot, Matrix};
+use soulmate_text::WordId;
+
+/// GloVe hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GloveConfig {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Co-occurrence window used when building the matrix.
+    pub window: usize,
+    /// Training epochs over the non-zero pairs (the paper sweeps 30/50/100).
+    pub epochs: usize,
+    /// AdaGrad initial learning rate.
+    pub lr: f32,
+    /// Weighting cap `x_max`.
+    pub x_max: f32,
+    /// Weighting exponent `α`.
+    pub alpha: f32,
+}
+
+impl Default for GloveConfig {
+    fn default() -> Self {
+        GloveConfig {
+            dim: 50,
+            window: 4,
+            epochs: 30,
+            lr: 0.05,
+            x_max: 100.0,
+            alpha: 0.75,
+        }
+    }
+}
+
+/// Train GloVe from a prebuilt co-occurrence matrix.
+///
+/// The final embedding is `W + W̃` (the paper's summed main+context
+/// convention).
+///
+/// # Errors
+/// [`EmbeddingError::EmptyCorpus`] when the matrix has no non-zero pairs;
+/// [`EmbeddingError::InvalidConfig`] for out-of-range hyper-parameters.
+pub fn train_glove<R: Rng>(
+    cooc: &CoocMatrix,
+    config: &GloveConfig,
+    rng: &mut R,
+) -> Result<Embedding, EmbeddingError> {
+    if config.dim == 0 || config.epochs == 0 {
+        return Err(EmbeddingError::InvalidConfig("dim and epochs must be > 0"));
+    }
+    if config.lr.is_nan() || config.lr <= 0.0 || config.x_max.is_nan() || config.x_max <= 0.0 {
+        return Err(EmbeddingError::InvalidConfig(
+            "lr and x_max must be positive",
+        ));
+    }
+    if cooc.is_empty() {
+        return Err(EmbeddingError::EmptyCorpus);
+    }
+
+    let n = cooc.len();
+    let dim = config.dim;
+    let mut w = Matrix::random_uniform(n, dim, 0.5 / dim as f32, rng);
+    let mut wt = Matrix::random_uniform(n, dim, 0.5 / dim as f32, rng);
+    let mut b = vec![0.0f32; n];
+    let mut bt = vec![0.0f32; n];
+    // AdaGrad accumulators start at 1 (the reference implementation's
+    // epsilon-free convention).
+    let mut gw = Matrix::from_vec(n, dim, vec![1.0; n * dim]).expect("shape");
+    let mut gwt = gw.clone();
+    let mut gb = vec![1.0f32; n];
+    let mut gbt = vec![1.0f32; n];
+
+    let mut pairs: Vec<(WordId, WordId, f32)> = cooc.iter().collect();
+
+    for _ in 0..config.epochs {
+        pairs.shuffle(rng);
+        for &(i, j, x) in &pairs {
+            let (i, j) = (i as usize, j as usize);
+            let weight = (x / config.x_max).powf(config.alpha).min(1.0);
+            let diff = dot(w.row(i), wt.row(j)) + b[i] + bt[j] - x.ln();
+            let fdiff = weight * diff;
+            // Gradients: d/dw_i = fdiff * w̃_j, etc.
+            for d in 0..dim {
+                let gi = fdiff * wt.get(j, d);
+                let gj = fdiff * w.get(i, d);
+                let wi = w.get(i, d) - config.lr * gi / gw.get(i, d).sqrt();
+                let wj = wt.get(j, d) - config.lr * gj / gwt.get(j, d).sqrt();
+                w.set(i, d, wi);
+                wt.set(j, d, wj);
+                gw.set(i, d, gw.get(i, d) + gi * gi);
+                gwt.set(j, d, gwt.get(j, d) + gj * gj);
+            }
+            b[i] -= config.lr * fdiff / gb[i].sqrt();
+            bt[j] -= config.lr * fdiff / gbt[j].sqrt();
+            gb[i] += fdiff * fdiff;
+            gbt[j] += fdiff * fdiff;
+        }
+    }
+
+    // Final vectors: W + W̃.
+    let mut combined = Matrix::zeros(n, dim);
+    for i in 0..n {
+        for d in 0..dim {
+            combined.set(i, d, w.get(i, d) + wt.get(i, d));
+        }
+    }
+    Ok(Embedding::from_matrix(combined))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clique_cooc() -> CoocMatrix {
+        let docs: Vec<Vec<WordId>> = (0..200)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0, 1, 2, 0, 1, 2]
+                } else {
+                    vec![3, 4, 5, 3, 4, 5]
+                }
+            })
+            .collect();
+        CoocMatrix::build(&docs, 6, 3, true)
+    }
+
+    #[test]
+    fn separates_cliques() {
+        let cooc = clique_cooc();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GloveConfig {
+            dim: 16,
+            epochs: 40,
+            ..Default::default()
+        };
+        let e = train_glove(&cooc, &cfg, &mut rng).unwrap();
+        let intra = (e.cosine(0, 1) + e.cosine(3, 4)) / 2.0;
+        let inter = (e.cosine(0, 3) + e.cosine(2, 5)) / 2.0;
+        assert!(intra > inter + 0.2, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cooc = clique_cooc();
+        let cfg = GloveConfig {
+            epochs: 3,
+            ..Default::default()
+        };
+        let a = train_glove(&cooc, &cfg, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = train_glove(&cooc, &cfg, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.matrix().as_slice(), b.matrix().as_slice());
+    }
+
+    #[test]
+    fn rejects_empty_cooc_and_bad_config() {
+        let empty = CoocMatrix::build(&Vec::<Vec<WordId>>::new(), 4, 2, true);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            train_glove(&empty, &GloveConfig::default(), &mut rng),
+            Err(EmbeddingError::EmptyCorpus)
+        ));
+        let cooc = clique_cooc();
+        assert!(train_glove(
+            &cooc,
+            &GloveConfig {
+                dim: 0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(train_glove(
+            &cooc,
+            &GloveConfig {
+                lr: -1.0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn vectors_are_finite() {
+        let cooc = clique_cooc();
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = train_glove(
+            &cooc,
+            &GloveConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(e.matrix().as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(e.len(), 6);
+    }
+}

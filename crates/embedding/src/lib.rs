@@ -1,0 +1,41 @@
+//! Word embedding models for the SoulMate reproduction — every model the
+//! paper compares in Section 4.1.2 / Fig. 8, implemented from scratch:
+//!
+//! * [`svd`] — PPMI + truncated SVD over the co-occurrence matrix (the
+//!   training-free baseline, including the paper's `SVD-15:15000` count
+//!   clamping variant);
+//! * [`cbow`] — continuous bag-of-words with negative sampling *and* an
+//!   exact full-softmax mode (the paper's Eqs 2–4), the winning model that
+//!   TCBOW builds on;
+//! * [`skipgram`] — skip-gram with negative sampling;
+//! * [`glove`] — weighted-least-squares co-occurrence factorization with
+//!   AdaGrad;
+//! * [`analogy`] — the 3CosAdd word-analogy evaluation used both to rank
+//!   models (Fig. 8a) and to weight slabs inside TCBOW (Ã in Eqs 6–12).
+//!
+//! All models produce a common [`Embedding`], which implements
+//! [`soulmate_text::SimilarWords`] so enrichment baselines can consume any
+//! of them interchangeably.
+
+// Index-based loops are used deliberately where two mirrored cells of a
+// symmetric matrix (or several parallel arrays) are written per step —
+// iterator rewrites obscure those invariants.
+#![allow(clippy::needless_range_loop)]
+
+pub mod analogy;
+pub mod cbow;
+pub mod cooc;
+pub mod embedding;
+pub mod error;
+pub mod glove;
+pub mod skipgram;
+pub mod svd;
+
+pub use analogy::evaluate_analogy;
+pub use cbow::{train_cbow, train_cbow_parallel, CbowConfig, SoftmaxMode};
+pub use cooc::CoocMatrix;
+pub use embedding::Embedding;
+pub use error::EmbeddingError;
+pub use glove::{train_glove, GloveConfig};
+pub use skipgram::{train_skipgram, SkipGramConfig};
+pub use svd::{train_svd, train_svd_sparse, SvdConfig};

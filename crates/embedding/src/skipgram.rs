@@ -1,0 +1,261 @@
+//! Skip-gram with negative sampling (Mikolov et al. 2013).
+//!
+//! The inverse of CBOW: each center word predicts its surrounding context
+//! words. Shares the unigram table and SGNS update with the CBOW module.
+
+use crate::cbow::UnigramTable;
+use crate::embedding::Embedding;
+use crate::error::EmbeddingError;
+use rand::Rng;
+use soulmate_linalg::{axpy, dot, Matrix};
+use soulmate_text::WordId;
+
+/// Skip-gram hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SkipGramConfig {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Maximum context window on each side.
+    pub window: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed).
+    pub lr: f32,
+    /// Negative samples per (center, context) pair.
+    pub negative: usize,
+    /// Frequent-word subsampling threshold `t` (see
+    /// [`crate::cbow::CbowConfig::subsample`]); `None` disables it.
+    pub subsample: Option<f32>,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        SkipGramConfig {
+            dim: 50,
+            window: 4,
+            epochs: 5,
+            lr: 0.025,
+            negative: 5,
+            subsample: None,
+        }
+    }
+}
+
+/// Train skip-gram over encoded documents; returns the input-matrix
+/// embedding.
+///
+/// # Errors
+/// Same conditions as [`crate::train_cbow`].
+pub fn train_skipgram<R: Rng>(
+    docs: &[impl AsRef<[WordId]>],
+    vocab_size: usize,
+    config: &SkipGramConfig,
+    rng: &mut R,
+) -> Result<Embedding, EmbeddingError> {
+    if vocab_size == 0 {
+        return Err(EmbeddingError::EmptyVocabulary);
+    }
+    if config.dim == 0 || config.window == 0 || config.epochs == 0 {
+        return Err(EmbeddingError::InvalidConfig(
+            "dim, window and epochs must be > 0",
+        ));
+    }
+    if config.lr.is_nan() || config.lr <= 0.0 || config.negative == 0 {
+        return Err(EmbeddingError::InvalidConfig(
+            "lr must be positive and negative >= 1",
+        ));
+    }
+    if let Some(t) = config.subsample {
+        if t.is_nan() || t <= 0.0 {
+            return Err(EmbeddingError::InvalidConfig(
+                "subsample threshold must be positive",
+            ));
+        }
+    }
+    if docs.iter().all(|d| d.as_ref().len() < 2) {
+        return Err(EmbeddingError::EmptyCorpus);
+    }
+
+    let dim = config.dim;
+    let mut input = Matrix::random_uniform(vocab_size, dim, 0.5 / dim as f32, rng);
+    let mut output = Matrix::zeros(vocab_size, dim);
+    let unigram = UnigramTable::build(docs, vocab_size);
+    let total_targets: usize = docs
+        .iter()
+        .map(|d| d.as_ref().len())
+        .sum::<usize>()
+        .max(1)
+        * config.epochs;
+    let min_lr = config.lr * 1e-4;
+
+    let keep_prob = config
+        .subsample
+        .map(|t| crate::cbow::keep_probabilities(docs, vocab_size, t));
+    let mut e = vec![0.0f32; dim];
+    let mut filtered: Vec<WordId> = Vec::new();
+    let mut seen = 0usize;
+    for _ in 0..config.epochs {
+        for doc in docs {
+            let words: &[WordId] = match &keep_prob {
+                Some(kp) => {
+                    filtered.clear();
+                    filtered.extend(
+                        doc.as_ref()
+                            .iter()
+                            .filter(|&&w| rng.gen_range(0.0f32..1.0) < kp[w as usize])
+                            .copied(),
+                    );
+                    &filtered
+                }
+                None => doc.as_ref(),
+            };
+            if words.len() < 2 {
+                seen += words.len();
+                continue;
+            }
+            for t in 0..words.len() {
+                seen += 1;
+                let lr = (config.lr * (1.0 - seen as f32 / total_targets as f32)).max(min_lr);
+                let b = rng.gen_range(1..=config.window);
+                let lo = t.saturating_sub(b);
+                let hi = (t + b + 1).min(words.len());
+                let center = words[t] as usize;
+                for (off, &ctx) in words[lo..hi].iter().enumerate() {
+                    if lo + off == t {
+                        continue;
+                    }
+                    // Predict ctx from center: SGNS on (center, ctx).
+                    e.iter_mut().for_each(|x| *x = 0.0);
+                    sgns_pair(ctx as usize, 1.0, lr, input.row(center), &mut e, &mut output);
+                    for _ in 0..config.negative {
+                        let noise = unigram.sample(rng);
+                        if noise == ctx as usize {
+                            continue;
+                        }
+                        sgns_pair(noise, 0.0, lr, input.row(center), &mut e, &mut output);
+                    }
+                    axpy(1.0, &e, input.row_mut(center));
+                }
+            }
+        }
+    }
+    Ok(Embedding::from_matrix(input))
+}
+
+#[inline]
+fn sgns_pair(word: usize, label: f32, lr: f32, v: &[f32], e: &mut [f32], output: &mut Matrix) {
+    let row = output.row(word);
+    let x = dot(row, v);
+    let f = if x > 8.0 {
+        1.0
+    } else if x < -8.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    };
+    let g = lr * (label - f);
+    axpy(g, row, e);
+    axpy(g, v, output.row_mut(word));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clique_docs(n: usize) -> Vec<Vec<WordId>> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0, 1, 2, 0, 1, 2]
+                } else {
+                    vec![3, 4, 5, 3, 4, 5]
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_cliques() {
+        let docs = clique_docs(200);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SkipGramConfig {
+            dim: 16,
+            window: 3,
+            epochs: 8,
+            lr: 0.05,
+            negative: 5,
+            subsample: None,
+        };
+        let e = train_skipgram(&docs, 6, &cfg, &mut rng).unwrap();
+        let intra = (e.cosine(0, 1) + e.cosine(3, 4)) / 2.0;
+        let inter = (e.cosine(0, 3) + e.cosine(2, 5)) / 2.0;
+        assert!(intra > inter + 0.3, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let docs = clique_docs(10);
+        let cfg = SkipGramConfig {
+            epochs: 2,
+            ..Default::default()
+        };
+        let a = train_skipgram(&docs, 6, &cfg, &mut StdRng::seed_from_u64(5)).unwrap();
+        let b = train_skipgram(&docs, 6, &cfg, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a.matrix().as_slice(), b.matrix().as_slice());
+    }
+
+    #[test]
+    fn rejects_bad_config_and_empty_corpus() {
+        let docs = clique_docs(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(train_skipgram(&docs, 0, &SkipGramConfig::default(), &mut rng).is_err());
+        assert!(train_skipgram(
+            &docs,
+            6,
+            &SkipGramConfig {
+                negative: 0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        let empty: Vec<Vec<WordId>> = vec![vec![0]];
+        assert!(matches!(
+            train_skipgram(&empty, 6, &SkipGramConfig::default(), &mut rng),
+            Err(EmbeddingError::EmptyCorpus)
+        ));
+    }
+
+    #[test]
+    fn subsampling_variant_trains() {
+        let docs = clique_docs(50);
+        let cfg = SkipGramConfig {
+            dim: 8,
+            epochs: 3,
+            subsample: Some(1e-2),
+            ..Default::default()
+        };
+        let e = train_skipgram(&docs, 6, &cfg, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert!(e.matrix().as_slice().iter().all(|v| v.is_finite()));
+        assert!(train_skipgram(
+            &docs,
+            6,
+            &SkipGramConfig {
+                subsample: Some(-1.0),
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(3)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn vectors_are_finite() {
+        let docs = clique_docs(20);
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = train_skipgram(&docs, 6, &SkipGramConfig::default(), &mut rng).unwrap();
+        assert!(e.matrix().as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,259 @@
+//! The SVD embedding baseline (Section 4.1.2).
+//!
+//! "SVD computes the word vectors without training and using matrix
+//! operations over the co-occurrence matrix": we form the PPMI matrix
+//! (optionally count-clamped, the paper's `SVD-15:15000` variant) and take
+//! the truncated SVD, embedding word `i` as row `i` of `U·√Σ`.
+
+use crate::cooc::CoocMatrix;
+use crate::embedding::Embedding;
+use crate::error::EmbeddingError;
+use rand::Rng;
+use soulmate_linalg::{truncated_svd, truncated_svd_sparse};
+
+/// SVD baseline hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SvdConfig {
+    /// Embedding dimensionality (SVD rank).
+    pub dim: usize,
+    /// Co-occurrence window (used when the caller builds the matrix).
+    pub window: usize,
+    /// Optional `(min, max)` pair-count clamp — `Some((15.0, 15000.0))`
+    /// reproduces the paper's `SVD-15:15000`.
+    pub clamp: Option<(f32, f32)>,
+    /// Randomized-SVD oversampling.
+    pub oversample: usize,
+    /// Randomized-SVD power iterations.
+    pub power_iters: usize,
+}
+
+impl Default for SvdConfig {
+    fn default() -> Self {
+        SvdConfig {
+            dim: 50,
+            window: 4,
+            clamp: None,
+            oversample: 8,
+            power_iters: 2,
+        }
+    }
+}
+
+/// Vocabulary size beyond which the PPMI matrix is factorized through the
+/// sparse CSR path (a dense |V|² buffer at the paper's 305 K vocabulary
+/// would need ~372 GB; the sparse path is O(nnz)).
+pub const SPARSE_SVD_THRESHOLD: usize = 4096;
+
+/// Factorize a co-occurrence matrix into an SVD embedding.
+///
+/// Uses the dense PPMI pipeline below [`SPARSE_SVD_THRESHOLD`] words and
+/// the CSR pipeline above it (same algorithm; results differ only by
+/// floating-point summation order).
+///
+/// # Errors
+/// [`EmbeddingError::EmptyCorpus`] for an empty matrix,
+/// [`EmbeddingError::InvalidConfig`] when `dim` is 0 or exceeds the
+/// vocabulary size.
+pub fn train_svd<R: Rng>(
+    cooc: &CoocMatrix,
+    config: &SvdConfig,
+    rng: &mut R,
+) -> Result<Embedding, EmbeddingError> {
+    if cooc.is_empty() {
+        return Err(EmbeddingError::EmptyCorpus);
+    }
+    if config.dim == 0 || config.dim > cooc.len() {
+        return Err(EmbeddingError::InvalidConfig(
+            "dim must be in 1..=vocab_size",
+        ));
+    }
+    let clamped;
+    let source = match config.clamp {
+        Some((min, max)) => {
+            clamped = cooc.clamped(min, max);
+            if clamped.is_empty() {
+                return Err(EmbeddingError::EmptyCorpus);
+            }
+            &clamped
+        }
+        None => cooc,
+    };
+    let svd = if source.len() > SPARSE_SVD_THRESHOLD {
+        let ppmi = source.to_ppmi_sparse();
+        truncated_svd_sparse(&ppmi, config.dim, config.oversample, config.power_iters, rng)
+    } else {
+        let ppmi = source.to_ppmi();
+        truncated_svd(&ppmi, config.dim, config.oversample, config.power_iters, rng)
+    }
+    .map_err(|_| EmbeddingError::InvalidConfig("svd rank out of range"))?;
+    Ok(Embedding::from_matrix(svd.scaled_u()))
+}
+
+/// Force the sparse CSR factorization regardless of vocabulary size
+/// (exposed for tests and for callers that know their matrix is huge).
+///
+/// # Errors
+/// Same conditions as [`train_svd`].
+pub fn train_svd_sparse<R: Rng>(
+    cooc: &CoocMatrix,
+    config: &SvdConfig,
+    rng: &mut R,
+) -> Result<Embedding, EmbeddingError> {
+    if cooc.is_empty() {
+        return Err(EmbeddingError::EmptyCorpus);
+    }
+    if config.dim == 0 || config.dim > cooc.len() {
+        return Err(EmbeddingError::InvalidConfig(
+            "dim must be in 1..=vocab_size",
+        ));
+    }
+    let clamped;
+    let source = match config.clamp {
+        Some((min, max)) => {
+            clamped = cooc.clamped(min, max);
+            if clamped.is_empty() {
+                return Err(EmbeddingError::EmptyCorpus);
+            }
+            &clamped
+        }
+        None => cooc,
+    };
+    let ppmi = source.to_ppmi_sparse();
+    let svd = truncated_svd_sparse(&ppmi, config.dim, config.oversample, config.power_iters, rng)
+        .map_err(|_| EmbeddingError::InvalidConfig("svd rank out of range"))?;
+    Ok(Embedding::from_matrix(svd.scaled_u()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use soulmate_text::WordId;
+
+    fn clique_cooc() -> CoocMatrix {
+        let docs: Vec<Vec<WordId>> = (0..100)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0, 1, 2, 0, 1, 2]
+                } else {
+                    vec![3, 4, 5, 3, 4, 5]
+                }
+            })
+            .collect();
+        CoocMatrix::build(&docs, 6, 3, false)
+    }
+
+    #[test]
+    fn separates_cliques_without_training() {
+        let cooc = clique_cooc();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SvdConfig {
+            dim: 3,
+            ..Default::default()
+        };
+        let e = train_svd(&cooc, &cfg, &mut rng).unwrap();
+        let intra = (e.cosine(0, 1) + e.cosine(3, 4)) / 2.0;
+        let inter = (e.cosine(0, 3) + e.cosine(2, 5)) / 2.0;
+        assert!(intra > inter + 0.3, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn clamping_changes_the_embedding() {
+        let cooc = clique_cooc();
+        let cfg_plain = SvdConfig {
+            dim: 3,
+            ..Default::default()
+        };
+        let cfg_clamped = SvdConfig {
+            dim: 3,
+            clamp: Some((1.0, 10.0)),
+            ..Default::default()
+        };
+        let a = train_svd(&cooc, &cfg_plain, &mut StdRng::seed_from_u64(2)).unwrap();
+        let b = train_svd(&cooc, &cfg_clamped, &mut StdRng::seed_from_u64(2)).unwrap();
+        assert_ne!(a.matrix().as_slice(), b.matrix().as_slice());
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_dim() {
+        let empty = CoocMatrix::build(&Vec::<Vec<WordId>>::new(), 4, 2, false);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(train_svd(&empty, &SvdConfig::default(), &mut rng).is_err());
+        let cooc = clique_cooc();
+        assert!(train_svd(
+            &cooc,
+            &SvdConfig {
+                dim: 0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(train_svd(
+            &cooc,
+            &SvdConfig {
+                dim: 99,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn aggressive_clamp_that_drops_everything_errors() {
+        let cooc = clique_cooc();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = SvdConfig {
+            dim: 2,
+            clamp: Some((1e9, 2e9)),
+            ..Default::default()
+        };
+        assert!(matches!(
+            train_svd(&cooc, &cfg, &mut rng),
+            Err(EmbeddingError::EmptyCorpus)
+        ));
+    }
+
+    #[test]
+    fn sparse_path_separates_cliques_too() {
+        let cooc = clique_cooc();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SvdConfig {
+            dim: 3,
+            ..Default::default()
+        };
+        let e = train_svd_sparse(&cooc, &cfg, &mut rng).unwrap();
+        let intra = (e.cosine(0, 1) + e.cosine(3, 4)) / 2.0;
+        let inter = (e.cosine(0, 3) + e.cosine(2, 5)) / 2.0;
+        assert!(intra > inter + 0.3, "intra={intra} inter={inter}");
+        assert!(train_svd_sparse(
+            &cooc,
+            &SvdConfig {
+                dim: 0,
+                ..Default::default()
+            },
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn embedding_shape_and_finiteness() {
+        let cooc = clique_cooc();
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = train_svd(
+            &cooc,
+            &SvdConfig {
+                dim: 4,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(e.len(), 6);
+        assert_eq!(e.dim(), 4);
+        assert!(e.matrix().as_slice().iter().all(|v| v.is_finite()));
+    }
+}

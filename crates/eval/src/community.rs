@@ -1,0 +1,266 @@
+//! Partition-agreement metrics: how well do the extracted author
+//! subgraphs recover the generator's planted communities?
+//!
+//! The paper evaluates subgraph quality only through expert votes; with
+//! ground truth available we can additionally report the standard
+//! community-detection scores — **normalized mutual information** and the
+//! **adjusted Rand index** — which the extension experiments and examples
+//! use as objective companions to the panel-based precision.
+
+use std::collections::HashMap;
+
+/// Flatten subgraph components into a per-node partition label vector.
+/// Nodes absent from every component (shouldn't happen for SW-MST output)
+/// get fresh singleton labels.
+pub fn partition_from_components(components: &[Vec<usize>], n: usize) -> Vec<usize> {
+    let mut labels = vec![usize::MAX; n];
+    for (c, members) in components.iter().enumerate() {
+        for &m in members {
+            if m < n {
+                labels[m] = c;
+            }
+        }
+    }
+    let mut next = components.len();
+    for l in &mut labels {
+        if *l == usize::MAX {
+            *l = next;
+            next += 1;
+        }
+    }
+    labels
+}
+
+/// Joint and marginal contingency counts of two partitions.
+type Contingency = (
+    HashMap<(usize, usize), f64>,
+    HashMap<usize, f64>,
+    HashMap<usize, f64>,
+);
+
+/// Contingency counts between two equal-length partitions.
+fn contingency(a: &[usize], b: &[usize]) -> Contingency {
+    let mut joint: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut ma: HashMap<usize, f64> = HashMap::new();
+    let mut mb: HashMap<usize, f64> = HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        *joint.entry((x, y)).or_insert(0.0) += 1.0;
+        *ma.entry(x).or_insert(0.0) += 1.0;
+        *mb.entry(y).or_insert(0.0) += 1.0;
+    }
+    (joint, ma, mb)
+}
+
+/// Normalized mutual information between two partitions, in `[0, 1]`
+/// (arithmetic-mean normalization). Returns `1.0` when both partitions are
+/// trivial-and-identical, `0.0` when either is constant while the other is
+/// not informative about it.
+///
+/// # Panics
+/// Panics in debug builds when the slices differ in length.
+pub fn normalized_mutual_information(a: &[usize], b: &[usize]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "partitions must cover the same nodes");
+    let n = a.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let (joint, ma, mb) = contingency(a, b);
+    let mut mi = 0.0f64;
+    for (&(x, y), &nxy) in &joint {
+        let pxy = nxy / n;
+        let px = ma[&x] / n;
+        let py = mb[&y] / n;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    let h = |m: &HashMap<usize, f64>| -> f64 {
+        m.values()
+            .map(|&c| {
+                let p = c / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let (ha, hb) = (h(&ma), h(&mb));
+    if ha == 0.0 && hb == 0.0 {
+        // Both constant: identical trivial partitions.
+        return 1.0;
+    }
+    let denom = 0.5 * (ha + hb);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    ((mi / denom).max(0.0) as f32).min(1.0)
+}
+
+/// Adjusted Rand index between two partitions: `1` for identical
+/// partitions, `≈0` for independent ones, negative for worse-than-chance.
+///
+/// # Panics
+/// Panics in debug builds when the slices differ in length.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "partitions must cover the same nodes");
+    let n = a.len() as f64;
+    if n < 2.0 {
+        return 1.0;
+    }
+    let (joint, ma, mb) = contingency(a, b);
+    let comb2 = |x: f64| x * (x - 1.0) / 2.0;
+    let sum_joint: f64 = joint.values().map(|&c| comb2(c)).sum();
+    let sum_a: f64 = ma.values().map(|&c| comb2(c)).sum();
+    let sum_b: f64 = mb.values().map(|&c| comb2(c)).sum();
+    let total = comb2(n);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate (e.g. both all-singletons or both one-cluster):
+        // identical partitions score 1, anything else 0.
+        return if sum_joint == max_index { 1.0 } else { 0.0 };
+    }
+    ((sum_joint - expected) / (max_index - expected)) as f32
+}
+
+/// Ranking quality of an author-similarity matrix against ground-truth
+/// communities: for each author, the fraction of their top-`k` most
+/// similar authors that share their community, averaged over authors
+/// (macro precision@k). Chance level is the mean community-mate rate.
+pub fn community_precision_at_k(
+    similarity: &[Vec<f32>],
+    communities: &[usize],
+    k: usize,
+) -> f32 {
+    let n = similarity.len();
+    if n < 2 || k == 0 {
+        return 0.0;
+    }
+    debug_assert_eq!(n, communities.len());
+    let mut total = 0.0f32;
+    for i in 0..n {
+        let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        others.sort_by(|&a, &b| similarity[i][b].partial_cmp(&similarity[i][a]).unwrap());
+        let top = others.into_iter().take(k);
+        let mut hits = 0usize;
+        let mut count = 0usize;
+        for j in top {
+            count += 1;
+            if communities[j] == communities[i] {
+                hits += 1;
+            }
+        }
+        if count > 0 {
+            total += hits as f32 / count as f32;
+        }
+    }
+    total / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-6);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-6);
+        // Label names don't matter.
+        let b = vec![5, 5, 9, 9, 7, 7];
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-6);
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // a splits by half, b alternates: knowing one says nothing about
+        // the other (for this size, exactly independent).
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        // MI is exactly 0 here; ARI lands slightly below 0 (chance-adjusted
+        // indices go negative for worse-than-chance agreement).
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari < 0.05 && ari > -0.5, "ari {ari}");
+        assert!(normalized_mutual_information(&a, &b) < 0.1);
+    }
+
+    #[test]
+    fn partial_agreement_is_intermediate() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let close = vec![0, 0, 1, 1, 1, 1]; // one node misplaced
+        let nmi = normalized_mutual_information(&truth, &close);
+        let ari = adjusted_rand_index(&truth, &close);
+        assert!(nmi > 0.2 && nmi < 1.0, "nmi {nmi}");
+        assert!(ari > 0.2 && ari < 1.0, "ari {ari}");
+    }
+
+    #[test]
+    fn degenerate_partitions() {
+        let constant = vec![0; 6];
+        let split = vec![0, 1, 2, 3, 4, 5];
+        // Constant vs split: no shared information.
+        assert_eq!(normalized_mutual_information(&constant, &split), 0.0);
+        assert_eq!(adjusted_rand_index(&constant, &split), 0.0);
+        // Constant vs itself: identical trivial partitions.
+        assert_eq!(normalized_mutual_information(&constant, &constant), 1.0);
+        assert_eq!(adjusted_rand_index(&constant, &constant), 1.0);
+        // Empty and single-node inputs.
+        assert_eq!(normalized_mutual_information(&[], &[]), 0.0);
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn partition_from_components_assigns_and_fills() {
+        let comps = vec![vec![0, 2], vec![1]];
+        let p = partition_from_components(&comps, 4);
+        assert_eq!(p[0], p[2]);
+        assert_ne!(p[0], p[1]);
+        // Node 3 was in no component: fresh singleton label.
+        assert!(p[3] >= 2);
+    }
+
+    #[test]
+    fn precision_at_k_perfect_and_chance() {
+        // 4 authors, 2 communities; similarity exactly mirrors communities.
+        let communities = vec![0, 0, 1, 1];
+        let perfect = vec![
+            vec![1.0, 0.9, 0.1, 0.1],
+            vec![0.9, 1.0, 0.1, 0.1],
+            vec![0.1, 0.1, 1.0, 0.9],
+            vec![0.1, 0.1, 0.9, 1.0],
+        ];
+        assert!((community_precision_at_k(&perfect, &communities, 1) - 1.0).abs() < 1e-6);
+        // Anti-correlated similarity ranks the wrong community first.
+        let inverted: Vec<Vec<f32>> = perfect
+            .iter()
+            .map(|r| r.iter().map(|v| -v).collect())
+            .collect();
+        assert_eq!(community_precision_at_k(&inverted, &communities, 1), 0.0);
+        // Degenerate inputs.
+        assert_eq!(community_precision_at_k(&perfect, &communities, 0), 0.0);
+        assert_eq!(community_precision_at_k(&[], &[], 3), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metrics_symmetric_and_bounded(
+            a in proptest::collection::vec(0usize..4, 2..24),
+        ) {
+            let b: Vec<usize> = a.iter().map(|&x| (x * 2 + 1) % 4).collect();
+            let nmi_ab = normalized_mutual_information(&a, &b);
+            let nmi_ba = normalized_mutual_information(&b, &a);
+            prop_assert!((nmi_ab - nmi_ba).abs() < 1e-5);
+            prop_assert!((0.0..=1.0).contains(&nmi_ab));
+            let ari_ab = adjusted_rand_index(&a, &b);
+            let ari_ba = adjusted_rand_index(&b, &a);
+            prop_assert!((ari_ab - ari_ba).abs() < 1e-5);
+            prop_assert!(ari_ab <= 1.0 + 1e-6);
+        }
+
+        #[test]
+        fn prop_self_agreement_is_one(
+            a in proptest::collection::vec(0usize..5, 2..24),
+        ) {
+            prop_assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-5);
+            prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Error type for evaluation protocols.
+
+use std::fmt;
+
+/// Errors raised by evaluation protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The protocol could not select enough material to evaluate.
+    InsufficientData(String),
+    /// Inputs were inconsistent (message explains).
+    Invalid(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            EvalError::Invalid(msg) => write!(f, "invalid evaluation input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}

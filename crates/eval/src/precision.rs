@@ -1,0 +1,156 @@
+//! The paper's weighted precision metrics (Eqs 18 & 19).
+
+/// Counts of expert scores `ρ0..ρ3` over a set of evaluated tweet pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScoreCounts {
+    /// `rho[s]` = number of pairs whose aggregated expert score was `s`.
+    pub rho: [usize; 4],
+}
+
+impl ScoreCounts {
+    /// Empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one aggregated score (clamped to 0..=3).
+    pub fn add(&mut self, score: u8) {
+        self.rho[(score as usize).min(3)] += 1;
+    }
+
+    /// Total evaluated pairs.
+    pub fn total(&self) -> usize {
+        self.rho.iter().sum()
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &ScoreCounts) {
+        for (a, b) in self.rho.iter_mut().zip(&other.rho) {
+            *a += b;
+        }
+    }
+
+    /// `P_Conceptual` (Eq 18): favours high-conceptual/low-textual pairs —
+    /// `(ρ1 + 2ρ2 + 3ρ3) / (3 Σρ)`.
+    pub fn p_conceptual(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let num = self.rho[1] as f32 + 2.0 * self.rho[2] as f32 + 3.0 * self.rho[3] as f32;
+        num / (3.0 * total as f32)
+    }
+
+    /// `P_Textual` (Eq 19): textual and conceptual similarity weigh the
+    /// same — `(ρ1 + 2(ρ2 + ρ3)) / (2 Σρ)`.
+    pub fn p_textual(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let num = self.rho[1] as f32 + 2.0 * (self.rho[2] + self.rho[3]) as f32;
+        num / (2.0 * total as f32)
+    }
+
+    /// Fraction of pairs scored exactly `s` (Table 5's per-score
+    /// precision).
+    pub fn fraction(&self, s: u8) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.rho[(s as usize).min(3)] as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_counts_score_zero() {
+        let c = ScoreCounts::new();
+        assert_eq!(c.p_textual(), 0.0);
+        assert_eq!(c.p_conceptual(), 0.0);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn all_score_three_is_perfect_conceptual() {
+        let mut c = ScoreCounts::new();
+        for _ in 0..10 {
+            c.add(3);
+        }
+        assert!((c.p_conceptual() - 1.0).abs() < 1e-6);
+        assert!((c.p_textual() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_two_caps_textual_but_not_conceptual() {
+        let mut c = ScoreCounts::new();
+        c.add(2);
+        // Eq 19: 2*1 / (2*1) = 1; Eq 18: 2 / 3.
+        assert!((c.p_textual() - 1.0).abs() < 1e-6);
+        assert!((c.p_conceptual() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_example_mixture() {
+        // ρ = [1, 1, 1, 1]: P_T = (1 + 2*2)/(2*4) = 5/8;
+        // P_C = (1 + 2 + 3)/(3*4) = 1/2.
+        let mut c = ScoreCounts::new();
+        for s in 0..4 {
+            c.add(s);
+        }
+        assert!((c.p_textual() - 0.625).abs() < 1e-6);
+        assert!((c.p_conceptual() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_clamps_out_of_range() {
+        let mut c = ScoreCounts::new();
+        c.add(7);
+        assert_eq!(c.rho[3], 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ScoreCounts::new();
+        a.add(0);
+        a.add(2);
+        let mut b = ScoreCounts::new();
+        b.add(2);
+        b.add(3);
+        a.merge(&b);
+        assert_eq!(a.rho, [1, 0, 2, 1]);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn fraction_per_score() {
+        let mut c = ScoreCounts::new();
+        c.add(2);
+        c.add(2);
+        c.add(3);
+        c.add(0);
+        assert!((c.fraction(2) - 0.5).abs() < 1e-6);
+        assert!((c.fraction(3) - 0.25).abs() < 1e-6);
+        assert_eq!(c.fraction(1), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_precisions_bounded(scores in proptest::collection::vec(0u8..4, 0..50)) {
+            let mut c = ScoreCounts::new();
+            for s in scores {
+                c.add(s);
+            }
+            prop_assert!((0.0..=1.0).contains(&c.p_textual()));
+            prop_assert!((0.0..=1.0).contains(&c.p_conceptual()));
+            // Eq 19 dominates Eq 18: the same counts weigh at least as
+            // much under the textual metric.
+            prop_assert!(c.p_textual() >= c.p_conceptual() - 1e-6);
+        }
+    }
+}

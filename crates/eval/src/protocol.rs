@@ -1,0 +1,416 @@
+//! The paper's benchmark protocols (Sections 5.2.2–5.2.7).
+
+use crate::error::EvalError;
+use crate::experts::ExpertPanel;
+use crate::precision::ScoreCounts;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use soulmate_corpus::EncodedCorpus;
+use soulmate_embedding::Embedding;
+use soulmate_graph::SpanningForest;
+use soulmate_text::{DocumentTfIdf, SimilarWords, WordId};
+
+/// Parameters of the Table 5 subgraph-mining protocol.
+#[derive(Debug, Clone)]
+pub struct SubgraphProtocol {
+    /// Arbitrarily chosen seed authors (paper: 50).
+    pub seed_authors: usize,
+    /// MSTs kept after ranking by average edge weight (paper: 5).
+    pub top_trees: usize,
+    /// Minimum nodes per kept MST (paper: 5).
+    pub min_nodes: usize,
+    /// Most similar tweet pairs evaluated per author pair (paper: 10).
+    pub top_tweet_pairs: usize,
+    /// Author pairs sampled per tree (bounds panel work on large trees).
+    pub max_author_pairs: usize,
+    /// Tweets considered per author (bounds the pair search).
+    pub max_tweets_per_author: usize,
+    /// Seed-author sampling seed.
+    pub seed: u64,
+}
+
+impl Default for SubgraphProtocol {
+    fn default() -> Self {
+        SubgraphProtocol {
+            seed_authors: 50,
+            top_trees: 5,
+            min_nodes: 5,
+            top_tweet_pairs: 10,
+            max_author_pairs: 40,
+            max_tweets_per_author: 30,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of the Table 5 protocol for one method.
+#[derive(Debug, Clone)]
+pub struct SubgraphPrecision {
+    /// Raw score tally.
+    pub counts: ScoreCounts,
+    /// Fraction of pairs scored 2 — the paper's "textual↑ conceptual↑"
+    /// column.
+    pub textual_high: f32,
+    /// Fraction of pairs scored 3 — the "textual↓ conceptual↑" column.
+    pub textual_low: f32,
+    /// True when no tree met `min_nodes` and the protocol fell back to the
+    /// largest available trees.
+    pub relaxed: bool,
+}
+
+/// Run the Table 5 protocol: seed authors → their MSTs → top trees →
+/// top tweet pairs per author pair → panel votes.
+///
+/// # Errors
+/// [`EvalError::InsufficientData`] when the forest has no multi-node tree
+/// at all.
+pub fn subgraph_precision(
+    panel: &ExpertPanel<'_>,
+    corpus: &EncodedCorpus,
+    forest: &SpanningForest,
+    protocol: &SubgraphProtocol,
+) -> Result<SubgraphPrecision, EvalError> {
+    let mut rng = StdRng::seed_from_u64(protocol.seed);
+    let n_authors = forest.n_nodes();
+    let mut seeds: Vec<usize> = (0..n_authors).collect();
+    seeds.shuffle(&mut rng);
+    seeds.truncate(protocol.seed_authors.min(n_authors));
+
+    // Components touched by any seed author, deduped by smallest member.
+    let components = forest.components();
+    let mut selected: Vec<&Vec<usize>> = components
+        .iter()
+        .filter(|c| c.iter().any(|a| seeds.contains(a)))
+        .collect();
+    let mut relaxed = false;
+    let mut qualifying: Vec<&Vec<usize>> = selected
+        .iter()
+        .copied()
+        .filter(|c| c.len() >= protocol.min_nodes)
+        .collect();
+    if qualifying.is_empty() {
+        // Fall back to the largest trees so the protocol still reports.
+        relaxed = true;
+        selected.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        qualifying = selected
+            .into_iter()
+            .filter(|c| c.len() >= 2)
+            .take(protocol.top_trees)
+            .collect();
+    }
+    if qualifying.is_empty() {
+        return Err(EvalError::InsufficientData(
+            "forest has no multi-node components".into(),
+        ));
+    }
+    qualifying.sort_by(|a, b| {
+        forest
+            .component_avg_weight(b)
+            .partial_cmp(&forest.component_avg_weight(a))
+            .unwrap()
+    });
+    qualifying.truncate(protocol.top_trees);
+
+    // Tweets per author (capped) and a shared TF-IDF model.
+    let tfidf = corpus_tfidf(corpus);
+    let tweets_by_author = tweets_by_author(corpus, protocol.max_tweets_per_author);
+
+    let mut counts = ScoreCounts::new();
+    for tree in qualifying {
+        let mut author_pairs: Vec<(usize, usize)> = Vec::new();
+        for (i, &a) in tree.iter().enumerate() {
+            for &b in &tree[i + 1..] {
+                author_pairs.push((a, b));
+            }
+        }
+        author_pairs.shuffle(&mut rng);
+        author_pairs.truncate(protocol.max_author_pairs);
+        for (a, b) in author_pairs {
+            let pairs = top_tweet_pairs(
+                &tweets_by_author[a],
+                &tweets_by_author[b],
+                corpus,
+                &tfidf,
+                protocol.top_tweet_pairs,
+            );
+            for (ti, tj) in pairs {
+                counts.add(panel.score_pair(ti, tj));
+            }
+        }
+    }
+
+    Ok(SubgraphPrecision {
+        counts,
+        textual_high: counts.fraction(2),
+        textual_low: counts.fraction(3),
+        relaxed,
+    })
+}
+
+/// The Tables 6/7 & Fig 11 protocol: take the strongest author pairs of a
+/// similarity matrix, evaluate the top tweet pairs of each, and tally
+/// votes (callers derive `P_Textual` / `P_Conceptual` from the counts).
+pub fn weighted_precision(
+    panel: &ExpertPanel<'_>,
+    corpus: &EncodedCorpus,
+    author_sim: &[Vec<f32>],
+    top_author_pairs: usize,
+    top_tweet_pairs_per_author_pair: usize,
+    max_tweets_per_author: usize,
+) -> Result<ScoreCounts, EvalError> {
+    let n = author_sim.len();
+    if n < 2 {
+        return Err(EvalError::InsufficientData(
+            "need at least two authors".into(),
+        ));
+    }
+    let mut pairs: Vec<(usize, usize, f32)> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        if author_sim[i].len() != n {
+            return Err(EvalError::Invalid("similarity matrix not square".into()));
+        }
+        for j in (i + 1)..n {
+            pairs.push((i, j, author_sim[i][j]));
+        }
+    }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    pairs.truncate(top_author_pairs);
+
+    let tfidf = corpus_tfidf(corpus);
+    let tweets = tweets_by_author(corpus, max_tweets_per_author);
+    let mut counts = ScoreCounts::new();
+    for (a, b, _) in pairs {
+        for (ti, tj) in top_tweet_pairs(
+            &tweets[a],
+            &tweets[b],
+            corpus,
+            &tfidf,
+            top_tweet_pairs_per_author_pair,
+        ) {
+            counts.add(panel.score_pair(ti, tj));
+        }
+    }
+    Ok(counts)
+}
+
+/// The Fig 10 cluster-threshold protocol: per tweet cluster, enrich member
+/// tweets with their top-ζ similar words, take the most TF-IDF-similar
+/// member pairs, and tally panel votes on the *original* tweets.
+pub fn cluster_quality(
+    panel: &ExpertPanel<'_>,
+    corpus: &EncodedCorpus,
+    cluster_members: &[Vec<usize>],
+    embedding: &Embedding,
+    zeta: usize,
+    top_pairs_per_cluster: usize,
+    max_members_per_cluster: usize,
+) -> Result<ScoreCounts, EvalError> {
+    if cluster_members.is_empty() {
+        return Err(EvalError::InsufficientData("no clusters".into()));
+    }
+    let tfidf = corpus_tfidf(corpus);
+    let mut counts = ScoreCounts::new();
+    for members in cluster_members {
+        let members: Vec<usize> = members
+            .iter()
+            .copied()
+            .take(max_members_per_cluster)
+            .collect();
+        if members.len() < 2 {
+            continue;
+        }
+        // Enriched member documents.
+        let docs: Vec<Vec<WordId>> = members
+            .iter()
+            .map(|&t| {
+                let words = &corpus.tweets[t].words;
+                let mut out = Vec::with_capacity(words.len() * (zeta + 1));
+                for &w in words {
+                    out.push(w);
+                    out.extend(embedding.top_similar(w, zeta));
+                }
+                out
+            })
+            .collect();
+        let weighted: Vec<_> = docs.iter().map(|d| tfidf.weigh(d)).collect();
+        let mut scored: Vec<(usize, usize, f32)> = Vec::new();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                scored.push((members[i], members[j], weighted[i].cosine(&weighted[j])));
+            }
+        }
+        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        for (ti, tj, _) in scored.into_iter().take(top_pairs_per_cluster) {
+            counts.add(panel.score_pair(ti, tj));
+        }
+    }
+    if counts.total() == 0 {
+        return Err(EvalError::InsufficientData(
+            "no evaluable pairs in any cluster".into(),
+        ));
+    }
+    Ok(counts)
+}
+
+/// Fit a TF-IDF model over every tweet of the corpus.
+fn corpus_tfidf(corpus: &EncodedCorpus) -> DocumentTfIdf {
+    DocumentTfIdf::fit(
+        corpus.tweets.iter().map(|t| t.words.as_slice()),
+        corpus.vocab.len(),
+    )
+}
+
+/// Tweet indices per author, capped deterministically.
+fn tweets_by_author(corpus: &EncodedCorpus, cap: usize) -> Vec<Vec<usize>> {
+    let mut by_author = vec![Vec::new(); corpus.n_authors];
+    for (i, t) in corpus.tweets.iter().enumerate() {
+        let list = &mut by_author[t.author as usize];
+        if list.len() < cap {
+            list.push(i);
+        }
+    }
+    by_author
+}
+
+/// The `k` most TF-IDF-similar cross pairs between two tweet sets.
+fn top_tweet_pairs(
+    tweets_a: &[usize],
+    tweets_b: &[usize],
+    corpus: &EncodedCorpus,
+    tfidf: &DocumentTfIdf,
+    k: usize,
+) -> Vec<(usize, usize)> {
+    let wa: Vec<_> = tweets_a
+        .iter()
+        .map(|&t| tfidf.weigh(&corpus.tweets[t].words))
+        .collect();
+    let wb: Vec<_> = tweets_b
+        .iter()
+        .map(|&t| tfidf.weigh(&corpus.tweets[t].words))
+        .collect();
+    let mut scored: Vec<(usize, usize, f32)> = Vec::with_capacity(wa.len() * wb.len());
+    for (i, va) in wa.iter().enumerate() {
+        for (j, vb) in wb.iter().enumerate() {
+            scored.push((tweets_a[i], tweets_b[j], va.cosine(vb)));
+        }
+    }
+    scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    scored.into_iter().take(k).map(|(a, b, _)| (a, b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experts::PanelConfig;
+    use soulmate_corpus::{generate, Dataset, GeneratorConfig};
+    use soulmate_core::{Pipeline, PipelineConfig};
+    
+
+    fn fitted() -> (Dataset, Pipeline) {
+        let d = generate(&GeneratorConfig {
+            n_authors: 24,
+            n_communities: 4,
+            n_concepts: 6,
+            entities_per_concept: 10,
+            mean_tweets_per_author: 30,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let p = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+        (d, p)
+    }
+
+    #[test]
+    fn subgraph_protocol_produces_counts() {
+        let (d, p) = fitted();
+        let cfg = PanelConfig::default();
+        let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
+        let forest = p.subgraphs().unwrap();
+        let out = subgraph_precision(&panel, &p.corpus, &forest, &SubgraphProtocol::default())
+            .unwrap();
+        assert!(out.counts.total() > 0);
+        let sum = out.counts.fraction(0)
+            + out.counts.fraction(1)
+            + out.counts.fraction(2)
+            + out.counts.fraction(3);
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert_eq!(out.textual_high, out.counts.fraction(2));
+        assert_eq!(out.textual_low, out.counts.fraction(3));
+    }
+
+    #[test]
+    fn weighted_precision_on_joint_similarity() {
+        let (d, p) = fitted();
+        let cfg = PanelConfig::default();
+        let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
+        let counts =
+            weighted_precision(&panel, &p.corpus, &p.x_total, 20, 5, 20).unwrap();
+        assert!(counts.total() > 0);
+        assert!(counts.p_textual() > 0.0, "joint method should find related pairs");
+    }
+
+    #[test]
+    fn weighted_precision_favours_good_matrices() {
+        // The fused SoulMate similarity should yield higher precision than
+        // a deliberately shuffled (garbage) similarity matrix.
+        let (d, p) = fitted();
+        let cfg = PanelConfig::default();
+        let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
+        let good = weighted_precision(&panel, &p.corpus, &p.x_total, 20, 5, 20)
+            .unwrap()
+            .p_textual();
+        // Garbage: inverted similarities rank the least similar pairs first.
+        let n = p.x_total.len();
+        let inverted: Vec<Vec<f32>> = (0..n)
+            .map(|i| (0..n).map(|j| -p.x_total[i][j]).collect())
+            .collect();
+        let bad = weighted_precision(&panel, &p.corpus, &inverted, 20, 5, 20)
+            .unwrap()
+            .p_textual();
+        assert!(
+            good > bad,
+            "good matrix {good} should beat inverted {bad}"
+        );
+    }
+
+    #[test]
+    fn weighted_precision_validates_input() {
+        let (d, p) = fitted();
+        let cfg = PanelConfig::default();
+        let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
+        let tiny = vec![vec![1.0]];
+        assert!(weighted_precision(&panel, &p.corpus, &tiny, 5, 5, 5).is_err());
+        let ragged = vec![vec![1.0, 0.5], vec![0.5]];
+        assert!(weighted_precision(&panel, &p.corpus, &ragged, 5, 5, 5).is_err());
+    }
+
+    #[test]
+    fn cluster_quality_runs_on_pipeline_concepts() {
+        let (d, p) = fitted();
+        let cfg = PanelConfig::default();
+        let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
+        // Build cluster membership from the pipeline's concept sample.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); p.concepts.n_concepts()];
+        for (pos, label) in p.concepts.sample_labels.iter().enumerate() {
+            if let Some(c) = label {
+                members[*c].push(p.concepts.sample_indices[pos]);
+            }
+        }
+        let counts =
+            cluster_quality(&panel, &p.corpus, &members, &p.collective, 5, 5, 20).unwrap();
+        assert!(counts.total() > 0);
+    }
+
+    #[test]
+    fn cluster_quality_rejects_empty() {
+        let (d, p) = fitted();
+        let cfg = PanelConfig::default();
+        let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
+        assert!(cluster_quality(&panel, &p.corpus, &[], &p.collective, 5, 5, 20).is_err());
+        let singletons = vec![vec![0usize], vec![1]];
+        assert!(
+            cluster_quality(&panel, &p.corpus, &singletons, &p.collective, 5, 5, 20).is_err()
+        );
+    }
+}

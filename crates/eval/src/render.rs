@@ -1,0 +1,115 @@
+//! Fixed-width text tables for the experiment binaries.
+
+/// A simple fixed-width table builder: headers plus string rows, rendered
+/// with column auto-sizing — the terminal stand-in for the paper's tables.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with auto-sized columns, a header separator, and `|`
+    /// delimiters.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for c in 0..cols {
+                line.push_str(&format!(" {:<width$} |", cells[c], width = widths[c]));
+            }
+            line
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimal places (the paper's precision).
+pub fn f3(x: f32) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(["method", "P_T", "P_C"]);
+        t.row(["SoulMate_Joint", "0.67", "0.32"]);
+        t.row(["Exact", "0.39", "0.01"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("SoulMate_Joint"));
+    }
+
+    #[test]
+    fn rows_padded_to_header_width() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["only-one"]);
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f3(1.0), "1.000");
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = TextTable::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Error type for graph construction.
+
+use std::fmt;
+
+/// Errors raised by graph routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node id exceeded the graph size.
+    NodeOutOfRange { node: usize, n: usize },
+    /// A similarity matrix was not square.
+    NotSquare { rows: usize, cols: usize },
+    /// An edge weight was not finite.
+    NonFiniteWeight(f32),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph of {n} nodes")
+            }
+            GraphError::NotSquare { rows, cols } => {
+                write!(f, "similarity matrix must be square, got {rows}x{cols}")
+            }
+            GraphError::NonFiniteWeight(w) => write!(f, "edge weight {w} is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

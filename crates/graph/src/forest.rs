@@ -1,0 +1,150 @@
+//! Spanning forests: the output `G'` of the graph cut, with component
+//! (subgraph) extraction and the query-subgraph lookup of Definition 7.
+
+use crate::graph::Edge;
+use crate::unionfind::UnionFind;
+
+/// A forest over the original graph's nodes: the selected edges of `G'`.
+#[derive(Debug, Clone)]
+pub struct SpanningForest {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl SpanningForest {
+    /// Wrap selected edges over `n` nodes.
+    pub fn new(n: usize, edges: Vec<Edge>) -> Self {
+        SpanningForest { n, edges }
+    }
+
+    /// Node count of the underlying graph.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The selected edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Mean selected-edge weight — the `Avg(L')` returned by Algorithm 1.
+    pub fn avg_weight(&self) -> f32 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        self.edges.iter().map(|e| e.w).sum::<f32>() / self.edges.len() as f32
+    }
+
+    /// Total selected-edge weight.
+    pub fn total_weight(&self) -> f32 {
+        self.edges.iter().map(|e| e.w).sum()
+    }
+
+    /// Connected components (the linked-author subgraphs), each a sorted
+    /// node list; ordered by smallest member. Isolated nodes form
+    /// singleton components.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut uf = UnionFind::new(self.n);
+        for e in &self.edges {
+            uf.union(e.u, e.v);
+        }
+        let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for v in 0..self.n {
+            groups.entry(uf.find(v)).or_default().push(v);
+        }
+        let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+        for c in &mut out {
+            c.sort_unstable();
+        }
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+
+    /// The query subgraph `g̃_q` (Definition 7): nodes of the component
+    /// containing `query`, or `None` when `query` is out of range.
+    pub fn query_subgraph(&self, query: usize) -> Option<Vec<usize>> {
+        if query >= self.n {
+            return None;
+        }
+        self.components()
+            .into_iter()
+            .find(|c| c.binary_search(&query).is_ok())
+    }
+
+    /// Edges internal to one component (for per-subgraph statistics).
+    pub fn component_edges(&self, component: &[usize]) -> Vec<Edge> {
+        self.edges
+            .iter()
+            .filter(|e| {
+                component.binary_search(&e.u).is_ok() && component.binary_search(&e.v).is_ok()
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Mean edge weight within one component (0 for singletons).
+    pub fn component_avg_weight(&self, component: &[usize]) -> f32 {
+        let edges = self.component_edges(component);
+        if edges.is_empty() {
+            return 0.0;
+        }
+        edges.iter().map(|e| e.w).sum::<f32>() / edges.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forest() -> SpanningForest {
+        // Components: {0,1,2} (edges 0-1, 1-2), {3,4}, {5} isolated.
+        SpanningForest::new(
+            6,
+            vec![
+                Edge { u: 0, v: 1, w: 0.9 },
+                Edge { u: 1, v: 2, w: 0.7 },
+                Edge { u: 3, v: 4, w: 0.5 },
+            ],
+        )
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        let f = forest();
+        let comps = f.components();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn query_subgraph_finds_component() {
+        let f = forest();
+        assert_eq!(f.query_subgraph(2), Some(vec![0, 1, 2]));
+        assert_eq!(f.query_subgraph(5), Some(vec![5]));
+        assert_eq!(f.query_subgraph(99), None);
+    }
+
+    #[test]
+    fn weights() {
+        let f = forest();
+        assert!((f.avg_weight() - 0.7).abs() < 1e-6);
+        assert!((f.total_weight() - 2.1).abs() < 1e-6);
+        assert!((f.component_avg_weight(&[0, 1, 2]) - 0.8).abs() < 1e-6);
+        assert_eq!(f.component_avg_weight(&[5]), 0.0);
+    }
+
+    #[test]
+    fn component_edges_filters() {
+        let f = forest();
+        assert_eq!(f.component_edges(&[0, 1, 2]).len(), 2);
+        assert_eq!(f.component_edges(&[3, 4]).len(), 1);
+        assert!(f.component_edges(&[5]).is_empty());
+    }
+
+    #[test]
+    fn empty_forest_all_singletons() {
+        let f = SpanningForest::new(3, vec![]);
+        assert_eq!(f.components().len(), 3);
+        assert_eq!(f.avg_weight(), 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Classical Kruskal maximum spanning forest — the textbook reference
+//! against which SW-MST is validated (they are the same greedy algorithm
+//! expressed differently; the paper's stack is just an explicit
+//! descending-order iteration).
+
+use crate::forest::SpanningForest;
+use crate::graph::{Edge, WeightedGraph};
+use crate::unionfind::UnionFind;
+
+/// Kruskal's algorithm with weights maximized: sort edges descending, add
+/// each edge that joins two distinct components.
+pub fn kruskal_max_forest(graph: &WeightedGraph) -> SpanningForest {
+    let n = graph.n_nodes();
+    let mut edges: Vec<Edge> = graph.edges().to_vec();
+    edges.sort_by(|a, b| {
+        b.w.partial_cmp(&a.w)
+            .unwrap()
+            .then(a.u.cmp(&b.u))
+            .then(a.v.cmp(&b.v))
+    });
+    let mut uf = UnionFind::new(n);
+    let mut selected = Vec::with_capacity(n.saturating_sub(1));
+    for e in edges {
+        if uf.union(e.u, e.v) {
+            selected.push(e);
+            if uf.components() == 1 {
+                break;
+            }
+        }
+    }
+    SpanningForest::new(n, selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_maximum_tree() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 2.0).unwrap();
+        g.add_edge(2, 3, 3.0).unwrap();
+        g.add_edge(0, 3, 0.5).unwrap();
+        g.add_edge(0, 2, 0.1).unwrap();
+        let f = kruskal_max_forest(&g);
+        assert_eq!(f.edges().len(), 3);
+        assert!((f.total_weight() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disconnected_graph_gives_forest() {
+        let mut g = WeightedGraph::new(5);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        let f = kruskal_max_forest(&g);
+        assert_eq!(f.components().len(), 3); // {0,1} {2,3} {4}
+        assert_eq!(f.edges().len(), 2);
+    }
+
+    #[test]
+    fn prefers_heavier_parallel_paths() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 0.2).unwrap();
+        g.add_edge(0, 2, 0.9).unwrap();
+        g.add_edge(1, 2, 0.8).unwrap();
+        let f = kruskal_max_forest(&g);
+        let weights: Vec<f32> = f.edges().iter().map(|e| e.w).collect();
+        assert_eq!(weights.len(), 2);
+        assert!(weights.contains(&0.9) && weights.contains(&0.8));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::new(2);
+        let f = kruskal_max_forest(&g);
+        assert!(f.edges().is_empty());
+        assert_eq!(f.components().len(), 2);
+    }
+}

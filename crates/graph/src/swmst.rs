@@ -1,0 +1,260 @@
+//! Stack-Wise Maximum Spanning Tree — the paper's Algorithm 1, implemented
+//! faithfully.
+//!
+//! The algorithm pushes every edge onto a stack in *ascending* weight order
+//! (weakest at the bottom), then pops — strongest first — appending each
+//! popped edge to `L'` and its endpoints to `N'`, until every node of the
+//! input graph has been covered. The components of the resulting `G'` are
+//! the highly-correlated author subgraphs, each spanned by its strongest
+//! edges.
+//!
+//! Two departures from the pseudocode, both forced by real inputs and
+//! documented in DESIGN.md §5:
+//!
+//! 1. the pseudocode loops `while N'' ≠ ∅` — on a graph with isolated
+//!    nodes the stack empties first, so we also stop on stack exhaustion
+//!    (isolated nodes become singleton subgraphs);
+//! 2. since the pseudocode performs no cycle check, a popped edge may join
+//!    two already-covered nodes; we keep it only when it merges two
+//!    components or covers a new node, which preserves the pseudocode's
+//!    node-coverage semantics while keeping `G'` a forest (the "maximum
+//!    spanning trees" the paper extracts from it). The
+//!    [`swmst_literal`] variant keeps *every* popped edge for comparison.
+
+use crate::forest::SpanningForest;
+use crate::graph::{Edge, WeightedGraph};
+use crate::unionfind::UnionFind;
+
+/// Run SW-MST on `graph`; returns the spanning forest `G'`.
+///
+/// Ties in edge weight are broken by `(u, v)` order so results are
+/// deterministic.
+///
+/// # Examples
+/// ```
+/// use soulmate_graph::{swmst, WeightedGraph};
+///
+/// // Two tight pairs and a weak bridge: the cut keeps the pairs apart.
+/// let mut g = WeightedGraph::new(4);
+/// g.add_edge(0, 1, 0.9).unwrap();
+/// g.add_edge(2, 3, 0.8).unwrap();
+/// g.add_edge(1, 2, 0.1).unwrap();
+/// let forest = swmst(&g);
+/// assert_eq!(forest.components(), vec![vec![0, 1], vec![2, 3]]);
+/// ```
+pub fn swmst(graph: &WeightedGraph) -> SpanningForest {
+    let n = graph.n_nodes();
+    // Stack in ascending order → iterate from the top (descending).
+    let mut stack: Vec<Edge> = graph.edges().to_vec();
+    stack.sort_by(|a, b| {
+        a.w.partial_cmp(&b.w)
+            .unwrap()
+            .then(b.u.cmp(&a.u))
+            .then(b.v.cmp(&a.v))
+    });
+
+    let mut covered = vec![false; n];
+    let mut n_covered = 0usize;
+    let mut uf = UnionFind::new(n);
+    let mut selected = Vec::new();
+
+    while n_covered < n {
+        let Some(edge) = stack.pop() else {
+            break; // isolated nodes remain — singleton subgraphs
+        };
+        let new_u = !covered[edge.u];
+        let new_v = !covered[edge.v];
+        // Keep the edge when it extends coverage or bridges two trees;
+        // a pure intra-tree edge would close a cycle.
+        if new_u || new_v || !uf.connected(edge.u, edge.v) {
+            uf.union(edge.u, edge.v);
+            selected.push(edge);
+            if new_u {
+                covered[edge.u] = true;
+                n_covered += 1;
+            }
+            if new_v {
+                covered[edge.v] = true;
+                n_covered += 1;
+            }
+        }
+    }
+    SpanningForest::new(n, selected)
+}
+
+/// The literal Algorithm 1: every popped edge is appended to `L'` (no
+/// cycle check), stopping once all nodes are covered. `G'` may then contain
+/// cycles; exposed for the fidelity comparison in the ablation bench.
+pub fn swmst_literal(graph: &WeightedGraph) -> SpanningForest {
+    let n = graph.n_nodes();
+    let mut stack: Vec<Edge> = graph.edges().to_vec();
+    stack.sort_by(|a, b| {
+        a.w.partial_cmp(&b.w)
+            .unwrap()
+            .then(b.u.cmp(&a.u))
+            .then(b.v.cmp(&a.v))
+    });
+    let mut covered = vec![false; n];
+    let mut n_covered = 0usize;
+    let mut selected = Vec::new();
+    while n_covered < n {
+        let Some(edge) = stack.pop() else { break };
+        selected.push(edge);
+        for node in [edge.u, edge.v] {
+            if !covered[node] {
+                covered[node] = true;
+                n_covered += 1;
+            }
+        }
+    }
+    SpanningForest::new(n, selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::kruskal_max_forest;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two dense communities with weak cross-links.
+    fn two_communities() -> WeightedGraph {
+        let mut g = WeightedGraph::new(6);
+        // Community A: 0,1,2 strongly tied.
+        g.add_edge(0, 1, 0.9).unwrap();
+        g.add_edge(1, 2, 0.8).unwrap();
+        g.add_edge(0, 2, 0.85).unwrap();
+        // Community B: 3,4,5.
+        g.add_edge(3, 4, 0.9).unwrap();
+        g.add_edge(4, 5, 0.8).unwrap();
+        g.add_edge(3, 5, 0.85).unwrap();
+        // Weak bridge.
+        g.add_edge(2, 3, 0.1).unwrap();
+        g
+    }
+
+    #[test]
+    fn covers_all_nodes() {
+        let f = swmst(&two_communities());
+        let all: usize = f.components().iter().map(Vec::len).sum();
+        assert_eq!(all, 6);
+    }
+
+    #[test]
+    fn strong_edges_selected_first() {
+        let f = swmst(&two_communities());
+        // The four strongest edges (0.9, 0.9, 0.85, 0.85) cover all six
+        // nodes, so the weak 0.1 bridge is never popped into the forest.
+        assert!(f.edges().iter().all(|e| e.w > 0.5));
+        assert_eq!(f.components().len(), 2);
+    }
+
+    #[test]
+    fn forest_is_acyclic() {
+        let f = swmst(&two_communities());
+        // A forest over c components of n nodes has n - c edges.
+        assert_eq!(f.edges().len(), 6 - f.components().len());
+    }
+
+    #[test]
+    fn isolated_nodes_become_singletons() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        let f = swmst(&g);
+        let comps = f.components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn empty_graph_is_all_singletons() {
+        let g = WeightedGraph::new(3);
+        let f = swmst(&g);
+        assert_eq!(f.components().len(), 3);
+        assert!(f.edges().is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 0.5).unwrap();
+        g.add_edge(2, 3, 0.5).unwrap();
+        g.add_edge(1, 2, 0.5).unwrap();
+        let f1 = swmst(&g);
+        let f2 = swmst(&g);
+        assert_eq!(f1.edges(), f2.edges());
+    }
+
+    #[test]
+    fn literal_variant_may_keep_cycles_but_still_covers() {
+        let f = swmst_literal(&two_communities());
+        let all: usize = f.components().iter().map(Vec::len).sum();
+        assert_eq!(all, 6);
+        // Literal keeps every popped edge; with the strongest 4 edges the
+        // coverage completes, possibly including a cycle (0-1,0-2,1-2).
+        assert!(f.edges().len() >= swmst(&two_communities()).edges().len());
+    }
+
+    #[test]
+    fn swmst_is_prefix_of_kruskal_selection() {
+        // SW-MST is Kruskal's greedy with early termination at node
+        // coverage: its selected edges must be a prefix of Kruskal's
+        // selection order, and it can only stop with at least as many
+        // (tighter) components.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..12);
+            let mut g = WeightedGraph::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    g.add_edge(i, j, rng.gen_range(0.0..1.0)).unwrap();
+                }
+            }
+            let a = swmst(&g);
+            let b = kruskal_max_forest(&g);
+            assert!(a.edges().len() <= b.edges().len());
+            for (ea, eb) in a.edges().iter().zip(b.edges()) {
+                assert_eq!(ea, eb, "swmst diverged from kruskal order");
+            }
+            assert!(a.components().len() >= b.components().len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_swmst_is_forest_and_covers(
+            edges in proptest::collection::vec((0usize..10, 0usize..10, 0.0f32..1.0), 0..40),
+        ) {
+            let mut g = WeightedGraph::new(10);
+            for (a, b, w) in edges {
+                if a != b {
+                    g.add_edge(a, b, w).unwrap();
+                }
+            }
+            let f = swmst(&g);
+            let comps = f.components();
+            let covered: usize = comps.iter().map(Vec::len).sum();
+            prop_assert_eq!(covered, 10);
+            // Forest invariant: |E| = n - #components.
+            prop_assert_eq!(f.edges().len(), 10 - comps.len());
+        }
+
+        #[test]
+        fn prop_swmst_prefix_of_kruskal(
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 0.0f32..1.0), 1..30),
+        ) {
+            let mut g = WeightedGraph::new(8);
+            for (a, b, w) in edges {
+                if a != b {
+                    g.add_edge(a, b, w).unwrap();
+                }
+            }
+            let a = swmst(&g);
+            let b = kruskal_max_forest(&g);
+            prop_assert!(a.edges().len() <= b.edges().len());
+            for (ea, eb) in a.edges().iter().zip(b.edges()) {
+                prop_assert_eq!(ea, eb);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Disjoint-set union with path halving and union by size.
+
+/// Union-find over dense ids `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set (path-halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `false` when already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `x`'s set.
+    pub fn size_of(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_sets_are_disjoint() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.components(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.size_of(2), 1);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.components(), 2);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 3));
+        assert_eq!(uf.components(), 1);
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.size_of(0), 4);
+    }
+
+    #[test]
+    fn redundant_union_returns_false() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.components(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_components_equals_n_minus_successful_unions(
+            pairs in proptest::collection::vec((0usize..12, 0usize..12), 0..30),
+        ) {
+            let mut uf = UnionFind::new(12);
+            let mut merges = 0usize;
+            for (a, b) in pairs {
+                if uf.union(a, b) {
+                    merges += 1;
+                }
+            }
+            prop_assert_eq!(uf.components(), 12 - merges);
+        }
+
+        #[test]
+        fn prop_connectivity_is_transitive(
+            pairs in proptest::collection::vec((0usize..8, 0usize..8), 0..16),
+        ) {
+            let mut uf = UnionFind::new(8);
+            for &(a, b) in &pairs {
+                uf.union(a, b);
+            }
+            for a in 0..8 {
+                for b in 0..8 {
+                    for c in 0..8 {
+                        if uf.connected(a, b) && uf.connected(b, c) {
+                            prop_assert!(uf.connected(a, c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

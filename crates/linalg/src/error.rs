@@ -1,0 +1,35 @@
+//! Error type for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors raised by linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. Holds `(left, right)` as
+    /// human-readable shape strings, e.g. `("3x4", "5x4")`.
+    ShapeMismatch(String, String),
+    /// A routine that requires a non-empty input was given an empty one.
+    Empty(&'static str),
+    /// The requested rank exceeds what the input can support.
+    RankTooLarge { requested: usize, available: usize },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch(a, b) => {
+                write!(f, "shape mismatch: {a} is incompatible with {b}")
+            }
+            LinalgError::Empty(what) => write!(f, "{what} must not be empty"),
+            LinalgError::RankTooLarge {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested rank {requested} exceeds available rank {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

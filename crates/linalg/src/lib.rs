@@ -1,0 +1,30 @@
+//! Minimal dense linear-algebra kernels used across the SoulMate workspace.
+//!
+//! The paper's pipeline needs only a handful of primitives — dot products,
+//! cosine similarity, vector accumulation, row-major matrices, a softmax and
+//! a truncated SVD — so this crate implements exactly those from scratch
+//! instead of pulling in a full linear-algebra dependency.
+//!
+//! All kernels operate on `f32` slices: the embedding matrices dominate
+//! memory and single precision halves the footprint with no observable
+//! effect on the paper's metrics.
+
+// Index-based loops are used deliberately where two mirrored cells of a
+// symmetric matrix (or several parallel arrays) are written per step —
+// iterator rewrites obscure those invariants.
+#![allow(clippy::needless_range_loop)]
+
+pub mod error;
+pub mod matrix;
+pub mod sparse;
+pub mod svd;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use sparse::SparseMatrix;
+pub use svd::{truncated_svd, truncated_svd_sparse, Svd};
+pub use vector::{
+    add_assign, axpy, cosine, dot, euclidean, l2_norm, mean_of, normalize, scale, softmax_in_place,
+    sub_assign, sum_of,
+};

@@ -1,0 +1,243 @@
+//! Compressed sparse row (CSR) matrix with exactly the operations the
+//! randomized truncated SVD needs.
+//!
+//! The paper's SVD baseline factorizes a `|V| x |V|` PPMI matrix; at the
+//! paper's 305 K vocabulary a dense buffer would need ~372 GB, while the
+//! PPMI matrix is overwhelmingly sparse. The randomized range finder only
+//! touches the matrix through `A · B` and `Aᵀ · B` products against thin
+//! dense matrices, so a CSR with those two products makes the SVD baseline
+//! scale to real vocabularies.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// A CSR (compressed sparse row) `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row start offsets into `col_idx`/`values`, length `rows + 1`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseMatrix {
+    /// Build from `(row, col, value)` triplets; duplicate coordinates are
+    /// summed, explicit zeros dropped.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when a coordinate exceeds the shape.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Result<Self, LinalgError> {
+        let mut per_row: Vec<Vec<(u32, f32)>> = vec![Vec::new(); rows];
+        for (r, c, v) in triplets {
+            if r >= rows || c >= cols {
+                return Err(LinalgError::ShapeMismatch(
+                    format!("{rows}x{cols}"),
+                    format!("entry at ({r},{c})"),
+                ));
+            }
+            if v != 0.0 {
+                per_row[r].push((c as u32, v));
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for entries in &mut per_row {
+            entries.sort_unstable_by_key(|&(c, _)| c);
+            // Merge duplicates.
+            let mut merged: Vec<(u32, f32)> = Vec::with_capacity(entries.len());
+            for &(c, v) in entries.iter() {
+                match merged.last_mut() {
+                    Some((lc, lv)) if *lc == c => *lv += v,
+                    _ => merged.push((c, v)),
+                }
+            }
+            for (c, v) in merged {
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(r, c)` (zero when absent).
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        match self.col_idx[lo..hi].binary_search(&(c as u32)) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dense product `self · other` (`rows x other.cols`).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn matmul_dense(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != other.rows() {
+            return Err(LinalgError::ShapeMismatch(
+                format!("{}x{}", self.rows, self.cols),
+                format!("{}x{}", other.rows(), other.cols()),
+            ));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols());
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let out_row = out.row_mut(r);
+            for k in lo..hi {
+                let c = self.col_idx[k] as usize;
+                crate::vector::axpy(self.values[k], other.row(c), out_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dense product `selfᵀ · other` (`cols x other.cols`) without
+    /// materializing the transpose.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn matmul_transpose_dense(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != other.rows() {
+            return Err(LinalgError::ShapeMismatch(
+                format!("{}x{} (transposed)", self.cols, self.rows),
+                format!("{}x{}", other.rows(), other.cols()),
+            ));
+        }
+        let mut out = Matrix::zeros(self.cols, other.cols());
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let o_row = other.row(r);
+            for k in lo..hi {
+                let c = self.col_idx[k] as usize;
+                crate::vector::axpy(self.values[k], o_row, out.row_mut(c));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materialize as a dense matrix (tests / tiny inputs only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                m.set(r, self.col_idx[k] as usize, self.values[k]);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy() -> SparseMatrix {
+        // [[1, 0, 2], [0, 3, 0]]
+        SparseMatrix::from_triplets(2, 3, [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn triplets_build_and_lookup() {
+        let m = toy();
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (2, 3, 3));
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn duplicates_sum_and_zeros_drop() {
+        let m =
+            SparseMatrix::from_triplets(1, 2, [(0, 0, 1.0), (0, 0, 2.0), (0, 1, 0.0)]).unwrap();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn out_of_shape_rejected() {
+        assert!(SparseMatrix::from_triplets(2, 2, [(2, 0, 1.0)]).is_err());
+        assert!(SparseMatrix::from_triplets(2, 2, [(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Random sparse 8x6 with ~30% fill.
+        let mut trip = Vec::new();
+        for r in 0..8 {
+            for c in 0..6 {
+                if rng.gen_bool(0.3) {
+                    trip.push((r, c, rng.gen_range(-2.0f32..2.0)));
+                }
+            }
+        }
+        let sp = SparseMatrix::from_triplets(8, 6, trip).unwrap();
+        let dense = sp.to_dense();
+        let b = Matrix::random_uniform(6, 4, 1.0, &mut rng);
+        let fast = sp.matmul_dense(&b).unwrap();
+        let slow = dense.matmul(&b).unwrap();
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        // Transposed product.
+        let c = Matrix::random_uniform(8, 3, 1.0, &mut rng);
+        let fast_t = sp.matmul_transpose_dense(&c).unwrap();
+        let slow_t = dense.transpose().matmul(&c).unwrap();
+        for (x, y) in fast_t.as_slice().iter().zip(slow_t.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_shape_checks() {
+        let m = toy();
+        let wrong = Matrix::zeros(2, 2);
+        assert!(m.matmul_dense(&wrong).is_err());
+        let wrong_t = Matrix::zeros(3, 2);
+        assert!(m.matmul_transpose_dense(&wrong_t).is_err());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = SparseMatrix::from_triplets(3, 3, [(2, 2, 1.0)]).unwrap();
+        assert_eq!(m.get(0, 0), 0.0);
+        let b = Matrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]).unwrap();
+        let out = m.matmul_dense(&b).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+}

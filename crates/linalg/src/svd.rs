@@ -1,0 +1,494 @@
+//! Truncated singular value decomposition via randomized range finding.
+//!
+//! The SVD embedding baseline (Section 4.1.2 of the paper) factorizes a
+//! `|V| x |V|` PPMI/co-occurrence matrix. A full dense SVD would be `O(n^3)`;
+//! the randomized algorithm of Halko, Martinsson & Tropp (2011) finds the
+//! dominant `k`-dimensional range with a Gaussian sketch plus a couple of
+//! power iterations, then solves an exact eigenproblem on a tiny
+//! `(k+p) x (k+p)` matrix with cyclic Jacobi rotations. Everything here is
+//! implemented from scratch on [`Matrix`].
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::sparse::SparseMatrix;
+use crate::vector;
+use rand::Rng;
+
+/// Result of a truncated SVD: `A ≈ U * diag(S) * Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m x k`, orthonormal columns.
+    pub u: Matrix,
+    /// Singular values, length `k`, non-increasing.
+    pub s: Vec<f32>,
+    /// Right singular vectors, `n x k`, orthonormal columns.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// The rank-scaled word embedding used by the SVD baseline:
+    /// row `i` of `U * diag(sqrt(S))`.
+    pub fn scaled_u(&self) -> Matrix {
+        let mut out = self.u.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v *= self.s[j].max(0.0).sqrt();
+            }
+        }
+        out
+    }
+}
+
+/// Compute a rank-`k` truncated SVD of `a` using randomized projection.
+///
+/// `oversample` extra sketch dimensions (default callers use 8) and
+/// `power_iters` subspace iterations (2 is plenty for the decaying spectra
+/// of PPMI matrices) trade accuracy for time.
+///
+/// # Errors
+/// [`LinalgError::RankTooLarge`] if `k` exceeds `min(m, n)`;
+/// [`LinalgError::Empty`] on an empty matrix.
+pub fn truncated_svd<R: Rng>(
+    a: &Matrix,
+    k: usize,
+    oversample: usize,
+    power_iters: usize,
+    rng: &mut R,
+) -> Result<Svd, LinalgError> {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty("matrix"));
+    }
+    if k == 0 || k > m.min(n) {
+        return Err(LinalgError::RankTooLarge {
+            requested: k,
+            available: m.min(n),
+        });
+    }
+    let sketch = (k + oversample).min(m.min(n));
+
+    // Gaussian sketch Ω (n x sketch) and sample Y = A Ω.
+    let omega = gaussian_matrix(n, sketch, rng);
+    let mut y = a.matmul(&omega)?; // m x sketch
+    orthonormalize_columns(&mut y);
+
+    // Power iterations sharpen the captured subspace: Y <- A (Aᵀ Y).
+    for _ in 0..power_iters {
+        let z = a.matmul_transpose_self(&y)?; // n x sketch
+        y = a.matmul(&z)?;
+        orthonormalize_columns(&mut y);
+    }
+
+    // Project: B = Yᵀ A  (sketch x n).
+    let b = y.matmul_transpose_self(a)?; // note: yᵀ a
+
+    // Small eigenproblem on B Bᵀ (sketch x sketch).
+    let bbt = b.matmul(&b.transpose())?;
+    let (mut eigvals, eigvecs) = jacobi_eigen_symmetric(&bbt, 200, 1e-10);
+
+    // Sort by eigenvalue descending.
+    let mut order: Vec<usize> = (0..eigvals.len()).collect();
+    order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).unwrap());
+    eigvals = order.iter().map(|&i| eigvals[i]).collect();
+
+    // Keep top-k.
+    let mut s = Vec::with_capacity(k);
+    let mut u_small = Matrix::zeros(sketch, k); // columns = top eigvecs
+    for (col, &src) in order.iter().take(k).enumerate() {
+        s.push(eigvals[col].max(0.0).sqrt());
+        for r in 0..sketch {
+            u_small.set(r, col, eigvecs.get(r, src));
+        }
+    }
+
+    // U = Y * U_small  (m x k)
+    let u = y.matmul(&u_small)?;
+
+    // V = Bᵀ U_small / s  (n x k)
+    let mut v = b.matmul_transpose_self(&u_small)?; // n x k
+    for j in 0..k {
+        let sj = s[j];
+        if sj > 1e-12 {
+            for i in 0..n {
+                let val = v.get(i, j) / sj;
+                v.set(i, j, val);
+            }
+        }
+    }
+
+    Ok(Svd { u, s, v })
+}
+
+/// Rank-`k` truncated SVD of a CSR matrix — identical algorithm to
+/// [`truncated_svd`], but every matrix product goes through the sparse
+/// kernels, so memory stays O(nnz + (m+n)·(k+oversample)). This is what
+/// makes the PPMI/SVD embedding baseline feasible at real vocabulary
+/// sizes (a dense 305 K² PPMI matrix would need ~372 GB).
+///
+/// # Errors
+/// Same conditions as [`truncated_svd`].
+pub fn truncated_svd_sparse<R: Rng>(
+    a: &SparseMatrix,
+    k: usize,
+    oversample: usize,
+    power_iters: usize,
+    rng: &mut R,
+) -> Result<Svd, LinalgError> {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty("matrix"));
+    }
+    if k == 0 || k > m.min(n) {
+        return Err(LinalgError::RankTooLarge {
+            requested: k,
+            available: m.min(n),
+        });
+    }
+    let sketch = (k + oversample).min(m.min(n));
+
+    let omega = gaussian_matrix(n, sketch, rng);
+    let mut y = a.matmul_dense(&omega)?; // m x sketch
+    orthonormalize_columns(&mut y);
+    for _ in 0..power_iters {
+        let z = a.matmul_transpose_dense(&y)?; // n x sketch
+        y = a.matmul_dense(&z)?;
+        orthonormalize_columns(&mut y);
+    }
+
+    // Bᵀ = Aᵀ Q  (n x sketch); B = Qᵀ A.
+    let bt = a.matmul_transpose_dense(&y)?;
+    // B Bᵀ = (Bᵀ)ᵀ (Bᵀ) — sketch x sketch symmetric.
+    let bbt = bt.matmul_transpose_self(&bt)?;
+    let (mut eigvals, eigvecs) = jacobi_eigen_symmetric(&bbt, 200, 1e-10);
+    let mut order: Vec<usize> = (0..eigvals.len()).collect();
+    order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).unwrap());
+    eigvals = order.iter().map(|&i| eigvals[i]).collect();
+
+    let mut s = Vec::with_capacity(k);
+    let mut u_small = Matrix::zeros(sketch, k);
+    for (col, &src) in order.iter().take(k).enumerate() {
+        s.push(eigvals[col].max(0.0).sqrt());
+        for r in 0..sketch {
+            u_small.set(r, col, eigvecs.get(r, src));
+        }
+    }
+    let u = y.matmul(&u_small)?; // m x k
+    // V = Bᵀ U_small / s  (n x k)
+    let mut v = bt.matmul(&u_small)?;
+    for j in 0..k {
+        let sj = s[j];
+        if sj > 1e-12 {
+            for i in 0..n {
+                let val = v.get(i, j) / sj;
+                v.set(i, j, val);
+            }
+        }
+    }
+    Ok(Svd { u, s, v })
+}
+
+/// Fill a matrix with standard normal samples via Box–Muller (the `rand`
+/// crate alone ships no Gaussian distribution).
+fn gaussian_matrix<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos());
+        if data.len() < rows * cols {
+            data.push(r * theta.sin());
+        }
+    }
+    Matrix::from_vec(rows, cols, data).expect("exact size by construction")
+}
+
+/// In-place modified Gram–Schmidt on the columns of `m`.
+fn orthonormalize_columns(m: &mut Matrix) {
+    let (rows, cols) = (m.rows(), m.cols());
+    // Work on column buffers: extract, orthogonalize, write back.
+    let mut columns: Vec<Vec<f32>> = (0..cols)
+        .map(|j| (0..rows).map(|i| m.get(i, j)).collect())
+        .collect();
+    for j in 0..cols {
+        let (before, rest) = columns.split_at_mut(j);
+        let col = &mut rest[0];
+        let original_norm = vector::l2_norm(col);
+        // Two projection passes ("twice is enough"): a single modified
+        // Gram-Schmidt pass in f32 leaves residuals around 1e-7 that, once
+        // normalized, are catastrophically non-orthogonal to earlier
+        // columns when the input is rank deficient.
+        for _ in 0..2 {
+            for prev in before.iter() {
+                let proj = vector::dot(prev, col);
+                vector::axpy(-proj, prev, col);
+            }
+        }
+        let norm = vector::l2_norm(col);
+        // Relative threshold: a residual below f32-noise scale relative to
+        // the original column is numerically zero, not a new direction.
+        if norm > 1e-5 * original_norm.max(1e-12) && norm > 1e-10 {
+            vector::scale(col, 1.0 / norm);
+        } else {
+            // Degenerate column: zero it to avoid propagating noise.
+            col.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+    for (j, col) in columns.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            m.set(i, j, v);
+        }
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` where eigenvector `i` is *column*
+/// `i` of the returned matrix. Converges quadratically; `max_sweeps` bounds
+/// the work and `tol` is the off-diagonal Frobenius threshold.
+pub fn jacobi_eigen_symmetric(a: &Matrix, max_sweeps: usize, tol: f32) -> (Vec<f32>, Matrix) {
+    let n = a.rows();
+    debug_assert_eq!(n, a.cols(), "jacobi: matrix must be square");
+    let mut d = a.clone();
+    let mut v = Matrix::zeros(n, n);
+    for i in 0..n {
+        v.set(i, i, 1.0);
+    }
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += d.get(i, j) * d.get(i, j);
+            }
+        }
+        if off.sqrt() < tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = d.get(p, q);
+                if apq.abs() < 1e-20 {
+                    continue;
+                }
+                let app = d.get(p, p);
+                let aqq = d.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of D.
+                for k in 0..n {
+                    let dkp = d.get(k, p);
+                    let dkq = d.get(k, q);
+                    d.set(k, p, c * dkp - s * dkq);
+                    d.set(k, q, s * dkp + c * dkq);
+                }
+                for k in 0..n {
+                    let dpk = d.get(p, k);
+                    let dqk = d.get(q, k);
+                    d.set(p, k, c * dpk - s * dqk);
+                    d.set(q, k, s * dpk + c * dqk);
+                }
+                // Accumulate rotations into V.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    let eig = (0..n).map(|i| d.get(i, i)).collect();
+    (eig, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reconstruct(svd: &Svd) -> Matrix {
+        // U diag(S) Vᵀ
+        let mut us = svd.u.clone();
+        for i in 0..us.rows() {
+            for j in 0..us.cols() {
+                let v = us.get(i, j) * svd.s[j];
+                us.set(i, j, v);
+            }
+        }
+        us.matmul(&svd.v.transpose()).unwrap()
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let a = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 1.0]).unwrap();
+        let (eig, _) = jacobi_eigen_symmetric(&a, 50, 1e-12);
+        let mut sorted = eig.clone();
+        sorted.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        assert!((sorted[0] - 3.0).abs() < 1e-5);
+        assert!((sorted[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jacobi_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let (eig, vecs) = jacobi_eigen_symmetric(&a, 50, 1e-12);
+        let mut sorted = eig.clone();
+        sorted.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        assert!((sorted[0] - 3.0).abs() < 1e-5);
+        assert!((sorted[1] - 1.0).abs() < 1e-5);
+        // Eigenvector columns should be orthonormal.
+        let col0: Vec<f32> = (0..2).map(|i| vecs.get(i, 0)).collect();
+        let col1: Vec<f32> = (0..2).map(|i| vecs.get(i, 1)).collect();
+        assert!(vector::dot(&col0, &col1).abs() < 1e-5);
+        assert!((vector::l2_norm(&col0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn svd_recovers_low_rank_matrix() {
+        // Build an exactly rank-2 8x6 matrix and check reconstruction.
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = Matrix::random_uniform(8, 2, 1.0, &mut rng);
+        let v = Matrix::random_uniform(2, 6, 1.0, &mut rng);
+        let a = u.matmul(&v).unwrap();
+        let svd = truncated_svd(&a, 2, 4, 2, &mut rng).unwrap();
+        let rec = reconstruct(&svd);
+        let mut err = 0.0f32;
+        for (x, y) in rec.as_slice().iter().zip(a.as_slice()) {
+            err += (x - y) * (x - y);
+        }
+        assert!(
+            err.sqrt() / a.frobenius_norm() < 1e-3,
+            "relative error too large: {err}"
+        );
+    }
+
+    #[test]
+    fn svd_singular_values_nonincreasing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::random_uniform(20, 15, 1.0, &mut rng);
+        let svd = truncated_svd(&a, 5, 6, 2, &mut rng).unwrap();
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-4, "singular values must be sorted");
+        }
+        assert!(svd.s.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_rejects_bad_rank() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::zeros(4, 4);
+        assert!(matches!(
+            truncated_svd(&a, 0, 2, 1, &mut rng),
+            Err(LinalgError::RankTooLarge { .. })
+        ));
+        assert!(matches!(
+            truncated_svd(&a, 5, 2, 1, &mut rng),
+            Err(LinalgError::RankTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn svd_u_columns_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Matrix::random_uniform(12, 10, 1.0, &mut rng);
+        let svd = truncated_svd(&a, 4, 4, 2, &mut rng).unwrap();
+        for i in 0..4 {
+            let ci: Vec<f32> = (0..12).map(|r| svd.u.get(r, i)).collect();
+            assert!((vector::l2_norm(&ci) - 1.0).abs() < 1e-2);
+            for j in (i + 1)..4 {
+                let cj: Vec<f32> = (0..12).map(|r| svd.u.get(r, j)).collect();
+                assert!(vector::dot(&ci, &cj).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_u_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::random_uniform(6, 6, 1.0, &mut rng);
+        let svd = truncated_svd(&a, 3, 3, 1, &mut rng).unwrap();
+        let e = svd.scaled_u();
+        assert_eq!(e.rows(), 6);
+        assert_eq!(e.cols(), 3);
+    }
+
+    #[test]
+    fn sparse_svd_agrees_with_dense_svd() {
+        let mut rng = StdRng::seed_from_u64(21);
+        // Rank-3 10x8 matrix, sparsified structure via dense construction.
+        let u = Matrix::random_uniform(10, 3, 1.0, &mut rng);
+        let v = Matrix::random_uniform(3, 8, 1.0, &mut rng);
+        let dense = u.matmul(&v).unwrap();
+        let mut trip = Vec::new();
+        for r in 0..10 {
+            for c in 0..8 {
+                trip.push((r, c, dense.get(r, c)));
+            }
+        }
+        let sparse = crate::sparse::SparseMatrix::from_triplets(10, 8, trip).unwrap();
+        let svd = truncated_svd_sparse(&sparse, 3, 4, 2, &mut rng).unwrap();
+        // Reconstruction error small.
+        let mut us = svd.u.clone();
+        for i in 0..us.rows() {
+            for j in 0..us.cols() {
+                let x = us.get(i, j) * svd.s[j];
+                us.set(i, j, x);
+            }
+        }
+        let rec = us.matmul(&svd.v.transpose()).unwrap();
+        let mut err = 0.0f32;
+        for (x, y) in rec.as_slice().iter().zip(dense.as_slice()) {
+            err += (x - y) * (x - y);
+        }
+        assert!(
+            err.sqrt() / dense.frobenius_norm() < 1e-2,
+            "sparse svd reconstruction error too large"
+        );
+        // Singular values close to the dense path's.
+        let dense_svd = truncated_svd(&dense, 3, 4, 2, &mut rng).unwrap();
+        for (a, b) in svd.s.iter().zip(&dense_svd.s) {
+            assert!((a - b).abs() / b.max(1e-3) < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_svd_rejects_bad_rank() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = crate::sparse::SparseMatrix::from_triplets(3, 3, [(0, 0, 1.0)]).unwrap();
+        assert!(truncated_svd_sparse(&m, 0, 2, 1, &mut rng).is_err());
+        assert!(truncated_svd_sparse(&m, 9, 2, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gaussian_matrix_has_roughly_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gaussian_matrix(50, 50, &mut rng);
+        let mean: f32 = g.as_slice().iter().sum::<f32>() / 2500.0;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from zero");
+    }
+
+    #[test]
+    fn orthonormalize_makes_orthonormal_columns() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut m = Matrix::random_uniform(10, 4, 1.0, &mut rng);
+        orthonormalize_columns(&mut m);
+        for i in 0..4 {
+            let ci: Vec<f32> = (0..10).map(|r| m.get(r, i)).collect();
+            assert!((vector::l2_norm(&ci) - 1.0).abs() < 1e-4);
+            for j in (i + 1)..4 {
+                let cj: Vec<f32> = (0..10).map(|r| m.get(r, j)).collect();
+                assert!(vector::dot(&ci, &cj).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Dense `f32` vector kernels.
+//!
+//! These free functions are the hot inner loops of embedding training and
+//! similarity computation; they avoid allocation and index via iterators so
+//! the compiler can elide bounds checks.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ (callers guarantee shape).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a slice.
+#[inline]
+pub fn l2_norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity between two vectors (Eq. 5 of the paper).
+///
+/// Returns `0.0` when either vector is all-zero, which is the conventional
+/// "no information" value for empty contexts.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    // Clamp to the valid range: accumulated f32 error can push the ratio
+    // a hair past ±1, which breaks downstream `acos`/threshold logic.
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Euclidean distance between two vectors (Eq. 14 of the paper).
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// `y += alpha * x` — the classic BLAS `axpy`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y += x`, element-wise.
+#[inline]
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(x.len(), y.len(), "add_assign: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += xi;
+    }
+}
+
+/// `y -= x`, element-wise.
+#[inline]
+pub fn sub_assign(y: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(x.len(), y.len(), "sub_assign: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi -= xi;
+    }
+}
+
+/// Scale a vector in place: `x *= alpha`.
+#[inline]
+pub fn scale(x: &mut [f32], alpha: f32) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Normalize a vector to unit L2 norm in place.
+///
+/// A zero vector is left unchanged (there is no direction to preserve).
+#[inline]
+pub fn normalize(x: &mut [f32]) {
+    let n = l2_norm(x);
+    if n > 0.0 {
+        scale(x, 1.0 / n);
+    }
+}
+
+/// Element-wise mean of a set of equal-length vectors.
+///
+/// Returns a zero vector of dimension `dim` when `rows` is empty, matching
+/// the paper's treatment of authors with no tweets.
+pub fn mean_of<'a, I>(rows: I, dim: usize) -> Vec<f32>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    let mut acc = vec![0.0f32; dim];
+    let mut n = 0usize;
+    for row in rows {
+        add_assign(&mut acc, row);
+        n += 1;
+    }
+    if n > 0 {
+        scale(&mut acc, 1.0 / n as f32);
+    }
+    acc
+}
+
+/// Element-wise sum of a set of equal-length vectors.
+pub fn sum_of<'a, I>(rows: I, dim: usize) -> Vec<f32>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    let mut acc = vec![0.0f32; dim];
+    for row in rows {
+        add_assign(&mut acc, row);
+    }
+    acc
+}
+
+/// Numerically stable softmax computed in place (Eq. 4 of the paper).
+///
+/// Subtracts the maximum before exponentiating so large logits do not
+/// overflow `f32`.
+pub fn softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for xi in x.iter_mut() {
+        *xi = (*xi - max).exp();
+        sum += *xi;
+    }
+    if sum > 0.0 {
+        scale(x, 1.0 / sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn l2_norm_unit_axes() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(l2_norm(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let v = [0.3, -0.5, 0.9];
+        assert!((cosine(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_opposite_is_minus_one() {
+        let v = [1.0, 2.0];
+        let w = [-1.0, -2.0];
+        assert!((cosine(&v, &w) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_basic() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut y = vec![1.0, 2.0, 3.0];
+        let x = [0.5, -0.5, 1.5];
+        add_assign(&mut y, &x);
+        sub_assign(&mut y, &x);
+        assert_eq!(y, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn normalize_makes_unit() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_stays_zero() {
+        let mut v = vec![0.0, 0.0];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_of_rows() {
+        let rows: Vec<Vec<f32>> = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let m = mean_of(rows.iter().map(|r| r.as_slice()), 2);
+        assert_eq!(m, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let rows: Vec<Vec<f32>> = vec![];
+        let m = mean_of(rows.iter().map(|r| r.as_slice()), 3);
+        assert_eq!(m, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_of_rows() {
+        let rows: Vec<Vec<f32>> = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let s = sum_of(rows.iter().map(|r| r.as_slice()), 2);
+        assert_eq!(s, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        softmax_in_place(&mut x);
+        let s: f32 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let mut x = vec![1000.0, 1000.0];
+        softmax_in_place(&mut x);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut x: Vec<f32> = vec![];
+        softmax_in_place(&mut x);
+        assert!(x.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cosine_in_range(a in proptest::collection::vec(-100.0f32..100.0, 1..32)) {
+            let b: Vec<f32> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+            let c = cosine(&a, &b);
+            prop_assert!((-1.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn prop_cosine_symmetric(
+            a in proptest::collection::vec(-10.0f32..10.0, 4),
+            b in proptest::collection::vec(-10.0f32..10.0, 4),
+        ) {
+            prop_assert!((cosine(&a, &b) - cosine(&b, &a)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_cosine_scale_invariant(
+            a in proptest::collection::vec(-10.0f32..10.0, 4),
+            k in 0.1f32..10.0,
+        ) {
+            let ka: Vec<f32> = a.iter().map(|x| x * k).collect();
+            prop_assert!((cosine(&a, &a) - cosine(&a, &ka)).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_euclidean_triangle_inequality(
+            a in proptest::collection::vec(-10.0f32..10.0, 5),
+            b in proptest::collection::vec(-10.0f32..10.0, 5),
+            c in proptest::collection::vec(-10.0f32..10.0, 5),
+        ) {
+            let ab = euclidean(&a, &b);
+            let bc = euclidean(&b, &c);
+            let ac = euclidean(&a, &c);
+            prop_assert!(ac <= ab + bc + 1e-3);
+        }
+
+        #[test]
+        fn prop_softmax_is_distribution(x in proptest::collection::vec(-50.0f32..50.0, 1..16)) {
+            let mut y = x.clone();
+            softmax_in_place(&mut y);
+            let s: f32 = y.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(y.iter().all(|v| *v >= 0.0));
+        }
+    }
+}

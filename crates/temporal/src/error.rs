@@ -1,0 +1,20 @@
+//! Error type for temporal slab construction.
+
+use std::fmt;
+
+/// Errors raised while building temporal slabs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// The facet hierarchy configuration is malformed.
+    InvalidHierarchy(&'static str),
+}
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalError::InvalidHierarchy(msg) => write!(f, "invalid hierarchy: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}

@@ -1,0 +1,110 @@
+//! Latent temporal facets and their splits (paper Definitions 3 & 4).
+//!
+//! Each facet interprets a timestamp along one dimension — hour of day, day
+//! of week, month, season — and partitions it into a fixed number of
+//! *splits* (24 hourly splits, 7 daily splits, …). Slabs are built on top
+//! by merging similar splits.
+
+use serde::{Deserialize, Serialize};
+use soulmate_corpus::Timestamp;
+
+/// A latent temporal dimension (`z^k` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Facet {
+    /// 24 hourly splits.
+    Hour,
+    /// 7 day-of-week splits, Monday first.
+    DayOfWeek,
+    /// 13 four-week months.
+    Month,
+    /// 4 thirteen-week seasons.
+    Season,
+}
+
+impl Facet {
+    /// Number of splits (`η` in Definition 4).
+    pub fn n_splits(self) -> usize {
+        match self {
+            Facet::Hour => 24,
+            Facet::DayOfWeek => 7,
+            Facet::Month => 13,
+            Facet::Season => 4,
+        }
+    }
+
+    /// The split a timestamp falls into, `0..n_splits()`.
+    pub fn split_of(self, t: Timestamp) -> usize {
+        match self {
+            Facet::Hour => t.hour() as usize,
+            Facet::DayOfWeek => t.day_of_week() as usize,
+            Facet::Month => t.month() as usize,
+            Facet::Season => t.season().index(),
+        }
+    }
+
+    /// Human-readable split label.
+    pub fn split_name(self, split: usize) -> String {
+        match self {
+            Facet::Hour => format!("{split:02}h"),
+            Facet::DayOfWeek => ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]
+                .get(split)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("day{split}")),
+            Facet::Month => format!("month{split:02}"),
+            Facet::Season => ["summer", "autumn", "winter", "spring"]
+                .get(split)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("season{split}")),
+        }
+    }
+
+    /// Facet label for display.
+    pub fn name(self) -> &'static str {
+        match self {
+            Facet::Hour => "hour",
+            Facet::DayOfWeek => "day",
+            Facet::Month => "month",
+            Facet::Season => "season",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_counts() {
+        assert_eq!(Facet::Hour.n_splits(), 24);
+        assert_eq!(Facet::DayOfWeek.n_splits(), 7);
+        assert_eq!(Facet::Month.n_splits(), 13);
+        assert_eq!(Facet::Season.n_splits(), 4);
+    }
+
+    #[test]
+    fn split_of_matches_timestamp_accessors() {
+        let t = Timestamp::from_parts(8, 14, 30); // Tuesday of week 1
+        assert_eq!(Facet::Hour.split_of(t), 14);
+        assert_eq!(Facet::DayOfWeek.split_of(t), 1);
+        assert_eq!(Facet::Month.split_of(t), 0);
+        assert_eq!(Facet::Season.split_of(t), 0);
+    }
+
+    #[test]
+    fn split_of_in_range_for_all_facets() {
+        for m in (0..soulmate_corpus::MINUTES_PER_YEAR).step_by(997) {
+            let t = Timestamp(m);
+            for f in [Facet::Hour, Facet::DayOfWeek, Facet::Month, Facet::Season] {
+                assert!(f.split_of(t) < f.n_splits());
+            }
+        }
+    }
+
+    #[test]
+    fn split_names_are_readable() {
+        assert_eq!(Facet::DayOfWeek.split_name(0), "Mon");
+        assert_eq!(Facet::DayOfWeek.split_name(6), "Sun");
+        assert_eq!(Facet::Hour.split_name(7), "07h");
+        assert_eq!(Facet::Season.split_name(2), "winter");
+    }
+}

@@ -1,0 +1,183 @@
+//! Split similarity grids (Section 4.1.1, Figs 3 & 4).
+//!
+//! For one facet, the textual contents of each split are pooled, weighted
+//! with the paper's modified TF-IDF (Eq. 1), and compared pairwise with
+//! cosine similarity. The resulting grid is both the input to slab
+//! clustering and the artifact plotted in Figs 3a and 4.
+
+use crate::facet::Facet;
+use soulmate_corpus::{EncodedCorpus, EncodedTweet};
+use soulmate_text::{modified_split_tfidf, WordId};
+
+/// A symmetric split-similarity grid for one facet.
+#[derive(Debug, Clone)]
+pub struct SimilarityGrid {
+    /// The facet the grid describes.
+    pub facet: Facet,
+    /// `sim[i][j]` = cosine similarity between splits `i` and `j`
+    /// (diagonal = 1).
+    pub sim: Vec<Vec<f32>>,
+    /// Token count per split (diagnostic: empty splits produce zero rows).
+    pub split_tokens: Vec<usize>,
+}
+
+impl SimilarityGrid {
+    /// Number of splits.
+    pub fn n_splits(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// Similarity between two splits.
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.sim[i][j]
+    }
+
+    /// Render the grid as a fixed-width text table (the Fig. 3a/4 artifact
+    /// in terminal form).
+    pub fn render(&self) -> String {
+        let n = self.n_splits();
+        let mut out = String::new();
+        out.push_str("      ");
+        for j in 0..n {
+            out.push_str(&format!("{:>6}", self.facet.split_name(j)));
+        }
+        out.push('\n');
+        for i in 0..n {
+            out.push_str(&format!("{:>6}", self.facet.split_name(i)));
+            for j in 0..n {
+                out.push_str(&format!("{:>6.2}", self.sim[i][j]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Pool the encoded contents of each split of `facet`, considering only
+/// tweets accepted by `filter` (used to condition a child facet on a parent
+/// slab; pass `|_| true` for the unconditioned grid).
+pub fn split_documents<F>(corpus: &EncodedCorpus, facet: Facet, filter: F) -> Vec<Vec<WordId>>
+where
+    F: Fn(&EncodedTweet) -> bool,
+{
+    let mut docs = vec![Vec::new(); facet.n_splits()];
+    for t in &corpus.tweets {
+        if filter(t) {
+            docs[facet.split_of(t.timestamp)].extend_from_slice(&t.words);
+        }
+    }
+    docs
+}
+
+/// Build the similarity grid of `facet` from pooled split documents.
+pub fn similarity_grid<F>(corpus: &EncodedCorpus, facet: Facet, filter: F) -> SimilarityGrid
+where
+    F: Fn(&EncodedTweet) -> bool,
+{
+    let docs = split_documents(corpus, facet, filter);
+    let split_tokens = docs.iter().map(Vec::len).collect();
+    let weighted = modified_split_tfidf(&docs, corpus.vocab.len());
+    let n = weighted.len();
+    let mut sim = vec![vec![0.0f32; n]; n];
+    for i in 0..n {
+        sim[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let s = weighted[i].cosine(&weighted[j]);
+            sim[i][j] = s;
+            sim[j][i] = s;
+        }
+    }
+    SimilarityGrid {
+        facet,
+        sim,
+        split_tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soulmate_corpus::{generate, GeneratorConfig};
+    use soulmate_text::TokenizerConfig;
+
+    fn corpus() -> EncodedCorpus {
+        let d = generate(&GeneratorConfig::small()).unwrap();
+        d.encode(&TokenizerConfig::default(), 2)
+    }
+
+    #[test]
+    fn grid_is_symmetric_with_unit_diagonal() {
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
+        assert_eq!(g.n_splits(), 7);
+        for i in 0..7 {
+            assert_eq!(g.get(i, i), 1.0);
+            for j in 0..7 {
+                assert_eq!(g.get(i, j), g.get(j, i));
+                assert!((-1.0..=1.0).contains(&g.get(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn weekdays_more_similar_to_each_other_than_to_weekend() {
+        // The generator plants weekday-heavy and weekend-heavy concepts, so
+        // Mon..Fri should pool together against Sat/Sun — the Table 3 shape.
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
+        let mut within_weekday = Vec::new();
+        let mut cross = Vec::new();
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                let s = g.get(i, j);
+                match (i < 5, j < 5) {
+                    (true, true) => within_weekday.push(s),
+                    (true, false) | (false, true) => cross.push(s),
+                    _ => {}
+                }
+            }
+        }
+        let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            avg(&within_weekday) > avg(&cross),
+            "weekday similarity {} should exceed cross {}",
+            avg(&within_weekday),
+            avg(&cross)
+        );
+    }
+
+    #[test]
+    fn filter_restricts_tweets() {
+        let c = corpus();
+        let all = split_documents(&c, Facet::Hour, |_| true);
+        let weekend_only = split_documents(&c, Facet::Hour, |t| t.timestamp.is_weekend());
+        let total_all: usize = all.iter().map(Vec::len).sum();
+        let total_we: usize = weekend_only.iter().map(Vec::len).sum();
+        assert!(total_we < total_all);
+        assert!(total_we > 0);
+    }
+
+    #[test]
+    fn empty_filter_gives_zero_grid() {
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::Season, |_| false);
+        assert!(g.split_tokens.iter().all(|&n| n == 0));
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert_eq!(g.get(i, j), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
+        let s = g.render();
+        assert!(s.contains("Mon"));
+        assert!(s.contains("Sun"));
+        assert!(s.lines().count() >= 8);
+    }
+}

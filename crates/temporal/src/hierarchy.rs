@@ -1,0 +1,359 @@
+//! Hierarchical multi-facet slabs (Problem 1; Section 4.1.1, Table 4).
+//!
+//! Unlike the authors' earlier work, SoulMate "heeds the effects of the
+//! parent(s) on the child temporal facets": the hour dimension is clustered
+//! *separately within each day slab* — people keep different hourly
+//! schedules on weekdays vs weekends, so weekday-conditioned and
+//! weekend-conditioned hour slabs differ (Table 4).
+//!
+//! [`SlabIndex::build`] runs the full recursive construction: level 0 slabs
+//! from the unconditioned grid, then for every parent slab a conditioned
+//! grid and its own child slabs, and so on down the facet list.
+
+use crate::error::TemporalError;
+use crate::facet::Facet;
+use crate::grid::similarity_grid;
+use crate::slabs::slabs_from_grid;
+use soulmate_corpus::{EncodedCorpus, Timestamp};
+use std::collections::HashMap;
+
+/// Configuration of the facet hierarchy: parent-to-child facet order with
+/// one HAC similarity threshold per level.
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// Facets from root (coarsest behavioural context) to leaf.
+    pub facets: Vec<Facet>,
+    /// Similarity threshold per level (same length as `facets`).
+    pub thresholds: Vec<f32>,
+}
+
+impl HierarchyConfig {
+    /// The paper's configuration: day slabs at 0.59 conditioning hour slabs
+    /// at 0.989.
+    pub fn day_hour() -> Self {
+        HierarchyConfig {
+            facets: vec![Facet::DayOfWeek, Facet::Hour],
+            thresholds: vec![0.59, 0.989],
+        }
+    }
+
+    /// A single-level hierarchy.
+    pub fn single(facet: Facet, threshold: f32) -> Self {
+        HierarchyConfig {
+            facets: vec![facet],
+            thresholds: vec![threshold],
+        }
+    }
+}
+
+/// One slab within a level of the hierarchy.
+#[derive(Debug, Clone)]
+pub struct SlabRef {
+    /// Dense id within the level.
+    pub id: usize,
+    /// Parent slab id in the previous level (`None` at the root level).
+    pub parent: Option<usize>,
+    /// Sorted split indices of this level's facet belonging to the slab.
+    pub splits: Vec<usize>,
+}
+
+/// All slabs of one hierarchy level.
+#[derive(Debug, Clone)]
+pub struct LevelSlabs {
+    /// The facet partitioned at this level.
+    pub facet: Facet,
+    /// Every slab of the level across all parent branches.
+    pub slabs: Vec<SlabRef>,
+    /// `(parent_key, split) -> slab id`; root level uses `usize::MAX` as key.
+    lookup: HashMap<(usize, usize), usize>,
+}
+
+impl LevelSlabs {
+    /// Number of slabs at this level.
+    pub fn len(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// True when the level has no slabs.
+    pub fn is_empty(&self) -> bool {
+        self.slabs.is_empty()
+    }
+}
+
+/// The fully built multi-facet slab hierarchy.
+#[derive(Debug, Clone)]
+pub struct SlabIndex {
+    levels: Vec<LevelSlabs>,
+}
+
+impl SlabIndex {
+    /// Build the hierarchy over `corpus`.
+    ///
+    /// # Errors
+    /// [`TemporalError::InvalidHierarchy`] when `facets` is empty, lengths
+    /// mismatch, or a facet repeats.
+    pub fn build(corpus: &EncodedCorpus, config: &HierarchyConfig) -> Result<Self, TemporalError> {
+        if config.facets.is_empty() {
+            return Err(TemporalError::InvalidHierarchy("no facets configured"));
+        }
+        if config.facets.len() != config.thresholds.len() {
+            return Err(TemporalError::InvalidHierarchy(
+                "facets and thresholds must have equal length",
+            ));
+        }
+        for (i, f) in config.facets.iter().enumerate() {
+            if config.facets[..i].contains(f) {
+                return Err(TemporalError::InvalidHierarchy("facet repeats in hierarchy"));
+            }
+        }
+
+        let mut index = SlabIndex { levels: Vec::new() };
+        for (level, (&facet, &threshold)) in config
+            .facets
+            .iter()
+            .zip(&config.thresholds)
+            .enumerate()
+        {
+            let mut slabs: Vec<SlabRef> = Vec::new();
+            let mut lookup = HashMap::new();
+            if level == 0 {
+                let grid = similarity_grid(corpus, facet, |_| true);
+                let (uni, _) = slabs_from_grid(&grid, threshold);
+                for members in uni.slabs {
+                    let id = slabs.len();
+                    for &s in &members {
+                        lookup.insert((usize::MAX, s), id);
+                    }
+                    slabs.push(SlabRef {
+                        id,
+                        parent: None,
+                        splits: members,
+                    });
+                }
+            } else {
+                let n_parents = index.levels[level - 1].len();
+                for parent in 0..n_parents {
+                    let grid = similarity_grid(corpus, facet, |t| {
+                        index.slab_of(level - 1, t.timestamp) == Some(parent)
+                    });
+                    let (uni, _) = slabs_from_grid(&grid, threshold);
+                    for members in uni.slabs {
+                        let id = slabs.len();
+                        for &s in &members {
+                            lookup.insert((parent, s), id);
+                        }
+                        slabs.push(SlabRef {
+                            id,
+                            parent: Some(parent),
+                            splits: members,
+                        });
+                    }
+                }
+            }
+            index.levels.push(LevelSlabs {
+                facet,
+                slabs,
+                lookup,
+            });
+        }
+        Ok(index)
+    }
+
+    /// Number of hierarchy levels.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The slabs at `level`.
+    pub fn level(&self, level: usize) -> &LevelSlabs {
+        &self.levels[level]
+    }
+
+    /// All levels, root first.
+    pub fn levels(&self) -> &[LevelSlabs] {
+        &self.levels
+    }
+
+    /// The slab of `t` at `level`, following the parent chain from the
+    /// root. `None` only if the level is out of range (every timestamp maps
+    /// to some slab by construction: slabs partition the splits).
+    pub fn slab_of(&self, level: usize, t: Timestamp) -> Option<usize> {
+        let mut parent_key = usize::MAX;
+        for (l, lvl) in self.levels.iter().enumerate().take(level + 1) {
+            let split = lvl.facet.split_of(t);
+            let slab = *lvl.lookup.get(&(parent_key, split))?;
+            if l == level {
+                return Some(slab);
+            }
+            parent_key = slab;
+        }
+        None
+    }
+
+    /// The slab ids of `t` at every level, root first.
+    pub fn slab_path(&self, t: Timestamp) -> Vec<usize> {
+        (0..self.n_levels())
+            .map(|l| self.slab_of(l, t).expect("level in range"))
+            .collect()
+    }
+
+    /// Total slab count across levels (the number of TCBOW models to train).
+    pub fn total_slabs(&self) -> usize {
+        self.levels.iter().map(LevelSlabs::len).sum()
+    }
+
+    /// Children of slab `parent` at `level + 1`.
+    pub fn children(&self, level: usize, parent: usize) -> Vec<&SlabRef> {
+        match self.levels.get(level + 1) {
+            Some(next) => next
+                .slabs
+                .iter()
+                .filter(|s| s.parent == Some(parent))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soulmate_corpus::{generate, GeneratorConfig};
+    use soulmate_text::TokenizerConfig;
+
+    fn corpus() -> EncodedCorpus {
+        let d = generate(&GeneratorConfig::small()).unwrap();
+        d.encode(&TokenizerConfig::default(), 2)
+    }
+
+    #[test]
+    fn day_hour_hierarchy_builds() {
+        let c = corpus();
+        let idx = SlabIndex::build(&c, &HierarchyConfig::day_hour()).unwrap();
+        assert_eq!(idx.n_levels(), 2);
+        assert_eq!(idx.level(0).facet, Facet::DayOfWeek);
+        assert_eq!(idx.level(1).facet, Facet::Hour);
+        assert!(!idx.level(0).is_empty());
+        // Each parent day slab owns a full partition of the 24 hours.
+        for parent in 0..idx.level(0).len() {
+            let covered: usize = idx
+                .children(0, parent)
+                .iter()
+                .map(|s| s.splits.len())
+                .sum();
+            assert_eq!(covered, 24, "parent {parent} hours not partitioned");
+        }
+    }
+
+    #[test]
+    fn every_timestamp_maps_to_a_slab_path() {
+        let c = corpus();
+        let idx = SlabIndex::build(&c, &HierarchyConfig::day_hour()).unwrap();
+        for m in (0..soulmate_corpus::MINUTES_PER_YEAR).step_by(10_007) {
+            let t = Timestamp(m);
+            let path = idx.slab_path(t);
+            assert_eq!(path.len(), 2);
+            assert!(path[0] < idx.level(0).len());
+            assert!(path[1] < idx.level(1).len());
+            // The child's parent must match the path.
+            assert_eq!(idx.level(1).slabs[path[1]].parent, Some(path[0]));
+        }
+    }
+
+    #[test]
+    fn child_slabs_differ_across_parents() {
+        // Weekday and weekend hour slabs should not be identical
+        // partitions: the generator shifts weekend activity 2h later.
+        let c = corpus();
+        let mut found = false;
+        for hour_threshold in [0.7f32, 0.5, 0.3, 0.2, 0.1] {
+            let idx = SlabIndex::build(
+                &c,
+                &HierarchyConfig {
+                    facets: vec![Facet::DayOfWeek, Facet::Hour],
+                    thresholds: vec![0.59, hour_threshold],
+                },
+            )
+            .unwrap();
+            if idx.level(0).len() < 2 {
+                continue;
+            }
+            let p0: Vec<Vec<usize>> = idx
+                .children(0, 0)
+                .iter()
+                .map(|s| s.splits.clone())
+                .collect();
+            let p1: Vec<Vec<usize>> = idx
+                .children(0, 1)
+                .iter()
+                .map(|s| s.splits.clone())
+                .collect();
+            // Skip thresholds where nothing (or everything) merged — there
+            // the partitions are trivially equal.
+            let nontrivial = |p: &[Vec<usize>]| p.len() > 1 && p.len() < 24;
+            if nontrivial(&p0) && p0 != p1 {
+                found = true;
+                break;
+            }
+        }
+        assert!(
+            found,
+            "no threshold produced differing conditioned hour slabs"
+        );
+    }
+
+    #[test]
+    fn single_level_hierarchy() {
+        let c = corpus();
+        let idx = SlabIndex::build(&c, &HierarchyConfig::single(Facet::Season, 0.5)).unwrap();
+        assert_eq!(idx.n_levels(), 1);
+        assert_eq!(idx.total_slabs(), idx.level(0).len());
+        assert!(idx.children(0, 0).is_empty());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let c = corpus();
+        assert!(SlabIndex::build(
+            &c,
+            &HierarchyConfig {
+                facets: vec![],
+                thresholds: vec![]
+            }
+        )
+        .is_err());
+        assert!(SlabIndex::build(
+            &c,
+            &HierarchyConfig {
+                facets: vec![Facet::Hour],
+                thresholds: vec![0.5, 0.6]
+            }
+        )
+        .is_err());
+        assert!(SlabIndex::build(
+            &c,
+            &HierarchyConfig {
+                facets: vec![Facet::Hour, Facet::Hour],
+                thresholds: vec![0.5, 0.6]
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn slab_of_out_of_range_level_is_none() {
+        let c = corpus();
+        let idx = SlabIndex::build(&c, &HierarchyConfig::single(Facet::Hour, 0.9)).unwrap();
+        assert_eq!(idx.slab_of(5, Timestamp(0)), None);
+    }
+
+    #[test]
+    fn total_slabs_counts_all_levels() {
+        let c = corpus();
+        let idx = SlabIndex::build(&c, &HierarchyConfig::day_hour()).unwrap();
+        assert_eq!(
+            idx.total_slabs(),
+            idx.level(0).len() + idx.level(1).len()
+        );
+    }
+}

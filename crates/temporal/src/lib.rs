@@ -1,0 +1,27 @@
+//! Temporal facets, splits, similarity grids, and hierarchical slab
+//! extraction — Section 4.1.1 of the SoulMate paper (Problem 1).
+//!
+//! Pipeline: a [`Facet`] partitions timestamps into splits; the pooled
+//! split contents are weighted with the modified TF-IDF (Eq. 1) and
+//! compared with cosine into a [`SimilarityGrid`]; complete-linkage HAC cut
+//! at a similarity threshold merges similar splits into slabs
+//! ([`slabs_from_grid`]); and [`SlabIndex`] runs the whole construction
+//! over a parent→child facet hierarchy (day slabs conditioning hour slabs,
+//! Table 4).
+
+// Index-based loops are used deliberately where two mirrored cells of a
+// symmetric matrix (or several parallel arrays) are written per step —
+// iterator rewrites obscure those invariants.
+#![allow(clippy::needless_range_loop)]
+
+pub mod error;
+pub mod facet;
+pub mod grid;
+pub mod hierarchy;
+pub mod slabs;
+
+pub use error::TemporalError;
+pub use facet::Facet;
+pub use grid::{similarity_grid, split_documents, SimilarityGrid};
+pub use hierarchy::{HierarchyConfig, LevelSlabs, SlabIndex, SlabRef};
+pub use slabs::{render_dendrogram, slabs_from_grid, UnifacetSlabs};

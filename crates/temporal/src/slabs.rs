@@ -1,0 +1,229 @@
+//! Uni-facet temporal slabs: HAC over the split similarity grid
+//! (Section 4.1.1, Tables 3 & 4, Figs 3b & 5).
+
+use crate::facet::Facet;
+use crate::grid::SimilarityGrid;
+use soulmate_cluster::{Dendrogram, DistanceMatrix, Linkage};
+
+/// The slabs of one facet under one conditioning context.
+#[derive(Debug, Clone)]
+pub struct UnifacetSlabs {
+    /// The facet the slabs partition.
+    pub facet: Facet,
+    /// Slabs as sorted split-index lists; ordered by smallest member.
+    pub slabs: Vec<Vec<usize>>,
+    /// `split_to_slab[s]` = index into `slabs` containing split `s`.
+    pub split_to_slab: Vec<usize>,
+    /// The similarity threshold used for the cut.
+    pub threshold: f32,
+}
+
+impl UnifacetSlabs {
+    /// Number of slabs.
+    pub fn len(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// True when no slabs exist (empty facet).
+    pub fn is_empty(&self) -> bool {
+        self.slabs.is_empty()
+    }
+
+    /// Slab containing `split`.
+    pub fn slab_of_split(&self, split: usize) -> usize {
+        self.split_to_slab[split]
+    }
+
+    /// Human-readable slab listing, e.g. `{Mon,Tue,Wed,Thu,Fri} {Sat,Sun}`.
+    pub fn render(&self) -> String {
+        self.slabs
+            .iter()
+            .map(|slab| {
+                let names: Vec<String> = slab
+                    .iter()
+                    .map(|&s| self.facet.split_name(s))
+                    .collect();
+                format!("{{{}}}", names.join(","))
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Cluster the splits of `grid` into slabs by complete-linkage HAC, cutting
+/// the dendrogram at similarity `threshold` (the paper's 0.59 for days,
+/// 0.989 for hours).
+///
+/// Distances are `1 - similarity`, so the cut height is `1 - threshold`:
+/// threshold 1.0 keeps every split alone ("no clustering"), threshold 0
+/// merges everything.
+///
+/// Also returns the dendrogram so callers can print/plot it (Figs 3b, 5).
+pub fn slabs_from_grid(grid: &SimilarityGrid, threshold: f32) -> (UnifacetSlabs, Dendrogram) {
+    let n = grid.n_splits();
+    let mut condensed = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            condensed.push((1.0 - grid.get(i, j)).max(0.0));
+        }
+    }
+    let dist = DistanceMatrix::from_condensed(n, condensed).expect("condensed size");
+    let dendrogram = Dendrogram::build(&dist, Linkage::Complete).expect("n >= 1 splits");
+    let slabs = dendrogram.cut(1.0 - threshold);
+    let mut split_to_slab = vec![0usize; n];
+    for (si, slab) in slabs.iter().enumerate() {
+        for &s in slab {
+            split_to_slab[s] = si;
+        }
+    }
+    (
+        UnifacetSlabs {
+            facet: grid.facet,
+            slabs,
+            split_to_slab,
+            threshold,
+        },
+        dendrogram,
+    )
+}
+
+/// Render a dendrogram as an indented text tree with merge similarities —
+/// the terminal form of the paper's Figs 3b and 5.
+pub fn render_dendrogram(dendrogram: &Dendrogram, facet: Facet) -> String {
+    let n = dendrogram.len();
+    let merges = dendrogram.merges();
+    // Recursive pretty-print: cluster ids < n are leaves.
+    fn fmt(
+        id: usize,
+        n: usize,
+        merges: &[soulmate_cluster::Merge],
+        facet: Facet,
+        depth: usize,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(depth);
+        if id < n {
+            out.push_str(&format!("{pad}{}\n", facet.split_name(id)));
+        } else {
+            let m = &merges[id - n];
+            out.push_str(&format!("{pad}+ sim={:.3}\n", 1.0 - m.height));
+            fmt(m.left, n, merges, facet, depth + 1, out);
+            fmt(m.right, n, merges, facet, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    if merges.is_empty() {
+        for leaf in 0..n {
+            out.push_str(&facet.split_name(leaf));
+            out.push('\n');
+        }
+    } else {
+        fmt(n + merges.len() - 1, n, merges, facet, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::similarity_grid;
+    use soulmate_corpus::{generate, EncodedCorpus, GeneratorConfig};
+    use soulmate_text::TokenizerConfig;
+
+    fn corpus() -> EncodedCorpus {
+        let d = generate(&GeneratorConfig::small()).unwrap();
+        d.encode(&TokenizerConfig::default(), 2)
+    }
+
+    #[test]
+    fn threshold_one_keeps_singletons() {
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
+        let (slabs, _) = slabs_from_grid(&g, 1.0);
+        // "threshold 1.0 will place the everyday entity in a distinctive
+        // slab (no clustering)" — unless two splits are identical.
+        assert_eq!(slabs.len(), 7);
+    }
+
+    #[test]
+    fn threshold_zero_merges_everything() {
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
+        let (slabs, _) = slabs_from_grid(&g, 0.0);
+        assert_eq!(slabs.len(), 1);
+        assert_eq!(slabs.slabs[0], (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn moderate_threshold_separates_weekdays_from_weekend() {
+        // The Table 3 shape: some threshold yields {Mon..Fri} vs {Sat,Sun}
+        // (possibly split further, but never mixing the two groups).
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
+        // Search a threshold that yields exactly 2 slabs.
+        let mut found = false;
+        for t in (1..100).map(|x| x as f32 / 100.0) {
+            let (slabs, _) = slabs_from_grid(&g, t);
+            if slabs.len() == 2 {
+                let weekend_slab = slabs.slab_of_split(5);
+                assert_eq!(slabs.slab_of_split(6), weekend_slab, "Sat+Sun together");
+                let weekday_slab = slabs.slab_of_split(0);
+                assert_ne!(weekday_slab, weekend_slab);
+                for d in 1..5 {
+                    assert_eq!(slabs.slab_of_split(d), weekday_slab, "weekdays together");
+                }
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no threshold produced a 2-slab day partition");
+    }
+
+    #[test]
+    fn split_to_slab_is_consistent() {
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::Hour, |_| true);
+        let (slabs, _) = slabs_from_grid(&g, 0.5);
+        for (si, slab) in slabs.slabs.iter().enumerate() {
+            for &s in slab {
+                assert_eq!(slabs.slab_of_split(s), si);
+            }
+        }
+        let total: usize = slabs.slabs.iter().map(Vec::len).sum();
+        assert_eq!(total, 24);
+    }
+
+    #[test]
+    fn render_shows_braced_groups() {
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
+        let (slabs, _) = slabs_from_grid(&g, 0.0);
+        let s = slabs.render();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("Mon"));
+    }
+
+    #[test]
+    fn dendrogram_renders_all_leaves() {
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
+        let (_, dendro) = slabs_from_grid(&g, 0.5);
+        let txt = render_dendrogram(&dendro, Facet::DayOfWeek);
+        for day in ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"] {
+            assert!(txt.contains(day), "missing {day} in dendrogram");
+        }
+        assert!(txt.contains("sim="));
+    }
+
+    #[test]
+    fn monotone_threshold_coarsens_slabs() {
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::Hour, |_| true);
+        let mut prev = usize::MAX;
+        for t in [0.9f32, 0.7, 0.5, 0.3, 0.1] {
+            let (slabs, _) = slabs_from_grid(&g, t);
+            assert!(slabs.len() <= prev, "threshold {t} increased slab count");
+            prev = slabs.len();
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the temporal slab machinery over randomized
+//! hierarchies and thresholds.
+
+use proptest::prelude::*;
+use soulmate_corpus::{generate, EncodedCorpus, GeneratorConfig, Timestamp};
+use soulmate_temporal::{similarity_grid, slabs_from_grid, Facet, HierarchyConfig, SlabIndex};
+use soulmate_text::TokenizerConfig;
+
+fn corpus() -> EncodedCorpus {
+    let d = generate(&GeneratorConfig {
+        n_authors: 12,
+        n_communities: 3,
+        n_concepts: 4,
+        entities_per_concept: 8,
+        mean_tweets_per_author: 15,
+        ..GeneratorConfig::small()
+    })
+    .unwrap();
+    d.encode(&TokenizerConfig::default(), 2)
+}
+
+fn facet_from_index(i: usize) -> Facet {
+    [Facet::Hour, Facet::DayOfWeek, Facet::Month, Facet::Season][i % 4]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_every_timestamp_has_a_full_slab_path(
+        f0 in 0usize..4,
+        offset in 1usize..4,
+        t0 in 0.0f32..1.0,
+        t1 in 0.0f32..1.0,
+    ) {
+        let corpus = corpus();
+        let fa = facet_from_index(f0);
+        let fb = facet_from_index(f0 + offset);
+        prop_assume!(fa != fb);
+        let idx = SlabIndex::build(
+            &corpus,
+            &HierarchyConfig {
+                facets: vec![fa, fb],
+                thresholds: vec![t0, t1],
+            },
+        )
+        .unwrap();
+        for minutes in (0..soulmate_corpus::MINUTES_PER_YEAR).step_by(50_023) {
+            let ts = Timestamp(minutes);
+            let path = idx.slab_path(ts);
+            prop_assert_eq!(path.len(), 2);
+            prop_assert!(path[0] < idx.level(0).len());
+            prop_assert!(path[1] < idx.level(1).len());
+            prop_assert_eq!(idx.level(1).slabs[path[1]].parent, Some(path[0]));
+        }
+    }
+
+    #[test]
+    fn prop_slabs_partition_splits_at_any_threshold(
+        f in 0usize..4,
+        threshold in -0.1f32..1.1,
+    ) {
+        let corpus = corpus();
+        let facet = facet_from_index(f);
+        let grid = similarity_grid(&corpus, facet, |_| true);
+        let (slabs, _) = slabs_from_grid(&grid, threshold);
+        let mut seen = vec![false; facet.n_splits()];
+        for slab in &slabs.slabs {
+            for &s in slab {
+                prop_assert!(!seen[s], "split {s} in two slabs");
+                seen[s] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b), "some split unassigned");
+    }
+
+    #[test]
+    fn prop_grid_values_bounded_and_symmetric(f in 0usize..4) {
+        let corpus = corpus();
+        let facet = facet_from_index(f);
+        let grid = similarity_grid(&corpus, facet, |_| true);
+        for i in 0..grid.n_splits() {
+            for j in 0..grid.n_splits() {
+                let s = grid.get(i, j);
+                prop_assert!((-1.0..=1.0).contains(&s));
+                prop_assert_eq!(s, grid.get(j, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Content enrichment by top-ζ similar-word expansion (Section 4.1.2).
+//!
+//! The paper's first remedy for mismatched noisy contents: replace every
+//! word `v_i` of an author's content with the ζ most similar words from its
+//! embedding neighbourhood, producing an "encyclopedic semantic
+//! representation" `O'_u`. The `Temporal Collective` and `CBOW Enriched`
+//! baselines both run on enriched contents.
+
+use crate::vocab::WordId;
+
+/// A provider of similar-word neighbourhoods — implemented by the embedding
+/// crate's `Embedding` type and by test doubles here.
+pub trait SimilarWords {
+    /// The ζ most similar words to `word`, most similar first, excluding
+    /// `word` itself. May return fewer than `zeta` entries.
+    fn top_similar(&self, word: WordId, zeta: usize) -> Vec<WordId>;
+}
+
+/// Enrich an encoded document: every token is replaced by its top-ζ
+/// neighbourhood (the token itself is kept as the head of its expansion, per
+/// the paper's "replaced by the top ζ most similar words from the associated
+/// vector" with the word's own vector ranking itself first).
+pub fn enrich_tokens<S: SimilarWords>(doc: &[WordId], provider: &S, zeta: usize) -> Vec<WordId> {
+    let mut out = Vec::with_capacity(doc.len() * (zeta + 1));
+    for &w in doc {
+        out.push(w);
+        out.extend(provider.top_similar(w, zeta));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic test double: word w's neighbours are w+1, w+2, ...
+    struct Successors;
+    impl SimilarWords for Successors {
+        fn top_similar(&self, word: WordId, zeta: usize) -> Vec<WordId> {
+            (1..=zeta as u32).map(|k| word + k).collect()
+        }
+    }
+
+    /// A provider with no neighbours at all.
+    struct Isolated;
+    impl SimilarWords for Isolated {
+        fn top_similar(&self, _word: WordId, _zeta: usize) -> Vec<WordId> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn enrich_expands_each_token() {
+        let out = enrich_tokens(&[10, 20], &Successors, 2);
+        assert_eq!(out, vec![10, 11, 12, 20, 21, 22]);
+    }
+
+    #[test]
+    fn enrich_with_zeta_zero_is_identity() {
+        let out = enrich_tokens(&[1, 2, 3], &Successors, 0);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn enrich_empty_doc_is_empty() {
+        assert!(enrich_tokens(&[], &Successors, 5).is_empty());
+    }
+
+    #[test]
+    fn enrich_tolerates_missing_neighbours() {
+        let out = enrich_tokens(&[7, 8], &Isolated, 3);
+        assert_eq!(out, vec![7, 8]);
+    }
+
+    #[test]
+    fn enriched_docs_overlap_when_originals_do_not() {
+        // The whole point of enrichment: "arvo" (10) and "afternoon" (11)
+        // don't match textually, but their neighbourhoods intersect.
+        let a = enrich_tokens(&[10], &Successors, 3); // 10,11,12,13
+        let b = enrich_tokens(&[12], &Successors, 3); // 12,13,14,15
+        let j = crate::tfidf::jaccard(&a, &b);
+        assert!(j > 0.0, "enriched docs should overlap");
+        assert_eq!(crate::tfidf::jaccard(&[10], &[12]), 0.0);
+    }
+}

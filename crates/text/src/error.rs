@@ -1,0 +1,23 @@
+//! Error type for text processing.
+
+use std::fmt;
+
+/// Errors raised by text-processing routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextError {
+    /// A word id was not present in the vocabulary.
+    UnknownWord(u32),
+    /// The vocabulary was empty where content was required.
+    EmptyVocabulary,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::UnknownWord(id) => write!(f, "unknown word id {id}"),
+            TextError::EmptyVocabulary => write!(f, "vocabulary is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}

@@ -1,0 +1,255 @@
+//! Sorted sparse vectors over word ids.
+//!
+//! TF-IDF vectors over a 4K+ vocabulary are overwhelmingly sparse; this type
+//! stores `(WordId, f32)` pairs sorted by id so dot products are a linear
+//! merge and memory stays proportional to the number of distinct terms.
+
+use crate::vocab::WordId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sparse vector: strictly id-sorted `(WordId, weight)` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseVector {
+    entries: Vec<(WordId, f32)>,
+}
+
+impl SparseVector {
+    /// Empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from arbitrary `(id, weight)` pairs: duplicates are summed,
+    /// zeros dropped, result sorted.
+    pub fn from_pairs<I: IntoIterator<Item = (WordId, f32)>>(pairs: I) -> Self {
+        let mut acc: HashMap<WordId, f32> = HashMap::new();
+        for (id, w) in pairs {
+            *acc.entry(id).or_insert(0.0) += w;
+        }
+        let mut entries: Vec<(WordId, f32)> =
+            acc.into_iter().filter(|&(_, w)| w != 0.0).collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        SparseVector { entries }
+    }
+
+    /// Build from term counts of an encoded document.
+    pub fn from_counts(ids: &[WordId]) -> Self {
+        Self::from_pairs(ids.iter().map(|&id| (id, 1.0)))
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the vector has no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Borrow the sorted entries.
+    pub fn entries(&self) -> &[(WordId, f32)] {
+        &self.entries
+    }
+
+    /// Weight of `id` (0.0 when absent).
+    pub fn get(&self, id: WordId) -> f32 {
+        match self.entries.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse dot product by sorted merge.
+    pub fn dot(&self, other: &SparseVector) -> f32 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut sum = 0.0f32;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ia, va) = self.entries[i];
+            let (ib, vb) = other.entries[j];
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    sum += va * vb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        sum
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|&(_, v)| v * v)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Cosine similarity; `0.0` when either side is empty/zero.
+    pub fn cosine(&self, other: &SparseVector) -> f32 {
+        let na = self.norm();
+        let nb = other.norm();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (self.dot(other) / (na * nb)).clamp(-1.0, 1.0)
+    }
+
+    /// `self + other` as a new vector.
+    pub fn add(&self, other: &SparseVector) -> SparseVector {
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() || j < other.entries.len() {
+            match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&(ia, va)), Some(&(ib, vb))) => match ia.cmp(&ib) {
+                    std::cmp::Ordering::Less => {
+                        out.push((ia, va));
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push((ib, vb));
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let s = va + vb;
+                        if s != 0.0 {
+                            out.push((ia, s));
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                },
+                (Some(&(ia, va)), None) => {
+                    out.push((ia, va));
+                    i += 1;
+                }
+                (None, Some(&(ib, vb))) => {
+                    out.push((ib, vb));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        SparseVector { entries: out }
+    }
+
+    /// Scale all weights in place.
+    pub fn scale(&mut self, k: f32) {
+        for (_, v) in &mut self.entries {
+            *v *= k;
+        }
+    }
+
+    /// The ids present in the vector.
+    pub fn ids(&self) -> impl Iterator<Item = WordId> + '_ {
+        self.entries.iter().map(|&(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_pairs_sorts_merges_and_drops_zero() {
+        let v = SparseVector::from_pairs([(3, 1.0), (1, 2.0), (3, 1.5), (2, 0.0)]);
+        assert_eq!(v.entries(), &[(1, 2.0), (3, 2.5)]);
+    }
+
+    #[test]
+    fn from_counts_counts_occurrences() {
+        let v = SparseVector::from_counts(&[5, 2, 5, 5]);
+        assert_eq!(v.get(5), 3.0);
+        assert_eq!(v.get(2), 1.0);
+        assert_eq!(v.get(9), 0.0);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_matches_dense() {
+        let a = SparseVector::from_pairs([(0, 1.0), (2, 3.0), (5, 2.0)]);
+        let b = SparseVector::from_pairs([(2, 4.0), (3, 1.0), (5, 0.5)]);
+        assert_eq!(a.dot(&b), 3.0 * 4.0 + 2.0 * 0.5);
+    }
+
+    #[test]
+    fn dot_disjoint_is_zero() {
+        let a = SparseVector::from_pairs([(0, 1.0)]);
+        let b = SparseVector::from_pairs([(1, 1.0)]);
+        assert_eq!(a.dot(&b), 0.0);
+    }
+
+    #[test]
+    fn cosine_bounds_and_self() {
+        let a = SparseVector::from_pairs([(0, 1.0), (1, 2.0)]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-6);
+        assert_eq!(a.cosine(&SparseVector::new()), 0.0);
+    }
+
+    #[test]
+    fn add_merges() {
+        let a = SparseVector::from_pairs([(0, 1.0), (2, 1.0)]);
+        let b = SparseVector::from_pairs([(1, 5.0), (2, -1.0)]);
+        let c = a.add(&b);
+        assert_eq!(c.entries(), &[(0, 1.0), (1, 5.0)]);
+    }
+
+    #[test]
+    fn scale_scales() {
+        let mut a = SparseVector::from_pairs([(0, 2.0)]);
+        a.scale(0.5);
+        assert_eq!(a.get(0), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_commutative(
+            xs in proptest::collection::vec((0u32..20, -5.0f32..5.0), 0..12),
+            ys in proptest::collection::vec((0u32..20, -5.0f32..5.0), 0..12),
+        ) {
+            let a = SparseVector::from_pairs(xs);
+            let b = SparseVector::from_pairs(ys);
+            prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_add_agrees_with_get(
+            xs in proptest::collection::vec((0u32..10, -5.0f32..5.0), 0..10),
+            ys in proptest::collection::vec((0u32..10, -5.0f32..5.0), 0..10),
+        ) {
+            let a = SparseVector::from_pairs(xs);
+            let b = SparseVector::from_pairs(ys);
+            let c = a.add(&b);
+            for id in 0u32..10 {
+                prop_assert!((c.get(id) - (a.get(id) + b.get(id))).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_entries_sorted_unique(
+            xs in proptest::collection::vec((0u32..30, -5.0f32..5.0), 0..20),
+        ) {
+            let a = SparseVector::from_pairs(xs);
+            for w in a.entries().windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+            }
+        }
+
+        #[test]
+        fn prop_cosine_in_unit_range(
+            xs in proptest::collection::vec((0u32..15, -5.0f32..5.0), 1..10),
+            ys in proptest::collection::vec((0u32..15, -5.0f32..5.0), 1..10),
+        ) {
+            let a = SparseVector::from_pairs(xs);
+            let b = SparseVector::from_pairs(ys);
+            let c = a.cosine(&b);
+            prop_assert!((-1.0..=1.0).contains(&c));
+        }
+    }
+}

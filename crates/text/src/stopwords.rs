@@ -1,0 +1,52 @@
+//! A compact English stop-word list tuned for microblog text.
+//!
+//! The list deliberately keeps sentiment-bearing function words out (e.g.
+//! "not" stays *in* the list here because the paper's similarity signals are
+//! lexical/conceptual, not sentiment polarity) and adds microblog filler
+//! ("rt", "via", "amp").
+
+/// Sorted stop-word table; `is_stopword` binary-searches it.
+static STOPWORDS: &[&str] = &[
+    "a", "about", "after", "again", "all", "also", "am", "amp", "an", "and", "any", "are", "as",
+    "at", "be", "because", "been", "before", "being", "but", "by", "can", "could", "did", "do",
+    "does", "doing", "down", "during", "each", "few", "for", "from", "further", "get", "got",
+    "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if",
+    "im", "in", "into", "is", "it", "its", "just", "ll", "me", "more", "most", "my", "myself",
+    "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "ours",
+    "out", "over", "own", "re", "rt", "s", "same", "she", "should", "so", "some", "such", "t",
+    "than", "that", "the", "their", "theirs", "them", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "u", "under", "until", "up", "ur", "us", "ve", "very", "via",
+    "was", "we", "were", "what", "when", "where", "which", "while", "who", "whom", "why", "will",
+    "with", "would", "you", "your", "yours", "yourself",
+];
+
+/// True when `word` (already lowercased) is a stop word.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_deduped() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "stopword table out of order at {:?}", w);
+        }
+    }
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "and", "rt", "via", "a", "yourself"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["coffee", "brisbane", "arvo", "beach", "work"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! TF-IDF weighting: the standard document form and the paper's modified
+//! split form (Eq. 1).
+
+use crate::sparse::SparseVector;
+use crate::vocab::WordId;
+use std::collections::HashSet;
+
+/// Document-level TF-IDF model.
+///
+/// Fitted on a set of encoded documents; produces weighted sparse vectors
+/// with `tf * ln(N / df)` weighting. This powers the `Document Vector`
+/// baseline (Section 5.1.1) and the cluster-threshold selection protocol.
+#[derive(Debug, Clone)]
+pub struct DocumentTfIdf {
+    /// Number of fitted documents.
+    n_docs: usize,
+    /// `df[w]` = number of documents containing word `w`.
+    doc_freq: Vec<u32>,
+}
+
+impl DocumentTfIdf {
+    /// Fit document frequencies over encoded documents.
+    ///
+    /// `vocab_size` bounds the word-id space; ids `>= vocab_size` are
+    /// ignored.
+    pub fn fit<'a, I>(docs: I, vocab_size: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a [WordId]>,
+    {
+        let mut doc_freq = vec![0u32; vocab_size];
+        let mut n_docs = 0usize;
+        let mut seen: HashSet<WordId> = HashSet::new();
+        for doc in docs {
+            n_docs += 1;
+            seen.clear();
+            for &id in doc {
+                if (id as usize) < vocab_size && seen.insert(id) {
+                    doc_freq[id as usize] += 1;
+                }
+            }
+        }
+        DocumentTfIdf { n_docs, doc_freq }
+    }
+
+    /// Number of documents the model was fitted on.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Inverse document frequency of a word: `ln((1 + N) / (1 + df))`.
+    ///
+    /// The +1 smoothing keeps unseen words finite, which matters when
+    /// weighting a *query* document that contains words absent from the
+    /// fitted corpus.
+    pub fn idf(&self, id: WordId) -> f32 {
+        let df = self.doc_freq.get(id as usize).copied().unwrap_or(0);
+        ((1.0 + self.n_docs as f32) / (1.0 + df as f32)).ln()
+    }
+
+    /// TF-IDF weighted sparse vector for an encoded document.
+    pub fn weigh(&self, doc: &[WordId]) -> SparseVector {
+        let counts = SparseVector::from_counts(doc);
+        SparseVector::from_pairs(
+            counts
+                .entries()
+                .iter()
+                .map(|&(id, tf)| (id, tf * self.idf(id))),
+        )
+    }
+
+    /// Cosine similarity between two documents under this weighting.
+    pub fn similarity(&self, a: &[WordId], b: &[WordId]) -> f32 {
+        self.weigh(a).cosine(&self.weigh(b))
+    }
+}
+
+/// The paper's **modified TF-IDF over temporal splits** (Eq. 1):
+///
+/// ```text
+/// w(t_i, S_k^l) = f(t_i, S_k^l) / max_t f(t, S_k^l)  *  log( N / N(t_i) )
+/// ```
+///
+/// where each "document" is the pooled text of one temporal split, `N` is
+/// the number of splits, and `N(t_i)` counts the splits where `t_i` occurs.
+/// Returns one weighted sparse vector per split, in input order.
+///
+/// Splits where the term-frequency maximum is zero (empty splits) produce
+/// empty vectors. Terms occurring in *every* split get IDF `log(N/N) = 0`,
+/// which is exactly the paper's behaviour: ubiquitous words carry no
+/// information about which split they came from.
+pub fn modified_split_tfidf(splits: &[Vec<WordId>], vocab_size: usize) -> Vec<SparseVector> {
+    let n_splits = splits.len();
+    // N(t): number of splits containing each term.
+    let mut split_freq = vec![0u32; vocab_size];
+    let mut seen: HashSet<WordId> = HashSet::new();
+    for split in splits {
+        seen.clear();
+        for &id in split {
+            if (id as usize) < vocab_size && seen.insert(id) {
+                split_freq[id as usize] += 1;
+            }
+        }
+    }
+
+    splits
+        .iter()
+        .map(|split| {
+            let counts = SparseVector::from_counts(split);
+            let max_tf = counts
+                .entries()
+                .iter()
+                .map(|&(_, c)| c)
+                .fold(0.0f32, f32::max);
+            if max_tf == 0.0 {
+                return SparseVector::new();
+            }
+            SparseVector::from_pairs(counts.entries().iter().filter_map(|&(id, tf)| {
+                let nf = split_freq.get(id as usize).copied().unwrap_or(0);
+                if nf == 0 {
+                    return None;
+                }
+                let idf = (n_splits as f32 / nf as f32).log10();
+                let w = (tf / max_tf) * idf;
+                (w != 0.0).then_some((id, w))
+            }))
+        })
+        .collect()
+}
+
+/// Jaccard coefficient between two encoded documents, treated as term sets.
+/// Used by the `CBOW Enriched` baseline to compare enriched contents.
+pub fn jaccard(a: &[WordId], b: &[WordId]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let sa: HashSet<WordId> = a.iter().copied().collect();
+    let sb: HashSet<WordId> = b.iter().copied().collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        0.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        let docs: Vec<Vec<WordId>> = vec![vec![0, 1], vec![0, 2], vec![0, 3]];
+        let refs: Vec<&[WordId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = DocumentTfIdf::fit(refs, 4);
+        assert!(model.idf(0) < model.idf(1));
+        assert_eq!(model.n_docs(), 3);
+    }
+
+    #[test]
+    fn weigh_uses_tf_times_idf() {
+        let docs: Vec<Vec<WordId>> = vec![vec![0, 1], vec![1]];
+        let refs: Vec<&[WordId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = DocumentTfIdf::fit(refs, 2);
+        let v = model.weigh(&[0, 0, 1]);
+        assert!((v.get(0) - 2.0 * model.idf(0)).abs() < 1e-6);
+        assert!((v.get(1) - model.idf(1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similarity_identical_documents() {
+        let docs: Vec<Vec<WordId>> = vec![vec![0, 1, 2], vec![3, 4]];
+        let refs: Vec<&[WordId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = DocumentTfIdf::fit(refs, 5);
+        assert!((model.similarity(&[0, 1], &[0, 1]) - 1.0).abs() < 1e-5);
+        assert_eq!(model.similarity(&[0], &[3]), 0.0);
+    }
+
+    #[test]
+    fn split_tfidf_ubiquitous_term_weighs_zero() {
+        // Term 0 appears in all splits -> idf = log10(1) = 0.
+        let splits = vec![vec![0, 1], vec![0, 2], vec![0, 3]];
+        let vecs = modified_split_tfidf(&splits, 4);
+        for v in &vecs {
+            assert_eq!(v.get(0), 0.0);
+        }
+        // Unique terms keep positive weight.
+        assert!(vecs[0].get(1) > 0.0);
+    }
+
+    #[test]
+    fn split_tfidf_normalizes_by_max_frequency() {
+        // In split 0, term 1 appears twice (max), term 2 once.
+        let splits = vec![vec![1, 1, 2], vec![3]];
+        let vecs = modified_split_tfidf(&splits, 4);
+        let w1 = vecs[0].get(1);
+        let w2 = vecs[0].get(2);
+        // Both terms have idf log10(2/1); tf-normalized 1.0 vs 0.5.
+        assert!((w1 - 2.0f32.log10()).abs() < 1e-6);
+        assert!((w2 - 0.5 * 2.0f32.log10()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_tfidf_empty_split_is_empty_vector() {
+        let splits = vec![vec![], vec![1]];
+        let vecs = modified_split_tfidf(&splits, 2);
+        assert!(vecs[0].is_empty());
+        assert!(!vecs[1].is_empty());
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[0, 1], &[0, 1]), 1.0);
+        assert_eq!(jaccard(&[0], &[1]), 0.0);
+        assert!((jaccard(&[0, 1, 2], &[1, 2, 3]) - 0.5).abs() < 1e-6);
+        assert_eq!(jaccard(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_ignores_multiplicity() {
+        assert_eq!(jaccard(&[0, 0, 0], &[0]), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jaccard_symmetric_and_bounded(
+            a in proptest::collection::vec(0u32..10, 0..15),
+            b in proptest::collection::vec(0u32..10, 0..15),
+        ) {
+            let j1 = jaccard(&a, &b);
+            let j2 = jaccard(&b, &a);
+            prop_assert!((j1 - j2).abs() < 1e-6);
+            prop_assert!((0.0..=1.0).contains(&j1));
+        }
+
+        #[test]
+        fn prop_split_tfidf_weights_bounded(
+            splits in proptest::collection::vec(
+                proptest::collection::vec(0u32..8, 0..12), 1..6),
+        ) {
+            let n = splits.len() as f32;
+            let max_idf = n.log10();
+            for v in modified_split_tfidf(&splits, 8) {
+                for &(_, w) in v.entries() {
+                    prop_assert!(w >= 0.0 && w <= max_idf + 1e-5);
+                }
+            }
+        }
+    }
+}

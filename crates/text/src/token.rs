@@ -1,0 +1,206 @@
+//! Microblog-aware tokenizer and normalizer.
+//!
+//! Short-text content is informal: abbreviations ("arvo"), elongations
+//! ("soooo"), @mentions, #hashtags, URLs and emoji. The tokenizer applies a
+//! fixed normalization pipeline so the downstream vocabulary sees a
+//! consistent surface form:
+//!
+//! 1. Unicode-lowercase the input.
+//! 2. Drop URLs (`http…`, `www…`) — they carry no lexical signal.
+//! 3. Optionally drop @mentions; keep hashtag bodies (`#beach` → `beach`).
+//! 4. Split on non-alphanumeric boundaries (apostrophes are elided first so
+//!    `can't` → `cant`).
+//! 5. Squeeze character runs longer than two (`soooo` → `soo`).
+//! 6. Drop pure numbers, single characters and (optionally) stop words.
+
+use crate::stopwords::is_stopword;
+use serde::{Deserialize, Serialize};
+
+/// Tokenizer options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenizerConfig {
+    /// Remove stop words (default `true`).
+    pub remove_stopwords: bool,
+    /// Drop `@mention` tokens entirely (default `true`). When `false` the
+    /// mention is kept without its sigil (`@alice` → `alice`).
+    pub drop_mentions: bool,
+    /// Minimum kept token length in characters (default 2).
+    pub min_token_len: usize,
+    /// Squeeze character runs longer than this length down to it (default 2).
+    pub max_char_run: usize,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            remove_stopwords: true,
+            drop_mentions: true,
+            min_token_len: 2,
+            max_char_run: 2,
+        }
+    }
+}
+
+/// Tokenize a raw short-text message into normalized terms.
+pub fn tokenize(text: &str, config: &TokenizerConfig) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split_whitespace() {
+        let lower = raw.to_lowercase();
+        if lower.starts_with("http://") || lower.starts_with("https://") || lower.starts_with("www.")
+        {
+            continue;
+        }
+        if lower.starts_with('@')
+            && config.drop_mentions {
+                continue;
+            }
+        // Elide apostrophes so contractions stay one token ("can't" -> "cant").
+        let elided: String = lower.chars().filter(|&c| c != '\'' && c != '’').collect();
+        for piece in elided.split(|c: char| !c.is_alphanumeric()) {
+            if piece.is_empty() {
+                continue;
+            }
+            let squeezed = squeeze_runs(piece, config.max_char_run);
+            if squeezed.chars().count() < config.min_token_len {
+                continue;
+            }
+            if squeezed.chars().all(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if config.remove_stopwords && is_stopword(&squeezed) {
+                continue;
+            }
+            out.push(squeezed);
+        }
+    }
+    out
+}
+
+/// Squeeze any run of the same character longer than `max_run` down to
+/// `max_run` occurrences ("soooo" → "soo" with `max_run = 2`).
+fn squeeze_runs(s: &str, max_run: usize) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last: Option<char> = None;
+    let mut run = 0usize;
+    for c in s.chars() {
+        if Some(c) == last {
+            run += 1;
+        } else {
+            last = Some(c);
+            run = 1;
+        }
+        if run <= max_run {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tok(s: &str) -> Vec<String> {
+        tokenize(s, &TokenizerConfig::default())
+    }
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(tok("Going to the beach today!"), vec!["going", "beach", "today"]);
+    }
+
+    #[test]
+    fn urls_are_dropped() {
+        assert_eq!(tok("check https://t.co/xyz out www.example.com"), vec!["check"]);
+    }
+
+    #[test]
+    fn mentions_dropped_by_default() {
+        assert_eq!(tok("@alice hello beach"), vec!["hello", "beach"]);
+    }
+
+    #[test]
+    fn mentions_kept_when_configured() {
+        let cfg = TokenizerConfig {
+            drop_mentions: false,
+            ..Default::default()
+        };
+        assert_eq!(tokenize("@alice hello", &cfg), vec!["alice", "hello"]);
+    }
+
+    #[test]
+    fn hashtags_keep_body() {
+        assert_eq!(tok("#beach #BrisVegas vibes"), vec!["beach", "brisvegas", "vibes"]);
+    }
+
+    #[test]
+    fn elongations_squeezed() {
+        assert_eq!(tok("soooooo goooood"), vec!["soo", "good"]);
+    }
+
+    #[test]
+    fn contractions_stay_single_token() {
+        assert_eq!(tok("can't won't"), vec!["cant", "wont"]);
+    }
+
+    #[test]
+    fn numbers_and_short_tokens_dropped() {
+        assert_eq!(tok("42 x yy 2024"), vec!["yy"]);
+    }
+
+    #[test]
+    fn stopwords_removed() {
+        assert_eq!(tok("I am so very tired"), vec!["tired"]);
+    }
+
+    #[test]
+    fn stopwords_kept_when_configured() {
+        let cfg = TokenizerConfig {
+            remove_stopwords: false,
+            ..Default::default()
+        };
+        assert_eq!(tokenize("am so tired", &cfg), vec!["am", "so", "tired"]);
+    }
+
+    #[test]
+    fn punctuation_splits_tokens() {
+        assert_eq!(tok("tea,coffee;cake"), vec!["tea", "coffee", "cake"]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(tok("").is_empty());
+        assert!(tok("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn unicode_is_lowercased() {
+        assert_eq!(tok("CAFÉ Großartig"), vec!["café", "großartig"]);
+    }
+
+    #[test]
+    fn squeeze_runs_exact() {
+        assert_eq!(squeeze_runs("aaa", 2), "aa");
+        assert_eq!(squeeze_runs("aabbaa", 2), "aabbaa");
+        assert_eq!(squeeze_runs("abc", 2), "abc");
+        assert_eq!(squeeze_runs("", 2), "");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tokens_are_normalized(s in ".{0,200}") {
+            for t in tok(&s) {
+                prop_assert!(t.chars().count() >= 2);
+                prop_assert_eq!(t.clone(), t.to_lowercase());
+                prop_assert!(!t.contains(char::is_whitespace));
+                prop_assert!(!is_stopword(&t));
+            }
+        }
+
+        #[test]
+        fn prop_tokenize_is_deterministic(s in ".{0,100}") {
+            prop_assert_eq!(tok(&s), tok(&s));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Online phase / cold start: fit the pipeline on all-but-one author,
+//! then link the held-out author's first tweets as a *query author* —
+//! the paper's Section 4.2 scenario (a new user posts a handful of tweets
+//! and we must place them among existing authors immediately, without
+//! retraining).
+//!
+//! ```text
+//! cargo run --release --example cold_start_query
+//! ```
+
+use soulmate::prelude::*;
+
+fn main() {
+    let full = generate(&GeneratorConfig {
+        n_authors: 50,
+        n_communities: 5,
+        mean_tweets_per_author: 50,
+        ..GeneratorConfig::small()
+    })
+    .expect("valid generator config");
+
+    // Hold out the last author entirely.
+    let held_out: u32 = (full.n_authors() - 1) as u32;
+    let mut train = full.clone();
+    train.tweets.retain(|t| t.author != held_out);
+    train.authors.truncate(held_out as usize);
+    train.ground_truth.author_mixture.truncate(held_out as usize);
+    train
+        .ground_truth
+        .author_community
+        .truncate(held_out as usize);
+    // Re-densify tweet ids and the parallel concept labels.
+    let kept: Vec<usize> = full
+        .tweets
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.author != held_out)
+        .map(|(i, _)| i)
+        .collect();
+    train.ground_truth.tweet_concept = kept
+        .iter()
+        .map(|&i| full.ground_truth.tweet_concept[i])
+        .collect();
+    for (new_id, t) in train.tweets.iter_mut().enumerate() {
+        t.id = new_id as u32;
+    }
+
+    println!(
+        "Training on {} authors / {} tweets; holding out {}.",
+        train.n_authors(),
+        train.n_tweets(),
+        full.authors[held_out as usize].handle
+    );
+    let pipeline = Pipeline::fit(&train, PipelineConfig::fast()).expect("pipeline fits");
+
+    // The held-out author returns with only their first 5 tweets.
+    let query_tweets: Vec<(Timestamp, String)> = full
+        .tweets
+        .iter()
+        .filter(|t| t.author == held_out)
+        .take(5)
+        .map(|t| (t.timestamp, t.text.clone()))
+        .collect();
+    println!("Query author posts {} tweets, e.g.:", query_tweets.len());
+    for (_, text) in query_tweets.iter().take(2) {
+        println!("  \"{text}\"");
+    }
+
+    let outcome = pipeline
+        .link_query_author(&query_tweets)
+        .expect("query links");
+    println!(
+        "\nQuery author joined a subgraph of {} nodes (avg edge weight {:.3}).",
+        outcome.subgraph.len(),
+        outcome.subgraph_avg_weight
+    );
+
+    // Did SoulMate place them with their true community?
+    let true_community = full.ground_truth.author_community[held_out as usize];
+    let mates: Vec<&str> = outcome
+        .subgraph
+        .iter()
+        .filter(|&&a| a != outcome.query_index)
+        .map(|&a| train.authors[a].handle.as_str())
+        .collect();
+    println!("Linked with: {}", mates.join(", "));
+    let same_community = outcome
+        .subgraph
+        .iter()
+        .filter(|&&a| a != outcome.query_index)
+        .filter(|&&a| train.ground_truth.author_community[a] == true_community)
+        .count();
+    let others = outcome.subgraph.len() - 1;
+    if others > 0 {
+        println!(
+            "{} of {} linked authors share the query's true community (#{true_community}).",
+            same_community, others
+        );
+    }
+
+    // A rebuild trigger, as the paper describes, schedules periodic
+    // offline refreshes as new tweets stream in.
+    let mut trigger = Trigger::new(1000);
+    trigger.notify(query_tweets.len());
+    println!(
+        "\nRebuild trigger: {} tweets pending of 1000 before the next offline refresh.",
+        trigger.pending()
+    );
+}

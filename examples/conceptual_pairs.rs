@@ -1,0 +1,85 @@
+//! Recreate the paper's Table 1: pairs of tweets from *different authors*
+//! whose raw contents are (almost) disjoint, yet whose tweet vectors sit
+//! close together — the "conceptual relevance" that motivates the whole
+//! concept pipeline.
+//!
+//! ```text
+//! cargo run --release -p soulmate --example conceptual_pairs
+//! ```
+
+use soulmate::prelude::*;
+use soulmate::text::jaccard;
+
+fn main() {
+    let dataset = generate(&GeneratorConfig {
+        n_authors: 40,
+        n_communities: 4,
+        mean_tweets_per_author: 40,
+        ..GeneratorConfig::small()
+    })
+    .expect("valid generator config");
+    let pipeline = Pipeline::fit(&dataset, PipelineConfig::fast()).expect("pipeline fits");
+    let corpus = &pipeline.corpus;
+
+    // Scan cross-author tweet pairs: near-zero token overlap, but high
+    // tweet-vector cosine (the collective embedding bridges the wording).
+    let mut found: Vec<(usize, usize, f32, f32)> = Vec::new();
+    let n = corpus.tweets.len().min(1200);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (a, b) = (&corpus.tweets[i], &corpus.tweets[j]);
+            if a.author == b.author || a.words.len() < 4 || b.words.len() < 4 {
+                continue;
+            }
+            let overlap = jaccard(&a.words, &b.words);
+            if overlap > 0.001 {
+                continue; // we want (near-)disjoint surface forms
+            }
+            let sim = soulmate::linalg::cosine(
+                pipeline.tweet_vectors.row(i),
+                pipeline.tweet_vectors.row(j),
+            );
+            if sim > 0.9 {
+                found.push((i, j, overlap, sim));
+            }
+        }
+        if found.len() >= 400 {
+            break;
+        }
+    }
+    found.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
+
+    println!(
+        "Table 1 recreated — conceptually close, textually disjoint tweet pairs\n\
+         (token Jaccard = 0, tweet-vector cosine > 0.9):\n"
+    );
+    let truth = &dataset.ground_truth.tweet_concept;
+    let mut shown = 0;
+    let mut used: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    for (i, j, _, sim) in found {
+        // Prefer genuinely same-concept pairs, each tweet shown once.
+        if truth[i] != truth[j] || used.contains(&i) || used.contains(&j) {
+            continue;
+        }
+        used.insert(i);
+        used.insert(j);
+        let (a, b) = (&dataset.tweets[i], &dataset.tweets[j]);
+        println!("concept #{:<2} (vector cosine {sim:.3})", truth[i]);
+        println!("  {} : \"{}\"", dataset.authors[a.author as usize].handle, a.text);
+        println!("  {} : \"{}\"", dataset.authors[b.author as usize].handle, b.text);
+        println!();
+        shown += 1;
+        if shown == 4 {
+            break;
+        }
+    }
+    if shown == 0 {
+        println!("(no qualifying pair in this sample — rerun with more authors)");
+    } else {
+        println!(
+            "No shared token, yet the embedding places the tweets together:\n\
+             exactly the phenomenon the paper's Table 1 illustrates with\n\
+             \"overconsumption\" (tea vs cabbages) and friends."
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Multi-aspect temporal embedding with a *three-level* facet hierarchy
+//! (season ▸ day-of-week ▸ hour) — the paper claims "our embedding model
+//! can employ an infinite number of temporal facets"; this example runs
+//! the depth recursion (Eqs 8/11) across three levels and compares it to
+//! the default two-level day ▸ hour setup.
+//!
+//! ```text
+//! cargo run --release -p soulmate --example multi_facet
+//! ```
+
+use soulmate::core::TcbowConfig;
+use soulmate::embedding::CbowConfig;
+use soulmate::prelude::*;
+
+fn main() {
+    let dataset = generate(&GeneratorConfig {
+        n_authors: 40,
+        n_communities: 4,
+        mean_tweets_per_author: 50,
+        ..GeneratorConfig::small()
+    })
+    .expect("valid generator config");
+
+    for (label, facets, thresholds) in [
+        (
+            "two-level (day > hour)",
+            vec![Facet::DayOfWeek, Facet::Hour],
+            vec![0.4, 0.3],
+        ),
+        (
+            "three-level (season > day > hour)",
+            vec![Facet::Season, Facet::DayOfWeek, Facet::Hour],
+            vec![0.5, 0.4, 0.3],
+        ),
+    ] {
+        let config = PipelineConfig {
+            tcbow: TcbowConfig {
+                cbow: CbowConfig {
+                    dim: 24,
+                    epochs: 3,
+                    ..Default::default()
+                },
+                hierarchy: HierarchyConfig { facets, thresholds },
+                seed: 42,
+                threads: 4,
+            },
+            ..PipelineConfig::fast()
+        };
+        let started = std::time::Instant::now();
+        let pipeline = Pipeline::fit(&dataset, config).expect("pipeline fits");
+        let slabs: Vec<usize> = (0..pipeline.temporal.n_levels())
+            .map(|l| pipeline.temporal.level_models(l).len())
+            .collect();
+        let forest = pipeline.subgraphs().expect("cut runs");
+
+        // Community purity of the extracted subgraphs.
+        let communities = &dataset.ground_truth.author_community;
+        let (mut same, mut total) = (0usize, 0usize);
+        for group in forest.components() {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    total += 1;
+                    same += usize::from(communities[a] == communities[b]);
+                }
+            }
+        }
+        let purity = if total > 0 {
+            100.0 * same as f32 / total as f32
+        } else {
+            0.0
+        };
+        println!(
+            "{label}: {} slab models per level {slabs:?}, fitted in {:.1}s, \
+             {} subgraphs, within-subgraph community purity {purity:.1}%",
+            slabs.iter().sum::<usize>(),
+            started.elapsed().as_secs_f32(),
+            forest.components().len(),
+        );
+    }
+    println!(
+        "\nThe hierarchy depth is configuration, not code: any facet order\n\
+         works, and the depth attribute (Eq 8/11) recurses to the leaves."
+    );
+}

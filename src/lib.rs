@@ -1,0 +1,60 @@
+//! # SoulMate
+//!
+//! A from-scratch Rust reproduction of *"SoulMate: Short-Text Author
+//! Linking Through Multi-Aspect Temporal-Textual Embedding"* (ICDE 2024).
+//!
+//! SoulMate links authors of short noisy texts (tweets) by
+//!
+//! 1. clustering temporal *splits* (hours, weekdays, seasons) into *slabs*
+//!    per facet, with child facets conditioned on their parents
+//!    ([`temporal`]);
+//! 2. training one CBOW embedding per slab and fusing them — weighted by
+//!    per-slab analogy accuracy — into *collective* word vectors
+//!    ([`core::tcbow`]);
+//! 3. composing word → tweet → author *content* vectors, and clustering
+//!    tweet vectors into latent *concepts* to derive author *concept*
+//!    vectors ([`core`]);
+//! 4. fusing both similarity views with a mixing weight α and cutting the
+//!    authors' weighted graph into tight subgraphs with a stack-wise
+//!    maximum-spanning-tree ([`graph`]).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use soulmate::corpus::{generate, GeneratorConfig};
+//! use soulmate::core::{Pipeline, PipelineConfig};
+//!
+//! let dataset = generate(&GeneratorConfig::small()).unwrap();
+//! let pipeline = Pipeline::fit(&dataset, PipelineConfig::fast()).unwrap();
+//! let forest = pipeline.subgraphs().unwrap();
+//! for group in forest.components() {
+//!     println!("linked authors: {group:?}");
+//! }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries reproducing every table and figure of the paper.
+
+pub use soulmate_cluster as cluster;
+pub use soulmate_core as core;
+pub use soulmate_corpus as corpus;
+pub use soulmate_embedding as embedding;
+pub use soulmate_eval as eval;
+pub use soulmate_graph as graph;
+pub use soulmate_linalg as linalg;
+pub use soulmate_temporal as temporal;
+pub use soulmate_text as text;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use soulmate_core::{
+        AuthorCombiner, Combiner, ConceptConfig, ConceptModel, Method, Pipeline, PipelineConfig,
+        TcbowConfig, TemporalEmbedding, Trigger,
+    };
+    pub use soulmate_corpus::{generate, Dataset, GeneratorConfig, Timestamp};
+    pub use soulmate_embedding::{CbowConfig, Embedding};
+    pub use soulmate_eval::{ExpertPanel, PanelConfig};
+    pub use soulmate_graph::{swmst, SpanningForest, WeightedGraph};
+    pub use soulmate_temporal::{Facet, HierarchyConfig, SlabIndex};
+    pub use soulmate_text::{tokenize, TokenizerConfig, Vocabulary};
+}

