@@ -61,9 +61,7 @@ fn vector_spaces(c: &mut Criterion) {
     let te = &pipeline.temporal;
     let mut group = c.benchmark_group("vector_spaces");
     group.sample_size(10);
-    group.bench_function("collective_vector", |b| {
-        b.iter(|| te.collective_vector(5))
-    });
+    group.bench_function("collective_vector", |b| b.iter(|| te.collective_vector(5)));
     group.bench_function("tcbow_row", |b| b.iter(|| te.tcbow_row(5)));
     group.finish();
 }

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use soulmate_graph::{kruskal_max_forest, swmst, WeightedGraph};
 use soulmate_graph::swmst::swmst_literal;
+use soulmate_graph::{kruskal_max_forest, swmst, WeightedGraph};
 
 fn dense_graph(n: usize, seed: u64) -> WeightedGraph {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -22,9 +22,7 @@ fn graph_cut(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_cut");
     for &n in &[50usize, 150, 400] {
         let g = dense_graph(n, 7);
-        group.bench_with_input(BenchmarkId::new("swmst", n), &g, |b, g| {
-            b.iter(|| swmst(g))
-        });
+        group.bench_with_input(BenchmarkId::new("swmst", n), &g, |b, g| b.iter(|| swmst(g)));
         group.bench_with_input(BenchmarkId::new("swmst_literal", n), &g, |b, g| {
             b.iter(|| swmst_literal(g))
         });

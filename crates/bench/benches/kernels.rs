@@ -1,0 +1,209 @@
+//! Criterion benches for the blocked, norm-cached similarity kernel layer
+//! against the seed's scalar reference paths.
+//!
+//! Grid: n ∈ {256, 1024, 4096} rows, d ∈ {50, 200} columns — the paper's
+//! embedding dimensions at author-set scales bracketing the 4 000-author
+//! regime. The naive references (single-accumulator dot, per-pair cosine
+//! with norms recomputed inside the n² loop) are only run up to n = 1024;
+//! at n = 4096 they take minutes per iteration, so only the blocked
+//! kernels are timed there. Recorded before/after numbers live in
+//! `BENCH_kernels.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use soulmate_cluster::{pairwise, CosineDistance, EuclideanDistance};
+use soulmate_core::{similarity_matrix, similarity_matrix_parallel};
+use soulmate_linalg::kernels::{gram_blocked, NormalizedRows};
+use soulmate_linalg::Matrix;
+
+/// The seed's scalar kernels, kept verbatim as the "before" baseline.
+mod naive {
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let na = dot(a, a).sqrt();
+        let nb = dot(b, b).sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    }
+
+    /// The seed's sequential `similarity_matrix` (per-pair cosine, norms
+    /// recomputed every call).
+    #[allow(clippy::needless_range_loop)] // seed code kept verbatim
+    pub fn similarity_matrix(vectors: &soulmate_linalg::Matrix) -> Vec<Vec<f32>> {
+        let n = vectors.rows();
+        let mut sim = vec![vec![0.0f32; n]; n];
+        for i in 0..n {
+            sim[i][i] = 1.0;
+            for j in (i + 1)..n {
+                let s = cosine(vectors.row(i), vectors.row(j));
+                sim[i][j] = s;
+                sim[j][i] = s;
+            }
+        }
+        sim
+    }
+
+    /// The seed's condensed pairwise builder.
+    pub fn pairwise_condensed(
+        points: &[Vec<f32>],
+        dist: impl Fn(&[f32], &[f32]) -> f32,
+    ) -> Vec<f32> {
+        let n = points.len();
+        let mut condensed = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                condensed.push(dist(&points[i], &points[j]));
+            }
+        }
+        condensed
+    }
+}
+
+fn random_matrix(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::random_uniform(n, d, 1.0, &mut rng)
+}
+
+const SIZES: [usize; 3] = [256, 1024, 4096];
+const DIMS: [usize; 2] = [50, 200];
+/// Naive references above this row count take minutes per iteration.
+const NAIVE_CEIL: usize = 1024;
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot");
+    for d in DIMS {
+        let a = random_matrix(1024, d, 1);
+        let b = random_matrix(1024, d, 2);
+        group.bench_with_input(BenchmarkId::new("unrolled_1024rows", d), &d, |bch, _| {
+            bch.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..a.rows() {
+                    acc += soulmate_linalg::dot(a.row(i), b.row(i));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_1024rows", d), &d, |bch, _| {
+            bch.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..a.rows() {
+                    acc += naive::dot(a.row(i), b.row(i));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram");
+    group.sample_size(10);
+    for n in SIZES {
+        for d in DIMS {
+            let m = random_matrix(n, d, 3);
+            let id = format!("{n}x{d}");
+            group.bench_with_input(BenchmarkId::new("blocked_unit", &id), &m, |bch, m| {
+                bch.iter(|| {
+                    let nr = NormalizedRows::from_matrix(m);
+                    gram_blocked(nr.unit_matrix())
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("similarity_matrix", &id), &m, |bch, m| {
+                bch.iter(|| similarity_matrix(m))
+            });
+            group.bench_with_input(
+                BenchmarkId::new("similarity_matrix_4_threads", &id),
+                &m,
+                |bch, m| bch.iter(|| similarity_matrix_parallel(m, 4)),
+            );
+            if n <= NAIVE_CEIL {
+                group.bench_with_input(
+                    BenchmarkId::new("naive_similarity_matrix", &id),
+                    &m,
+                    |bch, m| bch.iter(|| naive::similarity_matrix(m)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise");
+    group.sample_size(10);
+    for n in SIZES {
+        for d in DIMS {
+            let m = random_matrix(n, d, 4);
+            let points: Vec<Vec<f32>> = (0..n).map(|i| m.row(i).to_vec()).collect();
+            let id = format!("{n}x{d}");
+            group.bench_with_input(
+                BenchmarkId::new("cosine_blocked", &id),
+                &points,
+                |bch, pts| bch.iter(|| pairwise(pts, &CosineDistance)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("euclidean_blocked", &id),
+                &points,
+                |bch, pts| bch.iter(|| pairwise(pts, &EuclideanDistance)),
+            );
+            if n <= NAIVE_CEIL {
+                group.bench_with_input(
+                    BenchmarkId::new("cosine_naive", &id),
+                    &points,
+                    |bch, pts| bch.iter(|| naive::pairwise_condensed(pts, naive::cosine)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_analogy(c: &mut Criterion) {
+    use soulmate_embedding::Embedding;
+    let mut group = c.benchmark_group("analogy");
+    group.sample_size(10);
+    // A 4 096-word vocabulary at the paper's d = 50, 512 questions — the
+    // shape of one slab's Ã-weight evaluation.
+    let e = Embedding::from_matrix(random_matrix(4096, 50, 5));
+    let questions: Vec<(u32, u32, u32, u32)> = (0..512)
+        .map(|i| {
+            (
+                (i * 7) % 4096,
+                (i * 13 + 1) % 4096,
+                (i * 29 + 2) % 4096,
+                (i * 31 + 3) % 4096,
+            )
+        })
+        .collect();
+    group.bench_function("evaluate_analogy_batched_4096v_512q", |b| {
+        b.iter(|| soulmate_embedding::evaluate_analogy(&e, &questions))
+    });
+    group.bench_function("analogy_per_query_loop_4096v_512q", |b| {
+        b.iter(|| {
+            let mut correct = 0usize;
+            for &(qa, qb, qc, exp) in &questions {
+                if e.analogy(qa, qb, qc) == Some(exp) {
+                    correct += 1;
+                }
+            }
+            correct
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_dot,
+    bench_gram,
+    bench_pairwise,
+    bench_analogy
+);
+criterion_main!(kernels);

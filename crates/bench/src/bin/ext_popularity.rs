@@ -2,5 +2,8 @@
 
 fn main() {
     let args = soulmate_bench::ExpArgs::from_env();
-    print!("{}", soulmate_bench::experiments::ext_popularity::run(&args));
+    print!(
+        "{}",
+        soulmate_bench::experiments::ext_popularity::run(&args)
+    );
 }

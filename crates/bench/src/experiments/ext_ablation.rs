@@ -60,7 +60,10 @@ pub fn run(args: &ExpArgs) -> String {
         );
         let sim = similarity_matrix(&avecs);
         let (pt, pc) = match weighted_precision(&panel, &pipeline.corpus, &sim, 40, 10, 30) {
-            Ok(c) => (format!("{:.3}", c.p_textual()), format!("{:.3}", c.p_conceptual())),
+            Ok(c) => (
+                format!("{:.3}", c.p_textual()),
+                format!("{:.3}", c.p_conceptual()),
+            ),
             Err(e) => ("-".into(), e.to_string()),
         };
         table.row([label.to_string(), format!("{acc:.3}"), pt, pc]);

@@ -27,8 +27,7 @@ pub fn run(args: &ExpArgs) -> String {
         seed: args.seed,
     };
     let dataset = default_dataset(&small);
-    let pipeline =
-        Pipeline::fit(&dataset, default_pipeline_config(&small)).expect("pipeline fits");
+    let pipeline = Pipeline::fit(&dataset, default_pipeline_config(&small)).expect("pipeline fits");
     let questions: Vec<(u32, u32, u32, u32)> = build_analogy_suite(
         &dataset.ground_truth.lexicon,
         &pipeline.corpus.vocab,

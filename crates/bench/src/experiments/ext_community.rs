@@ -46,9 +46,7 @@ pub fn run(args: &ExpArgs) -> String {
     }
 
     let mut out = String::new();
-    out.push_str(
-        "Extension — community recovery of SW-MST subgraphs vs planted communities\n\n",
-    );
+    out.push_str("Extension — community recovery of SW-MST subgraphs vs planted communities\n\n");
     out.push_str(&table.render());
     out.push_str(
         "\nExpectation: the SoulMate variants recover planted communities\n\

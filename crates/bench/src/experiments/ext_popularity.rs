@@ -10,7 +10,9 @@
 use crate::args::ExpArgs;
 use crate::setup::fit_default_pipeline;
 use soulmate_core::similarity::concept_similarity_matrix;
-use soulmate_core::{author_concept_vectors, discover_concepts_weighted, ConceptConfig, ConceptModel};
+use soulmate_core::{
+    author_concept_vectors, discover_concepts_weighted, ConceptConfig, ConceptModel,
+};
 use soulmate_eval::{weighted_precision, ExpertPanel, PanelConfig, TextTable};
 
 /// Run the experiment and return the report.
@@ -39,11 +41,8 @@ pub fn run(args: &ExpArgs) -> String {
         match discover_concepts_weighted(&pipeline.tweet_vectors, w, &cfg) {
             Ok(space) => {
                 let cvecs = space.concept_vectors(&pipeline.tweet_vectors);
-                let avecs = author_concept_vectors(
-                    &cvecs,
-                    &pipeline.tweet_author,
-                    pipeline.n_authors(),
-                );
+                let avecs =
+                    author_concept_vectors(&cvecs, &pipeline.tweet_author, pipeline.n_authors());
                 let (sim, _) = concept_similarity_matrix(&avecs);
                 match weighted_precision(&panel, &pipeline.corpus, &sim, 40, 10, 30) {
                     Ok(counts) => {

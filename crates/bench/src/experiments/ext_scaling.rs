@@ -29,8 +29,8 @@ pub fn run(args: &ExpArgs) -> String {
         };
         let dataset = default_dataset(&sized);
         let start = Instant::now();
-        let pipeline = Pipeline::fit(&dataset, default_pipeline_config(&sized))
-            .expect("pipeline fits");
+        let pipeline =
+            Pipeline::fit(&dataset, default_pipeline_config(&sized)).expect("pipeline fits");
         let fit_time = start.elapsed();
 
         // Online latency: a cold-start query with 5 tweets, averaged.

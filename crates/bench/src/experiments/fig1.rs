@@ -36,9 +36,7 @@ pub fn run(args: &ExpArgs) -> String {
             continue;
         };
         let dist = pair_cooccurrence_by_hour(&corpus, h, e);
-        hours.row(
-            std::iter::once(label.to_string()).chain(dist.iter().map(|p| format!("{p:.3}"))),
-        );
+        hours.row(std::iter::once(label.to_string()).chain(dist.iter().map(|p| format!("{p:.3}"))));
     }
     out.push_str(&hours.render());
 
@@ -49,9 +47,8 @@ pub fn run(args: &ExpArgs) -> String {
             continue;
         };
         let dist = pair_cooccurrence_by_season(&corpus, h, e);
-        seasons.row(
-            std::iter::once(label.to_string()).chain(dist.iter().map(|p| format!("{p:.3}"))),
-        );
+        seasons
+            .row(std::iter::once(label.to_string()).chain(dist.iter().map(|p| format!("{p:.3}"))));
     }
     out.push_str(&seasons.render());
     out.push_str(

@@ -95,11 +95,7 @@ pub fn run(args: &ExpArgs) -> String {
 }
 
 /// Map sampled-point labels back to original tweet indices per cluster.
-fn members_of(
-    labels: &[Option<usize>],
-    n_clusters: usize,
-    indices: &[usize],
-) -> Vec<Vec<usize>> {
+fn members_of(labels: &[Option<usize>], n_clusters: usize, indices: &[usize]) -> Vec<Vec<usize>> {
     let mut members = vec![Vec::new(); n_clusters];
     for (pos, l) in labels.iter().enumerate() {
         if let Some(c) = l {

@@ -25,7 +25,11 @@ pub fn run(args: &ExpArgs) -> String {
         if pt + pc > best.1 {
             best = (alpha, pt + pc);
         }
-        table.row([format!("{alpha:.1}"), format!("{pt:.3}"), format!("{pc:.3}")]);
+        table.row([
+            format!("{alpha:.1}"),
+            format!("{pt:.3}"),
+            format!("{pc:.3}"),
+        ]);
     }
 
     let mut out = String::new();

@@ -4,6 +4,8 @@
 
 use crate::args::ExpArgs;
 use crate::setup::default_dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use soulmate_corpus::build_analogy_suite;
 use soulmate_embedding::{
     evaluate_analogy, train_cbow, train_glove, train_skipgram, train_svd, CbowConfig, CoocMatrix,
@@ -11,8 +13,6 @@ use soulmate_embedding::{
 };
 use soulmate_eval::TextTable;
 use soulmate_text::TokenizerConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 /// Run the experiment and return the report.
@@ -21,11 +21,15 @@ pub fn run(args: &ExpArgs) -> String {
     let corpus = dataset.encode(&TokenizerConfig::default(), 3);
     let docs = corpus.documents();
     let vocab_size = corpus.vocab.len();
-    let questions: Vec<(u32, u32, u32, u32)> =
-        build_analogy_suite(&dataset.ground_truth.lexicon, &corpus.vocab, 2000, args.seed)
-            .into_iter()
-            .map(|q| (q.a, q.b, q.c, q.expected))
-            .collect();
+    let questions: Vec<(u32, u32, u32, u32)> = build_analogy_suite(
+        &dataset.ground_truth.lexicon,
+        &corpus.vocab,
+        2000,
+        args.seed,
+    )
+    .into_iter()
+    .map(|q| (q.a, q.b, q.c, q.expected))
+    .collect();
 
     let window = 4usize;
     let cooc_plain = CoocMatrix::build(&docs, vocab_size, window, false);

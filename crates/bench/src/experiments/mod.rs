@@ -3,9 +3,9 @@
 
 pub mod ext_ablation;
 pub mod ext_btcbow;
-pub mod ext_scaling;
 pub mod ext_community;
 pub mod ext_popularity;
+pub mod ext_scaling;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -51,7 +51,12 @@ pub fn run(args: &ExpArgs) -> String {
                 ]);
             }
             Err(e) => {
-                table.row([method.name().to_string(), "-".into(), "-".into(), e.to_string()]);
+                table.row([
+                    method.name().to_string(),
+                    "-".into(),
+                    "-".into(),
+                    e.to_string(),
+                ]);
             }
         }
     }

@@ -8,8 +8,7 @@ use crate::args::ExpArgs;
 use crate::setup::fit_default_pipeline;
 use soulmate_core::similarity::concept_similarity_matrix;
 use soulmate_core::{
-    author_concept_vectors, discover_concepts, tweet_vectors, Combiner, ConceptConfig,
-    ConceptModel,
+    author_concept_vectors, discover_concepts, tweet_vectors, Combiner, ConceptConfig, ConceptModel,
 };
 use soulmate_eval::{weighted_precision, ExpertPanel, PanelConfig, TextTable};
 

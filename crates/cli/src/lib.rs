@@ -4,12 +4,12 @@
 use soulmate_bench::ExpArgs;
 use soulmate_core::{Pipeline, PipelineSnapshot};
 use soulmate_corpus::{generate, io as corpus_io, GeneratorConfig, Timestamp};
+use soulmate_graph::{swmst, WeightedGraph};
 use soulmate_temporal::{similarity_grid, slabs_from_grid, Facet};
 use soulmate_text::TokenizerConfig;
 use std::fmt;
 use std::io::Write;
 use std::path::Path;
-use soulmate_graph::{swmst, WeightedGraph};
 
 mod flags;
 pub use flags::Flags;
@@ -120,8 +120,7 @@ fn cmd_fit<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
         config.alpha = alpha;
     }
     let started = std::time::Instant::now();
-    let pipeline =
-        Pipeline::fit(&dataset, config).map_err(|e| CliError::Failed(e.to_string()))?;
+    let pipeline = Pipeline::fit(&dataset, config).map_err(|e| CliError::Failed(e.to_string()))?;
     let handles: Vec<String> = dataset.authors.iter().map(|a| a.handle.clone()).collect();
     let snapshot = pipeline.snapshot(&handles);
     snapshot
@@ -143,12 +142,9 @@ fn cmd_fit<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
 fn cmd_subgraphs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     let model = load_model(flags)?;
     let top = flags.get_usize("top").unwrap_or(10);
-    let graph = WeightedGraph::from_similarity(
-        &model.x_total,
-        model.graph_min_sim,
-        model.graph_top_k,
-    )
-    .map_err(|e| CliError::Failed(e.to_string()))?;
+    let graph =
+        WeightedGraph::from_similarity(&model.x_total, model.graph_min_sim, model.graph_top_k)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
     let forest = swmst(&graph);
     let mut components = forest.components();
     components.sort_by_key(|c| std::cmp::Reverse(c.len()));
@@ -184,12 +180,7 @@ fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
         outcome.subgraph_avg_weight
     )
     .ok();
-    let mut ranked: Vec<(usize, f32)> = outcome
-        .similarities
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut ranked: Vec<(usize, f32)> = outcome.similarities.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     writeln!(out, "most similar authors:").ok();
     for (a, s) in ranked.into_iter().take(5) {
@@ -234,10 +225,8 @@ fn cmd_eval<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
         .subgraphs()
         .map_err(|e| CliError::Failed(e.to_string()))?;
     let truth = &dataset.ground_truth.author_community;
-    let predicted = soulmate_eval::partition_from_components(
-        &forest.components(),
-        pipeline.n_authors(),
-    );
+    let predicted =
+        soulmate_eval::partition_from_components(&forest.components(), pipeline.n_authors());
     writeln!(out, "evaluation against planted communities:").ok();
     writeln!(
         out,
@@ -328,10 +317,7 @@ mod tests {
     #[test]
     fn no_args_prints_usage_error() {
         assert!(matches!(run_to_string(&[]), Err(CliError::Usage(_))));
-        assert!(matches!(
-            run_to_string(&["bogus"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run_to_string(&["bogus"]), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -57,7 +57,11 @@ impl DbscanResult {
 /// # Errors
 /// [`ClusterError::InvalidParameter`] for non-positive `eps` or
 /// `min_pts == 0`; [`ClusterError::EmptyInput`] for an empty matrix.
-pub fn dbscan(dist: &DistanceMatrix, eps: f32, min_pts: usize) -> Result<DbscanResult, ClusterError> {
+pub fn dbscan(
+    dist: &DistanceMatrix,
+    eps: f32,
+    min_pts: usize,
+) -> Result<DbscanResult, ClusterError> {
     if dist.is_empty() {
         return Err(ClusterError::EmptyInput);
     }
@@ -103,8 +107,17 @@ pub fn dbscan(dist: &DistanceMatrix, eps: f32, min_pts: usize) -> Result<DbscanR
             label[q] = cluster;
             let q_neighbours = dist.neighbours_within(q, eps);
             if q_neighbours.len() + 1 >= min_pts {
-                // q is also core: its neighbourhood joins the frontier.
-                frontier.extend(q_neighbours);
+                // q is also core: its neighbourhood joins the frontier —
+                // but only points not yet claimed by a cluster. Points
+                // already labeled (including earlier members of *this*
+                // cluster) can contribute nothing: expanding them again
+                // would, on dense data, grow the frontier toward the sum
+                // of all neighbourhood sizes (≫ n) instead of at most n.
+                frontier.extend(
+                    q_neighbours
+                        .into_iter()
+                        .filter(|&r| label[r] == UNVISITED || label[r] == NOISE),
+                );
             }
         }
     }
@@ -198,6 +211,17 @@ mod tests {
         assert!(dbscan(&m, 0.0, 2).is_err());
         assert!(dbscan(&m, -1.0, 2).is_err());
         assert!(dbscan(&m, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn dense_clique_single_cluster() {
+        // Every point neighbours every other: each expansion used to push
+        // the full neighbourhood again (frontier → O(n²)); the filtered
+        // frontier keeps this linear while the labeling stays identical.
+        let pts: Vec<Vec<f32>> = (0..120).map(|i| vec![(i % 7) as f32 * 0.01]).collect();
+        let r = cluster_points(&pts, 1.0, 3);
+        assert_eq!(r.n_clusters, 1);
+        assert!(r.labels.iter().all(|l| *l == Some(0)));
     }
 
     #[test]

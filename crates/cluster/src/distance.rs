@@ -1,12 +1,30 @@
 //! Distance metrics and the condensed pairwise distance matrix.
 
-use soulmate_linalg::{cosine, euclidean};
+use soulmate_linalg::kernels::{NormalizedRows, TILE};
+use soulmate_linalg::{cosine, dot, euclidean, squared_euclidean, Matrix};
 
 /// A dissimilarity between two points. Implementations must be symmetric
 /// and non-negative with `d(x, x) = 0`.
 pub trait Distance {
     /// Distance between two equal-dimension points.
     fn distance(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// Build the condensed (upper-triangular) pairwise buffer for `points`.
+    ///
+    /// The default is the naive per-pair double loop; metrics with a
+    /// blocked kernel (cosine, Euclidean) override it with a cache-tiled,
+    /// scoped-thread builder. Overrides must produce the same layout and
+    /// agree with [`Distance::distance`] within floating-point tolerance.
+    fn build_condensed(&self, points: &[&[f32]]) -> Vec<f32> {
+        let n = points.len();
+        let mut condensed = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                condensed.push(self.distance(points[i], points[j]));
+            }
+        }
+        condensed
+    }
 }
 
 /// Euclidean distance (Eq. 14 of the paper).
@@ -17,6 +35,15 @@ impl Distance for EuclideanDistance {
     #[inline]
     fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
         euclidean(a, b)
+    }
+
+    fn build_condensed(&self, points: &[&[f32]]) -> Vec<f32> {
+        match rows_matrix(points) {
+            // Same unrolled `squared_euclidean` per pair as the naive path,
+            // just cache-tiled and striped across threads.
+            Some(m) => blocked_condensed(&m, |a, b| squared_euclidean(a, b).sqrt()),
+            None => naive_condensed(self, points),
+        }
     }
 }
 
@@ -29,6 +56,133 @@ impl Distance for CosineDistance {
     fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
         1.0 - cosine(a, b)
     }
+
+    fn build_condensed(&self, points: &[&[f32]]) -> Vec<f32> {
+        match rows_matrix(points) {
+            Some(m) => {
+                // Norms cached once: every pair is then a single dot of
+                // unit rows (zero rows stay zero → distance 1, matching
+                // `cosine`'s "no information" convention).
+                let unit = NormalizedRows::from_matrix(&m);
+                blocked_condensed(unit.unit_matrix(), |a, b| 1.0 - dot(a, b).clamp(-1.0, 1.0))
+            }
+            None => naive_condensed(self, points),
+        }
+    }
+}
+
+/// Copy `points` into a dense row-major matrix; `None` when the rows are
+/// ragged (the naive per-pair path handles those like the seed code did).
+fn rows_matrix(points: &[&[f32]]) -> Option<Matrix> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let cols = points[0].len();
+    if points.iter().any(|p| p.len() != cols) {
+        return None;
+    }
+    let mut data = Vec::with_capacity(n * cols);
+    for p in points {
+        data.extend_from_slice(p);
+    }
+    Matrix::from_vec(n, cols, data).ok()
+}
+
+/// The `Distance::build_condensed` default, callable from overrides that
+/// need to fall back (e.g. on ragged input).
+fn naive_condensed<D: Distance + ?Sized>(metric: &D, points: &[&[f32]]) -> Vec<f32> {
+    let n = points.len();
+    let mut condensed = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            condensed.push(metric.distance(points[i], points[j]));
+        }
+    }
+    condensed
+}
+
+/// Point count beyond which [`blocked_condensed`] goes parallel; below it
+/// the O(n²·d) pass is too small to amortize thread spawns.
+const PARALLEL_POINTS: usize = 256;
+
+/// Cache-blocked condensed builder: the condensed buffer is split into
+/// per-row slices (row `i` owns the contiguous `j ∈ (i, n)` run), rows are
+/// grouped into [`TILE`]-row blocks, and blocks are striped round-robin
+/// across scoped threads so the triangular workload balances. Within a
+/// block the column dimension is swept tile by tile, keeping both
+/// interacting tiles of `rows` cache-resident.
+fn blocked_condensed(rows: &Matrix, pair: impl Fn(&[f32], &[f32]) -> f32 + Sync) -> Vec<f32> {
+    let n = rows.rows();
+    let mut condensed = vec![0.0f32; n.saturating_sub(1) * n / 2];
+    let threads = if n >= PARALLEL_POINTS {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            .min(n.div_ceil(TILE))
+    } else {
+        1
+    };
+    // Split the condensed buffer into per-row slices and deal the
+    // TILE-row blocks round-robin onto the workers.
+    let mut row_slices: Vec<(usize, &mut [f32])> = Vec::with_capacity(n);
+    {
+        let mut rest = condensed.as_mut_slice();
+        for i in 0..n {
+            let (head, tail) = rest.split_at_mut(n - i - 1);
+            row_slices.push((i, head));
+            rest = tail;
+        }
+    }
+    let mut buckets: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, slice) in row_slices {
+        buckets[(i / TILE) % threads].push((i, slice));
+    }
+    let fill_block = |owned: &mut [(usize, &mut [f32])]| {
+        // `owned` holds one TILE-row block's rows, contiguous by i.
+        let i0 = owned[0].0;
+        let mut j0 = i0;
+        while j0 < n {
+            let j1 = (j0 + TILE).min(n);
+            for (i, slice) in owned.iter_mut() {
+                let a = rows.row(*i);
+                for j in j0.max(*i + 1)..j1 {
+                    slice[j - *i - 1] = pair(a, rows.row(j));
+                }
+            }
+            j0 = j1;
+        }
+    };
+    let run_bucket = |mut bucket: Vec<(usize, &mut [f32])>| {
+        let mut start = 0;
+        while start < bucket.len() {
+            let block = bucket[start].0 / TILE;
+            let end = start
+                + bucket[start..]
+                    .iter()
+                    .take_while(|(i, _)| i / TILE == block)
+                    .count();
+            fill_block(&mut bucket[start..end]);
+            start = end;
+        }
+    };
+    if threads <= 1 {
+        for bucket in buckets {
+            run_bucket(bucket);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for bucket in buckets {
+                let run = &run_bucket;
+                handles.push(scope.spawn(move || run(bucket)));
+            }
+            for h in handles {
+                h.join().expect("pairwise worker panicked");
+            }
+        });
+    }
+    condensed
 }
 
 /// Symmetric pairwise distance matrix in condensed (upper-triangular)
@@ -89,16 +243,16 @@ impl DistanceMatrix {
 }
 
 /// Compute the full pairwise distance matrix of `points` under `metric`.
+///
+/// Dispatches to the metric's [`Distance::build_condensed`] builder, so the
+/// cosine and Euclidean metrics run the blocked parallel kernel while
+/// custom metrics keep the naive per-pair loop.
 pub fn pairwise<D: Distance>(points: &[impl AsRef<[f32]>], metric: &D) -> DistanceMatrix {
-    let n = points.len();
-    let mut condensed = Vec::with_capacity(n.saturating_sub(1) * n / 2);
-    for i in 0..n {
-        let a = points[i].as_ref();
-        for b in points.iter().skip(i + 1) {
-            condensed.push(metric.distance(a, b.as_ref()));
-        }
+    let refs: Vec<&[f32]> = points.iter().map(|p| p.as_ref()).collect();
+    DistanceMatrix {
+        n: refs.len(),
+        condensed: metric.build_condensed(&refs),
     }
-    DistanceMatrix { n, condensed }
 }
 
 #[cfg(test)]
@@ -153,6 +307,45 @@ mod tests {
         assert!(DistanceMatrix::from_condensed(3, vec![1.0]).is_none());
     }
 
+    #[test]
+    fn blocked_cosine_matches_naive_across_tile_boundaries() {
+        // 150 points straddles two TILE blocks plus a partial third, and
+        // includes a zero row to exercise the norm-caching contract.
+        let mut pts: Vec<Vec<f32>> = (0..150)
+            .map(|i| {
+                let x = (i as f32 * 0.37).sin();
+                let y = (i as f32 * 0.11).cos();
+                vec![x, y, x * y]
+            })
+            .collect();
+        pts[77] = vec![0.0, 0.0, 0.0];
+        let metric = CosineDistance;
+        let m = pairwise(&pts, &metric);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let want = metric.distance(&pts[i], &pts[j]);
+                assert!(
+                    (m.get(i, j) - want).abs() < 1e-4,
+                    "({i}, {j}): {} vs {want}",
+                    m.get(i, j)
+                );
+            }
+        }
+        // Zero row: cosine 0 → distance 1 to everyone.
+        assert!((m.get(77, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blocked_euclidean_crosses_parallel_threshold() {
+        // 300 points exceeds PARALLEL_POINTS, forcing the threaded driver.
+        let pts: Vec<Vec<f32>> = (0..300).map(|i| vec![i as f32 * 0.01, 1.0]).collect();
+        let m = pairwise(&pts, &EuclideanDistance);
+        for (i, j) in [(0usize, 299usize), (57, 58), (63, 64), (128, 255)] {
+            let want = euclidean(&pts[i], &pts[j]);
+            assert!((m.get(i, j) - want).abs() < 1e-5, "({i}, {j})");
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_pairwise_matches_metric(
@@ -164,6 +357,21 @@ mod tests {
                 for j in 0..pts.len() {
                     let expect = if i == j { 0.0 } else { euclidean(&pts[i], &pts[j]) };
                     prop_assert!((m.get(i, j) - expect).abs() < 1e-5);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_blocked_cosine_matches_per_pair(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(-5.0f32..5.0, 4), 2..12),
+        ) {
+            let metric = CosineDistance;
+            let m = pairwise(&pts, &metric);
+            for i in 0..pts.len() {
+                for j in 0..pts.len() {
+                    let expect = if i == j { 0.0 } else { metric.distance(&pts[i], &pts[j]) };
+                    prop_assert!((m.get(i, j) - expect).abs() < 1e-4);
                 }
             }
         }

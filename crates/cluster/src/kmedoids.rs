@@ -73,9 +73,7 @@ pub fn kmedoids(
             if medoids.contains(&c) {
                 continue;
             }
-            let gain: f32 = (0..n)
-                .map(|i| (nearest[i] - dist.get(i, c)).max(0.0))
-                .sum();
+            let gain: f32 = (0..n).map(|i| (nearest[i] - dist.get(i, c)).max(0.0)).sum();
             if best.is_none_or(|(_, g)| gain > g) {
                 best = Some((c, gain));
             }
@@ -160,9 +158,7 @@ fn assign(dist: &DistanceMatrix, medoids: &[usize]) -> Vec<usize> {
             medoids
                 .iter()
                 .enumerate()
-                .min_by(|(_, &a), (_, &b)| {
-                    dist.get(i, a).partial_cmp(&dist.get(i, b)).unwrap()
-                })
+                .min_by(|(_, &a), (_, &b)| dist.get(i, a).partial_cmp(&dist.get(i, b)).unwrap())
                 .map(|(c, _)| c)
                 .expect("at least one medoid")
         })

@@ -203,7 +203,10 @@ mod tests {
         ];
         let labels = vec![Some(0), Some(0), Some(0), Some(1), Some(1), Some(1)];
         let db = davies_bouldin(&pts, &labels).unwrap();
-        assert!(db > 0.5, "overlapping clusters should have high DB, got {db}");
+        assert!(
+            db > 0.5,
+            "overlapping clusters should have high DB, got {db}"
+        );
     }
 
     #[test]

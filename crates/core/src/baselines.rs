@@ -312,26 +312,25 @@ mod tests {
             concept_stats: (0.0, 1.0),
             content_stats: (0.0, 1.0),
         };
-        assert_eq!(
-            author_similarity(&ctx, Method::SoulMateContent).unwrap(),
-            x
-        );
-        assert_eq!(
-            author_similarity(&ctx, Method::SoulMateConcept).unwrap(),
-            x
-        );
+        assert_eq!(author_similarity(&ctx, Method::SoulMateContent).unwrap(), x);
+        assert_eq!(author_similarity(&ctx, Method::SoulMateConcept).unwrap(), x);
         let joint = author_similarity(&ctx, Method::SoulMateJoint { alpha: 0.5 }).unwrap();
         assert!((joint[0][1] - 0.5).abs() < 1e-6);
         assert!(author_similarity(&ctx, Method::SoulMateJoint { alpha: 2.0 }).is_err());
         assert_eq!(
-            author_similarity(&ctx, Method::ExactMatching).unwrap().len(),
+            author_similarity(&ctx, Method::ExactMatching)
+                .unwrap()
+                .len(),
             enc.n_authors
         );
     }
 
     #[test]
     fn method_names_match_paper() {
-        assert_eq!(Method::SoulMateJoint { alpha: 0.6 }.name(), "SoulMate_Joint");
+        assert_eq!(
+            Method::SoulMateJoint { alpha: 0.6 }.name(),
+            "SoulMate_Joint"
+        );
         assert_eq!(
             Method::TemporalCollective { zeta: 10 }.name(),
             "Temporal Collective"

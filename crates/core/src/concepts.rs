@@ -211,10 +211,7 @@ pub fn discover_concepts_weighted(
         .collect();
     let centroids: Vec<Vec<f32>> = order.iter().map(|&o| centroids[o].clone()).collect();
     let concept_weights: Vec<f32> = order.iter().map(|&o| totals[o]).collect();
-    let labels: Vec<Option<usize>> = labels
-        .into_iter()
-        .map(|l| l.map(|c| remap[&c]))
-        .collect();
+    let labels: Vec<Option<usize>> = labels.into_iter().map(|l| l.map(|c| remap[&c])).collect();
 
     Ok(ConceptSpace {
         centroids,
@@ -343,19 +340,13 @@ mod tests {
     fn weighted_centroids_move_toward_heavy_tweets() {
         // One blob, but one member is 100x more popular: the weighted
         // centroid must sit far closer to it than the uniform one.
-        let m = Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-            vec![2.0, 0.0],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![2.0, 0.0]]).unwrap();
         let cfg = ConceptConfig {
             model: ConceptModel::KMedoids { k: 1 },
             ..Default::default()
         };
         let uniform = discover_concepts(&m, &cfg).unwrap();
-        let weighted =
-            discover_concepts_weighted(&m, Some(&[1.0, 1.0, 100.0]), &cfg).unwrap();
+        let weighted = discover_concepts_weighted(&m, Some(&[1.0, 1.0, 100.0]), &cfg).unwrap();
         assert!((uniform.centroids[0][0] - 1.0).abs() < 1e-5);
         assert!(weighted.centroids[0][0] > 1.8, "centroid did not move");
         assert_eq!(weighted.concept_weights.len(), 1);
@@ -365,7 +356,9 @@ mod tests {
     fn nomination_orders_concepts_by_weight() {
         let m = blob_matrix();
         // All weight goes to the (5,5) blob (odd rows).
-        let weights: Vec<f32> = (0..20).map(|i| if i % 2 == 1 { 10.0 } else { 1.0 }).collect();
+        let weights: Vec<f32> = (0..20)
+            .map(|i| if i % 2 == 1 { 10.0 } else { 1.0 })
+            .collect();
         let space = discover_concepts_weighted(
             &m,
             Some(&weights),

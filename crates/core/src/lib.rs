@@ -37,11 +37,13 @@ pub mod tweetvec;
 
 pub use authorvec::{author_concept_vectors, author_content_vectors, AuthorCombiner};
 pub use baselines::{author_similarity, Method};
-pub use concepts::{discover_concepts, discover_concepts_weighted, ConceptConfig, ConceptModel, ConceptSpace};
+pub use concepts::{
+    discover_concepts, discover_concepts_weighted, ConceptConfig, ConceptModel, ConceptSpace,
+};
 pub use error::CoreError;
 pub use online::{link_query, QueryModel, QueryOutcome, Trigger};
 pub use pipeline::{Pipeline, PipelineConfig};
-pub use snapshot::PipelineSnapshot;
 pub use similarity::{fuse_similarities, similarity_matrix, similarity_matrix_parallel};
+pub use snapshot::PipelineSnapshot;
 pub use tcbow::{SlabModel, TcbowConfig, TemporalEmbedding};
 pub use tweetvec::{tweet_vectors, Combiner};

@@ -112,16 +112,9 @@ pub fn link_query(
     let concept_dim = model.centroids.len();
     let concept_rows: Vec<Vec<f32>> = tvecs
         .iter()
-        .map(|tv| {
-            model
-                .centroids
-                .iter()
-                .map(|c| euclidean(tv, c))
-                .collect()
-        })
+        .map(|tv| model.centroids.iter().map(|c| euclidean(tv, c)).collect())
         .collect();
-    let concept_vector =
-        Combiner::Avg.combine(concept_rows.iter().map(Vec::as_slice), concept_dim);
+    let concept_vector = Combiner::Avg.combine(concept_rows.iter().map(Vec::as_slice), concept_dim);
 
     // Similarity of the query author to every existing author, fused per
     // Eq 17. Concept profiles are centered by the offline population means
@@ -315,10 +308,7 @@ mod tests {
         let out = p.link_query_author(&tweets).unwrap();
         let s3 = out.similarities[3];
         let avg: f32 = out.similarities.iter().sum::<f32>() / out.similarities.len() as f32;
-        assert!(
-            s3 > avg,
-            "self-similarity {s3} not above average {avg}"
-        );
+        assert!(s3 > avg, "self-similarity {s3} not above average {avg}");
     }
 
     #[test]

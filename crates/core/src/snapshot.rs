@@ -107,7 +107,9 @@ impl Pipeline {
         let handles = if author_handles.len() == self.n_authors() {
             author_handles.to_vec()
         } else {
-            (0..self.n_authors()).map(|a| format!("author{a:04}")).collect()
+            (0..self.n_authors())
+                .map(|a| format!("author{a:04}"))
+                .collect()
         };
         PipelineSnapshot {
             version: SNAPSHOT_VERSION,
@@ -207,7 +209,10 @@ impl PipelineSnapshot {
             ));
         }
         if !(0.0..=1.0).contains(&self.alpha) {
-            return Err(CoreError::Invalid(format!("alpha {} out of range", self.alpha)));
+            return Err(CoreError::Invalid(format!(
+                "alpha {} out of range",
+                self.alpha
+            )));
         }
         Ok(())
     }
@@ -267,7 +272,10 @@ mod tests {
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("soulmate-snapshot-test-{}-{name}", std::process::id()));
+        p.push(format!(
+            "soulmate-snapshot-test-{}-{name}",
+            std::process::id()
+        ));
         p
     }
 

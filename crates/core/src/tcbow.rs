@@ -17,13 +17,13 @@
 //! Slab models are independent, so training fans out across threads.
 
 use crate::error::CoreError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use soulmate_corpus::{AnalogyQuestion, EncodedCorpus};
 use soulmate_embedding::{evaluate_analogy, train_cbow, CbowConfig, Embedding};
 use soulmate_linalg::{axpy, cosine, Matrix};
 use soulmate_temporal::{HierarchyConfig, SlabIndex};
 use soulmate_text::WordId;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// TCBOW configuration.
 #[derive(Debug, Clone)]
@@ -133,9 +133,9 @@ impl TemporalEmbedding {
                                 // A slab with too little text gets a blank
                                 // model; its zero accuracy weight silences
                                 // it in the fusion.
-                                Err(_) => Embedding::from_matrix(Matrix::zeros(
-                                    vocab_size, cbow.dim,
-                                )),
+                                Err(_) => {
+                                    Embedding::from_matrix(Matrix::zeros(vocab_size, cbow.dim))
+                                }
                             };
                             let accuracy = evaluate_analogy(&embedding, qtuples);
                             (*level, *slab, embedding, accuracy)
@@ -527,20 +527,10 @@ mod tests {
             threads: 1,
         };
         let a = TemporalEmbedding::train(&enc, &questions, &base).unwrap();
-        let b = TemporalEmbedding::train(
-            &enc,
-            &questions,
-            &TcbowConfig {
-                threads: 4,
-                ..base
-            },
-        )
-        .unwrap();
+        let b = TemporalEmbedding::train(&enc, &questions, &TcbowConfig { threads: 4, ..base })
+            .unwrap();
         assert_eq!(a.collective_vector(0), b.collective_vector(0));
-        assert_eq!(
-            a.level_models(0)[0].accuracy,
-            b.level_models(0)[0].accuracy
-        );
+        assert_eq!(a.level_models(0)[0].accuracy, b.level_models(0)[0].accuracy);
     }
 
     #[test]
@@ -617,10 +607,7 @@ mod tests {
         assert_eq!(level_only.len(), enc.vocab.len());
         // Depth adds the child levels again, so the vectors must differ
         // (in norm at minimum) for a two-level hierarchy.
-        assert_ne!(
-            full.matrix().as_slice(),
-            level_only.matrix().as_slice()
-        );
+        assert_ne!(full.matrix().as_slice(), level_only.matrix().as_slice());
     }
 
     #[test]
@@ -667,7 +654,10 @@ mod tests {
         // Per-level normalized weights sum to 1, cosines to self are 1
         // except blank (zero-norm) slabs where cosine = 0; so the bound is
         // <= 2 + 3 + 4 = 9 with equality when no slab is blank.
-        assert!(s00 <= 9.0 + 1e-3, "self-similarity {s00} exceeds Eq 9 bound");
+        assert!(
+            s00 <= 9.0 + 1e-3,
+            "self-similarity {s00} exceeds Eq 9 bound"
+        );
         assert!(s00 > 0.0);
         let emb = te.collective_embedding();
         assert!(emb.matrix().as_slice().iter().all(|v| v.is_finite()));

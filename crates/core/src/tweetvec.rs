@@ -91,7 +91,10 @@ mod tests {
         let docs = vec![vec![0u32, 1], vec![2], vec![]];
         let m = tweet_vectors(&docs, &e, Combiner::Avg);
         assert_eq!(m.rows(), 3);
-        assert_eq!(m.row(0), tweet_vector(&docs[0], &e, Combiner::Avg).as_slice());
+        assert_eq!(
+            m.row(0),
+            tweet_vector(&docs[0], &e, Combiner::Avg).as_slice()
+        );
         assert_eq!(m.row(1), &[2.0, 2.0]);
         assert_eq!(m.row(2), &[0.0, 0.0]);
     }

@@ -68,7 +68,11 @@ pub fn build_analogy_suite(
 
     let per_family = max_questions / 2;
     emit_cross_questions(&mode_pairs, per_family, &mut questions);
-    emit_cross_questions(&head_pairs, max_questions - questions.len().min(max_questions), &mut questions);
+    emit_cross_questions(
+        &head_pairs,
+        max_questions - questions.len().min(max_questions),
+        &mut questions,
+    );
     questions.truncate(max_questions);
     questions.shuffle(&mut rng);
     questions
@@ -76,11 +80,7 @@ pub fn build_analogy_suite(
 
 /// Pair up consecutive relation pairs into questions `p[i] :: p[i+1]`,
 /// skipping degenerate combinations (shared words).
-fn emit_cross_questions(
-    pairs: &[(WordId, WordId)],
-    limit: usize,
-    out: &mut Vec<AnalogyQuestion>,
-) {
+fn emit_cross_questions(pairs: &[(WordId, WordId)], limit: usize, out: &mut Vec<AnalogyQuestion>) {
     let mut emitted = 0usize;
     'outer: for stride in 1..pairs.len().max(1) {
         for i in 0..pairs.len() {

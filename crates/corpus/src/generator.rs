@@ -112,7 +112,9 @@ impl GeneratorConfig {
             ));
         }
         if self.n_concepts < 2 {
-            return Err(CorpusError::InvalidConfig("need at least 2 concepts".into()));
+            return Err(CorpusError::InvalidConfig(
+                "need at least 2 concepts".into(),
+            ));
         }
         if self.entities_per_concept == 0 || self.n_markers == 0 {
             return Err(CorpusError::InvalidConfig(
@@ -301,7 +303,11 @@ pub fn generate(config: &GeneratorConfig) -> Result<Dataset, CorpusError> {
             // Heavy-tailed engagement: most tweets get nothing, a few go
             // minor-viral; head-word tweets of seasonal concepts trend a
             // little harder (popular topics attract engagement).
-            let viral_boost = if concept < config.n_concepts / 2 { 2.0 } else { 1.0 };
+            let viral_boost = if concept < config.n_concepts / 2 {
+                2.0
+            } else {
+                1.0
+            };
             let u: f64 = rng.gen_range(0.0..1.0);
             let popularity = ((1.0 / (1.0 - u).max(1e-4) - 1.0) * viral_boost) as u32;
             tweets.push(Tweet {

@@ -64,7 +64,10 @@ mod tests {
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("soulmate-corpus-test-{}-{name}", std::process::id()));
+        p.push(format!(
+            "soulmate-corpus-test-{}-{name}",
+            std::process::id()
+        ));
         p
     }
 

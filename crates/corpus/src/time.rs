@@ -33,7 +33,12 @@ pub enum Season {
 
 impl Season {
     /// All seasons in calendar order.
-    pub const ALL: [Season; 4] = [Season::Summer, Season::Autumn, Season::Winter, Season::Spring];
+    pub const ALL: [Season; 4] = [
+        Season::Summer,
+        Season::Autumn,
+        Season::Winter,
+        Season::Spring,
+    ];
 
     /// Season index 0..4.
     pub fn index(self) -> usize {
@@ -171,7 +176,10 @@ mod tests {
         assert_eq!(Timestamp::from_parts(13 * 7, 0, 0).season(), Season::Autumn);
         assert_eq!(Timestamp::from_parts(26 * 7, 0, 0).season(), Season::Winter);
         assert_eq!(Timestamp::from_parts(39 * 7, 0, 0).season(), Season::Spring);
-        assert_eq!(Timestamp::from_parts(51 * 7 + 6, 23, 59).season(), Season::Spring);
+        assert_eq!(
+            Timestamp::from_parts(51 * 7 + 6, 23, 59).season(),
+            Season::Spring
+        );
     }
 
     #[test]

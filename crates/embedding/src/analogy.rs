@@ -11,21 +11,27 @@ use soulmate_text::WordId;
 /// questions where the 3CosAdd answer equals the expected word. Questions
 /// whose words fall outside the embedding are skipped (not counted).
 /// Returns `0.0` when no question is answerable.
+///
+/// The whole set is scored through [`Embedding::analogy_batch`]: the
+/// vocabulary is normalized once and every cache-resident vocabulary tile
+/// serves all questions, instead of one linear scan (with a norm division
+/// per candidate) per question. This is the inner loop of the TCBOW
+/// Ã-weight computation, which re-scores the suite once per temporal slab.
 pub fn evaluate_analogy(
     embedding: &Embedding,
     questions: &[(WordId, WordId, WordId, WordId)],
 ) -> f32 {
+    let triples: Vec<(WordId, WordId, WordId)> =
+        questions.iter().map(|&(a, b, c, _)| (a, b, c)).collect();
+    let answers = embedding.analogy_batch(&triples);
     let mut answered = 0usize;
     let mut correct = 0usize;
-    for &(a, b, c, expected) in questions {
-        match embedding.analogy(a, b, c) {
-            Some(got) => {
-                answered += 1;
-                if got == expected {
-                    correct += 1;
-                }
+    for (&(_, _, _, expected), got) in questions.iter().zip(answers) {
+        if let Some(got) = got {
+            answered += 1;
+            if got == expected {
+                correct += 1;
             }
-            None => continue,
         }
     }
     if answered == 0 {
@@ -89,5 +95,75 @@ mod tests {
         // The 3CosAdd answer is word 3; expecting a distractor scores 0.
         let qs = vec![(0, 1, 2, 4), (0, 1, 2, 5)];
         assert_eq!(evaluate_analogy(&e, &qs), 0.0);
+    }
+
+    /// Reference per-query 3CosAdd (the seed's linear scan, norms divided
+    /// per candidate) — the batched kernel must answer identically.
+    fn reference_analogy(
+        e: &Embedding,
+        a: soulmate_text::WordId,
+        b: soulmate_text::WordId,
+        c: soulmate_text::WordId,
+    ) -> Option<soulmate_text::WordId> {
+        use soulmate_linalg::{dot, l2_norm};
+        let n = e.len();
+        if [a, b, c].iter().any(|&w| (w as usize) >= n) {
+            return None;
+        }
+        let norm = |w: soulmate_text::WordId| l2_norm(e.vector(w));
+        if [a, b, c].iter().any(|&w| norm(w) == 0.0) {
+            return None;
+        }
+        let mut q = vec![0.0f32; e.dim()];
+        for (sign, w) in [(1.0f32, b), (-1.0, a), (1.0, c)] {
+            let nw = norm(w);
+            for (qi, vi) in q.iter_mut().zip(e.vector(w)) {
+                *qi += sign * vi / nw;
+            }
+        }
+        let mut best: Option<(soulmate_text::WordId, f32)> = None;
+        for cand in 0..n as soulmate_text::WordId {
+            if cand == a || cand == b || cand == c || norm(cand) == 0.0 {
+                continue;
+            }
+            let s = dot(e.vector(cand), &q) / norm(cand);
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((cand, s));
+            }
+        }
+        best.map(|(w, _)| w)
+    }
+
+    #[test]
+    fn batched_agrees_with_per_query_reference() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use soulmate_linalg::Matrix;
+        let mut rng = StdRng::seed_from_u64(20240806);
+        let e = Embedding::from_matrix(Matrix::random_uniform(120, 12, 1.0, &mut rng));
+        let questions: Vec<(u32, u32, u32)> = (0..60)
+            .map(|i| ((i * 7) % 120, (i * 13 + 1) % 120, (i * 29 + 2) % 120))
+            .collect();
+        let batched = e.analogy_batch(&questions);
+        for (qi, &(a, b, c)) in questions.iter().enumerate() {
+            assert_eq!(
+                batched[qi],
+                reference_analogy(&e, a, b, c),
+                "question {qi}: ({a}, {b}, {c})"
+            );
+            // The batch-of-one public path agrees too.
+            assert_eq!(batched[qi], e.analogy(a, b, c));
+        }
+    }
+
+    #[test]
+    fn batch_preserves_question_positions() {
+        let e = rotational_embedding();
+        // Unanswerable questions keep their slots as None.
+        let answers = e.analogy_batch(&[(0, 1, 99), (0, 1, 2), (42, 0, 1)]);
+        assert_eq!(answers.len(), 3);
+        assert_eq!(answers[0], None);
+        assert_eq!(answers[1], Some(3));
+        assert_eq!(answers[2], None);
     }
 }

@@ -102,12 +102,8 @@ fn train_cbow_core<R: Rng>(
 ) {
     let dim = config.dim;
     let unigram = UnigramTable::build(docs, vocab_size);
-    let total_targets: usize = docs
-        .iter()
-        .map(|d| d.as_ref().len())
-        .sum::<usize>()
-        .max(1)
-        * config.epochs;
+    let total_targets: usize =
+        docs.iter().map(|d| d.as_ref().len()).sum::<usize>().max(1) * config.epochs;
     let min_lr = config.lr * 1e-4;
 
     let keep_prob = config
@@ -141,9 +137,7 @@ fn train_cbow_core<R: Rng>(
             }
             for t in 0..words.len() {
                 seen += 1;
-                let lr = (config.lr
-                    * (1.0 - seen as f32 / total_targets as f32))
-                    .max(min_lr);
+                let lr = (config.lr * (1.0 - seen as f32 / total_targets as f32)).max(min_lr);
                 // Dynamic window, as in word2vec: uniform in [1, window].
                 let b = rng.gen_range(1..=config.window);
                 let lo = t.saturating_sub(b);
@@ -247,9 +241,15 @@ pub fn train_cbow_parallel(
             let config = config.clone();
             handles.push(scope.spawn(move || {
                 let mut output = Matrix::zeros(vocab_size, dim);
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(seed ^ ((tid as u64 + 1) << 17));
-                train_cbow_core(shard, vocab_size, &config, &mut input, &mut output, &mut rng);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ ((tid as u64 + 1) << 17));
+                train_cbow_core(
+                    shard,
+                    vocab_size,
+                    &config,
+                    &mut input,
+                    &mut output,
+                    &mut rng,
+                );
                 let tokens: usize = shard.iter().map(|d| d.as_ref().len()).sum();
                 (input, tokens)
             }));
@@ -602,14 +602,7 @@ mod tests {
         let e = train_cbow_parallel(&docs, 20, &cfg, 1, 3).unwrap();
         assert_eq!(e.len(), 20);
         assert!(e.matrix().as_slice().iter().all(|v| v.is_finite()));
-        assert!(train_cbow_parallel(
-            &Vec::<Vec<WordId>>::new(),
-            20,
-            &cfg,
-            2,
-            3
-        )
-        .is_err());
+        assert!(train_cbow_parallel(&Vec::<Vec<WordId>>::new(), 20, &cfg, 2, 3).is_err());
     }
 
     #[test]
@@ -656,8 +649,7 @@ mod tests {
 
     #[test]
     fn keep_probabilities_penalize_frequent_words() {
-        let docs: Vec<Vec<WordId>> =
-            vec![std::iter::repeat_n(0, 95).chain([1; 5]).collect()];
+        let docs: Vec<Vec<WordId>> = vec![std::iter::repeat_n(0, 95).chain([1; 5]).collect()];
         let kp = keep_probabilities(&docs, 2, 1e-2);
         assert!(kp[0] < kp[1], "frequent word should be kept less: {kp:?}");
         assert!((0.0..=1.0).contains(&kp[0]));

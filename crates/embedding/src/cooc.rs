@@ -23,7 +23,12 @@ impl CoocMatrix {
     /// For every token, every neighbour within `window` positions (same
     /// document) is counted. With `distance_weighting` each pair
     /// contributes `1/d` (GloVe); otherwise `1` (SVD/PPMI convention).
-    pub fn build(docs: &[impl AsRef<[WordId]>], vocab_size: usize, window: usize, distance_weighting: bool) -> CoocMatrix {
+    pub fn build(
+        docs: &[impl AsRef<[WordId]>],
+        vocab_size: usize,
+        window: usize,
+        distance_weighting: bool,
+    ) -> CoocMatrix {
         let mut rows: Vec<HashMap<WordId, f32>> = vec![HashMap::new(); vocab_size];
         let mut total = 0.0f64;
         for doc in docs {
@@ -48,7 +53,11 @@ impl CoocMatrix {
                 }
             }
         }
-        CoocMatrix { n: vocab_size, rows, total }
+        CoocMatrix {
+            n: vocab_size,
+            rows,
+            total,
+        }
     }
 
     /// Vocabulary size.
@@ -111,7 +120,11 @@ impl CoocMatrix {
                 }
             }
         }
-        CoocMatrix { n: self.n, rows, total }
+        CoocMatrix {
+            n: self.n,
+            rows,
+            total,
+        }
     }
 
     /// Sparse positive pointwise mutual information matrix in CSR form —
@@ -146,7 +159,9 @@ impl CoocMatrix {
         if self.total == 0.0 {
             return m;
         }
-        let sums: Vec<f64> = (0..self.n).map(|i| self.row_sum(i as WordId) as f64).collect();
+        let sums: Vec<f64> = (0..self.n)
+            .map(|i| self.row_sum(i as WordId) as f64)
+            .collect();
         for (i, row) in self.rows.iter().enumerate() {
             for (&j, &w) in row {
                 let denom = sums[i] * sums[j as usize];

@@ -1,22 +1,39 @@
 //! The common trained-embedding type all models produce.
 
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use soulmate_linalg::kernels::{top1_cosine_batch, NormalizedRows};
 use soulmate_linalg::{cosine, dot, l2_norm, Matrix};
 use soulmate_text::{SimilarWords, WordId};
+use std::sync::OnceLock;
 
 /// A trained word embedding: one `dim`-dimensional vector per vocabulary
-/// word, with cached norms for fast cosine queries.
+/// word, with cached norms for fast cosine queries and a lazily-built
+/// unit-normalized copy for batched nearest-neighbor search.
 #[derive(Debug, Clone)]
 pub struct Embedding {
     vectors: Matrix,
     norms: Vec<f32>,
+    /// Unit-row view, built once on first analogy query (it doubles the
+    /// matrix footprint, so training paths that never run analogies do not
+    /// pay for it). `OnceLock` keeps `&self` queries thread-safe.
+    normalized: OnceLock<NormalizedRows>,
 }
 
 impl Embedding {
     /// Wrap a `|V| x dim` matrix of word vectors.
     pub fn from_matrix(vectors: Matrix) -> Embedding {
         let norms = vectors.iter_rows().map(l2_norm).collect();
-        Embedding { vectors, norms }
+        Embedding {
+            vectors,
+            norms,
+            normalized: OnceLock::new(),
+        }
+    }
+
+    /// The unit-normalized vocabulary, computed once per embedding.
+    fn normalized(&self) -> &NormalizedRows {
+        self.normalized
+            .get_or_init(|| NormalizedRows::from_matrix(&self.vectors))
     }
 
     /// Vocabulary size.
@@ -84,40 +101,66 @@ impl Embedding {
     /// 3CosAdd analogy query: the word most similar to `b - a + c`,
     /// excluding `a`, `b`, `c` themselves. `None` when any input is out of
     /// range or has a zero vector.
+    ///
+    /// A batch of one — evaluation loops should call [`Embedding::analogy_batch`]
+    /// directly so the whole question set shares each cached vocabulary tile.
     pub fn analogy(&self, a: WordId, b: WordId, c: WordId) -> Option<WordId> {
+        self.analogy_batch(&[(a, b, c)])[0]
+    }
+
+    /// Batched 3CosAdd: answer every `(a, b, c)` question in one pass over
+    /// the pre-normalized vocabulary.
+    ///
+    /// All answerable questions are assembled into a query matrix of
+    /// `b̂ - â + ĉ` directions and scored tile by tile against the unit
+    /// vocabulary ([`top1_cosine_batch`]), so each vocabulary row is
+    /// normalized exactly once per embedding — never per query — and each
+    /// cache-resident tile serves the entire question set. Unanswerable
+    /// questions (out-of-range or zero-vector words) yield `None` at their
+    /// position; answers are index-aligned with `questions`.
+    pub fn analogy_batch(&self, questions: &[(WordId, WordId, WordId)]) -> Vec<Option<WordId>> {
         let n = self.len();
-        if [a, b, c].iter().any(|&w| (w as usize) >= n) {
-            return None;
-        }
-        if [a, b, c].iter().any(|&w| self.norms[w as usize] == 0.0) {
-            return None;
-        }
-        // Normalized query direction: b̂ - â + ĉ.
-        let dim = self.dim();
-        let mut q = vec![0.0f32; dim];
-        for (sign, w) in [(1.0f32, b), (-1.0, a), (1.0, c)] {
-            let norm = self.norms[w as usize];
-            for (qi, vi) in q.iter_mut().zip(self.vector(w)) {
-                *qi += sign * vi / norm;
-            }
-        }
-        let mut best: Option<(WordId, f32)> = None;
-        for cand in 0..n as WordId {
-            if cand == a || cand == b || cand == c || self.norms[cand as usize] == 0.0 {
+        let mut answers: Vec<Option<WordId>> = vec![None; questions.len()];
+        // (position in `answers`, masked words) per answerable question.
+        let mut meta: Vec<(usize, [WordId; 3])> = Vec::with_capacity(questions.len());
+        let mut qrows: Vec<Vec<f32>> = Vec::with_capacity(questions.len());
+        for (slot, &(a, b, c)) in questions.iter().enumerate() {
+            if [a, b, c].iter().any(|&w| (w as usize) >= n) {
                 continue;
             }
-            let s = dot(self.vector(cand), &q) / self.norms[cand as usize];
-            if best.is_none_or(|(_, bs)| s > bs) {
-                best = Some((cand, s));
+            if [a, b, c].iter().any(|&w| self.norms[w as usize] == 0.0) {
+                continue;
             }
+            // Query direction b̂ - â + ĉ; its own norm is irrelevant to the
+            // argmax, so it is left unnormalized.
+            let mut q = vec![0.0f32; self.dim()];
+            for (sign, w) in [(1.0f32, b), (-1.0, a), (1.0, c)] {
+                let norm = self.norms[w as usize];
+                for (qi, vi) in q.iter_mut().zip(self.vector(w)) {
+                    *qi += sign * vi / norm;
+                }
+            }
+            meta.push((slot, [a, b, c]));
+            qrows.push(q);
         }
-        best.map(|(w, _)| w)
+        if qrows.is_empty() {
+            return answers;
+        }
+        let queries = Matrix::from_rows(&qrows).expect("query rows share the embedding dim");
+        let excluded = |qi: usize, cand: usize| meta[qi].1.contains(&(cand as WordId));
+        let best = top1_cosine_batch(&queries, self.normalized(), &excluded);
+        for ((slot, _), found) in meta.iter().zip(best) {
+            answers[*slot] = found.map(|(w, _)| w as WordId);
+        }
+        answers
     }
 
     /// Full cosine similarity to every word (used to build the paper's
     /// `B^TCBOW` |V|x|V| rows).
     pub fn similarity_row(&self, w: WordId) -> Vec<f32> {
-        (0..self.len() as WordId).map(|o| self.cosine(w, o)).collect()
+        (0..self.len() as WordId)
+            .map(|o| self.cosine(w, o))
+            .collect()
     }
 }
 

@@ -80,12 +80,8 @@ pub fn train_skipgram<R: Rng>(
     let mut input = Matrix::random_uniform(vocab_size, dim, 0.5 / dim as f32, rng);
     let mut output = Matrix::zeros(vocab_size, dim);
     let unigram = UnigramTable::build(docs, vocab_size);
-    let total_targets: usize = docs
-        .iter()
-        .map(|d| d.as_ref().len())
-        .sum::<usize>()
-        .max(1)
-        * config.epochs;
+    let total_targets: usize =
+        docs.iter().map(|d| d.as_ref().len()).sum::<usize>().max(1) * config.epochs;
     let min_lr = config.lr * 1e-4;
 
     let keep_prob = config
@@ -126,7 +122,14 @@ pub fn train_skipgram<R: Rng>(
                     }
                     // Predict ctx from center: SGNS on (center, ctx).
                     e.iter_mut().for_each(|x| *x = 0.0);
-                    sgns_pair(ctx as usize, 1.0, lr, input.row(center), &mut e, &mut output);
+                    sgns_pair(
+                        ctx as usize,
+                        1.0,
+                        lr,
+                        input.row(center),
+                        &mut e,
+                        &mut output,
+                    );
                     for _ in 0..config.negative {
                         let noise = unigram.sample(rng);
                         if noise == ctx as usize {

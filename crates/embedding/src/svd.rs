@@ -80,10 +80,22 @@ pub fn train_svd<R: Rng>(
     };
     let svd = if source.len() > SPARSE_SVD_THRESHOLD {
         let ppmi = source.to_ppmi_sparse();
-        truncated_svd_sparse(&ppmi, config.dim, config.oversample, config.power_iters, rng)
+        truncated_svd_sparse(
+            &ppmi,
+            config.dim,
+            config.oversample,
+            config.power_iters,
+            rng,
+        )
     } else {
         let ppmi = source.to_ppmi();
-        truncated_svd(&ppmi, config.dim, config.oversample, config.power_iters, rng)
+        truncated_svd(
+            &ppmi,
+            config.dim,
+            config.oversample,
+            config.power_iters,
+            rng,
+        )
     }
     .map_err(|_| EmbeddingError::InvalidConfig("svd rank out of range"))?;
     Ok(Embedding::from_matrix(svd.scaled_u()))
@@ -119,8 +131,14 @@ pub fn train_svd_sparse<R: Rng>(
         None => cooc,
     };
     let ppmi = source.to_ppmi_sparse();
-    let svd = truncated_svd_sparse(&ppmi, config.dim, config.oversample, config.power_iters, rng)
-        .map_err(|_| EmbeddingError::InvalidConfig("svd rank out of range"))?;
+    let svd = truncated_svd_sparse(
+        &ppmi,
+        config.dim,
+        config.oversample,
+        config.power_iters,
+        rng,
+    )
+    .map_err(|_| EmbeddingError::InvalidConfig("svd rank out of range"))?;
     Ok(Embedding::from_matrix(svd.scaled_u()))
 }
 

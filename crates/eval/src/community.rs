@@ -123,11 +123,7 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f32 {
 /// communities: for each author, the fraction of their top-`k` most
 /// similar authors that share their community, averaged over authors
 /// (macro precision@k). Chance level is the mean community-mate rate.
-pub fn community_precision_at_k(
-    similarity: &[Vec<f32>],
-    communities: &[usize],
-    k: usize,
-) -> f32 {
+pub fn community_precision_at_k(similarity: &[Vec<f32>], communities: &[usize], k: usize) -> f32 {
     let n = similarity.len();
     if n < 2 || k == 0 {
         return 0.0;

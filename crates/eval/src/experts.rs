@@ -83,10 +83,8 @@ impl<'a> ExpertPanel<'a> {
     /// The panel's textual-similarity judgment of a tweet pair (TF-IDF
     /// cosine over the encoded tokens).
     pub fn textual_similarity(&self, ti: usize, tj: usize) -> f32 {
-        self.tfidf.similarity(
-            &self.corpus.tweets[ti].words,
-            &self.corpus.tweets[tj].words,
-        )
+        self.tfidf
+            .similarity(&self.corpus.tweets[ti].words, &self.corpus.tweets[tj].words)
     }
 
     /// The noise-free oracle score of a tweet pair.
@@ -170,9 +168,7 @@ mod tests {
         let mut found = false;
         'outer: for i in 0..enc.tweets.len().min(200) {
             for j in (i + 1)..enc.tweets.len().min(200) {
-                if concept[i] == concept[j]
-                    && panel.textual_similarity(i, j) < cfg.textual_high
-                {
+                if concept[i] == concept[j] && panel.textual_similarity(i, j) < cfg.textual_high {
                     assert_eq!(panel.true_score(i, j), 3);
                     found = true;
                     break 'outer;

@@ -303,9 +303,8 @@ fn top_tweet_pairs(
 mod tests {
     use super::*;
     use crate::experts::PanelConfig;
-    use soulmate_corpus::{generate, Dataset, GeneratorConfig};
     use soulmate_core::{Pipeline, PipelineConfig};
-    
+    use soulmate_corpus::{generate, Dataset, GeneratorConfig};
 
     fn fitted() -> (Dataset, Pipeline) {
         let d = generate(&GeneratorConfig {
@@ -327,8 +326,8 @@ mod tests {
         let cfg = PanelConfig::default();
         let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
         let forest = p.subgraphs().unwrap();
-        let out = subgraph_precision(&panel, &p.corpus, &forest, &SubgraphProtocol::default())
-            .unwrap();
+        let out =
+            subgraph_precision(&panel, &p.corpus, &forest, &SubgraphProtocol::default()).unwrap();
         assert!(out.counts.total() > 0);
         let sum = out.counts.fraction(0)
             + out.counts.fraction(1)
@@ -344,10 +343,12 @@ mod tests {
         let (d, p) = fitted();
         let cfg = PanelConfig::default();
         let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
-        let counts =
-            weighted_precision(&panel, &p.corpus, &p.x_total, 20, 5, 20).unwrap();
+        let counts = weighted_precision(&panel, &p.corpus, &p.x_total, 20, 5, 20).unwrap();
         assert!(counts.total() > 0);
-        assert!(counts.p_textual() > 0.0, "joint method should find related pairs");
+        assert!(
+            counts.p_textual() > 0.0,
+            "joint method should find related pairs"
+        );
     }
 
     #[test]
@@ -368,10 +369,7 @@ mod tests {
         let bad = weighted_precision(&panel, &p.corpus, &inverted, 20, 5, 20)
             .unwrap()
             .p_textual();
-        assert!(
-            good > bad,
-            "good matrix {good} should beat inverted {bad}"
-        );
+        assert!(good > bad, "good matrix {good} should beat inverted {bad}");
     }
 
     #[test]
@@ -397,8 +395,7 @@ mod tests {
                 members[*c].push(p.concepts.sample_indices[pos]);
             }
         }
-        let counts =
-            cluster_quality(&panel, &p.corpus, &members, &p.collective, 5, 5, 20).unwrap();
+        let counts = cluster_quality(&panel, &p.corpus, &members, &p.collective, 5, 5, 20).unwrap();
         assert!(counts.total() > 0);
     }
 
@@ -409,8 +406,6 @@ mod tests {
         let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
         assert!(cluster_quality(&panel, &p.corpus, &[], &p.collective, 5, 5, 20).is_err());
         let singletons = vec![vec![0usize], vec![1]];
-        assert!(
-            cluster_quality(&panel, &p.corpus, &singletons, &p.collective, 5, 5, 20).is_err()
-        );
+        assert!(cluster_quality(&panel, &p.corpus, &singletons, &p.collective, 5, 5, 20).is_err());
     }
 }

@@ -3,7 +3,9 @@
 //! The paper's pipeline needs only a handful of primitives — dot products,
 //! cosine similarity, vector accumulation, row-major matrices, a softmax and
 //! a truncated SVD — so this crate implements exactly those from scratch
-//! instead of pulling in a full linear-algebra dependency.
+//! instead of pulling in a full linear-algebra dependency. The [`kernels`]
+//! module adds the blocked, norm-cached layer the O(n²·d) similarity paths
+//! route through (see its docs for the contract).
 //!
 //! All kernels operate on `f32` slices: the embedding matrices dominate
 //! memory and single precision halves the footprint with no observable
@@ -15,16 +17,20 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod error;
+pub mod kernels;
 pub mod matrix;
 pub mod sparse;
 pub mod svd;
 pub mod vector;
 
 pub use error::LinalgError;
+pub use kernels::{
+    gram_blocked, gram_blocked_par, gram_rect_blocked, top1_cosine_batch, NormalizedRows, TILE,
+};
 pub use matrix::Matrix;
 pub use sparse::SparseMatrix;
 pub use svd::{truncated_svd, truncated_svd_sparse, Svd};
 pub use vector::{
     add_assign, axpy, cosine, dot, euclidean, l2_norm, mean_of, normalize, scale, softmax_in_place,
-    sub_assign, sum_of,
+    squared_euclidean, sub_assign, sum_of,
 };

@@ -182,8 +182,7 @@ mod tests {
 
     #[test]
     fn duplicates_sum_and_zeros_drop() {
-        let m =
-            SparseMatrix::from_triplets(1, 2, [(0, 0, 1.0), (0, 0, 2.0), (0, 1, 0.0)]).unwrap();
+        let m = SparseMatrix::from_triplets(1, 2, [(0, 0, 1.0), (0, 0, 2.0), (0, 1, 0.0)]).unwrap();
         assert_eq!(m.get(0, 0), 3.0);
         assert_eq!(m.nnz(), 1);
     }

@@ -174,7 +174,7 @@ pub fn truncated_svd_sparse<R: Rng>(
         }
     }
     let u = y.matmul(&u_small)?; // m x k
-    // V = Bᵀ U_small / s  (n x k)
+                                 // V = Bᵀ U_small / s  (n x k)
     let mut v = bt.matmul(&u_small)?;
     for j in 0..k {
         let sj = s[j];

@@ -6,12 +6,61 @@
 
 /// Dot product of two equal-length slices.
 ///
+/// Unrolled over `chunks_exact(8)` with four independent partial sums: a
+/// single-accumulator reduction has a loop-carried dependency that forces
+/// the compiler to execute one fused multiply per cycle, while independent
+/// partials let it keep several SIMD lanes in flight. The summation order
+/// therefore differs from the naive loop by O(ε·‖a‖‖b‖) — callers must not
+/// rely on bit-exact agreement with a scalar reference.
+///
 /// # Panics
 /// Panics in debug builds if the lengths differ (callers guarantee shape).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        s0 += x[0] * y[0] + x[1] * y[1];
+        s1 += x[2] * y[2] + x[3] * y[3];
+        s2 += x[4] * y[4] + x[5] * y[5];
+        s3 += x[6] * y[6] + x[7] * y[7];
+    }
+    let mut sum = (s0 + s1) + (s2 + s3);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// Squared Euclidean distance `‖a - b‖²`, unrolled like [`dot`].
+///
+/// This is the primitive behind [`euclidean`] and the blocked pairwise
+/// distance builders: keeping the square avoids a `sqrt` per pair when the
+/// caller only compares distances.
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "squared_euclidean: length mismatch");
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        let (d0, d1) = (x[0] - y[0], x[1] - y[1]);
+        let (d2, d3) = (x[2] - y[2], x[3] - y[3]);
+        let (d4, d5) = (x[4] - y[4], x[5] - y[5]);
+        let (d6, d7) = (x[6] - y[6], x[7] - y[7]);
+        s0 += d0 * d0 + d1 * d1;
+        s1 += d2 * d2 + d3 * d3;
+        s2 += d4 * d4 + d5 * d5;
+        s3 += d6 * d6 + d7 * d7;
+    }
+    let mut sum = (s0 + s1) + (s2 + s3);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
 }
 
 /// Euclidean (L2) norm of a slice.
@@ -39,22 +88,29 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
 /// Euclidean distance between two vectors (Eq. 14 of the paper).
 #[inline]
 pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum::<f32>()
-        .sqrt()
+    squared_euclidean(a, b).sqrt()
 }
 
-/// `y += alpha * x` — the classic BLAS `axpy`.
+/// `y += alpha * x` — the classic BLAS `axpy`, unrolled over
+/// `chunks_exact(8)`. Unlike the reductions there is no loop-carried
+/// dependency here, but the explicit unroll removes the tail-check from
+/// the hot loop and keeps codegen stable across embedding dimensions.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+    let mut cy = y.chunks_exact_mut(8);
+    let mut cx = x.chunks_exact(8);
+    for (yc, xc) in (&mut cy).zip(&mut cx) {
+        yc[0] += alpha * xc[0];
+        yc[1] += alpha * xc[1];
+        yc[2] += alpha * xc[2];
+        yc[3] += alpha * xc[3];
+        yc[4] += alpha * xc[4];
+        yc[5] += alpha * xc[5];
+        yc[6] += alpha * xc[6];
+        yc[7] += alpha * xc[7];
+    }
+    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
         *yi += alpha * xi;
     }
 }
@@ -198,6 +254,27 @@ mod tests {
     }
 
     #[test]
+    fn squared_euclidean_basic() {
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(squared_euclidean(&[], &[]), 0.0);
+        // Length 9 exercises one full chunk plus the remainder lane.
+        let a = [1.0f32; 9];
+        let b = [3.0f32; 9];
+        assert_eq!(squared_euclidean(&a, &b), 36.0);
+    }
+
+    #[test]
+    fn dot_covers_remainder_lanes() {
+        // Lengths straddling the unroll width: 7 (pure tail), 8 (exact),
+        // 13 (chunk + tail).
+        for len in [7usize, 8, 13] {
+            let a: Vec<f32> = (0..len).map(|i| i as f32 + 1.0).collect();
+            let naive: f32 = a.iter().map(|x| x * x).sum();
+            assert_eq!(dot(&a, &a), naive);
+        }
+    }
+
+    #[test]
     fn axpy_accumulates() {
         let mut y = vec![1.0, 1.0];
         axpy(2.0, &[3.0, 4.0], &mut y);
@@ -272,7 +349,59 @@ mod tests {
         assert!(x.is_empty());
     }
 
+    /// Scalar single-accumulator references the unrolled kernels must match.
+    fn naive_dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    fn naive_squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+
     proptest! {
+        #[test]
+        fn prop_unrolled_dot_matches_naive(
+            pair in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 0..64),
+        ) {
+            let a: Vec<f32> = pair.iter().map(|&(x, _)| x).collect();
+            let b: Vec<f32> = pair.iter().map(|&(_, y)| y).collect();
+            let fast = dot(&a, &b);
+            let slow = naive_dot(&a, &b);
+            prop_assert!((fast - slow).abs() <= 1e-4 * (1.0 + slow.abs()));
+        }
+
+        #[test]
+        fn prop_unrolled_squared_euclidean_matches_naive(
+            pair in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 0..64),
+        ) {
+            let a: Vec<f32> = pair.iter().map(|&(x, _)| x).collect();
+            let b: Vec<f32> = pair.iter().map(|&(_, y)| y).collect();
+            let fast = squared_euclidean(&a, &b);
+            let slow = naive_squared_euclidean(&a, &b);
+            prop_assert!((fast - slow).abs() <= 1e-4 * (1.0 + slow.abs()));
+        }
+
+        #[test]
+        fn prop_unrolled_axpy_matches_naive(
+            pair in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 0..64),
+            alpha in -4.0f32..4.0,
+        ) {
+            let x: Vec<f32> = pair.iter().map(|&(v, _)| v).collect();
+            let mut y: Vec<f32> = pair.iter().map(|&(_, v)| v).collect();
+            let reference: Vec<f32> =
+                y.iter().zip(&x).map(|(yi, xi)| yi + alpha * xi).collect();
+            axpy(alpha, &x, &mut y);
+            for (got, want) in y.iter().zip(&reference) {
+                prop_assert!((got - want).abs() <= 1e-5 * (1.0 + want.abs()));
+            }
+        }
+
         #[test]
         fn prop_cosine_in_range(a in proptest::collection::vec(-100.0f32..100.0, 1..32)) {
             let b: Vec<f32> = a.iter().map(|x| x * 0.5 + 1.0).collect();

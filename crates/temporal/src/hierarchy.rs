@@ -103,16 +103,15 @@ impl SlabIndex {
         }
         for (i, f) in config.facets.iter().enumerate() {
             if config.facets[..i].contains(f) {
-                return Err(TemporalError::InvalidHierarchy("facet repeats in hierarchy"));
+                return Err(TemporalError::InvalidHierarchy(
+                    "facet repeats in hierarchy",
+                ));
             }
         }
 
         let mut index = SlabIndex { levels: Vec::new() };
-        for (level, (&facet, &threshold)) in config
-            .facets
-            .iter()
-            .zip(&config.thresholds)
-            .enumerate()
+        for (level, (&facet, &threshold)) in
+            config.facets.iter().zip(&config.thresholds).enumerate()
         {
             let mut slabs: Vec<SlabRef> = Vec::new();
             let mut lookup = HashMap::new();
@@ -236,11 +235,7 @@ mod tests {
         assert!(!idx.level(0).is_empty());
         // Each parent day slab owns a full partition of the 24 hours.
         for parent in 0..idx.level(0).len() {
-            let covered: usize = idx
-                .children(0, parent)
-                .iter()
-                .map(|s| s.splits.len())
-                .sum();
+            let covered: usize = idx.children(0, parent).iter().map(|s| s.splits.len()).sum();
             assert_eq!(covered, 24, "parent {parent} hours not partitioned");
         }
     }
@@ -351,9 +346,6 @@ mod tests {
     fn total_slabs_counts_all_levels() {
         let c = corpus();
         let idx = SlabIndex::build(&c, &HierarchyConfig::day_hour()).unwrap();
-        assert_eq!(
-            idx.total_slabs(),
-            idx.level(0).len() + idx.level(1).len()
-        );
+        assert_eq!(idx.total_slabs(), idx.level(0).len() + idx.level(1).len());
     }
 }

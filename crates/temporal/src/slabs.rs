@@ -39,10 +39,7 @@ impl UnifacetSlabs {
         self.slabs
             .iter()
             .map(|slab| {
-                let names: Vec<String> = slab
-                    .iter()
-                    .map(|&s| self.facet.split_name(s))
-                    .collect();
+                let names: Vec<String> = slab.iter().map(|&s| self.facet.split_name(s)).collect();
                 format!("{{{}}}", names.join(","))
             })
             .collect::<Vec<_>>()

@@ -27,8 +27,7 @@ impl SparseVector {
         for (id, w) in pairs {
             *acc.entry(id).or_insert(0.0) += w;
         }
-        let mut entries: Vec<(WordId, f32)> =
-            acc.into_iter().filter(|&(_, w)| w != 0.0).collect();
+        let mut entries: Vec<(WordId, f32)> = acc.into_iter().filter(|&(_, w)| w != 0.0).collect();
         entries.sort_unstable_by_key(|&(id, _)| id);
         SparseVector { entries }
     }
@@ -83,11 +82,7 @@ impl SparseVector {
 
     /// L2 norm.
     pub fn norm(&self) -> f32 {
-        self.entries
-            .iter()
-            .map(|&(_, v)| v * v)
-            .sum::<f32>()
-            .sqrt()
+        self.entries.iter().map(|&(_, v)| v * v).sum::<f32>().sqrt()
     }
 
     /// Cosine similarity; `0.0` when either side is empty/zero.

@@ -46,14 +46,15 @@ pub fn tokenize(text: &str, config: &TokenizerConfig) -> Vec<String> {
     let mut out = Vec::new();
     for raw in text.split_whitespace() {
         let lower = raw.to_lowercase();
-        if lower.starts_with("http://") || lower.starts_with("https://") || lower.starts_with("www.")
+        if lower.starts_with("http://")
+            || lower.starts_with("https://")
+            || lower.starts_with("www.")
         {
             continue;
         }
-        if lower.starts_with('@')
-            && config.drop_mentions {
-                continue;
-            }
+        if lower.starts_with('@') && config.drop_mentions {
+            continue;
+        }
         // Elide apostrophes so contractions stay one token ("can't" -> "cant").
         let elided: String = lower.chars().filter(|&c| c != '\'' && c != '’').collect();
         for piece in elided.split(|c: char| !c.is_alphanumeric()) {
@@ -107,12 +108,18 @@ mod tests {
 
     #[test]
     fn basic_tokenization() {
-        assert_eq!(tok("Going to the beach today!"), vec!["going", "beach", "today"]);
+        assert_eq!(
+            tok("Going to the beach today!"),
+            vec!["going", "beach", "today"]
+        );
     }
 
     #[test]
     fn urls_are_dropped() {
-        assert_eq!(tok("check https://t.co/xyz out www.example.com"), vec!["check"]);
+        assert_eq!(
+            tok("check https://t.co/xyz out www.example.com"),
+            vec!["check"]
+        );
     }
 
     #[test]
@@ -131,7 +138,10 @@ mod tests {
 
     #[test]
     fn hashtags_keep_body() {
-        assert_eq!(tok("#beach #BrisVegas vibes"), vec!["beach", "brisvegas", "vibes"]);
+        assert_eq!(
+            tok("#beach #BrisVegas vibes"),
+            vec!["beach", "brisvegas", "vibes"]
+        );
     }
 
     #[test]

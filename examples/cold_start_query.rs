@@ -24,7 +24,10 @@ fn main() {
     let mut train = full.clone();
     train.tweets.retain(|t| t.author != held_out);
     train.authors.truncate(held_out as usize);
-    train.ground_truth.author_mixture.truncate(held_out as usize);
+    train
+        .ground_truth
+        .author_mixture
+        .truncate(held_out as usize);
     train
         .ground_truth
         .author_community

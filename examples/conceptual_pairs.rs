@@ -65,8 +65,14 @@ fn main() {
         used.insert(j);
         let (a, b) = (&dataset.tweets[i], &dataset.tweets[j]);
         println!("concept #{:<2} (vector cosine {sim:.3})", truth[i]);
-        println!("  {} : \"{}\"", dataset.authors[a.author as usize].handle, a.text);
-        println!("  {} : \"{}\"", dataset.authors[b.author as usize].handle, b.text);
+        println!(
+            "  {} : \"{}\"",
+            dataset.authors[a.author as usize].handle, a.text
+        );
+        println!(
+            "  {} : \"{}\"",
+            dataset.authors[b.author as usize].handle, b.text
+        );
         println!();
         shown += 1;
         if shown == 4 {

@@ -25,7 +25,10 @@ fn main() {
     println!("Day-of-week similarity grid (modified TF-IDF + cosine):\n");
     println!("{}", grid.render());
     let (slabs, dendro) = slabs_from_grid(&grid, 0.59);
-    println!("Dendrogram:\n{}", render_dendrogram(&dendro, Facet::DayOfWeek));
+    println!(
+        "Dendrogram:\n{}",
+        render_dendrogram(&dendro, Facet::DayOfWeek)
+    );
     println!("Day slabs @ threshold 0.59: {}\n", slabs.render());
 
     // --- Hierarchical: hour slabs conditioned on day slabs (Table 4) ---
@@ -48,8 +51,14 @@ fn main() {
 
     // --- Fig 1: co-occurrence drift of planted word pairs ---
     let lex = &dataset.ground_truth.lexicon;
-    let head0 = corpus.vocab.id(&lex.concepts[0].head).expect("head in vocab");
-    let ent0 = corpus.vocab.id(&lex.concepts[0].base_forms[0]).expect("entity");
+    let head0 = corpus
+        .vocab
+        .id(&lex.concepts[0].head)
+        .expect("head in vocab");
+    let ent0 = corpus
+        .vocab
+        .id(&lex.concepts[0].base_forms[0])
+        .expect("entity");
     let by_hour = pair_cooccurrence_by_hour(&corpus, head0, ent0);
     let peak_hour = by_hour
         .iter()

@@ -25,7 +25,10 @@ fn persisted_dataset_refits_identically() {
 
     let a = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
     let b = Pipeline::fit(&loaded, PipelineConfig::fast()).unwrap();
-    assert_eq!(a.x_total, b.x_total, "reloaded dataset must fit identically");
+    assert_eq!(
+        a.x_total, b.x_total,
+        "reloaded dataset must fit identically"
+    );
 }
 
 #[test]

@@ -82,10 +82,7 @@ fn all_baselines_produce_valid_similarity_matrices() {
         }
         // Each baseline's matrix must feed the graph cut without error.
         let forest = p.subgraphs_for(&sim).expect("cut");
-        assert_eq!(
-            forest.components().iter().map(Vec::len).sum::<usize>(),
-            n
-        );
+        assert_eq!(forest.components().iter().map(Vec::len).sum::<usize>(), n);
     }
 }
 

@@ -52,8 +52,7 @@ fn joint_alpha_sweep_has_interior_or_boundary_shape() {
     let mut scores = Vec::new();
     for step in 0..=10 {
         let alpha = step as f32 / 10.0;
-        let fused =
-            soulmate::core::fuse_similarities(&p.x_concept, &p.x_content, alpha).unwrap();
+        let fused = soulmate::core::fuse_similarities(&p.x_concept, &p.x_content, alpha).unwrap();
         let counts = weighted_precision(&panel, &p.corpus, &fused, 20, 5, 20).unwrap();
         scores.push(counts.p_textual());
     }
@@ -87,7 +86,13 @@ fn weighted_precision_ranks_truth_above_noise() {
     let oracle: Vec<Vec<f32>> = (0..n)
         .map(|i| {
             (0..n)
-                .map(|j| if communities[i] == communities[j] { 1.0 } else { 0.0 })
+                .map(|j| {
+                    if communities[i] == communities[j] {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         })
         .collect();
