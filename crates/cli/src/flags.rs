@@ -11,8 +11,10 @@ pub struct Flags {
 }
 
 impl Flags {
-    /// Parse flag pairs; non-flag tokens and trailing flags without values
-    /// are ignored (subcommands validate required flags explicitly).
+    /// Parse flag pairs; non-flag positional tokens are ignored
+    /// (subcommands validate required flags explicitly). A flag with no
+    /// value (`--multi`) is recorded as a boolean switch — check it with
+    /// [`Flags::has`].
     pub fn parse(args: &[String]) -> Flags {
         let mut values = HashMap::new();
         let mut i = 0;
@@ -23,15 +25,25 @@ impl Flags {
                     i += 2;
                     continue;
                 }
+                values.insert(name.to_string(), String::new());
             }
             i += 1;
         }
         Flags { values }
     }
 
-    /// Raw string value of a flag.
+    /// Raw string value of a flag (`None` for absent *and* for valueless
+    /// switches — use [`Flags::has`] for those).
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.values.get(name).map(String::as_str)
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .filter(|v| !v.is_empty())
+    }
+
+    /// Was the flag present at all (with or without a value)?
+    pub fn has(&self, name: &str) -> bool {
+        self.values.contains_key(name)
     }
 
     /// Parse a flag as `usize`.
@@ -78,10 +90,14 @@ mod tests {
     }
 
     #[test]
-    fn ignores_valueless_and_positional_tokens() {
+    fn valueless_flags_become_switches_and_positionals_are_ignored() {
         let f = parse(&["positional", "--flag", "--other", "1"]);
-        assert_eq!(f.get("flag"), None);
+        assert_eq!(f.get("flag"), None); // no value to read...
+        assert!(f.has("flag")); // ...but the switch is visible
+        assert!(!f.has("positional"));
+        assert!(!f.has("missing"));
         assert_eq!(f.get_usize("other"), Some(1));
+        assert!(f.has("other"));
     }
 
     #[test]

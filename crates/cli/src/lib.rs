@@ -39,13 +39,15 @@ USAGE:
   soulmate generate  --out <data.json> [--authors N] [--tweets N] [--concepts N] [--seed N]
   soulmate fit       --data <data.json> --out <model.json> [--dim N] [--epochs N] [--alpha X]
   soulmate subgraphs --model <model.json> [--top N]
-  soulmate link      --model <model.json> --tweets <tweets.txt>
+  soulmate link      --model <model.json> --tweets <tweets.txt> [--multi]
   soulmate slabs     --data <data.json> [--threshold X]
   soulmate eval      --data <data.json> [--dim N] [--epochs N] [--k N]
   soulmate experiment <id> [--authors N] [--tweets N] [--seed N] [--dim N] [--epochs N]
 
 The tweets file for `link` holds one tweet per line; an optional leading
-`<minute-of-year><TAB>` sets the timestamp (defaults to minute 0).
+`<minute-of-year><TAB>` sets the timestamp (defaults to minute 0). With
+`--multi`, blank lines split the file into one tweet group per query
+author and the whole batch is served from one precomputed engine.
 Experiment ids: fig1 fig3 fig4 fig8 fig9 fig10 fig11 table5 table6 table7
 ext_popularity ext_community ext_ablation ext_btcbow ext_scaling.";
 
@@ -169,9 +171,41 @@ fn cmd_subgraphs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
 fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     let model = load_model(flags)?;
     let tweets_path = flags.require_path("tweets")?;
+    // All the query-independent work (row normalization, sparsification,
+    // edge sorting) happens once here; each query then merges into the
+    // cached cut.
+    let engine = model
+        .query_engine()
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+
+    if flags.has("multi") {
+        let groups = read_tweet_groups(&tweets_path)?;
+        let outcomes = engine
+            .link_query_authors(&groups)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        writeln!(out, "linked {} query authors:", outcomes.len()).ok();
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let mates: Vec<&str> = outcome
+                .subgraph
+                .iter()
+                .filter(|&&a| a != outcome.query_index)
+                .map(|&a| model.author_handles[a].as_str())
+                .collect();
+            writeln!(
+                out,
+                "  query #{i}: subgraph of {} nodes (avg weight {:.3}) linked with: {}",
+                outcome.subgraph.len(),
+                outcome.subgraph_avg_weight,
+                mates.join(", ")
+            )
+            .ok();
+        }
+        return Ok(());
+    }
+
     let tweets = read_tweets_file(&tweets_path)?;
-    let outcome = model
-        .link_query_author(&tweets)
+    let outcome = engine
+        .link_query(&tweets)
         .map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(
         out,
@@ -181,7 +215,8 @@ fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     )
     .ok();
     let mut ranked: Vec<(usize, f32)> = outcome.similarities.iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    // total_cmp: a NaN similarity must rank, not panic the serving path.
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     writeln!(out, "most similar authors:").ok();
     for (a, s) in ranked.into_iter().take(5) {
         writeln!(out, "  {} (similarity {s:.3})", model.author_handles[a]).ok();
@@ -271,22 +306,24 @@ fn load_model(flags: &Flags) -> Result<PipelineSnapshot, CliError> {
     PipelineSnapshot::load(&path).map_err(|e| CliError::Failed(e.to_string()))
 }
 
+/// Parse one tweet line: `minute<TAB>text` or just `text`.
+fn parse_tweet_line(line: &str) -> (Timestamp, String) {
+    match line.split_once('\t') {
+        Some((m, t)) => (Timestamp(m.parse::<u32>().unwrap_or(0)), t.to_string()),
+        None => (Timestamp(0), line.to_string()),
+    }
+}
+
 /// Parse a tweets file: each line is `minute<TAB>text` or just `text`.
 fn read_tweets_file(path: &Path) -> Result<Vec<(Timestamp, String)>, CliError> {
     let content = std::fs::read_to_string(path)
         .map_err(|e| CliError::Failed(format!("cannot read {}: {e}", path.display())))?;
-    let mut tweets = Vec::new();
-    for line in content.lines() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let (minute, text) = match line.split_once('\t') {
-            Some((m, t)) => (m.parse::<u32>().unwrap_or(0), t.to_string()),
-            None => (0, line.to_string()),
-        };
-        tweets.push((Timestamp(minute), text));
-    }
+    let tweets: Vec<(Timestamp, String)> = content
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(parse_tweet_line)
+        .collect();
     if tweets.is_empty() {
         return Err(CliError::Failed(format!(
             "no tweets found in {}",
@@ -294,6 +331,35 @@ fn read_tweets_file(path: &Path) -> Result<Vec<(Timestamp, String)>, CliError> {
         )));
     }
     Ok(tweets)
+}
+
+/// Parse a multi-query tweets file: blank lines separate the tweet groups
+/// of consecutive query authors.
+fn read_tweet_groups(path: &Path) -> Result<Vec<Vec<(Timestamp, String)>>, CliError> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Failed(format!("cannot read {}: {e}", path.display())))?;
+    let mut groups: Vec<Vec<(Timestamp, String)>> = Vec::new();
+    let mut current: Vec<(Timestamp, String)> = Vec::new();
+    for line in content.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            if !current.is_empty() {
+                groups.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        current.push(parse_tweet_line(line));
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    if groups.is_empty() {
+        return Err(CliError::Failed(format!(
+            "no tweet groups found in {}",
+            path.display()
+        )));
+    }
+    Ok(groups)
 }
 
 #[cfg(test)]
@@ -399,6 +465,37 @@ mod tests {
         assert!(out.contains("query author joined"), "got: {out}");
         assert!(out.contains("most similar authors"));
 
+        // Batched serving: two query authors separated by a blank line.
+        let group_a: Vec<String> = dataset
+            .tweets
+            .iter()
+            .take(4)
+            .map(|t| format!("{}\t{}", t.timestamp.0, t.text))
+            .collect();
+        let group_b: Vec<String> = dataset
+            .tweets
+            .iter()
+            .skip(4)
+            .take(4)
+            .map(|t| t.text.clone())
+            .collect();
+        std::fs::write(
+            &tweets,
+            format!("{}\n\n{}", group_a.join("\n"), group_b.join("\n")),
+        )
+        .unwrap();
+        let out = run_to_string(&[
+            "link",
+            "--model",
+            model.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+            "--multi",
+        ])
+        .unwrap();
+        assert!(out.contains("linked 2 query authors"), "got: {out}");
+        assert!(out.contains("query #1:"), "got: {out}");
+
         let out = run_to_string(&["slabs", "--data", data.to_str().unwrap()]).unwrap();
         assert!(out.contains("day slabs @"));
 
@@ -459,5 +556,19 @@ mod tests {
         assert_eq!(tweets[0].0, Timestamp(100));
         assert_eq!(tweets[0].1, "hello world");
         assert_eq!(tweets[1].0, Timestamp(0));
+    }
+
+    #[test]
+    fn read_tweet_groups_splits_on_blank_lines() {
+        let path = tmp("tweet-groups.txt");
+        std::fs::write(&path, "5\talpha one\nalpha two\n\n\nbeta one\n\n").unwrap();
+        let groups = read_tweet_groups(&path).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[0][0], (Timestamp(5), "alpha one".to_string()));
+        assert_eq!(groups[1], vec![(Timestamp(0), "beta one".to_string())]);
+        std::fs::write(&path, "\n\n").unwrap();
+        assert!(read_tweet_groups(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 }

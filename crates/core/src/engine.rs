@@ -1,0 +1,647 @@
+//! Amortized online serving: the [`QueryEngine`].
+//!
+//! [`crate::online::link_query`] answers one query correctly but pays the
+//! whole offline bill again on every call: it re-normalizes both author
+//! matrices (O(n·d)), clones the full `X^Total` into an extended
+//! `(n+1)²` matrix, rebuilds the sparsified graph from scratch and
+//! re-sorts every edge before running the SW-MST pop loop. None of that
+//! depends on the query. The engine hoists it all into a one-time build
+//! per fitted [`Pipeline`] / loaded [`PipelineSnapshot`]:
+//!
+//! * author content rows and mean-centered concept rows are pre-scaled to
+//!   unit norm once ([`NormalizedRows`]), so a query's similarity row is a
+//!   single rectangular Gram call ([`gram_rect_blocked`]) instead of a
+//!   scalar cosine loop that recomputes every author norm;
+//! * the sparsified base edge list is kept already sorted in SW-MST
+//!   [`stack_pop_order`], together with each node's top-k ranking prefix
+//!   ([`CachedCut`]). A query contributes at most `n` new edges; they are
+//!   merged into the cached order (two sorted runs, one pass) and the pop
+//!   loop runs over the merge — no `(n+1)²` clone, no graph rebuild, no
+//!   full `O(E log E)` re-sort.
+//!
+//! The served answers are **identical** to the legacy path, bit for bit:
+//! both compute the similarity row through the same
+//! [`crate::online::vectorize_query`] / unit-row dot /
+//! [`crate::online::fused_row_from_dots`] sequence, and the merged edge
+//! order equals the full re-sort order because [`stack_pop_order`] is a
+//! total order (weight desc, then endpoints). The displacement logic in
+//! [`CachedCut::cut_with_query`] reproduces exactly which base edges
+//! `WeightedGraph::from_similarity` would *drop* when the query pushes a
+//! node's weakest top-k lifeline out of its ranking.
+
+use crate::error::CoreError;
+use crate::online::{fused_row_from_dots, vectorize_query, QueryModel, QueryOutcome, QueryVectors};
+use crate::pipeline::Pipeline;
+use crate::similarity::center_rows;
+use crate::snapshot::PipelineSnapshot;
+use soulmate_corpus::Timestamp;
+use soulmate_graph::{stack_pop_order, swmst_from_sorted, Edge, SpanningForest, WeightedGraph};
+use soulmate_linalg::kernels::{gram_rect_blocked, NormalizedRows};
+use soulmate_linalg::Matrix;
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+/// A node's cached top-k view of the base similarity matrix.
+#[derive(Debug, Clone)]
+struct TopKCache {
+    /// The node's `top_k` strongest neighbours, strongest first (fewer
+    /// when the node has fewer neighbours). Ordered by the same stable
+    /// total-order sort `from_similarity` uses, so ties keep ascending
+    /// index.
+    prefix: Vec<usize>,
+    /// Similarity of the rank-`top_k` neighbour (`prefix[top_k - 1]`),
+    /// `None` when the node has fewer than `top_k` neighbours. A query
+    /// must rank *strictly above* this value to enter the node's top-k.
+    kth_sim: Option<f32>,
+}
+
+/// The query-independent part of the online graph cut, precomputed once.
+///
+/// Holds the sparsified base edges of `X^Total` already sorted in SW-MST
+/// [`stack_pop_order`], plus each node's top-k ranking prefix. Given a
+/// query's similarity row, [`CachedCut::cut_with_query`] produces the same
+/// [`SpanningForest`] as rebuilding + re-sorting the extended `(n+1)²`
+/// graph, in `O(n log n + E)` instead of `O(n² + E log E)`.
+#[derive(Debug, Clone)]
+pub struct CachedCut {
+    n: usize,
+    min_sim: f32,
+    top_k: usize,
+    base_edges: Vec<Edge>,
+    topk: Vec<TopKCache>,
+}
+
+impl CachedCut {
+    /// Sparsify `sim` once and cache everything the per-query merge needs.
+    ///
+    /// # Errors
+    /// [`CoreError`] (via the graph layer) when `sim` is ragged.
+    pub fn new(
+        sim: &[Vec<f32>],
+        min_similarity: f32,
+        top_k: usize,
+    ) -> Result<CachedCut, CoreError> {
+        let base = WeightedGraph::from_similarity(sim, min_similarity, top_k)?;
+        let n = base.n_nodes();
+        let mut base_edges = base.edges().to_vec();
+        base_edges.sort_by(stack_pop_order);
+        let mut topk = Vec::new();
+        if top_k > 0 {
+            topk.reserve(n);
+            for i in 0..n {
+                let mut neighbours: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+                // Must mirror `from_similarity` exactly: stable sort,
+                // descending, total order.
+                neighbours.sort_by(|&a, &b| sim[i][b].total_cmp(&sim[i][a]));
+                let kth_sim = (neighbours.len() >= top_k).then(|| sim[i][neighbours[top_k - 1]]);
+                neighbours.truncate(top_k);
+                topk.push(TopKCache {
+                    prefix: neighbours,
+                    kth_sim,
+                });
+            }
+        }
+        Ok(CachedCut {
+            n,
+            min_sim: min_similarity,
+            top_k,
+            base_edges,
+            topk,
+        })
+    }
+
+    /// Number of base (non-query) nodes.
+    pub fn n_authors(&self) -> usize {
+        self.n
+    }
+
+    /// The cached sparsified base edges, in [`stack_pop_order`].
+    pub fn base_edges(&self) -> &[Edge] {
+        &self.base_edges
+    }
+
+    /// Does the query (similarity `qsim` to node `i`) enter `i`'s top-k
+    /// ranking? In the extended matrix the query row is appended *last*,
+    /// so under the stable ranking sort it must beat the current rank-k
+    /// neighbour strictly; with fewer than k neighbours it enters freely.
+    fn query_enters_topk(&self, i: usize, qsim: f32) -> bool {
+        match self.topk[i].kth_sim {
+            None => true,
+            Some(kth) => qsim.total_cmp(&kth) == Ordering::Greater,
+        }
+    }
+
+    /// Cut the graph extended by one query node whose similarity row is
+    /// `sims` — equivalent to `from_similarity` + full sort + SW-MST over
+    /// the `(n+1)²` matrix, without materializing it.
+    ///
+    /// The query node's index in the returned forest is `n_authors()`.
+    ///
+    /// # Panics
+    /// Panics when `sims.len() != self.n_authors()`.
+    pub fn cut_with_query(&self, sims: &[f32]) -> SpanningForest {
+        assert_eq!(sims.len(), self.n, "similarity row length != author count");
+        let n = self.n;
+        let k = self.top_k;
+
+        // 1. Base edges the query *removes*: when the query enters node
+        //    i's top-k ranking, i's old rank-k neighbour b falls out, and
+        //    the edge (i, b) dies unless the threshold or b's own top-k
+        //    still holds it.
+        let mut removed: HashSet<(usize, usize)> = HashSet::new();
+        if k > 0 {
+            for i in 0..n {
+                let Some(kth) = self.topk[i].kth_sim else {
+                    continue; // fewer than k neighbours: nothing falls out
+                };
+                if sims[i].total_cmp(&kth) != Ordering::Greater {
+                    continue; // query does not enter i's top-k
+                }
+                let b = self.topk[i].prefix[k - 1];
+                if kth >= self.min_sim {
+                    continue; // edge survives on the threshold rule
+                }
+                // Is i still in b's top-k once the query is present?
+                let retained = match self.topk[b].prefix.iter().position(|&x| x == i) {
+                    Some(r) if r < k - 1 => true,
+                    Some(r) if r == k - 1 => !self.query_enters_topk(b, sims[b]),
+                    _ => false,
+                };
+                if !retained {
+                    removed.insert((i.min(b), i.max(b)));
+                }
+            }
+        }
+
+        // 2. Query edges, by the same threshold / top-k / finiteness rules
+        //    `from_similarity` applies to the extended matrix.
+        let mut q_keep = vec![false; n];
+        for i in 0..n {
+            if sims[i] >= self.min_sim {
+                q_keep[i] = true;
+            }
+        }
+        if k > 0 {
+            for i in 0..n {
+                if self.query_enters_topk(i, sims[i]) {
+                    q_keep[i] = true;
+                }
+            }
+            // The query's own top-k lifelines.
+            let mut ranked: Vec<usize> = (0..n).collect();
+            ranked.sort_by(|&a, &b| sims[b].total_cmp(&sims[a]));
+            for &i in ranked.iter().take(k) {
+                q_keep[i] = true;
+            }
+        }
+        let mut q_edges: Vec<Edge> = (0..n)
+            .filter(|&i| q_keep[i] && sims[i].is_finite())
+            .map(|i| Edge {
+                u: i,
+                v: n,
+                w: sims[i],
+            })
+            .collect();
+        q_edges.sort_by(stack_pop_order);
+
+        // 3. Merge the two sorted runs (total order ⇒ the merge equals
+        //    the full re-sort) and run the SW-MST pop loop directly.
+        let surviving = self
+            .base_edges
+            .iter()
+            .filter(|e| removed.is_empty() || !removed.contains(&(e.u, e.v)));
+        let mut merged = Vec::with_capacity(self.base_edges.len() + q_edges.len());
+        let mut q_iter = q_edges.into_iter().peekable();
+        for &e in surviving {
+            while let Some(q) = q_iter.peek() {
+                if stack_pop_order(q, &e) == Ordering::Less {
+                    merged.push(*q);
+                    q_iter.next();
+                } else {
+                    break;
+                }
+            }
+            merged.push(e);
+        }
+        merged.extend(q_iter);
+        swmst_from_sorted(n + 1, merged)
+    }
+}
+
+/// Precomputed online serving state over a [`QueryModel`].
+///
+/// Build once per fitted [`Pipeline`] or loaded [`PipelineSnapshot`]
+/// (`O(n²)` — the same work one legacy query paid), then serve every query
+/// in `O(n·d + n log n)` with answers identical to
+/// [`crate::online::link_query`].
+#[derive(Debug, Clone)]
+pub struct QueryEngine<'a> {
+    model: QueryModel<'a>,
+    content_rows: NormalizedRows,
+    concept_rows: NormalizedRows,
+    cut: CachedCut,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Precompute the normalized author rows and the cached graph cut.
+    ///
+    /// # Errors
+    /// [`CoreError`] when the model's `x_total` is ragged.
+    pub fn new(model: QueryModel<'a>) -> Result<QueryEngine<'a>, CoreError> {
+        let content_rows = NormalizedRows::from_matrix(model.author_content);
+        let concept_rows =
+            NormalizedRows::from_matrix(&center_rows(model.author_concept, model.concept_means));
+        let cut = CachedCut::new(model.x_total, model.graph_min_sim, model.graph_top_k)?;
+        Ok(QueryEngine {
+            model,
+            content_rows,
+            concept_rows,
+            cut,
+        })
+    }
+
+    /// The model this engine serves.
+    pub fn model(&self) -> &QueryModel<'a> {
+        &self.model
+    }
+
+    /// The cached query-independent graph cut.
+    pub fn cut(&self) -> &CachedCut {
+        &self.cut
+    }
+
+    /// Number of authors in the served model.
+    pub fn n_authors(&self) -> usize {
+        self.cut.n_authors()
+    }
+
+    /// Link one query author — same contract and same answers as
+    /// [`crate::online::link_query`], amortized.
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] when the tweet list is empty or no tweet
+    /// yields any in-vocabulary token.
+    pub fn link_query(&self, tweets: &[(Timestamp, String)]) -> Result<QueryOutcome, CoreError> {
+        let q = vectorize_query(&self.model, tweets)?;
+        let mut outcomes = self.serve(vec![q]);
+        Ok(outcomes.pop().expect("one query in, one outcome out"))
+    }
+
+    /// Link a batch of query authors in one pass: the similarity rows of
+    /// the whole batch are computed with two rectangular Gram kernel
+    /// calls, then each query merges into the cached cut independently.
+    ///
+    /// Outcomes are index-aligned with `queries`.
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] when any query has no tweets or no
+    /// in-vocabulary token (the batch fails as a whole so outcomes never
+    /// silently skip an index).
+    pub fn link_query_authors(
+        &self,
+        queries: &[Vec<(Timestamp, String)>],
+    ) -> Result<Vec<QueryOutcome>, CoreError> {
+        let qvecs = queries
+            .iter()
+            .map(|tweets| vectorize_query(&self.model, tweets))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.serve(qvecs))
+    }
+
+    /// Serve pre-vectorized queries (infallible once vectorized).
+    fn serve(&self, qvecs: Vec<QueryVectors>) -> Vec<QueryOutcome> {
+        if qvecs.is_empty() {
+            return Vec::new();
+        }
+        let content_q: Vec<Vec<f32>> = qvecs.iter().map(|q| q.content_unit.clone()).collect();
+        let concept_q: Vec<Vec<f32>> = qvecs
+            .iter()
+            .map(|q| q.concept_centered_unit.clone())
+            .collect();
+        let content_q = Matrix::from_rows(&content_q).expect("query content rows share one dim");
+        let concept_q = Matrix::from_rows(&concept_q).expect("query concept rows share one dim");
+        // out[q][a] = dot(query_unit_row, author_unit_row) — entry for
+        // entry the same dot calls the legacy per-author loop makes.
+        let content_dots = gram_rect_blocked(&content_q, self.content_rows.unit_matrix());
+        let concept_dots = gram_rect_blocked(&concept_q, self.concept_rows.unit_matrix());
+
+        let query_index = self.cut.n_authors();
+        qvecs
+            .into_iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                let similarities =
+                    fused_row_from_dots(&self.model, &content_dots[qi], &concept_dots[qi]);
+                let forest = self.cut.cut_with_query(&similarities);
+                let subgraph = forest
+                    .query_subgraph(query_index)
+                    .expect("query node exists in forest");
+                let subgraph_avg_weight = forest.component_avg_weight(&subgraph);
+                QueryOutcome {
+                    query_index,
+                    subgraph,
+                    subgraph_avg_weight,
+                    content_vector: q.content,
+                    concept_vector: q.concept,
+                    similarities,
+                }
+            })
+            .collect()
+    }
+}
+
+impl Pipeline {
+    /// Build the amortized serving engine over this fitted pipeline.
+    ///
+    /// # Errors
+    /// [`CoreError`] when the fused similarity matrix is ragged (cannot
+    /// happen for a pipeline fitted by [`Pipeline::fit`]).
+    pub fn query_engine(&self) -> Result<QueryEngine<'_>, CoreError> {
+        QueryEngine::new(self.query_model())
+    }
+
+    /// Link a batch of query authors through a freshly built
+    /// [`QueryEngine`] (build once, serve all).
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::link_query_authors`].
+    pub fn link_query_authors(
+        &self,
+        queries: &[Vec<(Timestamp, String)>],
+    ) -> Result<Vec<QueryOutcome>, CoreError> {
+        self.query_engine()?.link_query_authors(queries)
+    }
+}
+
+impl PipelineSnapshot {
+    /// Build the amortized serving engine over this loaded snapshot.
+    ///
+    /// # Errors
+    /// [`CoreError`] when the snapshot's `x_total` is ragged (a validated
+    /// snapshot never is).
+    pub fn query_engine(&self) -> Result<QueryEngine<'_>, CoreError> {
+        QueryEngine::new(self.query_model())
+    }
+
+    /// Link a batch of query authors through a freshly built
+    /// [`QueryEngine`] (build once, serve all).
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::link_query_authors`].
+    pub fn link_query_authors(
+        &self,
+        queries: &[Vec<(Timestamp, String)>],
+    ) -> Result<Vec<QueryOutcome>, CoreError> {
+        self.query_engine()?.link_query_authors(queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::link_query;
+    use crate::pipeline::PipelineConfig;
+    use proptest::prelude::*;
+    use soulmate_corpus::{generate, GeneratorConfig};
+    use soulmate_graph::swmst;
+
+    /// The legacy reference: extend the matrix, rebuild the graph, full
+    /// sort, SW-MST.
+    fn reference_cut(
+        x_total: &[Vec<f32>],
+        sims: &[f32],
+        min_sim: f32,
+        top_k: usize,
+    ) -> SpanningForest {
+        let mut extended: Vec<Vec<f32>> = x_total
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let mut r = row.clone();
+                r.push(sims[i]);
+                r
+            })
+            .collect();
+        let mut qrow = sims.to_vec();
+        qrow.push(1.0);
+        extended.push(qrow);
+        let graph = WeightedGraph::from_similarity(&extended, min_sim, top_k).unwrap();
+        swmst(&graph)
+    }
+
+    fn assert_cut_matches(x: &[Vec<f32>], sims: &[f32], min_sim: f32, k: usize) {
+        let want = reference_cut(x, sims, min_sim, k);
+        let cut = CachedCut::new(x, min_sim, k).unwrap();
+        let got = cut.cut_with_query(sims);
+        assert_eq!(
+            want.edges(),
+            got.edges(),
+            "forest mismatch: min_sim={min_sim} k={k} sims={sims:?}"
+        );
+        assert_eq!(want.components(), got.components());
+    }
+
+    #[test]
+    fn cached_cut_hand_picked_edge_cases() {
+        let sym = |rows: &[&[f32]]| -> Vec<Vec<f32>> { rows.iter().map(|r| r.to_vec()).collect() };
+        // Single author.
+        assert_cut_matches(&sym(&[&[1.0]]), &[0.7], 0.5, 2);
+        assert_cut_matches(&sym(&[&[1.0]]), &[f32::NAN], 0.5, 2);
+        // Two authors, query displaces the only lifeline.
+        let x2 = sym(&[&[1.0, 0.3], &[0.3, 1.0]]);
+        assert_cut_matches(&x2, &[0.9, 0.1], 10.0, 1);
+        // Query weaker than everything.
+        assert_cut_matches(&x2, &[-5.0, -5.0], 10.0, 1);
+        // Threshold-only sparsification (k = 0).
+        assert_cut_matches(&x2, &[0.9, 0.1], 0.25, 0);
+        // Ties everywhere: stable ranking must agree with the rebuild.
+        let flat = sym(&[
+            &[1.0, 0.5, 0.5, 0.5],
+            &[0.5, 1.0, 0.5, 0.5],
+            &[0.5, 0.5, 1.0, 0.5],
+            &[0.5, 0.5, 0.5, 1.0],
+        ]);
+        assert_cut_matches(&flat, &[0.5, 0.5, 0.5, 0.5], 10.0, 2);
+        assert_cut_matches(&flat, &[0.5, 0.6, 0.4, 0.5], 10.0, 1);
+        // All-NaN query row: every query edge is dropped.
+        let nan_sims = [f32::NAN, f32::NAN, f32::NAN, f32::NAN];
+        assert_cut_matches(&flat, &nan_sims, 0.4, 2);
+        // Query stronger than everything: displaces every ranking.
+        assert_cut_matches(&flat, &[9.0, 9.0, 9.0, 9.0], 10.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "similarity row length")]
+    fn cut_with_query_rejects_wrong_row_length() {
+        let x = vec![vec![1.0, 0.2], vec![0.2, 1.0]];
+        let cut = CachedCut::new(&x, 0.0, 1).unwrap();
+        cut.cut_with_query(&[0.5]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The amortized merge must reproduce the full extend + rebuild +
+        /// re-sort + SW-MST pipeline exactly — same forest edges, same
+        /// components — across random matrices with heavy ties (quantized
+        /// weights) and occasional NaN entries.
+        #[test]
+        fn prop_cached_cut_matches_full_rebuild(
+            n in 1usize..9,
+            flat in proptest::collection::vec(-2.0f32..2.0, 110),
+            top_k in 0usize..5,
+            min_sim_raw in -2.0f32..2.0,
+        ) {
+            // Quantize to quarter steps so ties are common; the extreme
+            // quarter becomes NaN to exercise the total-order paths.
+            let quant = |v: f32| -> f32 {
+                let q = (v * 4.0).round() / 4.0;
+                if q > 1.75 { f32::NAN } else { q }
+            };
+            let mut x = vec![vec![0.0f32; n]; n];
+            for i in 0..n {
+                x[i][i] = 1.0;
+                for j in (i + 1)..n {
+                    let v = quant(flat[i * n + j]);
+                    x[i][j] = v;
+                    x[j][i] = v;
+                }
+            }
+            let sims: Vec<f32> = (0..n).map(|i| quant(flat[n * n + i])).collect();
+            let min_sim = (min_sim_raw * 4.0).round() / 4.0;
+
+            let want = reference_cut(&x, &sims, min_sim, top_k);
+            let cut = CachedCut::new(&x, min_sim, top_k).unwrap();
+            let got = cut.cut_with_query(&sims);
+            prop_assert_eq!(want.edges(), got.edges());
+            prop_assert_eq!(want.components(), got.components());
+        }
+    }
+
+    fn fitted() -> (soulmate_corpus::Dataset, Pipeline) {
+        let d = generate(&GeneratorConfig {
+            n_authors: 20,
+            n_communities: 4,
+            n_concepts: 6,
+            entities_per_concept: 10,
+            mean_tweets_per_author: 30,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let p = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+        (d, p)
+    }
+
+    fn author_tweets(
+        d: &soulmate_corpus::Dataset,
+        author: u32,
+        take: usize,
+    ) -> Vec<(Timestamp, String)> {
+        d.tweets
+            .iter()
+            .filter(|t| t.author == author)
+            .take(take)
+            .map(|t| (t.timestamp, t.text.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_legacy_link_query_bit_for_bit() {
+        let (d, p) = fitted();
+        let model = p.query_model();
+        let engine = p.query_engine().unwrap();
+        assert_eq!(engine.n_authors(), p.n_authors());
+        for author in [0u32, 3, 7, 11] {
+            let tweets = author_tweets(&d, author, 8);
+            let legacy = link_query(&model, &tweets).unwrap();
+            let fast = engine.link_query(&tweets).unwrap();
+            assert_eq!(legacy.query_index, fast.query_index);
+            assert_eq!(legacy.similarities, fast.similarities, "author {author}");
+            assert_eq!(legacy.subgraph, fast.subgraph, "author {author}");
+            assert_eq!(legacy.subgraph_avg_weight, fast.subgraph_avg_weight);
+            assert_eq!(legacy.content_vector, fast.content_vector);
+            assert_eq!(legacy.concept_vector, fast.concept_vector);
+        }
+        // Cold start: a single tweet.
+        let t = d.tweets[0].clone();
+        let single = vec![(t.timestamp, t.text)];
+        let legacy = link_query(&model, &single).unwrap();
+        let fast = engine.link_query(&single).unwrap();
+        assert_eq!(legacy.similarities, fast.similarities);
+        assert_eq!(legacy.subgraph, fast.subgraph);
+    }
+
+    #[test]
+    fn engine_matches_legacy_on_degenerate_two_author_corpus() {
+        let d = generate(&GeneratorConfig {
+            n_authors: 2,
+            n_communities: 1,
+            n_concepts: 2,
+            entities_per_concept: 6,
+            mean_tweets_per_author: 15,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let p = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+        let engine = p.query_engine().unwrap();
+        let tweets = author_tweets(&d, 1, 5);
+        let legacy = p.link_query_author(&tweets).unwrap();
+        let fast = engine.link_query(&tweets).unwrap();
+        assert_eq!(legacy.similarities, fast.similarities);
+        assert_eq!(legacy.subgraph, fast.subgraph);
+        assert_eq!(legacy.subgraph_avg_weight, fast.subgraph_avg_weight);
+    }
+
+    #[test]
+    fn batched_queries_match_individual_answers() {
+        let (d, p) = fitted();
+        let engine = p.query_engine().unwrap();
+        let queries: Vec<Vec<(Timestamp, String)>> = vec![
+            author_tweets(&d, 1, 6),
+            author_tweets(&d, 5, 4),
+            author_tweets(&d, 9, 10),
+        ];
+        let batch = engine.link_query_authors(&queries).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (q, out) in queries.iter().zip(&batch) {
+            let single = engine.link_query(q).unwrap();
+            assert_eq!(single.similarities, out.similarities);
+            assert_eq!(single.subgraph, out.subgraph);
+            assert_eq!(single.subgraph_avg_weight, out.subgraph_avg_weight);
+        }
+        // Pipeline convenience wrapper agrees too.
+        let via_pipeline = p.link_query_authors(&queries).unwrap();
+        assert_eq!(via_pipeline.len(), 3);
+        assert_eq!(via_pipeline[0].subgraph, batch[0].subgraph);
+        // Empty batch is fine; an invalid member fails the whole batch.
+        assert!(engine.link_query_authors(&[]).unwrap().is_empty());
+        assert!(engine
+            .link_query_authors(&[author_tweets(&d, 1, 3), Vec::new()])
+            .is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_engine_matches_pipeline_engine() {
+        let (d, p) = fitted();
+        let snap = p.snapshot(&[]);
+        let mut path = std::env::temp_dir();
+        path.push(format!("soulmate-engine-test-{}.json", std::process::id()));
+        snap.save(&path).unwrap();
+        let loaded = PipelineSnapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let engine = loaded.query_engine().unwrap();
+        let tweets = author_tweets(&d, 4, 7);
+        let from_pipeline = p.query_engine().unwrap().link_query(&tweets).unwrap();
+        let from_snapshot = engine.link_query(&tweets).unwrap();
+        assert_eq!(from_pipeline.similarities, from_snapshot.similarities);
+        assert_eq!(from_pipeline.subgraph, from_snapshot.subgraph);
+        assert_eq!(
+            from_pipeline.subgraph_avg_weight,
+            from_snapshot.subgraph_avg_weight
+        );
+        // The snapshot batch wrapper serves too.
+        let batch = loaded.link_query_authors(&[tweets]).unwrap();
+        assert_eq!(batch[0].subgraph, from_snapshot.subgraph);
+    }
+}

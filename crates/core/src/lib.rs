@@ -13,8 +13,10 @@
 //!
 //! **Online phase** (Section 4.2): [`online`] inserts a (possibly
 //! cold-start) query author, updates the similarity matrices, and extracts
-//! the query author's subgraph with SW-MST; a rebuild [`online::Trigger`]
-//! schedules periodic offline refreshes.
+//! the query author's subgraph with SW-MST; [`engine::QueryEngine`] serves
+//! the same answers with the query-independent work (row normalization,
+//! graph sparsification, edge sorting) precomputed once per model; a
+//! rebuild [`online::Trigger`] schedules periodic offline refreshes.
 //!
 //! [`pipeline::Pipeline`] orchestrates the whole offline phase from a raw
 //! dataset.
@@ -27,6 +29,7 @@
 pub mod authorvec;
 pub mod baselines;
 pub mod concepts;
+pub mod engine;
 pub mod error;
 pub mod online;
 pub mod pipeline;
@@ -40,6 +43,7 @@ pub use baselines::{author_similarity, Method};
 pub use concepts::{
     discover_concepts, discover_concepts_weighted, ConceptConfig, ConceptModel, ConceptSpace,
 };
+pub use engine::{CachedCut, QueryEngine};
 pub use error::CoreError;
 pub use online::{link_query, QueryModel, QueryOutcome, Trigger};
 pub use pipeline::{Pipeline, PipelineConfig};

@@ -10,11 +10,13 @@
 
 use crate::error::CoreError;
 use crate::pipeline::Pipeline;
+use crate::similarity::center_rows;
 use crate::tweetvec::{tweet_vector, Combiner};
 use soulmate_corpus::Timestamp;
 use soulmate_embedding::Embedding;
 use soulmate_graph::{swmst, WeightedGraph};
-use soulmate_linalg::{cosine, euclidean, Matrix};
+use soulmate_linalg::kernels::NormalizedRows;
+use soulmate_linalg::{dot, euclidean, l2_norm, scale, Matrix};
 use soulmate_text::{tokenize, TokenizerConfig, Vocabulary};
 
 /// Result of linking a query author.
@@ -71,16 +73,44 @@ pub struct QueryModel<'a> {
     pub graph_top_k: usize,
 }
 
-/// Include a query author against a [`QueryModel`] and extract their
-/// subgraph (Problems 2 & 3, online side).
+/// The query author's raw and similarity-ready vectors, shared between the
+/// legacy [`link_query`] path and the amortized
+/// [`crate::engine::QueryEngine`] so both compute the exact same
+/// similarity row (bit for bit) from the same tweets.
+#[derive(Debug, Clone)]
+pub(crate) struct QueryVectors {
+    /// Raw content vector (average tweet vector).
+    pub content: Vec<f32>,
+    /// Raw concept vector (average centroid-distance profile, Eq 15).
+    pub concept: Vec<f32>,
+    /// `content` scaled to unit L2 norm (all-zero when degenerate) — the
+    /// query-side counterpart of [`NormalizedRows`].
+    pub content_unit: Vec<f32>,
+    /// `concept` centered by the offline population means, then
+    /// unit-scaled.
+    pub concept_centered_unit: Vec<f32>,
+}
+
+/// Scale to unit L2 norm exactly like [`NormalizedRows::from_matrix`] does
+/// (zero/degenerate rows stay untouched).
+fn unit_scaled(mut v: Vec<f32>) -> Vec<f32> {
+    let n = l2_norm(&v);
+    if n > 0.0 {
+        scale(&mut v, 1.0 / n);
+    }
+    v
+}
+
+/// Tokenize, encode, and vectorize a query author's tweets against the
+/// offline model (Section 4.2.1).
 ///
 /// # Errors
-/// [`CoreError::Invalid`] when no tweet yields any in-vocabulary token
-/// (the author cannot be represented at all).
-pub fn link_query(
+/// [`CoreError::Invalid`] when the tweet list is empty or no tweet yields
+/// any in-vocabulary token.
+pub(crate) fn vectorize_query(
     model: &QueryModel<'_>,
     tweets: &[(Timestamp, String)],
-) -> Result<QueryOutcome, CoreError> {
+) -> Result<QueryVectors, CoreError> {
     if tweets.is_empty() {
         return Err(CoreError::Invalid("query author has no tweets".into()));
     }
@@ -106,7 +136,7 @@ pub fn link_query(
         .map(|d| tweet_vector(d, model.collective, model.tweet_combiner))
         .collect();
     let dim = model.collective.dim();
-    let content_vector = Combiner::Avg.combine(tvecs.iter().map(Vec::as_slice), dim);
+    let content = Combiner::Avg.combine(tvecs.iter().map(Vec::as_slice), dim);
 
     // Concept vector: average distance profile to the centroids (Eq 15).
     let concept_dim = model.centroids.len();
@@ -114,26 +144,75 @@ pub fn link_query(
         .iter()
         .map(|tv| model.centroids.iter().map(|c| euclidean(tv, c)).collect())
         .collect();
-    let concept_vector = Combiner::Avg.combine(concept_rows.iter().map(Vec::as_slice), concept_dim);
+    let concept = Combiner::Avg.combine(concept_rows.iter().map(Vec::as_slice), concept_dim);
 
-    // Similarity of the query author to every existing author, fused per
-    // Eq 17. Concept profiles are centered by the offline population means
-    // (matching `concept_similarity_matrix`).
+    // Concept profiles are centered by the offline population means before
+    // cosine (matching `concept_similarity_matrix`).
+    let mut concept_centered = concept.clone();
+    soulmate_linalg::sub_assign(&mut concept_centered, model.concept_means);
+
+    let content_unit = unit_scaled(content.clone());
+    let concept_centered_unit = unit_scaled(concept_centered);
+    Ok(QueryVectors {
+        content,
+        concept,
+        content_unit,
+        concept_centered_unit,
+    })
+}
+
+/// Fuse per-author unit-row dot products into the query's similarity row
+/// (Eq 17): clamp to the cosine range, z-score by the offline off-diagonal
+/// stats, then α-blend. Both the legacy path and the engine feed their
+/// dots through this one function so the outputs agree bit for bit.
+pub(crate) fn fused_row_from_dots(
+    model: &QueryModel<'_>,
+    content_dots: &[f32],
+    concept_dots: &[f32],
+) -> Vec<f32> {
+    content_dots
+        .iter()
+        .zip(concept_dots)
+        .map(|(&ct, &cc)| {
+            let s_content = (ct.clamp(-1.0, 1.0) - model.content_stats.0) / model.content_stats.1;
+            let s_concept = (cc.clamp(-1.0, 1.0) - model.concept_stats.0) / model.concept_stats.1;
+            model.alpha * s_concept + (1.0 - model.alpha) * s_content
+        })
+        .collect()
+}
+
+/// Include a query author against a [`QueryModel`] and extract their
+/// subgraph (Problems 2 & 3, online side).
+///
+/// This is the straightforward reference implementation: it re-normalizes
+/// the author matrices, clones the full `X^Total`, and re-runs the graph
+/// cut from scratch on every call. [`crate::engine::QueryEngine`] serves
+/// the same answers with all of that amortized into a one-time build.
+///
+/// # Errors
+/// [`CoreError::Invalid`] when no tweet yields any in-vocabulary token
+/// (the author cannot be represented at all).
+pub fn link_query(
+    model: &QueryModel<'_>,
+    tweets: &[(Timestamp, String)],
+) -> Result<QueryOutcome, CoreError> {
+    let q = vectorize_query(model, tweets)?;
+
+    // Similarity of the query author to every existing author: one cached
+    // unit-row dot per matrix (the cosine), fused per Eq 17.
     let n = model.author_content.rows();
-    let mut centered_query = concept_vector.clone();
-    soulmate_linalg::sub_assign(&mut centered_query, model.concept_means);
-    let mut centered_author = vec![0.0f32; model.concept_means.len()];
-    let mut similarities = Vec::with_capacity(n);
-    for a in 0..n {
-        let s_content = (cosine(&content_vector, model.author_content.row(a))
-            - model.content_stats.0)
-            / model.content_stats.1;
-        centered_author.copy_from_slice(model.author_concept.row(a));
-        soulmate_linalg::sub_assign(&mut centered_author, model.concept_means);
-        let s_concept = (cosine(&centered_query, &centered_author) - model.concept_stats.0)
-            / model.concept_stats.1;
-        similarities.push(model.alpha * s_concept + (1.0 - model.alpha) * s_content);
-    }
+    let content_rows = NormalizedRows::from_matrix(model.author_content);
+    let concept_rows =
+        NormalizedRows::from_matrix(&center_rows(model.author_concept, model.concept_means));
+    let content_dots: Vec<f32> = (0..n)
+        .map(|a| dot(&q.content_unit, content_rows.unit_row(a)))
+        .collect();
+    let concept_dots: Vec<f32> = (0..n)
+        .map(|a| dot(&q.concept_centered_unit, concept_rows.unit_row(a)))
+        .collect();
+    let similarities = fused_row_from_dots(model, &content_dots, &concept_dots);
+    let content_vector = q.content;
+    let concept_vector = q.concept;
 
     // Extend X^Total with the query row/column and cut the graph.
     let mut extended: Vec<Vec<f32>> = model
@@ -228,19 +307,24 @@ impl Trigger {
     }
 
     /// Record `n` newly arrived tweets; returns `true` when a rebuild is
-    /// due (and resets the counter).
+    /// due.
+    ///
+    /// A batch can span several intervals: every completed interval counts
+    /// as a firing, and the overshoot carries over as the new pending
+    /// count (it is *not* discarded — a burst of `2·interval` tweets must
+    /// not silently lose the second interval's worth of arrivals).
     pub fn notify(&mut self, n: usize) -> bool {
         if self.interval == 0 {
             return false;
         }
         self.pending += n;
-        if self.pending >= self.interval {
-            self.pending = 0;
-            self.fired += 1;
-            true
-        } else {
-            false
+        let fires = self.pending / self.interval;
+        if fires == 0 {
+            return false;
         }
+        self.pending %= self.interval;
+        self.fired += fires;
+        true
     }
 
     /// Tweets accumulated since the last firing.
@@ -338,8 +422,58 @@ mod tests {
         assert!(t.notify(1));
         assert_eq!(t.pending(), 0);
         assert_eq!(t.times_fired(), 1);
+        // A burst spanning several intervals fires once per interval and
+        // carries the overshoot instead of discarding it.
         assert!(t.notify(25));
+        assert_eq!(t.times_fired(), 3);
+        assert_eq!(t.pending(), 5);
+        assert!(t.notify(5));
+        assert_eq!(t.times_fired(), 4);
+        assert_eq!(t.pending(), 0);
+    }
+
+    #[test]
+    fn trigger_overshoot_carries_across_batches() {
+        let mut t = Trigger::new(4);
+        assert!(t.notify(7)); // 1 fire, 3 pending
+        assert_eq!(t.times_fired(), 1);
+        assert_eq!(t.pending(), 3);
+        assert!(t.notify(1)); // the carried 3 + 1 completes the interval
         assert_eq!(t.times_fired(), 2);
+        assert_eq!(t.pending(), 0);
+    }
+
+    #[test]
+    fn all_oov_author_does_not_panic_the_serving_path() {
+        // Author 0's entire history tokenizes to nothing (URLs and
+        // stopwords only), so their content row is all-zero. The zero-norm
+        // cosine convention (0.0, never NaN) plus the total-order graph
+        // sorts must carry that author through fit and link without a
+        // panic.
+        let d = generate(&GeneratorConfig {
+            n_authors: 12,
+            n_communities: 3,
+            n_concepts: 4,
+            entities_per_concept: 8,
+            mean_tweets_per_author: 20,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let mut d = d;
+        for t in d.tweets.iter_mut().filter(|t| t.author == 0) {
+            t.text = "https://example.com/x the and of".to_string();
+        }
+        let p = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+        let tweets: Vec<(Timestamp, String)> = d
+            .tweets
+            .iter()
+            .filter(|t| t.author == 1)
+            .take(6)
+            .map(|t| (t.timestamp, t.text.clone()))
+            .collect();
+        let out = p.link_query_author(&tweets).unwrap();
+        assert!(out.similarities.iter().all(|s| s.is_finite()));
+        assert!(!out.subgraph.is_empty());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use soulmate_embedding::Embedding;
 use soulmate_linalg::Matrix;
 use soulmate_text::{TokenizerConfig, Vocabulary};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// Serializable `Combiner` mirror (the tweet combiner is the only enum
@@ -138,15 +138,43 @@ impl PipelineSnapshot {
         self.author_content.rows()
     }
 
-    /// Write the snapshot as JSON.
+    /// Write the snapshot as JSON, atomically: the bytes go to a
+    /// temporary file in the target directory, are flushed to the end
+    /// (buffered-writer errors are *propagated*, not swallowed by a
+    /// drop), and the temporary is renamed over `path` only on success —
+    /// a crash or a full disk never leaves a truncated snapshot behind.
     ///
     /// # Errors
-    /// [`CoreError::Invalid`] wraps I/O and serialization failures.
+    /// [`CoreError::Invalid`] wraps I/O and serialization failures; the
+    /// temporary file is removed on any failure.
     pub fn save(&self, path: &Path) -> Result<(), CoreError> {
-        let file = File::create(path)
-            .map_err(|e| CoreError::Invalid(format!("cannot create {}: {e}", path.display())))?;
-        serde_json::to_writer(BufWriter::new(file), self)
-            .map_err(|e| CoreError::Invalid(format!("snapshot serialization failed: {e}")))
+        let file_name = path.file_name().ok_or_else(|| {
+            CoreError::Invalid(format!("snapshot path {} has no file name", path.display()))
+        })?;
+        let mut tmp = path.to_path_buf();
+        tmp.set_file_name(format!(
+            ".{}.tmp-{}",
+            file_name.to_string_lossy(),
+            std::process::id()
+        ));
+        let write = || -> Result<(), CoreError> {
+            let file = File::create(&tmp)
+                .map_err(|e| CoreError::Invalid(format!("cannot create {}: {e}", tmp.display())))?;
+            let mut writer = BufWriter::new(file);
+            serde_json::to_writer(&mut writer, self)
+                .map_err(|e| CoreError::Invalid(format!("snapshot serialization failed: {e}")))?;
+            writer
+                .flush()
+                .map_err(|e| CoreError::Invalid(format!("snapshot write failed: {e}")))?;
+            std::fs::rename(&tmp, path).map_err(|e| {
+                CoreError::Invalid(format!("cannot move snapshot into {}: {e}", path.display()))
+            })
+        };
+        let result = write();
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
     }
 
     /// Read a snapshot saved by [`PipelineSnapshot::save`].
@@ -317,6 +345,43 @@ mod tests {
         let from_snapshot = loaded.link_query_author(&tweets).unwrap();
         assert_eq!(from_pipeline.subgraph, from_snapshot.subgraph);
         assert_eq!(from_pipeline.similarities, from_snapshot.similarities);
+    }
+
+    #[test]
+    fn save_into_missing_directory_errors_and_leaves_no_temp() {
+        let (_, p) = fitted();
+        let snap = p.snapshot(&[]);
+        let dir = tmp("no-such-dir");
+        let target = dir.join("snap.json");
+        let err = snap.save(&target);
+        assert!(err.is_err(), "save into a missing directory must fail");
+        assert!(!target.exists());
+        // A bare file name with no parent is also rejected cleanly
+        // (root path has no file name).
+        assert!(snap.save(Path::new("/")).is_err());
+    }
+
+    #[test]
+    fn save_onto_directory_errors_and_cleans_up_temp() {
+        let (_, p) = fitted();
+        let snap = p.snapshot(&[]);
+        let dir = tmp("is-a-directory");
+        std::fs::create_dir_all(&dir).unwrap();
+        // The rename step fails; the temp file written next to the target
+        // must be cleaned up.
+        assert!(snap.save(&dir).is_err());
+        let parent = dir.parent().unwrap();
+        let strays: Vec<_> = std::fs::read_dir(parent)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("is-a-directory") && n.contains(".tmp-"))
+            .collect();
+        assert!(
+            strays.is_empty(),
+            "stray temp files left behind: {strays:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -90,7 +90,11 @@ impl WeightedGraph {
             // Top-k lifeline rule.
             if top_k > 0 && n > 1 {
                 let mut neighbours: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-                neighbours.sort_by(|&a, &b| sim[i][b].partial_cmp(&sim[i][a]).unwrap());
+                // Stable sort, total order: ties keep ascending index, and
+                // a NaN similarity (all-OOV author) ranks instead of
+                // panicking — the finite-weight filter below still keeps
+                // NaN edges out of the graph.
+                neighbours.sort_by(|&a, &b| sim[i][b].total_cmp(&sim[i][a]));
                 for &j in neighbours.iter().take(top_k) {
                     let (a, b) = (i.min(j), i.max(j));
                     keep[a * n + b] = true;
@@ -197,6 +201,21 @@ mod tests {
         g.add_edge(0, 1, 1.0).unwrap();
         g.add_edge(1, 2, 3.0).unwrap();
         assert_eq!(g.avg_weight(), 2.0);
+    }
+
+    #[test]
+    fn from_similarity_tolerates_nan_rows() {
+        // An author with no usable content can produce a NaN similarity
+        // row; the top-k sort must not panic and NaN edges must be dropped.
+        let sim = vec![
+            vec![1.0, f32::NAN, 0.4],
+            vec![f32::NAN, 1.0, f32::NAN],
+            vec![0.4, f32::NAN, 1.0],
+        ];
+        let g = WeightedGraph::from_similarity(&sim, f32::NEG_INFINITY, 2).unwrap();
+        assert!(g.edges().iter().all(|e| e.w.is_finite()));
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.edges()[0], Edge { u: 0, v: 2, w: 0.4 });
     }
 
     #[test]

@@ -5,19 +5,16 @@
 
 use crate::forest::SpanningForest;
 use crate::graph::{Edge, WeightedGraph};
+use crate::swmst::stack_pop_order;
 use crate::unionfind::UnionFind;
 
-/// Kruskal's algorithm with weights maximized: sort edges descending, add
-/// each edge that joins two distinct components.
+/// Kruskal's algorithm with weights maximized: sort edges descending (the
+/// same total [`stack_pop_order`] SW-MST pops in, so NaN weights sort
+/// instead of panicking), add each edge that joins two distinct components.
 pub fn kruskal_max_forest(graph: &WeightedGraph) -> SpanningForest {
     let n = graph.n_nodes();
     let mut edges: Vec<Edge> = graph.edges().to_vec();
-    edges.sort_by(|a, b| {
-        b.w.partial_cmp(&a.w)
-            .unwrap()
-            .then(a.u.cmp(&b.u))
-            .then(a.v.cmp(&b.v))
-    });
+    edges.sort_by(stack_pop_order);
     let mut uf = UnionFind::new(n);
     let mut selected = Vec::with_capacity(n.saturating_sub(1));
     for e in edges {

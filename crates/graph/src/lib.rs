@@ -8,6 +8,9 @@
 //!   stack in ascending weight order, popped (descending) and accumulated
 //!   until every node is covered; the resulting forest's connected
 //!   components are the linked-author subgraphs;
+//! * [`swmst_from_sorted`] — the pop loop alone, for callers that keep an
+//!   edge list already in [`stack_pop_order`] (the online query engine
+//!   merges per-query edges into a cached sorted base list);
 //! * [`kruskal_max_forest`] — the classical maximum-spanning-forest
 //!   reference (used to cross-check SW-MST and in the ablation bench);
 //! * [`SpanningForest`] — shared result type with component extraction and
@@ -29,5 +32,5 @@ pub use error::GraphError;
 pub use forest::SpanningForest;
 pub use graph::{Edge, WeightedGraph};
 pub use kruskal::kruskal_max_forest;
-pub use swmst::swmst;
+pub use swmst::{stack_pop_order, swmst, swmst_from_sorted, swmst_literal};
 pub use unionfind::UnionFind;

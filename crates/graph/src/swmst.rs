@@ -24,42 +24,44 @@
 use crate::forest::SpanningForest;
 use crate::graph::{Edge, WeightedGraph};
 use crate::unionfind::UnionFind;
+use std::cmp::Ordering;
 
-/// Run SW-MST on `graph`; returns the spanning forest `G'`.
+/// The order in which Algorithm 1 pops edges off its stack: weight
+/// descending, ties broken by `(u, v)` ascending so results are
+/// deterministic. Weights compare by [`f32::total_cmp`], so a NaN weight
+/// (possible when a caller builds [`Edge`] values directly from unchecked
+/// similarity data) sorts instead of panicking: positive NaN ranks above
+/// every finite weight, negative NaN below.
 ///
-/// Ties in edge weight are broken by `(u, v)` order so results are
-/// deterministic.
-///
-/// # Examples
-/// ```
-/// use soulmate_graph::{swmst, WeightedGraph};
-///
-/// // Two tight pairs and a weak bridge: the cut keeps the pairs apart.
-/// let mut g = WeightedGraph::new(4);
-/// g.add_edge(0, 1, 0.9).unwrap();
-/// g.add_edge(2, 3, 0.8).unwrap();
-/// g.add_edge(1, 2, 0.1).unwrap();
-/// let forest = swmst(&g);
-/// assert_eq!(forest.components(), vec![vec![0, 1], vec![2, 3]]);
-/// ```
-pub fn swmst(graph: &WeightedGraph) -> SpanningForest {
-    let n = graph.n_nodes();
-    // Stack in ascending order → iterate from the top (descending).
-    let mut stack: Vec<Edge> = graph.edges().to_vec();
-    stack.sort_by(|a, b| {
-        a.w.partial_cmp(&b.w)
-            .unwrap()
-            .then(b.u.cmp(&a.u))
-            .then(b.v.cmp(&a.v))
-    });
+/// A slice sorted by this comparator can be fed straight to
+/// [`swmst_from_sorted`].
+pub fn stack_pop_order(a: &Edge, b: &Edge) -> Ordering {
+    b.w.total_cmp(&a.w).then(a.u.cmp(&b.u)).then(a.v.cmp(&b.v))
+}
 
+/// SW-MST over edges already in [`stack_pop_order`] (strongest first): the
+/// pop loop of Algorithm 1 without the O(E log E) sort.
+///
+/// This is the entry point for callers that keep a sorted edge list alive
+/// across many runs — the online `QueryEngine` merges a query's few edges
+/// into its cached sorted base list and cuts in O(E) instead of re-sorting
+/// the whole graph per query. The iterator is consumed lazily, so early
+/// termination (full node coverage) skips the weak tail entirely.
+///
+/// Feeding edges out of order silently produces a different (non-SW-MST)
+/// forest; order is the caller's contract.
+pub fn swmst_from_sorted<I>(n: usize, edges: I) -> SpanningForest
+where
+    I: IntoIterator<Item = Edge>,
+{
+    let mut edges = edges.into_iter();
     let mut covered = vec![false; n];
     let mut n_covered = 0usize;
     let mut uf = UnionFind::new(n);
     let mut selected = Vec::new();
 
     while n_covered < n {
-        let Some(edge) = stack.pop() else {
+        let Some(edge) = edges.next() else {
             break; // isolated nodes remain — singleton subgraphs
         };
         let new_u = !covered[edge.u];
@@ -82,23 +84,42 @@ pub fn swmst(graph: &WeightedGraph) -> SpanningForest {
     SpanningForest::new(n, selected)
 }
 
+/// Run SW-MST on `graph`; returns the spanning forest `G'`.
+///
+/// Ties in edge weight are broken by `(u, v)` order so results are
+/// deterministic.
+///
+/// # Examples
+/// ```
+/// use soulmate_graph::{swmst, WeightedGraph};
+///
+/// // Two tight pairs and a weak bridge: the cut keeps the pairs apart.
+/// let mut g = WeightedGraph::new(4);
+/// g.add_edge(0, 1, 0.9).unwrap();
+/// g.add_edge(2, 3, 0.8).unwrap();
+/// g.add_edge(1, 2, 0.1).unwrap();
+/// let forest = swmst(&g);
+/// assert_eq!(forest.components(), vec![vec![0, 1], vec![2, 3]]);
+/// ```
+pub fn swmst(graph: &WeightedGraph) -> SpanningForest {
+    let mut edges: Vec<Edge> = graph.edges().to_vec();
+    edges.sort_by(stack_pop_order);
+    swmst_from_sorted(graph.n_nodes(), edges)
+}
+
 /// The literal Algorithm 1: every popped edge is appended to `L'` (no
 /// cycle check), stopping once all nodes are covered. `G'` may then contain
 /// cycles; exposed for the fidelity comparison in the ablation bench.
 pub fn swmst_literal(graph: &WeightedGraph) -> SpanningForest {
     let n = graph.n_nodes();
-    let mut stack: Vec<Edge> = graph.edges().to_vec();
-    stack.sort_by(|a, b| {
-        a.w.partial_cmp(&b.w)
-            .unwrap()
-            .then(b.u.cmp(&a.u))
-            .then(b.v.cmp(&a.v))
-    });
+    let mut edges: Vec<Edge> = graph.edges().to_vec();
+    edges.sort_by(stack_pop_order);
     let mut covered = vec![false; n];
     let mut n_covered = 0usize;
     let mut selected = Vec::new();
+    let mut popped = edges.into_iter();
     while n_covered < n {
-        let Some(edge) = stack.pop() else { break };
+        let Some(edge) = popped.next() else { break };
         selected.push(edge);
         for node in [edge.u, edge.v] {
             if !covered[node] {
@@ -218,6 +239,55 @@ mod tests {
             }
             assert!(a.components().len() >= b.components().len());
         }
+    }
+
+    #[test]
+    fn from_sorted_matches_swmst_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..14);
+            let mut g = WeightedGraph::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.6) {
+                        g.add_edge(i, j, rng.gen_range(0.0..1.0)).unwrap();
+                    }
+                }
+            }
+            let mut sorted = g.edges().to_vec();
+            sorted.sort_by(stack_pop_order);
+            let a = swmst(&g);
+            let b = swmst_from_sorted(n, sorted);
+            assert_eq!(a.edges(), b.edges());
+        }
+    }
+
+    #[test]
+    fn from_sorted_handles_empty_and_nodeless_inputs() {
+        let f = swmst_from_sorted(3, Vec::new());
+        assert_eq!(f.components().len(), 3);
+        let f = swmst_from_sorted(0, Vec::new());
+        assert!(f.components().is_empty());
+    }
+
+    #[test]
+    fn stack_pop_order_tolerates_nan_weights() {
+        // Edges built directly (bypassing add_edge validation) may carry
+        // NaN; the total order must sort them instead of panicking, with
+        // positive NaN strongest.
+        let mut edges = vec![
+            Edge { u: 0, v: 1, w: 0.5 },
+            Edge {
+                u: 1,
+                v: 2,
+                w: f32::NAN,
+            },
+            Edge { u: 2, v: 3, w: 0.9 },
+        ];
+        edges.sort_by(stack_pop_order);
+        assert!(edges[0].w.is_nan());
+        assert_eq!(edges[1].w, 0.9);
+        assert_eq!(edges[2].w, 0.5);
     }
 
     proptest! {

@@ -71,18 +71,20 @@ pub fn l2_norm(a: &[f32]) -> f32 {
 
 /// Cosine similarity between two vectors (Eq. 5 of the paper).
 ///
-/// Returns `0.0` when either vector is all-zero, which is the conventional
-/// "no information" value for empty contexts.
+/// Returns `0.0` when either vector has no direction to compare — all-zero
+/// inputs, but also subnormal-norm vectors whose norm *product* underflows
+/// to zero (`na > 0 && nb > 0` does not imply `na * nb > 0` in `f32`; the
+/// old per-operand guard let such pairs through and produced `0/0 = NaN`,
+/// which then panicked downstream `partial_cmp` sorts).
 #[inline]
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    let na = l2_norm(a);
-    let nb = l2_norm(b);
-    if na == 0.0 || nb == 0.0 {
+    let denom = l2_norm(a) * l2_norm(b);
+    if denom == 0.0 {
         return 0.0;
     }
     // Clamp to the valid range: accumulated f32 error can push the ratio
     // a hair past ±1, which breaks downstream `acos`/threshold logic.
-    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    (dot(a, b) / denom).clamp(-1.0, 1.0)
 }
 
 /// Euclidean distance between two vectors (Eq. 14 of the paper).
@@ -235,6 +237,21 @@ mod tests {
         let v = [1.0, 2.0];
         let w = [-1.0, -2.0];
         assert!((cosine(&v, &w) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_and_subnormal_norms_never_yield_nan() {
+        // The guard must act on the norm *product*: magnitudes so small
+        // that every intermediate underflows to subnormals (or to zero)
+        // have no usable direction and must report 0.0, never 0/0 = NaN.
+        let tiny = [1.0e-30f32, 0.0];
+        let other = [1.0e-30f32, 1.0e-30];
+        assert_eq!(cosine(&tiny, &other), 0.0);
+        assert_eq!(cosine(&tiny, &tiny), 0.0);
+        // Smallest vectors whose norm survives: still finite output.
+        let edge = [3.0e-23f32, 3.0e-23];
+        assert!(cosine(&edge, &edge).is_finite());
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use soulmate_text as text;
 pub mod prelude {
     pub use soulmate_core::{
         AuthorCombiner, Combiner, ConceptConfig, ConceptModel, Method, Pipeline, PipelineConfig,
-        TcbowConfig, TemporalEmbedding, Trigger,
+        PipelineSnapshot, QueryEngine, TcbowConfig, TemporalEmbedding, Trigger,
     };
     pub use soulmate_corpus::{generate, Dataset, GeneratorConfig, Timestamp};
     pub use soulmate_embedding::{CbowConfig, Embedding};
