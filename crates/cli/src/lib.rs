@@ -38,11 +38,19 @@ const USAGE: &str = "soulmate — short-text author linking (SoulMate reproducti
 USAGE:
   soulmate generate  --out <data.json> [--authors N] [--tweets N] [--concepts N] [--seed N]
   soulmate fit       --data <data.json> --out <model.json> [--dim N] [--epochs N] [--alpha X]
+                     [--metrics <metrics.json>]
   soulmate subgraphs --model <model.json> [--top N]
   soulmate link      --model <model.json> --tweets <tweets.txt> [--multi]
+                     [--metrics <metrics.json>] [--stats]
   soulmate slabs     --data <data.json> [--threshold X]
   soulmate eval      --data <data.json> [--dim N] [--epochs N] [--k N]
   soulmate experiment <id> [--authors N] [--tweets N] [--seed N] [--dim N] [--epochs N]
+  soulmate stats     [--json]
+
+`--metrics <path>` dumps the process metrics registry (stage timings,
+query latency histograms, kernel block counters) as JSON after the
+command finishes; `fit --stats` / `link --stats` and the `stats` command
+print the same registry as a table (stats: `--json` for JSON).
 
 The tweets file for `link` holds one tweet per line; an optional leading
 `<minute-of-year><TAB>` sets the timestamp (defaults to minute 0). With
@@ -68,6 +76,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "link" => cmd_link(&flags, out),
         "slabs" => cmd_slabs(&flags, out),
         "eval" => cmd_eval(&flags, out),
+        "stats" => cmd_stats(&flags, out),
         "experiment" => cmd_experiment(args.get(1), &args[1.min(args.len())..], out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").ok();
@@ -138,7 +147,7 @@ fn cmd_fit<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
         model_path.display()
     )
     .ok();
-    Ok(())
+    emit_metrics(flags, out)
 }
 
 fn cmd_subgraphs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
@@ -200,7 +209,7 @@ fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
             )
             .ok();
         }
-        return Ok(());
+        return emit_metrics(flags, out);
     }
 
     let tweets = read_tweets_file(&tweets_path)?;
@@ -228,7 +237,7 @@ fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
         .map(|&a| model.author_handles[a].as_str())
         .collect();
     writeln!(out, "linked with: {}", mates.join(", ")).ok();
-    Ok(())
+    emit_metrics(flags, out)
 }
 
 fn cmd_slabs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
@@ -298,6 +307,36 @@ fn cmd_experiment<W: Write>(
         .ok_or_else(|| CliError::Usage(format!("unknown experiment id `{id}`")))?;
     let args = ExpArgs::parse(rest.iter().skip(1).cloned());
     write!(out, "{}", runner(&args)).ok();
+    Ok(())
+}
+
+/// Print the process metrics registry (table by default, `--json` for the
+/// machine-readable export).
+fn cmd_stats<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    let obs = soulmate_obs::global();
+    if flags.has("json") {
+        writeln!(out, "{}", obs.to_json()).ok();
+    } else {
+        write!(out, "{}", obs.render_table()).ok();
+    }
+    Ok(())
+}
+
+/// Honour the shared observability flags after a command ran:
+/// `--metrics <path>` dumps the registry JSON (atomically), `--stats`
+/// appends the human-readable table to the command output.
+fn emit_metrics<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    let obs = soulmate_obs::global();
+    if let Some(path) = flags.get("metrics") {
+        let path = Path::new(path);
+        obs.write_json_atomic(path).map_err(|e| {
+            CliError::Failed(format!("cannot write metrics to {}: {e}", path.display()))
+        })?;
+        writeln!(out, "metrics written to {}", path.display()).ok();
+    }
+    if flags.has("stats") {
+        write!(out, "{}", obs.render_table()).ok();
+    }
     Ok(())
 }
 
@@ -380,6 +419,37 @@ mod tests {
         Ok(String::from_utf8(buf).expect("utf8 output"))
     }
 
+    /// Structural JSON sanity: starts/ends as an object and every brace
+    /// and bracket outside string literals balances.
+    fn assert_balanced_json(body: &str) {
+        let trimmed = body.trim();
+        assert!(
+            trimmed.starts_with('{') && trimmed.ends_with('}'),
+            "not a JSON object: {body}"
+        );
+        let (mut depth, mut in_string, mut escaped) = (0i64, false, false);
+        for c in trimmed.chars() {
+            if in_string {
+                match (escaped, c) {
+                    (true, _) => escaped = false,
+                    (false, '\\') => escaped = true,
+                    (false, '"') => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close in: {body}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {body}");
+        assert!(!in_string, "unterminated string in: {body}");
+    }
+
     #[test]
     fn no_args_prints_usage_error() {
         assert!(matches!(run_to_string(&[]), Err(CliError::Usage(_))));
@@ -405,6 +475,7 @@ mod tests {
         let data = tmp("wf-data.json");
         let model = tmp("wf-model.json");
         let tweets = tmp("wf-tweets.txt");
+        let metrics = tmp("wf-metrics.json");
 
         let out = run_to_string(&[
             "generate",
@@ -430,9 +501,22 @@ mod tests {
             "10",
             "--epochs",
             "2",
+            "--metrics",
+            metrics.to_str().unwrap(),
         ])
         .unwrap();
         assert!(out.contains("fitted in"), "got: {out}");
+        assert!(out.contains("metrics written to"), "got: {out}");
+        // The dump is structurally sound JSON (the obs crate proptests
+        // full validity) and holds the per-stage fit timings.
+        let body = std::fs::read_to_string(&metrics).unwrap();
+        assert_balanced_json(&body);
+        assert!(
+            body.contains("\"stage.fit.seconds\""),
+            "missing fit stage timing in: {body}"
+        );
+        assert!(body.contains("\"stage.fit.tcbow.seconds\""));
+        assert!(body.contains("\"fit.runs\""));
 
         let out = run_to_string(&[
             "subgraphs",
@@ -460,10 +544,32 @@ mod tests {
             model.to_str().unwrap(),
             "--tweets",
             tweets.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--stats",
         ])
         .unwrap();
         assert!(out.contains("query author joined"), "got: {out}");
         assert!(out.contains("most similar authors"));
+        // The serving path recorded its per-query latency histogram and
+        // the appended table renders it.
+        let body = std::fs::read_to_string(&metrics).unwrap();
+        assert_balanced_json(&body);
+        assert!(
+            body.contains("\"engine.query.seconds\""),
+            "missing query latency in: {body}"
+        );
+        assert!(body.contains("\"engine.build.seconds\""));
+        assert!(body.contains("\"snapshot.load.seconds\""));
+        assert!(body.contains("\"engine.queries\""));
+        assert!(out.contains("engine.query.seconds"), "got: {out}");
+
+        // The standalone stats command renders the same registry.
+        let out = run_to_string(&["stats"]).unwrap();
+        assert!(out.contains("engine.queries"), "got: {out}");
+        let out = run_to_string(&["stats", "--json"]).unwrap();
+        assert_balanced_json(&out);
+        assert!(out.contains("\"histograms\""));
 
         // Batched serving: two query authors separated by a blank line.
         let group_a: Vec<String> = dataset
@@ -499,7 +605,7 @@ mod tests {
         let out = run_to_string(&["slabs", "--data", data.to_str().unwrap()]).unwrap();
         assert!(out.contains("day slabs @"));
 
-        for p in [&data, &model, &tweets] {
+        for p in [&data, &model, &tweets, &metrics] {
             std::fs::remove_file(p).ok();
         }
     }

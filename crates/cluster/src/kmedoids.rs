@@ -59,7 +59,7 @@ pub fn kmedoids(
         .min_by(|&a, &b| {
             let ca: f32 = (0..n).map(|j| dist.get(a, j)).sum();
             let cb: f32 = (0..n).map(|j| dist.get(b, j)).sum();
-            ca.partial_cmp(&cb).unwrap()
+            ca.total_cmp(&cb)
         })
         .expect("n > 0");
     medoids.push(first);
@@ -158,7 +158,7 @@ fn assign(dist: &DistanceMatrix, medoids: &[usize]) -> Vec<usize> {
             medoids
                 .iter()
                 .enumerate()
-                .min_by(|(_, &a), (_, &b)| dist.get(i, a).partial_cmp(&dist.get(i, b)).unwrap())
+                .min_by(|(_, &a), (_, &b)| dist.get(i, a).total_cmp(&dist.get(i, b)))
                 .map(|(c, _)| c)
                 .expect("at least one medoid")
         })
@@ -326,5 +326,20 @@ mod tests {
                 .sum();
             prop_assert!((recomputed - r.cost).abs() < 1e-3);
         }
+    }
+    #[test]
+    fn nan_distances_do_not_panic() {
+        // A NaN coordinate poisons a full row/column of the distance
+        // matrix; BUILD, SWAP and assignment all sort through it.
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+            vec![f32::NAN, 0.0],
+        ];
+        let m = pairwise(&pts, &EuclideanDistance);
+        let r = kmedoids(&m, 2, 50).unwrap();
+        assert_eq!(r.labels.len(), pts.len());
     }
 }

@@ -159,25 +159,30 @@ pub fn discover_concepts_weighted(
         indices.truncate(config.max_sample);
         indices.sort_unstable();
     }
+    let obs = soulmate_obs::global();
     let points: Vec<&[f32]> = indices.iter().map(|&i| tweet_vecs.row(i)).collect();
-    let dist = pairwise(&points, &EuclideanDistance);
+    let dist = obs.time("concepts.pairwise.seconds", || {
+        pairwise(&points, &EuclideanDistance)
+    });
 
-    let (labels, n_clusters) = match config.model {
+    let (labels, n_clusters) = obs.time("concepts.cluster.seconds", || match config.model {
         ConceptModel::KMedoids { k } => {
             let r = kmedoids(&dist, k.min(points.len()), 50)?;
             let labels: Vec<Option<usize>> = r.labels.iter().map(|&l| Some(l)).collect();
-            (labels, r.medoids.len())
+            Ok::<_, CoreError>((labels, r.medoids.len()))
         }
         ConceptModel::Dbscan { eps, min_pts } => {
             let r = dbscan(&dist, eps, min_pts)?;
-            (r.labels, r.n_clusters)
+            Ok((r.labels, r.n_clusters))
         }
-    };
+    })?;
     if n_clusters == 0 {
         return Err(CoreError::Invalid(
             "clustering produced no concepts (all noise)".into(),
         ));
     }
+    obs.set_gauge("concepts.n_concepts", n_clusters as f64);
+    obs.set_gauge("concepts.sample_size", points.len() as f64);
 
     // Centroids: (weighted) mean of member vectors (for K-medoids this is
     // the cluster mean, slightly tighter than the medoid itself; Eq 15
@@ -202,7 +207,7 @@ pub fn discover_concepts_weighted(
     // come first; keep discovery order otherwise.
     let mut order: Vec<usize> = (0..n_clusters).collect();
     if weights.is_some() {
-        order.sort_by(|&a, &b| totals[b].partial_cmp(&totals[a]).unwrap());
+        order.sort_by(|&a, &b| totals[b].total_cmp(&totals[a]));
     }
     let remap: std::collections::HashMap<usize, usize> = order
         .iter()
@@ -253,7 +258,7 @@ mod tests {
         assert_eq!(space.n_concepts(), 2);
         // Centroids near (0,0) and (5,5) in some order.
         let mut xs: Vec<f32> = space.centroids.iter().map(|c| c[0]).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.total_cmp(b));
         assert!(xs[0] < 1.0 && xs[1] > 4.0);
     }
 
@@ -394,5 +399,31 @@ mod tests {
     fn empty_input_rejected() {
         let m = Matrix::zeros(0, 4);
         assert!(discover_concepts(&m, &ConceptConfig::default()).is_err());
+    }
+
+    #[test]
+    fn nan_tweet_vectors_do_not_panic() {
+        // Degenerate embeddings (zero-norm or NaN rows from empty slabs)
+        // produce NaN pairwise distances; discovery may fail but must
+        // never panic in the assignment or nomination sorts.
+        let mut rows = vec![vec![f32::NAN, f32::NAN]; 4];
+        rows.extend(std::iter::repeat_n(vec![1.0, 1.0], 4));
+        rows.extend(std::iter::repeat_n(vec![5.0, 5.0], 4));
+        let m = Matrix::from_rows(&rows).unwrap();
+        for model in [
+            ConceptModel::KMedoids { k: 2 },
+            ConceptModel::Dbscan {
+                eps: 0.5,
+                min_pts: 2,
+            },
+        ] {
+            let cfg = ConceptConfig {
+                model,
+                ..Default::default()
+            };
+            let _ = discover_concepts(&m, &cfg);
+            let weights = vec![1.0f32; 12];
+            let _ = discover_concepts_weighted(&m, Some(&weights), &cfg);
+        }
     }
 }

@@ -224,6 +224,9 @@ impl CachedCut {
             merged.push(e);
         }
         merged.extend(q_iter);
+        let obs = soulmate_obs::global();
+        obs.incr("engine.edges_merged", merged.len() as u64);
+        obs.incr("engine.topk_displaced", removed.len() as u64);
         swmst_from_sorted(n + 1, merged)
     }
 }
@@ -248,10 +251,15 @@ impl<'a> QueryEngine<'a> {
     /// # Errors
     /// [`CoreError`] when the model's `x_total` is ragged.
     pub fn new(model: QueryModel<'a>) -> Result<QueryEngine<'a>, CoreError> {
+        let obs = soulmate_obs::global();
+        let start = std::time::Instant::now();
         let content_rows = NormalizedRows::from_matrix(model.author_content);
         let concept_rows =
             NormalizedRows::from_matrix(&center_rows(model.author_concept, model.concept_means));
         let cut = CachedCut::new(model.x_total, model.graph_min_sim, model.graph_top_k)?;
+        obs.record_duration("engine.build.seconds", start.elapsed());
+        obs.incr("engine.builds", 1);
+        obs.set_gauge("engine.n_authors", cut.n_authors() as f64);
         Ok(QueryEngine {
             model,
             content_rows,
@@ -325,11 +333,13 @@ impl<'a> QueryEngine<'a> {
         let content_dots = gram_rect_blocked(&content_q, self.content_rows.unit_matrix());
         let concept_dots = gram_rect_blocked(&concept_q, self.concept_rows.unit_matrix());
 
+        let obs = soulmate_obs::global();
         let query_index = self.cut.n_authors();
         qvecs
             .into_iter()
             .enumerate()
             .map(|(qi, q)| {
+                let start = std::time::Instant::now();
                 let similarities =
                     fused_row_from_dots(&self.model, &content_dots[qi], &concept_dots[qi]);
                 let forest = self.cut.cut_with_query(&similarities);
@@ -337,6 +347,8 @@ impl<'a> QueryEngine<'a> {
                     .query_subgraph(query_index)
                     .expect("query node exists in forest");
                 let subgraph_avg_weight = forest.component_avg_weight(&subgraph);
+                obs.record_duration("engine.query.seconds", start.elapsed());
+                obs.incr("engine.queries", 1);
                 QueryOutcome {
                     query_index,
                     subgraph,

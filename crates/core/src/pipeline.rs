@@ -22,6 +22,7 @@ use soulmate_corpus::{build_analogy_suite, Dataset, EncodedCorpus};
 use soulmate_embedding::{train_cbow, Embedding};
 use soulmate_graph::{swmst, SpanningForest, WeightedGraph};
 use soulmate_linalg::Matrix;
+use soulmate_obs::span;
 use soulmate_text::TokenizerConfig;
 
 /// Offline-phase configuration.
@@ -150,34 +151,64 @@ impl Pipeline {
     /// # Errors
     /// Propagates failures from every stage ([`CoreError`]).
     pub fn fit(dataset: &Dataset, config: PipelineConfig) -> Result<Pipeline, CoreError> {
-        let corpus = dataset.encode(&config.tokenizer, config.min_count);
+        let obs = soulmate_obs::global();
+        let _fit = span!(obs, "fit");
+        obs.incr("fit.runs", 1);
+
+        let corpus = {
+            let _t = span!(obs, "encode");
+            dataset.encode(&config.tokenizer, config.min_count)
+        };
         if corpus.vocab.is_empty() {
             return Err(CoreError::Invalid(
                 "vocabulary is empty after pruning".into(),
             ));
         }
-        let questions = build_analogy_suite(
-            &dataset.ground_truth.lexicon,
-            &corpus.vocab,
-            config.analogy_questions,
-            config.tcbow.seed,
-        );
+        obs.set_gauge("fit.vocab_size", corpus.vocab.len() as f64);
+        obs.set_gauge("fit.n_authors", corpus.n_authors as f64);
+        obs.set_gauge("fit.n_tweets", corpus.tweets.len() as f64);
+        let questions = {
+            let _t = span!(obs, "analogy_suite");
+            build_analogy_suite(
+                &dataset.ground_truth.lexicon,
+                &corpus.vocab,
+                config.analogy_questions,
+                config.tcbow.seed,
+            )
+        };
 
         // Temporal embedding (one CBOW per slab) and its collective fusion.
-        let temporal = TemporalEmbedding::train(&corpus, &questions, &config.tcbow)?;
-        let collective = temporal.collective_embedding();
+        let temporal = {
+            let _t = span!(obs, "tcbow");
+            TemporalEmbedding::train(&corpus, &questions, &config.tcbow)?
+        };
+        let collective = {
+            let _t = span!(obs, "collective");
+            temporal.collective_embedding()
+        };
 
         // Plain CBOW over the whole corpus (baseline comparator).
         let docs = corpus.documents();
         let mut rng = StdRng::seed_from_u64(config.tcbow.seed ^ 0x5eed);
-        let plain_cbow = train_cbow(&docs, corpus.vocab.len(), &config.tcbow.cbow, &mut rng)?;
+        let plain_cbow = {
+            let _t = span!(obs, "plain_cbow");
+            train_cbow(&docs, corpus.vocab.len(), &config.tcbow.cbow, &mut rng)?
+        };
 
         // Tweet vectors and concepts.
-        let tvecs = tweet_vectors(&docs, &collective, config.tweet_combiner);
-        let concepts = discover_concepts(&tvecs, &config.concept)?;
-        let tweet_concept_vectors = concepts.concept_vectors(&tvecs);
+        let tvecs = {
+            let _t = span!(obs, "tweet_vectors");
+            tweet_vectors(&docs, &collective, config.tweet_combiner)
+        };
+        let (concepts, tweet_concept_vectors) = {
+            let _t = span!(obs, "concepts");
+            let concepts = discover_concepts(&tvecs, &config.concept)?;
+            let tcv = concepts.concept_vectors(&tvecs);
+            (concepts, tcv)
+        };
 
         // Author vectors.
+        let _authors = span!(obs, "author_vectors");
         let tweet_author: Vec<u32> = corpus.tweets.iter().map(|t| t.author).collect();
         let author_content = author_content_vectors(
             &tvecs,
@@ -187,11 +218,13 @@ impl Pipeline {
         );
         let author_concept =
             author_concept_vectors(&tweet_concept_vectors, &tweet_author, corpus.n_authors);
+        drop(_authors);
 
         // Similarity matrices and fusion. Concept profiles are centered
         // against the author population before cosine (see
         // `concept_similarity_matrix`); the means are kept for online
         // queries.
+        let _sim = span!(obs, "similarity");
         let x_content = similarity_matrix(&author_content);
         let (x_concept, concept_means) = concept_similarity_matrix(&author_concept);
         // Standardize both views onto a common scale before Eq 17: the
@@ -200,11 +233,15 @@ impl Pipeline {
         // neither scale dominates. The stats are kept for online queries.
         let concept_stats = offdiagonal_stats(&x_concept);
         let content_stats = offdiagonal_stats(&x_content);
-        let x_total = fuse_similarities(
-            &standardize_offdiagonal(&x_concept, concept_stats.0, concept_stats.1),
-            &standardize_offdiagonal(&x_content, content_stats.0, content_stats.1),
-            config.alpha,
-        )?;
+        drop(_sim);
+        let x_total = {
+            let _t = span!(obs, "fusion");
+            fuse_similarities(
+                &standardize_offdiagonal(&x_concept, concept_stats.0, concept_stats.1),
+                &standardize_offdiagonal(&x_content, content_stats.0, content_stats.1),
+                config.alpha,
+            )?
+        };
 
         Ok(Pipeline {
             config,

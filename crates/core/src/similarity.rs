@@ -33,12 +33,17 @@ pub const PARALLEL_THRESHOLD: usize = 512;
 /// by the kernel afterwards. Identical to [`similarity_matrix`] row for
 /// row at any thread count.
 pub fn similarity_matrix_parallel(vectors: &Matrix, threads: usize) -> Vec<Vec<f32>> {
+    let obs = soulmate_obs::global();
+    let start = std::time::Instant::now();
     let normalized = NormalizedRows::from_matrix(vectors);
     let mut sim = if threads > 1 {
         gram_blocked_par(normalized.unit_matrix(), threads)
     } else {
         gram_blocked(normalized.unit_matrix())
     };
+    obs.record_duration("similarity.matrix.seconds", start.elapsed());
+    obs.incr("similarity.matrix.calls", 1);
+    obs.incr("similarity.matrix.rows", vectors.rows() as u64);
     // Cosine post-pass: unit-row dots can drift a few ULPs past ±1, and the
     // diagonal is pinned to 1 by convention even for zero rows.
     for (i, row) in sim.iter_mut().enumerate() {

@@ -88,6 +88,13 @@ pub struct PipelineSnapshot {
     pub graph_top_k: usize,
     /// Author display handles, index-aligned with the vectors.
     pub author_handles: Vec<String>,
+    /// Fit-stage metrics summary captured when the snapshot was taken:
+    /// `(histogram name, total seconds)` per `stage.*` histogram in the
+    /// process-global [`soulmate_obs`] registry, sorted by name. Absent
+    /// in pre-observability snapshots (defaults to empty) — purely
+    /// informational, never validated.
+    #[serde(default)]
+    pub fit_metrics: Vec<(String, f64)>,
 }
 
 /// Current snapshot format version.
@@ -128,8 +135,21 @@ impl Pipeline {
             graph_min_sim: self.config.graph_min_sim,
             graph_top_k: self.config.graph_top_k,
             author_handles: handles,
+            fit_metrics: stage_seconds_summary(),
         }
     }
+}
+
+/// Total seconds per `stage.*` histogram in the global metrics registry
+/// (empty when nothing was instrumented, e.g. hand-built snapshots).
+/// Sorted by name — `MetricsRegistry::names` is already ordered.
+fn stage_seconds_summary() -> Vec<(String, f64)> {
+    let obs = soulmate_obs::global();
+    obs.names()
+        .into_iter()
+        .filter(|n| n.starts_with("stage."))
+        .filter_map(|n| obs.histogram(&n).map(|h| (n, h.sum)))
+        .collect()
 }
 
 impl PipelineSnapshot {
@@ -170,9 +190,12 @@ impl PipelineSnapshot {
                 CoreError::Invalid(format!("cannot move snapshot into {}: {e}", path.display()))
             })
         };
+        let start = std::time::Instant::now();
         let result = write();
         if result.is_err() {
             std::fs::remove_file(&tmp).ok();
+        } else {
+            soulmate_obs::global().record_duration("snapshot.save.seconds", start.elapsed());
         }
         result
     }
@@ -183,6 +206,7 @@ impl PipelineSnapshot {
     /// [`CoreError::Invalid`] for I/O or parse failures, shape
     /// inconsistencies, and unknown snapshot versions.
     pub fn load(path: &Path) -> Result<PipelineSnapshot, CoreError> {
+        let start = std::time::Instant::now();
         let file = File::open(path)
             .map_err(|e| CoreError::Invalid(format!("cannot open {}: {e}", path.display())))?;
         let mut snapshot: PipelineSnapshot = serde_json::from_reader(BufReader::new(file))
@@ -196,6 +220,7 @@ impl PipelineSnapshot {
         snapshot.validate()?;
         // The vocabulary's string→id index is skipped by serde.
         snapshot.vocab.rebuild_index();
+        soulmate_obs::global().record_duration("snapshot.load.seconds", start.elapsed());
         Ok(snapshot)
     }
 
@@ -382,6 +407,23 @@ mod tests {
             "stray temp files left behind: {strays:?}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_embeds_fit_stage_metrics() {
+        let (_, p) = fitted();
+        let snap = p.snapshot(&[]);
+        assert!(
+            snap.fit_metrics
+                .iter()
+                .any(|(n, _)| n == "stage.fit.seconds"),
+            "fit stage timings missing from snapshot: {:?}",
+            snap.fit_metrics.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+        assert!(snap
+            .fit_metrics
+            .iter()
+            .all(|(_, v)| v.is_finite() && *v >= 0.0));
     }
 
     #[test]

@@ -113,7 +113,13 @@ impl TemporalEmbedding {
             }
         }
 
-        // Train slabs in parallel; each job owns a derived RNG.
+        // Train slabs in parallel; each job owns a derived RNG. Worker
+        // threads don't inherit the caller's stage-timer stack, so
+        // per-slab wall times are recorded under fixed histogram names
+        // (one sample per slab, plus a per-level breakdown).
+        let obs = soulmate_obs::global();
+        obs.set_gauge("tcbow.n_slabs", jobs.len() as f64);
+        obs.set_gauge("tcbow.n_levels", slab_index.n_levels() as f64);
         let threads = config.threads.max(1).min(jobs.len().max(1));
         let results: Vec<(usize, usize, Embedding, f32)> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -125,6 +131,7 @@ impl TemporalEmbedding {
                     chunk
                         .iter()
                         .map(|(level, slab, docs)| {
+                            let start = std::time::Instant::now();
                             let mut rng = StdRng::seed_from_u64(
                                 seed ^ ((*level as u64) << 32) ^ (*slab as u64),
                             );
@@ -138,6 +145,10 @@ impl TemporalEmbedding {
                                 }
                             };
                             let accuracy = evaluate_analogy(&embedding, qtuples);
+                            let secs = start.elapsed().as_secs_f64();
+                            obs.record("tcbow.slab_train.seconds", secs);
+                            obs.record(&format!("tcbow.level{level}.slab_train.seconds"), secs);
+                            obs.incr("tcbow.slabs_trained", 1);
                             (*level, *slab, embedding, accuracy)
                         })
                         .collect::<Vec<_>>()

@@ -11,11 +11,48 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
+/// Run `write` against a temporary file next to `path`, then rename it
+/// over `path` — the destination is only ever replaced by a fully flushed
+/// file, so a crash or a full disk cannot leave a truncated artifact (and
+/// a pre-existing file survives any failed save). The temporary is
+/// removed on failure.
+fn write_atomic(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<File>) -> Result<(), CorpusError>,
+) -> Result<(), CorpusError> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CorpusError::Parse(format!("path {} has no file name", path.display())))?;
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name(format!(
+        ".{}.tmp-{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let attempt = || -> Result<(), CorpusError> {
+        let mut writer = BufWriter::new(File::create(&tmp)?);
+        write(&mut writer)?;
+        // Propagate buffered-write errors instead of letting the final
+        // (error-swallowing) drop lose them.
+        writer.flush()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    };
+    let result = attempt();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
 /// Save a full dataset (tweets + ground truth) as one JSON file.
+///
+/// The write is atomic: the bytes land in a temporary file in the target
+/// directory and are renamed over `path` only after a successful flush.
 pub fn save_json(dataset: &Dataset, path: &Path) -> Result<(), CorpusError> {
-    let file = File::create(path)?;
-    let writer = BufWriter::new(file);
-    serde_json::to_writer(writer, dataset).map_err(|e| CorpusError::Parse(e.to_string()))
+    write_atomic(path, |writer| {
+        serde_json::to_writer(writer, dataset).map_err(|e| CorpusError::Parse(e.to_string()))
+    })
 }
 
 /// Load a dataset saved by [`save_json`].
@@ -34,20 +71,20 @@ pub fn load_json(path: &Path) -> Result<Dataset, CorpusError> {
     Ok(dataset)
 }
 
-/// Export tweets only, one JSON object per line.
+/// Export tweets only, one JSON object per line. Atomic like
+/// [`save_json`].
 pub fn export_tweets_jsonl(dataset: &Dataset, path: &Path) -> Result<(), CorpusError> {
-    let file = File::create(path)?;
-    let mut writer = BufWriter::new(file);
-    for t in &dataset.tweets {
-        let line = serde_json::json!({
-            "author": t.author,
-            "minute": t.timestamp.0,
-            "text": t.text,
-        });
-        writeln!(writer, "{line}")?;
-    }
-    writer.flush()?;
-    Ok(())
+    write_atomic(path, |writer| {
+        for t in &dataset.tweets {
+            let line = serde_json::json!({
+                "author": t.author,
+                "minute": t.timestamp.0,
+                "text": t.text,
+            });
+            writeln!(writer, "{line}")?;
+        }
+        Ok(())
+    })
 }
 
 /// Count the lines of a JSONL export (cheap sanity check for tests/tools).
@@ -108,6 +145,58 @@ mod tests {
         let lines = count_jsonl_lines(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(lines, d.n_tweets());
+    }
+
+    #[test]
+    fn failed_save_leaves_previous_file_intact() {
+        let d = generate(&GeneratorConfig {
+            n_authors: 4,
+            n_communities: 1,
+            mean_tweets_per_author: 4,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let path = tmp("keeps-old.json");
+        std::fs::write(&path, "precious bytes").unwrap();
+        // Force the temp-file creation to fail by squatting a directory
+        // on the deterministic temp name.
+        let mut tmp_path = path.clone();
+        tmp_path.set_file_name(format!(
+            ".{}.tmp-{}",
+            path.file_name().unwrap().to_string_lossy(),
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&tmp_path).unwrap();
+        assert!(save_json(&d, &path).is_err());
+        assert!(export_tweets_jsonl(&d, &path).is_err());
+        // The destination still holds the old bytes, untouched.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "precious bytes");
+        std::fs::remove_dir_all(&tmp_path).ok();
+        std::fs::remove_file(&path).ok();
+        // A path with no file name is rejected cleanly, too.
+        assert!(save_json(&d, Path::new("/")).is_err());
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_on_success() {
+        let d = generate(&GeneratorConfig {
+            n_authors: 4,
+            n_communities: 1,
+            mean_tweets_per_author: 4,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let path = tmp("no-stray.json");
+        save_json(&d, &path).unwrap();
+        let parent = path.parent().unwrap();
+        let strays: Vec<_> = std::fs::read_dir(parent)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("no-stray.json") && n.contains(".tmp-"))
+            .collect();
+        std::fs::remove_file(&path).ok();
+        assert!(strays.is_empty(), "stray temp files: {strays:?}");
     }
 
     #[test]

@@ -132,7 +132,7 @@ pub fn community_precision_at_k(similarity: &[Vec<f32>], communities: &[usize], 
     let mut total = 0.0f32;
     for i in 0..n {
         let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-        others.sort_by(|&a, &b| similarity[i][b].partial_cmp(&similarity[i][a]).unwrap());
+        others.sort_by(|&a, &b| similarity[i][b].total_cmp(&similarity[i][a]));
         let top = others.into_iter().take(k);
         let mut hits = 0usize;
         let mut count = 0usize;
@@ -258,5 +258,16 @@ mod tests {
             prop_assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-5);
             prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-5);
         }
+    }
+    #[test]
+    fn precision_ranking_survives_nan_similarities() {
+        let mut sim = vec![vec![0.0f32; 4]; 4];
+        sim[0][1] = f32::NAN;
+        sim[1][0] = f32::NAN;
+        sim[2][3] = 0.9;
+        sim[3][2] = f32::NAN;
+        let communities = vec![0, 0, 1, 1];
+        let p = community_precision_at_k(&sim, &communities, 2);
+        assert!((0.0..=1.0).contains(&p));
     }
 }

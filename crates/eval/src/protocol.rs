@@ -107,8 +107,7 @@ pub fn subgraph_precision(
     qualifying.sort_by(|a, b| {
         forest
             .component_avg_weight(b)
-            .partial_cmp(&forest.component_avg_weight(a))
-            .unwrap()
+            .total_cmp(&forest.component_avg_weight(a))
     });
     qualifying.truncate(protocol.top_trees);
 
@@ -174,7 +173,7 @@ pub fn weighted_precision(
             pairs.push((i, j, author_sim[i][j]));
         }
     }
-    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
     pairs.truncate(top_author_pairs);
 
     let tfidf = corpus_tfidf(corpus);
@@ -240,7 +239,7 @@ pub fn cluster_quality(
                 scored.push((members[i], members[j], weighted[i].cosine(&weighted[j])));
             }
         }
-        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        scored.sort_by(|a, b| b.2.total_cmp(&a.2));
         for (ti, tj, _) in scored.into_iter().take(top_pairs_per_cluster) {
             counts.add(panel.score_pair(ti, tj));
         }
@@ -295,7 +294,7 @@ fn top_tweet_pairs(
             scored.push((tweets_a[i], tweets_b[j], va.cosine(vb)));
         }
     }
-    scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    scored.sort_by(|a, b| b.2.total_cmp(&a.2));
     scored.into_iter().take(k).map(|(a, b, _)| (a, b)).collect()
 }
 
@@ -381,6 +380,21 @@ mod tests {
         assert!(weighted_precision(&panel, &p.corpus, &tiny, 5, 5, 5).is_err());
         let ragged = vec![vec![1.0, 0.5], vec![0.5]];
         assert!(weighted_precision(&panel, &p.corpus, &ragged, 5, 5, 5).is_err());
+    }
+
+    #[test]
+    fn weighted_precision_tolerates_nan_similarities() {
+        // NaN similarity cells flow into the descending author-pair and
+        // tweet-pair rankings; the protocol must still report, not panic.
+        let (d, p) = fitted();
+        let cfg = PanelConfig::default();
+        let panel = ExpertPanel::new(&d, &p.corpus, &cfg);
+        let mut sim = p.x_total.clone();
+        sim[0][1] = f32::NAN;
+        sim[1][0] = f32::NAN;
+        sim[3][2] = f32::NAN;
+        let counts = weighted_precision(&panel, &p.corpus, &sim, 20, 5, 20).unwrap();
+        assert!(counts.total() > 0);
     }
 
     #[test]

@@ -172,7 +172,25 @@ pub fn gram_blocked(a: &Matrix) -> Vec<Vec<f32>> {
         i0 = i1;
     }
     mirror_lower(&mut out);
+    record_gram_metrics("kernels.gram", n, upper_tile_count(n));
     out
+}
+
+/// Number of `(tile_row, tile_col)` interactions an upper-triangle Gram
+/// sweep over `n` rows performs.
+fn upper_tile_count(n: usize) -> u64 {
+    let t = n.div_ceil(TILE) as u64;
+    t * (t + 1) / 2
+}
+
+/// One-lock-per-call metrics batch for a Gram kernel invocation — the
+/// counters are aggregated outside the hot tile loops so instrumentation
+/// cost stays O(1) per call, not O(tiles).
+fn record_gram_metrics(prefix: &str, rows: usize, tiles: u64) {
+    let obs = soulmate_obs::global();
+    obs.incr(&format!("{prefix}.calls"), 1);
+    obs.incr(&format!("{prefix}.rows"), rows as u64);
+    obs.incr(&format!("{prefix}.tiles"), tiles);
 }
 
 /// Parallel [`gram_blocked`]: tile-rows are striped round-robin across
@@ -209,6 +227,7 @@ pub fn gram_blocked_par(a: &Matrix, threads: usize) -> Vec<Vec<f32>> {
     collected.sort_by_key(|(i, _)| *i);
     let mut out: Vec<Vec<f32>> = collected.into_iter().map(|(_, r)| r).collect();
     mirror_lower(&mut out);
+    record_gram_metrics("kernels.gram_par", n, upper_tile_count(n));
     out
 }
 
@@ -238,6 +257,11 @@ pub fn gram_rect_blocked(a: &Matrix, b: &Matrix) -> Vec<Vec<f32>> {
         }
         i0 = i1;
     }
+    record_gram_metrics(
+        "kernels.gram_rect",
+        na,
+        (na.div_ceil(TILE) * nb.div_ceil(TILE)) as u64,
+    );
     out
 }
 
@@ -372,6 +396,23 @@ mod tests {
         let one = gram_blocked(&Matrix::from_rows(&[vec![2.0, 0.0]]).unwrap());
         assert_eq!(one, vec![vec![4.0]]);
         assert!(gram_blocked_par(&Matrix::zeros(0, 4), 8).is_empty());
+    }
+
+    #[test]
+    fn gram_calls_record_block_metrics() {
+        let obs = soulmate_obs::global();
+        let before = obs.counter("kernels.gram.tiles");
+        let calls_before = obs.counter("kernels.gram.calls");
+        let m = random_matrix(130, 5, 9);
+        let _ = gram_blocked(&m);
+        // 130 rows → 3 tile-rows → 3·4/2 = 6 upper-triangle interactions.
+        // Other tests record into the same global registry concurrently,
+        // so assert monotone growth by at least this call's contribution.
+        assert!(obs.counter("kernels.gram.tiles") >= before + 6);
+        assert!(obs.counter("kernels.gram.calls") >= calls_before + 1);
+        let rect_before = obs.counter("kernels.gram_rect.tiles");
+        let _ = gram_rect_blocked(&m, &m);
+        assert!(obs.counter("kernels.gram_rect.tiles") >= rect_before + 9);
     }
 
     #[test]

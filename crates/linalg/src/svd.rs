@@ -89,7 +89,7 @@ pub fn truncated_svd<R: Rng>(
 
     // Sort by eigenvalue descending.
     let mut order: Vec<usize> = (0..eigvals.len()).collect();
-    order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).unwrap());
+    order.sort_by(|&i, &j| eigvals[j].total_cmp(&eigvals[i]));
     eigvals = order.iter().map(|&i| eigvals[i]).collect();
 
     // Keep top-k.
@@ -162,7 +162,7 @@ pub fn truncated_svd_sparse<R: Rng>(
     let bbt = bt.matmul_transpose_self(&bt)?;
     let (mut eigvals, eigvecs) = jacobi_eigen_symmetric(&bbt, 200, 1e-10);
     let mut order: Vec<usize> = (0..eigvals.len()).collect();
-    order.sort_by(|&i, &j| eigvals[j].partial_cmp(&eigvals[i]).unwrap());
+    order.sort_by(|&i, &j| eigvals[j].total_cmp(&eigvals[i]));
     eigvals = order.iter().map(|&i| eigvals[i]).collect();
 
     let mut s = Vec::with_capacity(k);
@@ -332,7 +332,7 @@ mod tests {
         let a = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 1.0]).unwrap();
         let (eig, _) = jacobi_eigen_symmetric(&a, 50, 1e-12);
         let mut sorted = eig.clone();
-        sorted.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        sorted.sort_by(|x, y| y.total_cmp(x));
         assert!((sorted[0] - 3.0).abs() < 1e-5);
         assert!((sorted[1] - 1.0).abs() < 1e-5);
     }
@@ -343,7 +343,7 @@ mod tests {
         let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
         let (eig, vecs) = jacobi_eigen_symmetric(&a, 50, 1e-12);
         let mut sorted = eig.clone();
-        sorted.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        sorted.sort_by(|x, y| y.total_cmp(x));
         assert!((sorted[0] - 3.0).abs() < 1e-5);
         assert!((sorted[1] - 1.0).abs() < 1e-5);
         // Eigenvector columns should be orthonormal.
@@ -490,5 +490,18 @@ mod tests {
                 assert!(vector::dot(&ci, &cj).abs() < 1e-4);
             }
         }
+    }
+    #[test]
+    fn svd_ordering_survives_nan_and_zero_norm_input() {
+        // NaN entries propagate into the sketched eigenvalues; the
+        // descending eigenvalue sort must stay total and not panic.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut a = Matrix::random_uniform(6, 5, 1.0, &mut rng);
+        a.set(0, 0, f32::NAN);
+        a.set(2, 3, f32::NAN);
+        let _ = truncated_svd(&a, 3, 2, 2, &mut rng);
+        // All-zero rows give a degenerate (zero) spectrum — also fine.
+        let z = Matrix::from_vec(5, 4, vec![0.0; 20]).unwrap();
+        let _ = truncated_svd(&z, 2, 2, 1, &mut rng);
     }
 }

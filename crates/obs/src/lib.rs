@@ -1,0 +1,63 @@
+//! # soulmate-obs
+//!
+//! Zero-dependency observability for the SoulMate pipeline: a
+//! thread-safe [`MetricsRegistry`] of counters, gauges, and log-bucketed
+//! latency histograms (p50/p95/p99), plus a scoped [`StageTimer`] /
+//! [`span!`] guard that times named stages with thread-local nesting.
+//!
+//! The crate sits *below* `soulmate-linalg` in the workspace graph and
+//! depends on nothing but `std`, so every layer — Gram kernels, fit
+//! stages, the online serving path — records into the same process-wide
+//! registry ([`global`]) without dependency cycles.
+//!
+//! Export is JSON ([`MetricsRegistry::to_json`], also written atomically
+//! by [`MetricsRegistry::write_json_atomic`]) or a fixed-width table
+//! ([`MetricsRegistry::render_table`]); the CLI surfaces both as
+//! `soulmate stats` and the `--metrics <path>` flag. See DESIGN.md §11
+//! for the schema, the stage-name inventory, and the bucket layout.
+//!
+//! ```
+//! use soulmate_obs::{global, span};
+//!
+//! let reg = global();
+//! {
+//!     let _stage = span!(reg, "demo");
+//!     reg.incr("demo.items", 3);
+//! }
+//! assert!(reg.histogram("stage.demo.seconds").is_some());
+//! ```
+
+pub mod histogram;
+pub mod registry;
+pub mod timer;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::MetricsRegistry;
+pub use timer::StageTimer;
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry every instrumented path records into.
+///
+/// Library code always records here; tests that need isolation construct
+/// their own [`MetricsRegistry`] or assert on monotone properties
+/// (presence, counts strictly increasing) rather than exact totals.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared_and_stable() {
+        let a = global() as *const MetricsRegistry;
+        let b = global() as *const MetricsRegistry;
+        assert_eq!(a, b);
+        global().incr("obs.selftest", 1);
+        assert!(global().counter("obs.selftest") >= 1);
+    }
+}

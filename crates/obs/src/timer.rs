@@ -1,0 +1,142 @@
+//! Scoped stage timers with thread-local nesting.
+//!
+//! A [`StageTimer`] pushes its name onto a thread-local stage stack on
+//! creation and records `stage.<dotted.path>.seconds` into its registry
+//! on drop, so nested guards produce hierarchical names without any
+//! plumbing:
+//!
+//! ```
+//! use soulmate_obs::{span, MetricsRegistry};
+//! let reg = MetricsRegistry::new();
+//! {
+//!     let _fit = span!(&reg, "fit");
+//!     let _enc = span!(&reg, "encode"); // records stage.fit.encode.seconds
+//! }
+//! assert!(reg.histogram("stage.fit.encode.seconds").is_some());
+//! assert!(reg.histogram("stage.fit.seconds").is_some());
+//! ```
+//!
+//! The stack is per-thread: work spawned onto worker threads (per-slab
+//! TCBOW training, parallel Gram tiles) starts a fresh path there, so
+//! those sites record under explicit fixed names instead (e.g. the
+//! `tcbow.slab_train.seconds` histogram).
+
+use crate::registry::MetricsRegistry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STAGE_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A scope guard that times a named stage and records it on drop.
+///
+/// The recorded histogram name is `stage.<path>.seconds` where `<path>`
+/// joins every live [`StageTimer`] on this thread with dots, outermost
+/// first.
+pub struct StageTimer<'a> {
+    registry: &'a MetricsRegistry,
+    path: String,
+    start: Instant,
+}
+
+impl<'a> StageTimer<'a> {
+    /// Start timing stage `name`, nested under any enclosing timers on
+    /// this thread.
+    pub fn new(registry: &'a MetricsRegistry, name: &str) -> Self {
+        let path = STAGE_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name.to_string());
+            stack.join(".")
+        });
+        StageTimer {
+            registry,
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// The dotted path this timer records under (without the
+    /// `stage.`/`.seconds` affixes).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        STAGE_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        self.registry.record(
+            &format!("stage.{}.seconds", self.path),
+            self.start.elapsed().as_secs_f64(),
+        );
+    }
+}
+
+/// Start a [`StageTimer`] on `registry` — bind it to keep the span open:
+/// `let _stage = span!(reg, "fit");`.
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr) => {
+        $crate::StageTimer::new($registry, $name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_timers_record_dotted_paths() {
+        let reg = MetricsRegistry::new();
+        {
+            let outer = StageTimer::new(&reg, "fit");
+            assert_eq!(outer.path(), "fit");
+            {
+                let inner = StageTimer::new(&reg, "tcbow");
+                assert_eq!(inner.path(), "fit.tcbow");
+            }
+            // Sibling after the inner timer dropped: still nests under fit.
+            let sib = StageTimer::new(&reg, "concepts");
+            assert_eq!(sib.path(), "fit.concepts");
+        }
+        for name in [
+            "stage.fit.seconds",
+            "stage.fit.tcbow.seconds",
+            "stage.fit.concepts.seconds",
+        ] {
+            let h = reg
+                .histogram(name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(h.count, 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn stack_unwinds_even_on_panic() {
+        let reg = MetricsRegistry::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _t = StageTimer::new(&reg, "doomed");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        // The stack is clean: a fresh timer is top-level again.
+        let t = StageTimer::new(&reg, "after");
+        assert_eq!(t.path(), "after");
+    }
+
+    #[test]
+    fn threads_get_independent_stacks() {
+        let reg = MetricsRegistry::new();
+        let _outer = StageTimer::new(&reg, "main");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let t = StageTimer::new(&reg, "worker");
+                // Not nested under "main": that guard lives on another thread.
+                assert_eq!(t.path(), "worker");
+            });
+        });
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: the registry stays exact under concurrent recording
+//! from `std::thread::scope` workers — counter totals are exact, and
+//! every histogram's count equals the number of samples recorded.
+
+use proptest::prelude::*;
+use soulmate_obs::MetricsRegistry;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_recording_is_exact(threads in 1usize..8, ops in 1usize..200) {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let reg = &reg;
+                scope.spawn(move || {
+                    for i in 0..ops {
+                        reg.incr("total.ops", 1);
+                        reg.incr(&format!("thread.{t}.ops"), 2);
+                        // Integer-valued samples: the histogram sum is
+                        // exact regardless of interleaving order.
+                        reg.record("latency", (i % 7) as f64);
+                        reg.set_gauge("last.i", i as f64);
+                    }
+                });
+            }
+        });
+
+        prop_assert_eq!(reg.counter("total.ops"), (threads * ops) as u64);
+        for t in 0..threads {
+            prop_assert_eq!(reg.counter(&format!("thread.{t}.ops")), (2 * ops) as u64);
+        }
+
+        let h = reg.histogram("latency").unwrap();
+        prop_assert_eq!(h.count, (threads * ops) as u64);
+        let per_thread_sum: u64 = (0..ops).map(|i| (i % 7) as u64).sum();
+        prop_assert_eq!(h.sum as u64, threads as u64 * per_thread_sum);
+        prop_assert_eq!(h.rejected, 0);
+
+        // The gauge holds one of the written values.
+        let g = reg.gauge("last.i").unwrap();
+        prop_assert!(g >= 0.0 && g < ops as f64);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(samples in proptest::collection::vec(0.0f64..10.0, 1..300)) {
+        let reg = MetricsRegistry::new();
+        for &s in &samples {
+            reg.record("h", s);
+        }
+        let h = reg.histogram("h").unwrap();
+        prop_assert_eq!(h.count, samples.len() as u64);
+        prop_assert!(h.min <= h.p50 + 1e-12);
+        prop_assert!(h.p50 <= h.p95 + 1e-12);
+        prop_assert!(h.p95 <= h.p99 + 1e-12);
+        prop_assert!(h.p99 <= h.max + 1e-12);
+        let true_max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((h.max - true_max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_export_is_valid_under_any_names(names in proptest::collection::vec("[a-z.\"\\\\]{1,12}", 1..10)) {
+        let reg = MetricsRegistry::new();
+        for (i, name) in names.iter().enumerate() {
+            reg.incr(name, i as u64 + 1);
+            reg.record(name, i as f64);
+        }
+        let json = reg.to_json();
+        // Minimal structural validity: balanced braces/brackets outside
+        // string literals, every name escaped.
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in json.chars() {
+            if esc { esc = false; continue; }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            prop_assert!(depth >= 0);
+        }
+        prop_assert_eq!(depth, 0);
+        prop_assert!(!in_str);
+    }
+}

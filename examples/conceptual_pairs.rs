@@ -47,7 +47,7 @@ fn main() {
             break;
         }
     }
-    found.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
+    found.sort_by(|a, b| b.3.total_cmp(&a.3));
 
     println!(
         "Table 1 recreated — conceptually close, textually disjoint tweet pairs\n\

@@ -63,7 +63,7 @@ fn main() {
     let peak_hour = by_hour
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(h, _)| h)
         .unwrap_or(0);
     println!(
