@@ -18,14 +18,14 @@ pub fn run(args: &ExpArgs) -> String {
     out.push_str("Fig 3a — day split similarity grid (modified TF-IDF + cosine)\n\n");
     out.push_str(&grid.render());
 
-    let (_, dendro) = slabs_from_grid(&grid, 0.59);
+    let (_, dendro) = slabs_from_grid(&grid, 0.59).expect("day grid has 7 splits");
     out.push_str("\nFig 3b — complete-linkage dendrogram\n\n");
     out.push_str(&render_dendrogram(&dendro, Facet::DayOfWeek));
 
     out.push_str("\nTable 3 — day slabs by threshold\n\n");
     let mut table = TextTable::new(["threshold", "slabs", "count"]);
     for t in [1.0f32, 0.9, 0.8, 0.7, 0.59, 0.4, 0.2] {
-        let (slabs, _) = slabs_from_grid(&grid, t);
+        let (slabs, _) = slabs_from_grid(&grid, t).expect("day grid has 7 splits");
         table.row([format!("{t:.2}"), slabs.render(), slabs.len().to_string()]);
     }
     out.push_str(&table.render());

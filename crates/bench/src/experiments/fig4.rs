@@ -24,9 +24,11 @@ pub fn run(args: &ExpArgs) -> String {
     // the experiment reproduces.
     let day_grid = similarity_grid(&corpus, Facet::DayOfWeek, |_| true);
     let mut day_threshold = 0.59f32;
-    let mut day_slabs = slabs_from_grid(&day_grid, day_threshold).0;
+    let mut day_slabs = slabs_from_grid(&day_grid, day_threshold)
+        .expect("day grid has 7 splits")
+        .0;
     for t in [0.59f32, 0.5, 0.45, 0.4, 0.35, 0.3, 0.25] {
-        let (slabs, _) = slabs_from_grid(&day_grid, t);
+        let (slabs, _) = slabs_from_grid(&day_grid, t).expect("day grid has 7 splits");
         if slabs.len() <= 4 {
             day_threshold = t;
             day_slabs = slabs;
@@ -45,14 +47,15 @@ pub fn run(args: &ExpArgs) -> String {
     let hour_threshold = 0.3f32;
     for (parent, members) in day_slabs.slabs.iter().enumerate() {
         let grid = similarity_grid(&corpus, Facet::Hour, |t| {
-            day_slabs.slab_of_split(t.timestamp.day_of_week() as usize) == parent
+            day_slabs.slab_of_split(t.timestamp.day_of_week() as usize) == Some(parent)
         });
         out.push_str(&format!(
             "\nFig 4 — hour similarity grid conditioned on day slab {parent} {:?}\n\n",
             members
         ));
         out.push_str(&grid.render());
-        let (hour_slabs, dendro) = slabs_from_grid(&grid, hour_threshold);
+        let (hour_slabs, dendro) =
+            slabs_from_grid(&grid, hour_threshold).expect("hour grid has 24 splits");
         out.push_str(&format!(
             "\nFig 5 — dendrogram for day slab {parent} (threshold {hour_threshold})\n\n"
         ));

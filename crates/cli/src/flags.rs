@@ -17,17 +17,19 @@ impl Flags {
     /// [`Flags::has`].
     pub fn parse(args: &[String]) -> Flags {
         let mut values = HashMap::new();
-        let mut i = 0;
-        while i < args.len() {
-            if let Some(name) = args[i].strip_prefix("--") {
-                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                    values.insert(name.to_string(), args[i + 1].clone());
-                    i += 2;
-                    continue;
+        let mut iter = args.iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        values.insert(name.to_string(), (*next).clone());
+                        iter.next();
+                    }
+                    _ => {
+                        values.insert(name.to_string(), String::new());
+                    }
                 }
-                values.insert(name.to_string(), String::new());
             }
-            i += 1;
         }
         Flags { values }
     }
@@ -46,19 +48,44 @@ impl Flags {
         self.values.contains_key(name)
     }
 
-    /// Parse a flag as `usize`.
-    pub fn get_usize(&self, name: &str) -> Option<usize> {
-        self.get(name).and_then(|v| v.parse().ok())
+    /// Parse a present flag value, turning a malformed value into a
+    /// [`CliError::Usage`] instead of silently falling back to a default
+    /// (`--seed banana` must fail loudly, not run with seed 42).
+    fn get_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        kind: &str,
+    ) -> Result<Option<T>, CliError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| {
+                CliError::Usage(format!("invalid value for --{name}: `{v}` is not {kind}"))
+            }),
+        }
     }
 
-    /// Parse a flag as `u64`.
-    pub fn get_u64(&self, name: &str) -> Option<u64> {
-        self.get(name).and_then(|v| v.parse().ok())
+    /// Parse a flag as `usize` (`Ok(None)` when absent).
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] when present but not a non-negative integer.
+    pub fn get_usize(&self, name: &str) -> Result<Option<usize>, CliError> {
+        self.get_parsed(name, "a non-negative integer")
     }
 
-    /// Parse a flag as `f32`.
-    pub fn get_f32(&self, name: &str) -> Option<f32> {
-        self.get(name).and_then(|v| v.parse().ok())
+    /// Parse a flag as `u64` (`Ok(None)` when absent).
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] when present but not a non-negative integer.
+    pub fn get_u64(&self, name: &str) -> Result<Option<u64>, CliError> {
+        self.get_parsed(name, "a non-negative integer")
+    }
+
+    /// Parse a flag as `f32` (`Ok(None)` when absent).
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] when present but not a number.
+    pub fn get_f32(&self, name: &str) -> Result<Option<f32>, CliError> {
+        self.get_parsed(name, "a number")
     }
 
     /// A required path flag.
@@ -83,8 +110,8 @@ mod tests {
     #[test]
     fn parses_pairs_and_types() {
         let f = parse(&["--authors", "50", "--alpha", "0.6", "--out", "x.json"]);
-        assert_eq!(f.get_usize("authors"), Some(50));
-        assert_eq!(f.get_f32("alpha"), Some(0.6));
+        assert_eq!(f.get_usize("authors").unwrap(), Some(50));
+        assert_eq!(f.get_f32("alpha").unwrap(), Some(0.6));
         assert_eq!(f.get("out"), Some("x.json"));
         assert_eq!(f.get("missing"), None);
     }
@@ -96,8 +123,31 @@ mod tests {
         assert!(f.has("flag")); // ...but the switch is visible
         assert!(!f.has("positional"));
         assert!(!f.has("missing"));
-        assert_eq!(f.get_usize("other"), Some(1));
+        assert_eq!(f.get_usize("other").unwrap(), Some(1));
         assert!(f.has("other"));
+    }
+
+    #[test]
+    fn absent_flags_parse_to_none() {
+        let f = parse(&[]);
+        assert_eq!(f.get_usize("authors").unwrap(), None);
+        assert_eq!(f.get_u64("seed").unwrap(), None);
+        assert_eq!(f.get_f32("alpha").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_values_are_usage_errors_not_silent_defaults() {
+        // Regression: these used to return `None`, so `--seed banana`
+        // silently ran with the default seed.
+        let f = parse(&["--seed", "banana", "--alpha", "x2", "--dim", "-3"]);
+        assert!(matches!(f.get_u64("seed"), Err(CliError::Usage(_))));
+        assert!(matches!(f.get_f32("alpha"), Err(CliError::Usage(_))));
+        assert!(matches!(f.get_usize("dim"), Err(CliError::Usage(_))));
+        let msg = match f.get_u64("seed") {
+            Err(CliError::Usage(m)) => m,
+            other => panic!("expected usage error, got {other:?}"),
+        };
+        assert!(msg.contains("--seed") && msg.contains("banana"), "{msg}");
     }
 
     #[test]

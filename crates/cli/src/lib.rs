@@ -1,6 +1,15 @@
 //! Library backing the `soulmate` CLI binary. Command logic lives here so
 //! it can be unit-tested without spawning processes.
 
+// The no-panic guarantee of the serving path (DESIGN.md §12): every
+// failure — bad flags, unreadable files, corrupt snapshots — must surface
+// as a typed `CliError` that `main` prints as `error: <cause>` with a
+// non-zero exit, never as a backtrace. Tests are exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
+
 use soulmate_bench::ExpArgs;
 use soulmate_core::{Pipeline, PipelineSnapshot};
 use soulmate_corpus::{generate, io as corpus_io, GeneratorConfig, Timestamp};
@@ -68,7 +77,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         return Err(CliError::Usage(USAGE.to_string()));
     };
-    let flags = Flags::parse(&args[1..]);
+    let flags = Flags::parse(args.get(1..).unwrap_or(&[]));
     match command.as_str() {
         "generate" => cmd_generate(&flags, out),
         "fit" => cmd_fit(&flags, out),
@@ -77,7 +86,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "slabs" => cmd_slabs(&flags, out),
         "eval" => cmd_eval(&flags, out),
         "stats" => cmd_stats(&flags, out),
-        "experiment" => cmd_experiment(args.get(1), &args[1.min(args.len())..], out),
+        "experiment" => cmd_experiment(args.get(1), args.get(1..).unwrap_or(&[]), out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").ok();
             Ok(())
@@ -90,14 +99,15 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
 
 fn cmd_generate<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     let path = flags.require_path("out")?;
+    let n_authors = flags.get_usize("authors")?.unwrap_or(120);
     let config = GeneratorConfig {
-        seed: flags.get_u64("seed").unwrap_or(42),
-        n_authors: flags.get_usize("authors").unwrap_or(120),
+        seed: flags.get_u64("seed")?.unwrap_or(42),
+        n_authors,
         n_communities: flags
-            .get_usize("communities")
-            .unwrap_or_else(|| (flags.get_usize("authors").unwrap_or(120) / 15).clamp(2, 16)),
-        n_concepts: flags.get_usize("concepts").unwrap_or(8),
-        mean_tweets_per_author: flags.get_usize("tweets").unwrap_or(60),
+            .get_usize("communities")?
+            .unwrap_or_else(|| (n_authors / 15).clamp(2, 16)),
+        n_concepts: flags.get_usize("concepts")?.unwrap_or(8),
+        mean_tweets_per_author: flags.get_usize("tweets")?.unwrap_or(60),
         ..Default::default()
     };
     let dataset = generate(&config).map_err(|e| CliError::Failed(e.to_string()))?;
@@ -121,13 +131,13 @@ fn cmd_fit<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
 
     let exp = ExpArgs {
         authors: dataset.n_authors(),
-        seed: flags.get_u64("seed").unwrap_or(42),
-        dim: flags.get_usize("dim").unwrap_or(40),
-        epochs: flags.get_usize("epochs").unwrap_or(4),
+        seed: flags.get_u64("seed")?.unwrap_or(42),
+        dim: flags.get_usize("dim")?.unwrap_or(40),
+        epochs: flags.get_usize("epochs")?.unwrap_or(4),
         ..Default::default()
     };
     let mut config = soulmate_bench::default_pipeline_config(&exp);
-    if let Some(alpha) = flags.get_f32("alpha") {
+    if let Some(alpha) = flags.get_f32("alpha")? {
         config.alpha = alpha;
     }
     let started = std::time::Instant::now();
@@ -151,8 +161,10 @@ fn cmd_fit<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
 }
 
 fn cmd_subgraphs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    // Flags are validated before any file I/O so a malformed value is a
+    // Usage error even when the model path is bad too.
+    let top = flags.get_usize("top")?.unwrap_or(10);
     let model = load_model(flags)?;
-    let top = flags.get_usize("top").unwrap_or(10);
     let graph =
         WeightedGraph::from_similarity(&model.x_total, model.graph_min_sim, model.graph_top_k)
             .map_err(|e| CliError::Failed(e.to_string()))?;
@@ -161,10 +173,7 @@ fn cmd_subgraphs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     components.sort_by_key(|c| std::cmp::Reverse(c.len()));
     writeln!(out, "{} linked-author subgraphs:", components.len()).ok();
     for (i, group) in components.iter().take(top).enumerate() {
-        let names: Vec<&str> = group
-            .iter()
-            .map(|&a| model.author_handles[a].as_str())
-            .collect();
+        let names: Vec<&str> = group.iter().map(|&a| handle_of(&model, a)).collect();
         writeln!(
             out,
             "  #{i} ({} authors, avg weight {:.3}): {}",
@@ -178,8 +187,9 @@ fn cmd_subgraphs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
 }
 
 fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
-    let model = load_model(flags)?;
+    // Both required flags are checked before the (expensive) model load.
     let tweets_path = flags.require_path("tweets")?;
+    let model = load_model(flags)?;
     // All the query-independent work (row normalization, sparsification,
     // edge sorting) happens once here; each query then merges into the
     // cached cut.
@@ -198,7 +208,7 @@ fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
                 .subgraph
                 .iter()
                 .filter(|&&a| a != outcome.query_index)
-                .map(|&a| model.author_handles[a].as_str())
+                .map(|&a| handle_of(&model, a))
                 .collect();
             writeln!(
                 out,
@@ -228,13 +238,13 @@ fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     writeln!(out, "most similar authors:").ok();
     for (a, s) in ranked.into_iter().take(5) {
-        writeln!(out, "  {} (similarity {s:.3})", model.author_handles[a]).ok();
+        writeln!(out, "  {} (similarity {s:.3})", handle_of(&model, a)).ok();
     }
     let mates: Vec<&str> = outcome
         .subgraph
         .iter()
         .filter(|&&a| a != outcome.query_index)
-        .map(|&a| model.author_handles[a].as_str())
+        .map(|&a| handle_of(&model, a))
         .collect();
     writeln!(out, "linked with: {}", mates.join(", ")).ok();
     emit_metrics(flags, out)
@@ -242,12 +252,14 @@ fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
 
 fn cmd_slabs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     let data = flags.require_path("data")?;
+    // Flag validation precedes file I/O (see cmd_subgraphs).
+    let threshold = flags.get_f32("threshold")?.unwrap_or(0.4);
     let dataset = corpus_io::load_json(&data).map_err(|e| CliError::Failed(e.to_string()))?;
     let corpus = dataset.encode(&TokenizerConfig::default(), 3);
-    let threshold = flags.get_f32("threshold").unwrap_or(0.4);
     let grid = similarity_grid(&corpus, Facet::DayOfWeek, |_| true);
     writeln!(out, "day-of-week similarity grid:\n{}", grid.render()).ok();
-    let (slabs, _) = slabs_from_grid(&grid, threshold);
+    let (slabs, _) =
+        slabs_from_grid(&grid, threshold).map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(out, "day slabs @ {threshold}: {}", slabs.render()).ok();
     Ok(())
 }
@@ -257,12 +269,12 @@ fn cmd_eval<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     let dataset = corpus_io::load_json(&data).map_err(|e| CliError::Failed(e.to_string()))?;
     let exp = ExpArgs {
         authors: dataset.n_authors(),
-        seed: flags.get_u64("seed").unwrap_or(42),
-        dim: flags.get_usize("dim").unwrap_or(40),
-        epochs: flags.get_usize("epochs").unwrap_or(4),
+        seed: flags.get_u64("seed")?.unwrap_or(42),
+        dim: flags.get_usize("dim")?.unwrap_or(40),
+        epochs: flags.get_usize("epochs")?.unwrap_or(4),
         ..Default::default()
     };
-    let k = flags.get_usize("k").unwrap_or(5);
+    let k = flags.get_usize("k")?.unwrap_or(5);
     let pipeline = Pipeline::fit(&dataset, soulmate_bench::default_pipeline_config(&exp))
         .map_err(|e| CliError::Failed(e.to_string()))?;
     let forest = pipeline
@@ -338,6 +350,17 @@ fn emit_metrics<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
         write!(out, "{}", obs.render_table()).ok();
     }
     Ok(())
+}
+
+/// Author handle for display. Engine outcomes only contain indices the
+/// snapshot itself produced, so the fallback never shows in practice; it
+/// exists so a display path can never panic on a corrupt index.
+fn handle_of(model: &PipelineSnapshot, author: usize) -> &str {
+    model
+        .author_handles
+        .get(author)
+        .map(String::as_str)
+        .unwrap_or("<unknown-author>")
 }
 
 fn load_model(flags: &Flags) -> Result<PipelineSnapshot, CliError> {

@@ -1,0 +1,167 @@
+//! CLI error-path integration tests: every bad invocation must produce a
+//! typed [`CliError`] through the library API and the documented
+//! `error: <cause>` / exit-code contract through the real binary —
+//! never a panic, never a silent default.
+
+use soulmate_cli::{run, CliError};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("soulmate-cli-errors-{}-{name}", std::process::id()));
+    p
+}
+
+fn run_vec(args: &[&str]) -> Result<String, CliError> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut buf = Vec::new();
+    run(&args, &mut buf)?;
+    Ok(String::from_utf8(buf).expect("utf8 output"))
+}
+
+#[test]
+fn empty_and_unknown_invocations_are_usage_errors() {
+    assert!(matches!(run_vec(&[]), Err(CliError::Usage(_))));
+    let err = run_vec(&["frobnicate"]).unwrap_err();
+    match err {
+        CliError::Usage(msg) => assert!(msg.contains("frobnicate"), "{msg}"),
+        other => panic!("expected Usage, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_flag_values_are_usage_errors() {
+    // `--seed banana` must fail loudly, not run with the default seed.
+    let out = tmp("unused.json");
+    let err = run_vec(&[
+        "generate",
+        "--out",
+        out.to_str().unwrap(),
+        "--seed",
+        "banana",
+    ])
+    .unwrap_err();
+    match err {
+        CliError::Usage(msg) => {
+            assert!(msg.contains("--seed") && msg.contains("banana"), "{msg}");
+        }
+        other => panic!("expected Usage, got {other:?}"),
+    }
+    // Same contract for float and usize flags on other subcommands.
+    let err = run_vec(&["slabs", "--data", "x.json", "--threshold", "high"]).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    let err = run_vec(&["subgraphs", "--model", "x.json", "--top", "-2"]).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+}
+
+#[test]
+fn missing_required_flags_are_usage_errors() {
+    for args in [
+        &["generate"][..],
+        &["fit", "--out", "m.json"][..],
+        &["link", "--model", "m.json"][..],
+        &["subgraphs"][..],
+    ] {
+        let err = run_vec(args).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{args:?}: {err:?}");
+    }
+}
+
+#[test]
+fn missing_model_file_is_a_failed_error_with_cause() {
+    let err = run_vec(&["subgraphs", "--model", "/no/such/model.json"]).unwrap_err();
+    match err {
+        CliError::Failed(msg) => {
+            assert!(msg.contains("cannot open"), "{msg}");
+            assert!(msg.contains("/no/such/model.json"), "{msg}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_model_file_is_a_failed_error() {
+    let path = tmp("corrupt-model.json");
+    std::fs::write(&path, "{definitely not a snapshot").unwrap();
+    let err = run_vec(&["subgraphs", "--model", path.to_str().unwrap()]).unwrap_err();
+    std::fs::remove_file(&path).ok();
+    match err {
+        CliError::Failed(msg) => assert!(msg.contains("parse"), "{msg}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+#[test]
+fn unwritable_metrics_path_is_a_failed_error() {
+    // `fit --metrics` into a directory that does not exist: the command
+    // itself may have succeeded, but the metrics dump must fail typed.
+    let data = tmp("metrics-data.json");
+    let out = run_vec(&[
+        "generate",
+        "--out",
+        data.to_str().unwrap(),
+        "--authors",
+        "8",
+        "--tweets",
+        "12",
+    ])
+    .unwrap();
+    assert!(out.contains("wrote"), "{out}");
+
+    let model = tmp("metrics-model.json");
+    let err = run_vec(&[
+        "fit",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+        "--dim",
+        "8",
+        "--epochs",
+        "1",
+        "--metrics",
+        "/no/such/dir/metrics.json",
+    ])
+    .unwrap_err();
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&model).ok();
+    match err {
+        CliError::Failed(msg) => {
+            assert!(msg.contains("cannot write metrics"), "{msg}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+// -------------------------------------------------------------------
+// The binary contract: stderr prefix and exit codes.
+// -------------------------------------------------------------------
+
+#[test]
+fn binary_prints_error_line_and_exits_1_on_failure() {
+    let output = Command::new(env!("CARGO_BIN_EXE_soulmate"))
+        .args(["subgraphs", "--model", "/no/such/model.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.starts_with("error: "), "stderr: {stderr}");
+    assert!(stderr.contains("cannot open"), "stderr: {stderr}");
+}
+
+#[test]
+fn binary_exits_2_on_usage_errors() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["generate", "--out", "x.json", "--seed", "banana"][..],
+    ] {
+        let output = Command::new(env!("CARGO_BIN_EXE_soulmate"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert_eq!(output.status.code(), Some(2), "args {args:?}");
+        assert!(!output.stderr.is_empty());
+    }
+}

@@ -72,7 +72,10 @@ impl Dendrogram {
                     }
                 }
             }
-            let (i, j, height) = best.expect("at least two active clusters");
+            // `active.len() > 1` guarantees the double loop ran at least
+            // once; the defensive break (instead of an unwrap) keeps the
+            // builder total even if that invariant were ever broken.
+            let Some((i, j, height)) = best else { break };
             // j > i, so removing j first leaves index i pointing at the
             // same cluster (swap_remove moves only the last element).
             let (right_id, right_members) = active.swap_remove(j);
@@ -123,8 +126,12 @@ impl Dendrogram {
             .collect();
         for (step, m) in self.merges.iter().enumerate() {
             let id = self.n + step;
-            let lrep = rep[m.left].expect("left cluster exists");
-            let rrep = rep[m.right].expect("right cluster exists");
+            // Merge ids only reference earlier clusters, so both reps are
+            // set by now; a privately-built dendrogram cannot violate this,
+            // and skipping (instead of panicking) keeps `cut` total.
+            let (Some(lrep), Some(rrep)) = (rep[m.left], rep[m.right]) else {
+                continue;
+            };
             if m.height <= threshold {
                 let lr = find(&mut parent, lrep);
                 let rr = find(&mut parent, rrep);
@@ -171,8 +178,10 @@ impl Dendrogram {
             .collect();
         for (step, m) in self.merges.iter().enumerate() {
             let id = self.n + step;
-            let lrep = rep[m.left].expect("left exists");
-            let rrep = rep[m.right].expect("right exists");
+            // Same invariant (and same defensive skip) as in `cut`.
+            let (Some(lrep), Some(rrep)) = (rep[m.left], rep[m.right]) else {
+                continue;
+            };
             if step < applied {
                 let lr = find(&mut parent, lrep);
                 let rr = find(&mut parent, rrep);

@@ -25,6 +25,9 @@ pub enum AuthorCombiner {
 ///
 /// `tweet_author[i]` gives the author of tweet `i` (row `i` of
 /// `tweet_vecs`); authors with no tweets get zero vectors.
+// `by_author[a]` is guarded by the explicit `a < n_authors` check on the
+// line above it; out-of-range author ids are skipped, not indexed.
+#[allow(clippy::indexing_slicing)]
 pub fn author_content_vectors(
     tweet_vecs: &Matrix,
     tweet_author: &[u32],
@@ -63,6 +66,10 @@ pub fn author_content_vectors(
 }
 
 /// The K-Fold aggregation of Fig 7 over one author's tweet vectors.
+// In-bounds by construction: every row is a `tweet_vecs` row of length
+// `dim` (so `v[d]` with `d < dim` holds), and the bin index is clamped to
+// `bins - 1` right before `counts[b]`.
+#[allow(clippy::indexing_slicing)]
 fn kfold_vector<'a, I>(rows: I, dim: usize, bins: usize) -> Vec<f32>
 where
     I: IntoIterator<Item = &'a [f32]>,
@@ -94,7 +101,7 @@ where
             }
             counts[b] += 1;
         }
-        let max = *counts.iter().max().expect("bins >= 1");
+        let max = counts.iter().copied().max().unwrap_or(0);
         // Midpoints of all majority bins, averaged on ties.
         let midpoints: Vec<f32> = counts
             .iter()
@@ -110,6 +117,8 @@ where
 /// Author concept vectors: the average of each author's tweet concept
 /// vectors (Section 4.2.1 uses averaging for the query author; the offline
 /// phase aggregates identically).
+// `counts[a]` is guarded by the explicit `a < n_authors` check around it.
+#[allow(clippy::indexing_slicing)]
 pub fn author_concept_vectors(
     tweet_concept_vecs: &Matrix,
     tweet_author: &[u32],

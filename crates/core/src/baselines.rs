@@ -188,6 +188,9 @@ pub fn exact_matching_similarity(corpus: &EncodedCorpus) -> Vec<Vec<f32>> {
     jaccard_similarity(&docs)
 }
 
+// `sim` is allocated `n x n` and `weighted` has one entry per doc; all
+// indices are `i, j < n`.
+#[allow(clippy::indexing_slicing)]
 fn tfidf_similarity(docs: &[Vec<WordId>], vocab_size: usize) -> Vec<Vec<f32>> {
     let model = DocumentTfIdf::fit(docs.iter().map(Vec::as_slice), vocab_size);
     let weighted: Vec<_> = docs.iter().map(|d| model.weigh(d)).collect();
@@ -204,6 +207,8 @@ fn tfidf_similarity(docs: &[Vec<WordId>], vocab_size: usize) -> Vec<Vec<f32>> {
     sim
 }
 
+// `sim` is allocated `n x n`; all indices are `i, j < n = docs.len()`.
+#[allow(clippy::indexing_slicing)]
 fn jaccard_similarity(docs: &[Vec<WordId>]) -> Vec<Vec<f32>> {
     let n = docs.len();
     let mut sim = vec![vec![0.0f32; n]; n];

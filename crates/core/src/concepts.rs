@@ -129,6 +129,11 @@ pub fn discover_concepts(
 /// # Errors
 /// As [`discover_concepts`], plus [`CoreError::Invalid`] when the weight
 /// vector length mismatches or contains non-finite/negative entries.
+// In-bounds by construction: `indices[pos]` enumerates `points` (built
+// from `indices` itself), weight length is validated == n up front,
+// cluster labels are `< n_clusters` (clusterer contract), and `order`/
+// `remap` are permutations of `0..n_clusters`.
+#[allow(clippy::indexing_slicing)]
 pub fn discover_concepts_weighted(
     tweet_vecs: &Matrix,
     weights: Option<&[f32]>,

@@ -76,6 +76,10 @@ impl CachedCut {
     ///
     /// # Errors
     /// [`CoreError`] (via the graph layer) when `sim` is ragged.
+    // Indexing is in-bounds by construction: `from_similarity` has already
+    // verified `sim` is a square n×n matrix (it errors on ragged input
+    // before any index below runs), and `neighbours` holds indices < n.
+    #[allow(clippy::indexing_slicing)]
     pub fn new(
         sim: &[Vec<f32>],
         min_similarity: f32,
@@ -124,6 +128,8 @@ impl CachedCut {
     /// ranking? In the extended matrix the query row is appended *last*,
     /// so under the stable ranking sort it must beat the current rank-k
     /// neighbour strictly; with fewer than k neighbours it enters freely.
+    // `topk` has one entry per node; callers pass i < self.n.
+    #[allow(clippy::indexing_slicing)]
     fn query_enters_topk(&self, i: usize, qsim: f32) -> bool {
         match self.topk[i].kth_sim {
             None => true,
@@ -137,10 +143,21 @@ impl CachedCut {
     ///
     /// The query node's index in the returned forest is `n_authors()`.
     ///
-    /// # Panics
-    /// Panics when `sims.len() != self.n_authors()`.
-    pub fn cut_with_query(&self, sims: &[f32]) -> SpanningForest {
-        assert_eq!(sims.len(), self.n, "similarity row length != author count");
+    /// # Errors
+    /// [`CoreError::Invalid`] when `sims.len() != self.n_authors()` —
+    /// a mis-sized row would silently link the wrong authors, so it is
+    /// rejected (not panicked on) before any index is touched.
+    // With the length check done, every index below is < n (`sims`, `topk`,
+    // `q_keep` all have exactly n entries; `prefix` holds node ids < n).
+    #[allow(clippy::indexing_slicing)]
+    pub fn cut_with_query(&self, sims: &[f32]) -> Result<SpanningForest, CoreError> {
+        if sims.len() != self.n {
+            return Err(CoreError::Invalid(format!(
+                "similarity row length {} != author count {}",
+                sims.len(),
+                self.n
+            )));
+        }
         let n = self.n;
         let k = self.top_k;
 
@@ -227,7 +244,7 @@ impl CachedCut {
         let obs = soulmate_obs::global();
         obs.incr("engine.edges_merged", merged.len() as u64);
         obs.incr("engine.topk_displaced", removed.len() as u64);
-        swmst_from_sorted(n + 1, merged)
+        Ok(swmst_from_sorted(n + 1, merged))
     }
 }
 
@@ -291,8 +308,9 @@ impl<'a> QueryEngine<'a> {
     /// yields any in-vocabulary token.
     pub fn link_query(&self, tweets: &[(Timestamp, String)]) -> Result<QueryOutcome, CoreError> {
         let q = vectorize_query(&self.model, tweets)?;
-        let mut outcomes = self.serve(vec![q]);
-        Ok(outcomes.pop().expect("one query in, one outcome out"))
+        self.serve(vec![q])?
+            .pop()
+            .ok_or(CoreError::Internal("one query in, one outcome out"))
     }
 
     /// Link a batch of query authors in one pass: the similarity rows of
@@ -313,21 +331,26 @@ impl<'a> QueryEngine<'a> {
             .iter()
             .map(|tweets| vectorize_query(&self.model, tweets))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(self.serve(qvecs))
+        self.serve(qvecs)
     }
 
-    /// Serve pre-vectorized queries (infallible once vectorized).
-    fn serve(&self, qvecs: Vec<QueryVectors>) -> Vec<QueryOutcome> {
+    /// Serve pre-vectorized queries. The only failure modes left at this
+    /// point are internal-invariant violations (vectorized rows always
+    /// share the model dimension; the cut always contains the query node),
+    /// surfaced as [`CoreError::Internal`] rather than panics.
+    fn serve(&self, qvecs: Vec<QueryVectors>) -> Result<Vec<QueryOutcome>, CoreError> {
         if qvecs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let content_q: Vec<Vec<f32>> = qvecs.iter().map(|q| q.content_unit.clone()).collect();
         let concept_q: Vec<Vec<f32>> = qvecs
             .iter()
             .map(|q| q.concept_centered_unit.clone())
             .collect();
-        let content_q = Matrix::from_rows(&content_q).expect("query content rows share one dim");
-        let concept_q = Matrix::from_rows(&concept_q).expect("query concept rows share one dim");
+        let content_q = Matrix::from_rows(&content_q)
+            .map_err(|_| CoreError::Internal("query content rows share one dim"))?;
+        let concept_q = Matrix::from_rows(&concept_q)
+            .map_err(|_| CoreError::Internal("query concept rows share one dim"))?;
         // out[q][a] = dot(query_unit_row, author_unit_row) — entry for
         // entry the same dot calls the legacy per-author loop makes.
         let content_dots = gram_rect_blocked(&content_q, self.content_rows.unit_matrix());
@@ -335,30 +358,31 @@ impl<'a> QueryEngine<'a> {
 
         let obs = soulmate_obs::global();
         let query_index = self.cut.n_authors();
-        qvecs
-            .into_iter()
-            .enumerate()
-            .map(|(qi, q)| {
-                let start = std::time::Instant::now();
-                let similarities =
-                    fused_row_from_dots(&self.model, &content_dots[qi], &concept_dots[qi]);
-                let forest = self.cut.cut_with_query(&similarities);
-                let subgraph = forest
-                    .query_subgraph(query_index)
-                    .expect("query node exists in forest");
-                let subgraph_avg_weight = forest.component_avg_weight(&subgraph);
-                obs.record_duration("engine.query.seconds", start.elapsed());
-                obs.incr("engine.queries", 1);
-                QueryOutcome {
-                    query_index,
-                    subgraph,
-                    subgraph_avg_weight,
-                    content_vector: q.content,
-                    concept_vector: q.concept,
-                    similarities,
-                }
-            })
-            .collect()
+        let mut outcomes = Vec::with_capacity(qvecs.len());
+        for (qi, q) in qvecs.into_iter().enumerate() {
+            let start = std::time::Instant::now();
+            let (content_row, concept_row) = content_dots
+                .get(qi)
+                .zip(concept_dots.get(qi))
+                .ok_or(CoreError::Internal("one dot row per query"))?;
+            let similarities = fused_row_from_dots(&self.model, content_row, concept_row);
+            let forest = self.cut.cut_with_query(&similarities)?;
+            let subgraph = forest
+                .query_subgraph(query_index)
+                .ok_or(CoreError::Internal("query node exists in forest"))?;
+            let subgraph_avg_weight = forest.component_avg_weight(&subgraph);
+            obs.record_duration("engine.query.seconds", start.elapsed());
+            obs.incr("engine.queries", 1);
+            outcomes.push(QueryOutcome {
+                query_index,
+                subgraph,
+                subgraph_avg_weight,
+                content_vector: q.content,
+                concept_vector: q.concept,
+                similarities,
+            });
+        }
+        Ok(outcomes)
     }
 }
 
@@ -444,7 +468,7 @@ mod tests {
     fn assert_cut_matches(x: &[Vec<f32>], sims: &[f32], min_sim: f32, k: usize) {
         let want = reference_cut(x, sims, min_sim, k);
         let cut = CachedCut::new(x, min_sim, k).unwrap();
-        let got = cut.cut_with_query(sims);
+        let got = cut.cut_with_query(sims).unwrap();
         assert_eq!(
             want.edges(),
             got.edges(),
@@ -483,11 +507,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "similarity row length")]
     fn cut_with_query_rejects_wrong_row_length() {
+        // Regression: this used to assert! and take the server down; a
+        // mis-sized row is now a typed error.
         let x = vec![vec![1.0, 0.2], vec![0.2, 1.0]];
         let cut = CachedCut::new(&x, 0.0, 1).unwrap();
-        cut.cut_with_query(&[0.5]);
+        let err = cut.cut_with_query(&[0.5]).unwrap_err();
+        assert!(matches!(err, CoreError::Invalid(_)));
+        assert!(err.to_string().contains("similarity row length"));
+        assert!(cut.cut_with_query(&[0.5, 0.5, 0.5]).is_err());
     }
 
     proptest! {
@@ -524,7 +552,7 @@ mod tests {
 
             let want = reference_cut(&x, &sims, min_sim, top_k);
             let cut = CachedCut::new(&x, min_sim, top_k).unwrap();
-            let got = cut.cut_with_query(&sims);
+            let got = cut.cut_with_query(&sims).unwrap();
             prop_assert_eq!(want.edges(), got.edges());
             prop_assert_eq!(want.components(), got.components());
         }

@@ -1,8 +1,28 @@
 //! Error type for the SoulMate core pipeline.
+//!
+//! [`CoreError`] is the unified error taxonomy of the serving path
+//! (DESIGN.md §12): every crate the path crosses has its own `error.rs`,
+//! and `CoreError` wraps each of them via `From`, so `?` propagates a
+//! typed error from any stage up to the CLI without ever panicking.
+//!
+//! The variants split into three families:
+//!
+//! * **wrapped stage errors** ([`CoreError::Temporal`],
+//!   [`CoreError::Embedding`], [`CoreError::Cluster`],
+//!   [`CoreError::Graph`], [`CoreError::Linalg`]) — a lower crate
+//!   rejected its input;
+//! * **boundary errors** ([`CoreError::Io`], [`CoreError::Parse`],
+//!   [`CoreError::Schema`]) — a snapshot file could not be read, decoded,
+//!   or failed the shape/consistency validation at load;
+//! * **contract errors** ([`CoreError::Invalid`],
+//!   [`CoreError::Internal`]) — a caller-visible precondition was
+//!   violated, or an internal invariant believed unreachable was hit
+//!   (surfaced as an error instead of a panic so a server keeps serving).
 
 use std::fmt;
 
-/// Errors raised while fitting or querying the SoulMate pipeline.
+/// Errors raised while fitting, persisting, or querying the SoulMate
+/// pipeline.
 #[derive(Debug)]
 pub enum CoreError {
     /// Temporal slab construction failed.
@@ -13,8 +33,28 @@ pub enum CoreError {
     Cluster(soulmate_cluster::ClusterError),
     /// Graph construction failed.
     Graph(soulmate_graph::GraphError),
+    /// A linear-algebra routine rejected its input.
+    Linalg(soulmate_linalg::LinalgError),
     /// A pipeline precondition was violated (message explains).
     Invalid(String),
+    /// A filesystem operation on a snapshot or metrics file failed.
+    Io {
+        /// What was being attempted (includes the path).
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A snapshot file exists but its bytes do not decode (truncated,
+    /// corrupted, or not JSON at all).
+    Parse(String),
+    /// A snapshot decoded but its contents are inconsistent (shape
+    /// mismatches, non-finite weights, out-of-range ids, unsupported
+    /// version).
+    Schema(String),
+    /// An internal invariant believed unreachable was violated. Returned
+    /// instead of panicking so the serving path stays up; seeing one is a
+    /// bug worth reporting.
+    Internal(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -24,7 +64,14 @@ impl fmt::Display for CoreError {
             CoreError::Embedding(e) => write!(f, "embedding stage: {e}"),
             CoreError::Cluster(e) => write!(f, "clustering stage: {e}"),
             CoreError::Graph(e) => write!(f, "graph stage: {e}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra: {e}"),
             CoreError::Invalid(msg) => write!(f, "invalid pipeline state: {msg}"),
+            CoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            CoreError::Parse(msg) => write!(f, "snapshot parse failed: {msg}"),
+            CoreError::Schema(msg) => write!(f, "snapshot schema violation: {msg}"),
+            CoreError::Internal(msg) => {
+                write!(f, "internal invariant violated ({msg}); this is a bug")
+            }
         }
     }
 }
@@ -36,7 +83,12 @@ impl std::error::Error for CoreError {
             CoreError::Embedding(e) => Some(e),
             CoreError::Cluster(e) => Some(e),
             CoreError::Graph(e) => Some(e),
-            CoreError::Invalid(_) => None,
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Io { source, .. } => Some(source),
+            CoreError::Invalid(_)
+            | CoreError::Parse(_)
+            | CoreError::Schema(_)
+            | CoreError::Internal(_) => None,
         }
     }
 }
@@ -62,5 +114,11 @@ impl From<soulmate_cluster::ClusterError> for CoreError {
 impl From<soulmate_graph::GraphError> for CoreError {
     fn from(e: soulmate_graph::GraphError) -> Self {
         CoreError::Graph(e)
+    }
+}
+
+impl From<soulmate_linalg::LinalgError> for CoreError {
+    fn from(e: soulmate_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
     }
 }

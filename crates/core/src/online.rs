@@ -221,7 +221,7 @@ pub fn link_query(
         .enumerate()
         .map(|(i, row)| {
             let mut r = row.clone();
-            r.push(similarities[i]);
+            r.push(similarities.get(i).copied().unwrap_or(f32::NAN));
             r
         })
         .collect();
@@ -234,7 +234,7 @@ pub fn link_query(
     let query_index = n;
     let subgraph = forest
         .query_subgraph(query_index)
-        .expect("query node exists in forest");
+        .ok_or(CoreError::Internal("query node exists in forest"))?;
     let subgraph_avg_weight = forest.component_avg_weight(&subgraph);
 
     Ok(QueryOutcome {

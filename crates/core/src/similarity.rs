@@ -50,7 +50,11 @@ pub fn similarity_matrix_parallel(vectors: &Matrix, threads: usize) -> Vec<Vec<f
         for v in row.iter_mut() {
             *v = v.clamp(-1.0, 1.0);
         }
-        row[i] = 1.0;
+        // Gram output is square, so `i` is always in range; `get_mut`
+        // keeps the pass panic-free anyway.
+        if let Some(d) = row.get_mut(i) {
+            *d = 1.0;
+        }
     }
     sim
 }

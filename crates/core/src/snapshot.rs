@@ -165,7 +165,8 @@ impl PipelineSnapshot {
     /// a crash or a full disk never leaves a truncated snapshot behind.
     ///
     /// # Errors
-    /// [`CoreError::Invalid`] wraps I/O and serialization failures; the
+    /// [`CoreError::Io`] for filesystem failures,
+    /// [`CoreError::Invalid`] for unserializable paths/values; the
     /// temporary file is removed on any failure.
     pub fn save(&self, path: &Path) -> Result<(), CoreError> {
         let file_name = path.file_name().ok_or_else(|| {
@@ -178,16 +179,20 @@ impl PipelineSnapshot {
             std::process::id()
         ));
         let write = || -> Result<(), CoreError> {
-            let file = File::create(&tmp)
-                .map_err(|e| CoreError::Invalid(format!("cannot create {}: {e}", tmp.display())))?;
+            let file = File::create(&tmp).map_err(|e| CoreError::Io {
+                context: format!("cannot create {}", tmp.display()),
+                source: e,
+            })?;
             let mut writer = BufWriter::new(file);
             serde_json::to_writer(&mut writer, self)
                 .map_err(|e| CoreError::Invalid(format!("snapshot serialization failed: {e}")))?;
-            writer
-                .flush()
-                .map_err(|e| CoreError::Invalid(format!("snapshot write failed: {e}")))?;
-            std::fs::rename(&tmp, path).map_err(|e| {
-                CoreError::Invalid(format!("cannot move snapshot into {}: {e}", path.display()))
+            writer.flush().map_err(|e| CoreError::Io {
+                context: format!("snapshot write to {} failed", tmp.display()),
+                source: e,
+            })?;
+            std::fs::rename(&tmp, path).map_err(|e| CoreError::Io {
+                context: format!("cannot move snapshot into {}", path.display()),
+                source: e,
             })
         };
         let start = std::time::Instant::now();
@@ -203,16 +208,20 @@ impl PipelineSnapshot {
     /// Read a snapshot saved by [`PipelineSnapshot::save`].
     ///
     /// # Errors
-    /// [`CoreError::Invalid`] for I/O or parse failures, shape
-    /// inconsistencies, and unknown snapshot versions.
+    /// [`CoreError::Io`] when the file cannot be opened,
+    /// [`CoreError::Parse`] when its bytes do not decode (truncation,
+    /// corruption, not-JSON), and [`CoreError::Schema`] when the decoded
+    /// contents are inconsistent or carry an unsupported version.
     pub fn load(path: &Path) -> Result<PipelineSnapshot, CoreError> {
         let start = std::time::Instant::now();
-        let file = File::open(path)
-            .map_err(|e| CoreError::Invalid(format!("cannot open {}: {e}", path.display())))?;
+        let file = File::open(path).map_err(|e| CoreError::Io {
+            context: format!("cannot open {}", path.display()),
+            source: e,
+        })?;
         let mut snapshot: PipelineSnapshot = serde_json::from_reader(BufReader::new(file))
-            .map_err(|e| CoreError::Invalid(format!("snapshot parse failed: {e}")))?;
+            .map_err(|e| CoreError::Parse(e.to_string()))?;
         if snapshot.version != SNAPSHOT_VERSION {
-            return Err(CoreError::Invalid(format!(
+            return Err(CoreError::Schema(format!(
                 "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
                 snapshot.version
             )));
@@ -224,48 +233,96 @@ impl PipelineSnapshot {
         Ok(snapshot)
     }
 
-    /// Cross-check internal shapes (called on load; public for callers
-    /// constructing snapshots by hand).
+    /// Cross-check internal shapes and value sanity (called on load;
+    /// public for callers constructing snapshots by hand).
+    ///
+    /// Everything the serving path later indexes or divides by is checked
+    /// here — dimensions, cross-references (vocabulary vs. embedding),
+    /// and finiteness of every weight that reaches the graph cut — so a
+    /// snapshot that validates can be served without any panic risk.
     ///
     /// # Errors
-    /// [`CoreError::Invalid`] describing the first inconsistency found.
+    /// [`CoreError::Schema`] describing the first inconsistency found.
     pub fn validate(&self) -> Result<(), CoreError> {
+        let schema = |msg: String| Err(CoreError::Schema(msg));
         let n = self.author_content.rows();
         if self.author_concept.rows() != n {
-            return Err(CoreError::Invalid(
-                "author concept/content row counts differ".into(),
-            ));
+            return schema("author concept/content row counts differ".into());
         }
         if self.x_total.len() != n || self.x_total.iter().any(|r| r.len() != n) {
-            return Err(CoreError::Invalid("x_total is not n x n".into()));
+            return schema("x_total is not n x n".into());
         }
         if self.author_handles.len() != n {
-            return Err(CoreError::Invalid("author handle count mismatch".into()));
+            return schema("author handle count mismatch".into());
         }
         if self.author_concept.cols() != self.centroids.len() {
-            return Err(CoreError::Invalid(
-                "concept vector width != centroid count".into(),
-            ));
+            return schema("concept vector width != centroid count".into());
         }
         if self.concept_means.len() != self.centroids.len() {
-            return Err(CoreError::Invalid(
-                "concept means width != centroid count".into(),
-            ));
+            return schema("concept means width != centroid count".into());
         }
         if self
             .centroids
             .iter()
             .any(|c| c.len() != self.collective.dim())
         {
-            return Err(CoreError::Invalid(
-                "centroid dimension != embedding dimension".into(),
-            ));
+            return schema("centroid dimension != embedding dimension".into());
         }
         if !(0.0..=1.0).contains(&self.alpha) {
-            return Err(CoreError::Invalid(format!(
-                "alpha {} out of range",
-                self.alpha
-            )));
+            return schema(format!("alpha {} out of range", self.alpha));
+        }
+        // Word ids produced by the vocabulary index the embedding rows, so
+        // the two tables must agree — otherwise an in-vocabulary word id
+        // would read a vector that belongs to no word (or none at all).
+        if self.vocab.len() != self.collective.len() {
+            return schema(format!(
+                "vocabulary has {} words but the collective embedding has {} rows",
+                self.vocab.len(),
+                self.collective.len()
+            ));
+        }
+        // A populated model with a zero-dimensional embedding cannot form
+        // any content vector; reject it rather than serve empty rows.
+        if n > 0 && self.collective.dim() == 0 {
+            return schema("collective embedding dimension is zero".into());
+        }
+        if self.author_content.cols() != self.collective.dim() {
+            return schema(format!(
+                "author content width {} != embedding dimension {}",
+                self.author_content.cols(),
+                self.collective.dim()
+            ));
+        }
+        // The fusion standardization divides by these stds and the graph
+        // cut compares against these weights; any non-finite value here
+        // would propagate NaN into every served similarity row.
+        for (name, (mean, std)) in [
+            ("concept_stats", self.concept_stats),
+            ("content_stats", self.content_stats),
+        ] {
+            if !mean.is_finite() || !std.is_finite() {
+                return schema(format!("{name} ({mean}, {std}) is not finite"));
+            }
+            if std <= 0.0 {
+                return schema(format!("{name} std {std} must be positive"));
+            }
+        }
+        if !self.graph_min_sim.is_finite() {
+            return schema(format!(
+                "graph_min_sim {} is not finite",
+                self.graph_min_sim
+            ));
+        }
+        if self.concept_means.iter().any(|v| !v.is_finite()) {
+            return schema("concept_means contains a non-finite entry".into());
+        }
+        if let Some((i, j)) = self
+            .x_total
+            .iter()
+            .enumerate()
+            .find_map(|(i, row)| row.iter().position(|v| !v.is_finite()).map(|j| (i, j)))
+        {
+            return schema(format!("x_total[{i}][{j}] is not finite"));
         }
         Ok(())
     }

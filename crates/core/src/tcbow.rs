@@ -121,44 +121,54 @@ impl TemporalEmbedding {
         obs.set_gauge("tcbow.n_slabs", jobs.len() as f64);
         obs.set_gauge("tcbow.n_levels", slab_index.n_levels() as f64);
         let threads = config.threads.max(1).min(jobs.len().max(1));
-        let results: Vec<(usize, usize, Embedding, f32)> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in jobs.chunks(jobs.len().div_ceil(threads)) {
-                let cbow = config.cbow.clone();
-                let qtuples = &qtuples;
-                let seed = config.seed;
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|(level, slab, docs)| {
-                            let start = std::time::Instant::now();
-                            let mut rng = StdRng::seed_from_u64(
-                                seed ^ ((*level as u64) << 32) ^ (*slab as u64),
-                            );
-                            let embedding = match train_cbow(docs, vocab_size, &cbow, &mut rng) {
-                                Ok(e) => e,
-                                // A slab with too little text gets a blank
-                                // model; its zero accuracy weight silences
-                                // it in the fusion.
-                                Err(_) => {
-                                    Embedding::from_matrix(Matrix::zeros(vocab_size, cbow.dim))
-                                }
-                            };
-                            let accuracy = evaluate_analogy(&embedding, qtuples);
-                            let secs = start.elapsed().as_secs_f64();
-                            obs.record("tcbow.slab_train.seconds", secs);
-                            obs.record(&format!("tcbow.level{level}.slab_train.seconds"), secs);
-                            obs.incr("tcbow.slabs_trained", 1);
-                            (*level, *slab, embedding, accuracy)
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("slab trainer panicked"))
-                .collect()
-        });
+        let results: Result<Vec<(usize, usize, Embedding, f32)>, CoreError> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in jobs.chunks(jobs.len().div_ceil(threads)) {
+                    let cbow = config.cbow.clone();
+                    let qtuples = &qtuples;
+                    let seed = config.seed;
+                    handles.push(scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(level, slab, docs)| {
+                                let start = std::time::Instant::now();
+                                let mut rng = StdRng::seed_from_u64(
+                                    seed ^ ((*level as u64) << 32) ^ (*slab as u64),
+                                );
+                                let embedding = match train_cbow(docs, vocab_size, &cbow, &mut rng)
+                                {
+                                    Ok(e) => e,
+                                    // A slab with too little text gets a blank
+                                    // model; its zero accuracy weight silences
+                                    // it in the fusion.
+                                    Err(_) => {
+                                        Embedding::from_matrix(Matrix::zeros(vocab_size, cbow.dim))
+                                    }
+                                };
+                                let accuracy = evaluate_analogy(&embedding, qtuples);
+                                let secs = start.elapsed().as_secs_f64();
+                                obs.record("tcbow.slab_train.seconds", secs);
+                                obs.record(&format!("tcbow.level{level}.slab_train.seconds"), secs);
+                                obs.incr("tcbow.slabs_trained", 1);
+                                (*level, *slab, embedding, accuracy)
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                let mut results = Vec::new();
+                for h in handles {
+                    // A panicking trainer thread (a bug, not bad input)
+                    // surfaces as a typed error instead of poisoning the
+                    // caller with a propagated panic.
+                    match h.join() {
+                        Ok(chunk_results) => results.extend(chunk_results),
+                        Err(_) => return Err(CoreError::Internal("slab trainer thread panicked")),
+                    }
+                }
+                Ok(results)
+            });
+        let results = results?;
 
         // Group by level and normalize accuracies within each level.
         let mut models: Vec<Vec<SlabModel>> = (0..slab_index.n_levels())
@@ -203,9 +213,10 @@ impl TemporalEmbedding {
         &self.slab_index
     }
 
-    /// Models of one level, ordered by slab id.
+    /// Models of one level, ordered by slab id (empty for an out-of-range
+    /// level).
     pub fn level_models(&self, level: usize) -> &[SlabModel] {
-        &self.models[level]
+        self.models.get(level).map_or(&[], Vec::as_slice)
     }
 
     /// Number of hierarchy levels.
@@ -226,8 +237,10 @@ impl TemporalEmbedding {
     /// Level similarity (Eq 6): accuracy-weighted sum of per-slab cosines
     /// of the word pair within one facet level.
     pub fn level_similarity(&self, level: usize, i: WordId, j: WordId) -> f32 {
-        self.models[level]
-            .iter()
+        self.models
+            .get(level)
+            .into_iter()
+            .flatten()
             .map(|m| m.norm_accuracy * m.embedding.cosine(i, j))
             .sum()
     }
@@ -266,7 +279,7 @@ impl TemporalEmbedding {
     /// word's slab vectors within one level.
     pub fn collective_level_vector(&self, level: usize, i: WordId) -> Vec<f32> {
         let mut v = vec![0.0f32; self.dim];
-        for m in &self.models[level] {
+        for m in self.models.get(level).into_iter().flatten() {
             axpy(m.norm_accuracy, m.embedding.vector(i), &mut v);
         }
         v
@@ -366,14 +379,14 @@ impl TemporalEmbedding {
     /// the definition matches the sum of the exposed attributes.
     pub fn pair_similarity_reference(&self, i: WordId, j: WordId) -> f32 {
         let mut total = 0.0;
-        for l in 0..self.models.len() {
-            for m in &self.models[l] {
+        for (l, level_models) in self.models.iter().enumerate() {
+            for m in level_models {
                 // level term once per facet...
                 total += m.norm_accuracy * m.embedding.cosine(i, j);
             }
             // ...plus depth: every level from l downward.
-            for l2 in l..self.models.len() {
-                for m in &self.models[l2] {
+            for deeper in self.models.iter().skip(l) {
+                for m in deeper {
                     total += m.norm_accuracy * m.embedding.cosine(i, j);
                 }
             }

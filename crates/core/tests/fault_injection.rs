@@ -1,0 +1,372 @@
+//! Fault-injection harness for the serving path
+//! (snapshot → engine → query).
+//!
+//! Every hostile input here — truncated bytes, corrupted fields, NaN/Inf
+//! similarity rows, zero-dimensional embeddings, out-of-range ids,
+//! unknown words — must surface as a typed [`CoreError`], never a panic.
+//! And the harness itself must be inert: a valid snapshot passed through
+//! it still serves bit-for-bit identically to the pipeline it came from.
+
+use soulmate_core::engine::CachedCut;
+use soulmate_core::error::CoreError;
+use soulmate_core::pipeline::{Pipeline, PipelineConfig};
+use soulmate_core::snapshot::PipelineSnapshot;
+use soulmate_corpus::{generate, GeneratorConfig, Timestamp};
+use std::path::PathBuf;
+
+fn fitted() -> (soulmate_corpus::Dataset, Pipeline) {
+    let d = generate(&GeneratorConfig {
+        n_authors: 14,
+        n_communities: 3,
+        n_concepts: 5,
+        entities_per_concept: 8,
+        mean_tweets_per_author: 22,
+        ..GeneratorConfig::small()
+    })
+    .unwrap();
+    let p = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+    (d, p)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("soulmate-fault-{}-{name}", std::process::id()));
+    p
+}
+
+fn author_tweets(
+    d: &soulmate_corpus::Dataset,
+    author: u32,
+    take: usize,
+) -> Vec<(Timestamp, String)> {
+    d.tweets
+        .iter()
+        .filter(|t| t.author == author)
+        .take(take)
+        .map(|t| (t.timestamp, t.text.clone()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Byte-level corruption: truncation at many offsets.
+// ---------------------------------------------------------------------
+
+#[test]
+fn truncated_snapshot_bytes_are_parse_errors_not_panics() {
+    let (_, p) = fitted();
+    let snap = p.snapshot(&[]);
+    let path = tmp("truncate.json");
+    snap.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    assert!(bytes.len() > 64, "snapshot suspiciously small");
+
+    // Cut the file at the start, inside the header, mid-body, and one
+    // byte short of valid — every prefix must fail as Parse, not panic.
+    let cuts = [0, 1, 16, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1];
+    for cut in cuts {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = PipelineSnapshot::load(&path).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Parse(_)),
+            "truncation at {cut}/{} gave {err:?}, expected Parse",
+            bytes.len()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn garbage_bytes_are_parse_errors() {
+    let path = tmp("garbage.json");
+    for garbage in [
+        &b"\x00\x01\x02\xff\xfe binary junk"[..],
+        b"[1, 2, 3]",
+        b"{\"version\": 1}",
+        b"null",
+    ] {
+        std::fs::write(&path, garbage).unwrap();
+        let err = PipelineSnapshot::load(&path).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Parse(_)),
+            "garbage {garbage:?} gave {err:?}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------
+// Field-level corruption: structurally valid JSON, inconsistent model.
+// ---------------------------------------------------------------------
+
+/// Save a mutated snapshot and load it back, returning the load error.
+fn load_error_of(mutate: impl FnOnce(&mut PipelineSnapshot)) -> CoreError {
+    let (_, p) = fitted();
+    let mut snap = p.snapshot(&[]);
+    mutate(&mut snap);
+    let path = tmp("field-corrupt.json");
+    snap.save(&path).unwrap();
+    let err = PipelineSnapshot::load(&path).unwrap_err();
+    std::fs::remove_file(&path).ok();
+    err
+}
+
+#[test]
+fn unsupported_version_is_schema_error() {
+    let err = load_error_of(|s| s.version = 99);
+    assert!(matches!(err, CoreError::Schema(_)), "{err:?}");
+    assert!(err.to_string().contains("version"), "{err}");
+}
+
+#[test]
+fn version_field_corrupted_on_disk_is_schema_error() {
+    // Corrupt the serialized bytes directly, not the struct: the file
+    // stays well-formed JSON but carries a version we never wrote.
+    let (_, p) = fitted();
+    let snap = p.snapshot(&[]);
+    let path = tmp("version-bytes.json");
+    snap.save(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"version\":1"), "serialized layout changed");
+    std::fs::write(&path, text.replace("\"version\":1", "\"version\":7")).unwrap();
+    let err = PipelineSnapshot::load(&path).unwrap_err();
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(err, CoreError::Schema(_)), "{err:?}");
+}
+
+#[test]
+fn shape_corruptions_are_schema_errors() {
+    // Each mutation breaks one cross-reference the serving path indexes.
+    let cases: Vec<(&str, Box<dyn FnOnce(&mut PipelineSnapshot)>)> = vec![
+        (
+            "handle popped",
+            Box::new(|s: &mut PipelineSnapshot| {
+                s.author_handles.pop();
+            }),
+        ),
+        (
+            "x_total row popped",
+            Box::new(|s: &mut PipelineSnapshot| {
+                s.x_total.pop();
+            }),
+        ),
+        (
+            "x_total ragged",
+            Box::new(|s: &mut PipelineSnapshot| {
+                if let Some(row) = s.x_total.first_mut() {
+                    row.pop();
+                }
+            }),
+        ),
+        (
+            "centroid popped",
+            Box::new(|s: &mut PipelineSnapshot| {
+                s.centroids.pop();
+            }),
+        ),
+        (
+            "centroid dim changed",
+            Box::new(|s: &mut PipelineSnapshot| {
+                if let Some(c) = s.centroids.first_mut() {
+                    c.push(0.0);
+                }
+            }),
+        ),
+        (
+            "alpha out of range",
+            Box::new(|s: &mut PipelineSnapshot| {
+                s.alpha = 3.0;
+            }),
+        ),
+        (
+            "concept means popped",
+            Box::new(|s: &mut PipelineSnapshot| {
+                s.concept_means.pop();
+            }),
+        ),
+        (
+            "content std zero",
+            Box::new(|s: &mut PipelineSnapshot| {
+                s.content_stats = (0.0, 0.0);
+            }),
+        ),
+        (
+            "concept std negative",
+            Box::new(|s: &mut PipelineSnapshot| {
+                s.concept_stats = (0.1, -1.0);
+            }),
+        ),
+    ];
+    for (label, mutate) in cases {
+        let err = load_error_of(mutate);
+        assert!(
+            matches!(err, CoreError::Schema(_)),
+            "{label}: gave {err:?}, expected Schema"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Non-finite values: rejected at the boundary, tolerated in the kernels.
+// ---------------------------------------------------------------------
+
+#[test]
+fn non_finite_fields_fail_validation() {
+    // These cannot round-trip through JSON (NaN has no literal), so they
+    // model in-process corruption: validate() is the same gate load()
+    // runs, and it must catch every non-finite value the graph cut or
+    // the standardization would otherwise consume.
+    let (_, p) = fitted();
+
+    let mut snap = p.snapshot(&[]);
+    snap.x_total[1][2] = f32::NAN;
+    let err = snap.validate().unwrap_err();
+    assert!(matches!(err, CoreError::Schema(_)), "{err:?}");
+    assert!(err.to_string().contains("x_total[1][2]"), "{err}");
+
+    let mut snap = p.snapshot(&[]);
+    snap.x_total[0][1] = f32::INFINITY;
+    assert!(snap.validate().is_err());
+
+    let mut snap = p.snapshot(&[]);
+    snap.graph_min_sim = f32::NAN;
+    assert!(snap.validate().is_err());
+
+    let mut snap = p.snapshot(&[]);
+    snap.concept_stats = (f32::NAN, 1.0);
+    assert!(snap.validate().is_err());
+
+    let mut snap = p.snapshot(&[]);
+    if let Some(m) = snap.concept_means.first_mut() {
+        *m = f32::NEG_INFINITY;
+    }
+    assert!(snap.validate().is_err());
+}
+
+#[test]
+fn nan_and_inf_similarity_rows_never_panic_the_cut() {
+    // The cut layer itself must stay total even on rows validation never
+    // saw (e.g. a bug upstream): NaN/Inf entries degrade to dropped or
+    // extreme edges, never to a panic.
+    let x = vec![
+        vec![1.0, 0.4, f32::NAN],
+        vec![0.4, 1.0, f32::INFINITY],
+        vec![f32::NAN, f32::INFINITY, 1.0],
+    ];
+    let cut = CachedCut::new(&x, 0.2, 2).unwrap();
+    for sims in [
+        vec![f32::NAN, f32::NAN, f32::NAN],
+        vec![f32::INFINITY, f32::NEG_INFINITY, 0.5],
+        vec![0.9, f32::NAN, f32::INFINITY],
+    ] {
+        let forest = cut.cut_with_query(&sims).unwrap();
+        // The query node always exists and every node is in a component.
+        let covered: usize = forest.components().iter().map(Vec::len).sum();
+        assert_eq!(covered, 4);
+        assert!(forest.query_subgraph(3).is_some());
+        // No non-finite edge weight may survive into the forest.
+        assert!(forest.edges().iter().all(|e| e.w.is_finite()));
+    }
+}
+
+#[test]
+fn mis_sized_similarity_rows_are_invalid_errors() {
+    let x = vec![vec![1.0, 0.3], vec![0.3, 1.0]];
+    let cut = CachedCut::new(&x, 0.0, 1).unwrap();
+    for bad in [0usize, 1, 3, 64] {
+        let sims = vec![0.5; bad];
+        let err = cut.cut_with_query(&sims).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Invalid(_)),
+            "row length {bad} gave {err:?}"
+        );
+    }
+    // Ragged base matrices are typed errors too.
+    let ragged = vec![vec![1.0, 0.3], vec![0.3]];
+    assert!(CachedCut::new(&ragged, 0.0, 1).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Degenerate models: zero-dim embeddings, unknown words, empty queries.
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_dim_embedding_is_schema_error() {
+    let (_, p) = fitted();
+    let mut snap = p.snapshot(&[]);
+    let vocab_len = snap.vocab.len();
+    snap.collective =
+        soulmate_embedding::Embedding::from_matrix(soulmate_linalg::Matrix::zeros(vocab_len, 0));
+    let err = snap.validate().unwrap_err();
+    assert!(matches!(err, CoreError::Schema(_)), "{err:?}");
+}
+
+#[test]
+fn vocab_embedding_row_mismatch_is_schema_error() {
+    let (_, p) = fitted();
+    let mut snap = p.snapshot(&[]);
+    let dim = snap.collective.dim();
+    // One embedding row too few: an in-vocabulary word id would read a
+    // vector that belongs to no word.
+    snap.collective = soulmate_embedding::Embedding::from_matrix(soulmate_linalg::Matrix::zeros(
+        snap.vocab.len().saturating_sub(1),
+        dim,
+    ));
+    let err = snap.validate().unwrap_err();
+    assert!(matches!(err, CoreError::Schema(_)), "{err:?}");
+    assert!(err.to_string().contains("vocabulary"), "{err}");
+}
+
+#[test]
+fn unknown_words_and_empty_queries_are_invalid_errors() {
+    let (_, p) = fitted();
+    let snap = p.snapshot(&[]);
+    let engine = snap.query_engine().unwrap();
+
+    // No tweets at all.
+    let err = engine.link_query(&[]).unwrap_err();
+    assert!(matches!(err, CoreError::Invalid(_)), "{err:?}");
+
+    // Tweets whose every token is out of vocabulary.
+    let oov = vec![
+        (Timestamp(0), "zzqqxy wvutsr plmokn".to_string()),
+        (Timestamp(10), "qqq zzz xxx".to_string()),
+    ];
+    let err = engine.link_query(&oov).unwrap_err();
+    assert!(matches!(err, CoreError::Invalid(_)), "{err:?}");
+
+    // Empty strings / whitespace only.
+    let blank = vec![
+        (Timestamp(0), "   ".to_string()),
+        (Timestamp(5), String::new()),
+    ];
+    assert!(engine.link_query(&blank).is_err());
+
+    // A batch containing one bad member fails as a whole — typed.
+    let good = vec![(Timestamp(0), "anything".to_string())];
+    let out = engine.link_query_authors(&[good, Vec::new()]);
+    assert!(out.is_err());
+}
+
+// ---------------------------------------------------------------------
+// The control arm: valid inputs pass through unchanged.
+// ---------------------------------------------------------------------
+
+#[test]
+fn valid_snapshot_roundtrip_serves_bit_for_bit() {
+    let (d, p) = fitted();
+    let snap = p.snapshot(&[]);
+    let path = tmp("control.json");
+    snap.save(&path).unwrap();
+    let loaded = PipelineSnapshot::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let engine = loaded.query_engine().unwrap();
+    for author in [0u32, 5, 9] {
+        let tweets = author_tweets(&d, author, 6);
+        let want = p.link_query_author(&tweets).unwrap();
+        let got = engine.link_query(&tweets).unwrap();
+        assert_eq!(want.similarities, got.similarities, "author {author}");
+        assert_eq!(want.subgraph, got.subgraph, "author {author}");
+        assert_eq!(want.subgraph_avg_weight, got.subgraph_avg_weight);
+    }
+}

@@ -46,7 +46,11 @@ impl SpanningForest {
     pub fn components(&self) -> Vec<Vec<usize>> {
         let mut uf = UnionFind::new(self.n);
         for e in &self.edges {
-            uf.union(e.u, e.v);
+            // `SpanningForest::new` accepts arbitrary edge lists; skip
+            // out-of-range endpoints instead of panicking in union-find.
+            if e.u < self.n && e.v < self.n {
+                uf.union(e.u, e.v);
+            }
         }
         let mut groups: std::collections::HashMap<usize, Vec<usize>> =
             std::collections::HashMap::new();
@@ -57,7 +61,9 @@ impl SpanningForest {
         for c in &mut out {
             c.sort_unstable();
         }
-        out.sort_by_key(|c| c[0]);
+        // Every group holds at least one node (created on first push);
+        // `first()` keeps the sort panic-free without an unwrap.
+        out.sort_by_key(|c| c.first().copied().unwrap_or(usize::MAX));
         out
     }
 

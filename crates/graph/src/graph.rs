@@ -65,6 +65,10 @@ impl WeightedGraph {
     ///
     /// # Errors
     /// [`GraphError::NotSquare`] when the matrix is ragged.
+    // Every row is verified to have length `n` before the loops below, and
+    // `keep` is allocated `n * n`; all indices are `i, j < n`, so the
+    // unchecked indexing in these hot sparsification loops cannot panic.
+    #[allow(clippy::indexing_slicing)]
     pub fn from_similarity(
         sim: &[Vec<f32>],
         min_similarity: f32,

@@ -20,6 +20,13 @@
 // symmetric matrix (or several parallel arrays) are written per step —
 // iterator rewrites obscure those invariants.
 #![allow(clippy::needless_range_loop)]
+// The no-panic guarantee of the serving path (DESIGN.md §12): production
+// code in this crate must return typed errors, never panic. Tests are
+// exempt; justified exceptions carry local `#[allow]`s with proof comments.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
 
 pub mod error;
 pub mod forest;

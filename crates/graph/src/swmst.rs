@@ -49,7 +49,12 @@ pub fn stack_pop_order(a: &Edge, b: &Edge) -> Ordering {
 /// termination (full node coverage) skips the weak tail entirely.
 ///
 /// Feeding edges out of order silently produces a different (non-SW-MST)
-/// forest; order is the caller's contract.
+/// forest; order is the caller's contract. Edges with an endpoint outside
+/// `0..n` (possible only for hand-built edge lists — [`WeightedGraph`]
+/// validates on insert) are dropped rather than panicking.
+// Indexing below is in-bounds by the explicit `u/v < n` guard on every
+// edge before it is touched.
+#[allow(clippy::indexing_slicing)]
 pub fn swmst_from_sorted<I>(n: usize, edges: I) -> SpanningForest
 where
     I: IntoIterator<Item = Edge>,
@@ -64,6 +69,9 @@ where
         let Some(edge) = edges.next() else {
             break; // isolated nodes remain — singleton subgraphs
         };
+        if edge.u >= n || edge.v >= n {
+            continue; // out-of-range endpoint: drop, never panic
+        }
         let new_u = !covered[edge.u];
         let new_v = !covered[edge.v];
         // Keep the edge when it extends coverage or bridges two trees;
@@ -122,9 +130,13 @@ pub fn swmst_literal(graph: &WeightedGraph) -> SpanningForest {
         let Some(edge) = popped.next() else { break };
         selected.push(edge);
         for node in [edge.u, edge.v] {
-            if !covered[node] {
-                covered[node] = true;
-                n_covered += 1;
+            // `get_mut` rather than indexing: graph edges are validated on
+            // insert, but the coverage walk stays total regardless.
+            if let Some(c) = covered.get_mut(node) {
+                if !*c {
+                    *c = true;
+                    n_covered += 1;
+                }
             }
         }
     }

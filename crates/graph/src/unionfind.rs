@@ -8,6 +8,11 @@ pub struct UnionFind {
     components: usize,
 }
 
+// Node ids are dense `0..n` by the constructor's contract, and every
+// in-crate caller (`swmst_from_sorted`, `SpanningForest::components`)
+// range-checks ids before handing them over, so the unchecked indexing in
+// the path-halving/union hot loops cannot go out of bounds.
+#[allow(clippy::indexing_slicing)]
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {

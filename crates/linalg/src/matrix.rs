@@ -124,8 +124,11 @@ impl Matrix {
     }
 
     /// Iterate over rows as slices.
+    ///
+    /// A zero-width matrix still yields one (empty) slice per row, so row
+    /// counts stay consistent for callers — `chunks_exact(0)` would panic.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
-        self.data.chunks_exact(self.cols)
+        (0..self.rows).map(move |i| self.row(i))
     }
 
     /// Matrix transpose.
@@ -314,5 +317,13 @@ mod tests {
         let rows: Vec<&[f32]> = m.iter_rows().collect();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[2], &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn iter_rows_zero_width_matrix_does_not_panic() {
+        let m = Matrix::zeros(4, 0);
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.is_empty()));
     }
 }

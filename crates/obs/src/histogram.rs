@@ -68,7 +68,11 @@ impl Histogram {
             return;
         }
         let v = v.max(0.0);
-        self.counts[Self::bucket_index(v)] += 1;
+        // `bucket_index` clamps to `N_BUCKETS - 1`, so the lookup always
+        // succeeds; `get_mut` keeps the path panic-free by construction.
+        if let Some(c) = self.counts.get_mut(Self::bucket_index(v)) {
+            *c += 1;
+        }
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);

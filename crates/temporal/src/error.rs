@@ -7,12 +7,16 @@ use std::fmt;
 pub enum TemporalError {
     /// The facet hierarchy configuration is malformed.
     InvalidHierarchy(&'static str),
+    /// A similarity grid covered no splits, so no slabs can be cut from
+    /// it (clustering zero points has no dendrogram).
+    EmptyGrid,
 }
 
 impl fmt::Display for TemporalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TemporalError::InvalidHierarchy(msg) => write!(f, "invalid hierarchy: {msg}"),
+            TemporalError::EmptyGrid => write!(f, "similarity grid has no splits"),
         }
     }
 }

@@ -117,7 +117,7 @@ impl SlabIndex {
             let mut lookup = HashMap::new();
             if level == 0 {
                 let grid = similarity_grid(corpus, facet, |_| true);
-                let (uni, _) = slabs_from_grid(&grid, threshold);
+                let (uni, _) = slabs_from_grid(&grid, threshold)?;
                 for members in uni.slabs {
                     let id = slabs.len();
                     for &s in &members {
@@ -135,7 +135,7 @@ impl SlabIndex {
                     let grid = similarity_grid(corpus, facet, |t| {
                         index.slab_of(level - 1, t.timestamp) == Some(parent)
                     });
-                    let (uni, _) = slabs_from_grid(&grid, threshold);
+                    let (uni, _) = slabs_from_grid(&grid, threshold)?;
                     for members in uni.slabs {
                         let id = slabs.len();
                         for &s in &members {
@@ -189,10 +189,13 @@ impl SlabIndex {
         None
     }
 
-    /// The slab ids of `t` at every level, root first.
+    /// The slab ids of `t` at every level, root first. Slabs partition
+    /// every split at every level, so the path covers all levels for any
+    /// index produced by [`SlabIndex::build`]; `map_while` (rather than an
+    /// unwrap) keeps the walk panic-free even on a hand-corrupted index.
     pub fn slab_path(&self, t: Timestamp) -> Vec<usize> {
         (0..self.n_levels())
-            .map(|l| self.slab_of(l, t).expect("level in range"))
+            .map_while(|l| self.slab_of(l, t))
             .collect()
     }
 

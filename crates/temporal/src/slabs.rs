@@ -1,6 +1,7 @@
 //! Uni-facet temporal slabs: HAC over the split similarity grid
 //! (Section 4.1.1, Tables 3 & 4, Figs 3b & 5).
 
+use crate::error::TemporalError;
 use crate::facet::Facet;
 use crate::grid::SimilarityGrid;
 use soulmate_cluster::{Dendrogram, DistanceMatrix, Linkage};
@@ -29,9 +30,11 @@ impl UnifacetSlabs {
         self.slabs.is_empty()
     }
 
-    /// Slab containing `split`.
-    pub fn slab_of_split(&self, split: usize) -> usize {
-        self.split_to_slab[split]
+    /// Slab containing `split`, or `None` when `split` is outside the
+    /// facet's split range (slabs partition exactly the splits the grid
+    /// was built over, so every in-range split maps to some slab).
+    pub fn slab_of_split(&self, split: usize) -> Option<usize> {
+        self.split_to_slab.get(split).copied()
     }
 
     /// Human-readable slab listing, e.g. `{Mon,Tue,Wed,Thu,Fri} {Sat,Sun}`.
@@ -56,24 +59,38 @@ impl UnifacetSlabs {
 /// merges everything.
 ///
 /// Also returns the dendrogram so callers can print/plot it (Figs 3b, 5).
-pub fn slabs_from_grid(grid: &SimilarityGrid, threshold: f32) -> (UnifacetSlabs, Dendrogram) {
+///
+/// # Errors
+/// [`TemporalError::EmptyGrid`] when the grid covers no splits (every
+/// built-in [`Facet`] has at least one, so this only fires on degenerate
+/// hand-built grids).
+pub fn slabs_from_grid(
+    grid: &SimilarityGrid,
+    threshold: f32,
+) -> Result<(UnifacetSlabs, Dendrogram), TemporalError> {
     let n = grid.n_splits();
+    if n == 0 {
+        return Err(TemporalError::EmptyGrid);
+    }
     let mut condensed = Vec::with_capacity(n * (n - 1) / 2);
     for i in 0..n {
         for j in (i + 1)..n {
             condensed.push((1.0 - grid.get(i, j)).max(0.0));
         }
     }
-    let dist = DistanceMatrix::from_condensed(n, condensed).expect("condensed size");
-    let dendrogram = Dendrogram::build(&dist, Linkage::Complete).expect("n >= 1 splits");
+    let dist = DistanceMatrix::from_condensed(n, condensed).ok_or(TemporalError::EmptyGrid)?;
+    let dendrogram =
+        Dendrogram::build(&dist, Linkage::Complete).map_err(|_| TemporalError::EmptyGrid)?;
     let slabs = dendrogram.cut(1.0 - threshold);
     let mut split_to_slab = vec![0usize; n];
     for (si, slab) in slabs.iter().enumerate() {
         for &s in slab {
-            split_to_slab[s] = si;
+            if let Some(entry) = split_to_slab.get_mut(s) {
+                *entry = si;
+            }
         }
     }
-    (
+    Ok((
         UnifacetSlabs {
             facet: grid.facet,
             slabs,
@@ -81,7 +98,7 @@ pub fn slabs_from_grid(grid: &SimilarityGrid, threshold: f32) -> (UnifacetSlabs,
             threshold,
         },
         dendrogram,
-    )
+    ))
 }
 
 /// Render a dendrogram as an indented text tree with merge similarities —
@@ -136,7 +153,7 @@ mod tests {
     fn threshold_one_keeps_singletons() {
         let c = corpus();
         let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
-        let (slabs, _) = slabs_from_grid(&g, 1.0);
+        let (slabs, _) = slabs_from_grid(&g, 1.0).unwrap();
         // "threshold 1.0 will place the everyday entity in a distinctive
         // slab (no clustering)" — unless two splits are identical.
         assert_eq!(slabs.len(), 7);
@@ -146,7 +163,7 @@ mod tests {
     fn threshold_zero_merges_everything() {
         let c = corpus();
         let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
-        let (slabs, _) = slabs_from_grid(&g, 0.0);
+        let (slabs, _) = slabs_from_grid(&g, 0.0).unwrap();
         assert_eq!(slabs.len(), 1);
         assert_eq!(slabs.slabs[0], (0..7).collect::<Vec<_>>());
     }
@@ -160,14 +177,22 @@ mod tests {
         // Search a threshold that yields exactly 2 slabs.
         let mut found = false;
         for t in (1..100).map(|x| x as f32 / 100.0) {
-            let (slabs, _) = slabs_from_grid(&g, t);
+            let (slabs, _) = slabs_from_grid(&g, t).unwrap();
             if slabs.len() == 2 {
-                let weekend_slab = slabs.slab_of_split(5);
-                assert_eq!(slabs.slab_of_split(6), weekend_slab, "Sat+Sun together");
-                let weekday_slab = slabs.slab_of_split(0);
+                let weekend_slab = slabs.slab_of_split(5).unwrap();
+                assert_eq!(
+                    slabs.slab_of_split(6),
+                    Some(weekend_slab),
+                    "Sat+Sun together"
+                );
+                let weekday_slab = slabs.slab_of_split(0).unwrap();
                 assert_ne!(weekday_slab, weekend_slab);
                 for d in 1..5 {
-                    assert_eq!(slabs.slab_of_split(d), weekday_slab, "weekdays together");
+                    assert_eq!(
+                        slabs.slab_of_split(d),
+                        Some(weekday_slab),
+                        "weekdays together"
+                    );
                 }
                 found = true;
                 break;
@@ -180,10 +205,10 @@ mod tests {
     fn split_to_slab_is_consistent() {
         let c = corpus();
         let g = similarity_grid(&c, Facet::Hour, |_| true);
-        let (slabs, _) = slabs_from_grid(&g, 0.5);
+        let (slabs, _) = slabs_from_grid(&g, 0.5).unwrap();
         for (si, slab) in slabs.slabs.iter().enumerate() {
             for &s in slab {
-                assert_eq!(slabs.slab_of_split(s), si);
+                assert_eq!(slabs.slab_of_split(s), Some(si));
             }
         }
         let total: usize = slabs.slabs.iter().map(Vec::len).sum();
@@ -191,10 +216,23 @@ mod tests {
     }
 
     #[test]
+    fn slab_of_split_out_of_range_is_none() {
+        // Regression: this used to index `split_to_slab` unchecked and
+        // panic for any split >= split_to_slab.len().
+        let c = corpus();
+        let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
+        let (slabs, _) = slabs_from_grid(&g, 0.5).unwrap();
+        assert_eq!(slabs.split_to_slab.len(), 7);
+        assert!(slabs.slab_of_split(6).is_some());
+        assert_eq!(slabs.slab_of_split(7), None);
+        assert_eq!(slabs.slab_of_split(usize::MAX), None);
+    }
+
+    #[test]
     fn render_shows_braced_groups() {
         let c = corpus();
         let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
-        let (slabs, _) = slabs_from_grid(&g, 0.0);
+        let (slabs, _) = slabs_from_grid(&g, 0.0).unwrap();
         let s = slabs.render();
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert!(s.contains("Mon"));
@@ -204,7 +242,7 @@ mod tests {
     fn dendrogram_renders_all_leaves() {
         let c = corpus();
         let g = similarity_grid(&c, Facet::DayOfWeek, |_| true);
-        let (_, dendro) = slabs_from_grid(&g, 0.5);
+        let (_, dendro) = slabs_from_grid(&g, 0.5).unwrap();
         let txt = render_dendrogram(&dendro, Facet::DayOfWeek);
         for day in ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"] {
             assert!(txt.contains(day), "missing {day} in dendrogram");
@@ -218,7 +256,7 @@ mod tests {
         let g = similarity_grid(&c, Facet::Hour, |_| true);
         let mut prev = usize::MAX;
         for t in [0.9f32, 0.7, 0.5, 0.3, 0.1] {
-            let (slabs, _) = slabs_from_grid(&g, t);
+            let (slabs, _) = slabs_from_grid(&g, t).unwrap();
             assert!(slabs.len() <= prev, "threshold {t} increased slab count");
             prev = slabs.len();
         }

@@ -63,7 +63,7 @@ proptest! {
         let corpus = corpus();
         let facet = facet_from_index(f);
         let grid = similarity_grid(&corpus, facet, |_| true);
-        let (slabs, _) = slabs_from_grid(&grid, threshold);
+        let (slabs, _) = slabs_from_grid(&grid, threshold).unwrap();
         let mut seen = vec![false; facet.n_splits()];
         for slab in &slabs.slabs {
             for &s in slab {

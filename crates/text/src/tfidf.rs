@@ -8,7 +8,8 @@ use std::collections::HashSet;
 /// Document-level TF-IDF model.
 ///
 /// Fitted on a set of encoded documents; produces weighted sparse vectors
-/// with `tf * ln(N / df)` weighting. This powers the `Document Vector`
+/// with smoothed `tf * ln((1 + N) / (1 + df))` weighting (see [`Self::idf`]
+/// for why the +1 terms are there). This powers the `Document Vector`
 /// baseline (Section 5.1.1) and the cluster-threshold selection protocol.
 #[derive(Debug, Clone)]
 pub struct DocumentTfIdf {
@@ -156,6 +157,21 @@ mod tests {
         let model = DocumentTfIdf::fit(refs, 4);
         assert!(model.idf(0) < model.idf(1));
         assert_eq!(model.n_docs(), 3);
+    }
+
+    #[test]
+    fn idf_is_the_smoothed_form() {
+        // Pin the exact formula the docs promise: ln((1 + N) / (1 + df)).
+        let docs: Vec<Vec<WordId>> = vec![vec![0], vec![0, 1], vec![1]];
+        let refs: Vec<&[WordId]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = DocumentTfIdf::fit(refs, 3);
+        assert!((model.idf(0) - (4.0f32 / 3.0).ln()).abs() < 1e-6);
+        assert!((model.idf(1) - (4.0f32 / 3.0).ln()).abs() < 1e-6);
+        // df = 0 (word 2 never occurs, and so does any out-of-vocab id):
+        // the smoothing keeps the weight finite at ln(1 + N).
+        assert!((model.idf(2) - 4.0f32.ln()).abs() < 1e-6);
+        assert!((model.idf(999) - 4.0f32.ln()).abs() < 1e-6);
+        assert!(model.idf(2).is_finite());
     }
 
     #[test]

@@ -24,7 +24,7 @@ fn main() {
     let grid = similarity_grid(&corpus, Facet::DayOfWeek, |_| true);
     println!("Day-of-week similarity grid (modified TF-IDF + cosine):\n");
     println!("{}", grid.render());
-    let (slabs, dendro) = slabs_from_grid(&grid, 0.59);
+    let (slabs, dendro) = slabs_from_grid(&grid, 0.59).expect("day grid has 7 splits");
     println!(
         "Dendrogram:\n{}",
         render_dendrogram(&dendro, Facet::DayOfWeek)
