@@ -1,5 +1,9 @@
 //! Experiment binary: see `soulmate_bench::experiments::fig9`.
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
+
 fn main() {
     let args = soulmate_bench::ExpArgs::from_env();
     print!("{}", soulmate_bench::experiments::fig9::run(&args));

@@ -1,6 +1,10 @@
 //! Run every experiment in paper order and write the collected reports to
 //! `EXPERIMENTS-results.md` in the current directory.
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -23,7 +27,8 @@ fn main() {
         let _ = writeln!(collected, "## {title}\n\n```text\n{report}```\n");
         println!("==== {title} ====\n{report}");
     }
-    match std::fs::write("EXPERIMENTS-results.md", &collected) {
+    let dest = std::path::Path::new("EXPERIMENTS-results.md");
+    match soulmate_bench::write_report_atomic(dest, &collected) {
         Ok(()) => eprintln!("wrote EXPERIMENTS-results.md"),
         Err(e) => eprintln!("could not write EXPERIMENTS-results.md: {e}"),
     }

@@ -24,6 +24,7 @@ pub fn run(args: &ExpArgs) -> String {
     ]);
     for scale in [0.25f32, 0.5, 1.0] {
         let sized = ExpArgs {
+            // truncating the scaled f32 count is intended; .max(10) keeps it sane
             authors: ((args.authors as f32 * scale) as usize).max(10),
             ..args.clone()
         };

@@ -47,6 +47,7 @@ pub fn run(args: &ExpArgs) -> String {
     let hour_threshold = 0.3f32;
     for (parent, members) in day_slabs.slabs.iter().enumerate() {
         let grid = similarity_grid(&corpus, Facet::Hour, |t| {
+            // day_of_week() ∈ 0..7: u32→usize is widening and a valid split index
             day_slabs.slab_of_split(t.timestamp.day_of_week() as usize) == Some(parent)
         });
         out.push_str(&format!(

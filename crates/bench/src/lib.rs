@@ -11,6 +11,9 @@
 //! cargo run -p soulmate-bench --release --bin table5_subgraph_precision -- --authors 200
 //! ```
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
 // Index-based loops are used deliberately where two mirrored cells of a
 // symmetric matrix (or several parallel arrays) are written per step —
 // iterator rewrites obscure those invariants.
@@ -18,7 +21,9 @@
 
 pub mod args;
 pub mod experiments;
+pub mod report;
 pub mod setup;
 
 pub use args::ExpArgs;
+pub use report::write_report_atomic;
 pub use setup::{default_dataset, default_pipeline_config, fit_default_pipeline};

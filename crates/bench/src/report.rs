@@ -1,0 +1,70 @@
+//! Atomic report writing for the experiment harness.
+//!
+//! `run_all` used to `fs::write` straight to `EXPERIMENTS-results.md`; an
+//! interrupt mid-write would leave a truncated report that looks complete.
+//! The fix is the same temp-file-then-rename protocol the corpus I/O layer
+//! uses: the destination either keeps its old contents or atomically gains
+//! the new ones, never a prefix of them.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Write `contents` to `path` atomically: write a `.tmp` sibling in the
+/// same directory (rename is only atomic within a filesystem), then
+/// rename it over the destination.
+pub fn write_report_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "report path has no file name")
+    })?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    // The temp sibling never outlives this call, so a plain create is fine.
+    fs::write(&tmp, contents)?; // lint:allow(non-atomic-write) -- this IS the temp half of the atomic protocol
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Best-effort cleanup so a failed rename doesn't strand the temp.
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("soulmate-report-{name}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_contents_and_removes_temp() {
+        let dir = scratch("basic");
+        let dest = dir.join("report.md");
+        write_report_atomic(&dest, "hello\n").unwrap();
+        assert_eq!(fs::read_to_string(&dest).unwrap(), "hello\n");
+        assert!(!dir.join("report.md.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replaces_existing_file() {
+        let dir = scratch("replace");
+        let dest = dir.join("report.md");
+        write_report_atomic(&dest, "old").unwrap();
+        write_report_atomic(&dest, "new").unwrap();
+        assert_eq!(fs::read_to_string(&dest).unwrap(), "new");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_pathless_destination() {
+        let err = write_report_atomic(Path::new(""), "x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,6 +1,9 @@
 //! Library backing the `soulmate` CLI binary. Command logic lives here so
 //! it can be unit-tested without spawning processes.
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
 // The no-panic guarantee of the serving path (DESIGN.md §12): every
 // failure — bad flags, unreadable files, corrupt snapshots — must surface
 // as a typed `CliError` that `main` prints as `error: <cause>` with a

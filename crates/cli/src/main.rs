@@ -9,6 +9,10 @@
 //! soulmate experiment <id> [experiment flags]   # fig1..fig11, table5..7, ext_*
 //! ```
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
+
 use soulmate_cli::{run, CliError};
 
 fn main() {

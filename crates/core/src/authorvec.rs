@@ -39,8 +39,9 @@ pub fn author_content_vectors(
     // Group tweet row indices by author.
     let mut by_author: Vec<Vec<usize>> = vec![Vec::new(); n_authors];
     for (i, &a) in tweet_author.iter().enumerate() {
+        // u32 author id → usize is widening; the bound is checked right here
         if (a as usize) < n_authors {
-            by_author[a as usize].push(i);
+            by_author[a as usize].push(i); // in-bounds per the check above
         }
     }
 
@@ -95,6 +96,7 @@ where
         counts.iter_mut().for_each(|c| *c = 0);
         for v in &normalized {
             let x = v[d].clamp(-1.0, 1.0);
+            // x ∈ [-1, 1] ⇒ the ratio is small and non-negative; truncation is the binning intent
             let mut b = ((x + 1.0) / bin_width) as usize;
             if b >= bins {
                 b = bins - 1; // x == 1.0 lands in the last bin
@@ -129,9 +131,10 @@ pub fn author_concept_vectors(
     let mut out = Matrix::zeros(n_authors, dim);
     let mut counts = vec![0usize; n_authors];
     for (i, &a) in tweet_author.iter().enumerate() {
+        // u32 author id → usize is widening; the bound is checked right here
         if (a as usize) < n_authors {
-            soulmate_linalg::add_assign(out.row_mut(a as usize), tweet_concept_vecs.row(i));
-            counts[a as usize] += 1;
+            soulmate_linalg::add_assign(out.row_mut(a as usize), tweet_concept_vecs.row(i)); // in-bounds per the check above
+            counts[a as usize] += 1; // in-bounds per the check above
         }
     }
     for (a, &c) in counts.iter().enumerate() {

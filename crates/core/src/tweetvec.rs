@@ -34,6 +34,7 @@ impl Combiner {
 pub fn tweet_vector(words: &[WordId], embedding: &Embedding, combiner: Combiner) -> Vec<f32> {
     let in_vocab = words
         .iter()
+        // u32 word id → usize is widening; OOV ids fail the length check and drop out
         .filter(|&&w| (w as usize) < embedding.len())
         .map(|&w| embedding.vector(w));
     combiner.combine(in_vocab, embedding.dim())

@@ -165,6 +165,7 @@ impl EncodedCorpus {
     pub fn author_documents(&self) -> Vec<Vec<WordId>> {
         let mut docs = vec![Vec::new(); self.n_authors];
         for t in &self.tweets {
+            // u32 author id → usize is widening; ids are dense 0..n_authors by construction
             docs[t.author as usize].extend_from_slice(&t.words);
         }
         docs

@@ -274,6 +274,7 @@ pub fn generate(config: &GeneratorConfig) -> Result<Dataset, CorpusError> {
             *w /= total;
         }
         authors.push(Author {
+            // author index < n_authors ≪ u32::MAX
             id: a as u32,
             handle: format!("user{a:04}"),
         });
@@ -309,10 +310,12 @@ pub fn generate(config: &GeneratorConfig) -> Result<Dataset, CorpusError> {
                 1.0
             };
             let u: f64 = rng.gen_range(0.0..1.0);
+            // the 1e-4 floor caps the heavy tail at ~1e4·viral_boost ≪ u32::MAX
             let popularity = ((1.0 / (1.0 - u).max(1e-4) - 1.0) * viral_boost) as u32;
             tweets.push(Tweet {
+                // generated tweet counts are far below u32::MAX
                 id: tweets.len() as u32,
-                author: a as u32,
+                author: a as u32, // a < n_authors ≪ u32::MAX
                 timestamp,
                 text,
                 popularity,
@@ -338,6 +341,7 @@ pub fn generate(config: &GeneratorConfig) -> Result<Dataset, CorpusError> {
 /// season → week → day-of-week → hour → minute.
 fn sample_timestamp<R: Rng>(profile: &ConceptProfile, rng: &mut R) -> Timestamp {
     let season = sample_weighted(&profile.season_weights, rng);
+    // season index ∈ 0..4
     let week = season as u32 * 13 + rng.gen_range(0..13);
     // Day of week: 5 weekdays share weekday_weight, 2 days weekend_weight.
     let day_weights: Vec<f32> = (0..7)
@@ -349,11 +353,13 @@ fn sample_timestamp<R: Rng>(profile: &ConceptProfile, rng: &mut R) -> Timestamp 
             }
         })
         .collect();
+    // sample_weighted returns an index < day_weights.len() == 7
     let dow = sample_weighted(&day_weights, rng) as u32;
     let weekend = dow >= 5;
     let hour_weights: Vec<f32> = (0..24)
         .map(|h| profile.hour_weight(h as f32, weekend))
         .collect();
+    // index < hour_weights.len() == 24
     let hour = sample_weighted(&hour_weights, rng) as u32;
     Timestamp::from_parts(week * 7 + dow, hour, rng.gen_range(0..60))
 }

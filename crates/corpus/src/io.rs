@@ -63,9 +63,11 @@ pub fn load_json(path: &Path) -> Result<Dataset, CorpusError> {
         serde_json::from_reader(reader).map_err(|e| CorpusError::Parse(e.to_string()))?;
     // Vocabulary-free structure; nothing to rebuild, but keep ids dense.
     for (i, a) in dataset.authors.iter_mut().enumerate() {
+        // enumerate index over an in-memory dataset ≪ u32::MAX
         a.id = i as u32;
     }
     for (i, t) in dataset.tweets.iter_mut().enumerate() {
+        // enumerate index over an in-memory dataset ≪ u32::MAX
         t.id = i as u32;
     }
     Ok(dataset)

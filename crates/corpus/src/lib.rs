@@ -23,6 +23,9 @@
 //! ground truth lives beside it and is consumed **only** by the evaluation
 //! crate's simulated experts, never by the pipeline under test.
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
 // Index-based loops are used deliberately where two mirrored cells of a
 // symmetric matrix (or several parallel arrays) are written per step —
 // iterator rewrites obscure those invariants.

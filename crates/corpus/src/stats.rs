@@ -11,6 +11,7 @@ pub fn pair_cooccurrence_by_hour(corpus: &EncodedCorpus, w1: WordId, w2: WordId)
     let mut counts = [0u32; 24];
     for t in &corpus.tweets {
         if t.words.contains(&w1) && t.words.contains(&w2) {
+            // hour() ∈ 0..24: u32→usize is widening and indexes the 24 bins
             counts[t.timestamp.hour() as usize] += 1;
         }
     }
@@ -34,6 +35,7 @@ pub fn pair_cooccurrence_by_weekday(corpus: &EncodedCorpus, w1: WordId, w2: Word
     let mut counts = [0u32; 7];
     for t in &corpus.tweets {
         if t.words.contains(&w1) && t.words.contains(&w2) {
+            // day_of_week() ∈ 0..7: u32→usize is widening and indexes the 7 bins
             counts[t.timestamp.day_of_week() as usize] += 1;
         }
     }

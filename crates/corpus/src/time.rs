@@ -117,6 +117,7 @@ impl Timestamp {
 
     /// Season of year.
     pub fn season(self) -> Season {
+        // week() ∈ 0..52 ⇒ season index ∈ 0..4; u32→usize is widening
         Season::from_index((self.week() / 13) as usize)
     }
 
@@ -127,6 +128,7 @@ impl Timestamp {
 
     /// English weekday name (Monday-start).
     pub fn weekday_name(self) -> &'static str {
+        // day_of_week() ∈ 0..7 indexes the 7 names; u32→usize is widening
         ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][self.day_of_week() as usize]
     }
 }

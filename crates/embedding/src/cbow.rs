@@ -124,6 +124,7 @@ fn train_cbow_core<R: Rng>(
                     filtered.extend(
                         doc.as_ref()
                             .iter()
+                            // u32 word id → usize is widening (usize ≥ 32 bits on supported targets)
                             .filter(|&&w| rng.gen_range(0.0f32..1.0) < kp[w as usize])
                             .copied(),
                     );
@@ -153,12 +154,14 @@ fn train_cbow_core<R: Rng>(
                     if lo + ci == t {
                         continue;
                     }
+                    // u32 word id → usize is widening
                     axpy(1.0, input.row(c as usize), &mut h);
                 }
                 let inv = 1.0 / n_context as f32;
                 h.iter_mut().for_each(|x| *x *= inv);
 
                 e.iter_mut().for_each(|x| *x = 0.0);
+                // u32 word id → usize is widening
                 let target = words[t] as usize;
                 match config.mode {
                     SoftmaxMode::Negative(k) => {
@@ -196,6 +199,7 @@ fn train_cbow_core<R: Rng>(
                     if lo + ci == t {
                         continue;
                     }
+                    // u32 word id → usize is widening
                     axpy(1.0, &e, input.row_mut(c as usize));
                 }
             }
@@ -306,8 +310,9 @@ pub(crate) fn keep_probabilities(
     let mut total = 0u64;
     for doc in docs {
         for &w in doc.as_ref() {
+            // u32 word id → usize is widening; the bound is checked right here
             if (w as usize) < vocab_size {
-                counts[w as usize] += 1;
+                counts[w as usize] += 1; // in-bounds per the check above
                 total += 1;
             }
         }
@@ -348,8 +353,9 @@ impl UnigramTable {
         let mut counts = vec![0u64; vocab_size];
         for doc in docs {
             for &w in doc.as_ref() {
+                // u32 word id → usize is widening; the bound is checked right here
                 if (w as usize) < vocab_size {
-                    counts[w as usize] += 1;
+                    counts[w as usize] += 1; // in-bounds per the check above
                 }
             }
         }
@@ -359,6 +365,7 @@ impl UnigramTable {
         if total == 0.0 {
             // Degenerate corpus: uniform table.
             for i in 0..Self::SIZE {
+                // i % vocab_size < vocab_size ≪ u32::MAX
                 table.push((i % vocab_size.max(1)) as u32);
             }
             return UnigramTable { table };
@@ -371,6 +378,7 @@ impl UnigramTable {
                 cum += powered[w] / total;
                 w += 1;
             }
+            // w is a vocab index < vocab_size ≪ u32::MAX
             table.push(w as u32);
         }
         UnigramTable { table }
@@ -378,6 +386,7 @@ impl UnigramTable {
 
     #[inline]
     pub(crate) fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        // table entries are u32 vocab indices; usize is widening
         self.table[rng.gen_range(0..self.table.len())] as usize
     }
 }

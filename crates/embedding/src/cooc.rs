@@ -34,11 +34,13 @@ impl CoocMatrix {
         for doc in docs {
             let words = doc.as_ref();
             for (i, &w) in words.iter().enumerate() {
+                // u32 word id → usize is widening; OOV ids are skipped right here
                 if (w as usize) >= vocab_size {
                     continue;
                 }
                 let end = (i + window + 1).min(words.len());
                 for (d, &c) in words[i + 1..end].iter().enumerate() {
+                    // same widening cast + bound check as the outer word
                     if (c as usize) >= vocab_size {
                         continue;
                     }
@@ -47,8 +49,9 @@ impl CoocMatrix {
                     } else {
                         1.0
                     };
+                    // in-bounds per the checks above; u32→usize is widening
                     *rows[w as usize].entry(c).or_insert(0.0) += weight;
-                    *rows[c as usize].entry(w).or_insert(0.0) += weight;
+                    *rows[c as usize].entry(w).or_insert(0.0) += weight; // in-bounds per the checks above
                     total += 2.0 * weight as f64;
                 }
             }
@@ -73,6 +76,7 @@ impl CoocMatrix {
     /// Co-occurrence weight of an ordered pair (symmetric by construction).
     pub fn get(&self, i: WordId, j: WordId) -> f32 {
         self.rows
+            // u32 word id → usize is widening; .get handles out-of-range
             .get(i as usize)
             .and_then(|r| r.get(&j))
             .copied()
@@ -87,6 +91,7 @@ impl CoocMatrix {
     /// Marginal (row sum) of word `i`.
     pub fn row_sum(&self, i: WordId) -> f32 {
         self.rows
+            // u32 word id → usize is widening; .get handles out-of-range
             .get(i as usize)
             .map(|r| r.values().sum())
             .unwrap_or(0.0)
@@ -138,11 +143,12 @@ impl CoocMatrix {
                 .collect();
             for (i, row) in self.rows.iter().enumerate() {
                 for (&j, &w) in row {
+                    // u32 word id → usize is widening
                     let denom = sums[i] * sums[j as usize];
                     if denom > 0.0 {
                         let pmi = ((w as f64 * self.total) / denom).ln();
                         if pmi > 0.0 {
-                            triplets.push((i, j as usize, pmi as f32));
+                            triplets.push((i, j as usize, pmi as f32)); // u32→usize widening
                         }
                     }
                 }
@@ -164,11 +170,12 @@ impl CoocMatrix {
             .collect();
         for (i, row) in self.rows.iter().enumerate() {
             for (&j, &w) in row {
+                // u32 word id → usize is widening
                 let denom = sums[i] * sums[j as usize];
                 if denom > 0.0 {
                     let pmi = ((w as f64 * self.total) / denom).ln();
                     if pmi > 0.0 {
-                        m.set(i, j as usize, pmi as f32);
+                        m.set(i, j as usize, pmi as f32); // u32→usize widening
                     }
                 }
             }

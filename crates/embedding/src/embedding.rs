@@ -56,6 +56,7 @@ impl Embedding {
     /// # Panics
     /// Panics if `w` is out of range.
     pub fn vector(&self, w: WordId) -> &[f32] {
+        // u32 word id → usize is widening (out-of-range panics, as documented)
         self.vectors.row(w as usize)
     }
 
@@ -66,6 +67,7 @@ impl Embedding {
 
     /// Cosine similarity between two words (Eq. 5).
     pub fn cosine(&self, a: WordId, b: WordId) -> f32 {
+        // u32 word ids → usize is widening; in-vocab per this type's contract
         let (na, nb) = (self.norms[a as usize], self.norms[b as usize]);
         if na == 0.0 || nb == 0.0 {
             return 0.0;
@@ -76,11 +78,13 @@ impl Embedding {
     /// The `k` most similar words to `w` (descending similarity, `w`
     /// excluded). Zero-norm words never appear.
     pub fn most_similar(&self, w: WordId, k: usize) -> Vec<(WordId, f32)> {
+        // u32 word id → usize is widening; the bound is checked right here
         if (w as usize) >= self.len() || k == 0 {
             return Vec::new();
         }
         let mut best: Vec<(WordId, f32)> = Vec::with_capacity(k + 1);
         for cand in 0..self.len() as WordId {
+            // cand < len() by the loop bound; u32→usize is widening
             if cand == w || self.norms[cand as usize] == 0.0 {
                 continue;
             }
@@ -125,9 +129,11 @@ impl Embedding {
         let mut meta: Vec<(usize, [WordId; 3])> = Vec::with_capacity(questions.len());
         let mut qrows: Vec<Vec<f32>> = Vec::with_capacity(questions.len());
         for (slot, &(a, b, c)) in questions.iter().enumerate() {
+            // u32 word ids → usize is widening; the bound is checked right here
             if [a, b, c].iter().any(|&w| (w as usize) >= n) {
                 continue;
             }
+            // in-range per the check above
             if [a, b, c].iter().any(|&w| self.norms[w as usize] == 0.0) {
                 continue;
             }
@@ -135,6 +141,7 @@ impl Embedding {
             // argmax, so it is left unnormalized.
             let mut q = vec![0.0f32; self.dim()];
             for (sign, w) in [(1.0f32, b), (-1.0, a), (1.0, c)] {
+                // in-range per the checks at the top of the loop
                 let norm = self.norms[w as usize];
                 for (qi, vi) in q.iter_mut().zip(self.vector(w)) {
                     *qi += sign * vi / norm;

@@ -86,6 +86,7 @@ pub fn train_glove<R: Rng>(
     for _ in 0..config.epochs {
         pairs.shuffle(rng);
         for &(i, j, x) in &pairs {
+            // u32 word ids → usize is widening
             let (i, j) = (i as usize, j as usize);
             let weight = (x / config.x_max).powf(config.alpha).min(1.0);
             let diff = dot(w.row(i), wt.row(j)) + b[i] + bt[j] - x.ln();

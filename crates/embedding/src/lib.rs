@@ -17,6 +17,9 @@
 //! [`soulmate_text::SimilarWords`] so enrichment baselines can consume any
 //! of them interchangeably.
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
 // Index-based loops are used deliberately where two mirrored cells of a
 // symmetric matrix (or several parallel arrays) are written per step —
 // iterator rewrites obscure those invariants.

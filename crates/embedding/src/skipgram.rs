@@ -98,6 +98,7 @@ pub fn train_skipgram<R: Rng>(
                     filtered.extend(
                         doc.as_ref()
                             .iter()
+                            // u32 word id → usize is widening (usize ≥ 32 bits on supported targets)
                             .filter(|&&w| rng.gen_range(0.0f32..1.0) < kp[w as usize])
                             .copied(),
                     );
@@ -115,6 +116,7 @@ pub fn train_skipgram<R: Rng>(
                 let b = rng.gen_range(1..=config.window);
                 let lo = t.saturating_sub(b);
                 let hi = (t + b + 1).min(words.len());
+                // u32 word id → usize is widening
                 let center = words[t] as usize;
                 for (off, &ctx) in words[lo..hi].iter().enumerate() {
                     if lo + off == t {
@@ -123,6 +125,7 @@ pub fn train_skipgram<R: Rng>(
                     // Predict ctx from center: SGNS on (center, ctx).
                     e.iter_mut().for_each(|x| *x = 0.0);
                     sgns_pair(
+                        // u32 word id → usize is widening
                         ctx as usize,
                         1.0,
                         lr,
@@ -132,6 +135,7 @@ pub fn train_skipgram<R: Rng>(
                     );
                     for _ in 0..config.negative {
                         let noise = unigram.sample(rng);
+                        // u32 word id → usize is widening
                         if noise == ctx as usize {
                             continue;
                         }

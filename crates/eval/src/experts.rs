@@ -106,6 +106,7 @@ impl<'a> ExpertPanel<'a> {
     /// The aggregated panel score: each expert's (possibly perturbed) vote
     /// averaged and floored, as in the paper.
     pub fn score_pair(&self, ti: usize, tj: usize) -> u8 {
+        // true_score() ∈ 0..=3 (u8), comfortably in i32
         let truth = self.true_score(ti, tj) as i32;
         let (lo, hi) = (ti.min(tj) as u64, ti.max(tj) as u64);
         let mut sum = 0i32;
@@ -125,6 +126,7 @@ impl<'a> ExpertPanel<'a> {
             }
             sum += vote.clamp(0, 3);
         }
+        // sum ≤ 3·n_experts fits f32 exactly; the floored average ∈ 0..=3 fits u8
         (sum as f32 / self.config.n_experts as f32).floor() as u8
     }
 }

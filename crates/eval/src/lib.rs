@@ -19,6 +19,9 @@
 //!
 //! [`render`] prints paper-style fixed-width tables.
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
 // Index-based loops are used deliberately where two mirrored cells of a
 // symmetric matrix (or several parallel arrays) are written per step —
 // iterator rewrites obscure those invariants.

@@ -15,6 +15,7 @@ impl ScoreCounts {
 
     /// Record one aggregated score (clamped to 0..=3).
     pub fn add(&mut self, score: u8) {
+        // u8 score → usize is widening; .min(3) bounds the index
         self.rho[(score as usize).min(3)] += 1;
     }
 
@@ -59,6 +60,7 @@ impl ScoreCounts {
         if total == 0 {
             return 0.0;
         }
+        // u8 score → usize is widening; .min(3) bounds the index
         self.rho[(s as usize).min(3)] as f32 / total as f32
     }
 }

@@ -264,6 +264,7 @@ fn corpus_tfidf(corpus: &EncodedCorpus) -> DocumentTfIdf {
 fn tweets_by_author(corpus: &EncodedCorpus, cap: usize) -> Vec<Vec<usize>> {
     let mut by_author = vec![Vec::new(); corpus.n_authors];
     for (i, t) in corpus.tweets.iter().enumerate() {
+        // u32 author id → usize is widening; ids are dense 0..n_authors
         let list = &mut by_author[t.author as usize];
         if list.len() < cap {
             list.push(i);

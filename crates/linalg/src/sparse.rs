@@ -42,6 +42,7 @@ impl SparseMatrix {
                 ));
             }
             if v != 0.0 {
+                // c < cols was just validated; widths beyond u32::MAX are unsupported by this CSR layout
                 per_row[r].push((c as u32, v));
             }
         }
@@ -95,6 +96,7 @@ impl SparseMatrix {
     pub fn get(&self, r: usize, c: usize) -> f32 {
         let lo = self.row_ptr[r];
         let hi = self.row_ptr[r + 1];
+        // stored columns fit u32 (constructor contract), so an oversized c can only miss
         match self.col_idx[lo..hi].binary_search(&(c as u32)) {
             Ok(pos) => self.values[lo + pos],
             Err(_) => 0.0,
@@ -117,6 +119,7 @@ impl SparseMatrix {
             let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
             let out_row = out.row_mut(r);
             for k in lo..hi {
+                // stored u32 column index → usize is widening
                 let c = self.col_idx[k] as usize;
                 crate::vector::axpy(self.values[k], other.row(c), out_row);
             }
@@ -141,6 +144,7 @@ impl SparseMatrix {
             let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
             let o_row = other.row(r);
             for k in lo..hi {
+                // stored u32 column index → usize is widening
                 let c = self.col_idx[k] as usize;
                 crate::vector::axpy(self.values[k], o_row, out.row_mut(c));
             }
@@ -153,6 +157,7 @@ impl SparseMatrix {
         let mut m = Matrix::zeros(self.rows, self.cols);
         for r in 0..self.rows {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                // stored u32 column index → usize is widening
                 m.set(r, self.col_idx[k] as usize, self.values[k]);
             }
         }

@@ -1,0 +1,142 @@
+//! Diagnostics and their two render targets: human text and a
+//! deterministic JSON document for CI baseline diffing.
+
+use std::fmt::Write as _;
+
+/// One lint finding, anchored to a `file:line:col`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path exactly as the file was reached from the lint roots.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column within the line.
+    pub col: u32,
+    /// Stable rule ID (see the catalog in `rules`).
+    pub rule: &'static str,
+    /// Human explanation, including how to fix or suppress.
+    pub message: String,
+}
+
+/// Sort diagnostics into the canonical order used by both render targets:
+/// by path, then line, then column, then rule ID. The order is total and
+/// input-independent, so repeated runs over the same tree byte-compare
+/// equal — a requirement for diffable CI baselines.
+pub fn sort_canonical(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Render `path:line:col: rule-id: message`, one diagnostic per line.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {}: {}",
+            d.path, d.line, d.col, d.rule, d.message
+        );
+    }
+    out
+}
+
+/// Render the JSON document described in DESIGN.md §13: fixed key order,
+/// diagnostics pre-sorted canonically, trailing newline, no whitespace
+/// variation — byte-for-byte reproducible for identical inputs.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"version\":1,\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"path\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
+            json_string(&d.path),
+            d.line,
+            d.col,
+            json_string(d.rule),
+            json_string(&d.message)
+        );
+    }
+    let _ = write!(out, "],\"total\":{}}}", diags.len());
+    out.push('\n');
+    out
+}
+
+/// Escape a string for JSON output (the crate is std-only by design, so
+/// no serde here; mirrors the escaping rules of RFC 8259).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            // char → u32 is the identity on code points
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32); // identity cast, as above
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(path: &str, line: u32, col: u32, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            path: path.into(),
+            line,
+            col,
+            rule,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn canonical_sort_orders_by_path_line_col_rule() {
+        let mut v = vec![
+            d("b.rs", 1, 1, "todo-marker"),
+            d("a.rs", 2, 5, "no-unsafe"),
+            d("a.rs", 2, 5, "nan-comparator"),
+            d("a.rs", 1, 9, "no-unsafe"),
+        ];
+        sort_canonical(&mut v);
+        let order: Vec<_> = v
+            .iter()
+            .map(|x| (x.path.clone(), x.line, x.col, x.rule))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".to_string(), 1, 9, "no-unsafe"),
+                ("a.rs".to_string(), 2, 5, "nan-comparator"),
+                ("a.rs".to_string(), 2, 5, "no-unsafe"),
+                ("b.rs".to_string(), 1, 1, "todo-marker"),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{0001}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_is_stable() {
+        assert_eq!(
+            render_json(&[]),
+            "{\"version\":1,\"diagnostics\":[],\"total\":0}\n"
+        );
+    }
+}

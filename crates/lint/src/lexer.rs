@@ -1,0 +1,671 @@
+//! A hand-rolled lexer for (a linting-sufficient subset of) Rust.
+//!
+//! The lexer's job is to let rules reason about *tokens* instead of lines,
+//! so that a `partial_cmp(..)` whose `.unwrap()` lands on the next line —
+//! or an `unwrap()` hidden inside a raw string, a nested block comment, or
+//! a `//` inside a string literal — is classified correctly. It handles
+//! every Rust surface form that matters for that goal:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* .. */ .. */`), kept separately from the token stream with
+//!   start/end line spans so rules can look for adjacent justifications;
+//! - string literals with escapes, byte strings, and raw (byte) strings
+//!   `r"…"` / `r#"…"#` / `br##"…"##` with any hash depth;
+//! - char literals vs. lifetimes (`'a'` vs `'a`), including escaped chars
+//!   (`'\''`, `'\u{1F600}'`) and byte chars (`b'x'`);
+//! - raw identifiers (`r#fn`), numbers with suffixes/exponents, and
+//!   single-byte punctuation.
+//!
+//! Every token and comment carries a 1-based `line` and `col` (byte column
+//! within the line), which become the `file:line:col` of diagnostics.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `as`, `unsafe`, `r#fn`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// String literal of any flavor (plain, byte, raw), quotes included.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (including suffix, e.g. `1_000u32`, `1.5e-3`).
+    Num,
+    /// A single punctuation byte (`.`, `(`, `[`, `#`, `!`, …).
+    Punct,
+}
+
+/// One lexed token with its source text and position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    /// The exact source slice of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte within its line.
+    pub col: u32,
+}
+
+impl<'a> Token<'a> {
+    /// True if this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the single punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        // callers pass ASCII punctuation chars, for which the u8 cast is exact
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// One comment (line or block), excluded from the token stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment<'a> {
+    /// Full text including the `//` / `/*` markers.
+    pub text: &'a str,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// 1-based line where the comment ends (equal to `line` for `//`).
+    pub end_line: u32,
+    /// 1-based byte column of the comment's first byte.
+    pub col: u32,
+    /// True when nothing but whitespace precedes the comment on its
+    /// starting line — i.e. the comment owns the line.
+    pub own_line: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    pub tokens: Vec<Token<'a>>,
+    pub comments: Vec<Comment<'a>>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Length in bytes of the UTF-8 character starting at `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+    line_start: usize,
+    /// Whether a token has already been emitted on the current line
+    /// (drives [`Comment::own_line`]).
+    line_has_token: bool,
+}
+
+impl<'a> Cursor<'a> {
+    fn col(&self, at: usize) -> u32 {
+        // Columns are 1-based byte offsets within the line; the repo is
+        // ASCII-dominant so this matches editors' column display.
+        (at - self.line_start + 1) as u32 // lint:allow(unguarded-as-cast) -- source lines are far shorter than u32::MAX bytes
+    }
+
+    fn newline(&mut self, at: usize) {
+        self.line += 1;
+        self.line_start = at + 1;
+        self.line_has_token = false;
+    }
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated strings
+/// or comments simply extend to end-of-file (the compiler will reject the
+/// file anyway; the linter must not panic on it).
+pub fn lex(src: &str) -> Lexed<'_> {
+    let mut cur = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        i: 0,
+        line: 1,
+        line_start: 0,
+        line_has_token: false,
+    };
+    let mut out = Lexed::default();
+
+    while cur.i < cur.bytes.len() {
+        let b = cur.bytes[cur.i];
+        match b {
+            b'\n' => {
+                cur.newline(cur.i);
+                cur.i += 1;
+            }
+            b' ' | b'\t' | b'\r' => cur.i += 1,
+            b'/' if cur.bytes.get(cur.i + 1) == Some(&b'/') => lex_line_comment(&mut cur, &mut out),
+            b'/' if cur.bytes.get(cur.i + 1) == Some(&b'*') => {
+                lex_block_comment(&mut cur, &mut out)
+            }
+            b'"' => lex_string(&mut cur, &mut out),
+            b'\'' => lex_char_or_lifetime(&mut cur, &mut out),
+            _ if is_ident_start(b) => lex_ident_or_prefixed(&mut cur, &mut out),
+            _ if b.is_ascii_digit() => lex_number(&mut cur, &mut out),
+            _ => {
+                let start = cur.i;
+                cur.i += utf8_len(b);
+                let end = cur.i;
+                push_token(&mut cur, &mut out, TokenKind::Punct, start, end);
+            }
+        }
+    }
+    out
+}
+
+fn push_token<'a>(
+    cur: &mut Cursor<'a>,
+    out: &mut Lexed<'a>,
+    kind: TokenKind,
+    start: usize,
+    end: usize,
+) {
+    out.tokens.push(Token {
+        kind,
+        text: &cur.src[start..end],
+        line: cur.line,
+        col: cur.col(start),
+    });
+    cur.line_has_token = true;
+}
+
+fn lex_line_comment<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
+    let start = cur.i;
+    let own_line = !cur.line_has_token;
+    let line = cur.line;
+    let col = cur.col(start);
+    while cur.i < cur.bytes.len() && cur.bytes[cur.i] != b'\n' {
+        cur.i += 1;
+    }
+    out.comments.push(Comment {
+        text: &cur.src[start..cur.i],
+        line,
+        end_line: line,
+        col,
+        own_line,
+    });
+}
+
+fn lex_block_comment<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
+    let start = cur.i;
+    let own_line = !cur.line_has_token;
+    let line = cur.line;
+    let col = cur.col(start);
+    cur.i += 2;
+    let mut depth = 1usize;
+    while cur.i < cur.bytes.len() && depth > 0 {
+        if cur.bytes[cur.i] == b'/' && cur.bytes.get(cur.i + 1) == Some(&b'*') {
+            depth += 1;
+            cur.i += 2;
+        } else if cur.bytes[cur.i] == b'*' && cur.bytes.get(cur.i + 1) == Some(&b'/') {
+            depth -= 1;
+            cur.i += 2;
+        } else {
+            if cur.bytes[cur.i] == b'\n' {
+                cur.newline(cur.i);
+            }
+            cur.i += 1;
+        }
+    }
+    out.comments.push(Comment {
+        text: &cur.src[start..cur.i],
+        line,
+        end_line: cur.line,
+        col,
+        own_line,
+    });
+}
+
+/// Lex a plain (non-raw) string starting at the opening `"`; handles
+/// `\"` and `\\` escapes and embedded newlines.
+fn lex_string<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
+    let start = cur.i;
+    let line = cur.line;
+    let col = cur.col(start);
+    cur.i += 1;
+    string_tail(cur, out, start, line, col);
+}
+
+/// Scan a plain string body from just after the opening quote, then push
+/// the token. An escaped newline (line continuation) still advances the
+/// line counter — skipping it silently would shift every later span.
+fn string_tail<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>, start: usize, line: u32, col: u32) {
+    while cur.i < cur.bytes.len() {
+        match cur.bytes[cur.i] {
+            b'\\' => {
+                if cur.bytes.get(cur.i + 1) == Some(&b'\n') {
+                    cur.newline(cur.i + 1);
+                }
+                cur.i += 2;
+            }
+            b'"' => {
+                cur.i += 1;
+                break;
+            }
+            b'\n' => {
+                cur.newline(cur.i);
+                cur.i += 1;
+            }
+            other => cur.i += utf8_len(other),
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Str,
+        text: &cur.src[start..cur.i.min(cur.bytes.len())],
+        line,
+        col,
+    });
+    cur.line_has_token = true;
+}
+
+/// Lex a raw string whose `r`/`br` prefix has already been consumed and
+/// whose hashes start at `cur.i`. Terminates at `"` followed by the same
+/// number of `#`s; no escapes exist inside.
+fn lex_raw_string<'a>(
+    cur: &mut Cursor<'a>,
+    out: &mut Lexed<'a>,
+    start: usize,
+    line: u32,
+    col: u32,
+) {
+    let mut hashes = 0usize;
+    while cur.bytes.get(cur.i) == Some(&b'#') {
+        hashes += 1;
+        cur.i += 1;
+    }
+    debug_assert_eq!(cur.bytes.get(cur.i), Some(&b'"'));
+    cur.i += 1;
+    while cur.i < cur.bytes.len() {
+        if cur.bytes[cur.i] == b'"' {
+            let after = cur.i + 1;
+            if cur.bytes.len() >= after + hashes
+                && cur.bytes[after..after + hashes].iter().all(|&h| h == b'#')
+            {
+                cur.i = after + hashes;
+                break;
+            }
+            cur.i += 1;
+        } else {
+            if cur.bytes[cur.i] == b'\n' {
+                cur.newline(cur.i);
+            }
+            cur.i += 1;
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Str,
+        text: &cur.src[start..cur.i.min(cur.bytes.len())],
+        line,
+        col,
+    });
+    cur.line_has_token = true;
+}
+
+/// After a `'`, decide between a char literal and a lifetime.
+///
+/// Grammar facts this relies on: a char literal holds exactly one
+/// (possibly escaped) character and a closing `'`; a lifetime is `'` plus
+/// an identifier and is *not* followed by `'`.
+fn lex_char_or_lifetime<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
+    let start = cur.i;
+    cur.i += 1;
+    match cur.bytes.get(cur.i) {
+        Some(&b'\\') => {
+            // Escaped char literal: '\n', '\'', '\u{…}'.
+            cur.i += 1;
+            if cur.bytes.get(cur.i) == Some(&b'u') {
+                while cur.i < cur.bytes.len()
+                    && cur.bytes[cur.i] != b'}'
+                    && cur.bytes[cur.i] != b'\n'
+                {
+                    cur.i += 1;
+                }
+                if cur.bytes.get(cur.i) == Some(&b'}') {
+                    cur.i += 1;
+                }
+            } else if cur.i < cur.bytes.len() {
+                cur.i += utf8_len(cur.bytes[cur.i]);
+            }
+            if cur.bytes.get(cur.i) == Some(&b'\'') {
+                cur.i += 1;
+            }
+            push_token(cur, out, TokenKind::Char, start, cur.i.min(cur.bytes.len()));
+        }
+        Some(&b) if is_ident_start(b) => {
+            let mut e = cur.i;
+            while e < cur.bytes.len() && is_ident_continue(cur.bytes[e]) {
+                e += 1;
+            }
+            if cur.bytes.get(e) == Some(&b'\'') {
+                // 'a' — a char literal (identifiers of length >1 followed
+                // by `'` cannot occur in valid Rust).
+                cur.i = e + 1;
+                push_token(cur, out, TokenKind::Char, start, cur.i);
+            } else {
+                // 'a, 'static, '_, 'outer: — a lifetime or loop label.
+                cur.i = e;
+                push_token(cur, out, TokenKind::Lifetime, start, cur.i);
+            }
+        }
+        Some(&b) => {
+            // ' ' or '(' etc: a one-char literal.
+            cur.i += utf8_len(b);
+            if cur.bytes.get(cur.i) == Some(&b'\'') {
+                cur.i += 1;
+            }
+            push_token(cur, out, TokenKind::Char, start, cur.i.min(cur.bytes.len()));
+        }
+        None => push_token(cur, out, TokenKind::Punct, start, cur.bytes.len()),
+    }
+}
+
+/// Lex an identifier, dispatching the string-prefix forms `r"…"`,
+/// `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, and raw identifiers `r#ident`.
+fn lex_ident_or_prefixed<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
+    let start = cur.i;
+    let line = cur.line;
+    let col = cur.col(start);
+    while cur.i < cur.bytes.len() && is_ident_continue(cur.bytes[cur.i]) {
+        cur.i += 1;
+    }
+    let ident = &cur.src[start..cur.i];
+    let next = cur.bytes.get(cur.i).copied();
+    match (ident, next) {
+        ("r" | "br", Some(b'"')) => lex_raw_string(cur, out, start, line, col),
+        ("r" | "br", Some(b'#')) => {
+            // Either a raw string `r#"…"#` or a raw identifier `r#ident`.
+            let mut j = cur.i;
+            while cur.bytes.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            if cur.bytes.get(j) == Some(&b'"') {
+                lex_raw_string(cur, out, start, line, col);
+            } else if ident == "r"
+                && j == cur.i + 1
+                && cur.bytes.get(j).is_some_and(|&b| is_ident_start(b))
+            {
+                cur.i = j;
+                while cur.i < cur.bytes.len() && is_ident_continue(cur.bytes[cur.i]) {
+                    cur.i += 1;
+                }
+                push_token(cur, out, TokenKind::Ident, start, cur.i);
+            } else {
+                push_token(cur, out, TokenKind::Ident, start, cur.i);
+            }
+        }
+        // After the ident loop `cur.i` already sits on the opening quote.
+        ("b", Some(b'"')) => lex_string_with_prefix(cur, out, start, line, col),
+        ("b", Some(b'\'')) => {
+            // Byte char literal b'x': delegate to the char lexer but keep
+            // the `b` prefix inside the token span.
+            cur.i += 1; // past the opening quote
+            lex_byte_char_tail(cur, out, start, line, col);
+        }
+        _ => push_token(cur, out, TokenKind::Ident, start, cur.i),
+    }
+}
+
+/// Finish lexing `b"…"` after the `b` prefix (cursor sits on the quote).
+fn lex_string_with_prefix<'a>(
+    cur: &mut Cursor<'a>,
+    out: &mut Lexed<'a>,
+    start: usize,
+    line: u32,
+    col: u32,
+) {
+    cur.i += 1; // past the opening quote
+    string_tail(cur, out, start, line, col);
+}
+
+/// Finish lexing `b'…'` after the opening quote.
+fn lex_byte_char_tail<'a>(
+    cur: &mut Cursor<'a>,
+    out: &mut Lexed<'a>,
+    start: usize,
+    line: u32,
+    col: u32,
+) {
+    if cur.bytes.get(cur.i) == Some(&b'\\') {
+        cur.i += 2;
+    } else if cur.i < cur.bytes.len() {
+        cur.i += 1;
+    }
+    if cur.bytes.get(cur.i) == Some(&b'\'') {
+        cur.i += 1;
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Char,
+        text: &cur.src[start..cur.i.min(cur.bytes.len())],
+        line,
+        col,
+    });
+    cur.line_has_token = true;
+}
+
+/// Lex a numeric literal: integers, floats, hex/oct/bin, `_` separators,
+/// type suffixes, and exponents with signs (`1.5e-3`). Range expressions
+/// (`0..n`) are *not* swallowed: a `.` is only consumed when followed by a
+/// digit.
+fn lex_number<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
+    let start = cur.i;
+    let mut prev = 0u8;
+    while cur.i < cur.bytes.len() {
+        let b = cur.bytes[cur.i];
+        let next_is_digit = || cur.bytes.get(cur.i + 1).is_some_and(|n| n.is_ascii_digit());
+        let continues = is_ident_continue(b)
+            || (b == b'.' && prev != b'.' && next_is_digit())
+            || ((b == b'+' || b == b'-') && (prev == b'e' || prev == b'E') && next_is_digit());
+        if !continues {
+            break;
+        }
+        prev = b;
+        cur.i += 1;
+    }
+    push_token(cur, out, TokenKind::Num, start, cur.i);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_containing_unwrap_is_one_str_token() {
+        let src = r###"let s = r#"x.partial_cmp(y).unwrap()"#; s.len()"###;
+        let lx = lex(src);
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.contains("unwrap")));
+        // `unwrap` / `partial_cmp` must NOT appear as identifier tokens.
+        assert!(!idents(src).contains(&"unwrap"));
+        assert!(!idents(src).contains(&"partial_cmp"));
+        assert!(idents(src).contains(&"len"));
+    }
+
+    #[test]
+    fn raw_string_hash_depths() {
+        let src = r####"let a = r"no hash"; let b = r##"has "# inside"##; done()"####;
+        assert!(idents(src).contains(&"done"));
+        let strs: Vec<_> = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].contains(r##""# inside"##));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let lx = lex(src);
+        assert_eq!(idents(src), vec!["a", "b"]);
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn line_comment_marker_inside_string_is_not_a_comment() {
+        let src = r#"let url = "https://example.com"; after()"#;
+        let lx = lex(src);
+        assert!(lx.comments.is_empty());
+        assert!(idents(src).contains(&"after"));
+    }
+
+    #[test]
+    fn string_with_escaped_quote_and_backslash() {
+        let src = r#"let s = "she said \"hi\" \\"; tail()"#;
+        assert!(idents(src).contains(&"tail"));
+        assert_eq!(
+            lex(src)
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' } let q = '\\''; let u = '\\u{1F600}'; loop_label: for _ in 0..1 {}";
+        let lx = lex(src);
+        let lifetimes: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\''", "'\\u{1F600}'"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let src = "let s: &'static str = x; let r: &'_ u8 = y;";
+        let lifetimes: Vec<_> = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text)
+            .collect::<Vec<_>>();
+        assert_eq!(lifetimes, vec!["'static", "'_"]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let src = "let r#fn = 1; use_it(r#fn)";
+        let ids = idents(src);
+        assert!(ids.contains(&"r#fn"));
+        assert!(ids.contains(&"use_it"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = r##"let a = b"bytes"; let c = b'\n'; let d = br#"raw bytes"#; end()"##;
+        let lx = lex(src);
+        assert!(idents(src).contains(&"end"));
+        assert_eq!(
+            lx.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            2
+        );
+        assert_eq!(
+            lx.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let src = "for i in 0..n { let x = 1.5e-3; let y = 0xFFu32; }";
+        let lx = lex(src);
+        let nums: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, vec!["0", "1.5e-3", "0xFFu32"]);
+        assert!(idents(src).contains(&"n"));
+    }
+
+    #[test]
+    fn line_and_col_are_one_based_and_accurate() {
+        let src = "ab\n  cd(ef)";
+        let lx = lex(src);
+        let cd = lx.tokens.iter().find(|t| t.text == "cd").expect("cd");
+        assert_eq!((cd.line, cd.col), (2, 3));
+        let ef = lx.tokens.iter().find(|t| t.text == "ef").expect("ef");
+        assert_eq!((ef.line, ef.col), (2, 6));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines_and_tracks_own_line() {
+        let src = "x; /* one\ntwo\nthree */ y;\n  // own line\nz; // trailing";
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 3);
+        assert_eq!((lx.comments[0].line, lx.comments[0].end_line), (1, 3));
+        assert!(!lx.comments[0].own_line);
+        assert!(lx.comments[1].own_line);
+        assert!(!lx.comments[2].own_line);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        // A `\` line continuation inside a string spans two physical
+        // lines; tokens after it must land on the right line.
+        let src = "let s = \"one\\\n two\";\nafter();";
+        let lx = lex(src);
+        let after = lx.tokens.iter().find(|t| t.text == "after").expect("after");
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn unterminated_forms_do_not_panic() {
+        for src in [
+            "let s = \"open",
+            "/* never closed",
+            "r#\"open raw",
+            "let c = '",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # soulmate-lint
+//!
+//! A zero-dependency workspace lint engine: a hand-rolled Rust [`lexer`]
+//! feeds a token-level rule [`engine`] that enforces, as real static
+//! analysis, the invariants this repo previously kept alive with a CI
+//! grep and per-crate clippy attributes:
+//!
+//! - `nan-comparator` — no `partial_cmp(..)` chained into `.unwrap()`;
+//! - `non-atomic-write` — no `File::create`/`fs::write` to final paths;
+//! - `panic-in-serving` — no panicking constructs in core/graph/cli
+//!   library code (the DESIGN.md §12 guarantee);
+//! - `allow-without-proof` — every `#[allow]` carries a justification;
+//! - `unguarded-as-cast` — narrowing casts carry proof comments;
+//! - `todo-marker` — no work-in-progress markers on main;
+//! - `no-unsafe` — token-level double-check of `#![forbid(unsafe_code)]`.
+//!
+//! Diagnostics are span-accurate (`file:line:col`), rule IDs are stable,
+//! and per-line suppressions (`lint:allow(rule) -- reason`) *require* a
+//! written reason. Run it as:
+//!
+//! ```text
+//! cargo run -p soulmate-lint -- [--json] [paths…]
+//! ```
+//!
+//! See DESIGN.md §13 for the lexer model, the rule catalog, the
+//! suppression syntax, and the JSON diagnostic schema.
+
+// The linter guards the workspace's no-unsafe guarantee; it must hold
+// itself to the same bar.
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use diag::{render_json, render_text, sort_canonical, Diagnostic};
+pub use engine::lint_source;
+pub use walk::collect_rs_files;
+
+use std::path::PathBuf;
+
+/// Lint every `.rs` file reachable from `roots`; returns canonically
+/// sorted diagnostics (by path, line, col, rule).
+pub fn lint_paths(roots: &[PathBuf]) -> std::io::Result<Vec<Diagnostic>> {
+    let files = collect_rs_files(roots)?;
+    let mut out = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(file)?;
+        let label = file.to_string_lossy().replace('\\', "/");
+        out.extend(lint_source(&label, &src));
+    }
+    sort_canonical(&mut out);
+    Ok(out)
+}

@@ -1,0 +1,70 @@
+//! CLI for `soulmate-lint`.
+//!
+//! ```text
+//! soulmate-lint [--json] [paths…]
+//! ```
+//!
+//! Paths default to the current directory. Exit codes: 0 = clean,
+//! 1 = diagnostics found, 2 = usage or I/O error.
+
+// Same guarantee as the library (binaries are separate crate roots).
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: soulmate-lint [--json] [paths…]\n\
+       paths default to `.`; directories are walked recursively for .rs files\n\
+       (skipping target/, .git/ and fixtures/ directories)";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag `{flag}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => roots.push(PathBuf::from(path)),
+        }
+    }
+    if roots.is_empty() {
+        roots.push(PathBuf::from("."));
+    }
+
+    let diags = match soulmate_lint::lint_paths(&roots) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", soulmate_lint::render_json(&diags));
+    } else {
+        print!("{}", soulmate_lint::render_text(&diags));
+        eprintln!(
+            "soulmate-lint: {} diagnostic{} ({} rule{} in catalog)",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            soulmate_lint::rules::CATALOG.len(),
+            if soulmate_lint::rules::CATALOG.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+        );
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

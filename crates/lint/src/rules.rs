@@ -1,0 +1,344 @@
+//! The rule catalog. Every rule has a stable kebab-case ID (used in
+//! diagnostics, `lint:allow(…)` suppressions, and CI baselines) and
+//! encodes one invariant this workspace previously enforced by grep or
+//! convention. See DESIGN.md §13 for the full catalog documentation.
+
+use crate::diag::Diagnostic;
+use crate::engine::{Bless, Ctx};
+use crate::lexer::{Token, TokenKind};
+
+pub const NAN_COMPARATOR: &str = "nan-comparator";
+pub const NON_ATOMIC_WRITE: &str = "non-atomic-write";
+pub const PANIC_IN_SERVING: &str = "panic-in-serving";
+pub const ALLOW_WITHOUT_PROOF: &str = "allow-without-proof";
+pub const UNGUARDED_AS_CAST: &str = "unguarded-as-cast";
+pub const TODO_MARKER: &str = "todo-marker";
+pub const NO_UNSAFE: &str = "no-unsafe";
+/// Meta-rule: a malformed `lint:allow` comment. Not itself suppressible.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// `(id, summary)` for every rule, in catalog order.
+pub const CATALOG: &[(&str, &str)] = &[
+    (NAN_COMPARATOR, "partial_cmp(..) chained into .unwrap()/.expect() panics on NaN; use total_cmp"),
+    (NON_ATOMIC_WRITE, "File::create/fs::write to a final path can leave torn files; write to a temp path and rename"),
+    (PANIC_IN_SERVING, "unwrap/expect/panic!/unreachable!/indexing in core, graph or cli library code breaks the no-panic serving guarantee"),
+    (ALLOW_WITHOUT_PROOF, "#[allow(..)] needs an adjacent comment justifying it"),
+    (UNGUARDED_AS_CAST, "narrowing `as` cast needs an adjacent proof comment"),
+    (TODO_MARKER, "TODO/FIXME/XXX markers and todo!/unimplemented! must not land on main"),
+    (NO_UNSAFE, "the workspace is 100% safe Rust; `unsafe` is forbidden"),
+];
+
+/// True for IDs accepted inside `lint:allow(…)`. `bad-suppression` is
+/// deliberately excluded: the escape hatch cannot disable its own audit.
+pub fn is_known_rule(id: &str) -> bool {
+    CATALOG.iter().any(|(known, _)| *known == id)
+}
+
+/// Run every rule over one file's context.
+pub fn run_all(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    nan_comparator(ctx, out);
+    non_atomic_write(ctx, out);
+    panic_in_serving(ctx, out);
+    allow_without_proof(ctx, out);
+    unguarded_as_cast(ctx, out);
+    todo_marker(ctx, out);
+    no_unsafe(ctx, out);
+}
+
+/// Index of the `)` matching the `(` at `open`, if any.
+fn matching_paren(tokens: &[Token<'_>], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = open;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `nan-comparator`: a `partial_cmp(…)` whose result is immediately
+/// `.unwrap()`ed or `.expect(…)`ed. Matched on tokens, so rustfmt line
+/// breaks between the call and the unwrap cannot hide it (the failure
+/// mode of the old `grep -A1` CI gate). Applies to test code too — a
+/// NaN-panicking comparator in a test is still a latent flake.
+fn nan_comparator(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let tokens = ctx.tokens();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("partial_cmp") || !tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let Some(close) = matching_paren(tokens, i + 1) else {
+            continue;
+        };
+        let chained_panic = tokens.get(close + 1).is_some_and(|d| d.is_punct('.'))
+            && tokens
+                .get(close + 2)
+                .is_some_and(|m| m.is_ident("unwrap") || m.is_ident("expect"))
+            && tokens.get(close + 3).is_some_and(|p| p.is_punct('('));
+        if chained_panic {
+            ctx.emit(
+                out,
+                t,
+                NAN_COMPARATOR,
+                "`partial_cmp(..)` chained into `.unwrap()`/`.expect(..)` panics on NaN; use `total_cmp` (or handle the `None`)".to_string(),
+            );
+        }
+    }
+}
+
+/// `non-atomic-write`: `File::create(…)` / `fs::write(…)` aimed at a
+/// final path in non-test code. A crash mid-write leaves a torn file at
+/// the destination; the blessed pattern (corpus::io, obs::registry,
+/// core::snapshot) creates a sibling temp file and renames it over the
+/// target. A call whose path argument mentions `tmp`/`temp` is taken to
+/// be the first half of that pattern and accepted.
+fn non_atomic_write(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    // `tokens[i..]` starts `seg0::seg1(`?
+    fn path_call(tokens: &[Token<'_>], i: usize, seg0: &str, seg1: &str) -> bool {
+        tokens[i].is_ident(seg0)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident(seg1))
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct('('))
+    }
+    let tokens = ctx.tokens();
+    for i in 0..tokens.len() {
+        if !path_call(tokens, i, "File", "create") && !path_call(tokens, i, "fs", "write") {
+            continue;
+        }
+        let (open, at) = (i + 4, &tokens[i]);
+        if ctx.is_test(i) {
+            continue;
+        }
+        let close = matching_paren(tokens, open).unwrap_or(tokens.len());
+        let args_mention_temp = tokens[open..close.min(tokens.len())].iter().any(|t| {
+            matches!(t.kind, TokenKind::Ident | TokenKind::Str) && {
+                let lower = t.text.to_ascii_lowercase();
+                lower.contains("tmp") || lower.contains("temp")
+            }
+        });
+        if !args_mention_temp {
+            ctx.emit(
+                out,
+                at,
+                NON_ATOMIC_WRITE,
+                "write to a final path is not atomic (a crash leaves a torn file); write to a sibling temp path and rename, like corpus::io::save_json".to_string(),
+            );
+        }
+    }
+}
+
+/// Keywords that may legitimately precede a `[` without it being a
+/// panicking index expression (slice patterns, array repeats, …).
+const NON_INDEX_PREFIX_KEYWORDS: &[&str] = &[
+    "let", "in", "return", "mut", "ref", "if", "else", "match", "while", "loop", "move", "break",
+    "continue", "as", "const", "static", "box", "yield",
+];
+
+/// `panic-in-serving`: `.unwrap()`, `.expect(…)`, `panic!`,
+/// `unreachable!`, and slice-index expressions in library code of the
+/// serving crates (core/graph/cli). Scopes carrying a
+/// `#[allow(clippy::unwrap_used/expect_used/indexing_slicing)]` attribute
+/// are blessed — the `allow-without-proof` rule separately guarantees
+/// those carry a justification.
+fn panic_in_serving(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.serving {
+        return;
+    }
+    let tokens = ctx.tokens();
+    for (i, t) in tokens.iter().enumerate() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        let next_is_open_paren = tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let prev_is_dot = i > 0 && tokens[i - 1].is_punct('.');
+        if t.is_ident("unwrap")
+            && next_is_open_paren
+            && prev_is_dot
+            && !ctx.is_blessed(i, Bless::Unwrap)
+        {
+            ctx.emit(
+                out,
+                t,
+                PANIC_IN_SERVING,
+                "`.unwrap()` in serving-path library code; return a typed `CoreError` instead (DESIGN.md §12)".to_string(),
+            );
+        }
+        if t.is_ident("expect")
+            && next_is_open_paren
+            && prev_is_dot
+            && !ctx.is_blessed(i, Bless::Expect)
+        {
+            ctx.emit(
+                out,
+                t,
+                PANIC_IN_SERVING,
+                "`.expect(..)` in serving-path library code; return a typed `CoreError` instead (DESIGN.md §12)".to_string(),
+            );
+        }
+        if (t.is_ident("panic") || t.is_ident("unreachable"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            ctx.emit(
+                out,
+                t,
+                PANIC_IN_SERVING,
+                format!(
+                    "`{}!` in serving-path library code; return `CoreError::Internal`/`Invalid` instead (DESIGN.md §12)",
+                    t.text
+                ),
+            );
+        }
+        if t.is_punct('[') && i > 0 && !ctx.is_blessed(i, Bless::Index) {
+            let prev = &tokens[i - 1];
+            let postfix_index = match prev.kind {
+                TokenKind::Ident => !NON_INDEX_PREFIX_KEYWORDS.contains(&prev.text),
+                TokenKind::Punct => prev.is_punct(']') || prev.is_punct(')'),
+                _ => false,
+            };
+            if postfix_index {
+                ctx.emit(
+                    out,
+                    t,
+                    PANIC_IN_SERVING,
+                    "slice indexing in serving-path library code can panic; use `.get(..)` or bless the scope with `#[allow(clippy::indexing_slicing)]` plus a proof comment".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// `allow-without-proof`: every `#[allow(…)]`/`#![allow(…)]` in non-test
+/// code must have a comment directly above it (or trailing on the same
+/// line) saying *why* the lint is silenced. This is what makes blessed
+/// scopes auditable instead of silent.
+fn allow_without_proof(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let tokens = ctx.tokens();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let bracket = if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            i + 2
+        } else {
+            i + 1
+        };
+        let is_allow = tokens.get(bracket).is_some_and(|t| t.is_punct('['))
+            && tokens.get(bracket + 1).is_some_and(|t| t.is_ident("allow"));
+        if !is_allow || ctx.is_test(i) {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        if !ctx.has_adjacent_comment(line) && !ctx.is_suppressed(ALLOW_WITHOUT_PROOF, line) {
+            ctx.emit(
+                out,
+                &tokens[i],
+                ALLOW_WITHOUT_PROOF,
+                "`#[allow(..)]` without an adjacent justification comment; say why the lint is silenced on the line above".to_string(),
+            );
+        }
+        i = bracket + 1;
+    }
+}
+
+/// Integer targets considered narrowing for `unguarded-as-cast`. The
+/// check is purely token-level (no type inference), so widening casts to
+/// these types are flagged too — the proof comment then simply states the
+/// widening. 64-bit and float targets are exempt.
+const NARROWING_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// `unguarded-as-cast`: `expr as u32`-style casts silently truncate or
+/// saturate; each one needs an adjacent comment proving the value fits
+/// (same line or the line above).
+fn unguarded_as_cast(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let tokens = ctx.tokens();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("as") || ctx.is_test(i) {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokenKind::Ident || !NARROWING_TARGETS.contains(&target.text) {
+            continue;
+        }
+        if !ctx.has_adjacent_comment(t.line) {
+            ctx.emit(
+                out,
+                t,
+                UNGUARDED_AS_CAST,
+                format!(
+                    "narrowing `as {}` cast without a proof comment; state on this or the previous line why the value fits",
+                    target.text
+                ),
+            );
+        }
+    }
+}
+
+/// `todo-marker`: work-in-progress markers in comments, and `todo!`/
+/// `unimplemented!` invocations anywhere. Such markers do not belong on
+/// main; file an issue instead.
+fn todo_marker(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    for c in ctx.comments() {
+        for marker in ["TODO", "FIXME", "XXX"] {
+            for (at, _) in c.text.match_indices(marker) {
+                let before = c.text[..at].chars().next_back();
+                let after = c.text[at + marker.len()..].chars().next();
+                let isolated = !before.is_some_and(|b| b.is_ascii_alphanumeric())
+                    && !after.is_some_and(|a| a.is_ascii_alphanumeric());
+                if !isolated || ctx.is_suppressed(TODO_MARKER, c.line) {
+                    continue;
+                }
+                // Report at the comment's start; interior lines of block
+                // comments are folded up to it.
+                out.push(Diagnostic {
+                    path: ctx.path.to_string(),
+                    line: c.line,
+                    col: c.col,
+                    rule: TODO_MARKER,
+                    message: format!("`{marker}` marker in comment; resolve it or track it in an issue before merging"),
+                });
+            }
+        }
+    }
+    let tokens = ctx.tokens();
+    for (i, t) in tokens.iter().enumerate() {
+        if (t.is_ident("todo") || t.is_ident("unimplemented"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            ctx.emit(
+                out,
+                t,
+                TODO_MARKER,
+                format!("`{}!` placeholder must not land on main", t.text),
+            );
+        }
+    }
+}
+
+/// `no-unsafe`: the workspace is 100% safe Rust and every crate carries
+/// `#![forbid(unsafe_code)]`; this rule double-checks at the token level
+/// (catching e.g. a crate that lost its forbid attribute).
+fn no_unsafe(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    for t in ctx.tokens() {
+        if t.is_ident("unsafe") {
+            ctx.emit(
+                out,
+                t,
+                NO_UNSAFE,
+                "`unsafe` is forbidden in this workspace (100% safe Rust; every crate is #![forbid(unsafe_code)])".to_string(),
+            );
+        }
+    }
+}

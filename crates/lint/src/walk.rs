@@ -1,0 +1,85 @@
+//! Deterministic file discovery: expand lint roots into a sorted list of
+//! `.rs` files, skipping build output (`target`), VCS metadata (`.git`),
+//! and lint-fixture corpora (`fixtures` directories hold deliberate
+//! violations for the linter's own tests).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Expand `roots` (files or directories) into `.rs` file paths. Directory
+/// entries are visited in sorted order so the file list — and therefore
+/// diagnostic ordering and JSON output — is reproducible across runs and
+/// filesystems.
+pub fn collect_rs_files(roots: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for root in roots {
+        if root.is_dir() {
+            walk_dir(root, &mut files)?;
+        } else if root.is_file() {
+            files.push(root.clone());
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("lint root not found: {}", root.display()),
+            ));
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn walk_dir(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk_dir(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_root_is_an_error() {
+        let err = collect_rs_files(&[PathBuf::from("definitely/not/here")]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn skips_fixture_dirs_and_sorts() {
+        let dir = std::env::temp_dir().join(format!("soulmate_lint_walk_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("b/fixtures")).unwrap();
+        std::fs::create_dir_all(dir.join("a")).unwrap();
+        std::fs::write(dir.join("b/fixtures/bad.rs"), "unsafe {}").unwrap();
+        std::fs::write(dir.join("b/ok.rs"), "fn f() {}").unwrap();
+        std::fs::write(dir.join("a/first.rs"), "fn g() {}").unwrap();
+        std::fs::write(dir.join("notes.txt"), "not rust").unwrap();
+        let files = collect_rs_files(&[dir.clone()]).unwrap();
+        let rel: Vec<String> = files
+            .iter()
+            .map(|p| {
+                p.strip_prefix(&dir)
+                    .unwrap()
+                    .to_string_lossy()
+                    .replace('\\', "/")
+            })
+            .collect();
+        assert_eq!(rel, vec!["a/first.rs", "b/ok.rs"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

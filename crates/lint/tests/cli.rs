@@ -1,0 +1,124 @@
+//! End-to-end tests of the `soulmate-lint` binary: exit codes, the
+//! `file:line:col: rule-id:` diagnostic format, and byte-stable `--json`
+//! output.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_soulmate-lint")
+}
+
+/// Fresh scratch directory for one test. Deliberately avoids `tests` or
+/// `benches` as a component so path scoping sees non-test files.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soulmate-lint-cli-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().unwrap()
+}
+
+fn seed(dir: &Path, rel: &str, src: &str) {
+    let path = dir.join(rel);
+    fs::create_dir_all(path.parent().unwrap()).unwrap();
+    fs::write(&path, src).unwrap();
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let dir = scratch("clean");
+    seed(
+        &dir,
+        "crates/demo/src/lib.rs",
+        "pub fn ok() -> u32 {\n    7\n}\n",
+    );
+    let out = run(&[dir.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stdout.is_empty());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn seeded_violation_exits_nonzero_with_span() {
+    let dir = scratch("seeded");
+    seed(
+        &dir,
+        "crates/core/src/bad.rs",
+        "pub fn f(xs: &[f32]) -> f32 {\n    *xs.first().unwrap()\n}\n",
+    );
+    let out = run(&[dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // file:line:col: rule-id: — the unwrap ident starts at line 2, col 17.
+    assert!(
+        stdout.contains("crates/core/src/bad.rs:2:17: panic-in-serving:"),
+        "got: {stdout}"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn json_output_is_sorted_and_byte_stable() {
+    let dir = scratch("json");
+    // Two files seeded in reverse-alphabetical order; each with two
+    // violations in reverse line order of discovery.
+    seed(
+        &dir,
+        "crates/demo/src/zeta.rs",
+        "fn f(x: u64) -> u32 {\n    x as u32\n}\n// TODO: later\n",
+    );
+    seed(
+        &dir,
+        "crates/demo/src/alpha.rs",
+        "fn g(x: u64) -> u8 {\n    x as u8\n}\n",
+    );
+    let first = run(&["--json", dir.to_str().unwrap()]);
+    let second = run(&["--json", dir.to_str().unwrap()]);
+    assert_eq!(first.status.code(), Some(1));
+    assert_eq!(
+        first.stdout, second.stdout,
+        "--json must be byte-stable across runs"
+    );
+
+    let text = String::from_utf8(first.stdout).unwrap();
+    assert!(
+        text.starts_with("{\"version\":1,\"diagnostics\":["),
+        "got: {text}"
+    );
+    assert!(text.trim_end().ends_with("\"total\":3}"), "got: {text}");
+    // Canonical order: alpha.rs before zeta.rs, and within zeta.rs the
+    // line-2 cast before the line-4 marker.
+    let alpha = text.find("alpha.rs").unwrap();
+    let zeta = text.find("zeta.rs").unwrap();
+    assert!(alpha < zeta);
+    let cast = text.find("unguarded-as-cast").unwrap();
+    let marker = text.find("todo-marker").unwrap();
+    assert!(cast < marker);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_root_exits_two() {
+    let dir = scratch("missing");
+    let gone = dir.join("no-such-subdir");
+    let out = run(&[gone.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,149 @@
+//! Fixture-driven self-tests: one positive and one negative fixture per
+//! rule, lexed and linted through the public [`soulmate_lint::lint_source`]
+//! entry point. Fixtures live in `tests/fixtures/`, which the workspace
+//! walker deliberately skips — their violations must never fail the real
+//! `soulmate-lint` run over the repo.
+
+use soulmate_lint::{lint_source, Diagnostic};
+
+/// Label under which non-serving fixtures are linted (any non-test,
+/// non-serving path works; `bench` is representative).
+const PLAIN: &str = "crates/bench/src/fixture.rs";
+/// Label that puts a fixture on the serving path (core/graph/cli).
+const SERVING: &str = "crates/core/src/fixture.rs";
+
+fn rules_and_lines(diags: &[Diagnostic]) -> Vec<(&'static str, u32)> {
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+#[test]
+fn nan_comparator_fixtures() {
+    let bad = lint_source(PLAIN, include_str!("fixtures/nan_comparator_bad.rs"));
+    assert_eq!(
+        rules_and_lines(&bad),
+        vec![("nan-comparator", 4), ("nan-comparator", 6)],
+        "both the one-line and the line-broken chain must be flagged"
+    );
+    let ok = lint_source(PLAIN, include_str!("fixtures/nan_comparator_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+#[test]
+fn non_atomic_write_fixtures() {
+    let src = include_str!("fixtures/non_atomic_write_bad.rs");
+    let bad = lint_source(PLAIN, src);
+    assert_eq!(
+        rules_and_lines(&bad),
+        vec![("non-atomic-write", 5), ("non-atomic-write", 6)]
+    );
+    // The same source under a tests/ path is accepted: scratch files in
+    // tests do not need the rename protocol.
+    assert!(lint_source("crates/bench/tests/fixture.rs", src).is_empty());
+    let ok = lint_source(PLAIN, include_str!("fixtures/non_atomic_write_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+#[test]
+fn panic_in_serving_fixtures() {
+    let src = include_str!("fixtures/panic_in_serving_bad.rs");
+    let bad = lint_source(SERVING, src);
+    assert_eq!(
+        rules_and_lines(&bad),
+        vec![
+            ("panic-in-serving", 4),  // .unwrap()
+            ("panic-in-serving", 5),  // .expect(..)
+            ("panic-in-serving", 7),  // panic!
+            ("panic-in-serving", 12), // xs[i]
+            ("panic-in-serving", 13), // unreachable!
+        ]
+    );
+    // Identical source off the serving path is none of this rule's business.
+    assert!(lint_source(PLAIN, src).is_empty());
+    let ok = lint_source(SERVING, include_str!("fixtures/panic_in_serving_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+#[test]
+fn allow_without_proof_fixtures() {
+    let bad = lint_source(PLAIN, include_str!("fixtures/allow_without_proof_bad.rs"));
+    assert_eq!(
+        rules_and_lines(&bad),
+        vec![("allow-without-proof", 1), ("allow-without-proof", 3)]
+    );
+    let ok = lint_source(PLAIN, include_str!("fixtures/allow_without_proof_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+#[test]
+fn unguarded_as_cast_fixtures() {
+    let bad = lint_source(PLAIN, include_str!("fixtures/unguarded_as_cast_bad.rs"));
+    assert_eq!(
+        rules_and_lines(&bad),
+        vec![("unguarded-as-cast", 2), ("unguarded-as-cast", 6)]
+    );
+    let ok = lint_source(PLAIN, include_str!("fixtures/unguarded_as_cast_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+#[test]
+fn todo_marker_fixtures() {
+    let bad = lint_source(PLAIN, include_str!("fixtures/todo_marker_bad.rs"));
+    assert_eq!(
+        rules_and_lines(&bad),
+        vec![
+            ("todo-marker", 1), // comment marker
+            ("todo-marker", 3), // block-comment marker
+            ("todo-marker", 4), // unimplemented!
+            ("todo-marker", 8), // todo!
+        ]
+    );
+    let ok = lint_source(PLAIN, include_str!("fixtures/todo_marker_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+#[test]
+fn no_unsafe_fixtures() {
+    let bad = lint_source(PLAIN, include_str!("fixtures/no_unsafe_bad.rs"));
+    assert_eq!(rules_and_lines(&bad), vec![("no-unsafe", 2)]);
+    let ok = lint_source(PLAIN, include_str!("fixtures/no_unsafe_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+#[test]
+fn bad_suppression_fixtures() {
+    let bad = lint_source(PLAIN, include_str!("fixtures/bad_suppression_bad.rs"));
+    assert_eq!(
+        rules_and_lines(&bad),
+        vec![("bad-suppression", 2), ("bad-suppression", 4)],
+        "missing reason and unknown rule id are both malformed"
+    );
+    let ok = lint_source(PLAIN, include_str!("fixtures/bad_suppression_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+/// Every diagnostic a fixture produces names a rule from the public
+/// catalog (or the `bad-suppression` meta-rule), so docs and output can
+/// never drift apart.
+#[test]
+fn fixture_diagnostics_use_cataloged_rule_ids() {
+    let all = [
+        include_str!("fixtures/nan_comparator_bad.rs"),
+        include_str!("fixtures/non_atomic_write_bad.rs"),
+        include_str!("fixtures/panic_in_serving_bad.rs"),
+        include_str!("fixtures/allow_without_proof_bad.rs"),
+        include_str!("fixtures/unguarded_as_cast_bad.rs"),
+        include_str!("fixtures/todo_marker_bad.rs"),
+        include_str!("fixtures/no_unsafe_bad.rs"),
+        include_str!("fixtures/bad_suppression_bad.rs"),
+    ];
+    for src in all {
+        for d in lint_source(SERVING, src) {
+            assert!(
+                soulmate_lint::rules::is_known_rule(d.rule)
+                    || d.rule == soulmate_lint::rules::BAD_SUPPRESSION,
+                "uncataloged rule id {:?}",
+                d.rule
+            );
+        }
+    }
+}

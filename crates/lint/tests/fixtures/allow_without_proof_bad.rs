@@ -1,0 +1,4 @@
+#![allow(clippy::needless_range_loop)]
+
+#[allow(dead_code)]
+fn helper() {}

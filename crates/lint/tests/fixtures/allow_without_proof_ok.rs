@@ -1,0 +1,5 @@
+// Index loops mirror the paper's pseudocode; iterator form obscures it.
+#![allow(clippy::needless_range_loop)]
+
+#[allow(dead_code)] // kept for the ffi example in DESIGN.md
+fn helper() {}

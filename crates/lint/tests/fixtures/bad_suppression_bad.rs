@@ -1,0 +1,7 @@
+fn f(x: u64) -> u32 {
+    // lint:allow(unguarded-as-cast)
+    let a = x as u32;
+    // lint:allow(not-a-rule) -- the rule id is misspelled
+    let b = x as u32;
+    a + b
+}

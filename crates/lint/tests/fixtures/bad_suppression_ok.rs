@@ -1,0 +1,4 @@
+fn f(x: u64) -> u32 {
+    // lint:allow(unguarded-as-cast) -- x is a dense id far below u32::MAX
+    x as u32
+}

@@ -1,0 +1,9 @@
+// Positive fixture: both the single-line form and the line-broken form
+// (which the old `grep -A1` CI gate could miss) must be flagged.
+fn sort_scores(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("comparable")
+    });
+}

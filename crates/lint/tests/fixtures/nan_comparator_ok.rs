@@ -1,0 +1,8 @@
+// Negative fixture: total_cmp and a handled None are both fine, and a
+// `partial_cmp` mentioned inside a string or comment is not a call:
+// a.partial_cmp(b).unwrap()
+fn sort_scores(xs: &mut [f32]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let _doc = "a.partial_cmp(b).unwrap()";
+}

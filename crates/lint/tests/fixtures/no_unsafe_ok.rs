@@ -1,0 +1,5 @@
+// The word appears only in strings and comments here — `unsafe` as prose,
+// not as a token the rule should see.
+fn describe() -> &'static str {
+    "this workspace contains no unsafe code"
+}

@@ -1,0 +1,8 @@
+// Positive fixture: both spellings of a direct write to a final path.
+use std::fs::File;
+
+fn save(report: &str) -> std::io::Result<()> {
+    std::fs::write("results.md", report)?;
+    let _f = File::create("results.bin")?;
+    Ok(())
+}

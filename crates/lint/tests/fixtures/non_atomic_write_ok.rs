@@ -1,0 +1,7 @@
+// Negative fixture: writing to a temp sibling (the first half of the
+// write-then-rename protocol) is the blessed pattern.
+fn save(report: &str, path: &std::path::Path) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, report)?;
+    std::fs::rename(&tmp, path)
+}

@@ -1,0 +1,15 @@
+// Positive fixture (linted under a crates/core/src/ path label): every
+// panicking construct the serving guarantee bans.
+fn lookup(xs: &[f32], i: usize) -> f32 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("has two");
+    if i >= xs.len() {
+        panic!("out of range");
+    }
+    match i {
+        0 => *first,
+        1 => *second,
+        _ if i < xs.len() => xs[i],
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,24 @@
+// Negative fixture (linted under a crates/core/src/ path label): fallible
+// returns, blessed indexing scopes, and test code are all accepted.
+fn lookup(xs: &[f32], i: usize) -> Option<f32> {
+    xs.get(i).copied()
+}
+
+// Hot path: `i` is produced by the loop bound over `xs.len()`.
+#[allow(clippy::indexing_slicing)]
+fn sum(xs: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        acc += xs[i];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [1.0f32];
+        assert_eq!(*xs.first().unwrap(), 1.0);
+    }
+}

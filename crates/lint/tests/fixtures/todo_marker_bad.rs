@@ -1,0 +1,9 @@
+// TODO: tighten the bound
+fn later() {
+    /* FIXME — this allocates per call */
+    unimplemented!()
+}
+
+fn much_later() -> u64 {
+    todo!()
+}

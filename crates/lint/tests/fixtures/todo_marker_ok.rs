@@ -1,0 +1,6 @@
+// Mentions that embed the marker inside a word (mastodon, XXXL) are not
+// markers, and identifiers are not macro invocations.
+fn mastodon_xxxl_sizes() -> Vec<&'static str> {
+    let todo = vec!["XXXL"];
+    todo
+}

@@ -1,0 +1,7 @@
+fn ids(xs: &[u64]) -> Vec<u32> {
+    xs.iter().map(|&x| x as u32).collect()
+}
+
+fn index(i: u32) -> usize {
+    i as usize
+}

@@ -1,0 +1,12 @@
+fn ids(xs: &[u64]) -> Vec<u32> {
+    // ids are dense indices < xs.len() ≪ u32::MAX
+    xs.iter().map(|&x| x as u32).collect()
+}
+
+fn index(i: u32) -> usize {
+    i as usize // u32→usize is widening on supported targets
+}
+
+fn widen(x: u32) -> (u64, f64) {
+    (x as u64, x as f64)
+}

@@ -51,6 +51,7 @@ impl Histogram {
         if v <= BASE {
             0
         } else {
+            // v > BASE here, so the log is positive and tiny; min() clamps the bucket
             let idx = (v / BASE).log2().ceil() as usize;
             idx.min(N_BUCKETS - 1)
         }

@@ -27,6 +27,10 @@
 //! assert!(reg.histogram("stage.demo.seconds").is_some());
 //! ```
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
+
 pub mod histogram;
 pub mod registry;
 pub mod timer;

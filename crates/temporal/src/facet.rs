@@ -35,9 +35,9 @@ impl Facet {
     /// The split a timestamp falls into, `0..n_splits()`.
     pub fn split_of(self, t: Timestamp) -> usize {
         match self {
-            Facet::Hour => t.hour() as usize,
-            Facet::DayOfWeek => t.day_of_week() as usize,
-            Facet::Month => t.month() as usize,
+            Facet::Hour => t.hour() as usize,             // ∈ 0..24, widening
+            Facet::DayOfWeek => t.day_of_week() as usize, // ∈ 0..7, widening
+            Facet::Month => t.month() as usize,           // ∈ 0..12, widening
             Facet::Season => t.season().index(),
         }
     }

@@ -9,6 +9,9 @@
 //! over a parent→child facet hierarchy (day slabs conditioning hour slabs,
 //! Table 4).
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
 // Index-based loops are used deliberately where two mirrored cells of a
 // symmetric matrix (or several parallel arrays) are written per step —
 // iterator rewrites obscure those invariants.

@@ -13,6 +13,9 @@
 //! * [`enrich`] — the top-ζ similar-word content enrichment used by the
 //!   `Temporal Collective` and `CBOW Enriched` baselines (Section 4.1.2).
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
 // Index-based loops are used deliberately where two mirrored cells of a
 // symmetric matrix (or several parallel arrays) are written per step —
 // iterator rewrites obscure those invariants.

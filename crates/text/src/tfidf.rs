@@ -35,8 +35,9 @@ impl DocumentTfIdf {
             n_docs += 1;
             seen.clear();
             for &id in doc {
+                // u32 word id → usize is widening; the bound is checked right here
                 if (id as usize) < vocab_size && seen.insert(id) {
-                    doc_freq[id as usize] += 1;
+                    doc_freq[id as usize] += 1; // in-bounds per the check above
                 }
             }
         }
@@ -54,6 +55,7 @@ impl DocumentTfIdf {
     /// weighting a *query* document that contains words absent from the
     /// fitted corpus.
     pub fn idf(&self, id: WordId) -> f32 {
+        // u32 word id → usize is widening; .get handles out-of-range
         let df = self.doc_freq.get(id as usize).copied().unwrap_or(0);
         ((1.0 + self.n_docs as f32) / (1.0 + df as f32)).ln()
     }
@@ -97,8 +99,9 @@ pub fn modified_split_tfidf(splits: &[Vec<WordId>], vocab_size: usize) -> Vec<Sp
     for split in splits {
         seen.clear();
         for &id in split {
+            // u32 word id → usize is widening; the bound is checked right here
             if (id as usize) < vocab_size && seen.insert(id) {
-                split_freq[id as usize] += 1;
+                split_freq[id as usize] += 1; // in-bounds per the check above
             }
         }
     }
@@ -116,6 +119,7 @@ pub fn modified_split_tfidf(splits: &[Vec<WordId>], vocab_size: usize) -> Vec<Sp
                 return SparseVector::new();
             }
             SparseVector::from_pairs(counts.entries().iter().filter_map(|&(id, tf)| {
+                // u32 word id → usize is widening; .get handles out-of-range
                 let nf = split_freq.get(id as usize).copied().unwrap_or(0);
                 if nf == 0 {
                     return None;

@@ -41,6 +41,7 @@ impl Vocabulary {
     /// Record one occurrence of `word`, interning it on first sight.
     pub fn observe(&mut self, word: &str) -> WordId {
         if let Some(&id) = self.index.get(word) {
+            // ids index words/counts by construction; u32→usize is widening
             self.counts[id as usize] += 1;
             return id;
         }
@@ -65,11 +66,13 @@ impl Vocabulary {
 
     /// The surface form of `id`, if in range.
     pub fn word(&self, id: WordId) -> Option<&str> {
+        // u32 id → usize is widening; .get handles out-of-range
         self.words.get(id as usize).map(String::as_str)
     }
 
     /// Occurrence count of `id` (0 if out of range).
     pub fn count(&self, id: WordId) -> u64 {
+        // u32 id → usize is widening; .get handles out-of-range
         self.counts.get(id as usize).copied().unwrap_or(0)
     }
 

@@ -23,16 +23,17 @@ fn main() {
     let held_out: u32 = (full.n_authors() - 1) as u32;
     let mut train = full.clone();
     train.tweets.retain(|t| t.author != held_out);
+    // held_out = n_authors−1 round-trips u32↔usize exactly (counts ≪ u32::MAX)
     train.authors.truncate(held_out as usize);
     train
         .ground_truth
         .author_mixture
-        .truncate(held_out as usize);
+        .truncate(held_out as usize); // u32→usize widening
     train
         .ground_truth
         .author_community
-        .truncate(held_out as usize);
-    // Re-densify tweet ids and the parallel concept labels.
+        .truncate(held_out as usize); // u32→usize widening
+                                      // Re-densify tweet ids and the parallel concept labels.
     let kept: Vec<usize> = full
         .tweets
         .iter()
@@ -45,6 +46,7 @@ fn main() {
         .map(|&i| full.ground_truth.tweet_concept[i])
         .collect();
     for (new_id, t) in train.tweets.iter_mut().enumerate() {
+        // dense re-numbering; tweet counts ≪ u32::MAX
         t.id = new_id as u32;
     }
 
@@ -52,7 +54,7 @@ fn main() {
         "Training on {} authors / {} tweets; holding out {}.",
         train.n_authors(),
         train.n_tweets(),
-        full.authors[held_out as usize].handle
+        full.authors[held_out as usize].handle // u32→usize widening
     );
     let pipeline = Pipeline::fit(&train, PipelineConfig::fast()).expect("pipeline fits");
 

@@ -67,11 +67,15 @@ fn main() {
         println!("concept #{:<2} (vector cosine {sim:.3})", truth[i]);
         println!(
             "  {} : \"{}\"",
-            dataset.authors[a.author as usize].handle, a.text
+            // u32 author id → usize widening
+            dataset.authors[a.author as usize].handle,
+            a.text
         );
         println!(
             "  {} : \"{}\"",
-            dataset.authors[b.author as usize].handle, b.text
+            // u32 author id → usize widening
+            dataset.authors[b.author as usize].handle,
+            b.text
         );
         println!();
         shown += 1;

@@ -35,6 +35,10 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! binaries reproducing every table and figure of the paper.
 
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
+
 pub use soulmate_cluster as cluster;
 pub use soulmate_core as core;
 pub use soulmate_corpus as corpus;
