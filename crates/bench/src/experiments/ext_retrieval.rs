@@ -1,0 +1,128 @@
+//! Extension — the recall/speed trade of two-stage IVF candidate
+//! retrieval against the exact online path.
+//!
+//! The paper's serving argument ("handle millions of the short-text
+//! contents") stops at the offline/online split; every query still scores
+//! all n authors. This experiment sweeps the retrieval knob (`nprobe`) on
+//! a fitted pipeline and reports, per probe width: recall@10 of the exact
+//! top-10 inside the candidate set, the mean candidate fraction (the
+//! fraction of authors stage 2 scores exactly), and the measured
+//! per-query latency next to the exact engine's.
+
+use crate::args::ExpArgs;
+use crate::setup::{default_dataset, default_pipeline_config};
+use soulmate_core::{IvfConfig, Pipeline};
+use soulmate_corpus::Timestamp;
+use soulmate_eval::{recall_sweep, TextTable};
+use std::time::Instant;
+
+/// Run the experiment and return the report.
+pub fn run(args: &ExpArgs) -> String {
+    let dataset = default_dataset(args);
+    let pipeline = Pipeline::fit(&dataset, default_pipeline_config(args)).expect("pipeline fits");
+    let engine = pipeline
+        .query_engine_ivf(&IvfConfig::default())
+        .expect("index builds");
+    let index = engine.index().expect("index attached");
+    let (k_centroids, default_nprobe) = (index.n_centroids(), index.default_nprobe());
+
+    // Query set: the first 6 tweets of every 3rd author — real generated
+    // text, so vectorization exercises the full tokenizer path.
+    let queries: Vec<Vec<(Timestamp, String)>> = (0..dataset.n_authors())
+        .step_by(3)
+        .take(12)
+        .map(|a| {
+            dataset
+                .tweets
+                .iter()
+                // a iterates author indices, which are stored as u32.
+                .filter(|t| t.author == a as u32)
+                .take(6)
+                .map(|t| (t.timestamp, t.text.clone()))
+                .collect()
+        })
+        .filter(|q: &Vec<_>| !q.is_empty())
+        .collect();
+
+    // Probe ladder: narrowest to exhaustive, always including the default.
+    let mut nprobes: Vec<usize> = vec![1, k_centroids.div_ceil(2), default_nprobe, k_centroids];
+    nprobes.sort_unstable();
+    nprobes.dedup();
+    let reports = recall_sweep(&engine, &queries, 10, &nprobes).expect("sweep runs");
+
+    let exact_latency = {
+        let start = Instant::now();
+        for q in &queries {
+            engine.link_query(q).expect("exact query links");
+        }
+        // A dozen queries at most — the count fits u32.
+        start.elapsed() / queries.len() as u32
+    };
+
+    let mut table = TextTable::new(["nprobe", "recall@10", "cand frac", "ivf query", "vs exact"]);
+    for report in &reports {
+        let start = Instant::now();
+        for q in &queries {
+            engine
+                .link_query_ivf(q, report.nprobe)
+                .expect("ivf query links");
+        }
+        // A dozen queries at most — the count fits u32.
+        let ivf_latency = start.elapsed() / queries.len() as u32;
+        let marker = if report.nprobe == default_nprobe {
+            format!("{}*", report.nprobe)
+        } else {
+            report.nprobe.to_string()
+        };
+        table.row([
+            marker,
+            format!("{:.3}", report.recall_at_k),
+            format!("{:.3}", report.mean_candidate_fraction),
+            format!("{:.2}ms", ivf_latency.as_secs_f64() * 1000.0),
+            format!(
+                "{:.2}x",
+                exact_latency.as_secs_f64() / ivf_latency.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+
+    let mut out = String::new();
+    out.push_str("Extension — IVF candidate retrieval: recall vs probe width\n\n");
+    out.push_str(&format!(
+        "{} authors, {} centroids, default nprobe {} (*), exact query {:.2}ms\n\n",
+        pipeline.n_authors(),
+        k_centroids,
+        default_nprobe,
+        exact_latency.as_secs_f64() * 1000.0
+    ));
+    out.push_str(&table.render());
+    out.push_str(
+        "\nnprobe = n_centroids is edge-for-edge the exact engine (recall 1);\n\
+         narrower probes shrink the exactly-scored candidate fraction —\n\
+         the per-query win grows with n while recall@10 stays high because\n\
+         linked authors share the query's clusters. BENCH_retrieval.json\n\
+         records the n-sweep on the synthetic serving model.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "fits a full pipeline; run with `cargo test --release -- --ignored`"]
+    fn report_sweeps_probe_widths() {
+        let args = ExpArgs {
+            authors: 24,
+            tweets_per_author: 15,
+            concepts: 4,
+            dim: 10,
+            epochs: 1,
+            ..Default::default()
+        };
+        let report = run(&args);
+        assert!(report.contains("recall@10"), "{report}");
+        assert!(report.contains("1.000"), "exhaustive row: {report}");
+    }
+}

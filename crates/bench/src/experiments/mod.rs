@@ -5,6 +5,7 @@ pub mod ext_ablation;
 pub mod ext_btcbow;
 pub mod ext_community;
 pub mod ext_popularity;
+pub mod ext_retrieval;
 pub mod ext_scaling;
 pub mod fig1;
 pub mod fig10;
@@ -99,6 +100,11 @@ pub fn all() -> Vec<Experiment> {
             "ext_scaling",
             "Extension — offline/online scaling with corpus size",
             ext_scaling::run,
+        ),
+        (
+            "ext_retrieval",
+            "Extension — IVF candidate retrieval: recall@10 vs probe width",
+            ext_retrieval::run,
         ),
     ]
 }

@@ -14,7 +14,7 @@
 )]
 
 use soulmate_bench::ExpArgs;
-use soulmate_core::{Pipeline, PipelineSnapshot};
+use soulmate_core::{IvfConfig, Pipeline, PipelineSnapshot};
 use soulmate_corpus::{generate, io as corpus_io, GeneratorConfig, Timestamp};
 use soulmate_graph::{swmst, WeightedGraph};
 use soulmate_temporal::{similarity_grid, slabs_from_grid, Facet};
@@ -53,7 +53,7 @@ USAGE:
                      [--metrics <metrics.json>]
   soulmate subgraphs --model <model.json> [--top N]
   soulmate link      --model <model.json> --tweets <tweets.txt> [--multi]
-                     [--metrics <metrics.json>] [--stats]
+                     [--ivf [--nprobe N]] [--metrics <metrics.json>] [--stats]
   soulmate slabs     --data <data.json> [--threshold X]
   soulmate eval      --data <data.json> [--dim N] [--epochs N] [--k N]
   soulmate experiment <id> [--authors N] [--tweets N] [--seed N] [--dim N] [--epochs N]
@@ -67,9 +67,14 @@ print the same registry as a table (stats: `--json` for JSON).
 The tweets file for `link` holds one tweet per line; an optional leading
 `<minute-of-year><TAB>` sets the timestamp (defaults to minute 0). With
 `--multi`, blank lines split the file into one tweet group per query
-author and the whole batch is served from one precomputed engine.
+author and the whole batch is served from one precomputed engine. With
+`--ivf`, candidates are retrieved through the snapshot's IVF index (built
+on demand when the snapshot carries none) and only candidates are scored
+exactly; `--nprobe N` widens the probe (0 or absent = index default) and
+is only meaningful with `--ivf`.
 Experiment ids: fig1 fig3 fig4 fig8 fig9 fig10 fig11 table5 table6 table7
-ext_popularity ext_community ext_ablation ext_btcbow ext_scaling.";
+ext_popularity ext_community ext_ablation ext_btcbow ext_scaling
+ext_retrieval.";
 
 /// Execute a CLI invocation, writing human output to `out`.
 ///
@@ -192,19 +197,36 @@ fn cmd_subgraphs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
 fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     // Both required flags are checked before the (expensive) model load.
     let tweets_path = flags.require_path("tweets")?;
+    let ivf = flags.has("ivf");
+    // `--nprobe` tunes the IVF probe width; on the exact path it would be
+    // silently ignored, which is exactly the kind of footgun --seed-banana
+    // taught us to reject loudly.
+    if flags.has("nprobe") && !ivf {
+        return Err(CliError::Usage(
+            "--nprobe only applies to IVF retrieval; add --ivf".into(),
+        ));
+    }
+    let nprobe = flags.get_usize("nprobe")?.unwrap_or(0);
     let model = load_model(flags)?;
     // All the query-independent work (row normalization, sparsification,
     // edge sorting) happens once here; each query then merges into the
-    // cached cut.
-    let engine = model
-        .query_engine()
-        .map_err(|e| CliError::Failed(e.to_string()))?;
+    // cached cut. With `--ivf` the engine additionally carries the
+    // snapshot's candidate index (rebuilt on demand when absent).
+    let engine = if ivf {
+        model.query_engine_ivf(&IvfConfig::default())
+    } else {
+        model.query_engine()
+    }
+    .map_err(|e| CliError::Failed(e.to_string()))?;
 
     if flags.has("multi") {
         let groups = read_tweet_groups(&tweets_path)?;
-        let outcomes = engine
-            .link_query_authors(&groups)
-            .map_err(|e| CliError::Failed(e.to_string()))?;
+        let outcomes = if ivf {
+            engine.link_query_authors_ivf(&groups, nprobe)
+        } else {
+            engine.link_query_authors(&groups)
+        }
+        .map_err(|e| CliError::Failed(e.to_string()))?;
         writeln!(out, "linked {} query authors:", outcomes.len()).ok();
         for (i, outcome) in outcomes.iter().enumerate() {
             let mates: Vec<&str> = outcome
@@ -226,9 +248,12 @@ fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     }
 
     let tweets = read_tweets_file(&tweets_path)?;
-    let outcome = engine
-        .link_query(&tweets)
-        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let outcome = if ivf {
+        engine.link_query_ivf(&tweets, nprobe)
+    } else {
+        engine.link_query(&tweets)
+    }
+    .map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(
         out,
         "query author joined a subgraph of {} nodes (avg edge weight {:.3})",
@@ -632,6 +657,91 @@ mod tests {
         assert!(out.contains("day slabs @"));
 
         for p in [&data, &model, &tweets, &metrics] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn link_ivf_serves_and_rejects_orphan_nprobe() {
+        let data = tmp("ivf-data.json");
+        let model = tmp("ivf-model.json");
+        let tweets = tmp("ivf-tweets.txt");
+        run_to_string(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--authors",
+            "14",
+            "--tweets",
+            "15",
+            "--concepts",
+            "4",
+        ])
+        .unwrap();
+        run_to_string(&[
+            "fit",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--dim",
+            "10",
+            "--epochs",
+            "2",
+        ])
+        .unwrap();
+        let dataset = corpus_io::load_json(&data).unwrap();
+        let lines: Vec<String> = dataset
+            .tweets
+            .iter()
+            .take(5)
+            .map(|t| format!("{}\t{}", t.timestamp.0, t.text))
+            .collect();
+        std::fs::write(&tweets, lines.join("\n")).unwrap();
+
+        // --nprobe without --ivf is a usage error, not a silent ignore.
+        let err = run_to_string(&[
+            "link",
+            "--model",
+            model.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+            "--nprobe",
+            "2",
+        ]);
+        match err {
+            Err(CliError::Usage(m)) => assert!(m.contains("--ivf"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+
+        // The IVF path serves single and batched queries end to end (the
+        // snapshot carries no index, so this also exercises the
+        // rebuild-on-demand branch).
+        let out = run_to_string(&[
+            "link",
+            "--model",
+            model.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+            "--ivf",
+            "--nprobe",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("query author joined"), "got: {out}");
+        let out = run_to_string(&[
+            "link",
+            "--model",
+            model.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+            "--ivf",
+            "--multi",
+        ])
+        .unwrap();
+        assert!(out.contains("linked 1 query authors"), "got: {out}");
+
+        for p in [&data, &model, &tweets] {
             std::fs::remove_file(p).ok();
         }
     }

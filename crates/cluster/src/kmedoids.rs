@@ -36,6 +36,12 @@ impl KMedoidsResult {
 /// `max_swaps` bounds the SWAP phase iterations (each pass is O(k·n²));
 /// 50 is far more than the handful PAM needs to converge on these sizes.
 ///
+/// Exact ties in BUILD and SWAP break toward the lowest point index, so the
+/// result is a pure function of the distance matrix. Use
+/// [`kmedoids_seeded`] when the tie order should instead follow an explicit
+/// seed (index builds compare snapshots for equality and need the tie
+/// policy spelled out, not left to iteration order).
+///
 /// # Errors
 /// [`ClusterError::TooManyClusters`] when `k > n` or `k == 0`;
 /// [`ClusterError::EmptyInput`] for an empty matrix.
@@ -43,6 +49,51 @@ pub fn kmedoids(
     dist: &DistanceMatrix,
     k: usize,
     max_swaps: usize,
+) -> Result<KMedoidsResult, ClusterError> {
+    // Identity priorities reproduce the historical first-wins tie order.
+    let pr: Vec<u64> = (0..dist.len() as u64).collect();
+    run_pam(dist, k, max_swaps, &pr)
+}
+
+/// [`kmedoids`] with explicitly seeded tie-breaks.
+///
+/// Each point gets a pseudo-random priority derived from `seed` via
+/// splitmix64; whenever BUILD or SWAP faces two choices with *exactly*
+/// equal objective change, the lower-priority point wins. Two runs with the
+/// same distance matrix and seed are therefore bit-for-bit identical, and
+/// different seeds explore different (equally optimal) tie resolutions.
+///
+/// # Errors
+/// Same as [`kmedoids`].
+pub fn kmedoids_seeded(
+    dist: &DistanceMatrix,
+    k: usize,
+    max_swaps: usize,
+    seed: u64,
+) -> Result<KMedoidsResult, ClusterError> {
+    let mut state = seed;
+    let pr: Vec<u64> = (0..dist.len()).map(|_| splitmix64(&mut state)).collect();
+    run_pam(dist, k, max_swaps, &pr)
+}
+
+/// splitmix64 step: a tiny, well-mixed PRNG (Steele et al., 2014) — enough
+/// to derive per-point tie priorities without pulling `rand` into the hot
+/// clustering path.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Shared PAM core. `pr[i]` is point `i`'s tie priority: strictly better
+/// objective always wins, exact ties go to the smaller `(priority, index)`.
+fn run_pam(
+    dist: &DistanceMatrix,
+    k: usize,
+    max_swaps: usize,
+    pr: &[u64],
 ) -> Result<KMedoidsResult, ClusterError> {
     let n = dist.len();
     if n == 0 {
@@ -59,7 +110,7 @@ pub fn kmedoids(
         .min_by(|&a, &b| {
             let ca: f32 = (0..n).map(|j| dist.get(a, j)).sum();
             let cb: f32 = (0..n).map(|j| dist.get(b, j)).sum();
-            ca.total_cmp(&cb)
+            ca.total_cmp(&cb).then((pr[a], a).cmp(&(pr[b], b)))
         })
         .expect("n > 0");
     medoids.push(first);
@@ -74,7 +125,11 @@ pub fn kmedoids(
                 continue;
             }
             let gain: f32 = (0..n).map(|i| (nearest[i] - dist.get(i, c)).max(0.0)).sum();
-            if best.is_none_or(|(_, g)| gain > g) {
+            let wins = match best {
+                None => true,
+                Some((bc, g)) => gain > g || (gain == g && (pr[c], c) < (pr[bc], bc)),
+            };
+            if wins {
                 best = Some((c, gain));
             }
         }
@@ -121,7 +176,16 @@ pub fn kmedoids(
             }
             for (mi, &rd) in removal_delta.iter().enumerate() {
                 let delta = gain_others + rd;
-                if delta < -1e-6 && best_swap.is_none_or(|(_, _, bd)| delta < bd) {
+                if delta >= -1e-6 {
+                    continue;
+                }
+                let wins = match best_swap {
+                    None => true,
+                    Some((bmi, bc, bd)) => {
+                        delta < bd || (delta == bd && (pr[c], c, mi) < (pr[bc], bc, bmi))
+                    }
+                };
+                if wins {
                     best_swap = Some((mi, c, delta));
                 }
             }
@@ -327,6 +391,50 @@ mod tests {
             prop_assert!((recomputed - r.cost).abs() < 1e-3);
         }
     }
+    #[test]
+    fn seeded_same_seed_identical_medoids() {
+        // A grid of duplicated points creates many exactly-tied BUILD gains
+        // and SWAP deltas — the case the explicit tie priorities exist for.
+        let pts: Vec<Vec<f32>> = (0..24)
+            .map(|i| vec![(i % 4) as f32, (i % 3) as f32])
+            .collect();
+        let m = pairwise(&pts, &EuclideanDistance);
+        for seed in [0u64, 7, 42, u64::MAX] {
+            let a = kmedoids_seeded(&m, 3, 50, seed).unwrap();
+            let b = kmedoids_seeded(&m, 3, 50, seed).unwrap();
+            assert_eq!(a.medoids, b.medoids, "seed {seed}");
+            assert_eq!(a.labels, b.labels, "seed {seed}");
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seeded_result_is_still_a_valid_clustering() {
+        let pts: Vec<Vec<f32>> = (0..12).map(|i| vec![i as f32 * 0.5]).collect();
+        let m = pairwise(&pts, &EuclideanDistance);
+        let r = kmedoids_seeded(&m, 3, 50, 123).unwrap();
+        let mut ms = r.medoids.clone();
+        ms.sort_unstable();
+        ms.dedup();
+        assert_eq!(ms.len(), 3);
+        for (i, &l) in r.labels.iter().enumerate() {
+            let d = m.get(i, r.medoids[l]);
+            for &mm in &r.medoids {
+                assert!(d <= m.get(i, mm) + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn unseeded_stays_deterministic() {
+        let pts: Vec<Vec<f32>> = (0..15).map(|i| vec![(i % 5) as f32, 0.0]).collect();
+        let m = pairwise(&pts, &EuclideanDistance);
+        let a = kmedoids(&m, 4, 50).unwrap();
+        let b = kmedoids(&m, 4, 50).unwrap();
+        assert_eq!(a.medoids, b.medoids);
+        assert_eq!(a.labels, b.labels);
+    }
+
     #[test]
     fn nan_distances_do_not_panic() {
         // A NaN coordinate poisons a full row/column of the distance

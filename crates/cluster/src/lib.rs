@@ -32,5 +32,5 @@ pub use dbscan::{dbscan, DbscanResult};
 pub use distance::{pairwise, CosineDistance, Distance, DistanceMatrix, EuclideanDistance};
 pub use error::ClusterError;
 pub use hac::{Dendrogram, Linkage, Merge};
-pub use kmedoids::{kmedoids, KMedoidsResult};
+pub use kmedoids::{kmedoids, kmedoids_seeded, KMedoidsResult};
 pub use metrics::{davies_bouldin, silhouette_score};

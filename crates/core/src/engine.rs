@@ -35,9 +35,13 @@ use crate::pipeline::Pipeline;
 use crate::similarity::center_rows;
 use crate::snapshot::PipelineSnapshot;
 use soulmate_corpus::Timestamp;
-use soulmate_graph::{stack_pop_order, swmst_from_sorted, Edge, SpanningForest, WeightedGraph};
-use soulmate_linalg::kernels::{gram_rect_blocked, NormalizedRows};
+use soulmate_graph::{
+    stack_pop_order, swmst_from_sorted, swmst_from_sorted_with_component, Edge, SpanningForest,
+    WeightedGraph,
+};
+use soulmate_linalg::kernels::{gram_rect_blocked, gram_rect_rows_blocked, NormalizedRows};
 use soulmate_linalg::Matrix;
+use soulmate_retrieval::{Candidates, IvfConfig, IvfIndex};
 use std::cmp::Ordering;
 use std::collections::HashSet;
 
@@ -55,6 +59,11 @@ struct TopKCache {
     kth_sim: Option<f32>,
 }
 
+/// A query's edit to the cached base graph: the base edges the query's
+/// arrival removes (as `(u, v)` pairs, `u < v`) and the query edges it
+/// adds, pre-sorted in SW-MST pop order.
+type QueryEdit = (HashSet<(usize, usize)>, Vec<Edge>);
+
 /// The query-independent part of the online graph cut, precomputed once.
 ///
 /// Holds the sparsified base edges of `X^Total` already sorted in SW-MST
@@ -69,6 +78,12 @@ pub struct CachedCut {
     top_k: usize,
     base_edges: Vec<Edge>,
     topk: Vec<TopKCache>,
+    /// Nodes whose rank-k similarity is *negative NaN* — the only value a
+    /// non-candidate's implicit `-inf` score still ranks strictly above in
+    /// the total order. The sparse candidate path must visit these nodes
+    /// even when they are not candidates to stay bit-identical to the
+    /// dense scatter; for any sane similarity matrix the list is empty.
+    neg_nan_kth: Vec<usize>,
 }
 
 impl CachedCut {
@@ -94,23 +109,41 @@ impl CachedCut {
             topk.reserve(n);
             for i in 0..n {
                 let mut neighbours: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-                // Must mirror `from_similarity` exactly: stable sort,
-                // descending, total order.
-                neighbours.sort_by(|&a, &b| sim[i][b].total_cmp(&sim[i][a]));
+                // Must mirror `from_similarity` exactly: similarity
+                // descending under the total order, ties by ascending
+                // index — the same ranking its stable sort produces, but
+                // the tie-break makes keys unique, so selecting the top-k
+                // partition and sorting only that prefix replaces the
+                // O(n log n) full row sort with O(n + k log k).
+                let cmp = |&a: &usize, &b: &usize| sim[i][b].total_cmp(&sim[i][a]).then(a.cmp(&b));
+                if neighbours.len() > top_k {
+                    neighbours.select_nth_unstable_by(top_k - 1, cmp);
+                    neighbours.truncate(top_k);
+                }
+                neighbours.sort_by(cmp);
                 let kth_sim = (neighbours.len() >= top_k).then(|| sim[i][neighbours[top_k - 1]]);
-                neighbours.truncate(top_k);
                 topk.push(TopKCache {
                     prefix: neighbours,
                     kth_sim,
                 });
             }
         }
+        let neg_nan_kth = topk
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(t.kth_sim, Some(kth)
+                    if f32::NEG_INFINITY.total_cmp(&kth) == Ordering::Greater)
+            })
+            .map(|(i, _)| i)
+            .collect();
         Ok(CachedCut {
             n,
             min_sim: min_similarity,
             top_k,
             base_edges,
             topk,
+            neg_nan_kth,
         })
     }
 
@@ -147,10 +180,42 @@ impl CachedCut {
     /// [`CoreError::Invalid`] when `sims.len() != self.n_authors()` —
     /// a mis-sized row would silently link the wrong authors, so it is
     /// rejected (not panicked on) before any index is touched.
+    pub fn cut_with_query(&self, sims: &[f32]) -> Result<SpanningForest, CoreError> {
+        let (removed, q_edges) = self.query_edit_dense(sims)?;
+        Ok(swmst_from_sorted(
+            self.n + 1,
+            self.merged_iter(removed, q_edges),
+        ))
+    }
+
+    /// [`CachedCut::cut_with_query`] fused with the query-subgraph lookup:
+    /// returns the forest *and* the component containing the query node,
+    /// extracted from the SW-MST pass itself instead of a second
+    /// union-find sweep over the selected edges.
+    ///
+    /// # Errors
+    /// Same conditions as [`CachedCut::cut_with_query`].
+    pub fn cut_with_query_component(
+        &self,
+        sims: &[f32],
+    ) -> Result<(SpanningForest, Vec<usize>), CoreError> {
+        let (removed, q_edges) = self.query_edit_dense(sims)?;
+        let (forest, component) = swmst_from_sorted_with_component(
+            self.n + 1,
+            self.merged_iter(removed, q_edges),
+            self.n,
+        );
+        let component = component.ok_or(CoreError::Internal("query node exists in forest"))?;
+        Ok((forest, component))
+    }
+
+    /// The query's edit to the cached base graph: the base edges its
+    /// arrival removes and the query edges it adds, computed from a dense
+    /// similarity row (steps 1–2 of the merge derivation in DESIGN.md §10).
     // With the length check done, every index below is < n (`sims`, `topk`,
     // `q_keep` all have exactly n entries; `prefix` holds node ids < n).
     #[allow(clippy::indexing_slicing)]
-    pub fn cut_with_query(&self, sims: &[f32]) -> Result<SpanningForest, CoreError> {
+    fn query_edit_dense(&self, sims: &[f32]) -> Result<QueryEdit, CoreError> {
         if sims.len() != self.n {
             return Err(CoreError::Invalid(format!(
                 "similarity row length {} != author count {}",
@@ -220,31 +285,238 @@ impl CachedCut {
             })
             .collect();
         q_edges.sort_by(stack_pop_order);
+        Ok((removed, q_edges))
+    }
 
-        // 3. Merge the two sorted runs (total order ⇒ the merge equals
-        //    the full re-sort) and run the SW-MST pop loop directly.
-        let surviving = self
+    /// Step 3 of the merge derivation: the surviving base edges and the
+    /// query edges interleaved in [`stack_pop_order`] (both runs are
+    /// sorted under the same total order, so the merge equals the full
+    /// re-sort). Lazy on purpose — the SW-MST pop loop terminates at full
+    /// node coverage, so the weak tail is never touched, and no merged
+    /// edge list is materialized per query.
+    fn merged_iter(
+        &self,
+        removed: HashSet<(usize, usize)>,
+        q_edges: Vec<Edge>,
+    ) -> impl Iterator<Item = Edge> + '_ {
+        let obs = soulmate_obs::global();
+        // A removed pair is some node's cached rank-k edge, which the base
+        // graph kept unless its weight was non-finite — so this count is
+        // exact for finite matrices and an undercount only in the
+        // NaN-weight corner, without consuming the lazy iterator.
+        obs.incr(
+            "engine.edges_merged",
+            ((self.base_edges.len() + q_edges.len()).saturating_sub(removed.len())) as u64,
+        );
+        obs.incr("engine.topk_displaced", removed.len() as u64);
+        let mut base_iter = self
             .base_edges
             .iter()
-            .filter(|e| removed.is_empty() || !removed.contains(&(e.u, e.v)));
-        let mut merged = Vec::with_capacity(self.base_edges.len() + q_edges.len());
+            .filter(move |e| removed.is_empty() || !removed.contains(&(e.u, e.v)))
+            .peekable();
         let mut q_iter = q_edges.into_iter().peekable();
-        for &e in surviving {
-            while let Some(q) = q_iter.peek() {
-                if stack_pop_order(q, &e) == Ordering::Less {
-                    merged.push(*q);
-                    q_iter.next();
+        std::iter::from_fn(move || match (base_iter.peek(), q_iter.peek()) {
+            (Some(&b), Some(q)) => {
+                if stack_pop_order(q, b) == Ordering::Less {
+                    q_iter.next()
                 } else {
-                    break;
+                    base_iter.next().copied()
                 }
             }
-            merged.push(e);
+            (Some(_), None) => base_iter.next().copied(),
+            (None, _) => q_iter.next(),
+        })
+    }
+
+    /// [`CachedCut::cut_with_query`] for a *sparse* similarity row: only
+    /// the authors in `candidates` (ascending ids) carry a score, given in
+    /// `cand_sims` index-aligned with `candidates`. Every other author is
+    /// treated as having similarity `-inf` to the query — it can never
+    /// clear the threshold, never enter a top-k ranking and never receive
+    /// a query edge (non-finite weights are dropped), which is exactly the
+    /// contract the IVF retrieval path wants for non-candidates.
+    ///
+    /// Passing every author id reproduces
+    /// [`CachedCut::cut_with_query`] bit for bit (the scattered row *is*
+    /// the dense row) — that equivalence is what the `nprobe ==
+    /// n_centroids` parity tests pin down.
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] when the two slices disagree in length or a
+    /// candidate id is out of range.
+    pub fn cut_with_candidates(
+        &self,
+        candidates: &[u32],
+        cand_sims: &[f32],
+    ) -> Result<SpanningForest, CoreError> {
+        let (removed, q_edges) = self.query_edit_candidates(candidates, cand_sims)?;
+        Ok(swmst_from_sorted(
+            self.n + 1,
+            self.merged_iter(removed, q_edges),
+        ))
+    }
+
+    /// [`CachedCut::cut_with_candidates`] fused with the query-subgraph
+    /// lookup, mirroring [`CachedCut::cut_with_query_component`].
+    ///
+    /// # Errors
+    /// Same conditions as [`CachedCut::cut_with_candidates`].
+    pub fn cut_with_candidates_component(
+        &self,
+        candidates: &[u32],
+        cand_sims: &[f32],
+    ) -> Result<(SpanningForest, Vec<usize>), CoreError> {
+        let (removed, q_edges) = self.query_edit_candidates(candidates, cand_sims)?;
+        let (forest, component) = swmst_from_sorted_with_component(
+            self.n + 1,
+            self.merged_iter(removed, q_edges),
+            self.n,
+        );
+        let component = component.ok_or(CoreError::Internal("query node exists in forest"))?;
+        Ok((forest, component))
+    }
+
+    /// The query's edit to the base graph from a *sparse* similarity row,
+    /// touching only the candidate set instead of scattering into a dense
+    /// length-n row. Bit-identical to scattering `-inf` non-candidates
+    /// through [`CachedCut::query_edit_dense`] because a `-inf` score
+    /// never clears the threshold, never ranks strictly above a node's
+    /// finite rank-k similarity (the negative-NaN exceptions are
+    /// precomputed in `neg_nan_kth` and visited explicitly), and any query
+    /// edge it could still earn carries a non-finite weight, which the
+    /// edge filter drops.
+    ///
+    /// Callers with unsorted or duplicated candidate ids (allowed by the
+    /// public contract, last write wins) take the dense scatter path; the
+    /// retrieval probe always emits strictly ascending ids.
+    // After the range validation every candidate id is < n, so `topk`,
+    // `prefix` (node ids < n) and the position-aligned `keep`/`cand_sims`
+    // indexing below are in-bounds.
+    #[allow(clippy::indexing_slicing)]
+    fn query_edit_candidates(
+        &self,
+        candidates: &[u32],
+        cand_sims: &[f32],
+    ) -> Result<QueryEdit, CoreError> {
+        if candidates.len() != cand_sims.len() {
+            return Err(CoreError::Invalid(format!(
+                "{} candidate ids but {} scores",
+                candidates.len(),
+                cand_sims.len()
+            )));
         }
-        merged.extend(q_iter);
-        let obs = soulmate_obs::global();
-        obs.incr("engine.edges_merged", merged.len() as u64);
-        obs.incr("engine.topk_displaced", removed.len() as u64);
-        Ok(swmst_from_sorted(n + 1, merged))
+        // u32 widens losslessly into usize on every supported target.
+        if let Some(&id) = candidates.iter().find(|&&id| id as usize >= self.n) {
+            return Err(CoreError::Invalid(format!(
+                "candidate id {id} out of range (n = {})",
+                self.n
+            )));
+        }
+        let ascending = candidates.windows(2).all(|w| w[0] < w[1]);
+        // u32::MAX widens losslessly into usize on every supported target.
+        if !ascending || self.n > u32::MAX as usize {
+            // Arbitrary caller input (or node ids beyond u32): scatter into
+            // the dense row and reuse the reference path unchanged.
+            let mut sims = vec![f32::NEG_INFINITY; self.n];
+            for (&id, &s) in candidates.iter().zip(cand_sims) {
+                // Validated above: id < n, so the index is in-bounds.
+                sims[id as usize] = s;
+            }
+            return self.query_edit_dense(&sims);
+        }
+
+        let k = self.top_k;
+        // A node's score under the scattered row: its candidate score, or
+        // the implicit -inf. Ids are strictly ascending, so binary search.
+        let sim_of = |node: usize| -> f32 {
+            // node < n <= u32::MAX by the guard above, so the cast is
+            // value-preserving.
+            match candidates.binary_search(&(node as u32)) {
+                Ok(pos) => cand_sims[pos],
+                Err(_) => f32::NEG_INFINITY,
+            }
+        };
+
+        // Step 1 — removals. Only nodes whose score ranks strictly above
+        // their cached rank-k similarity can displace a base edge: every
+        // candidate, plus the (pathological) negative-NaN-kth nodes whose
+        // implicit -inf still wins the total-order comparison.
+        let mut removed: HashSet<(usize, usize)> = HashSet::new();
+        let removal_check = |i: usize, score: f32, removed: &mut HashSet<(usize, usize)>| {
+            let Some(kth) = self.topk[i].kth_sim else {
+                return; // fewer than k neighbours: nothing falls out
+            };
+            if score.total_cmp(&kth) != Ordering::Greater {
+                return; // query does not enter i's top-k
+            }
+            let b = self.topk[i].prefix[k - 1];
+            if kth >= self.min_sim {
+                return; // edge survives on the threshold rule
+            }
+            let retained = match self.topk[b].prefix.iter().position(|&x| x == i) {
+                Some(r) if r < k - 1 => true,
+                Some(r) if r == k - 1 => !self.query_enters_topk(b, sim_of(b)),
+                _ => false,
+            };
+            if !retained {
+                removed.insert((i.min(b), i.max(b)));
+            }
+        };
+        if k > 0 {
+            for (pos, &id) in candidates.iter().enumerate() {
+                // u32 widens losslessly into usize on supported targets.
+                removal_check(id as usize, cand_sims[pos], &mut removed);
+            }
+            for &i in &self.neg_nan_kth {
+                // Candidates were already visited with their real score.
+                // i < n <= u32::MAX: value-preserving cast.
+                if candidates.binary_search(&(i as u32)).is_err() {
+                    removal_check(i, f32::NEG_INFINITY, &mut removed);
+                }
+            }
+        }
+
+        // Step 2 — query edges. Non-candidates can only earn non-finite
+        // edge weights (dropped by the filter below), so only candidate
+        // positions need the threshold / top-k / lifeline marks.
+        let mut keep = vec![false; candidates.len()];
+        for (pos, &s) in cand_sims.iter().enumerate() {
+            if s >= self.min_sim {
+                keep[pos] = true;
+            }
+        }
+        if k > 0 {
+            for (pos, &id) in candidates.iter().enumerate() {
+                // u32 widens losslessly into usize on supported targets.
+                if self.query_enters_topk(id as usize, cand_sims[pos]) {
+                    keep[pos] = true;
+                }
+            }
+            // The query's own top-k lifelines: in the dense ranking every
+            // score strictly above -inf precedes the -inf block, and ties
+            // inside it keep ascending id (stable sort over ascending
+            // ids), so the first min(k, |above|) of this ordering is
+            // exactly the dense take(k) restricted to scores that can
+            // yield finite edges.
+            let mut above: Vec<usize> = (0..candidates.len())
+                .filter(|&pos| cand_sims[pos].total_cmp(&f32::NEG_INFINITY) == Ordering::Greater)
+                .collect();
+            above.sort_by(|&a, &b| cand_sims[b].total_cmp(&cand_sims[a]));
+            for &pos in above.iter().take(k) {
+                keep[pos] = true;
+            }
+        }
+        let mut q_edges: Vec<Edge> = (0..candidates.len())
+            .filter(|&pos| keep[pos] && cand_sims[pos].is_finite())
+            .map(|pos| Edge {
+                // Validated above: candidate ids are < n.
+                u: candidates[pos] as usize,
+                v: self.n,
+                w: cand_sims[pos],
+            })
+            .collect();
+        q_edges.sort_by(stack_pop_order);
+        Ok((removed, q_edges))
     }
 }
 
@@ -260,6 +532,9 @@ pub struct QueryEngine<'a> {
     content_rows: NormalizedRows,
     concept_rows: NormalizedRows,
     cut: CachedCut,
+    /// Optional sub-linear candidate retriever. `None` = every IVF entry
+    /// point silently serves the exact path (and counts the fallback).
+    index: Option<IvfIndex>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -282,6 +557,7 @@ impl<'a> QueryEngine<'a> {
             content_rows,
             concept_rows,
             cut,
+            index: None,
         })
     }
 
@@ -366,10 +642,7 @@ impl<'a> QueryEngine<'a> {
                 .zip(concept_dots.get(qi))
                 .ok_or(CoreError::Internal("one dot row per query"))?;
             let similarities = fused_row_from_dots(&self.model, content_row, concept_row);
-            let forest = self.cut.cut_with_query(&similarities)?;
-            let subgraph = forest
-                .query_subgraph(query_index)
-                .ok_or(CoreError::Internal("query node exists in forest"))?;
+            let (forest, subgraph) = self.cut.cut_with_query_component(&similarities)?;
             let subgraph_avg_weight = forest.component_avg_weight(&subgraph);
             obs.record_duration("engine.query.seconds", start.elapsed());
             obs.incr("engine.queries", 1);
@@ -384,6 +657,305 @@ impl<'a> QueryEngine<'a> {
         }
         Ok(outcomes)
     }
+
+    /// Feature-space dimensionality the retrieval index routes in: the
+    /// concatenation of the content and (centered) concept unit rows.
+    pub fn retrieval_dim(&self) -> usize {
+        self.content_rows.dim() + self.concept_rows.dim()
+    }
+
+    /// The author feature matrix the IVF index is built over: row `a` is
+    /// `[(1-α)/σ_content · ĉ_a  |  α/σ_concept · p̂_a]` where `ĉ_a` / `p̂_a`
+    /// are the unit content / centered-concept rows. A query probes with
+    /// the plain concatenation of its own unit vectors, so the probe dot
+    /// equals the fused score (Eq 17) up to a per-query constant shift
+    /// (the z-score means) and the ±1 cosine clamp — both
+    /// ranking-preserving — which makes "nearest centroid" in this space
+    /// agree with the order the exact engine ranks authors in.
+    ///
+    /// # Errors
+    /// [`CoreError::Linalg`] when the rows are ragged (cannot happen for
+    /// an engine built by [`QueryEngine::new`]).
+    pub fn retrieval_features(&self) -> Result<Matrix, CoreError> {
+        let (w_content, w_concept) = fusion_weights(&self.model);
+        let n = self.cut.n_authors();
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(n);
+        for a in 0..n {
+            let mut row = Vec::with_capacity(self.retrieval_dim());
+            row.extend(self.content_rows.unit_row(a).iter().map(|&v| v * w_content));
+            row.extend(self.concept_rows.unit_row(a).iter().map(|&v| v * w_concept));
+            rows.push(row);
+        }
+        Ok(Matrix::from_rows(&rows)?)
+    }
+
+    /// Build (or rebuild) the IVF candidate index over
+    /// [`QueryEngine::retrieval_features`] and attach it to this engine.
+    ///
+    /// # Errors
+    /// [`CoreError::Retrieval`] when the index cannot be built (empty
+    /// model, unusable configuration).
+    pub fn build_index(&mut self, config: &IvfConfig) -> Result<(), CoreError> {
+        let features = self.retrieval_features()?;
+        self.index = Some(IvfIndex::build(&features, config)?);
+        Ok(())
+    }
+
+    /// Attach a prebuilt index (e.g. one persisted in a snapshot), or
+    /// detach with `None`. The index is validated against this engine's
+    /// author count and feature dimensionality before it is accepted, so
+    /// a stale or corrupted index can never mis-route a query.
+    ///
+    /// # Errors
+    /// [`CoreError::Retrieval`] when the index does not fit this model.
+    pub fn set_index(&mut self, index: Option<IvfIndex>) -> Result<(), CoreError> {
+        if let Some(idx) = &index {
+            idx.validate(self.cut.n_authors(), self.retrieval_dim())?;
+        }
+        self.index = index;
+        Ok(())
+    }
+
+    /// The attached retrieval index, if any.
+    pub fn index(&self) -> Option<&IvfIndex> {
+        self.index.as_ref()
+    }
+
+    /// Probe the attached index for one query's candidate author set
+    /// without serving the query — `Ok(None)` when no index is attached.
+    /// The recall@k harness in `soulmate-eval` measures exactly this set
+    /// against the exact engine's top-k ranking.
+    ///
+    /// # Errors
+    /// Same vectorization conditions as [`QueryEngine::link_query`], plus
+    /// [`CoreError::Retrieval`] if the probe itself fails.
+    pub fn candidate_ids(
+        &self,
+        tweets: &[(Timestamp, String)],
+        nprobe: usize,
+    ) -> Result<Option<Vec<u32>>, CoreError> {
+        let Some(index) = &self.index else {
+            return Ok(None);
+        };
+        let q = vectorize_query(&self.model, tweets)?;
+        Ok(Some(index.probe(&probe_vector(&q), nprobe)?.ids))
+    }
+
+    /// [`QueryEngine::link_query`] through the IVF candidate retriever:
+    /// probe `nprobe` centroids (`0` = the index default), exact-score
+    /// only the surviving candidates and cut the graph with every
+    /// non-candidate scored as "no edge" (reported as `0.0` in
+    /// [`QueryOutcome::similarities`]). Without an attached index this
+    /// serves the exact path and bumps `engine.ivf.fallbacks`.
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::link_query`].
+    pub fn link_query_ivf(
+        &self,
+        tweets: &[(Timestamp, String)],
+        nprobe: usize,
+    ) -> Result<QueryOutcome, CoreError> {
+        let q = vectorize_query(&self.model, tweets)?;
+        self.serve_ivf(vec![q], nprobe)?
+            .pop()
+            .ok_or(CoreError::Internal("one query in, one outcome out"))
+    }
+
+    /// Batch [`QueryEngine::link_query_ivf`]: all queries are probed
+    /// first, then the *union* of their candidate sets is exact-scored
+    /// with one rectangular Gram call per matrix (not one per query), and
+    /// each query's cut uses only its own candidates. Outcomes are
+    /// index-aligned with `queries` and bit-for-bit identical to calling
+    /// [`QueryEngine::link_query_ivf`] per query.
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::link_query_authors`].
+    pub fn link_query_authors_ivf(
+        &self,
+        queries: &[Vec<(Timestamp, String)>],
+        nprobe: usize,
+    ) -> Result<Vec<QueryOutcome>, CoreError> {
+        let qvecs = queries
+            .iter()
+            .map(|tweets| vectorize_query(&self.model, tweets))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.serve_ivf(qvecs, nprobe)
+    }
+
+    /// Serve pre-vectorized queries through the two-stage retrieval path.
+    ///
+    /// Stage 1 probes the IVF index per query; stage 2 exact-scores the
+    /// union of all candidate sets through the same Gram kernel /
+    /// [`fused_row_from_dots`] sequence as [`QueryEngine::serve`] (so a
+    /// candidate's score is bit-identical to its exact-path score) and
+    /// merges each query into the cached cut via
+    /// [`CachedCut::cut_with_candidates`]. Exhaustive probes
+    /// (`nprobe >= n_centroids`) reuse the full unit matrices, making the
+    /// whole outcome bit-identical to the exact path.
+    ///
+    /// Any probe failure downgrades the whole batch to the exact path
+    /// (counted in `engine.ivf.fallbacks`) — retrieval is an
+    /// optimization, never a reason to fail a query.
+    // Indexing is in-bounds by construction: `set_index`/`build_index`
+    // guarantee the attached index covers exactly `n` authors, so probed
+    // candidate ids are < n; `pos_of` has n entries written for every
+    // union member before any read; `fused_union` has one entry per union
+    // member.
+    #[allow(clippy::indexing_slicing)]
+    fn serve_ivf(
+        &self,
+        qvecs: Vec<QueryVectors>,
+        nprobe: usize,
+    ) -> Result<Vec<QueryOutcome>, CoreError> {
+        if qvecs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let obs = soulmate_obs::global();
+        let Some(index) = &self.index else {
+            obs.incr("engine.ivf.fallbacks", 1);
+            return self.serve(qvecs);
+        };
+        let n = self.cut.n_authors();
+
+        // ---- Stage 1: probe the coarse index per query. ----
+        let probe_start = std::time::Instant::now();
+        let mut candidate_sets: Vec<Candidates> = Vec::with_capacity(qvecs.len());
+        for q in &qvecs {
+            match index.probe(&probe_vector(q), nprobe) {
+                Ok(c) => candidate_sets.push(c),
+                Err(_) => {
+                    // The index disagrees with the model (foreign dims).
+                    // `set_index` validation makes this unreachable, but
+                    // an optimization must never fail a query: downgrade.
+                    obs.incr("engine.ivf.fallbacks", 1);
+                    return self.serve(qvecs);
+                }
+            }
+        }
+        obs.record_duration("engine.ivf.probe.seconds", probe_start.elapsed());
+
+        // Union of every query's candidates, ascending; `pos_of[id]` maps
+        // an author id to its row in the stage-2 submatrices.
+        let mut in_union = vec![false; n];
+        for c in &candidate_sets {
+            for &id in &c.ids {
+                // u32 widens losslessly into usize on supported targets.
+                in_union[id as usize] = true;
+            }
+        }
+        let mut union_ids: Vec<u32> = Vec::new();
+        let mut pos_of: Vec<u32> = vec![u32::MAX; n];
+        for (id, &hit) in in_union.iter().enumerate() {
+            if hit {
+                // union_ids.len() stays below n, which fits u32.
+                pos_of[id] = union_ids.len() as u32;
+                // id < n <= u32::MAX: enumerate over a length-n vec.
+                union_ids.push(id as u32);
+            }
+        }
+
+        // ---- Stage 2: exact-score the union, one Gram call per matrix.
+        // When the union covers every author (exhaustive probes), the
+        // Gram inputs are literally the exact path's full unit matrices;
+        // a partial union goes through the row-indexed kernel, which is
+        // bit-identical to gathering the rows first (proven in
+        // `soulmate-linalg`) without the per-query submatrix copies. ----
+        let stage2_start = std::time::Instant::now();
+        let content_q: Vec<Vec<f32>> = qvecs.iter().map(|q| q.content_unit.clone()).collect();
+        let concept_q: Vec<Vec<f32>> = qvecs
+            .iter()
+            .map(|q| q.concept_centered_unit.clone())
+            .collect();
+        let content_q = Matrix::from_rows(&content_q)
+            .map_err(|_| CoreError::Internal("query content rows share one dim"))?;
+        let concept_q = Matrix::from_rows(&concept_q)
+            .map_err(|_| CoreError::Internal("query concept rows share one dim"))?;
+        let (content_dots, concept_dots) = if union_ids.len() == n {
+            (
+                gram_rect_blocked(&content_q, self.content_rows.unit_matrix()),
+                gram_rect_blocked(&concept_q, self.concept_rows.unit_matrix()),
+            )
+        } else {
+            (
+                gram_rect_rows_blocked(&content_q, self.content_rows.unit_matrix(), &union_ids),
+                gram_rect_rows_blocked(&concept_q, self.concept_rows.unit_matrix(), &union_ids),
+            )
+        };
+        obs.record_duration("engine.ivf.stage2.seconds", stage2_start.elapsed());
+
+        let query_index = n;
+        let mut outcomes = Vec::with_capacity(qvecs.len());
+        for (qi, q) in qvecs.into_iter().enumerate() {
+            let start = std::time::Instant::now();
+            let cands = &candidate_sets[qi];
+            let (content_row, concept_row) = content_dots
+                .get(qi)
+                .zip(concept_dots.get(qi))
+                .ok_or(CoreError::Internal("one dot row per query"))?;
+            // Fused scores over the union rows, then scatter this query's
+            // own candidates: non-candidates report 0.0 ("not scored") in
+            // the outcome but are -inf ("no edge") for the cut.
+            let fused_union = fused_row_from_dots(&self.model, content_row, concept_row);
+            let mut similarities = vec![0.0f32; n];
+            let mut cand_sims: Vec<f32> = Vec::with_capacity(cands.ids.len());
+            for &id in &cands.ids {
+                // u32 widens losslessly into usize on supported targets.
+                let s = fused_union[pos_of[id as usize] as usize];
+                // Same lossless u32 -> usize widening as the line above.
+                similarities[id as usize] = s;
+                cand_sims.push(s);
+            }
+            let (forest, subgraph) = self
+                .cut
+                .cut_with_candidates_component(&cands.ids, &cand_sims)?;
+            let subgraph_avg_weight = forest.component_avg_weight(&subgraph);
+            obs.incr("engine.ivf.queries", 1);
+            obs.record("engine.ivf.candidates", cands.ids.len() as f64);
+            obs.record(
+                "engine.ivf.candidate_fraction",
+                cands.ids.len() as f64 / n.max(1) as f64,
+            );
+            obs.record_duration("engine.ivf.query.seconds", start.elapsed());
+            outcomes.push(QueryOutcome {
+                query_index,
+                subgraph,
+                subgraph_avg_weight,
+                content_vector: q.content,
+                concept_vector: q.concept,
+                similarities,
+            });
+        }
+        Ok(outcomes)
+    }
+}
+
+/// The α-blend / z-score scale factors baked into the author side of the
+/// retrieval feature space. The stds are validated positive on every
+/// snapshot load; a hand-built model with a degenerate std falls back to
+/// an unscaled blend (ranking still sane, never a division by zero).
+fn fusion_weights(model: &QueryModel<'_>) -> (f32, f32) {
+    let guard = |std: f32| {
+        if std.is_finite() && std > 0.0 {
+            std
+        } else {
+            1.0
+        }
+    };
+    (
+        (1.0 - model.alpha) / guard(model.content_stats.1),
+        model.alpha / guard(model.concept_stats.1),
+    )
+}
+
+/// The probe-side vector for the retrieval feature space: the plain
+/// concatenation of the query's unit content and centered-unit concept
+/// vectors (the blend weights live on the author side, see
+/// [`QueryEngine::retrieval_features`]).
+fn probe_vector(q: &QueryVectors) -> Vec<f32> {
+    let mut v = Vec::with_capacity(q.content_unit.len() + q.concept_centered_unit.len());
+    v.extend_from_slice(&q.content_unit);
+    v.extend_from_slice(&q.concept_centered_unit);
+    v
 }
 
 impl Pipeline {
@@ -407,6 +979,18 @@ impl Pipeline {
     ) -> Result<Vec<QueryOutcome>, CoreError> {
         self.query_engine()?.link_query_authors(queries)
     }
+
+    /// Build the serving engine with an IVF candidate index attached —
+    /// [`Pipeline::query_engine`] plus one [`QueryEngine::build_index`].
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::new`] and
+    /// [`QueryEngine::build_index`].
+    pub fn query_engine_ivf(&self, config: &IvfConfig) -> Result<QueryEngine<'_>, CoreError> {
+        let mut engine = self.query_engine()?;
+        engine.build_index(config)?;
+        Ok(engine)
+    }
 }
 
 impl PipelineSnapshot {
@@ -429,6 +1013,58 @@ impl PipelineSnapshot {
         queries: &[Vec<(Timestamp, String)>],
     ) -> Result<Vec<QueryOutcome>, CoreError> {
         self.query_engine()?.link_query_authors(queries)
+    }
+
+    /// Build the serving engine with an IVF index attached, reconciling
+    /// the snapshot's persisted index section:
+    ///
+    /// * **present and valid** — decoded and attached, no build cost;
+    /// * **absent** (every v1 snapshot, or [`Pipeline::snapshot`] without
+    ///   an index) — rebuilt from the snapshot's own matrices, counted in
+    ///   `snapshot.index_rebuilt`;
+    /// * **present but corrupted** (undecodable JSON, shapes that do not
+    ///   match this model) — *discarded*, counted in
+    ///   `snapshot.index_discarded`, and the engine serves the exact path
+    ///   (IVF entry points fall back, never error) — a broken
+    ///   optimization section must not take down a loadable model.
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::new`] /
+    /// [`QueryEngine::build_index`] — never because of a corrupted index
+    /// section.
+    pub fn query_engine_ivf(&self, config: &IvfConfig) -> Result<QueryEngine<'_>, CoreError> {
+        let obs = soulmate_obs::global();
+        let mut engine = self.query_engine()?;
+        match &self.index {
+            None => {
+                engine.build_index(config)?;
+                obs.incr("snapshot.index_rebuilt", 1);
+            }
+            Some(raw) => {
+                let attached = serde_json::from_value::<IvfIndex>(raw.clone())
+                    .ok()
+                    .and_then(|idx| engine.set_index(Some(idx)).ok());
+                if attached.is_none() {
+                    obs.incr("snapshot.index_discarded", 1);
+                }
+            }
+        }
+        Ok(engine)
+    }
+
+    /// Batch-serve queries through [`PipelineSnapshot::query_engine_ivf`]
+    /// (build/decode once, serve all).
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::link_query_authors_ivf`].
+    pub fn link_query_authors_ivf(
+        &self,
+        queries: &[Vec<(Timestamp, String)>],
+        config: &IvfConfig,
+        nprobe: usize,
+    ) -> Result<Vec<QueryOutcome>, CoreError> {
+        self.query_engine_ivf(config)?
+            .link_query_authors_ivf(queries, nprobe)
     }
 }
 
@@ -556,6 +1192,118 @@ mod tests {
             prop_assert_eq!(want.edges(), got.edges());
             prop_assert_eq!(want.components(), got.components());
         }
+
+        /// The sparse candidate edit must match scattering the same
+        /// candidates into a dense `-inf` row — both paths share the
+        /// merge, so comparing forests pins the edit computation itself,
+        /// including -inf/NaN candidate scores and the fused component
+        /// extraction.
+        #[test]
+        fn prop_sparse_candidate_cut_matches_dense_scatter(
+            n in 2usize..9,
+            flat in proptest::collection::vec(-2.0f32..2.0, 110),
+            top_k in 0usize..5,
+            min_sim_raw in -2.0f32..2.0,
+            mask in 0u16..512,
+            specials in 0u8..8,
+        ) {
+            let quant = |v: f32| -> f32 {
+                let q = (v * 4.0).round() / 4.0;
+                if q > 1.75 { f32::NAN } else { q }
+            };
+            let mut x = vec![vec![0.0f32; n]; n];
+            for i in 0..n {
+                x[i][i] = 1.0;
+                for j in (i + 1)..n {
+                    let v = quant(flat[i * n + j]);
+                    x[i][j] = v;
+                    x[j][i] = v;
+                }
+            }
+            let min_sim = (min_sim_raw * 4.0).round() / 4.0;
+
+            let candidates: Vec<u32> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| i as u32)
+                .collect();
+            let mut cand_sims: Vec<f32> = (0..candidates.len())
+                .map(|pos| quant(flat[n * n + pos]))
+                .collect();
+            // Sprinkle the values the sparse path special-cases.
+            if specials & 1 != 0 {
+                if let Some(s) = cand_sims.first_mut() { *s = f32::NEG_INFINITY; }
+            }
+            if specials & 2 != 0 {
+                if let Some(s) = cand_sims.last_mut() { *s = f32::NAN; }
+            }
+            if specials & 4 != 0 {
+                let mid = cand_sims.len() / 2;
+                if let Some(s) = cand_sims.get_mut(mid) {
+                    *s = f32::from_bits(0xFFC0_0000); // negative NaN
+                }
+            }
+
+            let mut dense = vec![f32::NEG_INFINITY; n];
+            for (&id, &s) in candidates.iter().zip(&cand_sims) {
+                dense[id as usize] = s;
+            }
+            let cut = CachedCut::new(&x, min_sim, top_k).unwrap();
+            let want = cut.cut_with_query(&dense).unwrap();
+            let got = cut.cut_with_candidates(&candidates, &cand_sims).unwrap();
+            prop_assert_eq!(want.edges(), got.edges());
+
+            let (forest, component) = cut
+                .cut_with_candidates_component(&candidates, &cand_sims)
+                .unwrap();
+            prop_assert_eq!(want.edges(), forest.edges());
+            prop_assert_eq!(Some(component), want.query_subgraph(n));
+        }
+    }
+
+    #[test]
+    fn sparse_cut_visits_negative_nan_kth_nodes() {
+        // Node 0's rank-2 similarity is *negative NaN* — the one value a
+        // non-candidate's implicit -inf still outranks, so the sparse path
+        // must visit node 0 even though it is not a candidate, or it would
+        // miss the displacement the dense scatter computes.
+        let neg_nan = f32::from_bits(0xFFC0_0000);
+        let x = vec![
+            vec![1.0, 0.8, neg_nan],
+            vec![0.8, 1.0, 0.0],
+            vec![neg_nan, 0.0, 1.0],
+        ];
+        let cut = CachedCut::new(&x, 0.5, 2).unwrap();
+        let candidates = [1u32];
+        let cand_sims = [0.9f32];
+        let mut dense = vec![f32::NEG_INFINITY; 3];
+        dense[1] = 0.9;
+        let want = cut.cut_with_query(&dense).unwrap();
+        let got = cut.cut_with_candidates(&candidates, &cand_sims).unwrap();
+        assert_eq!(want.edges(), got.edges());
+        assert_eq!(want.components(), got.components());
+    }
+
+    #[test]
+    fn unsorted_or_duplicate_candidates_take_the_scatter_path() {
+        // The public contract allows unsorted / duplicated ids (last write
+        // wins); those inputs must produce the same forest as the
+        // equivalent dense row even though the fast path declines them.
+        let x = vec![
+            vec![1.0, 0.6, 0.2],
+            vec![0.6, 1.0, 0.4],
+            vec![0.2, 0.4, 1.0],
+        ];
+        let cut = CachedCut::new(&x, 0.3, 1).unwrap();
+        let mut dense = vec![f32::NEG_INFINITY; 3];
+        dense[0] = 0.1;
+        dense[2] = 0.7;
+        let want = cut.cut_with_query(&dense).unwrap();
+        let unsorted = cut.cut_with_candidates(&[2, 0], &[0.7, 0.1]).unwrap();
+        assert_eq!(want.edges(), unsorted.edges());
+        let duplicated = cut
+            .cut_with_candidates(&[0, 2, 2], &[0.1, 0.5, 0.7])
+            .unwrap();
+        assert_eq!(want.edges(), duplicated.edges());
     }
 
     fn fitted() -> (soulmate_corpus::Dataset, Pipeline) {
@@ -658,6 +1406,207 @@ mod tests {
         assert!(engine
             .link_query_authors(&[author_tweets(&d, 1, 3), Vec::new()])
             .is_err());
+    }
+
+    #[test]
+    fn cut_with_candidates_full_set_matches_dense_row() {
+        let x = vec![
+            vec![1.0, 0.6, 0.2],
+            vec![0.6, 1.0, 0.4],
+            vec![0.2, 0.4, 1.0],
+        ];
+        let cut = CachedCut::new(&x, 0.3, 2).unwrap();
+        let sims = [0.7f32, 0.1, 0.5];
+        let dense = cut.cut_with_query(&sims).unwrap();
+        let sparse = cut.cut_with_candidates(&[0, 1, 2], &sims).unwrap();
+        assert_eq!(dense.edges(), sparse.edges());
+        assert_eq!(dense.components(), sparse.components());
+        // A strict subset keeps only candidate edges: author 1 cannot be
+        // linked to the query when it is not a candidate.
+        let partial = cut.cut_with_candidates(&[0, 2], &[0.7, 0.5]).unwrap();
+        let q = cut.n_authors();
+        assert!(partial
+            .edges()
+            .iter()
+            .all(|e| !((e.u == q && e.v == 1) || (e.v == q && e.u == 1))));
+    }
+
+    #[test]
+    fn cut_with_candidates_rejects_bad_input() {
+        let x = vec![vec![1.0, 0.2], vec![0.2, 1.0]];
+        let cut = CachedCut::new(&x, 0.0, 1).unwrap();
+        assert!(matches!(
+            cut.cut_with_candidates(&[0], &[0.5, 0.5]),
+            Err(CoreError::Invalid(_))
+        ));
+        assert!(matches!(
+            cut.cut_with_candidates(&[7], &[0.5]),
+            Err(CoreError::Invalid(_))
+        ));
+        // Empty candidate set is legal: the query joins as an isolated
+        // node.
+        let forest = cut.cut_with_candidates(&[], &[]).unwrap();
+        assert_eq!(forest.query_subgraph(2), Some(vec![2]));
+    }
+
+    #[test]
+    fn ivf_exhaustive_probe_matches_exact_engine_bit_for_bit() {
+        let (d, p) = fitted();
+        let mut engine = p.query_engine().unwrap();
+        engine
+            .build_index(&IvfConfig {
+                n_centroids: 4,
+                ..IvfConfig::default()
+            })
+            .unwrap();
+        let k = engine.index().unwrap().n_centroids();
+        for author in [0u32, 5, 13, 19] {
+            let tweets = author_tweets(&d, author, 6);
+            let exact = engine.link_query(&tweets).unwrap();
+            // nprobe = n_centroids triggers the exhaustive contract.
+            let ivf = engine.link_query_ivf(&tweets, k).unwrap();
+            assert_eq!(exact.similarities, ivf.similarities, "author {author}");
+            assert_eq!(exact.subgraph, ivf.subgraph, "author {author}");
+            assert_eq!(exact.subgraph_avg_weight, ivf.subgraph_avg_weight);
+            assert_eq!(exact.content_vector, ivf.content_vector);
+            assert_eq!(exact.concept_vector, ivf.concept_vector);
+        }
+    }
+
+    #[test]
+    fn ivf_batch_matches_per_query_bit_for_bit() {
+        let (d, p) = fitted();
+        let engine = p
+            .query_engine_ivf(&IvfConfig {
+                n_centroids: 5,
+                keep_fraction: 0.8,
+                min_candidates: 2,
+                ..IvfConfig::default()
+            })
+            .unwrap();
+        let queries: Vec<Vec<(Timestamp, String)>> = vec![
+            author_tweets(&d, 2, 6),
+            author_tweets(&d, 8, 4),
+            author_tweets(&d, 17, 9),
+        ];
+        // A narrow probe makes the batch union a strict superset of each
+        // query's own candidates — the parity below proves the shared
+        // stage-2 Gram call scores rows identically to the per-query one.
+        for nprobe in [1usize, 2, 0] {
+            let batch = engine.link_query_authors_ivf(&queries, nprobe).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            for (q, out) in queries.iter().zip(&batch) {
+                let single = engine.link_query_ivf(q, nprobe).unwrap();
+                assert_eq!(single.similarities, out.similarities, "nprobe {nprobe}");
+                assert_eq!(single.subgraph, out.subgraph, "nprobe {nprobe}");
+                assert_eq!(single.subgraph_avg_weight, out.subgraph_avg_weight);
+            }
+        }
+        // Empty batch is fine; an invalid member fails the whole batch.
+        assert!(engine.link_query_authors_ivf(&[], 1).unwrap().is_empty());
+        assert!(engine
+            .link_query_authors_ivf(&[author_tweets(&d, 1, 3), Vec::new()], 1)
+            .is_err());
+    }
+
+    #[test]
+    fn ivf_without_index_falls_back_to_exact() {
+        let (d, p) = fitted();
+        let engine = p.query_engine().unwrap();
+        assert!(engine.index().is_none());
+        let tweets = author_tweets(&d, 3, 5);
+        let before = soulmate_obs::global().counter("engine.ivf.fallbacks");
+        let ivf = engine.link_query_ivf(&tweets, 2).unwrap();
+        let exact = engine.link_query(&tweets).unwrap();
+        assert_eq!(exact.similarities, ivf.similarities);
+        assert_eq!(exact.subgraph, ivf.subgraph);
+        assert!(soulmate_obs::global().counter("engine.ivf.fallbacks") > before);
+    }
+
+    #[test]
+    fn ivf_narrow_probe_reports_unscored_authors_as_zero() {
+        let (d, p) = fitted();
+        let engine = p
+            .query_engine_ivf(&IvfConfig {
+                n_centroids: 6,
+                keep_fraction: 0.5,
+                min_candidates: 2,
+                ..IvfConfig::default()
+            })
+            .unwrap();
+        let tweets = author_tweets(&d, 7, 6);
+        let ivf = engine.link_query_ivf(&tweets, 1).unwrap();
+        let exact = engine.link_query(&tweets).unwrap();
+        // Scored candidates agree bitwise with the exact row; the rest
+        // are reported as the documented 0.0 sentinel.
+        let mut scored = 0usize;
+        for (i, (&got, &want)) in ivf.similarities.iter().zip(&exact.similarities).enumerate() {
+            if got != 0.0 {
+                assert_eq!(got, want, "candidate {i} diverges from exact score");
+                scored += 1;
+            }
+        }
+        assert!(scored > 0, "narrow probe scored nothing");
+        assert!(
+            scored < engine.n_authors() || exact.similarities.iter().any(|&s| s == 0.0),
+            "nprobe=1 with 6 centroids should prune someone"
+        );
+    }
+
+    #[test]
+    fn set_index_rejects_foreign_index() {
+        let (_, p) = fitted();
+        let mut engine = p.query_engine().unwrap();
+        // An index over a different feature space must be rejected.
+        let foreign = IvfIndex::build(
+            &Matrix::from_rows(&vec![vec![1.0f32, 0.0]; 4]).unwrap(),
+            &IvfConfig::default(),
+        )
+        .unwrap();
+        assert!(engine.set_index(Some(foreign)).is_err());
+        assert!(engine.index().is_none());
+        // Detaching is always fine.
+        engine.set_index(None).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The ISSUE's exhaustive-probe contract, property-tested: for any
+        /// query and any centroid count, `nprobe = n_centroids` must be
+        /// edge-for-edge identical to the exact engine.
+        #[test]
+        fn prop_ivf_exhaustive_is_edge_for_edge_exact(
+            author in 0u32..20,
+            take in 1usize..10,
+            k in 2usize..9,
+            seed in 0u64..1000,
+        ) {
+            let (d, p) = fitted_shared();
+            let tweets = author_tweets(d, author, take);
+            prop_assume!(!tweets.is_empty());
+            let mut engine = p.query_engine().unwrap();
+            engine.build_index(&IvfConfig {
+                n_centroids: k,
+                seed,
+                ..IvfConfig::default()
+            }).unwrap();
+            let exact = engine.link_query(&tweets).unwrap();
+            let k_built = engine.index().unwrap().n_centroids();
+            let ivf = engine.link_query_ivf(&tweets, k_built).unwrap();
+            prop_assert_eq!(&exact.similarities, &ivf.similarities);
+            prop_assert_eq!(&exact.subgraph, &ivf.subgraph);
+            prop_assert_eq!(exact.subgraph_avg_weight, ivf.subgraph_avg_weight);
+        }
+    }
+
+    static FIT_SHARED: std::sync::OnceLock<(soulmate_corpus::Dataset, Pipeline)> =
+        std::sync::OnceLock::new();
+
+    /// One fitted model shared across proptest cases — fitting dominates
+    /// the case body by orders of magnitude.
+    fn fitted_shared() -> &'static (soulmate_corpus::Dataset, Pipeline) {
+        FIT_SHARED.get_or_init(fitted)
     }
 
     #[test]

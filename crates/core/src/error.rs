@@ -35,6 +35,8 @@ pub enum CoreError {
     Graph(soulmate_graph::GraphError),
     /// A linear-algebra routine rejected its input.
     Linalg(soulmate_linalg::LinalgError),
+    /// The candidate-retrieval index could not be built or probed.
+    Retrieval(soulmate_retrieval::RetrievalError),
     /// A pipeline precondition was violated (message explains).
     Invalid(String),
     /// A filesystem operation on a snapshot or metrics file failed.
@@ -65,6 +67,7 @@ impl fmt::Display for CoreError {
             CoreError::Cluster(e) => write!(f, "clustering stage: {e}"),
             CoreError::Graph(e) => write!(f, "graph stage: {e}"),
             CoreError::Linalg(e) => write!(f, "linear algebra: {e}"),
+            CoreError::Retrieval(e) => write!(f, "retrieval index: {e}"),
             CoreError::Invalid(msg) => write!(f, "invalid pipeline state: {msg}"),
             CoreError::Io { context, source } => write!(f, "{context}: {source}"),
             CoreError::Parse(msg) => write!(f, "snapshot parse failed: {msg}"),
@@ -84,6 +87,7 @@ impl std::error::Error for CoreError {
             CoreError::Cluster(e) => Some(e),
             CoreError::Graph(e) => Some(e),
             CoreError::Linalg(e) => Some(e),
+            CoreError::Retrieval(e) => Some(e),
             CoreError::Io { source, .. } => Some(source),
             CoreError::Invalid(_)
             | CoreError::Parse(_)
@@ -120,5 +124,11 @@ impl From<soulmate_graph::GraphError> for CoreError {
 impl From<soulmate_linalg::LinalgError> for CoreError {
     fn from(e: soulmate_linalg::LinalgError) -> Self {
         CoreError::Linalg(e)
+    }
+}
+
+impl From<soulmate_retrieval::RetrievalError> for CoreError {
+    fn from(e: soulmate_retrieval::RetrievalError) -> Self {
+        CoreError::Retrieval(e)
     }
 }

@@ -62,3 +62,6 @@ pub use similarity::{fuse_similarities, similarity_matrix, similarity_matrix_par
 pub use snapshot::PipelineSnapshot;
 pub use tcbow::{SlabModel, TcbowConfig, TemporalEmbedding};
 pub use tweetvec::{tweet_vectors, Combiner};
+
+// The retrieval knobs travel with the engine API that consumes them.
+pub use soulmate_retrieval::{IvfConfig, IvfIndex};

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use soulmate_corpus::Timestamp;
 use soulmate_embedding::Embedding;
 use soulmate_linalg::Matrix;
+use soulmate_retrieval::IvfConfig;
 use soulmate_text::{TokenizerConfig, Vocabulary};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -95,10 +96,22 @@ pub struct PipelineSnapshot {
     /// informational, never validated.
     #[serde(default)]
     pub fit_metrics: Vec<(String, f64)>,
+    /// Serialized IVF candidate index (format v2), kept as raw JSON so a
+    /// corrupted or foreign index can be *discarded* at decode time
+    /// instead of failing the whole snapshot load. `None` (every v1
+    /// snapshot) means "rebuild on demand". Decoded lazily by
+    /// [`PipelineSnapshot::query_engine_ivf`], never by [`Self::load`].
+    #[serde(default)]
+    pub index: Option<serde_json::Value>,
 }
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. v2 added the optional persisted
+/// retrieval [`PipelineSnapshot::index`]; v1 snapshots (no such field)
+/// still load and serve identically.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Oldest snapshot format [`PipelineSnapshot::load`] still accepts.
+pub const SNAPSHOT_VERSION_MIN: u32 = 1;
 
 /// Serde default for missing standardization stats (identity transform).
 fn default_stats() -> (f32, f32) {
@@ -136,7 +149,33 @@ impl Pipeline {
             graph_top_k: self.config.graph_top_k,
             author_handles: handles,
             fit_metrics: stage_seconds_summary(),
+            index: None,
         }
+    }
+
+    /// [`Pipeline::snapshot`] plus a freshly built IVF candidate index
+    /// embedded in the file, so serving processes skip the index build
+    /// entirely ([`PipelineSnapshot::query_engine_ivf`] attaches it
+    /// directly).
+    ///
+    /// # Errors
+    /// Same conditions as [`Pipeline::query_engine_ivf`], plus
+    /// [`CoreError::Invalid`] if the built index fails to serialize.
+    pub fn snapshot_with_index(
+        &self,
+        author_handles: &[String],
+        config: &IvfConfig,
+    ) -> Result<PipelineSnapshot, CoreError> {
+        let mut snap = self.snapshot(author_handles);
+        let engine = self.query_engine_ivf(config)?;
+        let index = engine
+            .index()
+            .ok_or(CoreError::Internal("freshly built engine carries an index"))?;
+        snap.index = Some(
+            serde_json::to_value(index)
+                .map_err(|e| CoreError::Invalid(format!("index serialization failed: {e}")))?,
+        );
+        Ok(snap)
     }
 }
 
@@ -220,9 +259,9 @@ impl PipelineSnapshot {
         })?;
         let mut snapshot: PipelineSnapshot = serde_json::from_reader(BufReader::new(file))
             .map_err(|e| CoreError::Parse(e.to_string()))?;
-        if snapshot.version != SNAPSHOT_VERSION {
+        if !(SNAPSHOT_VERSION_MIN..=SNAPSHOT_VERSION).contains(&snapshot.version) {
             return Err(CoreError::Schema(format!(
-                "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
+                "unsupported snapshot version {} (expected {SNAPSHOT_VERSION_MIN}..={SNAPSHOT_VERSION})",
                 snapshot.version
             )));
         }
@@ -505,6 +544,61 @@ mod tests {
         let mut snap3 = p.snapshot(&[]);
         snap3.centroids.pop();
         assert!(snap3.validate().is_err());
+    }
+
+    #[test]
+    fn snapshot_with_index_roundtrips_and_serves_without_rebuild() {
+        let (d, p) = fitted();
+        let cfg = IvfConfig {
+            n_centroids: 4,
+            ..IvfConfig::default()
+        };
+        let snap = p.snapshot_with_index(&[], &cfg).unwrap();
+        assert!(snap.index.is_some());
+        let path = tmp("with-index.json");
+        snap.save(&path).unwrap();
+        let loaded = PipelineSnapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.index.is_some());
+
+        let obs = soulmate_obs::global();
+        let rebuilt_before = obs.counter("snapshot.index_rebuilt");
+        let engine = loaded.query_engine_ivf(&cfg).unwrap();
+        assert!(engine.index().is_some(), "persisted index must attach");
+        assert_eq!(
+            obs.counter("snapshot.index_rebuilt"),
+            rebuilt_before,
+            "a persisted index must not be rebuilt"
+        );
+
+        // Served answers agree bit-for-bit with the pipeline-built
+        // engine, exhaustive and narrow alike.
+        let tweets: Vec<(Timestamp, String)> = d
+            .tweets
+            .iter()
+            .filter(|t| t.author == 5)
+            .take(6)
+            .map(|t| (t.timestamp, t.text.clone()))
+            .collect();
+        let from_pipeline = p.query_engine_ivf(&cfg).unwrap();
+        for nprobe in [1usize, engine.index().unwrap().n_centroids()] {
+            let want = from_pipeline.link_query_ivf(&tweets, nprobe).unwrap();
+            let got = engine.link_query_ivf(&tweets, nprobe).unwrap();
+            assert_eq!(want.similarities, got.similarities, "nprobe {nprobe}");
+            assert_eq!(want.subgraph, got.subgraph, "nprobe {nprobe}");
+        }
+    }
+
+    #[test]
+    fn snapshot_without_index_rebuilds_on_demand() {
+        let (_, p) = fitted();
+        let snap = p.snapshot(&[]);
+        assert!(snap.index.is_none(), "plain snapshots carry no index");
+        let obs = soulmate_obs::global();
+        let before = obs.counter("snapshot.index_rebuilt");
+        let engine = snap.query_engine_ivf(&IvfConfig::default()).unwrap();
+        assert!(engine.index().is_some());
+        assert!(obs.counter("snapshot.index_rebuilt") > before);
     }
 
     #[test]

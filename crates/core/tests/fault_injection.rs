@@ -11,6 +11,7 @@ use soulmate_core::engine::CachedCut;
 use soulmate_core::error::CoreError;
 use soulmate_core::pipeline::{Pipeline, PipelineConfig};
 use soulmate_core::snapshot::PipelineSnapshot;
+use soulmate_core::IvfConfig;
 use soulmate_corpus::{generate, GeneratorConfig, Timestamp};
 use std::path::PathBuf;
 
@@ -126,8 +127,8 @@ fn version_field_corrupted_on_disk_is_schema_error() {
     let path = tmp("version-bytes.json");
     snap.save(&path).unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
-    assert!(text.contains("\"version\":1"), "serialized layout changed");
-    std::fs::write(&path, text.replace("\"version\":1", "\"version\":7")).unwrap();
+    assert!(text.contains("\"version\":2"), "serialized layout changed");
+    std::fs::write(&path, text.replace("\"version\":2", "\"version\":7")).unwrap();
     let err = PipelineSnapshot::load(&path).unwrap_err();
     std::fs::remove_file(&path).ok();
     assert!(matches!(err, CoreError::Schema(_)), "{err:?}");
@@ -345,6 +346,103 @@ fn unknown_words_and_empty_queries_are_invalid_errors() {
     let good = vec![(Timestamp(0), "anything".to_string())];
     let out = engine.link_query_authors(&[good, Vec::new()]);
     assert!(out.is_err());
+}
+
+// ---------------------------------------------------------------------
+// Retrieval index section: corruption degrades, never errors.
+// ---------------------------------------------------------------------
+
+/// Load a snapshot whose `index` section was replaced by `corrupt`, build
+/// the IVF engine, and return it with the dataset and the reference
+/// pipeline (the index is an *optimization section*: corrupting it must
+/// never fail the load or the queries).
+fn serve_with_index_section(
+    corrupt: impl FnOnce(&mut PipelineSnapshot),
+) -> (
+    soulmate_corpus::Dataset,
+    Pipeline,
+    u64, // snapshot.index_discarded delta
+    Vec<soulmate_core::QueryOutcome>,
+) {
+    let (d, p) = fitted();
+    let cfg = IvfConfig {
+        n_centroids: 3,
+        ..IvfConfig::default()
+    };
+    let mut snap = p.snapshot_with_index(&[], &cfg).unwrap();
+    corrupt(&mut snap);
+    let path = tmp("index-corrupt.json");
+    snap.save(&path).unwrap();
+    let loaded = PipelineSnapshot::load(&path).expect("index corruption must not fail the load");
+    std::fs::remove_file(&path).ok();
+
+    let obs = soulmate_obs::global();
+    let before = obs.counter("snapshot.index_discarded");
+    let engine = loaded.query_engine_ivf(&cfg).unwrap();
+    let discarded = obs.counter("snapshot.index_discarded") - before;
+    let queries = vec![author_tweets(&d, 2, 5), author_tweets(&d, 9, 5)];
+    let outcomes = engine
+        .link_query_authors_ivf(&queries, 1)
+        .expect("a discarded index must degrade to exact serving, not error");
+    (d, p, discarded, outcomes)
+}
+
+#[test]
+fn corrupted_index_sections_degrade_to_exact_serving() {
+    let corruptions: Vec<(&str, Box<dyn FnOnce(&mut PipelineSnapshot)>)> = vec![
+        (
+            "not an object",
+            Box::new(|s: &mut PipelineSnapshot| {
+                s.index = Some(serde_json::json!("garbage"));
+            }),
+        ),
+        (
+            "wrong schema",
+            Box::new(|s: &mut PipelineSnapshot| {
+                s.index = Some(serde_json::json!({"centroids": [1, 2, 3]}));
+            }),
+        ),
+        (
+            "inverted list out of range",
+            Box::new(|s: &mut PipelineSnapshot| {
+                if let Some(lists) = s
+                    .index
+                    .as_mut()
+                    .and_then(|v| v.get_mut("lists"))
+                    .and_then(|v| v.as_array_mut())
+                {
+                    if let Some(first) = lists.first_mut().and_then(|l| l.as_array_mut()) {
+                        first.push(serde_json::json!(9999));
+                    }
+                }
+            }),
+        ),
+    ];
+    for (label, corrupt) in corruptions {
+        let (d, p, discarded, outcomes) = serve_with_index_section(corrupt);
+        assert!(discarded >= 1, "{label}: discard counter did not move");
+        // With the index discarded the IVF entry point serves the exact
+        // path — answers match the pipeline bit for bit.
+        let exact = p
+            .link_query_authors(&[author_tweets(&d, 2, 5), author_tweets(&d, 9, 5)])
+            .unwrap();
+        for (want, got) in exact.iter().zip(&outcomes) {
+            assert_eq!(want.similarities, got.similarities, "{label}");
+            assert_eq!(want.subgraph, got.subgraph, "{label}");
+        }
+    }
+}
+
+#[test]
+fn missing_index_section_rebuilds_instead_of_failing() {
+    let (_, _, discarded, outcomes) = serve_with_index_section(|s| {
+        s.index = None;
+    });
+    // Absence is not corruption: the index is rebuilt, nothing discarded,
+    // and the narrow probe actually routes (similarities carry 0.0
+    // non-candidate sentinels rather than a full exact row).
+    assert_eq!(discarded, 0);
+    assert_eq!(outcomes.len(), 2);
 }
 
 // ---------------------------------------------------------------------

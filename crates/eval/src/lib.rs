@@ -33,6 +33,7 @@ pub mod experts;
 pub mod precision;
 pub mod protocol;
 pub mod render;
+pub mod retrieval;
 
 pub use community::{
     adjusted_rand_index, community_precision_at_k, normalized_mutual_information,
@@ -45,3 +46,4 @@ pub use protocol::{
     cluster_quality, subgraph_precision, weighted_precision, SubgraphPrecision, SubgraphProtocol,
 };
 pub use render::TextTable;
+pub use retrieval::{recall_at_k, recall_sweep, RecallReport};

@@ -69,13 +69,26 @@ impl SpanningForest {
 
     /// The query subgraph `g̃_q` (Definition 7): nodes of the component
     /// containing `query`, or `None` when `query` is out of range.
+    ///
+    /// Extracts only the one component the query lives in — one union-find
+    /// pass over the selected edges plus a root scan — instead of
+    /// materializing every component the way [`SpanningForest::components`]
+    /// does. The serving path calls this once per query, and the grouping
+    /// hash map dominated per-query latency before this fast path.
     pub fn query_subgraph(&self, query: usize) -> Option<Vec<usize>> {
         if query >= self.n {
             return None;
         }
-        self.components()
-            .into_iter()
-            .find(|c| c.binary_search(&query).is_ok())
+        let mut uf = UnionFind::new(self.n);
+        for e in &self.edges {
+            // `SpanningForest::new` accepts arbitrary edge lists; skip
+            // out-of-range endpoints instead of panicking in union-find.
+            if e.u < self.n && e.v < self.n {
+                uf.union(e.u, e.v);
+            }
+        }
+        let root = uf.find(query);
+        Some((0..self.n).filter(|&v| uf.find(v) == root).collect())
     }
 
     /// Edges internal to one component (for per-subgraph statistics).

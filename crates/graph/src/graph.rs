@@ -91,15 +91,22 @@ impl WeightedGraph {
                     keep[i * n + j] = true;
                 }
             }
-            // Top-k lifeline rule.
+            // Top-k lifeline rule: similarity descending under the total
+            // order, ties by ascending index — the ranking a stable
+            // descending sort would produce, but the index tie-break makes
+            // keys unique, so an O(n) selection yields the identical top-k
+            // set without the O(n log n) full row sort. A NaN similarity
+            // (all-OOV author) ranks instead of panicking — the
+            // finite-weight filter below still keeps NaN edges out of the
+            // graph.
             if top_k > 0 && n > 1 {
                 let mut neighbours: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-                // Stable sort, total order: ties keep ascending index, and
-                // a NaN similarity (all-OOV author) ranks instead of
-                // panicking — the finite-weight filter below still keeps
-                // NaN edges out of the graph.
-                neighbours.sort_by(|&a, &b| sim[i][b].total_cmp(&sim[i][a]));
-                for &j in neighbours.iter().take(top_k) {
+                let cmp = |&a: &usize, &b: &usize| sim[i][b].total_cmp(&sim[i][a]).then(a.cmp(&b));
+                if neighbours.len() > top_k {
+                    neighbours.select_nth_unstable_by(top_k - 1, cmp);
+                    neighbours.truncate(top_k);
+                }
+                for &j in &neighbours {
                     let (a, b) = (i.min(j), i.max(j));
                     keep[a * n + b] = true;
                 }

@@ -42,5 +42,7 @@ pub use error::GraphError;
 pub use forest::SpanningForest;
 pub use graph::{Edge, WeightedGraph};
 pub use kruskal::kruskal_max_forest;
-pub use swmst::{stack_pop_order, swmst, swmst_from_sorted, swmst_literal};
+pub use swmst::{
+    stack_pop_order, swmst, swmst_from_sorted, swmst_from_sorted_with_component, swmst_literal,
+};
 pub use unionfind::UnionFind;

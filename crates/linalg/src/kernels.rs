@@ -265,6 +265,55 @@ pub fn gram_rect_blocked(a: &Matrix, b: &Matrix) -> Vec<Vec<f32>> {
     out
 }
 
+/// Rectangular Gram against a row subset:
+/// `out[i][j] = dot(a_i, b.row(rows[j]))`.
+///
+/// Bit-identical to gathering `rows` into a dense submatrix and calling
+/// [`gram_rect_blocked`] — each entry is the same [`dot`] over the same
+/// two row slices — but skips the gather copy, which for a serving-path
+/// candidate set is pure overhead: the submatrix would be read exactly
+/// once.
+///
+/// # Panics
+/// Panics in debug builds when the column counts differ or a row id is
+/// out of range; release builds treat `rows` as trusted (the caller
+/// validates ids against `b`).
+pub fn gram_rect_rows_blocked(a: &Matrix, b: &Matrix, rows: &[u32]) -> Vec<Vec<f32>> {
+    debug_assert_eq!(a.cols(), b.cols(), "gram_rect_rows_blocked: dim mismatch");
+    debug_assert!(
+        // u32 widens losslessly into usize on every supported target.
+        rows.iter().all(|&r| (r as usize) < b.rows()),
+        "gram_rect_rows_blocked: row id out of range"
+    );
+    let (na, nb) = (a.rows(), rows.len());
+    let mut out: Vec<Vec<f32>> = (0..na).map(|_| vec![0.0f32; nb]).collect();
+    let mut i0 = 0;
+    while i0 < na {
+        let i1 = (i0 + TILE).min(na);
+        let mut j0 = 0;
+        while j0 < nb {
+            let j1 = (j0 + TILE).min(nb);
+            for i in i0..i1 {
+                let ai = a.row(i);
+                let row = &mut out[i];
+                for j in j0..j1 {
+                    // u32 widens losslessly into usize on every supported
+                    // target.
+                    row[j] = dot(ai, b.row(rows[j] as usize));
+                }
+            }
+            j0 = j1;
+        }
+        i0 = i1;
+    }
+    record_gram_metrics(
+        "kernels.gram_rect",
+        na,
+        (na.div_ceil(TILE) * nb.div_ceil(TILE)) as u64,
+    );
+    out
+}
+
 /// Row pairs `(query, vocab)` below which [`top1_cosine_batch`] stays
 /// sequential — the scan is too small to amortize thread spawns.
 const TOP1_PARALLEL_PAIRS: usize = 1 << 16;
@@ -428,6 +477,29 @@ mod tests {
                 assert!((g[i][j] - want).abs() <= 1e-4 * (1.0 + want.abs()));
             }
         }
+    }
+
+    #[test]
+    fn gram_rect_rows_is_bit_identical_to_gather_then_gram() {
+        let a = random_matrix(70, 9, 3);
+        let b = random_matrix(130, 9, 4);
+        // Unsorted and duplicated ids both allowed: the kernel reads rows
+        // positionally, it never assumes a set.
+        let rows: Vec<u32> = vec![129, 0, 64, 64, 13, 127, 1, 63];
+        let got = gram_rect_rows_blocked(&a, &b, &rows);
+        let gathered: Vec<Vec<f32>> = rows.iter().map(|&r| b.row(r as usize).to_vec()).collect();
+        let gathered = Matrix::from_rows(&gathered).unwrap();
+        let want = gram_rect_blocked(&a, &gathered);
+        // Bitwise equality, not tolerance: the selling point is that the
+        // gather can be deleted without perturbing a single score.
+        for (gr, wr) in got.iter().zip(&want) {
+            for (g, w) in gr.iter().zip(wr) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+        assert!(gram_rect_rows_blocked(&a, &b, &[])
+            .iter()
+            .all(Vec::is_empty));
     }
 
     #[test]

@@ -28,7 +28,8 @@ pub mod vector;
 
 pub use error::LinalgError;
 pub use kernels::{
-    gram_blocked, gram_blocked_par, gram_rect_blocked, top1_cosine_batch, NormalizedRows, TILE,
+    gram_blocked, gram_blocked_par, gram_rect_blocked, gram_rect_rows_blocked, top1_cosine_batch,
+    NormalizedRows, TILE,
 };
 pub use matrix::Matrix;
 pub use sparse::SparseMatrix;

@@ -144,7 +144,7 @@ const NON_INDEX_PREFIX_KEYWORDS: &[&str] = &[
 
 /// `panic-in-serving`: `.unwrap()`, `.expect(…)`, `panic!`,
 /// `unreachable!`, and slice-index expressions in library code of the
-/// serving crates (core/graph/cli). Scopes carrying a
+/// serving crates (core/graph/cli/retrieval). Scopes carrying a
 /// `#[allow(clippy::unwrap_used/expect_used/indexing_slicing)]` attribute
 /// are blessed — the `allow-without-proof` rule separately guarantees
 /// those carry a justification.

@@ -1,0 +1,55 @@
+//! Typed failure modes of index construction and probing.
+
+use std::fmt;
+
+/// Retrieval-layer failure modes. Construction errors surface bad inputs
+/// or configurations; probe errors surface query/index mismatches. None of
+/// them panic — the serving path downgrades to the exact engine when an
+/// index cannot be used.
+#[derive(Debug)]
+pub enum RetrievalError {
+    /// The feature matrix has no rows or no columns.
+    Empty(&'static str),
+    /// A configuration value is unusable as given.
+    BadConfig(String),
+    /// A query or index shape does not match what the index was built for.
+    Mismatch(String),
+    /// The underlying clustering failed.
+    Cluster(soulmate_cluster::ClusterError),
+    /// The underlying linear algebra failed.
+    Linalg(soulmate_linalg::LinalgError),
+}
+
+impl fmt::Display for RetrievalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetrievalError::Empty(what) => write!(f, "empty {what}"),
+            RetrievalError::BadConfig(m) => write!(f, "bad retrieval config: {m}"),
+            RetrievalError::Mismatch(m) => write!(f, "retrieval mismatch: {m}"),
+            RetrievalError::Cluster(e) => write!(f, "retrieval clustering failed: {e}"),
+            RetrievalError::Linalg(e) => write!(f, "retrieval projection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RetrievalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RetrievalError::Cluster(e) => Some(e),
+            RetrievalError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<soulmate_cluster::ClusterError> for RetrievalError {
+    fn from(e: soulmate_cluster::ClusterError) -> Self {
+        RetrievalError::Cluster(e)
+    }
+}
+
+impl From<soulmate_linalg::LinalgError> for RetrievalError {
+    fn from(e: soulmate_linalg::LinalgError) -> Self {
+        RetrievalError::Linalg(e)
+    }
+}

@@ -1,0 +1,748 @@
+//! IVF coarse index with a truncated-SVD reduced-dimension prefilter.
+//!
+//! The index answers one question for the online path: *which authors are
+//! worth exact-scoring for this query?* It is built once over the author
+//! feature matrix and probed per query:
+//!
+//! 1. **Coarse quantization** — k-medoids (PAM, seeded tie-breaks) over a
+//!    seeded sample of author rows picks `n_centroids` real author rows as
+//!    centroids; every author is assigned to the centroid maximizing the
+//!    dot product with its feature row (the same max-inner-product order
+//!    the fused similarity ranks by), giving one inverted list per
+//!    centroid. A query probes the `nprobe` centroids with the highest
+//!    query·centroid score and unions their lists.
+//! 2. **Reduced-dimension prefilter** — authors are also projected into a
+//!    rank-`prefilter_dim` truncated-SVD subspace. Probed candidates are
+//!    scored there first (`prefilter_dim` ≪ `dim` multiplies per author)
+//!    and only the top `keep_fraction` survive to exact re-ranking.
+//!
+//! Probing with `nprobe >= n_centroids` is the *exhaustive contract*: the
+//! index returns every author and skips the prefilter, so the caller's
+//! re-rank is bit-for-bit the exact engine. That contract is what the
+//! parity proptests in `soulmate-core` pin down.
+//!
+//! Everything is deterministic given the feature matrix and
+//! [`IvfConfig::seed`]: the sample, the PAM tie-breaks and the SVD sketch
+//! all derive from it, so rebuilding an index from the same snapshot yields
+//! a byte-identical structure.
+
+use crate::error::RetrievalError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use soulmate_cluster::{kmedoids_seeded, pairwise, EuclideanDistance};
+use soulmate_linalg::{dot, gram_rect_blocked, truncated_svd, Matrix};
+
+/// Tuning knobs for [`IvfIndex::build`]. `0` means "derive from n" where
+/// noted; the [`Default`] values are the ones the benchmarks and the CLI
+/// ship with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct IvfConfig {
+    /// Number of coarse centroids; `0` derives `ceil(sqrt(n))`.
+    pub n_centroids: usize,
+    /// Centroids probed per query; `0` derives `n_centroids / 8` clamped
+    /// to `[2, n_centroids]`. This is the recall/speed knob: raising it
+    /// toward `n_centroids` converges on the exact engine.
+    pub nprobe: usize,
+    /// Rank of the truncated-SVD prefilter subspace; `0` disables the
+    /// prefilter stage.
+    pub prefilter_dim: usize,
+    /// Fraction of probed candidates promoted past the prefilter, in
+    /// `(0, 1]`. `1.0` promotes everything (prefilter becomes a no-op).
+    pub keep_fraction: f32,
+    /// The prefilter never cuts the candidate set below this floor.
+    pub min_candidates: usize,
+    /// K-medoids runs on a seeded sample of at most this many rows — PAM
+    /// is O(k·n²) and the medoid geometry stabilizes long before the full
+    /// author set is used.
+    pub sample_cap: usize,
+    /// SWAP-phase iteration bound forwarded to PAM.
+    pub max_swaps: usize,
+    /// Seed for the sample, the PAM tie-breaks and the SVD sketch.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        IvfConfig {
+            n_centroids: 0,
+            nprobe: 0,
+            prefilter_dim: 16,
+            keep_fraction: 0.25,
+            min_candidates: 64,
+            sample_cap: 1024,
+            max_swaps: 20,
+            seed: 42,
+        }
+    }
+}
+
+impl IvfConfig {
+    /// Reject configurations no build could honor.
+    fn check(&self) -> Result<(), RetrievalError> {
+        if !self.keep_fraction.is_finite() || self.keep_fraction <= 0.0 || self.keep_fraction > 1.0
+        {
+            return Err(RetrievalError::BadConfig(format!(
+                "keep_fraction must be in (0, 1], got {}",
+                self.keep_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The candidate set a probe produced, with the stage statistics the
+/// observability layer records.
+#[derive(Debug, Clone)]
+pub struct Candidates {
+    /// Author ids to exact-score, sorted ascending, no duplicates.
+    pub ids: Vec<u32>,
+    /// Centroids probed.
+    pub probed: usize,
+    /// Authors pulled from inverted lists before the prefilter cut.
+    pub scanned: usize,
+    /// True when the probe returned every author (the exhaustive
+    /// contract) — the caller may skip sparse-row bookkeeping.
+    pub exhaustive: bool,
+}
+
+/// A built two-stage retrieval index over `n` author feature rows of
+/// dimensionality `dim`. See the module docs for the layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IvfIndex {
+    n: usize,
+    dim: usize,
+    /// Author ids whose rows serve as centroids, ascending.
+    centroid_ids: Vec<u32>,
+    /// Centroid rows, `n_centroids x dim` (copies of author rows).
+    centroids: Matrix,
+    /// `lists[c]` = authors assigned to centroid `c`, ascending.
+    lists: Vec<Vec<u32>>,
+    /// SVD projection, `dim x r`; `0 x 0` when the prefilter is disabled.
+    projection: Matrix,
+    /// Reduced author rows, `n x r`; `0 x 0` when disabled.
+    reduced: Matrix,
+    /// Resolved default probe width.
+    default_nprobe: usize,
+    /// The configuration the index was built with.
+    config: IvfConfig,
+}
+
+impl IvfIndex {
+    /// Build an index over the rows of `features`.
+    ///
+    /// # Errors
+    /// [`RetrievalError::Empty`] for an empty matrix,
+    /// [`RetrievalError::BadConfig`] for unusable knobs, and the wrapped
+    /// clustering/linalg errors when a sub-step fails.
+    pub fn build(features: &Matrix, config: &IvfConfig) -> Result<IvfIndex, RetrievalError> {
+        let start = std::time::Instant::now();
+        let (n, dim) = (features.rows(), features.cols());
+        if n == 0 || dim == 0 {
+            return Err(RetrievalError::Empty("feature matrix"));
+        }
+        // u32::MAX widens losslessly into usize on every supported target.
+        if n > u32::MAX as usize {
+            return Err(RetrievalError::BadConfig(format!(
+                "{n} authors exceed the u32 id space"
+            )));
+        }
+        config.check()?;
+
+        // ---- Stage-1 structure: sample -> PAM -> assign -> lists. ----
+        let sample = sample_indices(n, config.sample_cap.max(1), config.seed);
+        let k = resolve_n_centroids(config.n_centroids, n, sample.len())?;
+        let sample_rows: Vec<&[f32]> = sample.iter().map(|&i| features.row(i)).collect();
+        let dist = pairwise(&sample_rows, &EuclideanDistance);
+        let pam = kmedoids_seeded(&dist, k, config.max_swaps.max(1), config.seed)?;
+
+        let mut centroid_ids: Vec<usize> = pam
+            .medoids
+            .iter()
+            .map(|&m| {
+                sample.get(m).copied().ok_or_else(|| {
+                    RetrievalError::Mismatch(format!("PAM medoid {m} outside the sample"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        centroid_ids.sort_unstable();
+        let centroid_rows: Vec<Vec<f32>> = centroid_ids
+            .iter()
+            .map(|&i| features.row(i).to_vec())
+            .collect();
+        let centroids = Matrix::from_rows(&centroid_rows)?;
+
+        // Assign every author to its max-dot centroid; ties go to the
+        // lowest centroid index so assignment is order-independent.
+        let scores = gram_rect_blocked(features, &centroids);
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); centroid_ids.len()];
+        for (i, row) in scores.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_s = f32::NEG_INFINITY;
+            for (c, &s) in row.iter().enumerate() {
+                if s > best_s {
+                    best = c;
+                    best_s = s;
+                }
+            }
+            if let Some(list) = lists.get_mut(best) {
+                // n was checked against the u32 id space above.
+                list.push(i as u32);
+            }
+        }
+
+        // ---- Stage-2 structure: truncated-SVD prefilter subspace. ----
+        let r = config.prefilter_dim.min(dim.saturating_sub(1)).min(n);
+        let (projection, reduced) = if config.prefilter_dim == 0 || r == 0 {
+            (Matrix::zeros(0, 0), Matrix::zeros(0, 0))
+        } else {
+            // Decorrelate the sketch stream from the sampling stream.
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_1DE4);
+            let svd = truncated_svd(features, r, 8, 2, &mut rng)?;
+            let reduced = features.matmul(&svd.v)?;
+            (svd.v, reduced)
+        };
+
+        let default_nprobe = resolve_nprobe(config.nprobe, centroid_ids.len());
+        let index = IvfIndex {
+            n,
+            dim,
+            // Every id is < n, and n fits u32 (checked above).
+            centroid_ids: centroid_ids.iter().map(|&i| i as u32).collect(),
+            centroids,
+            lists,
+            projection,
+            reduced,
+            default_nprobe,
+            config: config.clone(),
+        };
+        let obs = soulmate_obs::global();
+        obs.incr("retrieval.builds", 1);
+        obs.record_duration("retrieval.build.seconds", start.elapsed());
+        Ok(index)
+    }
+
+    /// Authors the index covers.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Feature dimensionality the index was built for.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of coarse centroids.
+    #[inline]
+    pub fn n_centroids(&self) -> usize {
+        self.centroid_ids.len()
+    }
+
+    /// The probe width used when the caller passes `0`.
+    #[inline]
+    pub fn default_nprobe(&self) -> usize {
+        self.default_nprobe
+    }
+
+    /// The configuration the index was built with.
+    #[inline]
+    pub fn config(&self) -> &IvfConfig {
+        &self.config
+    }
+
+    /// Candidate authors for `query` (a feature-space vector of length
+    /// [`Self::dim`]), probing `nprobe` centroids (`0` = the built-in
+    /// default). `nprobe >= n_centroids` triggers the exhaustive contract:
+    /// all authors, prefilter skipped.
+    ///
+    /// # Errors
+    /// [`RetrievalError::Mismatch`] when the query length differs from the
+    /// indexed dimensionality.
+    pub fn probe(&self, query: &[f32], nprobe: usize) -> Result<Candidates, RetrievalError> {
+        if query.len() != self.dim {
+            return Err(RetrievalError::Mismatch(format!(
+                "query dim {} vs index dim {}",
+                query.len(),
+                self.dim
+            )));
+        }
+        let k = self.centroid_ids.len();
+        let nprobe = if nprobe == 0 {
+            self.default_nprobe
+        } else {
+            nprobe
+        }
+        .max(1);
+        if nprobe >= k {
+            // Exhaustive contract: identical to the exact engine.
+            // n fits u32 (checked at build), so the cast is lossless.
+            let ids: Vec<u32> = (0..self.n as u32).collect();
+            let scanned = ids.len();
+            return Ok(Candidates {
+                ids,
+                probed: k,
+                scanned,
+                exhaustive: true,
+            });
+        }
+
+        // Route: rank centroids by query·centroid, descending, ties to the
+        // lower centroid index (sort_unstable_by on (score desc, idx) is
+        // deterministic because the keys are made totally ordered).
+        let mut order: Vec<(f32, usize)> = (0..k)
+            .map(|c| (dot(query, self.centroids.row(c)), c))
+            .collect();
+        order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        order.truncate(nprobe);
+
+        let mut ids: Vec<u32> = Vec::new();
+        for &(_, c) in &order {
+            if let Some(list) = self.lists.get(c) {
+                ids.extend_from_slice(list);
+            }
+        }
+        let scanned = ids.len();
+
+        // Prefilter in the reduced subspace, keeping the top fraction.
+        let r = self.projection.cols();
+        if r > 0 && self.config.keep_fraction < 1.0 && !ids.is_empty() {
+            // scanned * keep_fraction <= scanned <= n fits usize exactly
+            // for any keep_fraction in (0, 1].
+            let keep = ((scanned as f32 * self.config.keep_fraction).ceil() as usize)
+                .max(self.config.min_candidates)
+                .min(scanned);
+            if keep < scanned {
+                let qr = self.project(query);
+                let mut scored: Vec<(f32, u32)> = ids
+                    .iter()
+                    .map(|&id| {
+                        let row = self.reduced.row(id as usize); // id < n = reduced.rows()
+                        (dot(row, &qr), id)
+                    })
+                    .collect();
+                scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                scored.truncate(keep);
+                ids = scored.into_iter().map(|(_, id)| id).collect();
+            }
+        }
+        ids.sort_unstable();
+
+        let obs = soulmate_obs::global();
+        obs.incr("retrieval.queries", 1);
+        obs.incr("retrieval.probes", nprobe as u64);
+        obs.record("retrieval.candidates", ids.len() as f64);
+        Ok(Candidates {
+            ids,
+            probed: nprobe,
+            scanned,
+            exhaustive: false,
+        })
+    }
+
+    /// Project a feature-space query into the prefilter subspace.
+    fn project(&self, query: &[f32]) -> Vec<f32> {
+        let r = self.projection.cols();
+        let mut out = vec![0.0f32; r];
+        for (d, &q) in query.iter().enumerate().take(self.projection.rows()) {
+            if q == 0.0 {
+                continue;
+            }
+            for (o, &p) in out.iter_mut().zip(self.projection.row(d)) {
+                *o += q * p;
+            }
+        }
+        out
+    }
+
+    /// Structural integrity check against the matrices the index must
+    /// agree with. Snapshot loading calls this to decide whether a
+    /// persisted index is usable or must be discarded.
+    ///
+    /// # Errors
+    /// [`RetrievalError::Mismatch`] naming the first violated invariant.
+    pub fn validate(&self, n: usize, dim: usize) -> Result<(), RetrievalError> {
+        let fail = |m: String| Err(RetrievalError::Mismatch(m));
+        if self.n != n {
+            return fail(format!("index covers {} authors, model has {n}", self.n));
+        }
+        if self.dim != dim {
+            return fail(format!("index dim {} vs feature dim {dim}", self.dim));
+        }
+        let k = self.centroid_ids.len();
+        if k == 0 || k > n {
+            return fail(format!("{k} centroids for {n} authors"));
+        }
+        if self.centroids.rows() != k || self.centroids.cols() != dim {
+            return fail(format!(
+                "centroid matrix {}x{} vs expected {k}x{dim}",
+                self.centroids.rows(),
+                self.centroids.cols()
+            ));
+        }
+        if self.lists.len() != k {
+            return fail(format!(
+                "{} inverted lists for {k} centroids",
+                self.lists.len()
+            ));
+        }
+        if self.default_nprobe == 0 {
+            return fail("default nprobe is 0".to_string());
+        }
+        self.config.check()?;
+        let mut seen = vec![false; n];
+        let mut total = 0usize;
+        for list in &self.lists {
+            for &id in list {
+                // u32 widens losslessly into usize on supported targets.
+                match seen.get_mut(id as usize) {
+                    Some(slot) if !*slot => *slot = true,
+                    Some(_) => return fail(format!("author {id} in two inverted lists")),
+                    None => return fail(format!("author id {id} out of range (n = {n})")),
+                }
+                total += 1;
+            }
+        }
+        if total != n {
+            return fail(format!("inverted lists cover {total} of {n} authors"));
+        }
+        for &cid in &self.centroid_ids {
+            // u32 widens losslessly into usize on supported targets.
+            if cid as usize >= n {
+                return fail(format!("centroid id {cid} out of range (n = {n})"));
+            }
+        }
+        let r = self.projection.cols();
+        if r > 0
+            && (self.projection.rows() != dim
+                || self.reduced.rows() != n
+                || self.reduced.cols() != r)
+        {
+            return fail(format!(
+                "prefilter shapes {}x{} / {}x{} inconsistent with n = {n}, dim = {dim}",
+                self.projection.rows(),
+                self.projection.cols(),
+                self.reduced.rows(),
+                self.reduced.cols()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Resolve the centroid count: explicit value, or `ceil(sqrt(n))`, clamped
+/// to the PAM sample size.
+fn resolve_n_centroids(
+    requested: usize,
+    n: usize,
+    sample_len: usize,
+) -> Result<usize, RetrievalError> {
+    let auto = (n as f64).sqrt().ceil();
+    let k = if requested == 0 {
+        // sqrt(n).ceil() <= n <= u32::MAX-ish, far inside usize.
+        auto as usize
+    } else {
+        requested
+    };
+    if k == 0 || k > n {
+        return Err(RetrievalError::BadConfig(format!(
+            "n_centroids {k} outside [1, {n}]"
+        )));
+    }
+    Ok(k.min(sample_len).max(1))
+}
+
+/// Resolve the default probe width: the explicit value, or `k / 8`
+/// clamped to `[2, k]`. With `k ≈ √n` centroids a probe visits `n/k`
+/// authors per list, so `k/8` keeps the scanned fraction near `1/8`
+/// independent of scale while the floor of two lists protects queries
+/// sitting on a centroid boundary (`min_candidates` separately floors
+/// the candidate count for small corpora).
+fn resolve_nprobe(requested: usize, k: usize) -> usize {
+    if requested == 0 {
+        (k / 8).max(2).min(k.max(1))
+    } else {
+        requested.max(1)
+    }
+}
+
+/// First `cap` elements of a seeded Fisher–Yates shuffle of `0..n`,
+/// returned ascending (the order feeds a symmetric distance matrix, so
+/// only membership matters — sorting canonicalizes it).
+fn sample_indices(n: usize, cap: usize, seed: u64) -> Vec<usize> {
+    if n <= cap {
+        return (0..n).collect();
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    for i in 0..cap {
+        let span = n - i;
+        // span >= 1; the modulo keeps the offset < span, so i + offset < n.
+        let offset = (splitmix64(&mut state) % span as u64) as usize;
+        idx.swap(i, i + offset);
+    }
+    idx.truncate(cap);
+    idx.sort_unstable();
+    idx
+}
+
+/// splitmix64 step (Steele et al., 2014) — the same generator the seeded
+/// PAM tie-breaks use, kept dependency-free.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// `n` points in `clusters` well-separated blobs.
+    fn blobby(n: usize, dim: usize, clusters: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-10.0f32..10.0)).collect())
+            .collect();
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let c = &centers[i % clusters];
+                c.iter().map(|&v| v + rng.gen_range(-0.5f32..0.5)).collect()
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn build_produces_a_valid_index() {
+        let f = blobby(200, 12, 5, 1);
+        let idx = IvfIndex::build(&f, &IvfConfig::default()).unwrap();
+        idx.validate(200, 12).unwrap();
+        // Auto centroid count: ceil(sqrt(200)) = 15.
+        assert_eq!(idx.n_centroids(), 15);
+        // 15 centroids: 15/8 = 1, floored to the two-list minimum.
+        assert_eq!(idx.default_nprobe(), 2);
+        assert_eq!(idx.dim(), 12);
+    }
+
+    #[test]
+    fn lists_partition_the_author_set() {
+        let f = blobby(127, 8, 4, 2);
+        let idx = IvfIndex::build(&f, &IvfConfig::default()).unwrap();
+        let mut all: Vec<u32> = idx.lists.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let want: Vec<u32> = (0..127).collect();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn probe_all_returns_everything_unfiltered() {
+        let f = blobby(60, 6, 3, 3);
+        let cfg = IvfConfig {
+            keep_fraction: 0.2,
+            min_candidates: 1,
+            ..IvfConfig::default()
+        };
+        let idx = IvfIndex::build(&f, &cfg).unwrap();
+        let c = idx.probe(f.row(0), idx.n_centroids()).unwrap();
+        assert!(c.exhaustive);
+        assert_eq!(c.ids, (0..60).collect::<Vec<u32>>());
+        // Oversized nprobe behaves the same.
+        let c2 = idx.probe(f.row(0), 10_000).unwrap();
+        assert!(c2.exhaustive);
+        assert_eq!(c2.ids.len(), 60);
+    }
+
+    #[test]
+    fn probe_returns_sorted_unique_subset_containing_home_cluster() {
+        let f = blobby(180, 10, 6, 4);
+        let idx = IvfIndex::build(&f, &IvfConfig::default()).unwrap();
+        for q in [0usize, 7, 91, 179] {
+            let c = idx.probe(f.row(q), 2).unwrap();
+            assert!(!c.exhaustive);
+            assert!(c.ids.len() <= 180);
+            assert!(c.ids.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            // The query's own row lives in the nearest list, which must be
+            // the top-ranked probe.
+            assert!(
+                c.ids.contains(&(q as u32)),
+                "query author {q} missing from its own candidate set"
+            );
+        }
+    }
+
+    #[test]
+    fn prefilter_cuts_candidates_but_respects_floor() {
+        let f = blobby(300, 16, 3, 5);
+        let cfg = IvfConfig {
+            n_centroids: 3,
+            keep_fraction: 0.25,
+            min_candidates: 10,
+            ..IvfConfig::default()
+        };
+        let idx = IvfIndex::build(&f, &cfg).unwrap();
+        let c = idx.probe(f.row(0), 1).unwrap();
+        assert!(c.scanned >= c.ids.len());
+        // ~100 scanned -> keep ceil(25) bounded below by 10.
+        assert!(c.ids.len() >= 10.min(c.scanned));
+        assert!(c.ids.len() <= c.scanned.max(1));
+
+        let floor_cfg = IvfConfig {
+            n_centroids: 3,
+            keep_fraction: 0.01,
+            min_candidates: 64,
+            ..IvfConfig::default()
+        };
+        let idx2 = IvfIndex::build(&f, &floor_cfg).unwrap();
+        let c2 = idx2.probe(f.row(0), 1).unwrap();
+        assert!(c2.ids.len() >= 64.min(c2.scanned));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let f = blobby(150, 9, 4, 6);
+        let cfg = IvfConfig::default();
+        let a = IvfIndex::build(&f, &cfg).unwrap();
+        let b = IvfIndex::build(&f, &cfg).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_probe_results() {
+        let f = blobby(90, 7, 3, 7);
+        let idx = IvfIndex::build(&f, &IvfConfig::default()).unwrap();
+        let json = serde_json::to_string(&idx).unwrap();
+        let back: IvfIndex = serde_json::from_str(&json).unwrap();
+        back.validate(90, 7).unwrap();
+        for q in 0..10 {
+            assert_eq!(
+                idx.probe(f.row(q), 2).unwrap().ids,
+                back.probe(f.row(q), 2).unwrap().ids
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_config() {
+        assert!(matches!(
+            IvfIndex::build(&Matrix::zeros(0, 4), &IvfConfig::default()),
+            Err(RetrievalError::Empty(_))
+        ));
+        let f = blobby(10, 4, 2, 8);
+        let bad = IvfConfig {
+            keep_fraction: 0.0,
+            ..IvfConfig::default()
+        };
+        assert!(matches!(
+            IvfIndex::build(&f, &bad),
+            Err(RetrievalError::BadConfig(_))
+        ));
+        let too_many = IvfConfig {
+            n_centroids: 11,
+            ..IvfConfig::default()
+        };
+        assert!(matches!(
+            IvfIndex::build(&f, &too_many),
+            Err(RetrievalError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn probe_rejects_wrong_dim() {
+        let f = blobby(20, 5, 2, 9);
+        let idx = IvfIndex::build(&f, &IvfConfig::default()).unwrap();
+        assert!(matches!(
+            idx.probe(&[1.0, 2.0], 1),
+            Err(RetrievalError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let f = blobby(40, 6, 2, 10);
+        let good = IvfIndex::build(&f, &IvfConfig::default()).unwrap();
+        good.validate(40, 6).unwrap();
+        assert!(good.validate(41, 6).is_err());
+        assert!(good.validate(40, 7).is_err());
+
+        // Some inverted lists can legitimately be empty; corrupt a
+        // non-empty one so the mutation is observable.
+        let busy = (0..good.lists.len())
+            .max_by_key(|&c| good.lists[c].len())
+            .unwrap();
+        let other = (busy + 1) % good.lists.len();
+        let mut dropped = good.clone();
+        dropped.lists[busy].pop();
+        assert!(dropped.validate(40, 6).is_err());
+
+        let mut out_of_range = good.clone();
+        out_of_range.lists[busy].push(999);
+        assert!(out_of_range.validate(40, 6).is_err());
+
+        let mut duplicated = good.clone();
+        let dup = duplicated.lists[busy][0];
+        duplicated.lists[other].push(dup);
+        assert!(duplicated.validate(40, 6).is_err());
+    }
+
+    #[test]
+    fn prefilter_disabled_when_dim_zero() {
+        let f = blobby(50, 8, 2, 11);
+        let cfg = IvfConfig {
+            prefilter_dim: 0,
+            ..IvfConfig::default()
+        };
+        let idx = IvfIndex::build(&f, &cfg).unwrap();
+        assert_eq!(idx.projection.cols(), 0);
+        idx.validate(50, 8).unwrap();
+        // Probing still works, just without the cut.
+        let c = idx.probe(f.row(3), 1).unwrap();
+        assert_eq!(c.ids.len(), c.scanned);
+    }
+
+    #[test]
+    fn tiny_inputs_build() {
+        // n = 1 and n = 2 exercise every clamp at once.
+        for n in [1usize, 2, 3] {
+            let f = blobby(n, 4, 1, 12 + n as u64);
+            let idx = IvfIndex::build(&f, &IvfConfig::default()).unwrap();
+            idx.validate(n, 4).unwrap();
+            let c = idx.probe(f.row(0), 0).unwrap();
+            assert!(!c.ids.is_empty());
+        }
+    }
+
+    #[test]
+    fn recall_on_clustered_data_is_high() {
+        // Sanity (the full recall harness lives in soulmate-eval): on
+        // clustered data the default probe keeps the true top-10 of the
+        // dot-product ranking almost always.
+        let n = 400;
+        let f = blobby(n, 24, 8, 13);
+        let idx = IvfIndex::build(&f, &IvfConfig::default()).unwrap();
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for q in (0..n).step_by(13) {
+            let query = f.row(q);
+            let mut exact: Vec<(f32, usize)> = (0..n).map(|i| (dot(query, f.row(i)), i)).collect();
+            exact.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            let c = idx.probe(query, 0).unwrap();
+            for &(_, i) in exact.iter().take(10) {
+                total += 1;
+                if c.ids.binary_search(&(i as u32)).is_ok() {
+                    hits += 1;
+                }
+            }
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.95, "recall@10 = {recall}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Sub-linear candidate retrieval for the SoulMate online path.
+//!
+//! The exact `QueryEngine` scores a query against **every** author —
+//! O(n·d) per query — which caps how far the online path scales. This
+//! crate supplies the standard production answer: a two-stage retriever
+//! that routes each query to a small candidate set which the engine then
+//! re-ranks exactly, so answer *quality* degrades only by whatever the
+//! candidate set misses (measured by the recall@k harness in
+//! `soulmate-eval`) while per-query *cost* drops to the probed lists.
+//!
+//! * [`IvfIndex`] — IVF coarse index (k-medoids centroids over the author
+//!   feature matrix, one inverted list per centroid) plus a truncated-SVD
+//!   reduced-dimension prefilter. See the [`ivf`] module docs for the
+//!   layout and the exhaustive-probe contract.
+//! * [`IvfConfig`] — build/probe knobs; `nprobe` is the recall/speed dial.
+//! * [`RetrievalError`] — typed failures; the serving path treats every
+//!   one as "fall back to the exact engine", never a panic.
+
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
+// This crate sits on the serving path: probing runs inside every indexed
+// query, so panics are forbidden outside tests (soulmate-lint's
+// `panic-in-serving` rule enforces the same contract token-level).
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::indexing_slicing,
+        clippy::panic
+    )
+)]
+
+pub mod error;
+pub mod ivf;
+
+pub use error::RetrievalError;
+pub use ivf::{Candidates, IvfConfig, IvfIndex};

@@ -46,6 +46,7 @@ pub use soulmate_embedding as embedding;
 pub use soulmate_eval as eval;
 pub use soulmate_graph as graph;
 pub use soulmate_linalg as linalg;
+pub use soulmate_retrieval as retrieval;
 pub use soulmate_temporal as temporal;
 pub use soulmate_text as text;
 
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use soulmate_embedding::{CbowConfig, Embedding};
     pub use soulmate_eval::{ExpertPanel, PanelConfig};
     pub use soulmate_graph::{swmst, SpanningForest, WeightedGraph};
+    pub use soulmate_retrieval::{IvfConfig, IvfIndex};
     pub use soulmate_temporal::{Facet, HierarchyConfig, SlabIndex};
     pub use soulmate_text::{tokenize, TokenizerConfig, Vocabulary};
 }
