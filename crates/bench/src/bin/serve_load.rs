@@ -1,0 +1,346 @@
+//! Load generator for `soulmate serve`: fits a pipeline at the
+//! requested grid size, runs the server in-process on an ephemeral
+//! loopback port, and hammers it with 1/8/32 concurrent clients over
+//! real sockets. Produces BENCH_serve.json (throughput + exact
+//! client-side p50/p99 per concurrency level) so the served latency can
+//! be compared against the raw engine numbers in BENCH_online.json.
+//!
+//! Usage:
+//!   cargo run --release -p soulmate-bench --bin serve_load -- \
+//!     [--authors N] [--requests N] [--out BENCH_serve.json]
+//!
+//! `--requests` is the per-client request count at every concurrency
+//! level; each request carries one 5-tweet query, mirroring the
+//! BENCH_online query shape.
+
+use soulmate_bench::{default_dataset, default_pipeline_config, report, ExpArgs};
+use soulmate_core::Pipeline;
+use soulmate_corpus::Timestamp;
+use soulmate_serve::{serve, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+const CLIENT_COUNTS: [usize; 3] = [1, 8, 32];
+
+struct Level {
+    clients: usize,
+    requests: usize,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    /// Mean of the raw `engine.query.seconds` histogram over exactly
+    /// this level's requests (exact sum/count deltas from `/metrics`) —
+    /// the number comparable to BENCH_online.json's engine_ns.
+    engine_mean_us: f64,
+}
+
+fn main() {
+    let mut authors = 1024usize;
+    let mut per_client = 200usize;
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { break };
+        match flag.as_str() {
+            "--authors" => authors = value.parse().unwrap_or(authors),
+            "--requests" => per_client = value.parse().unwrap_or(per_client),
+            "--out" => out_path = value,
+            _ => {}
+        }
+    }
+
+    let exp = ExpArgs {
+        authors,
+        ..ExpArgs::default()
+    };
+    eprintln!("fitting pipeline at n = {authors} (this is the slow part)...");
+    let started = Instant::now();
+    let dataset = default_dataset(&exp);
+    let pipeline = Pipeline::fit(&dataset, default_pipeline_config(&exp)).expect("pipeline fits");
+    let handles: Vec<String> = dataset.authors.iter().map(|a| a.handle.clone()).collect();
+    let snapshot = pipeline.snapshot(&handles);
+    let engine = snapshot.query_engine().expect("engine builds");
+    eprintln!(
+        "fitted + engine built in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+
+    // The same query shape BENCH_online measures: 5 in-vocabulary
+    // tweets. One request body per client thread, rotated per author.
+    let query_tweets: Vec<Vec<(Timestamp, String)>> = (0..64u32)
+        .map(|a| {
+            dataset
+                .tweets
+                .iter()
+                .filter(|t| t.author == a)
+                .take(5)
+                .map(|t| (t.timestamp, t.text.clone()))
+                .collect()
+        })
+        .collect();
+    let queries: Vec<String> = query_tweets
+        .iter()
+        .map(|tweets| {
+            let pairs: Vec<String> = tweets
+                .iter()
+                .map(|(ts, text)| format!("[{}, {:?}]", ts.0, text))
+                .collect();
+            format!("[{}]", pairs.join(", "))
+        })
+        .collect();
+
+    // Direct in-process baseline over the SAME rotating query set the
+    // clients send: the serve-path engine mean should match this within
+    // noise (BENCH_online's engine_ns uses one fixed cache-hot query,
+    // so it is a lower bound, not the like-for-like reference).
+    let direct_engine_mean_us = {
+        let rounds = 1024usize;
+        for q in &query_tweets {
+            let _ = engine.link_query_authors(std::slice::from_ref(q));
+        }
+        let t = Instant::now();
+        for i in 0..rounds {
+            let q = &query_tweets[i % query_tweets.len()];
+            let _ = engine
+                .link_query_authors(std::slice::from_ref(q))
+                .expect("baseline query succeeds");
+        }
+        t.elapsed().as_secs_f64() / rounds as f64 * 1e6
+    };
+    eprintln!("direct engine baseline (same query rotation): {direct_engine_mean_us:.0}us/query");
+
+    let config = ServeConfig {
+        threads: 4,
+        queue_depth: 256,
+        ..ServeConfig::default()
+    };
+    let mut levels: Vec<Level> = Vec::new();
+    let mut engine_histogram: Option<(u64, f64, f64, f64)> = None;
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        let engine_ref = &engine;
+        let config_ref = &config;
+        let server =
+            scope.spawn(move || serve(engine_ref, config_ref, move |addr| tx.send(addr).unwrap()));
+        let addr = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("server ready");
+        eprintln!("serving on {addr}");
+
+        for &clients in &CLIENT_COUNTS {
+            // Warmup: touch every code path once before timing.
+            let _ = exchange(addr, &queries[0]);
+            let before = engine_sum_count(addr);
+            let wall = Instant::now();
+            let mut latencies: Vec<f64> = std::thread::scope(|clients_scope| {
+                let mut workers = Vec::new();
+                for c in 0..clients {
+                    let queries = &queries;
+                    workers.push(clients_scope.spawn(move || {
+                        let mut lat = Vec::with_capacity(per_client);
+                        for i in 0..per_client {
+                            let q = &queries[(c * per_client + i) % queries.len()];
+                            let t = Instant::now();
+                            let (status, body) = exchange(addr, q);
+                            assert_eq!(status, 200, "query failed: {body}");
+                            lat.push(t.elapsed().as_secs_f64());
+                        }
+                        lat
+                    }));
+                }
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("client thread"))
+                    .collect()
+            });
+            let wall_seconds = wall.elapsed().as_secs_f64();
+            let after = engine_sum_count(addr);
+            let engine_mean_us = match (before, after) {
+                (Some((c0, s0)), Some((c1, s1))) if c1 > c0 => (s1 - s0) / (c1 - c0) as f64 * 1e6,
+                _ => 0.0,
+            };
+            latencies.sort_by(f64::total_cmp);
+            let n = latencies.len();
+            let mean_us = latencies.iter().sum::<f64>() / n as f64 * 1e6;
+            let level = Level {
+                clients,
+                requests: n,
+                wall_seconds,
+                throughput_rps: n as f64 / wall_seconds,
+                p50_us: exact_quantile(&latencies, 0.50) * 1e6,
+                p99_us: exact_quantile(&latencies, 0.99) * 1e6,
+                mean_us,
+                engine_mean_us,
+            };
+            eprintln!(
+                "clients {:>2}: {} requests in {:.2}s -> {:.0} req/s, p50 {:.0}us, p99 {:.0}us, engine mean {:.0}us",
+                level.clients,
+                level.requests,
+                level.wall_seconds,
+                level.throughput_rps,
+                level.p50_us,
+                level.p99_us,
+                level.engine_mean_us
+            );
+            levels.push(level);
+        }
+
+        // Server-side view: the obs histogram of the raw engine call,
+        // directly comparable to BENCH_online.json's engine_ns (the
+        // wall-clock numbers above additionally pay connect + HTTP
+        // parse + render per request).
+        let (status, metrics) = metrics_exchange(addr);
+        assert_eq!(status, 200);
+        engine_histogram = histogram_stats(&metrics, "engine.query.seconds");
+
+        let (status, _) = shutdown(addr);
+        assert_eq!(status, 202);
+        server
+            .join()
+            .expect("server thread")
+            .expect("serve exits cleanly");
+    });
+
+    let json = render_json(
+        authors,
+        per_client,
+        direct_engine_mean_us,
+        &levels,
+        engine_histogram,
+    );
+    report::write_report_atomic(std::path::Path::new(&out_path), &json)
+        .expect("write BENCH_serve.json");
+    eprintln!("wrote {out_path}");
+}
+
+/// Exact (sorted-sample) quantile, the same definition the obs
+/// histogram approximates: the ceil(q*n)-th smallest sample.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    // ceil of q*n for q in [0,1] fits usize: n is a Vec length.
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn exchange(addr: SocketAddr, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    stream.set_nodelay(true).ok();
+    stream
+        .write_all(
+            format!(
+                "POST /link HTTP/1.1\r\nHost: load\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write request");
+    read_response(&mut stream)
+}
+
+fn metrics_exchange(addr: SocketAddr) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: load\r\nContent-Length: 0\r\n\r\n")
+        .expect("write metrics request");
+    read_response(&mut stream)
+}
+
+/// Exact `(count, sum_seconds)` of the `engine.query.seconds`
+/// histogram right now, scraped from `/metrics`. Deltas across a load
+/// level give that level's true per-call engine mean, uncontaminated
+/// by the other levels.
+fn engine_sum_count(addr: SocketAddr) -> Option<(u64, f64)> {
+    let (status, metrics) = metrics_exchange(addr);
+    if status != 200 {
+        return None;
+    }
+    let v = serde_json::parse_value(&metrics).ok()?;
+    let h = v.get("histograms")?.get("engine.query.seconds")?;
+    // Exempt from the narrowing-cast rule: u64 is not a narrowing target.
+    let count = h.get("count")?.as_i64()? as u64;
+    let sum = h.get("sum")?.as_f64()?;
+    Some((count, sum))
+}
+
+/// `(count, p50_us, p99_us, mean_us)` of one histogram in a registry
+/// JSON export; `None` when absent or never recorded.
+fn histogram_stats(metrics_json: &str, name: &str) -> Option<(u64, f64, f64, f64)> {
+    let v = serde_json::parse_value(metrics_json).ok()?;
+    let h = v.get("histograms")?.get(name)?;
+    let count = h.get("count")?.as_i64()? as u64;
+    let p50 = h.get("p50")?.as_f64()?;
+    let p99 = h.get("p99")?.as_f64()?;
+    let mean = h.get("mean")?.as_f64()?;
+    Some((count, p50 * 1e6, p99 * 1e6, mean * 1e6))
+}
+
+fn shutdown(addr: SocketAddr) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /shutdown HTTP/1.1\r\nHost: load\r\nContent-Length: 0\r\n\r\n")
+        .expect("write shutdown");
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response headers");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, body.to_string())
+}
+
+fn render_json(
+    authors: usize,
+    per_client: usize,
+    direct_engine_mean_us: f64,
+    levels: &[Level],
+    engine_histogram: Option<(u64, f64, f64, f64)>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"description\": \"soulmate serve under concurrent load: fixed 4-thread pool, queue depth 256, one 5-tweet query per request over loopback HTTP/1.1 (connection per request). Latency is client-side wall time including connect + parse; engine_mean_us is the per-level server-side mean of the raw engine call (exact sum/count deltas of the engine.query.seconds histogram), directly comparable to engine_ns in BENCH_online.json.\",\n",
+    );
+    out.push_str("  \"command\": \"cargo run --release -p soulmate-bench --bin serve_load\",\n");
+    out.push_str(&format!("  \"authors\": {authors},\n"));
+    out.push_str(&format!("  \"requests_per_client\": {per_client},\n"));
+    out.push_str(&format!(
+        "  \"direct_engine_mean_us\": {direct_engine_mean_us:.1},\n"
+    ));
+    out.push_str("  \"levels\": [\n");
+    for (i, l) in levels.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"requests\": {}, \"wall_seconds\": {:.3}, \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"engine_mean_us\": {:.1}}}{}\n",
+            l.clients,
+            l.requests,
+            l.wall_seconds,
+            l.throughput_rps,
+            l.p50_us,
+            l.p99_us,
+            l.mean_us,
+            l.engine_mean_us,
+            if i + 1 < levels.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    match engine_histogram {
+        Some((count, p50_us, p99_us, mean_us)) => out.push_str(&format!(
+            "  \"server_side_engine_query\": {{\"source\": \"obs histogram engine.query.seconds scraped from /metrics\", \"count\": {count}, \"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}, \"mean_us\": {mean_us:.1}}}\n"
+        )),
+        None => out.push_str("  \"server_side_engine_query\": null\n"),
+    }
+    out.push_str("}\n");
+    out
+}

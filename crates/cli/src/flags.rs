@@ -80,6 +80,17 @@ impl Flags {
         self.get_parsed(name, "a non-negative integer")
     }
 
+    /// Parse a flag as `u16` (`Ok(None)` when absent). Ports must fit
+    /// the protocol's 16 bits, so the range check lives in the parse
+    /// itself — `70000` is a usage error here, never a silent `as u16`
+    /// truncation at the use site.
+    ///
+    /// # Errors
+    /// [`CliError::Usage`] when present but not an integer in `0..=65535`.
+    pub fn get_u16(&self, name: &str) -> Result<Option<u16>, CliError> {
+        self.get_parsed(name, "an integer between 0 and 65535")
+    }
+
     /// Parse a flag as `f32` (`Ok(None)` when absent).
     ///
     /// # Errors
@@ -148,6 +159,22 @@ mod tests {
             other => panic!("expected usage error, got {other:?}"),
         };
         assert!(msg.contains("--seed") && msg.contains("banana"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_ports_are_usage_errors_not_truncations() {
+        // 70000 % 65536 = 4464: an `as u16` cast would quietly serve on
+        // the wrong port. The checked parse refuses instead.
+        let f = parse(&["--port", "70000"]);
+        let msg = match f.get_u16("port") {
+            Err(CliError::Usage(m)) => m,
+            other => panic!("expected usage error, got {other:?}"),
+        };
+        assert!(msg.contains("--port") && msg.contains("70000"), "{msg}");
+        let f = parse(&["--port", "8080"]);
+        assert_eq!(f.get_u16("port").unwrap(), Some(8080));
+        let f = parse(&["--port", "-1"]);
+        assert!(matches!(f.get_u16("port"), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -54,6 +54,8 @@ USAGE:
   soulmate subgraphs --model <model.json> [--top N]
   soulmate link      --model <model.json> --tweets <tweets.txt> [--multi]
                      [--ivf [--nprobe N]] [--metrics <metrics.json>] [--stats]
+  soulmate serve     --model <model.json> [--port N] [--host H] [--threads N]
+                     [--queue N] [--max-body BYTES] [--ivf [--nprobe N]]
   soulmate slabs     --data <data.json> [--threshold X]
   soulmate eval      --data <data.json> [--dim N] [--epochs N] [--k N]
   soulmate experiment <id> [--authors N] [--tweets N] [--seed N] [--dim N] [--epochs N]
@@ -72,6 +74,11 @@ author and the whole batch is served from one precomputed engine. With
 on demand when the snapshot carries none) and only candidates are scored
 exactly; `--nprobe N` widens the probe (0 or absent = index default) and
 is only meaningful with `--ivf`.
+
+`serve` loads the snapshot once and answers `link` queries over HTTP
+until `POST /shutdown` (DESIGN.md §15): NDJSON queries on POST /link,
+metrics JSON on GET /metrics, liveness on GET /healthz. Defaults: port
+7878, loopback host, 4 threads, queue depth 64, 1 MiB body cap.
 Experiment ids: fig1 fig3 fig4 fig8 fig9 fig10 fig11 table5 table6 table7
 ext_popularity ext_community ext_ablation ext_btcbow ext_scaling
 ext_retrieval.";
@@ -91,6 +98,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "fit" => cmd_fit(&flags, out),
         "subgraphs" => cmd_subgraphs(&flags, out),
         "link" => cmd_link(&flags, out),
+        "serve" => cmd_serve(&flags, out),
         "slabs" => cmd_slabs(&flags, out),
         "eval" => cmd_eval(&flags, out),
         "stats" => cmd_stats(&flags, out),
@@ -276,6 +284,69 @@ fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
         .collect();
     writeln!(out, "linked with: {}", mates.join(", ")).ok();
     emit_metrics(flags, out)
+}
+
+/// `soulmate serve`: load the snapshot once, build the engine once,
+/// then answer queries over HTTP until `POST /shutdown` drains the
+/// server (DESIGN.md §15).
+fn cmd_serve<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    // Every flag is validated before the (expensive) snapshot read —
+    // the PR 4 contract: usage errors exit 2 before any file I/O.
+    flags.require_path("model")?;
+    let port = flags.get_u16("port")?.unwrap_or(7878);
+    let host = flags.get("host").unwrap_or("127.0.0.1").to_string();
+    let threads = flags.get_usize("threads")?.unwrap_or(4);
+    if threads == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
+    let queue_depth = flags.get_usize("queue")?.unwrap_or(64);
+    if queue_depth == 0 {
+        return Err(CliError::Usage("--queue must be at least 1".into()));
+    }
+    let max_body_bytes = flags.get_usize("max-body")?.unwrap_or(1 << 20);
+    if max_body_bytes == 0 {
+        return Err(CliError::Usage("--max-body must be at least 1".into()));
+    }
+    let ivf = flags.has("ivf");
+    if flags.has("nprobe") && !ivf {
+        return Err(CliError::Usage(
+            "--nprobe only applies to IVF retrieval; add --ivf".into(),
+        ));
+    }
+    let nprobe = flags.get_usize("nprobe")?.unwrap_or(0);
+
+    let model = load_model(flags)?;
+    let engine = if ivf {
+        model.query_engine_ivf(&IvfConfig::default())
+    } else {
+        model.query_engine()
+    }
+    .map_err(|e| CliError::Failed(e.to_string()))?;
+
+    let config = soulmate_serve::ServeConfig {
+        host,
+        port,
+        threads,
+        queue_depth,
+        max_body_bytes,
+        nprobe,
+        ..soulmate_serve::ServeConfig::default()
+    };
+    soulmate_serve::serve(&engine, &config, |addr| {
+        writeln!(
+            out,
+            "serving {} authors{} on http://{addr} ({threads} threads, queue {queue_depth})",
+            engine.n_authors(),
+            if ivf { " with IVF index" } else { "" },
+        )
+        .ok();
+        // The ready line is how scripts learn an ephemeral port; stdout
+        // is block-buffered when piped, so flush explicitly.
+        out.flush().ok();
+    })
+    .map_err(|e| CliError::Failed(e.to_string()))?;
+    writeln!(out, "shutdown: drained in-flight requests").ok();
+    Ok(())
 }
 
 fn cmd_slabs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {

@@ -69,6 +69,38 @@ fn missing_required_flags_are_usage_errors() {
 }
 
 #[test]
+fn serve_flag_validation_precedes_all_file_io() {
+    // Every bad `serve` flag must be a usage error raised before the
+    // snapshot is even opened — the model path below does not exist, so
+    // touching it first would surface as `Failed` instead of `Usage`.
+    for args in [
+        &["serve"][..],
+        &["serve", "--model", "/no/such/model.json", "--port", "70000"][..],
+        &["serve", "--model", "/no/such/model.json", "--port", "-1"][..],
+        &["serve", "--model", "/no/such/model.json", "--threads", "0"][..],
+        &[
+            "serve",
+            "--model",
+            "/no/such/model.json",
+            "--threads",
+            "many",
+        ][..],
+        &["serve", "--model", "/no/such/model.json", "--queue", "0"][..],
+        &["serve", "--model", "/no/such/model.json", "--max-body", "0"][..],
+        &["serve", "--model", "/no/such/model.json", "--nprobe", "4"][..],
+    ] {
+        let err = run_vec(args).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{args:?}: {err:?}");
+    }
+    // With valid flags the missing snapshot is the runtime failure.
+    let err = run_vec(&["serve", "--model", "/no/such/model.json"]).unwrap_err();
+    match err {
+        CliError::Failed(msg) => assert!(msg.contains("/no/such/model.json"), "{msg}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+#[test]
 fn missing_model_file_is_a_failed_error_with_cause() {
     let err = run_vec(&["subgraphs", "--model", "/no/such/model.json"]).unwrap_err();
     match err {

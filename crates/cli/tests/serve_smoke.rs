@@ -1,0 +1,154 @@
+//! Smoke test for `soulmate serve` through the real binary: fit a tiny
+//! model, start the server on an ephemeral port, run one real query,
+//! scrape `/metrics`, and shut down cleanly. This is the test CI's
+//! serve smoke step executes.
+
+use soulmate_corpus::io as corpus_io;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "soulmate-serve-smoke-{}-{name}",
+        std::process::id()
+    ));
+    p
+}
+
+fn run_cli(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut buf = Vec::new();
+    soulmate_cli::run(&args, &mut buf).expect("cli setup command succeeds");
+    String::from_utf8(buf).expect("utf8 output")
+}
+
+/// One HTTP exchange against `addr` (e.g. `127.0.0.1:4242`).
+fn exchange(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has headers");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("response has a status");
+    (status, body.to_string())
+}
+
+struct KillOnDrop(Child);
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        self.0.kill().ok();
+    }
+}
+
+#[test]
+fn serve_answers_a_query_exports_metrics_and_shuts_down() {
+    let data = tmp("data.json");
+    let model = tmp("model.json");
+    run_cli(&[
+        "generate",
+        "--out",
+        data.to_str().unwrap(),
+        "--authors",
+        "10",
+        "--tweets",
+        "20",
+    ]);
+    run_cli(&[
+        "fit",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        model.to_str().unwrap(),
+        "--dim",
+        "8",
+        "--epochs",
+        "1",
+    ]);
+
+    // A real query from the generated corpus: author 0's first tweets.
+    let dataset = corpus_io::load_json(&data).expect("generated dataset loads");
+    let query_line = {
+        let pairs: Vec<String> = dataset
+            .tweets
+            .iter()
+            .filter(|t| t.author == 0)
+            .take(5)
+            .map(|t| format!("[{}, {:?}]", t.timestamp.0, t.text))
+            .collect();
+        format!("[{}]", pairs.join(", "))
+    };
+
+    let child = Command::new(env!("CARGO_BIN_EXE_soulmate"))
+        .args([
+            "serve",
+            "--model",
+            model.to_str().unwrap(),
+            "--port",
+            "0",
+            "--threads",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    let mut child = KillOnDrop(child);
+
+    // The ready line names the ephemeral address.
+    let stdout = child.0.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let ready = lines
+        .next()
+        .expect("server prints a ready line")
+        .expect("ready line is utf8");
+    assert!(ready.contains("serving 10 authors"), "{ready}");
+    let addr = ready
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("ready line names an address")
+        .to_string();
+
+    let (status, body) = exchange(&addr, "POST", "/link", &query_line);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"query_index\":"), "{body}");
+    assert!(body.contains("\"subgraph\":"), "{body}");
+
+    let (status, body) = exchange(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("serve.requests"), "{body}");
+    assert!(body.contains("serve.request.seconds"), "{body}");
+
+    let (status, body) = exchange(&addr, "POST", "/shutdown", "");
+    assert_eq!(status, 202, "{body}");
+
+    let status = child.0.wait().expect("server exits");
+    assert!(status.success(), "server exited with {status}");
+    let remaining: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(
+        remaining.iter().any(|l| l.contains("shutdown: drained")),
+        "{remaining:?}"
+    );
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&model).ok();
+}

@@ -203,19 +203,29 @@ impl PipelineSnapshot {
     /// drop), and the temporary is renamed over `path` only on success —
     /// a crash or a full disk never leaves a truncated snapshot behind.
     ///
+    /// The temporary name carries the process id *and* a process-global
+    /// sequence number, so concurrent saves to the same path — two CLI
+    /// processes, or two threads of one serving process (the background
+    /// refit story) — each write their own temporary and the destination
+    /// only ever receives complete snapshots. With a fixed temp name the
+    /// writers raced on the same file and could cross-publish or delete
+    /// each other's half-written bytes.
+    ///
     /// # Errors
     /// [`CoreError::Io`] for filesystem failures,
     /// [`CoreError::Invalid`] for unserializable paths/values; the
     /// temporary file is removed on any failure.
     pub fn save(&self, path: &Path) -> Result<(), CoreError> {
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let file_name = path.file_name().ok_or_else(|| {
             CoreError::Invalid(format!("snapshot path {} has no file name", path.display()))
         })?;
         let mut tmp = path.to_path_buf();
         tmp.set_file_name(format!(
-            ".{}.tmp-{}",
+            ".{}.tmp-{}-{}",
             file_name.to_string_lossy(),
-            std::process::id()
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
         let write = || -> Result<(), CoreError> {
             let file = File::create(&tmp).map_err(|e| CoreError::Io {
@@ -503,6 +513,47 @@ mod tests {
             "stray temp files left behind: {strays:?}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_leave_a_valid_snapshot() {
+        // Regression: the temp name used to be keyed on the process id
+        // alone, so two threads of one process (the server's background
+        // refit writing while a CLI-style save runs) shared one temp file
+        // and could rename each other's half-written bytes into place.
+        // Each save now gets a unique temp; whatever the rename race
+        // publishes must be one writer's *complete* snapshot.
+        let (_, p) = fitted();
+        let mut a = p.snapshot(&[]);
+        a.author_handles = (0..p.n_authors()).map(|i| format!("aa{i:04}")).collect();
+        let mut b = p.snapshot(&[]);
+        b.author_handles = (0..p.n_authors()).map(|i| format!("bb{i:04}")).collect();
+        let path = tmp("concurrent.json");
+        std::thread::scope(|s| {
+            for snap in [&a, &b] {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        snap.save(&path).unwrap();
+                    }
+                });
+            }
+        });
+        let loaded = PipelineSnapshot::load(&path).unwrap();
+        let first = loaded.author_handles.first().unwrap().clone();
+        assert!(
+            loaded.author_handles == a.author_handles || loaded.author_handles == b.author_handles,
+            "published snapshot is neither writer's (first handle {first})"
+        );
+        // No stray temp siblings survive the crossfire.
+        let parent = path.parent().unwrap();
+        let strays: Vec<String> = std::fs::read_dir(parent)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("concurrent.json") && n.contains(".tmp-"))
+            .collect();
+        assert!(strays.is_empty(), "stray temp files: {strays:?}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

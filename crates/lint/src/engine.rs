@@ -128,7 +128,11 @@ fn is_serving_path(path: &str) -> bool {
     let comps = components(path);
     comps.windows(3).any(|w| {
         w[0] == "crates"
-            && (w[1] == "core" || w[1] == "graph" || w[1] == "cli" || w[1] == "retrieval")
+            && (w[1] == "core"
+                || w[1] == "graph"
+                || w[1] == "cli"
+                || w[1] == "retrieval"
+                || w[1] == "serve")
             && w[2] == "src"
     })
 }
@@ -381,6 +385,7 @@ mod tests {
         assert!(is_serving_path("crates/core/src/engine.rs"));
         assert!(is_serving_path("./crates/cli/src/main.rs"));
         assert!(is_serving_path("crates/retrieval/src/ivf.rs"));
+        assert!(is_serving_path("crates/serve/src/server.rs"));
         assert!(!is_serving_path("crates/linalg/src/kernels.rs"));
         assert!(!is_serving_path("crates/core/tests/x.rs"));
     }

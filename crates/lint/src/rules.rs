@@ -21,7 +21,7 @@ pub const BAD_SUPPRESSION: &str = "bad-suppression";
 pub const CATALOG: &[(&str, &str)] = &[
     (NAN_COMPARATOR, "partial_cmp(..) chained into .unwrap()/.expect() panics on NaN; use total_cmp"),
     (NON_ATOMIC_WRITE, "File::create/fs::write to a final path can leave torn files; write to a temp path and rename"),
-    (PANIC_IN_SERVING, "unwrap/expect/panic!/unreachable!/indexing in core, graph or cli library code breaks the no-panic serving guarantee"),
+    (PANIC_IN_SERVING, "unwrap/expect/panic!/unreachable!/indexing in core, graph, cli or serve library code breaks the no-panic serving guarantee"),
     (ALLOW_WITHOUT_PROOF, "#[allow(..)] needs an adjacent comment justifying it"),
     (UNGUARDED_AS_CAST, "narrowing `as` cast needs an adjacent proof comment"),
     (TODO_MARKER, "TODO/FIXME/XXX markers and todo!/unimplemented! must not land on main"),
@@ -144,7 +144,7 @@ const NON_INDEX_PREFIX_KEYWORDS: &[&str] = &[
 
 /// `panic-in-serving`: `.unwrap()`, `.expect(…)`, `panic!`,
 /// `unreachable!`, and slice-index expressions in library code of the
-/// serving crates (core/graph/cli/retrieval). Scopes carrying a
+/// serving crates (core/graph/cli/retrieval/serve). Scopes carrying a
 /// `#[allow(clippy::unwrap_used/expect_used/indexing_slicing)]` attribute
 /// are blessed — the `allow-without-proof` rule separately guarantees
 /// those carry a justification.

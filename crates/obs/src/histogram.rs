@@ -118,19 +118,24 @@ impl Histogram {
 
     /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
     /// holding the ⌈q·count⌉-th sample, clamped into `[min, max]`.
-    pub fn quantile(&self, q: f64) -> f64 {
+    ///
+    /// `None` when the histogram is empty — an empty histogram has no
+    /// quantiles, and reporting a plausible-looking `0.0` instead made a
+    /// freshly started server's p99 look healthy when nothing had been
+    /// served at all.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
-            return 0.0;
+            return None;
         }
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut cum = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             cum += c;
             if cum >= target {
-                return Self::upper_bound(i).clamp(self.min, self.max);
+                return Some(Self::upper_bound(i).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// Point-in-time summary of this histogram.
@@ -176,12 +181,12 @@ pub struct HistogramSnapshot {
     pub max: f64,
     /// Exact mean (0.0 when empty).
     pub mean: f64,
-    /// Approximate median.
-    pub p50: f64,
-    /// Approximate 95th percentile.
-    pub p95: f64,
-    /// Approximate 99th percentile.
-    pub p99: f64,
+    /// Approximate median; `None` when no sample was recorded.
+    pub p50: Option<f64>,
+    /// Approximate 95th percentile; `None` when no sample was recorded.
+    pub p95: Option<f64>,
+    /// Approximate 99th percentile; `None` when no sample was recorded.
+    pub p99: Option<f64>,
     /// `(bucket_upper_bound, count)` for every non-empty bucket, ascending.
     pub buckets: Vec<(f64, u64)>,
 }
@@ -191,12 +196,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_histogram_reports_zeros() {
+    fn empty_histogram_has_no_quantiles() {
+        // Regression: empty quantiles used to report 0.0, which made a
+        // freshly started server's /metrics p99 look healthy; absence is
+        // now explicit.
         let h = Histogram::new();
         let s = h.snapshot();
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, 0.0);
-        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p50, None);
+        assert_eq!(s.p95, None);
+        assert_eq!(s.p99, None);
+        assert_eq!(h.quantile(0.5), None);
         assert!(s.buckets.is_empty());
     }
 
@@ -206,8 +217,8 @@ mod tests {
         h.record(0.0123);
         let s = h.snapshot();
         assert_eq!(s.count, 1);
-        assert_eq!(s.p50, 0.0123);
-        assert_eq!(s.p99, 0.0123);
+        assert_eq!(s.p50, Some(0.0123));
+        assert_eq!(s.p99, Some(0.0123));
         assert_eq!(s.mean, 0.0123);
     }
 
@@ -223,11 +234,12 @@ mod tests {
         }
         let s = h.snapshot();
         assert_eq!(s.count, 100);
+        let (p50, p95, p99) = (s.p50.unwrap(), s.p95.unwrap(), s.p99.unwrap());
         // p50 lands in the 1ms bucket (≤ 2x relative error).
-        assert!(s.p50 >= 1e-3 && s.p50 <= 2.1e-3, "p50 = {}", s.p50);
+        assert!(p50 >= 1e-3 && p50 <= 2.1e-3, "p50 = {p50}");
         // p95 and p99 land in the 1s region.
-        assert!(s.p95 >= 0.5 && s.p95 <= 1.0, "p95 = {}", s.p95);
-        assert!(s.p99 >= 0.5 && s.p99 <= 1.0, "p99 = {}", s.p99);
+        assert!(p95 >= 0.5 && p95 <= 1.0, "p95 = {p95}");
+        assert!(p99 >= 0.5 && p99 <= 1.0, "p99 = {p99}");
     }
 
     #[test]

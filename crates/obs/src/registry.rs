@@ -174,8 +174,14 @@ impl MetricsRegistry {
             for (name, h) in &inner.histograms {
                 let s = h.snapshot();
                 out.push_str(&format!(
-                    "  {:<44} {:>8} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>10.6}\n",
-                    name, s.count, s.mean, s.p50, s.p95, s.p99, s.max
+                    "  {:<44} {:>8} {:>10.6} {:>10} {:>10} {:>10} {:>10.6}\n",
+                    name,
+                    s.count,
+                    s.mean,
+                    table_quantile(s.p50),
+                    table_quantile(s.p95),
+                    table_quantile(s.p99),
+                    s.max
                 ));
             }
         }
@@ -189,7 +195,13 @@ impl MetricsRegistry {
     /// goes to a dot-prefixed temp file in the destination directory,
     /// is flushed explicitly, and is renamed over the target only on
     /// success; the temp file is removed on any failure.
+    ///
+    /// The temp name carries the process id *and* a process-global
+    /// sequence number so concurrent dumps to the same path (two threads
+    /// of one server) never share a temporary — the same fix as
+    /// `PipelineSnapshot::save`'s concurrent-save race.
     pub fn write_json_atomic(&self, path: &Path) -> std::io::Result<()> {
+        static DUMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let json = self.to_json();
         let file_name = path
             .file_name()
@@ -199,7 +211,11 @@ impl MetricsRegistry {
             .to_string_lossy()
             .into_owned();
         let mut tmp = path.to_path_buf();
-        tmp.set_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
+        tmp.set_file_name(format!(
+            ".{file_name}.tmp-{}-{}",
+            std::process::id(),
+            DUMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         let write = || -> std::io::Result<()> {
             let mut file = std::fs::File::create(&tmp)?;
             file.write_all(json.as_bytes())?;
@@ -246,9 +262,9 @@ fn push_histogram(out: &mut String, s: &HistogramSnapshot) {
         json_f64(s.min),
         json_f64(s.max),
         json_f64(s.mean),
-        json_f64(s.p50),
-        json_f64(s.p95),
-        json_f64(s.p99),
+        json_opt_f64(s.p50),
+        json_opt_f64(s.p95),
+        json_opt_f64(s.p99),
     ));
     for (i, (le, count)) in s.buckets.iter().enumerate() {
         if i > 0 {
@@ -260,6 +276,24 @@ fn push_histogram(out: &mut String, s: &HistogramSnapshot) {
         ));
     }
     out.push_str("]}");
+}
+
+/// An absent quantile rendered for JSON: `null`, never a fake zero — a
+/// fresh histogram has no p99, and consumers must be able to tell "no
+/// samples yet" from "all samples were instant".
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_f64(v),
+        None => "null".to_string(),
+    }
+}
+
+/// An absent quantile rendered for the table: `-`, never a fake zero.
+fn table_quantile(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.6}"),
+        None => "-".to_string(),
+    }
 }
 
 /// A JSON number, or `null` for non-finite values.
@@ -353,6 +387,30 @@ mod tests {
             MetricsRegistry::new().render_table(),
             "(no metrics recorded)\n"
         );
+    }
+
+    #[test]
+    fn empty_histogram_exports_null_quantiles_not_zero() {
+        // Regression: a histogram whose only samples were rejected (NaN)
+        // exists in the registry with count 0; its quantiles used to
+        // export as a plausible-looking 0 — a fresh server's /metrics
+        // showed p99=0 and looked healthy. Absence is now explicit.
+        let reg = MetricsRegistry::new();
+        reg.record("empty.latency", f64::NAN);
+        let h = reg.histogram("empty.latency").unwrap();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.p99, None);
+        let json = reg.to_json();
+        assert!(
+            json.contains("\"p50\": null, \"p95\": null, \"p99\": null"),
+            "{json}"
+        );
+        let table = reg.render_table();
+        let row = table.lines().find(|l| l.contains("empty.latency")).unwrap();
+        assert!(row.contains('-'), "{row}");
+        // A recorded histogram still exports numeric quantiles.
+        reg.record("live.latency", 0.5);
+        assert!(reg.to_json().contains("\"p50\": 0.5"));
     }
 
     #[test]

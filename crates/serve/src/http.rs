@@ -1,0 +1,361 @@
+//! Minimal HTTP/1.1 request reader and response writer.
+//!
+//! Exactly the subset the serve protocol needs: one request per
+//! connection, `Connection: close` semantics, `Content-Length` bodies
+//! (no chunked transfer coding). Every read is bounded — a header block
+//! larger than [`MAX_HEADER_BYTES`], a declared body larger than the
+//! configured cap, or a body the client never finishes sending all turn
+//! into typed errors, never into an unbounded buffer or a hung thread
+//! (callers set a socket read timeout before parsing).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers. 8 KiB matches the common
+/// proxy default and is ~40× what the protocol's own clients emit.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercase as sent (`GET`, `POST`).
+    pub method: String,
+    /// Request target path, e.g. `/link`.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. Each variant maps onto one protocol
+/// error response (status + machine-readable kind).
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, malformed headers, or a body the client
+    /// closed/stalled before completing. → 400.
+    BadRequest(String),
+    /// Declared `Content-Length` exceeds the configured cap. → 413.
+    PayloadTooLarge {
+        /// Bytes the client declared.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The socket failed mid-read for a non-protocol reason. The
+    /// connection is unusable; no response can be written.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::PayloadTooLarge { declared, limit } => {
+                write!(f, "payload of {declared} bytes exceeds limit of {limit}")
+            }
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+/// Read and parse one request from `stream`.
+///
+/// The caller is expected to have set a read timeout on the stream; a
+/// timeout while the body is incomplete surfaces as
+/// [`HttpError::BadRequest`] ("truncated"), which keeps a stalling
+/// client from pinning a worker forever.
+///
+/// # Errors
+/// [`HttpError`] as documented on each variant.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let (header, mut body) = read_header_block(stream)?;
+    let header = String::from_utf8(header)
+        .map_err(|_| HttpError::BadRequest("header block is not UTF-8".into()))?;
+    let mut lines = header.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing method".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request path".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header `{line}`")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse::<usize>().map_err(|_| {
+                HttpError::BadRequest(format!("invalid content-length `{}`", value.trim()))
+            })?;
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+
+    // Bytes read past the header block are the body's prefix; `take`
+    // bounds the rest so a lying client cannot feed more than declared.
+    if body.len() > content_length {
+        body.truncate(content_length);
+    }
+    let mut chunk = [0u8; 4096];
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        // `want <= chunk.len()` by construction, so the slice is always
+        // available; the `else` arm is unreachable but stays typed.
+        let Some(slice) = chunk.get_mut(..want) else {
+            return Err(HttpError::BadRequest("internal read-bound error".into()));
+        };
+        let got = match stream.read(slice) {
+            Ok(0) => {
+                return Err(HttpError::BadRequest(format!(
+                    "truncated body: got {} of {content_length} declared bytes",
+                    body.len()
+                )))
+            }
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::BadRequest(format!(
+                    "truncated body: timed out after {} of {content_length} declared bytes",
+                    body.len()
+                )))
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        body.extend_from_slice(chunk.get(..got).unwrap_or(&[]));
+    }
+    Ok(Request { method, path, body })
+}
+
+/// Read until the `\r\n\r\n` header terminator; returns the header bytes
+/// (without the terminator) and any body bytes read past it.
+fn read_header_block(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        if let Some(end) = find_terminator(&buf) {
+            let rest = buf.split_off(end + 4);
+            buf.truncate(end);
+            return Ok((buf, rest));
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(HttpError::BadRequest(format!(
+                "header block exceeds {MAX_HEADER_BYTES} bytes"
+            )));
+        }
+        let mut chunk = [0u8; 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(HttpError::BadRequest(
+                    "connection closed before headers completed".into(),
+                ))
+            }
+            Ok(n) => buf.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::BadRequest(
+                    "timed out waiting for headers".into(),
+                ))
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A read timeout surfaces as `WouldBlock` (most Unixes) or `TimedOut`.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Standard reason phrase for the status codes the protocol emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one complete response and flush it. `Connection: close` is
+/// always sent: the protocol is one request per connection.
+///
+/// # Errors
+/// Propagates socket write errors (callers treat them as best-effort —
+/// a client that hung up mid-response is not a server failure).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    /// Run `client` against a socket pair; returns what `read_request`
+    /// produced on the server side.
+    fn roundtrip(
+        max_body: usize,
+        client: impl FnOnce(&mut TcpStream) + Send,
+    ) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut c = TcpStream::connect(addr).unwrap();
+                client(&mut c);
+            });
+            let (mut stream, _) = listener.accept().unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_millis(300)))
+                .unwrap();
+            read_request(&mut stream, max_body)
+        })
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = roundtrip(1024, |c| {
+            c.write_all(b"POST /link HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+        })
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/link");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_without_reading_it() {
+        let err = roundtrip(64, |c| {
+            c.write_all(b"POST /link HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n")
+                .unwrap();
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::PayloadTooLarge {
+                declared: 1_000_000,
+                limit: 64
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_body_times_out_as_bad_request() {
+        let err = roundtrip(1024, |c| {
+            // Declare 100 bytes, send 3, keep the socket open: the read
+            // timeout must turn this into a 400, not a hung worker.
+            c.write_all(b"POST /link HTTP/1.1\r\nContent-Length: 100\r\n\r\nabc")
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(600));
+        })
+        .unwrap_err();
+        match err {
+            HttpError::BadRequest(m) => assert!(m.contains("truncated"), "{m}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_close_mid_body_is_bad_request() {
+        let err = roundtrip(1024, |c| {
+            c.write_all(b"POST /link HTTP/1.1\r\nContent-Length: 100\r\n\r\nabc")
+                .unwrap();
+            c.shutdown(std::net::Shutdown::Write).unwrap();
+        })
+        .unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)));
+    }
+
+    #[test]
+    fn gibberish_and_bad_lengths_are_bad_requests() {
+        for raw in [
+            "not http at all\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET / SPDY/3\r\n\r\n",
+            "POST /link HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+            "GET / HTTP/1.1\r\nno-colon-header\r\n\r\n",
+        ] {
+            let err = roundtrip(1024, move |c| {
+                c.write_all(raw.as_bytes()).unwrap();
+            })
+            .unwrap_err();
+            assert!(matches!(err, HttpError::BadRequest(_)), "raw = {raw:?}");
+        }
+    }
+
+    #[test]
+    fn unbounded_header_block_is_rejected() {
+        let err = roundtrip(1024, |c| {
+            let filler = format!(
+                "GET / HTTP/1.1\r\nX-Junk: {}\r\n",
+                "a".repeat(MAX_HEADER_BYTES)
+            );
+            c.write_all(filler.as_bytes()).unwrap();
+        })
+        .unwrap_err();
+        match err {
+            HttpError::BadRequest(m) => assert!(m.contains("header block exceeds"), "{m}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_writer_emits_parseable_http() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let (mut stream, _) = listener.accept().unwrap();
+                write_response(&mut stream, 200, "application/json", "{\"ok\":true}").unwrap();
+            });
+            let mut c = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            c.read_to_string(&mut text).unwrap();
+            assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+            assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+            assert!(text.ends_with("{\"ok\":true}"), "{text}");
+        });
+    }
+}

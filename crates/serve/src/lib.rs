@@ -1,0 +1,36 @@
+//! `soulmate serve`: a long-running query server over a prepared
+//! [`soulmate_core::QueryEngine`].
+//!
+//! The CLI pays snapshot load + engine construction on *every* `link`
+//! invocation — 1.2 s at n=4096 before the first query runs. This crate
+//! amortises that cost: the engine is built once, shared behind an `Arc`
+//! by a fixed pool of worker threads, and queried over a deliberately
+//! minimal HTTP/1.1 surface with NDJSON bodies (one JSON object per
+//! line). See DESIGN.md §15 for the protocol, threading model,
+//! backpressure, and shutdown sequence.
+//!
+//! Zero dependencies beyond std and the workspace: the listener is a
+//! plain [`std::net::TcpListener`], the HTTP parser handles exactly the
+//! subset the protocol emits, and worker threads are scoped (the engine
+//! borrows from the snapshot, so `'static` spawns are off the table —
+//! `std::thread::scope` shares the borrow safely instead).
+
+// 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
+// guarantee at the token level.
+#![forbid(unsafe_code)]
+// This crate IS the serving path (DESIGN.md §12): a panic in a worker
+// kills a request; a panic in the accept loop kills the server. Every
+// failure must flow into an HTTP error response instead. Tests are
+// exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
+
+mod http;
+mod protocol;
+mod server;
+
+pub use http::{read_request, write_response, HttpError, Request, MAX_HEADER_BYTES};
+pub use protocol::{error_body, error_kind, parse_link_body, render_outcomes, status_for};
+pub use server::{serve, ConnQueue, ServeConfig, ServeError};

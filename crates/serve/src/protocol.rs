@@ -1,0 +1,284 @@
+//! The serve wire protocol: NDJSON link queries in, NDJSON outcomes or
+//! a machine-readable error object out, plus the 1:1 mapping from
+//! [`CoreError`] onto `(status, kind)` pairs.
+//!
+//! A `/link` request body holds one line per query author. Each line is
+//! either a bare array of `[minute, "text"]` pairs or an object
+//! `{"tweets": [[minute, "text"], ...]}` (the object form leaves room
+//! for per-query options later). The response holds one line per query
+//! in the same order, rendered deterministically — the e2e suite
+//! asserts byte equality between served responses and a local render of
+//! `link_query_authors` output, so this module is the single source of
+//! truth for outcome formatting.
+
+use soulmate_core::{CoreError, QueryOutcome};
+use soulmate_corpus::Timestamp;
+
+/// Machine-readable kind for every [`CoreError`] variant — the wire
+/// contract promised by DESIGN.md §15 (one kind per variant, no
+/// collapsing, so clients can branch without parsing prose).
+pub fn error_kind(e: &CoreError) -> &'static str {
+    match e {
+        CoreError::Temporal(_) => "temporal",
+        CoreError::Embedding(_) => "embedding",
+        CoreError::Cluster(_) => "cluster",
+        CoreError::Graph(_) => "graph",
+        CoreError::Linalg(_) => "linalg",
+        CoreError::Retrieval(_) => "retrieval",
+        CoreError::Invalid(_) => "invalid",
+        CoreError::Io { .. } => "io",
+        CoreError::Parse(_) => "parse",
+        CoreError::Schema(_) => "schema",
+        CoreError::Internal(_) => "internal",
+    }
+}
+
+/// HTTP status for a [`CoreError`] escaping a query: the caller's fault
+/// (rejected input) is 400, everything else is a 500 — the engine only
+/// sees validated in-memory state at query time, so any other variant
+/// there means the server itself is unhealthy.
+pub fn status_for(e: &CoreError) -> u16 {
+    match e {
+        CoreError::Invalid(_) | CoreError::Parse(_) => 400,
+        _ => 500,
+    }
+}
+
+/// Parse a `/link` NDJSON body into query-author tweet groups.
+///
+/// # Errors
+/// A human-readable message naming the offending line; the server turns
+/// it into a 400 with kind `parse`.
+pub fn parse_link_body(body: &str) -> Result<Vec<Vec<(Timestamp, String)>>, String> {
+    let mut queries = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = serde_json::parse_value(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let tweets_value = match value.get("tweets") {
+            Some(t) => t,
+            None if value.as_array().is_some() => &value,
+            None => {
+                return Err(format!(
+                    "line {}: expected a tweet array or an object with a `tweets` key, got {}",
+                    i + 1,
+                    value.type_name()
+                ))
+            }
+        };
+        let Some(tweets) = tweets_value.as_array() else {
+            return Err(format!(
+                "line {}: `tweets` must be an array, got {}",
+                i + 1,
+                tweets_value.type_name()
+            ));
+        };
+        let mut group = Vec::with_capacity(tweets.len());
+        for (j, tweet) in tweets.iter().enumerate() {
+            group.push(
+                parse_tweet(tweet)
+                    .map_err(|why| format!("line {}, tweet {}: {why}", i + 1, j + 1))?,
+            );
+        }
+        queries.push(group);
+    }
+    Ok(queries)
+}
+
+/// One tweet: `[minute, "text"]` or `"text"` (minute 0, matching the
+/// CLI's tweets-file default).
+fn parse_tweet(v: &serde_json::Value) -> Result<(Timestamp, String), String> {
+    if let Some(text) = v.as_str() {
+        return Ok((Timestamp(0), text.to_string()));
+    }
+    let Some(pair) = v.as_array() else {
+        return Err(format!(
+            "expected `[minute, \"text\"]` or a bare string, got {}",
+            v.type_name()
+        ));
+    };
+    match (pair.first(), pair.get(1), pair.len()) {
+        (Some(minute), Some(text), 2) => {
+            let minute = minute
+                .as_i64()
+                .and_then(|m| u32::try_from(m).ok())
+                .ok_or_else(|| format!("minute must be a non-negative integer, got {minute}"))?;
+            let text = text
+                .as_str()
+                .ok_or_else(|| format!("text must be a string, got {}", text.type_name()))?;
+            Ok((Timestamp(minute), text.to_string()))
+        }
+        _ => Err(format!("expected exactly [minute, \"text\"], got {v}")),
+    }
+}
+
+/// Render outcomes as NDJSON, one line per query, trailing newline.
+///
+/// Float formatting uses Rust's shortest-roundtrip `Display`, so a
+/// client parsing a similarity back to `f32` recovers the exact bits
+/// the engine produced; non-finite values (NaN similarity of an
+/// unreachable author) render as `null` because JSON has no NaN.
+pub fn render_outcomes(outcomes: &[QueryOutcome]) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        out.push_str("{\"query_index\":");
+        out.push_str(&o.query_index.to_string());
+        out.push_str(",\"subgraph\":[");
+        push_joined(&mut out, o.subgraph.iter().map(usize::to_string));
+        out.push_str("],\"subgraph_avg_weight\":");
+        push_f32(&mut out, o.subgraph_avg_weight);
+        out.push_str(",\"similarities\":[");
+        push_joined(&mut out, o.similarities.iter().map(|&s| f32_json(s)));
+        out.push_str("],\"content_vector\":[");
+        push_joined(&mut out, o.content_vector.iter().map(|&s| f32_json(s)));
+        out.push_str("],\"concept_vector\":[");
+        push_joined(&mut out, o.concept_vector.iter().map(|&s| f32_json(s)));
+        out.push_str("]}\n");
+    }
+    out
+}
+
+fn push_joined(out: &mut String, items: impl Iterator<Item = String>) {
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+}
+
+fn f32_json(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_f32(out: &mut String, v: f32) {
+    out.push_str(&f32_json(v));
+}
+
+/// Render one protocol error object (single line, no trailing newline).
+pub fn error_body(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
+        escape(kind),
+        escape(message)
+    )
+}
+
+/// Minimal JSON string escaping for error messages (quotes, backslash,
+/// control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            // A char is a Unicode scalar value (max 0x10FFFF), so it
+            // always fits u32 losslessly.
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_line_forms_and_skips_blanks() {
+        let body = "[[5, \"hello world\"], [9, \"more text\"]]\n\n{\"tweets\": [[0, \"obj form\"], \"bare string\"]}\n";
+        let queries = parse_link_body(body).unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(
+            queries[0],
+            vec![
+                (Timestamp(5), "hello world".to_string()),
+                (Timestamp(9), "more text".to_string()),
+            ]
+        );
+        assert_eq!(
+            queries[1],
+            vec![
+                (Timestamp(0), "obj form".to_string()),
+                (Timestamp(0), "bare string".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_lines_name_their_position() {
+        let err = parse_link_body("[[1, \"ok\"]]\nnot json").unwrap_err();
+        assert!(err.starts_with("line 2"), "{err}");
+        let err = parse_link_body("{\"tweets\": 7}").unwrap_err();
+        assert!(err.contains("`tweets` must be an array"), "{err}");
+        let err = parse_link_body("[[-3, \"negative minute\"]]").unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        let err = parse_link_body("[[1, 2, 3]]").unwrap_err();
+        assert!(err.contains("tweet 1"), "{err}");
+        let err = parse_link_body("true").unwrap_err();
+        assert!(err.contains("expected a tweet array"), "{err}");
+    }
+
+    #[test]
+    fn rendered_outcomes_roundtrip_bit_exact() {
+        let outcome = QueryOutcome {
+            query_index: 4,
+            subgraph: vec![1, 2, 4],
+            subgraph_avg_weight: 0.62417,
+            content_vector: vec![0.1, -2.5e-7],
+            concept_vector: vec![f32::NAN],
+            similarities: vec![0.25, 1.0 / 3.0, f32::INFINITY],
+        };
+        let text = render_outcomes(&[outcome.clone()]);
+        assert!(text.ends_with('\n'));
+        let v = serde_json::parse_value(text.trim()).unwrap();
+        assert_eq!(v.get("query_index").and_then(|x| x.as_i64()), Some(4));
+        let sims = v.get("similarities").and_then(|x| x.as_array()).unwrap();
+        // Finite floats roundtrip to the exact same bits; non-finite
+        // became null.
+        let s1 = sims[1].as_f64().unwrap() as f32;
+        assert_eq!(s1.to_bits(), (1.0f32 / 3.0).to_bits());
+        assert!(sims[2].is_null());
+        let cvec = v.get("concept_vector").and_then(|x| x.as_array()).unwrap();
+        assert!(cvec[0].is_null());
+    }
+
+    #[test]
+    fn every_core_error_has_a_distinct_kind_and_a_status() {
+        let errors = [
+            CoreError::Invalid("x".into()),
+            CoreError::Parse("x".into()),
+            CoreError::Schema("x".into()),
+            CoreError::Internal("x"),
+        ];
+        let kinds: Vec<&str> = errors.iter().map(error_kind).collect();
+        assert_eq!(kinds, vec!["invalid", "parse", "schema", "internal"]);
+        assert_eq!(status_for(&errors[0]), 400);
+        assert_eq!(status_for(&errors[1]), 400);
+        assert_eq!(status_for(&errors[2]), 500);
+        assert_eq!(status_for(&errors[3]), 500);
+    }
+
+    #[test]
+    fn error_bodies_escape_quotes() {
+        let body = error_body("parse", "bad \"quote\"\nnewline");
+        let v = serde_json::parse_value(&body).unwrap();
+        let msg = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(|m| m.as_str())
+            .unwrap()
+            .to_string();
+        assert_eq!(msg, "bad \"quote\"\nnewline");
+    }
+}

@@ -1,0 +1,367 @@
+//! End-to-end suite: a real server on an ephemeral port, hammered by
+//! concurrent clients over real sockets.
+//!
+//! The invariants under test are the ISSUE 7 acceptance criteria:
+//! served responses are *bit-identical* to direct `link_query_authors`
+//! output, no accepted request is dropped under concurrency, fault
+//! injection (truncated bodies, oversized payloads, gibberish) yields
+//! 4xx — never a panic or a hang — and `POST /shutdown` drains
+//! everything in flight before `serve` returns.
+
+use soulmate_core::{IvfConfig, Pipeline, PipelineConfig, PipelineSnapshot, QueryEngine};
+use soulmate_corpus::{generate, Dataset, GeneratorConfig, Timestamp};
+use soulmate_serve::{serve, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::time::Duration;
+
+fn fixture() -> (Dataset, PipelineSnapshot) {
+    let dataset = generate(&GeneratorConfig {
+        n_authors: 16,
+        n_communities: 4,
+        n_concepts: 5,
+        entities_per_concept: 8,
+        mean_tweets_per_author: 25,
+        ..GeneratorConfig::small()
+    })
+    .unwrap();
+    let pipeline = Pipeline::fit(&dataset, PipelineConfig::fast()).unwrap();
+    let handles: Vec<String> = dataset.authors.iter().map(|a| a.handle.clone()).collect();
+    let snapshot = pipeline.snapshot(&handles);
+    (dataset, snapshot)
+}
+
+/// Tweets of one dataset author, as a query group.
+fn author_tweets(dataset: &Dataset, author: u32, take: usize) -> Vec<(Timestamp, String)> {
+    dataset
+        .tweets
+        .iter()
+        .filter(|t| t.author == author)
+        .take(take)
+        .map(|t| (t.timestamp, t.text.clone()))
+        .collect()
+}
+
+/// NDJSON request line for a tweet group.
+fn query_line(tweets: &[(Timestamp, String)]) -> String {
+    let pairs: Vec<String> = tweets
+        .iter()
+        .map(|(ts, text)| format!("[{}, {}]", ts.0, serde_json::to_string(text).unwrap()))
+        .collect();
+    format!("[{}]", pairs.join(", "))
+}
+
+/// One full HTTP exchange; returns (status, body).
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> (u16, String) {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {raw:?}"));
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+    (status, body.to_string())
+}
+
+/// Run `body(addr)` against a live server and shut it down afterwards;
+/// asserts the server exits cleanly.
+fn with_server(
+    engine: &QueryEngine<'_>,
+    config: ServeConfig,
+    body: impl FnOnce(SocketAddr) + Send,
+) {
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        let handle =
+            scope.spawn(move || serve(engine, &config, move |addr| tx.send(addr).unwrap()));
+        let addr = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("server never reported ready");
+        body(addr);
+        let (status, _) = exchange(addr, "POST", "/shutdown", "");
+        assert_eq!(status, 202);
+        handle
+            .join()
+            .expect("server thread panicked")
+            .expect("serve returned an error");
+    });
+}
+
+#[test]
+fn health_metrics_and_routing() {
+    let (_, snapshot) = fixture();
+    let engine = snapshot.query_engine().unwrap();
+    with_server(&engine, ServeConfig::default(), |addr| {
+        let (status, body) = exchange(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"authors\":16"), "{body}");
+
+        let (status, body) = exchange(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        // The registry export is JSON with the serve counters present
+        // once a request has been counted.
+        assert!(body.contains("serve.requests"), "{body}");
+
+        let (status, body) = exchange(addr, "GET", "/nope", "");
+        assert_eq!(status, 404);
+        assert!(body.contains("\"kind\":\"not_found\""), "{body}");
+
+        let (status, body) = exchange(addr, "GET", "/link", "");
+        assert_eq!(status, 405);
+        assert!(body.contains("\"kind\":\"method_not_allowed\""), "{body}");
+    });
+}
+
+#[test]
+fn concurrent_mixed_load_is_bit_identical_and_lossless() {
+    let (dataset, snapshot) = fixture();
+    let engine = snapshot.query_engine().unwrap();
+
+    // Precompute the expected wire body for every valid author query by
+    // running the exact same batch through the engine directly.
+    let groups: Vec<Vec<(Timestamp, String)>> =
+        (0..8u32).map(|a| author_tweets(&dataset, a, 6)).collect();
+    let expected: Vec<String> = groups
+        .iter()
+        .map(|g| {
+            let outcomes = engine.link_query_authors(std::slice::from_ref(g)).unwrap();
+            soulmate_serve::render_outcomes(&outcomes)
+        })
+        .collect();
+
+    let config = ServeConfig {
+        threads: 4,
+        queue_depth: 256,
+        ..ServeConfig::default()
+    };
+    with_server(&engine, config, |addr| {
+        let per_client = 6usize;
+        std::thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for client in 0..8usize {
+                let (groups, expected) = (&groups, &expected);
+                workers.push(scope.spawn(move || {
+                    let mut answered = 0usize;
+                    for i in 0..per_client {
+                        match (client + i) % 3 {
+                            // Valid query: response must be bit-identical
+                            // to the direct engine call.
+                            0 => {
+                                let which = (client * per_client + i) % groups.len();
+                                let line = query_line(&groups[which]);
+                                let (status, body) = exchange(addr, "POST", "/link", &line);
+                                assert_eq!(status, 200, "{body}");
+                                assert_eq!(body, expected[which], "author {which} diverged");
+                            }
+                            // Out-of-vocabulary query: typed 400, kind
+                            // `invalid`, served without disturbing others.
+                            1 => {
+                                let line = "[[0, \"zzzunknown wordsxq notinvocab\"]]";
+                                let (status, body) = exchange(addr, "POST", "/link", line);
+                                assert_eq!(status, 400, "{body}");
+                                assert!(body.contains("\"kind\":\"invalid\""), "{body}");
+                            }
+                            // Malformed line: typed 400, kind `parse`.
+                            _ => {
+                                let (status, body) =
+                                    exchange(addr, "POST", "/link", "this is not json");
+                                assert_eq!(status, 400, "{body}");
+                                assert!(body.contains("\"kind\":\"parse\""), "{body}");
+                            }
+                        }
+                        answered += 1;
+                    }
+                    answered
+                }));
+            }
+            let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+            // Every request got an answer: nothing was dropped.
+            assert_eq!(total, 8 * per_client);
+        });
+    });
+}
+
+#[test]
+fn batches_match_the_multi_query_engine_path() {
+    let (dataset, snapshot) = fixture();
+    let engine = snapshot.query_engine().unwrap();
+    let groups: Vec<Vec<(Timestamp, String)>> =
+        (0..4u32).map(|a| author_tweets(&dataset, a, 5)).collect();
+    let direct = soulmate_serve::render_outcomes(&engine.link_query_authors(&groups).unwrap());
+
+    with_server(&engine, ServeConfig::default(), |addr| {
+        let body: String = groups
+            .iter()
+            .map(|g| query_line(g) + "\n")
+            .collect::<String>();
+        let (status, served) = exchange(addr, "POST", "/link", &body);
+        assert_eq!(status, 200, "{served}");
+        assert_eq!(served, direct, "batch response diverged from engine output");
+        // One outcome line per query, in order.
+        assert_eq!(served.lines().count(), groups.len());
+        for (i, line) in served.lines().enumerate() {
+            let v = serde_json::parse_value(line).unwrap();
+            assert!(v.get("query_index").is_some(), "line {i}: {line}");
+        }
+    });
+}
+
+#[test]
+fn ivf_serving_matches_the_ivf_engine_path() {
+    let (dataset, snapshot) = fixture();
+    let engine = snapshot.query_engine_ivf(&IvfConfig::default()).unwrap();
+    assert!(engine.index().is_some());
+    let groups: Vec<Vec<(Timestamp, String)>> =
+        (0..3u32).map(|a| author_tweets(&dataset, a, 5)).collect();
+    let direct =
+        soulmate_serve::render_outcomes(&engine.link_query_authors_ivf(&groups, 0).unwrap());
+
+    with_server(&engine, ServeConfig::default(), |addr| {
+        let body: String = groups
+            .iter()
+            .map(|g| query_line(g) + "\n")
+            .collect::<String>();
+        let (status, served) = exchange(addr, "POST", "/link", &body);
+        assert_eq!(status, 200, "{served}");
+        assert_eq!(served, direct, "IVF response diverged from engine output");
+    });
+}
+
+#[test]
+fn fault_injection_truncated_and_oversized_bodies() {
+    let (_, snapshot) = fixture();
+    let engine = snapshot.query_engine().unwrap();
+    let config = ServeConfig {
+        max_body_bytes: 512,
+        read_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    with_server(&engine, config, |addr| {
+        // Oversized declared payload: refused up front with 413.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"POST /link HTTP/1.1\r\nContent-Length: 1048576\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (status, body) = parse_response(&raw);
+        assert_eq!(status, 413, "{body}");
+        assert!(body.contains("\"kind\":\"payload_too_large\""), "{body}");
+
+        // Truncated body, connection held open: the read timeout turns
+        // it into a 400 instead of a hung worker.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"POST /link HTTP/1.1\r\nContent-Length: 400\r\n\r\n[[0,")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (status, body) = parse_response(&raw);
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("truncated"), "{body}");
+
+        // Truncated body, write half closed: same 400 path via EOF.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"POST /link HTTP/1.1\r\nContent-Length: 400\r\n\r\nabc")
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (status, _) = parse_response(&raw);
+        assert_eq!(status, 400);
+
+        // Gibberish request line.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (status, _) = parse_response(&raw);
+        assert_eq!(status, 400);
+
+        // The server is still healthy after all of that.
+        let (status, _) = exchange(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+    });
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let (dataset, snapshot) = fixture();
+    let engine = snapshot.query_engine().unwrap();
+    let groups: Vec<Vec<(Timestamp, String)>> =
+        (0..4u32).map(|a| author_tweets(&dataset, a, 6)).collect();
+
+    let config = ServeConfig {
+        threads: 2,
+        queue_depth: 64,
+        ..ServeConfig::default()
+    };
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        let engine_ref = &engine;
+        let server =
+            scope.spawn(move || serve(engine_ref, &config, move |addr| tx.send(addr).unwrap()));
+        let addr = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+
+        // Launch a wave of queries and, while they are in flight, the
+        // shutdown request. Every query must still be answered.
+        std::thread::scope(|clients| {
+            let mut workers = Vec::new();
+            for i in 0..6usize {
+                let groups = &groups;
+                workers.push(clients.spawn(move || {
+                    let line = query_line(&groups[i % groups.len()]);
+                    let (status, _) = exchange(addr, "POST", "/link", &line);
+                    status
+                }));
+            }
+            let shut = clients.spawn(move || {
+                let (status, _) = exchange(addr, "POST", "/shutdown", "");
+                status
+            });
+            for w in workers {
+                let status = w.join().unwrap();
+                assert_eq!(status, 200, "in-flight request dropped during shutdown");
+            }
+            assert_eq!(shut.join().unwrap(), 202);
+        });
+
+        server
+            .join()
+            .expect("server thread panicked")
+            .expect("serve returned an error");
+        // The listener is gone: new connections are refused.
+        assert!(TcpStream::connect(addr).is_err());
+    });
+}
