@@ -261,7 +261,7 @@ fn engine_sum_count(addr: SocketAddr) -> Option<(u64, f64)> {
     if status != 200 {
         return None;
     }
-    let v = serde_json::parse_value(&metrics).ok()?;
+    let v = serde_json::from_str::<serde_json::Value>(&metrics).ok()?;
     let h = v.get("histograms")?.get("engine.query.seconds")?;
     // Exempt from the narrowing-cast rule: u64 is not a narrowing target.
     let count = h.get("count")?.as_i64()? as u64;
@@ -272,7 +272,7 @@ fn engine_sum_count(addr: SocketAddr) -> Option<(u64, f64)> {
 /// `(count, p50_us, p99_us, mean_us)` of one histogram in a registry
 /// JSON export; `None` when absent or never recorded.
 fn histogram_stats(metrics_json: &str, name: &str) -> Option<(u64, f64, f64, f64)> {
-    let v = serde_json::parse_value(metrics_json).ok()?;
+    let v = serde_json::from_str::<serde_json::Value>(metrics_json).ok()?;
     let h = v.get("histograms")?.get(name)?;
     let count = h.get("count")?.as_i64()? as u64;
     let p50 = h.get("p50")?.as_f64()?;

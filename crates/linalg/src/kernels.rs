@@ -307,7 +307,10 @@ pub fn gram_rect_rows_blocked(a: &Matrix, b: &Matrix, rows: &[u32]) -> Vec<Vec<f
         i0 = i1;
     }
     record_gram_metrics(
-        "kernels.gram_rect",
+        // Distinct from `kernels.gram_rect` so the serving path's
+        // stage-2 candidate re-rank stays separately observable in
+        // /metrics.
+        "kernels.gram_rect_rows",
         na,
         (na.div_ceil(TILE) * nb.div_ceil(TILE)) as u64,
     );
@@ -462,6 +465,11 @@ mod tests {
         let rect_before = obs.counter("kernels.gram_rect.tiles");
         let _ = gram_rect_blocked(&m, &m);
         assert!(obs.counter("kernels.gram_rect.tiles") >= rect_before + 9);
+        // The row-subset kernel records under its own name, so the
+        // serving path's stage-2 cost never blends into gram_rect.
+        let rows_before = obs.counter("kernels.gram_rect_rows.calls");
+        let _ = gram_rect_rows_blocked(&m, &m, &[0, 64, 129]);
+        assert!(obs.counter("kernels.gram_rect_rows.calls") >= rows_before + 1);
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         )));
     }
 
-    let mut content_length = 0usize;
+    let mut declared_length: Option<usize> = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -101,11 +101,21 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             return Err(HttpError::BadRequest(format!("malformed header `{line}`")));
         };
         if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value.trim().parse::<usize>().map_err(|_| {
+            let parsed = value.trim().parse::<usize>().map_err(|_| {
                 HttpError::BadRequest(format!("invalid content-length `{}`", value.trim()))
             })?;
+            // RFC 7230 §3.3.2: conflicting Content-Length values make
+            // the message framing ambiguous and must be rejected;
+            // repeats of the same value are tolerated.
+            if declared_length.is_some_and(|seen| seen != parsed) {
+                return Err(HttpError::BadRequest(
+                    "conflicting content-length headers".into(),
+                ));
+            }
+            declared_length = Some(parsed);
         }
     }
+    let content_length = declared_length.unwrap_or(0);
     if content_length > max_body {
         return Err(HttpError::PayloadTooLarge {
             declared: content_length,
@@ -323,6 +333,30 @@ mod tests {
             .unwrap_err();
             assert!(matches!(err, HttpError::BadRequest(_)), "raw = {raw:?}");
         }
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected_but_repeats_pass() {
+        let err = roundtrip(1024, |c| {
+            c.write_all(
+                b"POST /link HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 7\r\n\r\nhello",
+            )
+            .unwrap();
+        })
+        .unwrap_err();
+        match err {
+            HttpError::BadRequest(m) => assert!(m.contains("conflicting"), "{m}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        // A repeated but identical value keeps unambiguous framing.
+        let req = roundtrip(1024, |c| {
+            c.write_all(
+                b"POST /link HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
+            )
+            .unwrap();
+        })
+        .unwrap();
+        assert_eq!(req.body, b"hello");
     }
 
     #[test]

@@ -44,6 +44,21 @@ pub fn status_for(e: &CoreError) -> u16 {
     }
 }
 
+/// JSON type name for protocol error messages. `serde_json::Value` has
+/// no such accessor of its own, so the protocol carries one — matching
+/// on variants keeps it in sync with the `Value` data model at compile
+/// time.
+fn type_name(v: &serde_json::Value) -> &'static str {
+    match v {
+        serde_json::Value::Null => "null",
+        serde_json::Value::Bool(_) => "bool",
+        serde_json::Value::Number(_) => "number",
+        serde_json::Value::String(_) => "string",
+        serde_json::Value::Array(_) => "array",
+        serde_json::Value::Object(_) => "object",
+    }
+}
+
 /// Parse a `/link` NDJSON body into query-author tweet groups.
 ///
 /// # Errors
@@ -56,7 +71,8 @@ pub fn parse_link_body(body: &str) -> Result<Vec<Vec<(Timestamp, String)>>, Stri
         if line.is_empty() {
             continue;
         }
-        let value = serde_json::parse_value(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let value = serde_json::from_str::<serde_json::Value>(line)
+            .map_err(|e| format!("line {}: {e}", i + 1))?;
         let tweets_value = match value.get("tweets") {
             Some(t) => t,
             None if value.as_array().is_some() => &value,
@@ -64,7 +80,7 @@ pub fn parse_link_body(body: &str) -> Result<Vec<Vec<(Timestamp, String)>>, Stri
                 return Err(format!(
                     "line {}: expected a tweet array or an object with a `tweets` key, got {}",
                     i + 1,
-                    value.type_name()
+                    type_name(&value)
                 ))
             }
         };
@@ -72,7 +88,7 @@ pub fn parse_link_body(body: &str) -> Result<Vec<Vec<(Timestamp, String)>>, Stri
             return Err(format!(
                 "line {}: `tweets` must be an array, got {}",
                 i + 1,
-                tweets_value.type_name()
+                type_name(tweets_value)
             ));
         };
         let mut group = Vec::with_capacity(tweets.len());
@@ -96,7 +112,7 @@ fn parse_tweet(v: &serde_json::Value) -> Result<(Timestamp, String), String> {
     let Some(pair) = v.as_array() else {
         return Err(format!(
             "expected `[minute, \"text\"]` or a bare string, got {}",
-            v.type_name()
+            type_name(v)
         ));
     };
     match (pair.first(), pair.get(1), pair.len()) {
@@ -107,7 +123,7 @@ fn parse_tweet(v: &serde_json::Value) -> Result<(Timestamp, String), String> {
                 .ok_or_else(|| format!("minute must be a non-negative integer, got {minute}"))?;
             let text = text
                 .as_str()
-                .ok_or_else(|| format!("text must be a string, got {}", text.type_name()))?;
+                .ok_or_else(|| format!("text must be a string, got {}", type_name(text)))?;
             Ok((Timestamp(minute), text.to_string()))
         }
         _ => Err(format!("expected exactly [minute, \"text\"], got {v}")),
@@ -241,7 +257,7 @@ mod tests {
         };
         let text = render_outcomes(&[outcome.clone()]);
         assert!(text.ends_with('\n'));
-        let v = serde_json::parse_value(text.trim()).unwrap();
+        let v = serde_json::from_str::<serde_json::Value>(text.trim()).unwrap();
         assert_eq!(v.get("query_index").and_then(|x| x.as_i64()), Some(4));
         let sims = v.get("similarities").and_then(|x| x.as_array()).unwrap();
         // Finite floats roundtrip to the exact same bits; non-finite
@@ -272,7 +288,7 @@ mod tests {
     #[test]
     fn error_bodies_escape_quotes() {
         let body = error_body("parse", "bad \"quote\"\nnewline");
-        let v = serde_json::parse_value(&body).unwrap();
+        let v = serde_json::from_str::<serde_json::Value>(&body).unwrap();
         let msg = v
             .get("error")
             .and_then(|e| e.get("message"))

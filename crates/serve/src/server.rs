@@ -203,7 +203,6 @@ pub fn serve<F: FnOnce(SocketAddr)>(
     let engine = Arc::new(engine);
     let shutdown = AtomicBool::new(false);
     let queue: ConnQueue<TcpStream> = ConnQueue::new(config.queue_depth);
-    let obs = soulmate_obs::global();
 
     std::thread::scope(|scope| {
         for _ in 0..config.threads.max(1) {
@@ -232,23 +231,10 @@ pub fn serve<F: FnOnce(SocketAddr)>(
             if shutdown.load(Ordering::Acquire) {
                 break;
             }
-            if let Err(mut rejected) = queue.try_push(stream) {
+            if let Err(rejected) = queue.try_push(stream) {
                 // Backpressure: the queue is full, so shed immediately
-                // with 503 instead of queueing unbounded latency. Writes
-                // are best-effort under a short timeout — a slow client
-                // must not stall the accept loop.
-                obs.incr("serve.rejected_overload", 1);
-                obs.incr("serve.responses.5xx", 1);
-                rejected
-                    .set_write_timeout(Some(Duration::from_millis(200)))
-                    .ok();
-                write_response(
-                    &mut rejected,
-                    503,
-                    "application/json",
-                    &protocol::error_body("overloaded", "accept queue is full; retry"),
-                )
-                .ok();
+                // with 503 instead of queueing unbounded latency.
+                reject_overloaded(rejected);
             }
         }
         // Drain the accept backlog: a connection fully established
@@ -257,13 +243,34 @@ pub fn serve<F: FnOnce(SocketAddr)>(
         // drops. Non-blocking accept empties exactly what is pending.
         listener.set_nonblocking(true).ok();
         while let Ok((stream, _)) = listener.accept() {
-            if queue.try_push(stream).is_err() {
-                obs.incr("serve.rejected_overload", 1);
+            if let Err(rejected) = queue.try_push(stream) {
+                reject_overloaded(rejected);
             }
         }
         queue.close();
     });
     Ok(())
+}
+
+/// Shed one connection the queue refused: count it and answer an
+/// explicit 503 `overloaded` — both at the accept door and during the
+/// post-shutdown backlog sweep, a refused client hears why instead of
+/// getting a silent reset. The write is best-effort under a short
+/// timeout so a slow client cannot stall the accept loop.
+fn reject_overloaded(mut stream: TcpStream) {
+    let obs = soulmate_obs::global();
+    obs.incr("serve.rejected_overload", 1);
+    obs.incr("serve.responses.5xx", 1);
+    stream
+        .set_write_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    write_response(
+        &mut stream,
+        503,
+        "application/json",
+        &protocol::error_body("overloaded", "accept queue is full; retry"),
+    )
+    .ok();
 }
 
 /// Serve one connection end to end. Every failure path writes an HTTP
@@ -326,7 +333,19 @@ fn handle_connection(
             shutdown.store(true, Ordering::Release);
             // Poke the blocking accept() so it observes the flag. The
             // accept loop drops this connection without queueing it.
-            TcpStream::connect(local).ok();
+            // A wildcard bind (0.0.0.0 / ::) is not a connectable
+            // destination everywhere, so poke via loopback on the bound
+            // port instead.
+            let poke = if local.ip().is_unspecified() {
+                let loopback: std::net::IpAddr = match local {
+                    SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                };
+                SocketAddr::new(loopback, local.port())
+            } else {
+                local
+            };
+            TcpStream::connect(poke).ok();
         }
         (_, "/link" | "/healthz" | "/metrics" | "/shutdown") => {
             respond(

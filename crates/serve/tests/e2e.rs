@@ -218,7 +218,7 @@ fn batches_match_the_multi_query_engine_path() {
         // One outcome line per query, in order.
         assert_eq!(served.lines().count(), groups.len());
         for (i, line) in served.lines().enumerate() {
-            let v = serde_json::parse_value(line).unwrap();
+            let v = serde_json::from_str::<serde_json::Value>(line).unwrap();
             assert!(v.get("query_index").is_some(), "line {i}: {line}");
         }
     });
