@@ -20,7 +20,7 @@ use soulmate_graph::{swmst, WeightedGraph};
 use soulmate_temporal::{similarity_grid, slabs_from_grid, Facet};
 use soulmate_text::TokenizerConfig;
 use std::fmt;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::Path;
 
 mod flags;
@@ -53,9 +53,14 @@ USAGE:
                      [--metrics <metrics.json>]
   soulmate subgraphs --model <model.json> [--top N]
   soulmate link      --model <model.json> --tweets <tweets.txt> [--multi]
-                     [--ivf [--nprobe N]] [--metrics <metrics.json>] [--stats]
+                     [--ivf [--nprobe N]] [--quant [--rerank N]]
+                     [--metrics <metrics.json>] [--stats]
   soulmate serve     --model <model.json> [--port N] [--host H] [--threads N]
                      [--queue N] [--max-body BYTES] [--ivf [--nprobe N]]
+                     [--quant [--rerank N]]
+  soulmate convert   --model <model> --out <model.bin> [--format binary|json]
+                     [--quantize]
+  soulmate inspect   --model <model> [--json]
   soulmate slabs     --data <data.json> [--threshold X]
   soulmate eval      --data <data.json> [--dim N] [--epochs N] [--k N]
   soulmate experiment <id> [--authors N] [--tweets N] [--seed N] [--dim N] [--epochs N]
@@ -73,7 +78,17 @@ author and the whole batch is served from one precomputed engine. With
 `--ivf`, candidates are retrieved through the snapshot's IVF index (built
 on demand when the snapshot carries none) and only candidates are scored
 exactly; `--nprobe N` widens the probe (0 or absent = index default) and
-is only meaningful with `--ivf`.
+is only meaningful with `--ivf`. With `--quant`, every author is scored
+with integer i8 dot products first and only the top `--rerank` candidates
+per query (0 or absent = engine default) are re-scored exactly; reported
+candidate scores are always the exact ones.
+
+`convert` re-encodes a snapshot between the JSON and binary container
+formats (DESIGN.md §16); the input format and version are detected
+automatically, `--quantize` stores the author matrices as per-row i8.
+`inspect` prints a binary snapshot's validated section table from the
+header alone — no payload byte is read — and summarizes JSON snapshots
+(`--json` for machine-readable output in both cases).
 
 `serve` loads the snapshot once and answers `link` queries over HTTP
 until `POST /shutdown` (DESIGN.md §15): NDJSON queries on POST /link,
@@ -100,6 +115,8 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "link" => cmd_link(&flags, out),
         "serve" => cmd_serve(&flags, out),
         "slabs" => cmd_slabs(&flags, out),
+        "convert" => cmd_convert(&flags, out),
+        "inspect" => cmd_inspect(&flags, out),
         "eval" => cmd_eval(&flags, out),
         "stats" => cmd_stats(&flags, out),
         "experiment" => cmd_experiment(args.get(1), args.get(1..).unwrap_or(&[]), out),
@@ -202,37 +219,83 @@ fn cmd_subgraphs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
-    // Both required flags are checked before the (expensive) model load.
-    let tweets_path = flags.require_path("tweets")?;
+/// Which candidate-retrieval strategy `link`/`serve` should use.
+#[derive(Debug, Clone, Copy)]
+enum Retrieval {
+    /// Score every author exactly.
+    Exact,
+    /// IVF candidate index, probe width `nprobe` (0 = index default).
+    Ivf { nprobe: usize },
+    /// i8 stage-1 scoring, exact re-rank of `rerank` candidates per
+    /// query (0 = engine default).
+    Quant { rerank: usize },
+}
+
+/// Parse and cross-validate the shared retrieval flags. A tuning flag
+/// for a strategy that is not selected would be silently ignored; like
+/// `--seed banana`, that footgun is rejected loudly instead.
+fn parse_retrieval(flags: &Flags) -> Result<Retrieval, CliError> {
     let ivf = flags.has("ivf");
-    // `--nprobe` tunes the IVF probe width; on the exact path it would be
-    // silently ignored, which is exactly the kind of footgun --seed-banana
-    // taught us to reject loudly.
+    let quant = flags.has("quant");
+    if ivf && quant {
+        return Err(CliError::Usage(
+            "--ivf and --quant are different retrieval strategies; pick one".into(),
+        ));
+    }
     if flags.has("nprobe") && !ivf {
         return Err(CliError::Usage(
             "--nprobe only applies to IVF retrieval; add --ivf".into(),
         ));
     }
-    let nprobe = flags.get_usize("nprobe")?.unwrap_or(0);
+    if flags.has("rerank") && !quant {
+        return Err(CliError::Usage(
+            "--rerank only applies to quantized retrieval; add --quant".into(),
+        ));
+    }
+    if ivf {
+        Ok(Retrieval::Ivf {
+            nprobe: flags.get_usize("nprobe")?.unwrap_or(0),
+        })
+    } else if quant {
+        Ok(Retrieval::Quant {
+            rerank: flags.get_usize("rerank")?.unwrap_or(0),
+        })
+    } else {
+        Ok(Retrieval::Exact)
+    }
+}
+
+/// Build the query engine matching the selected retrieval strategy.
+fn build_engine(
+    model: &PipelineSnapshot,
+    retrieval: Retrieval,
+) -> Result<soulmate_core::QueryEngine<'_>, CliError> {
+    match retrieval {
+        Retrieval::Ivf { .. } => model.query_engine_ivf(&IvfConfig::default()),
+        Retrieval::Quant { .. } => model.query_engine_quant(),
+        Retrieval::Exact => model.query_engine(),
+    }
+    .map_err(|e| CliError::Failed(e.to_string()))
+}
+
+fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    // Both required flags are checked before the (expensive) model load.
+    let tweets_path = flags.require_path("tweets")?;
+    let retrieval = parse_retrieval(flags)?;
     let model = load_model(flags)?;
     // All the query-independent work (row normalization, sparsification,
     // edge sorting) happens once here; each query then merges into the
     // cached cut. With `--ivf` the engine additionally carries the
-    // snapshot's candidate index (rebuilt on demand when absent).
-    let engine = if ivf {
-        model.query_engine_ivf(&IvfConfig::default())
-    } else {
-        model.query_engine()
-    }
-    .map_err(|e| CliError::Failed(e.to_string()))?;
+    // snapshot's candidate index (rebuilt on demand when absent); with
+    // `--quant` it carries the i8 stage-1 scorer.
+    let engine = build_engine(&model, retrieval)?;
 
     if flags.has("multi") {
         let groups = read_tweet_groups(&tweets_path)?;
-        let outcomes = if ivf {
-            engine.link_query_authors_ivf(&groups, nprobe)
-        } else {
-            engine.link_query_authors(&groups)
+        let outcomes = match retrieval {
+            Retrieval::Ivf { nprobe } => engine.link_query_authors_ivf(&groups, nprobe),
+            Retrieval::Quant { rerank } => engine.link_query_authors_quant(&groups, rerank),
+            Retrieval::Exact => engine.link_query_authors(&groups),
         }
         .map_err(|e| CliError::Failed(e.to_string()))?;
         writeln!(out, "linked {} query authors:", outcomes.len()).ok();
@@ -256,10 +319,10 @@ fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     }
 
     let tweets = read_tweets_file(&tweets_path)?;
-    let outcome = if ivf {
-        engine.link_query_ivf(&tweets, nprobe)
-    } else {
-        engine.link_query(&tweets)
+    let outcome = match retrieval {
+        Retrieval::Ivf { nprobe } => engine.link_query_ivf(&tweets, nprobe),
+        Retrieval::Quant { rerank } => engine.link_query_quant(&tweets, rerank),
+        Retrieval::Exact => engine.link_query(&tweets),
     }
     .map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(
@@ -307,21 +370,15 @@ fn cmd_serve<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     if max_body_bytes == 0 {
         return Err(CliError::Usage("--max-body must be at least 1".into()));
     }
-    let ivf = flags.has("ivf");
-    if flags.has("nprobe") && !ivf {
-        return Err(CliError::Usage(
-            "--nprobe only applies to IVF retrieval; add --ivf".into(),
-        ));
-    }
-    let nprobe = flags.get_usize("nprobe")?.unwrap_or(0);
+    let retrieval = parse_retrieval(flags)?;
+    let (nprobe, rerank) = match retrieval {
+        Retrieval::Ivf { nprobe } => (nprobe, 0),
+        Retrieval::Quant { rerank } => (0, rerank),
+        Retrieval::Exact => (0, 0),
+    };
 
     let model = load_model(flags)?;
-    let engine = if ivf {
-        model.query_engine_ivf(&IvfConfig::default())
-    } else {
-        model.query_engine()
-    }
-    .map_err(|e| CliError::Failed(e.to_string()))?;
+    let engine = build_engine(&model, retrieval)?;
 
     let config = soulmate_serve::ServeConfig {
         host,
@@ -330,6 +387,7 @@ fn cmd_serve<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
         queue_depth,
         max_body_bytes,
         nprobe,
+        rerank,
         ..soulmate_serve::ServeConfig::default()
     };
     soulmate_serve::serve(&engine, &config, |addr| {
@@ -337,7 +395,11 @@ fn cmd_serve<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
             out,
             "serving {} authors{} on http://{addr} ({threads} threads, queue {queue_depth})",
             engine.n_authors(),
-            if ivf { " with IVF index" } else { "" },
+            match retrieval {
+                Retrieval::Ivf { .. } => " with IVF index",
+                Retrieval::Quant { .. } => " with i8 fast path",
+                Retrieval::Exact => "",
+            },
         )
         .ok();
         // The ready line is how scripts learn an ephemeral port; stdout
@@ -361,6 +423,166 @@ fn cmd_slabs<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
         slabs_from_grid(&grid, threshold).map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(out, "day slabs @ {threshold}: {}", slabs.render()).ok();
     Ok(())
+}
+
+/// `soulmate convert`: re-encode a snapshot between the JSON and binary
+/// container formats (DESIGN.md §16). The loader sniffs the input
+/// format and version, so any supported snapshot converts forward; the
+/// write is atomic (fresh temporary + rename), so concurrent converts
+/// to one destination each publish a complete file and the destination
+/// never holds torn bytes.
+fn cmd_convert<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    // Usage errors before any file I/O (the PR 4 contract).
+    let input = flags.require_path("model")?;
+    let output = flags.require_path("out")?;
+    let format = flags.get("format").unwrap_or("binary");
+    let quantize = flags.has("quantize");
+    match format {
+        "binary" => {}
+        "json" if quantize => {
+            return Err(CliError::Usage(
+                "--quantize only applies to the binary format; drop --format json".into(),
+            ));
+        }
+        "json" => {}
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --format `{other}` (expected binary or json)"
+            )));
+        }
+    }
+    let snap = PipelineSnapshot::load(&input).map_err(|e| CliError::Failed(e.to_string()))?;
+    if format == "json" {
+        snap.save(&output)
+    } else {
+        snap.save_binary(&output, quantize)
+    }
+    .map_err(|e| CliError::Failed(e.to_string()))?;
+    let in_len = file_len(&input)?;
+    let out_len = file_len(&output)?;
+    // f64 division: sizes near u64::MAX lose precision but a display
+    // ratio does not care.
+    let ratio = in_len as f64 / (out_len as f64).max(1.0);
+    writeln!(
+        out,
+        "converted {} -> {}: {in_len} -> {out_len} bytes ({ratio:.1}x{})",
+        input.display(),
+        output.display(),
+        if quantize {
+            ", i8-quantized matrices"
+        } else {
+            ""
+        },
+    )
+    .ok();
+    Ok(())
+}
+
+/// `soulmate inspect`: header-only report of a snapshot file. Binary
+/// containers are described from the validated prelude + section table
+/// alone — no payload byte is read or allocated, so a multi-gigabyte
+/// snapshot inspects instantly and a corrupt header fails with the same
+/// typed error the loader gives. JSON snapshots have no section table,
+/// so they are fully loaded and summarized instead.
+fn cmd_inspect<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    let path = flags.require_path("model")?;
+    let json = flags.has("json");
+    let magic = soulmate_core::BINARY_MAGIC;
+    if read_prefix(&path, magic.len())? == magic {
+        let info = soulmate_core::snapshot::binary::inspect(&path)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        if json {
+            writeln!(out, "{}", render_info_json(&info)).ok();
+        } else {
+            writeln!(
+                out,
+                "binary snapshot v{} ({} bytes, {} sections):",
+                info.container_version,
+                info.file_len,
+                info.sections.len()
+            )
+            .ok();
+            for s in &info.sections {
+                writeln!(
+                    out,
+                    "  {:<12} kind {:>2}  enc {:<4}  {:>12} bytes  crc32 {:08x}",
+                    s.name, s.kind, s.encoding, s.len, s.crc
+                )
+                .ok();
+            }
+        }
+        return Ok(());
+    }
+    let model = PipelineSnapshot::load(&path).map_err(|e| CliError::Failed(e.to_string()))?;
+    let (authors, dim) = (model.author_content.rows(), model.author_content.cols());
+    if json {
+        writeln!(
+            out,
+            "{{\"format\":\"json\",\"version\":{},\"file_len\":{},\"authors\":{},\"vocab\":{},\"dim\":{},\"index\":{}}}",
+            model.version,
+            file_len(&path)?,
+            authors,
+            model.vocab.len(),
+            dim,
+            model.index.is_some(),
+        )
+        .ok();
+    } else {
+        writeln!(
+            out,
+            "json snapshot v{} ({} bytes): {authors} authors, vocab {}, dim {dim}, {}",
+            model.version,
+            file_len(&path)?,
+            model.vocab.len(),
+            if model.index.is_some() {
+                "with IVF index"
+            } else {
+                "no index"
+            },
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+/// Hand-rendered JSON for `inspect --json`: every field is numeric or a
+/// compiled-in `&'static str` name, so no escaping is needed and the CLI
+/// stays free of a JSON-serializer dependency.
+fn render_info_json(info: &soulmate_core::BinaryInfo) -> String {
+    let sections: Vec<String> = info
+        .sections
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"kind\":{},\"name\":\"{}\",\"encoding\":\"{}\",\"len\":{},\"crc\":{}}}",
+                s.kind, s.name, s.encoding, s.len, s.crc
+            )
+        })
+        .collect();
+    format!(
+        "{{\"format\":\"binary\",\"container_version\":{},\"file_len\":{},\"sections\":[{}]}}",
+        info.container_version,
+        info.file_len,
+        sections.join(",")
+    )
+}
+
+/// Size of a file in bytes, as a typed CLI failure.
+fn file_len(path: &Path) -> Result<u64, CliError> {
+    std::fs::metadata(path)
+        .map(|m| m.len())
+        .map_err(|e| CliError::Failed(format!("cannot stat {}: {e}", path.display())))
+}
+
+/// First `n` bytes of a file (fewer when the file is shorter).
+fn read_prefix(path: &Path, n: usize) -> Result<Vec<u8>, CliError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| CliError::Failed(format!("cannot open {}: {e}", path.display())))?;
+    let mut buf = Vec::with_capacity(n);
+    file.take(n as u64)
+        .read_to_end(&mut buf)
+        .map_err(|e| CliError::Failed(format!("cannot read {}: {e}", path.display())))?;
+    Ok(buf)
 }
 
 fn cmd_eval<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
@@ -813,6 +1035,303 @@ mod tests {
         assert!(out.contains("linked 1 query authors"), "got: {out}");
 
         for p in [&data, &model, &tweets] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// Generate a small corpus and fit a model; returns the data path
+    /// and model path (caller removes both).
+    fn generate_and_fit(tag: &str) -> (PathBuf, PathBuf) {
+        let data = tmp(&format!("{tag}-data.json"));
+        let model = tmp(&format!("{tag}-model.json"));
+        run_to_string(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--authors",
+            "14",
+            "--tweets",
+            "15",
+            "--concepts",
+            "4",
+        ])
+        .unwrap();
+        run_to_string(&[
+            "fit",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--dim",
+            "10",
+            "--epochs",
+            "2",
+        ])
+        .unwrap();
+        (data, model)
+    }
+
+    /// Write a tweets file with the first 5 generated tweets.
+    fn write_query_tweets(data: &Path, path: &Path) {
+        let dataset = corpus_io::load_json(data).unwrap();
+        let lines: Vec<String> = dataset
+            .tweets
+            .iter()
+            .take(5)
+            .map(|t| format!("{}\t{}", t.timestamp.0, t.text))
+            .collect();
+        std::fs::write(path, lines.join("\n")).unwrap();
+    }
+
+    #[test]
+    fn convert_roundtrips_binary_and_json_with_identical_serving() {
+        let (data, model) = generate_and_fit("conv");
+        let tweets = tmp("conv-tweets.txt");
+        let bin = tmp("conv-model.bin");
+        let back = tmp("conv-back.json");
+        write_query_tweets(&data, &tweets);
+
+        // Usage errors fire before any file is touched.
+        assert!(matches!(
+            run_to_string(&["convert", "--model", model.to_str().unwrap()]),
+            Err(CliError::Usage(_))
+        ));
+        let err = run_to_string(&[
+            "convert",
+            "--model",
+            model.to_str().unwrap(),
+            "--out",
+            bin.to_str().unwrap(),
+            "--format",
+            "json",
+            "--quantize",
+        ]);
+        match err {
+            Err(CliError::Usage(m)) => assert!(m.contains("--quantize"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        assert!(matches!(
+            run_to_string(&[
+                "convert",
+                "--model",
+                model.to_str().unwrap(),
+                "--out",
+                bin.to_str().unwrap(),
+                "--format",
+                "yaml",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(!bin.exists(), "usage errors must not create the output");
+
+        // JSON -> binary, then serve from both: the f32 round-trip is
+        // lossless, so the link output is byte-identical.
+        let out = run_to_string(&[
+            "convert",
+            "--model",
+            model.to_str().unwrap(),
+            "--out",
+            bin.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("converted"), "got: {out}");
+        let from_json = run_to_string(&[
+            "link",
+            "--model",
+            model.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+        ])
+        .unwrap();
+        let from_bin = run_to_string(&[
+            "link",
+            "--model",
+            bin.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(from_json, from_bin);
+
+        // Binary -> JSON round-trip serves identically too.
+        run_to_string(&[
+            "convert",
+            "--model",
+            bin.to_str().unwrap(),
+            "--out",
+            back.to_str().unwrap(),
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let from_back = run_to_string(&[
+            "link",
+            "--model",
+            back.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(from_json, from_back);
+
+        // Inspect reads only the header: section table for binary, a
+        // load-and-summarize line for JSON.
+        let out = run_to_string(&["inspect", "--model", bin.to_str().unwrap()]).unwrap();
+        assert!(out.contains("binary snapshot v"), "got: {out}");
+        assert!(out.contains("meta"), "got: {out}");
+        assert!(out.contains("crc32"), "got: {out}");
+        let out = run_to_string(&["inspect", "--model", bin.to_str().unwrap(), "--json"]).unwrap();
+        assert_balanced_json(&out);
+        assert!(out.contains("\"format\":\"binary\""), "got: {out}");
+        assert!(out.contains("\"sections\":["), "got: {out}");
+        let out = run_to_string(&["inspect", "--model", model.to_str().unwrap()]).unwrap();
+        assert!(out.contains("json snapshot v"), "got: {out}");
+        assert!(out.contains("14 authors"), "got: {out}");
+        let out =
+            run_to_string(&["inspect", "--model", model.to_str().unwrap(), "--json"]).unwrap();
+        assert_balanced_json(&out);
+        assert!(out.contains("\"format\":\"json\""), "got: {out}");
+
+        for p in [&data, &model, &tweets, &bin, &back] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn convert_quantize_shrinks_and_quant_links_serve() {
+        let (data, model) = generate_and_fit("quant");
+        let tweets = tmp("quant-tweets.txt");
+        let qbin = tmp("quant-model.bin");
+        write_query_tweets(&data, &tweets);
+
+        let out = run_to_string(&[
+            "convert",
+            "--model",
+            model.to_str().unwrap(),
+            "--out",
+            qbin.to_str().unwrap(),
+            "--quantize",
+        ])
+        .unwrap();
+        assert!(out.contains("i8-quantized"), "got: {out}");
+        assert!(
+            std::fs::metadata(&qbin).unwrap().len() < std::fs::metadata(&model).unwrap().len(),
+            "quantized binary should be smaller than the JSON snapshot"
+        );
+        let out = run_to_string(&["inspect", "--model", qbin.to_str().unwrap()]).unwrap();
+        assert!(out.contains("qi8"), "got: {out}");
+
+        // Orphan tuning flags and conflicting strategies are usage
+        // errors, not silent ignores.
+        let err = run_to_string(&[
+            "link",
+            "--model",
+            qbin.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+            "--rerank",
+            "8",
+        ]);
+        match err {
+            Err(CliError::Usage(m)) => assert!(m.contains("--quant"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        let err = run_to_string(&[
+            "link",
+            "--model",
+            qbin.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+            "--quant",
+            "--ivf",
+        ]);
+        match err {
+            Err(CliError::Usage(m)) => assert!(m.contains("pick one"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+
+        // The quantized two-stage path serves single and batched
+        // queries from the quantized snapshot.
+        let out = run_to_string(&[
+            "link",
+            "--model",
+            qbin.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+            "--quant",
+            "--rerank",
+            "8",
+        ])
+        .unwrap();
+        assert!(out.contains("query author joined"), "got: {out}");
+        let out = run_to_string(&[
+            "link",
+            "--model",
+            qbin.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+            "--quant",
+            "--multi",
+        ])
+        .unwrap();
+        assert!(out.contains("linked 1 query authors"), "got: {out}");
+
+        // rerank >= n makes the quantized path bit-identical to the
+        // exact one (the engine re-scores everyone), so the rendered
+        // output matches byte for byte.
+        let exact = run_to_string(&[
+            "link",
+            "--model",
+            model.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+        ])
+        .unwrap();
+        let quant_full = run_to_string(&[
+            "link",
+            "--model",
+            model.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+            "--quant",
+            "--rerank",
+            "1000",
+        ])
+        .unwrap();
+        assert_eq!(exact, quant_full);
+
+        for p in [&data, &model, &tweets, &qbin] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn concurrent_converts_to_one_path_publish_complete_snapshots() {
+        let (data, model) = generate_and_fit("race");
+        let bin = tmp("race-model.bin");
+
+        // Regression for the atomic-write contract: multiple converts
+        // racing on one destination must each publish a complete file —
+        // whichever rename lands last, the destination is loadable.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (model, bin) = (model.clone(), bin.clone());
+                scope.spawn(move || {
+                    run_to_string(&[
+                        "convert",
+                        "--model",
+                        model.to_str().unwrap(),
+                        "--out",
+                        bin.to_str().unwrap(),
+                    ])
+                    .unwrap();
+                });
+            }
+        });
+        let snap = PipelineSnapshot::load(&bin).unwrap();
+        assert_eq!(snap.author_handles.len(), 14);
+
+        for p in [&data, &model, &bin] {
             std::fs::remove_file(p).ok();
         }
     }

@@ -39,8 +39,10 @@ use soulmate_graph::{
     stack_pop_order, swmst_from_sorted, swmst_from_sorted_with_component, Edge, SpanningForest,
     WeightedGraph,
 };
-use soulmate_linalg::kernels::{gram_rect_blocked, gram_rect_rows_blocked, NormalizedRows};
-use soulmate_linalg::Matrix;
+use soulmate_linalg::kernels::{
+    gram_rect_blocked, gram_rect_i8_blocked, gram_rect_rows_blocked, NormalizedRows,
+};
+use soulmate_linalg::{dot, CenteredQuantizedRows, Matrix, QuantizedRows};
 use soulmate_retrieval::{Candidates, IvfConfig, IvfIndex};
 use std::cmp::Ordering;
 use std::collections::HashSet;
@@ -520,6 +522,122 @@ impl CachedCut {
     }
 }
 
+/// One similarity channel of the i8 fast path: the engine's unit rows,
+/// mean-centered and residual-quantized, plus the exact `f32` cross terms
+/// that reassemble a full cosine from a residual-only integer dot.
+///
+/// With `μ` the mean unit row, `r_a = â − μ` and `r_q = q̂ − μ`:
+///
+/// ```text
+/// dot(q̂, â) = dot(r_q, r_a) + dot(q̂, μ) + dot(â, μ) − dot(μ, μ)
+/// ```
+///
+/// Only the residual·residual term is approximated in i8 — its per-row
+/// scales are proportional to the *residual* magnitude, so the stage-1
+/// ranking error stays at the ~1/254 level even when every author's unit
+/// row clusters around one dominant direction (exactly the regime where
+/// quantizing the raw rows would drown the z-scored content channel in
+/// rounding noise). The other three terms are exact: `corr[a] = dot(â, μ)`
+/// is precomputed per author, `dot(q̂, μ)` costs O(d) per query.
+#[derive(Debug, Clone)]
+struct QuantChannel {
+    /// Mean-centered residual-quantized unit rows.
+    quant: CenteredQuantizedRows,
+    /// Exact `dot(unit_row_a, mean)` per author.
+    corr: Vec<f32>,
+    /// Exact `dot(mean, mean)`.
+    mean_sq: f32,
+}
+
+impl QuantChannel {
+    /// Quantize one unit-row matrix and precompute its exact cross terms.
+    fn build(unit: &Matrix) -> QuantChannel {
+        let quant = CenteredQuantizedRows::quantize(unit);
+        let corr = unit.iter_rows().map(|row| dot(row, quant.mean())).collect();
+        let mean_sq = dot(quant.mean(), quant.mean());
+        QuantChannel {
+            quant,
+            corr,
+            mean_sq,
+        }
+    }
+
+    /// Approximate `dot(query_row, unit_row_a)` for every query × author
+    /// pair: residual·residual in i8 via [`gram_rect_i8_blocked`], exact
+    /// cross terms added back per the type-level identity.
+    ///
+    /// # Errors
+    /// [`CoreError::Internal`] when the query rows are ragged (vectorized
+    /// rows always share the model dimension).
+    fn approx_dots(&self, queries: &Matrix) -> Result<Vec<Vec<f32>>, CoreError> {
+        let mut residuals = Vec::with_capacity(queries.rows());
+        let mut query_corr = Vec::with_capacity(queries.rows());
+        for row in queries.iter_rows() {
+            query_corr.push(dot(row, self.quant.mean()));
+            residuals.push(
+                row.iter()
+                    .zip(self.quant.mean())
+                    .map(|(&v, &mu)| v - mu)
+                    .collect::<Vec<f32>>(),
+            );
+        }
+        let residuals = Matrix::from_rows(&residuals)
+            .map_err(|_| CoreError::Internal("query rows share one dim"))?;
+        let mut grid =
+            gram_rect_i8_blocked(&QuantizedRows::quantize(&residuals), self.quant.rows());
+        for (row, &cq) in grid.iter_mut().zip(&query_corr) {
+            let shift = cq - self.mean_sq;
+            for (v, &ca) in row.iter_mut().zip(&self.corr) {
+                *v += shift + ca;
+            }
+        }
+        Ok(grid)
+    }
+}
+
+/// i8-quantized mirrors of the engine's unit row matrices, built once by
+/// [`QueryEngine::enable_quant`]. Stage 1 of the quantized path scores
+/// queries against these in integer arithmetic; the exact `f32` unit
+/// matrices stay resident for the stage-2 re-rank.
+#[derive(Debug, Clone)]
+struct QuantState {
+    /// Quantized unit content rows.
+    content: QuantChannel,
+    /// Quantized unit (mean-centered) concept rows.
+    concept: QuantChannel,
+}
+
+/// Number of top approximate candidates the quantized path re-ranks
+/// exactly when the caller passes `rerank = 0`.
+pub const DEFAULT_QUANT_RERANK: usize = 128;
+
+/// The per-path metric names [`QueryEngine::serve_candidates`] reports
+/// under — the IVF and quantized retrievers share the stage-2 machinery
+/// but must stay separately observable.
+struct CandidateMetrics {
+    stage2_seconds: &'static str,
+    queries: &'static str,
+    candidates: &'static str,
+    candidate_fraction: &'static str,
+    query_seconds: &'static str,
+}
+
+const IVF_METRICS: CandidateMetrics = CandidateMetrics {
+    stage2_seconds: "engine.ivf.stage2.seconds",
+    queries: "engine.ivf.queries",
+    candidates: "engine.ivf.candidates",
+    candidate_fraction: "engine.ivf.candidate_fraction",
+    query_seconds: "engine.ivf.query.seconds",
+};
+
+const QUANT_METRICS: CandidateMetrics = CandidateMetrics {
+    stage2_seconds: "engine.quant.stage2.seconds",
+    queries: "engine.quant.queries",
+    candidates: "engine.quant.candidates",
+    candidate_fraction: "engine.quant.candidate_fraction",
+    query_seconds: "engine.quant.query.seconds",
+};
+
 /// Precomputed online serving state over a [`QueryModel`].
 ///
 /// Build once per fitted [`Pipeline`] or loaded [`PipelineSnapshot`]
@@ -535,6 +653,9 @@ pub struct QueryEngine<'a> {
     /// Optional sub-linear candidate retriever. `None` = every IVF entry
     /// point silently serves the exact path (and counts the fallback).
     index: Option<IvfIndex>,
+    /// Optional i8 fast path. `None` = every quantized entry point
+    /// silently serves the exact path (and counts the fallback).
+    quant: Option<QuantState>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -558,6 +679,7 @@ impl<'a> QueryEngine<'a> {
             concept_rows,
             cut,
             index: None,
+            quant: None,
         })
     }
 
@@ -796,12 +918,6 @@ impl<'a> QueryEngine<'a> {
     /// Any probe failure downgrades the whole batch to the exact path
     /// (counted in `engine.ivf.fallbacks`) — retrieval is an
     /// optimization, never a reason to fail a query.
-    // Indexing is in-bounds by construction: `set_index`/`build_index`
-    // guarantee the attached index covers exactly `n` authors, so probed
-    // candidate ids are < n; `pos_of` has n entries written for every
-    // union member before any read; `fused_union` has one entry per union
-    // member.
-    #[allow(clippy::indexing_slicing)]
     fn serve_ivf(
         &self,
         qvecs: Vec<QueryVectors>,
@@ -815,7 +931,6 @@ impl<'a> QueryEngine<'a> {
             obs.incr("engine.ivf.fallbacks", 1);
             return self.serve(qvecs);
         };
-        let n = self.cut.n_authors();
 
         // ---- Stage 1: probe the coarse index per query. ----
         let probe_start = std::time::Instant::now();
@@ -834,11 +949,39 @@ impl<'a> QueryEngine<'a> {
         }
         obs.record_duration("engine.ivf.probe.seconds", probe_start.elapsed());
 
+        let sets: Vec<Vec<u32>> = candidate_sets.into_iter().map(|c| c.ids).collect();
+        self.serve_candidates(qvecs, sets, &IVF_METRICS)
+    }
+
+    /// Stage 2 shared by the IVF and quantized retrievers: exact-score
+    /// every query against the union of all candidate sets (one Gram call
+    /// per matrix, not one per query) and merge each query into the cached
+    /// cut via [`CachedCut::cut_with_candidates_component`]. A candidate's
+    /// reported score is bit-identical to its exact-path score — stage 1
+    /// only ever decides *which* authors get scored. When the union covers
+    /// every author the Gram inputs are literally the exact path's full
+    /// unit matrices, so the whole outcome is bit-identical to
+    /// [`QueryEngine::serve`].
+    // Indexing is in-bounds by construction: both candidate producers (the
+    // IVF probe, validated by `set_index`/`build_index`, and the quantized
+    // top-R selection over 0..n) emit author ids < n; `pos_of` has n
+    // entries written for every union member before any read;
+    // `fused_union` has one entry per union member.
+    #[allow(clippy::indexing_slicing)]
+    fn serve_candidates(
+        &self,
+        qvecs: Vec<QueryVectors>,
+        candidate_sets: Vec<Vec<u32>>,
+        metrics: &CandidateMetrics,
+    ) -> Result<Vec<QueryOutcome>, CoreError> {
+        let obs = soulmate_obs::global();
+        let n = self.cut.n_authors();
+
         // Union of every query's candidates, ascending; `pos_of[id]` maps
         // an author id to its row in the stage-2 submatrices.
         let mut in_union = vec![false; n];
-        for c in &candidate_sets {
-            for &id in &c.ids {
+        for ids in &candidate_sets {
+            for &id in ids {
                 // u32 widens losslessly into usize on supported targets.
                 in_union[id as usize] = true;
             }
@@ -881,13 +1024,13 @@ impl<'a> QueryEngine<'a> {
                 gram_rect_rows_blocked(&concept_q, self.concept_rows.unit_matrix(), &union_ids),
             )
         };
-        obs.record_duration("engine.ivf.stage2.seconds", stage2_start.elapsed());
+        obs.record_duration(metrics.stage2_seconds, stage2_start.elapsed());
 
         let query_index = n;
         let mut outcomes = Vec::with_capacity(qvecs.len());
         for (qi, q) in qvecs.into_iter().enumerate() {
             let start = std::time::Instant::now();
-            let cands = &candidate_sets[qi];
+            let ids = &candidate_sets[qi];
             let (content_row, concept_row) = content_dots
                 .get(qi)
                 .zip(concept_dots.get(qi))
@@ -897,25 +1040,23 @@ impl<'a> QueryEngine<'a> {
             // the outcome but are -inf ("no edge") for the cut.
             let fused_union = fused_row_from_dots(&self.model, content_row, concept_row);
             let mut similarities = vec![0.0f32; n];
-            let mut cand_sims: Vec<f32> = Vec::with_capacity(cands.ids.len());
-            for &id in &cands.ids {
+            let mut cand_sims: Vec<f32> = Vec::with_capacity(ids.len());
+            for &id in ids {
                 // u32 widens losslessly into usize on supported targets.
                 let s = fused_union[pos_of[id as usize] as usize];
                 // Same lossless u32 -> usize widening as the line above.
                 similarities[id as usize] = s;
                 cand_sims.push(s);
             }
-            let (forest, subgraph) = self
-                .cut
-                .cut_with_candidates_component(&cands.ids, &cand_sims)?;
+            let (forest, subgraph) = self.cut.cut_with_candidates_component(ids, &cand_sims)?;
             let subgraph_avg_weight = forest.component_avg_weight(&subgraph);
-            obs.incr("engine.ivf.queries", 1);
-            obs.record("engine.ivf.candidates", cands.ids.len() as f64);
+            obs.incr(metrics.queries, 1);
+            obs.record(metrics.candidates, ids.len() as f64);
             obs.record(
-                "engine.ivf.candidate_fraction",
-                cands.ids.len() as f64 / n.max(1) as f64,
+                metrics.candidate_fraction,
+                ids.len() as f64 / n.max(1) as f64,
             );
-            obs.record_duration("engine.ivf.query.seconds", start.elapsed());
+            obs.record_duration(metrics.query_seconds, start.elapsed());
             outcomes.push(QueryOutcome {
                 query_index,
                 subgraph,
@@ -926,6 +1067,157 @@ impl<'a> QueryEngine<'a> {
             });
         }
         Ok(outcomes)
+    }
+
+    /// Build the i8 fast path: quantize this engine's unit content and
+    /// centered-concept rows ([`QuantizedRows`], one byte per value plus a
+    /// per-row scale and exact norm). The exact `f32` matrices stay
+    /// resident — stage 2 of [`QueryEngine::link_query_quant`] re-ranks
+    /// the top candidates through them, so a reported candidate score is
+    /// always the exact one. Quantization is deterministic, so two engines
+    /// over the same model build identical state.
+    pub fn enable_quant(&mut self) {
+        let obs = soulmate_obs::global();
+        let start = std::time::Instant::now();
+        self.quant = Some(QuantState {
+            content: QuantChannel::build(self.content_rows.unit_matrix()),
+            concept: QuantChannel::build(self.concept_rows.unit_matrix()),
+        });
+        obs.record_duration("engine.quant.build.seconds", start.elapsed());
+        obs.incr("engine.quant.builds", 1);
+    }
+
+    /// Drop the i8 fast path; quantized entry points fall back to the
+    /// exact path.
+    pub fn disable_quant(&mut self) {
+        self.quant = None;
+    }
+
+    /// Is the i8 fast path built?
+    pub fn quant_enabled(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// [`QueryEngine::link_query`] through the quantized two-stage path:
+    /// score every author with integer i8 dot products (stage 1), keep the
+    /// `rerank` highest approximate fused scores (`0` =
+    /// [`DEFAULT_QUANT_RERANK`]) and exact-score only those (stage 2), so
+    /// every reported candidate score is bit-identical to the exact
+    /// path's. Non-candidates report `0.0` ("not scored") exactly like the
+    /// IVF retriever; `rerank >= n_authors()` makes the whole outcome
+    /// bit-identical to [`QueryEngine::link_query`]. Without
+    /// [`QueryEngine::enable_quant`] this serves the exact path and bumps
+    /// `engine.quant.fallbacks`.
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::link_query`].
+    pub fn link_query_quant(
+        &self,
+        tweets: &[(Timestamp, String)],
+        rerank: usize,
+    ) -> Result<QueryOutcome, CoreError> {
+        let q = vectorize_query(&self.model, tweets)?;
+        self.serve_quant(vec![q], rerank)?
+            .pop()
+            .ok_or(CoreError::Internal("one query in, one outcome out"))
+    }
+
+    /// Batch [`QueryEngine::link_query_quant`]: one i8 Gram call per
+    /// matrix scores the whole batch, then the union of the per-query
+    /// top-`rerank` sets is exact-scored with one rectangular `f32` Gram
+    /// call per matrix. Outcomes are index-aligned with `queries` and
+    /// bit-for-bit identical to calling [`QueryEngine::link_query_quant`]
+    /// per query.
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::link_query_authors`].
+    pub fn link_query_authors_quant(
+        &self,
+        queries: &[Vec<(Timestamp, String)>],
+        rerank: usize,
+    ) -> Result<Vec<QueryOutcome>, CoreError> {
+        let qvecs = queries
+            .iter()
+            .map(|tweets| vectorize_query(&self.model, tweets))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.serve_quant(qvecs, rerank)
+    }
+
+    /// Serve pre-vectorized queries through the quantized two-stage path:
+    /// approximate fused scores from [`gram_rect_i8_blocked`] pick each
+    /// query's top-`rerank` candidates, then the shared
+    /// [`QueryEngine::serve_candidates`] stage exact-scores and cuts them.
+    /// Quantization error can only change *which* authors are scored,
+    /// never a reported score.
+    // Indexing is in-bounds by construction: `fused` has one entry per
+    // author (the i8 Gram rows span all n authors) and the selected ids
+    // are drawn from 0..n.
+    #[allow(clippy::indexing_slicing)]
+    fn serve_quant(
+        &self,
+        qvecs: Vec<QueryVectors>,
+        rerank: usize,
+    ) -> Result<Vec<QueryOutcome>, CoreError> {
+        if qvecs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let obs = soulmate_obs::global();
+        let n = self.cut.n_authors();
+        // u32::MAX widens losslessly into usize on every supported target;
+        // candidate ids are u32, so a larger model serves exactly.
+        let oversize = n > u32::MAX as usize;
+        let Some(quant) = self.quant.as_ref().filter(|_| !oversize) else {
+            obs.incr("engine.quant.fallbacks", 1);
+            return self.serve(qvecs);
+        };
+        let r = if rerank == 0 {
+            DEFAULT_QUANT_RERANK
+        } else {
+            rerank
+        }
+        .min(n);
+
+        // ---- Stage 1: approximate fused scores in i8. Query unit rows
+        // are residual-quantized against each channel's author mean; the
+        // residual·residual term runs in integer arithmetic and the exact
+        // cross terms are added back (see [`QuantChannel`]). ----
+        let stage1_start = std::time::Instant::now();
+        let content_q: Vec<Vec<f32>> = qvecs.iter().map(|q| q.content_unit.clone()).collect();
+        let concept_q: Vec<Vec<f32>> = qvecs
+            .iter()
+            .map(|q| q.concept_centered_unit.clone())
+            .collect();
+        let content_q = Matrix::from_rows(&content_q)
+            .map_err(|_| CoreError::Internal("query content rows share one dim"))?;
+        let concept_q = Matrix::from_rows(&concept_q)
+            .map_err(|_| CoreError::Internal("query concept rows share one dim"))?;
+        let content_approx = quant.content.approx_dots(&content_q)?;
+        let concept_approx = quant.concept.approx_dots(&concept_q)?;
+        obs.record_duration("engine.quant.stage1.seconds", stage1_start.elapsed());
+
+        // Per query: top-`r` author ids by approximate fused score
+        // (descending, ties by ascending id — a total order, so the
+        // selection is deterministic), emitted ascending for the sparse
+        // cut's fast path.
+        let mut candidate_sets: Vec<Vec<u32>> = Vec::with_capacity(qvecs.len());
+        for qi in 0..qvecs.len() {
+            let (content_row, concept_row) = content_approx
+                .get(qi)
+                .zip(concept_approx.get(qi))
+                .ok_or(CoreError::Internal("one approx row per query"))?;
+            let fused = fused_row_from_dots(&self.model, content_row, concept_row);
+            let mut ids: Vec<usize> = (0..n).collect();
+            let cmp = |&a: &usize, &b: &usize| fused[b].total_cmp(&fused[a]).then(a.cmp(&b));
+            if ids.len() > r {
+                // r >= 1 whenever n >= 1 (rerank 0 maps to the default).
+                ids.select_nth_unstable_by(r - 1, cmp);
+                ids.truncate(r);
+            }
+            ids.sort_unstable();
+            // id < n <= u32::MAX (guarded above): value-preserving cast.
+            candidate_sets.push(ids.into_iter().map(|id| id as u32).collect());
+        }
+        self.serve_candidates(qvecs, candidate_sets, &QUANT_METRICS)
     }
 }
 
@@ -989,6 +1281,17 @@ impl Pipeline {
     pub fn query_engine_ivf(&self, config: &IvfConfig) -> Result<QueryEngine<'_>, CoreError> {
         let mut engine = self.query_engine()?;
         engine.build_index(config)?;
+        Ok(engine)
+    }
+
+    /// Build the serving engine with the i8 fast path enabled —
+    /// [`Pipeline::query_engine`] plus one [`QueryEngine::enable_quant`].
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::new`].
+    pub fn query_engine_quant(&self) -> Result<QueryEngine<'_>, CoreError> {
+        let mut engine = self.query_engine()?;
+        engine.enable_quant();
         Ok(engine)
     }
 }
@@ -1065,6 +1368,33 @@ impl PipelineSnapshot {
     ) -> Result<Vec<QueryOutcome>, CoreError> {
         self.query_engine_ivf(config)?
             .link_query_authors_ivf(queries, nprobe)
+    }
+
+    /// Build the serving engine with the i8 fast path enabled —
+    /// [`PipelineSnapshot::query_engine`] plus one
+    /// [`QueryEngine::enable_quant`].
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::new`].
+    pub fn query_engine_quant(&self) -> Result<QueryEngine<'_>, CoreError> {
+        let mut engine = self.query_engine()?;
+        engine.enable_quant();
+        Ok(engine)
+    }
+
+    /// Batch-serve queries through
+    /// [`PipelineSnapshot::query_engine_quant`] (quantize once, serve
+    /// all).
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryEngine::link_query_authors_quant`].
+    pub fn link_query_authors_quant(
+        &self,
+        queries: &[Vec<(Timestamp, String)>],
+        rerank: usize,
+    ) -> Result<Vec<QueryOutcome>, CoreError> {
+        self.query_engine_quant()?
+            .link_query_authors_quant(queries, rerank)
     }
 }
 
@@ -1550,6 +1880,151 @@ mod tests {
         assert!(
             scored < engine.n_authors() || exact.similarities.iter().any(|&s| s == 0.0),
             "nprobe=1 with 6 centroids should prune someone"
+        );
+    }
+
+    #[test]
+    fn quant_full_rerank_matches_exact_engine_bit_for_bit() {
+        let (d, p) = fitted();
+        let mut engine = p.query_engine().unwrap();
+        engine.enable_quant();
+        assert!(engine.quant_enabled());
+        let n = engine.n_authors();
+        for author in [0u32, 5, 13, 19] {
+            let tweets = author_tweets(&d, author, 6);
+            let exact = engine.link_query(&tweets).unwrap();
+            // rerank >= n triggers the full-re-rank contract: every author
+            // is a candidate, so the whole outcome must be bit-identical.
+            let quant = engine.link_query_quant(&tweets, n).unwrap();
+            assert_eq!(exact.similarities, quant.similarities, "author {author}");
+            assert_eq!(exact.subgraph, quant.subgraph, "author {author}");
+            assert_eq!(exact.subgraph_avg_weight, quant.subgraph_avg_weight);
+            assert_eq!(exact.content_vector, quant.content_vector);
+            assert_eq!(exact.concept_vector, quant.concept_vector);
+        }
+    }
+
+    #[test]
+    fn quant_rerank_contract_scores_candidates_exactly() {
+        let (d, p) = fitted();
+        let engine = p.query_engine_quant().unwrap();
+        let n = engine.n_authors();
+        let rerank = 4;
+        assert!(rerank < n, "fixture must force a partial re-rank");
+        let tweets = author_tweets(&d, 7, 6);
+        let exact = engine.link_query(&tweets).unwrap();
+        let quant = engine.link_query_quant(&tweets, rerank).unwrap();
+        // Every scored candidate carries its exact-path score, bit for
+        // bit — quantization only ever decides *which* authors are scored.
+        let mut scored = 0usize;
+        for (i, (&got, &want)) in quant
+            .similarities
+            .iter()
+            .zip(&exact.similarities)
+            .enumerate()
+        {
+            if got != 0.0 {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "candidate {i} diverges from exact score"
+                );
+                scored += 1;
+            }
+        }
+        assert!(scored > 0, "quantized path scored nothing");
+        assert!(scored <= rerank, "more candidates than rerank budget");
+        // The exact top-1 author must survive stage 1 on this fixture —
+        // i8 error is far smaller than the fixture's score gaps.
+        let top1 = exact
+            .similarities
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(
+            quant.similarities[top1] != 0.0,
+            "exact top-1 author {top1} missing from quantized candidates"
+        );
+    }
+
+    #[test]
+    fn quant_batch_matches_per_query_bit_for_bit() {
+        let (d, p) = fitted();
+        let engine = p.query_engine_quant().unwrap();
+        let queries: Vec<Vec<(Timestamp, String)>> = vec![
+            author_tweets(&d, 2, 6),
+            author_tweets(&d, 8, 4),
+            author_tweets(&d, 17, 9),
+        ];
+        // A small rerank makes the batch union a strict superset of each
+        // query's own candidates — parity proves the shared stage-2 Gram
+        // call scores rows identically to the per-query one.
+        for rerank in [3usize, 8, 0] {
+            let batch = engine.link_query_authors_quant(&queries, rerank).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            for (q, out) in queries.iter().zip(&batch) {
+                let single = engine.link_query_quant(q, rerank).unwrap();
+                assert_eq!(single.similarities, out.similarities, "rerank {rerank}");
+                assert_eq!(single.subgraph, out.subgraph, "rerank {rerank}");
+                assert_eq!(single.subgraph_avg_weight, out.subgraph_avg_weight);
+            }
+        }
+        // Empty batch is fine; an invalid member fails the whole batch.
+        assert!(engine.link_query_authors_quant(&[], 1).unwrap().is_empty());
+        assert!(engine
+            .link_query_authors_quant(&[author_tweets(&d, 1, 3), Vec::new()], 1)
+            .is_err());
+    }
+
+    #[test]
+    fn quant_without_state_falls_back_to_exact() {
+        let (d, p) = fitted();
+        let engine = p.query_engine().unwrap();
+        assert!(!engine.quant_enabled());
+        let tweets = author_tweets(&d, 3, 5);
+        let before = soulmate_obs::global().counter("engine.quant.fallbacks");
+        let quant = engine.link_query_quant(&tweets, 8).unwrap();
+        let exact = engine.link_query(&tweets).unwrap();
+        assert_eq!(exact.similarities, quant.similarities);
+        assert_eq!(exact.subgraph, quant.subgraph);
+        assert!(soulmate_obs::global().counter("engine.quant.fallbacks") > before);
+        // disable_quant drops the state again.
+        let mut engine = p.query_engine_quant().unwrap();
+        assert!(engine.quant_enabled());
+        engine.disable_quant();
+        assert!(!engine.quant_enabled());
+    }
+
+    #[test]
+    fn quant_recall_at_10_is_high_on_fixture() {
+        let (d, p) = fitted();
+        let engine = p.query_engine_quant().unwrap();
+        let n = engine.n_authors();
+        let k = 10.min(n);
+        // A small margin over k: the quantized top-(k+5) must recover the
+        // exact top-k, i.e. i8 error may shuffle ranks only locally.
+        let rerank = (k + 5).min(n);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for author in 0..20u32 {
+            let tweets = author_tweets(&d, author, 6);
+            let exact = engine.link_query(&tweets).unwrap();
+            let quant = engine.link_query_quant(&tweets, rerank).unwrap();
+            let mut ranked: Vec<usize> = (0..n).collect();
+            ranked.sort_by(|&a, &b| exact.similarities[b].total_cmp(&exact.similarities[a]));
+            for &id in ranked.iter().take(k) {
+                total += 1;
+                if quant.similarities[id] != 0.0 {
+                    hits += 1;
+                }
+            }
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(
+            recall >= 0.99,
+            "quantized recall@{k} {recall} below the 0.99 floor"
         );
     }
 

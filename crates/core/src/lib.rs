@@ -54,11 +54,12 @@ pub use baselines::{author_similarity, Method};
 pub use concepts::{
     discover_concepts, discover_concepts_weighted, ConceptConfig, ConceptModel, ConceptSpace,
 };
-pub use engine::{CachedCut, QueryEngine};
+pub use engine::{CachedCut, QueryEngine, DEFAULT_QUANT_RERANK};
 pub use error::CoreError;
 pub use online::{link_query, QueryModel, QueryOutcome, Trigger};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use similarity::{fuse_similarities, similarity_matrix, similarity_matrix_parallel};
+pub use snapshot::binary::{BinaryInfo, SectionInfo, BINARY_MAGIC, BINARY_VERSION};
 pub use snapshot::PipelineSnapshot;
 pub use tcbow::{SlabModel, TcbowConfig, TemporalEmbedding};
 pub use tweetvec::{tweet_vectors, Combiner};

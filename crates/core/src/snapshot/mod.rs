@@ -9,6 +9,8 @@
 //! A loaded snapshot answers [`PipelineSnapshot::link_query_author`]
 //! identically to the pipeline it came from.
 
+pub mod binary;
+
 use crate::error::CoreError;
 use crate::online::{link_query, QueryModel, QueryOutcome};
 use crate::pipeline::Pipeline;
@@ -20,7 +22,7 @@ use soulmate_linalg::Matrix;
 use soulmate_retrieval::IvfConfig;
 use soulmate_text::{TokenizerConfig, Vocabulary};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Serializable `Combiner` mirror (the tweet combiner is the only enum
@@ -116,6 +118,81 @@ pub const SNAPSHOT_VERSION_MIN: u32 = 1;
 /// Serde default for missing standardization stats (identity transform).
 fn default_stats() -> (f32, f32) {
     (0.0, 1.0)
+}
+
+/// Shared atomic-write driver for every snapshot format: the bytes go to
+/// a temporary file in the target directory, are flushed to the end
+/// (buffered-writer errors are *propagated*, not swallowed by a drop),
+/// and the temporary is renamed over `path` only on success — a crash or
+/// a full disk never leaves a truncated snapshot behind.
+///
+/// The temporary name carries the process id *and* a process-global
+/// sequence number, so concurrent saves to the same path — two CLI
+/// processes, or two threads of one serving process (the background
+/// refit story) — each write their own temporary and the destination
+/// only ever receives complete files. With a fixed temp name the writers
+/// raced on the same file and could cross-publish or delete each other's
+/// half-written bytes. Both the JSON [`PipelineSnapshot::save`] and the
+/// binary [`binary::save`] funnel through here so the race cannot be
+/// reintroduced per-format.
+pub(crate) fn atomic_write(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<File>) -> Result<(), CoreError>,
+) -> Result<(), CoreError> {
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let file_name = path.file_name().ok_or_else(|| {
+        CoreError::Invalid(format!("snapshot path {} has no file name", path.display()))
+    })?;
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name(format!(
+        ".{}.tmp-{}-{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let run = || -> Result<(), CoreError> {
+        let file = File::create(&tmp).map_err(|e| CoreError::Io {
+            context: format!("cannot create {}", tmp.display()),
+            source: e,
+        })?;
+        let mut writer = BufWriter::new(file);
+        write(&mut writer)?;
+        writer.flush().map_err(|e| CoreError::Io {
+            context: format!("snapshot write to {} failed", tmp.display()),
+            source: e,
+        })?;
+        std::fs::rename(&tmp, path).map_err(|e| CoreError::Io {
+            context: format!("cannot move snapshot into {}", path.display()),
+            source: e,
+        })
+    };
+    let result = run();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Bytes of file prefix the loader reads to decide the format and peek
+/// the JSON version field. `{"version":4294967295,` is 23 bytes; 32
+/// leaves slack.
+const SNIFF_LEN: usize = 32;
+
+/// Cheaply extract the claimed `version` from a JSON snapshot's leading
+/// bytes, without parsing the document. `serde_json::to_writer` emits
+/// struct fields in declaration order and `version` is declared first,
+/// so every snapshot this workspace ever wrote starts exactly
+/// `{"version":<digits>`. Returns `None` when the prefix doesn't match
+/// that shape (hand-edited or foreign files fall back to the full
+/// parse, which applies the same gate after decoding).
+fn peek_json_version(prefix: &[u8]) -> Option<u64> {
+    let rest = prefix.strip_prefix(b"{\"version\":")?;
+    let digits = rest.iter().position(|b| !b.is_ascii_digit())?;
+    if digits == 0 {
+        return None;
+    }
+    let text = std::str::from_utf8(rest.get(..digits)?).ok()?;
+    text.parse::<u64>().ok()
 }
 
 impl Pipeline {
@@ -216,45 +293,26 @@ impl PipelineSnapshot {
     /// [`CoreError::Invalid`] for unserializable paths/values; the
     /// temporary file is removed on any failure.
     pub fn save(&self, path: &Path) -> Result<(), CoreError> {
-        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let file_name = path.file_name().ok_or_else(|| {
-            CoreError::Invalid(format!("snapshot path {} has no file name", path.display()))
-        })?;
-        let mut tmp = path.to_path_buf();
-        tmp.set_file_name(format!(
-            ".{}.tmp-{}-{}",
-            file_name.to_string_lossy(),
-            std::process::id(),
-            SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-        ));
-        let write = || -> Result<(), CoreError> {
-            let file = File::create(&tmp).map_err(|e| CoreError::Io {
-                context: format!("cannot create {}", tmp.display()),
-                source: e,
-            })?;
-            let mut writer = BufWriter::new(file);
-            serde_json::to_writer(&mut writer, self)
-                .map_err(|e| CoreError::Invalid(format!("snapshot serialization failed: {e}")))?;
-            writer.flush().map_err(|e| CoreError::Io {
-                context: format!("snapshot write to {} failed", tmp.display()),
-                source: e,
-            })?;
-            std::fs::rename(&tmp, path).map_err(|e| CoreError::Io {
-                context: format!("cannot move snapshot into {}", path.display()),
-                source: e,
-            })
-        };
         let start = std::time::Instant::now();
-        let result = write();
-        if result.is_err() {
-            std::fs::remove_file(&tmp).ok();
-        } else {
-            soulmate_obs::global().record_duration("snapshot.save.seconds", start.elapsed());
-        }
-        result
+        atomic_write(path, |writer| {
+            serde_json::to_writer(writer, self)
+                .map_err(|e| CoreError::Invalid(format!("snapshot serialization failed: {e}")))
+        })?;
+        soulmate_obs::global().record_duration("snapshot.save.seconds", start.elapsed());
+        Ok(())
     }
 
-    /// Read a snapshot saved by [`PipelineSnapshot::save`].
+    /// Read a snapshot saved by [`PipelineSnapshot::save`] or
+    /// [`PipelineSnapshot::save_binary`] — the format is detected from
+    /// the file's first bytes, so every caller (CLI `serve`/`link`, the
+    /// server's startup load) transparently accepts both.
+    ///
+    /// Fail-fast contract: the version gate runs **before** the full
+    /// parse in both formats. Binary files are gated on their 16-byte
+    /// prelude ([`binary::load`]); JSON files have their leading
+    /// `{"version":N` peeked from the first [`SNIFF_LEN`] bytes, so a
+    /// wrong-version multi-gigabyte file is rejected without
+    /// deserializing (and allocating) the whole document.
     ///
     /// # Errors
     /// [`CoreError::Io`] when the file cannot be opened,
@@ -263,8 +321,42 @@ impl PipelineSnapshot {
     /// contents are inconsistent or carry an unsupported version.
     pub fn load(path: &Path) -> Result<PipelineSnapshot, CoreError> {
         let start = std::time::Instant::now();
-        let file = File::open(path).map_err(|e| CoreError::Io {
+        let mut file = File::open(path).map_err(|e| CoreError::Io {
             context: format!("cannot open {}", path.display()),
+            source: e,
+        })?;
+        let mut sniff = [0u8; SNIFF_LEN];
+        let mut got = 0usize;
+        while got < SNIFF_LEN {
+            let slot = sniff
+                .get_mut(got..)
+                .ok_or(CoreError::Internal("sniff window out of range"))?;
+            let read = file.read(slot).map_err(|e| CoreError::Io {
+                context: format!("cannot read {}", path.display()),
+                source: e,
+            })?;
+            if read == 0 {
+                break;
+            }
+            got += read;
+        }
+        let prefix = sniff.get(..got).unwrap_or(&[]);
+        if Self::sniff_binary(prefix) {
+            drop(file);
+            return binary::load(path);
+        }
+        if let Some(claimed) = peek_json_version(prefix) {
+            let supported = u64::from(SNAPSHOT_VERSION_MIN)..=u64::from(SNAPSHOT_VERSION);
+            if !supported.contains(&claimed) {
+                // Rejected from the first bytes: the rest of the file —
+                // possibly gigabytes — is never parsed or allocated.
+                return Err(CoreError::Schema(format!(
+                    "unsupported snapshot version {claimed} (expected {SNAPSHOT_VERSION_MIN}..={SNAPSHOT_VERSION})"
+                )));
+            }
+        }
+        file.seek(SeekFrom::Start(0)).map_err(|e| CoreError::Io {
+            context: format!("cannot rewind {}", path.display()),
             source: e,
         })?;
         let mut snapshot: PipelineSnapshot = serde_json::from_reader(BufReader::new(file))
@@ -650,6 +742,42 @@ mod tests {
         let engine = snap.query_engine_ivf(&IvfConfig::default()).unwrap();
         assert!(engine.index().is_some());
         assert!(obs.counter("snapshot.index_rebuilt") > before);
+    }
+
+    #[test]
+    fn peek_json_version_parses_only_the_canonical_prefix() {
+        assert_eq!(peek_json_version(b"{\"version\":2,\"vocab\":"), Some(2));
+        assert_eq!(peek_json_version(b"{\"version\":99}"), Some(99));
+        // Non-canonical shapes defer to the full parse.
+        assert_eq!(peek_json_version(b"{ \"version\": 2 }"), None);
+        assert_eq!(peek_json_version(b"{\"vocab\":{},\"version\":2}"), None);
+        assert_eq!(peek_json_version(b"{\"version\":"), None);
+        assert_eq!(peek_json_version(b"{\"version\":x"), None);
+        assert_eq!(peek_json_version(b""), None);
+        // A number still running at the end of the sniff window is
+        // incomplete — don't trust a truncated read of it.
+        assert_eq!(peek_json_version(b"{\"version\":123456"), None);
+    }
+
+    #[test]
+    fn oversized_bad_version_json_fails_before_full_parse() {
+        // Regression: the loader used to deserialize the entire document
+        // before the version gate, burning full parse time and allocation
+        // on a file it was always going to reject. The tail here is
+        // *invalid* JSON — if the loader ever parsed past the version
+        // field it would report Parse, not Schema.
+        let path = tmp("oversized-badversion.json");
+        let mut bytes = b"{\"version\":99,".to_vec();
+        bytes.resize(8 << 20, b'x');
+        std::fs::write(&path, &bytes).unwrap();
+        let err = PipelineSnapshot::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            CoreError::Schema(msg) => {
+                assert!(msg.contains("version 99"), "unexpected message: {msg}")
+            }
+            other => panic!("expected fast Schema rejection, got {other}"),
+        }
     }
 
     #[test]

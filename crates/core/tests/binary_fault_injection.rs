@@ -1,0 +1,469 @@
+//! Fault-injection harness for the v3 binary snapshot container.
+//!
+//! Companion to `fault_injection.rs` (which attacks the JSON format and
+//! the engine boundary): every hostile byte pattern here — truncation at
+//! every structural boundary, flipped payload and header bytes, offsets
+//! past EOF, adversarial lengths, zero-length / overlapping / duplicate /
+//! unknown sections — must surface as a typed [`CoreError`], never a
+//! panic and never an allocation larger than the file itself. The harness
+//! forges corrupted containers by editing the section table and
+//! re-sealing the header checksum, exactly as an attacker with a hex
+//! editor would.
+
+use soulmate_core::error::CoreError;
+use soulmate_core::pipeline::{Pipeline, PipelineConfig};
+use soulmate_core::snapshot::binary::crc32;
+use soulmate_core::snapshot::PipelineSnapshot;
+use soulmate_corpus::{generate, GeneratorConfig, Timestamp};
+use std::path::PathBuf;
+
+/// Container prelude: magic (8) + version (4) + section count (4).
+const PRELUDE_LEN: usize = 16;
+/// Bytes per section-table entry: kind u32, encoding u32, offset u64,
+/// len u64, crc u32.
+const ENTRY_LEN: usize = 28;
+
+fn fitted() -> (soulmate_corpus::Dataset, Pipeline) {
+    let d = generate(&GeneratorConfig {
+        n_authors: 14,
+        n_communities: 3,
+        n_concepts: 5,
+        entities_per_concept: 8,
+        mean_tweets_per_author: 22,
+        ..GeneratorConfig::small()
+    })
+    .unwrap();
+    let p = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+    (d, p)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("soulmate-binfault-{}-{name}", std::process::id()));
+    p
+}
+
+fn author_tweets(
+    d: &soulmate_corpus::Dataset,
+    author: u32,
+    take: usize,
+) -> Vec<(Timestamp, String)> {
+    d.tweets
+        .iter()
+        .filter(|t| t.author == author)
+        .take(take)
+        .map(|t| (t.timestamp, t.text.clone()))
+        .collect()
+}
+
+/// An in-memory binary container whose header fields can be forged. Every
+/// mutator leaves the header checksum stale; [`Container::reseal`]
+/// recomputes it so the corruption under test is the *only* violation the
+/// reader sees.
+struct Container {
+    bytes: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TableEntry {
+    kind: u32,
+    encoding: u32,
+    offset: u64,
+    len: u64,
+}
+
+impl Container {
+    fn build(quantize: bool) -> Container {
+        let (_, p) = fitted();
+        let snap = p.snapshot(&[]);
+        let path = tmp(if quantize { "build-q.bin" } else { "build.bin" });
+        snap.save_binary(&path, quantize).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        Container { bytes }
+    }
+
+    fn section_count(&self) -> usize {
+        u32::from_le_bytes(self.bytes[12..16].try_into().unwrap()) as usize
+    }
+
+    fn header_len(&self) -> usize {
+        PRELUDE_LEN + self.section_count() * ENTRY_LEN + 4
+    }
+
+    fn entry_at(&self, i: usize) -> usize {
+        PRELUDE_LEN + i * ENTRY_LEN
+    }
+
+    fn entry(&self, i: usize) -> TableEntry {
+        let at = self.entry_at(i);
+        TableEntry {
+            kind: u32::from_le_bytes(self.bytes[at..at + 4].try_into().unwrap()),
+            encoding: u32::from_le_bytes(self.bytes[at + 4..at + 8].try_into().unwrap()),
+            offset: u64::from_le_bytes(self.bytes[at + 8..at + 16].try_into().unwrap()),
+            len: u64::from_le_bytes(self.bytes[at + 16..at + 24].try_into().unwrap()),
+        }
+    }
+
+    fn set_kind(&mut self, i: usize, kind: u32) {
+        let at = self.entry_at(i);
+        self.bytes[at..at + 4].copy_from_slice(&kind.to_le_bytes());
+    }
+
+    fn set_encoding(&mut self, i: usize, encoding: u32) {
+        let at = self.entry_at(i) + 4;
+        self.bytes[at..at + 4].copy_from_slice(&encoding.to_le_bytes());
+    }
+
+    fn set_offset(&mut self, i: usize, offset: u64) {
+        let at = self.entry_at(i) + 8;
+        self.bytes[at..at + 8].copy_from_slice(&offset.to_le_bytes());
+    }
+
+    fn set_len(&mut self, i: usize, len: u64) {
+        let at = self.entry_at(i) + 16;
+        self.bytes[at..at + 8].copy_from_slice(&len.to_le_bytes());
+    }
+
+    fn set_crc(&mut self, i: usize, crc: u32) {
+        let at = self.entry_at(i) + 24;
+        self.bytes[at..at + 4].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Recompute the trailing header checksum over prelude + table, so a
+    /// forged table passes the checksum gate and reaches validation.
+    fn reseal(&mut self) {
+        let hl = self.header_len();
+        let crc = crc32(&self.bytes[..hl - 4]);
+        self.bytes[hl - 4..hl].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Write the (possibly corrupted) bytes and load them through the
+    /// sniffing entry point — the exact path `link`/`serve` take.
+    fn load(&self, name: &str) -> Result<PipelineSnapshot, CoreError> {
+        let path = tmp(name);
+        std::fs::write(&path, &self.bytes).unwrap();
+        let result = PipelineSnapshot::load(&path);
+        std::fs::remove_file(&path).ok();
+        result
+    }
+}
+
+/// Typed-failure assertion: corruption is Parse, structure is Schema —
+/// and a panic (the thing under test) fails the harness itself.
+fn assert_typed(err: &CoreError, label: &str) {
+    assert!(
+        matches!(err, CoreError::Parse(_) | CoreError::Schema(_)),
+        "{label}: gave {err:?}, expected Parse or Schema"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Byte-level corruption.
+// ---------------------------------------------------------------------
+
+#[test]
+fn truncation_at_every_structural_boundary_is_a_typed_error() {
+    let c = Container::build(false);
+    let total = c.bytes.len();
+    // Prelude edges, table edges, and each section's start / interior /
+    // last byte: every proper prefix must fail with a typed error.
+    let mut cuts = vec![
+        0,
+        1,
+        7,
+        8,
+        12,
+        15,
+        PRELUDE_LEN,
+        c.header_len() - 1,
+        c.header_len(),
+    ];
+    for i in 0..c.section_count() {
+        let e = c.entry(i);
+        let (off, len) = (e.offset as usize, e.len as usize);
+        cuts.extend([off, off + 1, off + len / 2, off + len - 1]);
+    }
+    for cut in cuts {
+        assert!(cut < total, "boundary {cut} is not a proper prefix");
+        let truncated = Container {
+            bytes: c.bytes[..cut].to_vec(),
+        };
+        let err = truncated.load("trunc.bin").unwrap_err();
+        assert_typed(&err, &format!("truncation at {cut}/{total}"));
+    }
+    // Control: the untouched bytes load.
+    assert!(c.load("trunc-ctl.bin").is_ok());
+}
+
+#[test]
+fn flipped_payload_bytes_fail_their_section_checksum() {
+    let c = Container::build(false);
+    for i in 0..c.section_count() {
+        let e = c.entry(i);
+        let mut forged = Container {
+            bytes: c.bytes.clone(),
+        };
+        // First, middle, and last byte of the payload.
+        for delta in [0, e.len as usize / 2, e.len as usize - 1] {
+            let at = e.offset as usize + delta;
+            forged.bytes[at] ^= 0xFF;
+        }
+        let err = forged.load("flip.bin").unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Parse(m) if m.contains("checksum")),
+            "section {i}: gave {err:?}, expected a checksum Parse error"
+        );
+    }
+}
+
+#[test]
+fn flipped_header_bytes_fail_the_header_checksum_before_any_payload() {
+    let c = Container::build(false);
+    // Flip one byte per table field span; without a reseal the header
+    // checksum catches it before validation or any payload read.
+    for at in [
+        PRELUDE_LEN,
+        PRELUDE_LEN + 5,
+        PRELUDE_LEN + 9,
+        PRELUDE_LEN + 20,
+    ] {
+        let mut forged = Container {
+            bytes: c.bytes.clone(),
+        };
+        forged.bytes[at] ^= 0x55;
+        let err = forged.load("hdr.bin").unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Parse(m) if m.contains("header checksum")),
+            "byte {at}: gave {err:?}, expected a header-checksum Parse error"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Forged section tables (resealed, so only validation can reject them).
+// ---------------------------------------------------------------------
+
+#[test]
+fn offsets_past_eof_and_overflowing_extents_are_schema_errors() {
+    let base = Container::build(false);
+    let file_len = base.bytes.len() as u64;
+
+    let mut forged = Container {
+        bytes: base.bytes.clone(),
+    };
+    forged.set_offset(0, file_len + 1024);
+    forged.reseal();
+    let err = forged.load("eof.bin").unwrap_err();
+    assert!(
+        matches!(&err, CoreError::Schema(m) if m.contains("past end of file")),
+        "{err:?}"
+    );
+
+    // offset + len overflows u64: checked arithmetic, not a wrap-around
+    // that would alias back into the file.
+    let mut forged = Container {
+        bytes: base.bytes.clone(),
+    };
+    forged.set_offset(1, u64::MAX - 8);
+    forged.reseal();
+    let err = forged.load("ovf.bin").unwrap_err();
+    assert!(
+        matches!(&err, CoreError::Schema(m) if m.contains("overflow")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn adversarial_lengths_are_rejected_before_allocation() {
+    // A multi-exabyte claimed length must be rejected against the
+    // file's actual size before any buffer is sized from it — if the
+    // reader ever allocated from the header this test would abort the
+    // process, not fail an assertion.
+    let base = Container::build(false);
+    for huge in [u64::MAX, u64::MAX / 2, 1 << 40] {
+        let mut forged = Container {
+            bytes: base.bytes.clone(),
+        };
+        forged.set_len(2, huge);
+        forged.reseal();
+        let err = forged.load("huge.bin").unwrap_err();
+        assert_typed(&err, &format!("claimed length {huge}"));
+    }
+}
+
+#[test]
+fn zero_length_sections_are_schema_errors() {
+    let base = Container::build(false);
+    for i in 0..base.section_count() {
+        let mut forged = Container {
+            bytes: base.bytes.clone(),
+        };
+        forged.set_len(i, 0);
+        forged.reseal();
+        let err = forged.load("zero.bin").unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Schema(m) if m.contains("zero length")),
+            "section {i}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn overlapping_sections_are_schema_errors() {
+    let base = Container::build(false);
+    // Move section 1 onto section 0's byte range.
+    let mut forged = Container {
+        bytes: base.bytes.clone(),
+    };
+    forged.set_offset(1, base.entry(0).offset);
+    forged.reseal();
+    let err = forged.load("overlap.bin").unwrap_err();
+    assert!(
+        matches!(&err, CoreError::Schema(m) if m.contains("overlap")),
+        "{err:?}"
+    );
+
+    // A one-byte intrusion is an overlap too.
+    let e0 = base.entry(0);
+    let mut forged = Container {
+        bytes: base.bytes.clone(),
+    };
+    forged.set_offset(1, e0.offset + e0.len - 1);
+    forged.reseal();
+    let err = forged.load("overlap1.bin").unwrap_err();
+    assert_typed(&err, "one-byte overlap");
+}
+
+#[test]
+fn unknown_duplicate_and_mis_encoded_kinds_are_schema_errors() {
+    let base = Container::build(false);
+
+    let mut forged = Container {
+        bytes: base.bytes.clone(),
+    };
+    forged.set_kind(0, 99);
+    forged.reseal();
+    let err = forged.load("kind.bin").unwrap_err();
+    assert!(
+        matches!(&err, CoreError::Schema(m) if m.contains("unknown section kind")),
+        "{err:?}"
+    );
+
+    // Two sections claiming the same kind.
+    let mut forged = Container {
+        bytes: base.bytes.clone(),
+    };
+    let dup = base.entry(1).kind;
+    let enc = base.entry(1).encoding;
+    forged.set_kind(0, dup);
+    forged.set_encoding(0, enc);
+    forged.reseal();
+    let err = forged.load("dup.bin").unwrap_err();
+    assert!(
+        matches!(&err, CoreError::Schema(m) if m.contains("duplicate")),
+        "{err:?}"
+    );
+
+    // A JSON-only kind carrying a matrix encoding.
+    let mut forged = Container {
+        bytes: base.bytes.clone(),
+    };
+    forged.set_encoding(0, 1); // meta must be ENC_JSON
+    forged.reseal();
+    let err = forged.load("enc.bin").unwrap_err();
+    assert!(
+        matches!(&err, CoreError::Schema(m) if m.contains("encoding")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn missing_required_sections_are_schema_errors() {
+    let base = Container::build(false);
+    // Relabel the last required section as the optional index kind (with
+    // its required JSON encoding, so the per-entry check passes and the
+    // completeness check is what fires).
+    let last = base.section_count() - 1;
+    let mut forged = Container {
+        bytes: base.bytes.clone(),
+    };
+    forged.set_kind(last, 8); // KIND_INDEX
+    forged.set_encoding(last, 0); // ENC_JSON
+    forged.reseal();
+    let err = forged.load("missing.bin").unwrap_err();
+    assert!(
+        matches!(&err, CoreError::Schema(m) if m.contains("required section")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn shrunken_matrix_payloads_fail_the_exact_size_check() {
+    // Shrink the tail section by one byte *and* fix up both checksums:
+    // the only remaining defence is the decoder's exact remaining-bytes
+    // check against the rows/cols it parsed — for quantized sections
+    // that arithmetic is the checked rows*8 + cols*4 sidecar math.
+    for quantize in [false, true] {
+        let base = Container::build(quantize);
+        let tail = (0..base.section_count())
+            .max_by_key(|&i| base.entry(i).offset)
+            .unwrap();
+        let e = base.entry(tail);
+        let mut forged = Container {
+            bytes: base.bytes.clone(),
+        };
+        forged.bytes.truncate((e.offset + e.len - 1) as usize);
+        forged.set_len(tail, e.len - 1);
+        let payload = &forged.bytes[e.offset as usize..(e.offset + e.len - 1) as usize].to_vec();
+        forged.set_crc(tail, crc32(payload));
+        forged.reseal();
+        let err = forged.load("shrunk.bin").unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Parse(m) if m.contains("bytes")),
+            "quantize={quantize}: {err:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The control arm: valid containers pass through unchanged.
+// ---------------------------------------------------------------------
+
+#[test]
+fn valid_binary_roundtrip_serves_bit_for_bit() {
+    let (d, p) = fitted();
+    let snap = p.snapshot(&[]);
+    let path = tmp("control.bin");
+    snap.save_binary(&path, false).unwrap();
+    let loaded = PipelineSnapshot::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let engine = loaded.query_engine().unwrap();
+    for author in [0u32, 5, 9] {
+        let tweets = author_tweets(&d, author, 6);
+        let want = p.link_query_author(&tweets).unwrap();
+        let got = engine.link_query(&tweets).unwrap();
+        assert_eq!(want.similarities, got.similarities, "author {author}");
+        assert_eq!(want.subgraph, got.subgraph, "author {author}");
+    }
+}
+
+#[test]
+fn valid_quantized_container_loads_and_serves() {
+    let (d, p) = fitted();
+    let snap = p.snapshot(&[]);
+    let path = tmp("control-q.bin");
+    snap.save_binary(&path, true).unwrap();
+    let loaded = PipelineSnapshot::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Quantization perturbs values, so no bit-parity claim here — but
+    // the dequantized snapshot must validate, build an engine, and serve
+    // well-formed outcomes.
+    let engine = loaded.query_engine().unwrap();
+    let outcome = engine.link_query(&author_tweets(&d, 3, 6)).unwrap();
+    assert_eq!(outcome.similarities.len(), 14);
+    assert!(outcome.similarities.iter().all(|s| s.is_finite()));
+    assert!(!outcome.subgraph.is_empty());
+}

@@ -46,4 +46,7 @@ pub use protocol::{
     cluster_quality, subgraph_precision, weighted_precision, SubgraphPrecision, SubgraphProtocol,
 };
 pub use render::TextTable;
-pub use retrieval::{recall_at_k, recall_sweep, RecallReport};
+pub use retrieval::{
+    quant_recall_at_k, quant_recall_sweep, recall_at_k, recall_sweep, QuantRecallReport,
+    RecallReport,
+};

@@ -22,16 +22,18 @@
 pub mod error;
 pub mod kernels;
 pub mod matrix;
+pub mod quant;
 pub mod sparse;
 pub mod svd;
 pub mod vector;
 
 pub use error::LinalgError;
 pub use kernels::{
-    gram_blocked, gram_blocked_par, gram_rect_blocked, gram_rect_rows_blocked, top1_cosine_batch,
-    NormalizedRows, TILE,
+    dot_i8, gram_blocked, gram_blocked_par, gram_rect_blocked, gram_rect_i8_blocked,
+    gram_rect_rows_blocked, top1_cosine_batch, NormalizedRows, TILE,
 };
 pub use matrix::Matrix;
+pub use quant::{CenteredQuantizedRows, QuantizedRows, QUANT_MAX};
 pub use sparse::SparseMatrix;
 pub use svd::{truncated_svd, truncated_svd_sparse, Svd};
 pub use vector::{

@@ -126,6 +126,16 @@ fn is_test_path(path: &str) -> bool {
 
 fn is_serving_path(path: &str) -> bool {
     let comps = components(path);
+    // The i8 quantization module feeds the serving engine's fast path
+    // directly (snapshot decode + candidate scoring), so it opts into
+    // the serving rules even though the rest of linalg — fit-time
+    // kernels that never see untrusted inputs — does not.
+    if comps
+        .windows(4)
+        .any(|w| w == ["crates", "linalg", "src", "quant.rs"])
+    {
+        return true;
+    }
     comps.windows(3).any(|w| {
         w[0] == "crates"
             && (w[1] == "core"
@@ -386,6 +396,8 @@ mod tests {
         assert!(is_serving_path("./crates/cli/src/main.rs"));
         assert!(is_serving_path("crates/retrieval/src/ivf.rs"));
         assert!(is_serving_path("crates/serve/src/server.rs"));
+        assert!(is_serving_path("crates/core/src/snapshot/binary.rs"));
+        assert!(is_serving_path("crates/linalg/src/quant.rs"));
         assert!(!is_serving_path("crates/linalg/src/kernels.rs"));
         assert!(!is_serving_path("crates/core/tests/x.rs"));
     }

@@ -8,7 +8,9 @@
 //! - `nan-comparator` — no `partial_cmp(..)` chained into `.unwrap()`;
 //! - `non-atomic-write` — no `File::create`/`fs::write` to final paths;
 //! - `panic-in-serving` — no panicking constructs in core/graph/cli/
-//!   retrieval library code (the DESIGN.md §12 guarantee);
+//!   retrieval/serve library code, plus `linalg/src/quant.rs` whose i8
+//!   decode path serves untrusted snapshots (the DESIGN.md §12
+//!   guarantee);
 //! - `allow-without-proof` — every `#[allow]` carries a justification;
 //! - `unguarded-as-cast` — narrowing casts carry proof comments;
 //! - `todo-marker` — no work-in-progress markers on main;

@@ -44,6 +44,11 @@ pub struct ServeConfig {
     /// IVF probe width when the engine carries an index (0 = index
     /// default); ignored on the exact path.
     pub nprobe: usize,
+    /// Re-rank depth when the engine has the i8 fast path built
+    /// (`QueryEngine::enable_quant`): how many stage-1 candidates per
+    /// query are exact-scored (0 = engine default). Ignored on the exact
+    /// and IVF paths.
+    pub rerank: usize,
     /// Socket read timeout: a client that stalls mid-request gets 400
     /// after this long instead of pinning a worker.
     pub read_timeout: Duration,
@@ -58,6 +63,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             max_body_bytes: 1 << 20,
             nprobe: 0,
+            rerank: 0,
             read_timeout: Duration::from_secs(10),
         }
     }
@@ -370,7 +376,8 @@ fn handle_connection(
 
 /// `POST /link`: parse the NDJSON batch, answer it with one
 /// `link_query_authors` call (the IVF variant when the engine carries
-/// an index), and render the outcomes in request order.
+/// an index, the quantized two-stage variant when the i8 fast path is
+/// built), and render the outcomes in request order.
 fn handle_link(
     engine: &QueryEngine<'_>,
     config: &ServeConfig,
@@ -410,6 +417,8 @@ fn handle_link(
     // `--multi` path, so served responses stay bit-identical to it.
     let outcomes = if engine.index().is_some() {
         engine.link_query_authors_ivf(&queries, config.nprobe)
+    } else if engine.quant_enabled() {
+        engine.link_query_authors_quant(&queries, config.rerank)
     } else {
         engine.link_query_authors(&queries)
     };

@@ -246,6 +246,31 @@ fn ivf_serving_matches_the_ivf_engine_path() {
 }
 
 #[test]
+fn quant_serving_matches_the_quant_engine_path() {
+    let (dataset, snapshot) = fixture();
+    let engine = snapshot.query_engine_quant().unwrap();
+    assert!(engine.quant_enabled());
+    let groups: Vec<Vec<(Timestamp, String)>> =
+        (0..3u32).map(|a| author_tweets(&dataset, a, 5)).collect();
+    let direct =
+        soulmate_serve::render_outcomes(&engine.link_query_authors_quant(&groups, 4).unwrap());
+
+    let config = ServeConfig {
+        rerank: 4,
+        ..ServeConfig::default()
+    };
+    with_server(&engine, config, |addr| {
+        let body: String = groups
+            .iter()
+            .map(|g| query_line(g) + "\n")
+            .collect::<String>();
+        let (status, served) = exchange(addr, "POST", "/link", &body);
+        assert_eq!(status, 200, "{served}");
+        assert_eq!(served, direct, "quant response diverged from engine output");
+    });
+}
+
+#[test]
 fn fault_injection_truncated_and_oversized_bodies() {
     let (_, snapshot) = fixture();
     let engine = snapshot.query_engine().unwrap();
