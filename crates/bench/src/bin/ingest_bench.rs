@@ -1,0 +1,480 @@
+//! Incremental-ingestion benchmark: delta insert latency as the author
+//! matrix grows, plus the generation-swap pause observed by a live
+//! `soulmate serve` under concurrent load. Produces BENCH_ingest.json.
+//!
+//! Two phases:
+//!
+//! 1. **Delta scaling** (in-process, no HTTP): starting from a fitted
+//!    snapshot at n authors, chain single-author `ingest` calls so each
+//!    insert lands on a strictly larger matrix. Latencies are bucketed
+//!    by the author count they inserted into, showing how the frozen-
+//!    embedding delta path scales with n.
+//! 2. **Serve swap** (loopback HTTP): run `serve_with_refit` with a
+//!    small refit trigger, hammer `/link` from concurrent clients while
+//!    `/ingest` posts force delta publishes and a background refit
+//!    publish. Every client asserts 200 on every response — a dropped
+//!    or torn request fails the run — and the swap pause is scraped
+//!    from the `serve.swap.seconds` histogram on `/metrics`. The
+//!    acceptance gate is swap pause p99 < 10 ms.
+//!
+//! Usage:
+//!   cargo run --release -p soulmate-bench --bin ingest_bench -- \
+//!     [--authors N] [--inserts N] [--out BENCH_ingest.json]
+
+use soulmate_bench::{default_dataset, default_pipeline_config, report, ExpArgs};
+use soulmate_core::{
+    EngineCell, EngineGeneration, EngineMode, IngestBatch, Pipeline, RefitManager, Trigger,
+};
+use soulmate_corpus::{Dataset, Timestamp};
+use soulmate_serve::{serve_with_refit, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+const LOAD_CLIENTS: usize = 4;
+const DELTA_BUCKETS: usize = 4;
+/// Acceptance gate from DESIGN.md §17: publishing a generation may
+/// stall a concurrent reader for at most this long at the 99th
+/// percentile.
+const SWAP_P99_GATE_MS: f64 = 10.0;
+
+struct DeltaBucket {
+    n_start: usize,
+    n_end: usize,
+    inserts: usize,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+}
+
+struct ServeStats {
+    requests: u64,
+    failures: u64,
+    generations: u64,
+    refits: u64,
+    swap: Option<(u64, f64, f64, f64)>,
+    ingest_delta: Option<(u64, f64, f64, f64)>,
+}
+
+fn main() {
+    let mut authors = 256usize;
+    let mut inserts = 64usize;
+    let mut out_path = "BENCH_ingest.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { break };
+        match flag.as_str() {
+            "--authors" => authors = value.parse().unwrap_or(authors),
+            "--inserts" => inserts = value.parse().unwrap_or(inserts),
+            "--out" => out_path = value,
+            _ => {}
+        }
+    }
+    inserts = inserts.max(DELTA_BUCKETS);
+
+    let exp = ExpArgs {
+        authors,
+        ..ExpArgs::default()
+    };
+    eprintln!("fitting pipeline at n = {authors} (this is the slow part)...");
+    let started = Instant::now();
+    let dataset = default_dataset(&exp);
+    let config = default_pipeline_config(&exp);
+    let pipeline = Pipeline::fit(&dataset, config.clone()).expect("pipeline fits");
+    let handles: Vec<String> = dataset.authors.iter().map(|a| a.handle.clone()).collect();
+    let snapshot = pipeline.snapshot(&handles);
+    eprintln!("fitted in {:.1}s", started.elapsed().as_secs_f64());
+
+    // Phase 1: chained single-author deltas, each against a strictly
+    // larger frozen-embedding generation.
+    let buckets = delta_scaling(&dataset, &snapshot, inserts);
+    for b in &buckets {
+        eprintln!(
+            "delta n {:>5} -> {:>5}: {} inserts, p50 {:.0}us, p99 {:.0}us, mean {:.0}us",
+            b.n_start, b.n_end, b.inserts, b.p50_us, b.p99_us, b.mean_us
+        );
+    }
+
+    // Phase 2: live server spanning delta publishes and >= 1 refit swap.
+    let serve_stats = serve_swap_load(&dataset, &snapshot, config);
+    let (swap_count, swap_p50_us, swap_p99_us, swap_mean_us) =
+        serve_stats.swap.expect("swap histogram recorded");
+    eprintln!(
+        "serve: {} requests, {} failures, {} generations ({} refits), swap pause p50 {:.0}us p99 {:.0}us over {} swaps",
+        serve_stats.requests,
+        serve_stats.failures,
+        serve_stats.generations,
+        serve_stats.refits,
+        swap_p50_us,
+        swap_p99_us,
+        swap_count
+    );
+    assert_eq!(
+        serve_stats.failures, 0,
+        "load clients saw non-200 responses"
+    );
+    assert!(serve_stats.requests > 0, "load clients sent no requests");
+    assert!(
+        serve_stats.generations >= 2,
+        "run must span delta + refit generation swaps, saw {}",
+        serve_stats.generations
+    );
+    let swap_p99_ms = swap_p99_us / 1e3;
+    assert!(
+        swap_p99_ms < SWAP_P99_GATE_MS,
+        "swap pause p99 {swap_p99_ms:.3}ms breaches the {SWAP_P99_GATE_MS}ms gate"
+    );
+    eprintln!("swap pause p99 {swap_p99_ms:.3}ms < {SWAP_P99_GATE_MS}ms gate: ok");
+
+    let json = render_json(
+        authors,
+        inserts,
+        &buckets,
+        &serve_stats,
+        (swap_count, swap_p50_us, swap_p99_us, swap_mean_us),
+        swap_p99_ms,
+    );
+    report::write_report_atomic(std::path::Path::new(&out_path), &json)
+        .expect("write BENCH_ingest.json");
+    eprintln!("wrote {out_path}");
+}
+
+/// One in-vocabulary ingest batch built from an existing author's
+/// tweets (guaranteed vectorizable under the frozen lexicon).
+fn batch_from(dataset: &Dataset, source_author: u32, handle: String) -> IngestBatch {
+    let tweets: Vec<(Timestamp, String)> = dataset
+        .tweets
+        .iter()
+        .filter(|t| t.author == source_author)
+        .take(5)
+        .map(|t| (t.timestamp, t.text.clone()))
+        .collect();
+    IngestBatch { handle, tweets }
+}
+
+fn delta_scaling(
+    dataset: &Dataset,
+    snapshot: &soulmate_core::PipelineSnapshot,
+    inserts: usize,
+) -> Vec<DeltaBucket> {
+    // Author ids are dense u32 indices, so the count fits u32.
+    let n_sources = dataset.authors.len() as u32;
+    let generation =
+        EngineGeneration::from_snapshot(snapshot.clone(), EngineMode::Exact).expect("generation");
+    // Warmup: one insert outside the timed chain.
+    let warm = batch_from(dataset, 0, "delta-warmup".to_string());
+    let (warmed, _) = generation.ingest(&[warm]).expect("warmup ingest");
+    let mut generation = warmed;
+
+    let mut samples: Vec<(usize, f64)> = Vec::with_capacity(inserts);
+    for i in 0..inserts {
+        let n_before = generation.n_authors();
+        // i < inserts (a small CLI arg) fits u32.
+        let batch = batch_from(dataset, (i as u32) % n_sources, format!("delta-{i}"));
+        let t = Instant::now();
+        let (next, outcomes) = generation.ingest(&[batch]).expect("delta ingest");
+        samples.push((n_before, t.elapsed().as_secs_f64()));
+        assert_eq!(outcomes.len(), 1);
+        generation = next;
+    }
+
+    // Bucket by insertion position so the report shows latency vs n.
+    let per_bucket = inserts.div_ceil(DELTA_BUCKETS);
+    samples
+        .chunks(per_bucket)
+        .map(|chunk| {
+            let mut lat: Vec<f64> = chunk.iter().map(|&(_, s)| s).collect();
+            lat.sort_by(f64::total_cmp);
+            DeltaBucket {
+                n_start: chunk.first().map(|&(n, _)| n).unwrap_or(0),
+                n_end: chunk.last().map(|&(n, _)| n + 1).unwrap_or(0),
+                inserts: chunk.len(),
+                p50_us: exact_quantile(&lat, 0.50) * 1e6,
+                p99_us: exact_quantile(&lat, 0.99) * 1e6,
+                mean_us: lat.iter().sum::<f64>() / lat.len() as f64 * 1e6,
+            }
+        })
+        .collect()
+}
+
+fn serve_swap_load(
+    dataset: &Dataset,
+    snapshot: &soulmate_core::PipelineSnapshot,
+    fit_config: soulmate_core::PipelineConfig,
+) -> ServeStats {
+    let generation =
+        EngineGeneration::from_snapshot(snapshot.clone(), EngineMode::Exact).expect("generation");
+    let cell = EngineCell::new(generation);
+    // Every 10 absorbed tweets schedule a refit: each /ingest post below
+    // carries exactly 2 authors x 5 tweets, so each post fires the
+    // trigger (the RefitSignal coalesces overlapping requests).
+    let manager = RefitManager::new(
+        dataset.clone(),
+        fit_config,
+        Trigger::new(10),
+        EngineMode::Exact,
+        None,
+    );
+    let config = ServeConfig {
+        threads: 4,
+        queue_depth: 256,
+        ..ServeConfig::default()
+    };
+
+    // The same query shape serve_load uses: 5 in-vocabulary tweets.
+    let queries: Vec<String> = (0..16u32)
+        .map(|a| {
+            let pairs: Vec<String> = dataset
+                .tweets
+                .iter()
+                .filter(|t| t.author == a)
+                .take(5)
+                .map(|t| format!("[{}, {:?}]", t.timestamp.0, t.text))
+                .collect();
+            format!("[{}]", pairs.join(", "))
+        })
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let requests = AtomicU64::new(0);
+    let failures = AtomicU64::new(0);
+    let mut stats = ServeStats {
+        requests: 0,
+        failures: 0,
+        generations: 0,
+        refits: 0,
+        swap: None,
+        ingest_delta: None,
+    };
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        let cell_ref = &cell;
+        let manager_ref = &manager;
+        let config_ref = &config;
+        let server = scope.spawn(move || {
+            serve_with_refit(cell_ref, Some(manager_ref), config_ref, move |addr| {
+                tx.send(addr).unwrap()
+            })
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("server ready");
+        eprintln!("serving on {addr}");
+
+        let mut clients = Vec::new();
+        for c in 0..LOAD_CLIENTS {
+            let queries = &queries;
+            let stop = &stop;
+            let requests = &requests;
+            let failures = &failures;
+            clients.push(scope.spawn(move || {
+                let mut i = c;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = &queries[i % queries.len()];
+                    let (status, body) = exchange(addr, "/link", q);
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    if status != 200 {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("client {c}: status {status}: {body}");
+                    }
+                    i += 1;
+                }
+            }));
+        }
+
+        // Mid-load ingestion: 4 posts of 2 authors each. Every post is
+        // one delta publish; each also schedules a background refit.
+        let n0 = dataset.authors.len();
+        for round in 0..4usize {
+            let lines: Vec<String> = (0..2)
+                .map(|j| {
+                    // round*2+j <= 9 and n0 is a dense-u32 author count.
+                    let src = ((round * 2 + j) as u32) % (n0 as u32);
+                    let b = batch_from(dataset, src, format!("live-{round}-{j}"));
+                    let tweets: Vec<String> = b
+                        .tweets
+                        .iter()
+                        .map(|(ts, text)| format!("[{}, {:?}]", ts.0, text))
+                        .collect();
+                    format!(
+                        "{{\"handle\": {:?}, \"tweets\": [{}]}}",
+                        b.handle,
+                        tweets.join(", ")
+                    )
+                })
+                .collect();
+            let (status, body) = exchange(addr, "/ingest", &lines.join("\n"));
+            assert_eq!(status, 200, "ingest failed: {body}");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        // 4 delta publishes happened synchronously; wait for at least
+        // one background refit publish on top of them.
+        let deadline = Instant::now() + Duration::from_secs(180);
+        loop {
+            let generation = healthz_generation(addr).unwrap_or(0);
+            if generation >= 5 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no refit publish within 180s (generation stuck at {generation})"
+            );
+            std::thread::sleep(Duration::from_millis(100));
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        for client in clients {
+            client.join().expect("client thread");
+        }
+
+        stats.generations = healthz_generation(addr).unwrap_or(0);
+        let (status, metrics) = exchange_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        stats.swap = histogram_stats(&metrics, "serve.swap.seconds");
+        stats.ingest_delta = histogram_stats(&metrics, "ingest.delta.seconds");
+        stats.refits = counter_value(&metrics, "serve.refits").unwrap_or(0);
+
+        let (status, _) = exchange(addr, "/shutdown", "");
+        assert_eq!(status, 202);
+        server
+            .join()
+            .expect("server thread")
+            .expect("serve exits cleanly");
+    });
+    stats.requests = requests.load(Ordering::Relaxed);
+    stats.failures = failures.load(Ordering::Relaxed);
+    stats
+}
+
+/// Exact (sorted-sample) quantile: the ceil(q*n)-th smallest sample.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    // ceil of q*n for q in [0,1] fits usize: n is a Vec length.
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn exchange(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    stream.set_nodelay(true).ok();
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write request");
+    read_response(&mut stream)
+}
+
+fn exchange_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: 0\r\n\r\n").as_bytes(),
+        )
+        .expect("write request");
+    read_response(&mut stream)
+}
+
+/// The serving generation number reported by `/healthz`.
+fn healthz_generation(addr: SocketAddr) -> Option<u64> {
+    let (status, body) = exchange_get(addr, "/healthz");
+    if status != 200 {
+        return None;
+    }
+    let v = serde_json::from_str::<serde_json::Value>(&body).ok()?;
+    v.get("generation")?.as_u64()
+}
+
+/// `(count, p50_us, p99_us, mean_us)` of one histogram in a registry
+/// JSON export; `None` when absent or never recorded.
+fn histogram_stats(metrics_json: &str, name: &str) -> Option<(u64, f64, f64, f64)> {
+    let v = serde_json::from_str::<serde_json::Value>(metrics_json).ok()?;
+    let h = v.get("histograms")?.get(name)?;
+    let count = h.get("count")?.as_i64()? as u64;
+    let p50 = h.get("p50")?.as_f64()?;
+    let p99 = h.get("p99")?.as_f64()?;
+    let mean = h.get("mean")?.as_f64()?;
+    Some((count, p50 * 1e6, p99 * 1e6, mean * 1e6))
+}
+
+fn counter_value(metrics_json: &str, name: &str) -> Option<u64> {
+    let v = serde_json::from_str::<serde_json::Value>(metrics_json).ok()?;
+    v.get("counters")?.get(name)?.as_u64()
+}
+
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response headers");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, body.to_string())
+}
+
+fn render_json(
+    authors: usize,
+    inserts: usize,
+    buckets: &[DeltaBucket],
+    serve: &ServeStats,
+    swap: (u64, f64, f64, f64),
+    swap_p99_ms: f64,
+) -> String {
+    let (swap_count, swap_p50_us, swap_p99_us, swap_mean_us) = swap;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"description\": \"incremental ingestion: chained single-author delta inserts against the frozen embedding (latency bucketed by the author count inserted into), then a live serve_with_refit run where concurrent /link clients span 4 delta publishes and at least one background refit publish with zero non-200 responses; swap pause is the serve.swap.seconds histogram scraped from /metrics.\",\n",
+    );
+    out.push_str("  \"command\": \"cargo run --release -p soulmate-bench --bin ingest_bench\",\n");
+    out.push_str(&format!("  \"authors\": {authors},\n"));
+    out.push_str(&format!("  \"delta_inserts\": {inserts},\n"));
+    out.push_str("  \"delta_latency_vs_n\": [\n");
+    for (i, b) in buckets.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n_start\": {}, \"n_end\": {}, \"inserts\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}}}{}\n",
+            b.n_start,
+            b.n_end,
+            b.inserts,
+            b.p50_us,
+            b.p99_us,
+            b.mean_us,
+            if i + 1 < buckets.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"serve\": {\n");
+    out.push_str(&format!("    \"load_clients\": {LOAD_CLIENTS},\n"));
+    out.push_str(&format!("    \"requests\": {},\n", serve.requests));
+    out.push_str(&format!("    \"failures\": {},\n", serve.failures));
+    out.push_str(&format!("    \"generations\": {},\n", serve.generations));
+    out.push_str(&format!("    \"refits\": {},\n", serve.refits));
+    match serve.ingest_delta {
+        Some((count, p50_us, p99_us, mean_us)) => out.push_str(&format!(
+            "    \"ingest_delta_seconds\": {{\"count\": {count}, \"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}, \"mean_us\": {mean_us:.1}}},\n"
+        )),
+        None => out.push_str("    \"ingest_delta_seconds\": null,\n"),
+    }
+    out.push_str(&format!(
+        "    \"swap_pause\": {{\"count\": {swap_count}, \"p50_us\": {swap_p50_us:.1}, \"p99_us\": {swap_p99_us:.1}, \"mean_us\": {swap_mean_us:.1}}},\n"
+    ));
+    out.push_str(&format!("    \"swap_pause_p99_ms\": {swap_p99_ms:.3},\n"));
+    out.push_str(&format!(
+        "    \"swap_pause_gate_ms\": {SWAP_P99_GATE_MS:.1}\n"
+    ));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}

@@ -14,7 +14,7 @@
 //! BENCH_online query shape.
 
 use soulmate_bench::{default_dataset, default_pipeline_config, report, ExpArgs};
-use soulmate_core::Pipeline;
+use soulmate_core::{EngineCell, EngineGeneration, EngineMode, Pipeline};
 use soulmate_corpus::Timestamp;
 use soulmate_serve::{serve, ServeConfig};
 use std::io::{Read, Write};
@@ -113,6 +113,14 @@ fn main() {
     };
     eprintln!("direct engine baseline (same query rotation): {direct_engine_mean_us:.0}us/query");
 
+    // The server takes an owned generation behind an EngineCell (the
+    // §17 hot-swap layer); release the baseline engine's borrow of the
+    // snapshot first.
+    drop(engine);
+    let generation =
+        EngineGeneration::from_snapshot(snapshot, EngineMode::Exact).expect("generation builds");
+    let cell = EngineCell::new(generation);
+
     let config = ServeConfig {
         threads: 4,
         queue_depth: 256,
@@ -122,10 +130,10 @@ fn main() {
     let mut engine_histogram: Option<(u64, f64, f64, f64)> = None;
     std::thread::scope(|scope| {
         let (tx, rx) = mpsc::channel();
-        let engine_ref = &engine;
+        let cell_ref = &cell;
         let config_ref = &config;
         let server =
-            scope.spawn(move || serve(engine_ref, config_ref, move |addr| tx.send(addr).unwrap()));
+            scope.spawn(move || serve(cell_ref, config_ref, move |addr| tx.send(addr).unwrap()));
         let addr = rx
             .recv_timeout(Duration::from_secs(30))
             .expect("server ready");

@@ -14,7 +14,10 @@
 )]
 
 use soulmate_bench::ExpArgs;
-use soulmate_core::{IvfConfig, Pipeline, PipelineSnapshot};
+use soulmate_core::{
+    EngineCell, EngineGeneration, EngineMode, IngestBatch, IvfConfig, Pipeline, PipelineSnapshot,
+    RefitManager, Trigger,
+};
 use soulmate_corpus::{generate, io as corpus_io, GeneratorConfig, Timestamp};
 use soulmate_graph::{swmst, WeightedGraph};
 use soulmate_temporal::{similarity_grid, slabs_from_grid, Facet};
@@ -57,7 +60,11 @@ USAGE:
                      [--metrics <metrics.json>] [--stats]
   soulmate serve     --model <model.json> [--port N] [--host H] [--threads N]
                      [--queue N] [--max-body BYTES] [--ivf [--nprobe N]]
-                     [--quant [--rerank N]]
+                     [--quant [--rerank N]] [--refit-data <data.json>
+                     --refit-interval N [--snapshot-out <model.bin>]
+                     [--dim N] [--epochs N] [--seed N]]
+  soulmate ingest    --model <model> --tweets <tweets.txt> --out <model.out>
+                     [--handles a,b,c] [--format binary|json]
   soulmate convert   --model <model> --out <model.bin> [--format binary|json]
                      [--quantize]
   soulmate inspect   --model <model> [--json]
@@ -92,8 +99,21 @@ header alone — no payload byte is read — and summarizes JSON snapshots
 
 `serve` loads the snapshot once and answers `link` queries over HTTP
 until `POST /shutdown` (DESIGN.md §15): NDJSON queries on POST /link,
-metrics JSON on GET /metrics, liveness on GET /healthz. Defaults: port
-7878, loopback host, 4 threads, queue depth 64, 1 MiB body cap.
+new authors on POST /ingest (delta-composed against the frozen
+embedding and hot-swapped in, DESIGN.md §17), metrics JSON on GET
+/metrics, liveness on GET /healthz. Defaults: port 7878, loopback host,
+4 threads, queue depth 64, 1 MiB body cap. With `--refit-data` +
+`--refit-interval N`, every N ingested tweets schedule a background
+full refit over the growing dataset whose result replaces the serving
+generation without dropping requests; `--snapshot-out` persists each
+refit snapshot (binary format, atomic rename), and `--dim`/`--epochs`/
+`--seed` shape the refit fits like `fit`.
+
+`ingest` grows a snapshot offline with the same frozen-embedding delta
+path: the tweets file holds one blank-line-separated group per new
+author (`--handles` names them, default ingested-0..), and the grown
+snapshot is written to `--out` (a stale persisted IVF index is dropped
+rather than served over rows it has never seen).
 Experiment ids: fig1 fig3 fig4 fig8 fig9 fig10 fig11 table5 table6 table7
 ext_popularity ext_community ext_ablation ext_btcbow ext_scaling
 ext_retrieval.";
@@ -114,6 +134,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "subgraphs" => cmd_subgraphs(&flags, out),
         "link" => cmd_link(&flags, out),
         "serve" => cmd_serve(&flags, out),
+        "ingest" => cmd_ingest(&flags, out),
         "slabs" => cmd_slabs(&flags, out),
         "convert" => cmd_convert(&flags, out),
         "inspect" => cmd_inspect(&flags, out),
@@ -349,9 +370,12 @@ fn cmd_link<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     emit_metrics(flags, out)
 }
 
-/// `soulmate serve`: load the snapshot once, build the engine once,
-/// then answer queries over HTTP until `POST /shutdown` drains the
-/// server (DESIGN.md §15).
+/// `soulmate serve`: load the snapshot once, build the initial engine
+/// generation once, then answer queries over HTTP until `POST
+/// /shutdown` drains the server (DESIGN.md §15). `/ingest` grows the
+/// serving generation in place; with `--refit-data` +
+/// `--refit-interval` a background refit manager periodically rebuilds
+/// from scratch and hot-swaps the result in (DESIGN.md §17).
 fn cmd_serve<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     // Every flag is validated before the (expensive) snapshot read —
     // the PR 4 contract: usage errors exit 2 before any file I/O.
@@ -376,9 +400,65 @@ fn cmd_serve<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
         Retrieval::Quant { rerank } => (0, rerank),
         Retrieval::Exact => (0, 0),
     };
+    // Refit flags cross-validate before any I/O too: a tuning flag for
+    // a refit loop that is not configured is a loud usage error.
+    let refit_data = flags.get("refit-data").map(str::to_string);
+    let refit_interval = flags.get_usize("refit-interval")?;
+    if refit_data.is_some() && refit_interval.is_none() {
+        return Err(CliError::Usage(
+            "--refit-data needs --refit-interval N (refit every N ingested tweets)".into(),
+        ));
+    }
+    if refit_interval.is_some() && refit_data.is_none() {
+        return Err(CliError::Usage(
+            "--refit-interval only applies with --refit-data; add the dataset to refit from".into(),
+        ));
+    }
+    if flags.has("snapshot-out") && refit_data.is_none() {
+        return Err(CliError::Usage(
+            "--snapshot-out only applies with --refit-data; it persists refit snapshots".into(),
+        ));
+    }
+    let snapshot_out = flags.get("snapshot-out").map(std::path::PathBuf::from);
+    let seed = flags.get_u64("seed")?.unwrap_or(42);
+    let dim = flags.get_usize("dim")?.unwrap_or(40);
+    let epochs = flags.get_usize("epochs")?.unwrap_or(4);
 
+    let mode = match retrieval {
+        Retrieval::Ivf { .. } => EngineMode::Ivf,
+        Retrieval::Quant { .. } => EngineMode::Quant,
+        Retrieval::Exact => EngineMode::Exact,
+    };
     let model = load_model(flags)?;
-    let engine = build_engine(&model, retrieval)?;
+    let generation = EngineGeneration::from_snapshot(model, mode)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let n_authors = generation.n_authors();
+    let cell = EngineCell::new(generation);
+
+    let manager = match refit_data {
+        Some(path) => {
+            let dataset = corpus_io::load_json(Path::new(&path))
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            let exp = ExpArgs {
+                authors: dataset.n_authors(),
+                seed,
+                dim,
+                epochs,
+                ..Default::default()
+            };
+            let config = soulmate_bench::default_pipeline_config(&exp);
+            // unwrap_or is unreachable: validated as Some above.
+            let interval = refit_interval.unwrap_or(0);
+            Some(RefitManager::new(
+                dataset,
+                config,
+                Trigger::new(interval),
+                mode,
+                snapshot_out,
+            ))
+        }
+        None => None,
+    };
 
     let config = soulmate_serve::ServeConfig {
         host,
@@ -390,15 +470,19 @@ fn cmd_serve<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
         rerank,
         ..soulmate_serve::ServeConfig::default()
     };
-    soulmate_serve::serve(&engine, &config, |addr| {
+    soulmate_serve::serve_with_refit(&cell, manager.as_ref(), &config, |addr| {
         writeln!(
             out,
-            "serving {} authors{} on http://{addr} ({threads} threads, queue {queue_depth})",
-            engine.n_authors(),
+            "serving {n_authors} authors{}{} on http://{addr} ({threads} threads, queue {queue_depth})",
             match retrieval {
                 Retrieval::Ivf { .. } => " with IVF index",
                 Retrieval::Quant { .. } => " with i8 fast path",
                 Retrieval::Exact => "",
+            },
+            if manager.is_some() {
+                ", background refits armed"
+            } else {
+                ""
             },
         )
         .ok();
@@ -408,6 +492,86 @@ fn cmd_serve<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
     })
     .map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(out, "shutdown: drained in-flight requests").ok();
+    Ok(())
+}
+
+/// `soulmate ingest`: grow a snapshot offline with the
+/// frozen-embedding delta path — the same composition `/ingest` serves
+/// online (DESIGN.md §17). Each blank-line-separated tweet group in
+/// the file becomes one new author appended to the snapshot's matrices
+/// and graph structures; the collective embedding itself is untouched,
+/// so the output stays bit-compatible with a server that ingested the
+/// same batches. A persisted IVF index would be stale over the grown
+/// matrix, so it is dropped (the serve/link paths rebuild on demand).
+fn cmd_ingest<W: Write>(flags: &Flags, out: &mut W) -> Result<(), CliError> {
+    // Usage errors before any file I/O (the PR 4 contract).
+    flags.require_path("model")?;
+    let tweets_path = flags.require_path("tweets")?;
+    let out_path = flags.require_path("out")?;
+    let format = flags.get("format").unwrap_or("json");
+    if !matches!(format, "json" | "binary") {
+        return Err(CliError::Usage(format!(
+            "unknown --format `{format}` (expected binary or json)"
+        )));
+    }
+    let handles_flag = flags.get("handles").map(str::to_string);
+
+    let model = load_model(flags)?;
+    let had_index = model.index.is_some();
+    let groups = read_tweet_groups(&tweets_path)?;
+    let handles: Vec<String> = match &handles_flag {
+        Some(list) => {
+            let names: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
+            if names.len() != groups.len() || names.iter().any(String::is_empty) {
+                return Err(CliError::Usage(format!(
+                    "--handles needs {} non-empty comma-separated names (one per tweet group)",
+                    groups.len()
+                )));
+            }
+            names
+        }
+        None => (0..groups.len()).map(|i| format!("ingested-{i}")).collect(),
+    };
+    let batches: Vec<IngestBatch> = handles
+        .into_iter()
+        .zip(groups)
+        .map(|(handle, tweets)| IngestBatch { handle, tweets })
+        .collect();
+
+    let generation = EngineGeneration::from_snapshot(model, EngineMode::Exact)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let (grown, outcomes) = generation
+        .ingest(&batches)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    if format == "json" {
+        grown.snapshot().save(&out_path)
+    } else {
+        grown.snapshot().save_binary(&out_path, false)
+    }
+    .map_err(|e| CliError::Failed(e.to_string()))?;
+
+    let n_tweets: usize = outcomes.iter().map(|o| o.n_tweets).sum();
+    writeln!(
+        out,
+        "ingested {} authors ({n_tweets} tweets) against the frozen embedding -> {} ({} authors total{})",
+        outcomes.len(),
+        out_path.display(),
+        grown.n_authors(),
+        if had_index {
+            ", stale IVF index dropped"
+        } else {
+            ""
+        },
+    )
+    .ok();
+    for o in &outcomes {
+        writeln!(
+            out,
+            "  #{} {}: {} tweets",
+            o.author_index, o.handle, o.n_tweets
+        )
+        .ok();
+    }
     Ok(())
 }
 
@@ -1332,6 +1496,141 @@ mod tests {
         assert_eq!(snap.author_handles.len(), 14);
 
         for p in [&data, &model, &bin] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_refit_flags_cross_validate_before_io() {
+        // None of these reach the (nonexistent) model file: the flag
+        // combination is rejected first, as a Usage error.
+        let err = run_to_string(&[
+            "serve",
+            "--model",
+            "definitely-not-a-file.json",
+            "--refit-interval",
+            "5",
+        ]);
+        match err {
+            Err(CliError::Usage(m)) => assert!(m.contains("--refit-data"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        let err = run_to_string(&[
+            "serve",
+            "--model",
+            "definitely-not-a-file.json",
+            "--refit-data",
+            "also-not-a-file.json",
+        ]);
+        match err {
+            Err(CliError::Usage(m)) => assert!(m.contains("--refit-interval"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        let err = run_to_string(&[
+            "serve",
+            "--model",
+            "definitely-not-a-file.json",
+            "--snapshot-out",
+            "gen.bin",
+        ]);
+        match err {
+            Err(CliError::Usage(m)) => assert!(m.contains("--snapshot-out"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_grows_a_snapshot_offline() {
+        let (data, model) = generate_and_fit("ingest");
+        let tweets = tmp("ingest-tweets.txt");
+        let grown = tmp("ingest-grown.json");
+        let probe = tmp("ingest-probe.txt");
+
+        // Two new authors, blank-line separated, from generated text so
+        // their tokens are in vocabulary.
+        let dataset = corpus_io::load_json(&data).unwrap();
+        let group_a: Vec<String> = dataset
+            .tweets
+            .iter()
+            .take(5)
+            .map(|t| format!("{}\t{}", t.timestamp.0, t.text))
+            .collect();
+        let group_b: Vec<String> = dataset
+            .tweets
+            .iter()
+            .skip(5)
+            .take(4)
+            .map(|t| t.text.clone())
+            .collect();
+        std::fs::write(
+            &tweets,
+            format!("{}\n\n{}", group_a.join("\n"), group_b.join("\n")),
+        )
+        .unwrap();
+
+        // Bad format and wrong handle counts are usage errors.
+        assert!(matches!(
+            run_to_string(&[
+                "ingest",
+                "--model",
+                model.to_str().unwrap(),
+                "--tweets",
+                tweets.to_str().unwrap(),
+                "--out",
+                grown.to_str().unwrap(),
+                "--format",
+                "yaml",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        let err = run_to_string(&[
+            "ingest",
+            "--model",
+            model.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+            "--out",
+            grown.to_str().unwrap(),
+            "--handles",
+            "only-one",
+        ]);
+        match err {
+            Err(CliError::Usage(m)) => assert!(m.contains("2 non-empty"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+
+        let out = run_to_string(&[
+            "ingest",
+            "--model",
+            model.to_str().unwrap(),
+            "--tweets",
+            tweets.to_str().unwrap(),
+            "--out",
+            grown.to_str().unwrap(),
+            "--handles",
+            "alice, bob",
+        ])
+        .unwrap();
+        assert!(out.contains("ingested 2 authors"), "got: {out}");
+        assert!(out.contains("#14 alice"), "got: {out}");
+        assert!(out.contains("#15 bob"), "got: {out}");
+
+        // The grown snapshot is a regular model: 16 authors, loadable,
+        // servable by link.
+        let inspected = run_to_string(&["inspect", "--model", grown.to_str().unwrap()]).unwrap();
+        assert!(inspected.contains("16 authors"), "got: {inspected}");
+        write_query_tweets(&data, &probe);
+        let linked = run_to_string(&[
+            "link",
+            "--model",
+            grown.to_str().unwrap(),
+            "--tweets",
+            probe.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(linked.contains("query author joined"), "got: {linked}");
+
+        for p in [&data, &model, &tweets, &grown, &probe] {
             std::fs::remove_file(p).ok();
         }
     }

@@ -46,6 +46,7 @@ use soulmate_linalg::{dot, CenteredQuantizedRows, Matrix, QuantizedRows};
 use soulmate_retrieval::{Candidates, IvfConfig, IvfIndex};
 use std::cmp::Ordering;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A node's cached top-k view of the base similarity matrix.
 #[derive(Debug, Clone)]
@@ -520,6 +521,139 @@ impl CachedCut {
         q_edges.sort_by(stack_pop_order);
         Ok((removed, q_edges))
     }
+
+    /// Permanently admit one new author into the cached cut: the exact
+    /// edit [`CachedCut::cut_with_query`] computes *per query* — remove
+    /// the displaced base edges, splice the new author's edges into the
+    /// pre-sorted stack — applied in place, plus the top-k bookkeeping a
+    /// transient query never needs (inserting the new index into each
+    /// displaced node's ranking prefix and building the new node's own
+    /// prefix). The result is bit-identical to [`CachedCut::new`] over
+    /// the grown `(n+1)²` similarity matrix (pinned by proptest), in
+    /// `O(n·k + E)` instead of `O(n²)`.
+    ///
+    /// `sims` is the new author's similarity to each existing author;
+    /// `sim` is the base similarity matrix this cut was built over (rows
+    /// may be longer than `n`, e.g. the already-grown `x_total` — only
+    /// the first `n` columns of the first `n` rows are read). The new
+    /// author's node index is the pre-insert `n_authors()`.
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] when `sims` is not length `n` or `sim` has
+    /// fewer than `n` rows/columns.
+    // After the shape validation every index below is < n: `sims`, `topk`
+    // have n entries, prefixes hold node ids < n, and `sim` rows/cols
+    // cover 0..n.
+    #[allow(clippy::indexing_slicing)]
+    pub fn insert_author(&mut self, sim: &[Vec<f32>], sims: &[f32]) -> Result<(), CoreError> {
+        let n = self.n;
+        let k = self.top_k;
+        if sim.len() < n || sim.iter().take(n).any(|row| row.len() < n) {
+            return Err(CoreError::Invalid(format!(
+                "base similarity matrix smaller than {n}x{n}"
+            )));
+        }
+        // Validates sims.len() == n and computes the graph edit under
+        // exactly the rules `from_similarity` would apply to the grown
+        // matrix — the same derivation the per-query path runs.
+        let (removed, q_edges) = self.query_edit_dense(sims)?;
+
+        // Splice: surviving base edges and the new author's edges merged
+        // under `stack_pop_order` (both runs already sorted), which equals
+        // the full re-sort of the grown graph's edge list.
+        let mut merged = Vec::with_capacity(self.base_edges.len() + q_edges.len());
+        {
+            let mut base_iter = self
+                .base_edges
+                .iter()
+                .filter(|e| removed.is_empty() || !removed.contains(&(e.u, e.v)))
+                .peekable();
+            let mut q_iter = q_edges.iter().peekable();
+            loop {
+                match (base_iter.peek(), q_iter.peek()) {
+                    (Some(&b), Some(&q)) => {
+                        if stack_pop_order(q, b) == Ordering::Less {
+                            merged.push(*q);
+                            q_iter.next();
+                        } else {
+                            merged.push(*b);
+                            base_iter.next();
+                        }
+                    }
+                    (Some(&b), None) => {
+                        merged.push(*b);
+                        base_iter.next();
+                    }
+                    (None, Some(&q)) => {
+                        merged.push(*q);
+                        q_iter.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        self.base_edges = merged;
+
+        if k > 0 {
+            // Existing nodes: the new index enters node i's ranking
+            // exactly when it ranks strictly above i's rank-k neighbour
+            // (ties lose — the new index is larger than every existing
+            // one, and the ranking breaks ties by ascending index).
+            for i in 0..n {
+                if !self.query_enters_topk(i, sims[i]) {
+                    continue;
+                }
+                let cache = &mut self.topk[i];
+                // Position under (similarity desc, index asc): after every
+                // neighbour that ranks >= the new score (equal similarity
+                // means the existing, smaller index wins).
+                let pos = cache
+                    .prefix
+                    .partition_point(|&j| sim[i][j].total_cmp(&sims[i]) != Ordering::Less);
+                cache.prefix.insert(pos, n);
+                cache.prefix.truncate(k);
+                cache.kth_sim = (cache.prefix.len() >= k).then(|| {
+                    let j = cache.prefix[k - 1];
+                    if j == n {
+                        sims[i]
+                    } else {
+                        sim[i][j]
+                    }
+                });
+            }
+            // The new node's own prefix, built the way `CachedCut::new`
+            // builds every row: similarity descending, ties by ascending
+            // index (the new node's row is `sims` itself).
+            let mut neighbours: Vec<usize> = (0..n).collect();
+            let cmp = |&a: &usize, &b: &usize| sims[b].total_cmp(&sims[a]).then(a.cmp(&b));
+            if neighbours.len() > k {
+                neighbours.select_nth_unstable_by(k - 1, cmp);
+                neighbours.truncate(k);
+            }
+            neighbours.sort_by(cmp);
+            let kth_sim = (neighbours.len() >= k).then(|| sims[neighbours[k - 1]]);
+            self.topk.push(TopKCache {
+                prefix: neighbours,
+                kth_sim,
+            });
+        }
+
+        self.n = n + 1;
+        // Rank-k similarities changed for every displaced node and one
+        // node was added: recompute the (for any sane matrix, empty)
+        // negative-NaN corner list in one O(n) sweep.
+        self.neg_nan_kth = self
+            .topk
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(t.kth_sim, Some(kth)
+                    if f32::NEG_INFINITY.total_cmp(&kth) == Ordering::Greater)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        Ok(())
+    }
 }
 
 /// One similarity channel of the i8 fast path: the engine's unit rows,
@@ -600,7 +734,7 @@ impl QuantChannel {
 /// queries against these in integer arithmetic; the exact `f32` unit
 /// matrices stay resident for the stage-2 re-rank.
 #[derive(Debug, Clone)]
-struct QuantState {
+pub(crate) struct QuantState {
     /// Quantized unit content rows.
     content: QuantChannel,
     /// Quantized unit (mean-centered) concept rows.
@@ -647,15 +781,25 @@ const QUANT_METRICS: CandidateMetrics = CandidateMetrics {
 #[derive(Debug, Clone)]
 pub struct QueryEngine<'a> {
     model: QueryModel<'a>,
-    content_rows: NormalizedRows,
-    concept_rows: NormalizedRows,
-    cut: CachedCut,
+    parts: EngineParts,
+}
+
+/// The engine's model-independent derived state, every piece behind an
+/// [`Arc`] so an owned generation ([`crate::ingest::EngineGeneration`])
+/// can hand out borrowed [`QueryEngine`] views without rebuilding or
+/// cloning the `O(n·d)` / `O(n·k)` structures per request — cloning
+/// `EngineParts` is five reference-count bumps.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineParts {
+    pub(crate) content_rows: Arc<NormalizedRows>,
+    pub(crate) concept_rows: Arc<NormalizedRows>,
+    pub(crate) cut: Arc<CachedCut>,
     /// Optional sub-linear candidate retriever. `None` = every IVF entry
     /// point silently serves the exact path (and counts the fallback).
-    index: Option<IvfIndex>,
+    pub(crate) index: Option<Arc<IvfIndex>>,
     /// Optional i8 fast path. `None` = every quantized entry point
     /// silently serves the exact path (and counts the fallback).
-    quant: Option<QuantState>,
+    pub(crate) quant: Option<Arc<QuantState>>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -675,12 +819,26 @@ impl<'a> QueryEngine<'a> {
         obs.set_gauge("engine.n_authors", cut.n_authors() as f64);
         Ok(QueryEngine {
             model,
-            content_rows,
-            concept_rows,
-            cut,
-            index: None,
-            quant: None,
+            parts: EngineParts {
+                content_rows: Arc::new(content_rows),
+                concept_rows: Arc::new(concept_rows),
+                cut: Arc::new(cut),
+                index: None,
+                quant: None,
+            },
         })
+    }
+
+    /// Reassemble an engine from a model plus previously derived parts —
+    /// the cheap (reference-count-only) path [`crate::ingest`] uses to
+    /// hand out a per-request engine view over an owned generation.
+    pub(crate) fn from_parts(model: QueryModel<'a>, parts: EngineParts) -> QueryEngine<'a> {
+        QueryEngine { model, parts }
+    }
+
+    /// The engine's shared derived state (see [`EngineParts`]).
+    pub(crate) fn parts(&self) -> &EngineParts {
+        &self.parts
     }
 
     /// The model this engine serves.
@@ -690,12 +848,12 @@ impl<'a> QueryEngine<'a> {
 
     /// The cached query-independent graph cut.
     pub fn cut(&self) -> &CachedCut {
-        &self.cut
+        &self.parts.cut
     }
 
     /// Number of authors in the served model.
     pub fn n_authors(&self) -> usize {
-        self.cut.n_authors()
+        self.parts.cut.n_authors()
     }
 
     /// Link one query author — same contract and same answers as
@@ -751,11 +909,11 @@ impl<'a> QueryEngine<'a> {
             .map_err(|_| CoreError::Internal("query concept rows share one dim"))?;
         // out[q][a] = dot(query_unit_row, author_unit_row) — entry for
         // entry the same dot calls the legacy per-author loop makes.
-        let content_dots = gram_rect_blocked(&content_q, self.content_rows.unit_matrix());
-        let concept_dots = gram_rect_blocked(&concept_q, self.concept_rows.unit_matrix());
+        let content_dots = gram_rect_blocked(&content_q, self.parts.content_rows.unit_matrix());
+        let concept_dots = gram_rect_blocked(&concept_q, self.parts.concept_rows.unit_matrix());
 
         let obs = soulmate_obs::global();
-        let query_index = self.cut.n_authors();
+        let query_index = self.parts.cut.n_authors();
         let mut outcomes = Vec::with_capacity(qvecs.len());
         for (qi, q) in qvecs.into_iter().enumerate() {
             let start = std::time::Instant::now();
@@ -764,7 +922,7 @@ impl<'a> QueryEngine<'a> {
                 .zip(concept_dots.get(qi))
                 .ok_or(CoreError::Internal("one dot row per query"))?;
             let similarities = fused_row_from_dots(&self.model, content_row, concept_row);
-            let (forest, subgraph) = self.cut.cut_with_query_component(&similarities)?;
+            let (forest, subgraph) = self.parts.cut.cut_with_query_component(&similarities)?;
             let subgraph_avg_weight = forest.component_avg_weight(&subgraph);
             obs.record_duration("engine.query.seconds", start.elapsed());
             obs.incr("engine.queries", 1);
@@ -783,7 +941,7 @@ impl<'a> QueryEngine<'a> {
     /// Feature-space dimensionality the retrieval index routes in: the
     /// concatenation of the content and (centered) concept unit rows.
     pub fn retrieval_dim(&self) -> usize {
-        self.content_rows.dim() + self.concept_rows.dim()
+        self.parts.content_rows.dim() + self.parts.concept_rows.dim()
     }
 
     /// The author feature matrix the IVF index is built over: row `a` is
@@ -800,12 +958,24 @@ impl<'a> QueryEngine<'a> {
     /// an engine built by [`QueryEngine::new`]).
     pub fn retrieval_features(&self) -> Result<Matrix, CoreError> {
         let (w_content, w_concept) = fusion_weights(&self.model);
-        let n = self.cut.n_authors();
+        let n = self.parts.cut.n_authors();
         let mut rows: Vec<Vec<f32>> = Vec::with_capacity(n);
         for a in 0..n {
             let mut row = Vec::with_capacity(self.retrieval_dim());
-            row.extend(self.content_rows.unit_row(a).iter().map(|&v| v * w_content));
-            row.extend(self.concept_rows.unit_row(a).iter().map(|&v| v * w_concept));
+            row.extend(
+                self.parts
+                    .content_rows
+                    .unit_row(a)
+                    .iter()
+                    .map(|&v| v * w_content),
+            );
+            row.extend(
+                self.parts
+                    .concept_rows
+                    .unit_row(a)
+                    .iter()
+                    .map(|&v| v * w_concept),
+            );
             rows.push(row);
         }
         Ok(Matrix::from_rows(&rows)?)
@@ -819,7 +989,7 @@ impl<'a> QueryEngine<'a> {
     /// model, unusable configuration).
     pub fn build_index(&mut self, config: &IvfConfig) -> Result<(), CoreError> {
         let features = self.retrieval_features()?;
-        self.index = Some(IvfIndex::build(&features, config)?);
+        self.parts.index = Some(Arc::new(IvfIndex::build(&features, config)?));
         Ok(())
     }
 
@@ -832,15 +1002,15 @@ impl<'a> QueryEngine<'a> {
     /// [`CoreError::Retrieval`] when the index does not fit this model.
     pub fn set_index(&mut self, index: Option<IvfIndex>) -> Result<(), CoreError> {
         if let Some(idx) = &index {
-            idx.validate(self.cut.n_authors(), self.retrieval_dim())?;
+            idx.validate(self.parts.cut.n_authors(), self.retrieval_dim())?;
         }
-        self.index = index;
+        self.parts.index = index.map(Arc::new);
         Ok(())
     }
 
     /// The attached retrieval index, if any.
     pub fn index(&self) -> Option<&IvfIndex> {
-        self.index.as_ref()
+        self.parts.index.as_deref()
     }
 
     /// Probe the attached index for one query's candidate author set
@@ -856,7 +1026,7 @@ impl<'a> QueryEngine<'a> {
         tweets: &[(Timestamp, String)],
         nprobe: usize,
     ) -> Result<Option<Vec<u32>>, CoreError> {
-        let Some(index) = &self.index else {
+        let Some(index) = &self.parts.index else {
             return Ok(None);
         };
         let q = vectorize_query(&self.model, tweets)?;
@@ -927,7 +1097,7 @@ impl<'a> QueryEngine<'a> {
             return Ok(Vec::new());
         }
         let obs = soulmate_obs::global();
-        let Some(index) = &self.index else {
+        let Some(index) = &self.parts.index else {
             obs.incr("engine.ivf.fallbacks", 1);
             return self.serve(qvecs);
         };
@@ -975,7 +1145,7 @@ impl<'a> QueryEngine<'a> {
         metrics: &CandidateMetrics,
     ) -> Result<Vec<QueryOutcome>, CoreError> {
         let obs = soulmate_obs::global();
-        let n = self.cut.n_authors();
+        let n = self.parts.cut.n_authors();
 
         // Union of every query's candidates, ascending; `pos_of[id]` maps
         // an author id to its row in the stage-2 submatrices.
@@ -1015,13 +1185,21 @@ impl<'a> QueryEngine<'a> {
             .map_err(|_| CoreError::Internal("query concept rows share one dim"))?;
         let (content_dots, concept_dots) = if union_ids.len() == n {
             (
-                gram_rect_blocked(&content_q, self.content_rows.unit_matrix()),
-                gram_rect_blocked(&concept_q, self.concept_rows.unit_matrix()),
+                gram_rect_blocked(&content_q, self.parts.content_rows.unit_matrix()),
+                gram_rect_blocked(&concept_q, self.parts.concept_rows.unit_matrix()),
             )
         } else {
             (
-                gram_rect_rows_blocked(&content_q, self.content_rows.unit_matrix(), &union_ids),
-                gram_rect_rows_blocked(&concept_q, self.concept_rows.unit_matrix(), &union_ids),
+                gram_rect_rows_blocked(
+                    &content_q,
+                    self.parts.content_rows.unit_matrix(),
+                    &union_ids,
+                ),
+                gram_rect_rows_blocked(
+                    &concept_q,
+                    self.parts.concept_rows.unit_matrix(),
+                    &union_ids,
+                ),
             )
         };
         obs.record_duration(metrics.stage2_seconds, stage2_start.elapsed());
@@ -1048,7 +1226,10 @@ impl<'a> QueryEngine<'a> {
                 similarities[id as usize] = s;
                 cand_sims.push(s);
             }
-            let (forest, subgraph) = self.cut.cut_with_candidates_component(ids, &cand_sims)?;
+            let (forest, subgraph) = self
+                .parts
+                .cut
+                .cut_with_candidates_component(ids, &cand_sims)?;
             let subgraph_avg_weight = forest.component_avg_weight(&subgraph);
             obs.incr(metrics.queries, 1);
             obs.record(metrics.candidates, ids.len() as f64);
@@ -1079,10 +1260,10 @@ impl<'a> QueryEngine<'a> {
     pub fn enable_quant(&mut self) {
         let obs = soulmate_obs::global();
         let start = std::time::Instant::now();
-        self.quant = Some(QuantState {
-            content: QuantChannel::build(self.content_rows.unit_matrix()),
-            concept: QuantChannel::build(self.concept_rows.unit_matrix()),
-        });
+        self.parts.quant = Some(Arc::new(QuantState {
+            content: QuantChannel::build(self.parts.content_rows.unit_matrix()),
+            concept: QuantChannel::build(self.parts.concept_rows.unit_matrix()),
+        }));
         obs.record_duration("engine.quant.build.seconds", start.elapsed());
         obs.incr("engine.quant.builds", 1);
     }
@@ -1090,12 +1271,12 @@ impl<'a> QueryEngine<'a> {
     /// Drop the i8 fast path; quantized entry points fall back to the
     /// exact path.
     pub fn disable_quant(&mut self) {
-        self.quant = None;
+        self.parts.quant = None;
     }
 
     /// Is the i8 fast path built?
     pub fn quant_enabled(&self) -> bool {
-        self.quant.is_some()
+        self.parts.quant.is_some()
     }
 
     /// [`QueryEngine::link_query`] through the quantized two-stage path:
@@ -1162,11 +1343,11 @@ impl<'a> QueryEngine<'a> {
             return Ok(Vec::new());
         }
         let obs = soulmate_obs::global();
-        let n = self.cut.n_authors();
+        let n = self.parts.cut.n_authors();
         // u32::MAX widens losslessly into usize on every supported target;
         // candidate ids are u32, so a larger model serves exactly.
         let oversize = n > u32::MAX as usize;
-        let Some(quant) = self.quant.as_ref().filter(|_| !oversize) else {
+        let Some(quant) = self.parts.quant.as_ref().filter(|_| !oversize) else {
             obs.incr("engine.quant.fallbacks", 1);
             return self.serve(qvecs);
         };
@@ -1523,6 +1704,65 @@ mod tests {
             prop_assert_eq!(want.components(), got.components());
         }
 
+        /// `insert_author` must leave the cut in *exactly* the state
+        /// `CachedCut::new` builds over the grown `(n+1)²` matrix — same
+        /// sorted edge stack, same top-k prefixes and rank-k
+        /// similarities (bitwise), same negative-NaN corner list — so a
+        /// delta-updated engine and a refit engine serve identical
+        /// queries. Ties and NaNs are exercised on purpose.
+        #[test]
+        fn prop_insert_author_matches_rebuilt_cut(
+            n in 1usize..9,
+            flat in proptest::collection::vec(-2.0f32..2.0, 110),
+            top_k in 0usize..5,
+            min_sim_raw in -2.0f32..2.0,
+        ) {
+            let quant = |v: f32| -> f32 {
+                let q = (v * 4.0).round() / 4.0;
+                if q > 1.75 { f32::NAN } else { q }
+            };
+            let mut x = vec![vec![0.0f32; n]; n];
+            for i in 0..n {
+                x[i][i] = 1.0;
+                for j in (i + 1)..n {
+                    let v = quant(flat[i * n + j]);
+                    x[i][j] = v;
+                    x[j][i] = v;
+                }
+            }
+            let sims: Vec<f32> = (0..n).map(|i| quant(flat[n * n + i])).collect();
+            let min_sim = (min_sim_raw * 4.0).round() / 4.0;
+
+            // The grown symmetric matrix the rebuild sees.
+            let mut grown: Vec<Vec<f32>> = x
+                .iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    let mut r = row.clone();
+                    r.push(sims[i]);
+                    r
+                })
+                .collect();
+            let mut qrow = sims.clone();
+            qrow.push(1.0);
+            grown.push(qrow);
+
+            let mut cut = CachedCut::new(&x, min_sim, top_k).unwrap();
+            cut.insert_author(&grown, &sims).unwrap();
+            let want = CachedCut::new(&grown, min_sim, top_k).unwrap();
+            prop_assert_eq!(want.n, cut.n);
+            prop_assert_eq!(&want.base_edges, &cut.base_edges);
+            prop_assert_eq!(want.topk.len(), cut.topk.len());
+            for (w, g) in want.topk.iter().zip(&cut.topk) {
+                prop_assert_eq!(&w.prefix, &g.prefix);
+                prop_assert_eq!(
+                    w.kth_sim.map(f32::to_bits),
+                    g.kth_sim.map(f32::to_bits)
+                );
+            }
+            prop_assert_eq!(&want.neg_nan_kth, &cut.neg_nan_kth);
+        }
+
         /// The sparse candidate edit must match scattering the same
         /// candidates into a dense `-inf` row — both paths share the
         /// merge, so comparing forests pins the edit computation itself,
@@ -1588,6 +1828,66 @@ mod tests {
             prop_assert_eq!(want.edges(), forest.edges());
             prop_assert_eq!(Some(component), want.query_subgraph(n));
         }
+    }
+
+    #[test]
+    fn sequential_inserts_match_rebuilds_at_every_step() {
+        // Grow a cut three authors at a time and compare against a full
+        // rebuild after every insert — covers prefixes that contain
+        // previously-inserted node indices and repeated displacement.
+        let x = vec![
+            vec![1.0, 0.5, -0.25],
+            vec![0.5, 1.0, 0.75],
+            vec![-0.25, 0.75, 1.0],
+        ];
+        let new_rows = [
+            vec![0.5, 0.8, 0.1],
+            vec![0.9, 0.5, 0.5, 0.6],
+            vec![0.75, -0.5, 0.75, 0.2, 0.75],
+        ];
+        for (min_sim, top_k) in [(0.6f32, 2usize), (10.0, 1), (0.0, 0), (0.25, 3)] {
+            let mut cut = CachedCut::new(&x, min_sim, top_k).unwrap();
+            let mut grown = x.clone();
+            for sims in &new_rows {
+                let n = grown.len();
+                assert_eq!(sims.len(), n);
+                for (row, &s) in grown.iter_mut().zip(sims.iter()) {
+                    row.push(s);
+                }
+                let mut qrow = sims.clone();
+                qrow.push(1.0);
+                grown.push(qrow);
+                cut.insert_author(&grown, sims).unwrap();
+                let want = CachedCut::new(&grown, min_sim, top_k).unwrap();
+                assert_eq!(want.n, cut.n, "min_sim={min_sim} k={top_k}");
+                assert_eq!(want.base_edges, cut.base_edges);
+                for (w, g) in want.topk.iter().zip(&cut.topk) {
+                    assert_eq!(w.prefix, g.prefix);
+                    assert_eq!(w.kth_sim.map(f32::to_bits), g.kth_sim.map(f32::to_bits));
+                }
+                assert_eq!(want.neg_nan_kth, cut.neg_nan_kth);
+            }
+        }
+    }
+
+    #[test]
+    fn insert_author_rejects_bad_shapes() {
+        let x = vec![vec![1.0, 0.2], vec![0.2, 1.0]];
+        let mut cut = CachedCut::new(&x, 0.0, 1).unwrap();
+        // Wrong sims length.
+        assert!(matches!(
+            cut.insert_author(&x, &[0.5]),
+            Err(CoreError::Invalid(_))
+        ));
+        // Base matrix smaller than n x n.
+        assert!(matches!(
+            cut.insert_author(&[vec![1.0, 0.2]], &[0.5, 0.5]),
+            Err(CoreError::Invalid(_))
+        ));
+        assert!(matches!(
+            cut.insert_author(&[vec![1.0], vec![0.2]], &[0.5, 0.5]),
+            Err(CoreError::Invalid(_))
+        ));
     }
 
     #[test]

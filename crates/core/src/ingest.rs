@@ -1,0 +1,747 @@
+//! Incremental ingestion and generation-based serving.
+//!
+//! The paper's premise is a *stream*: new authors and tweets keep
+//! arriving, and the multi-aspect embedding must track them. A full
+//! [`Pipeline::fit`] per batch is the correct but unaffordable answer
+//! (superlinear in corpus size); this module provides the production
+//! split:
+//!
+//! * **Delta path** ([`EngineGeneration::ingest`]) — new authors are
+//!   vectorized against the *frozen* offline model (the same
+//!   [`crate::online::vectorize_query`] the query path uses, so an
+//!   ingested author's vectors are bit-identical to what a query with
+//!   the same tweets would compute), appended to the author matrices and
+//!   similarity structures, and spliced into the cached graph cut via
+//!   [`crate::engine::CachedCut::insert_author`] — `O(n·d + n·k)` per author instead of
+//!   a refit. Under the frozen-embedding contract the delta-updated
+//!   engine answers queries **bit-identically** to an engine rebuilt
+//!   from scratch over the grown snapshot (pinned by proptest); only a
+//!   full refit can change the embedding itself.
+//! * **Refit path** ([`RefitManager`]) — the existing
+//!   [`Trigger`] (Section 4.2.1) counts arriving tweets and schedules a
+//!   full [`Pipeline::fit`] over the grown dataset as a background job;
+//!   the resulting snapshot is persisted through the atomic temp+rename
+//!   v3 binary writer and becomes the next serving generation.
+//! * **Hot swap** ([`EngineCell`]) — generations are owned,
+//!   `Arc`-swappable engine states. Workers clone the current generation
+//!   per request (five reference-count bumps) and the publisher replaces
+//!   the slot under a mutex held for nanoseconds, so a refit lands with
+//!   zero dropped or blocked requests and every in-flight request keeps
+//!   serving from one consistent generation.
+//!
+//! ## Staleness bound (what "approximate until refit" means)
+//!
+//! Between refits the collective embedding, concept centroids, fusion
+//! stats and vocabulary are frozen. An ingested author's vectors are
+//! exactly what the offline pipeline would compute *given those frozen
+//! resources*; what drifts is the resources themselves (new vocabulary is
+//! OOV, concept structure may shift). The [`Trigger`] interval is
+//! therefore the staleness bound: at most `interval` tweets are ever
+//! composed against a stale embedding before a refit folds them in. An
+//! attached IVF index is *detached* on ingest (its centroid assignment
+//! predates the new rows; counted in `ingest.index_detached`) and
+//! rebuilt at the next refit — IVF entry points transparently fall back
+//! to the exact path meanwhile. Quantized state is rebuilt inline
+//! (deterministic, `O(n·d)`).
+
+use crate::engine::{EngineParts, QueryEngine};
+use crate::error::CoreError;
+use crate::online::{fused_row_from_dots, vectorize_query, Trigger};
+use crate::pipeline::{Pipeline, PipelineConfig};
+use crate::snapshot::PipelineSnapshot;
+use soulmate_corpus::{Author, Dataset, Timestamp, Tweet};
+use soulmate_linalg::{dot, sub_assign};
+use soulmate_retrieval::IvfConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One new author to ingest: a display handle plus their tweets.
+#[derive(Debug, Clone)]
+pub struct IngestBatch {
+    /// Display handle for the new author.
+    pub handle: String,
+    /// The author's tweets (timestamps in corpus minutes).
+    pub tweets: Vec<(Timestamp, String)>,
+}
+
+/// What one ingested author became.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// The author's row index in the grown model.
+    pub author_index: usize,
+    /// The handle as stored.
+    pub handle: String,
+    /// Tweets that contributed (the whole batch; empty-vocabulary tweets
+    /// drop out during vectorization but still count as arrivals).
+    pub n_tweets: usize,
+}
+
+/// Which serving extras a generation builds on top of the exact engine.
+///
+/// The mode is a property of the *deployment*, not of one generation:
+/// [`EngineGeneration::ingest`] and [`RefitManager::refit`] both
+/// propagate it, so a quantized server stays quantized across swaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Exact path only.
+    Exact,
+    /// IVF candidate retrieval (index reconciled from the snapshot or
+    /// rebuilt). A delta-updated generation detaches the index until the
+    /// next refit.
+    Ivf,
+    /// i8 quantized fast path.
+    Quant,
+}
+
+/// An owned, swappable serving state: a [`PipelineSnapshot`] plus the
+/// engine's derived structures, every heavy piece behind an `Arc`.
+///
+/// [`QueryEngine`] borrows its model, which is the right shape for a CLI
+/// one-shot but cannot be swapped under a running server (the workers'
+/// borrows pin it). A generation *owns* the snapshot and holds the
+/// derived parts ([`EngineParts`]) by `Arc`, so
+/// [`EngineGeneration::engine`] hands out a borrowed engine view in a
+/// few reference-count bumps — build once, serve forever, drop when the
+/// last in-flight request finishes.
+#[derive(Debug)]
+pub struct EngineGeneration {
+    snapshot: PipelineSnapshot,
+    parts: EngineParts,
+    mode: EngineMode,
+}
+
+impl EngineGeneration {
+    /// Build a generation from an owned snapshot.
+    ///
+    /// # Errors
+    /// Same conditions as the corresponding
+    /// [`PipelineSnapshot::query_engine`] family.
+    pub fn from_snapshot(
+        snapshot: PipelineSnapshot,
+        mode: EngineMode,
+    ) -> Result<EngineGeneration, CoreError> {
+        let parts = match mode {
+            EngineMode::Exact => snapshot.query_engine()?.parts().clone(),
+            EngineMode::Ivf => snapshot
+                .query_engine_ivf(&IvfConfig::default())?
+                .parts()
+                .clone(),
+            EngineMode::Quant => snapshot.query_engine_quant()?.parts().clone(),
+        };
+        Ok(EngineGeneration {
+            snapshot,
+            parts,
+            mode,
+        })
+    }
+
+    /// A borrowed engine view over this generation — cheap enough to
+    /// call per request.
+    pub fn engine(&self) -> QueryEngine<'_> {
+        QueryEngine::from_parts(self.snapshot.query_model(), self.parts.clone())
+    }
+
+    /// The generation's snapshot (e.g. for persisting after ingest).
+    pub fn snapshot(&self) -> &PipelineSnapshot {
+        &self.snapshot
+    }
+
+    /// The serving mode this generation was built with.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Number of authors served.
+    pub fn n_authors(&self) -> usize {
+        self.snapshot.author_handles.len()
+    }
+
+    /// Delta-ingest new authors against the frozen offline model,
+    /// returning a **new** generation (this one is untouched — in-flight
+    /// requests keep their consistent view; publish the result through
+    /// an [`EngineCell`]).
+    ///
+    /// Per author: vectorize with the query-path machinery, compute the
+    /// fused similarity row against the current rows (unit-dot +
+    /// [`fused_row_from_dots`], bit-identical to a query's row), grow
+    /// the snapshot matrices and `x_total` (the new diagonal entry is
+    /// the author's fused self-similarity — the same value a refit's
+    /// cosine diagonal would z-score to; the graph cut skips diagonals
+    /// either way), and splice the new edges into the cached cut. The
+    /// quantized state is rebuilt (deterministic); an IVF index is
+    /// detached until the next refit.
+    ///
+    /// # Errors
+    /// [`CoreError::Invalid`] when `batches` is empty or any author has
+    /// no tweets / no in-vocabulary token — the batch fails as a whole
+    /// before any state is published, so a partial ingest can never be
+    /// observed.
+    pub fn ingest(
+        &self,
+        batches: &[IngestBatch],
+    ) -> Result<(EngineGeneration, Vec<IngestOutcome>), CoreError> {
+        if batches.is_empty() {
+            return Err(CoreError::Invalid("empty ingest batch".into()));
+        }
+        let obs = soulmate_obs::global();
+        let start = std::time::Instant::now();
+
+        let mut snapshot = self.snapshot.clone();
+        let mut content_rows = (*self.parts.content_rows).clone();
+        let mut concept_rows = (*self.parts.concept_rows).clone();
+        let mut cut = (*self.parts.cut).clone();
+        let mut outcomes = Vec::with_capacity(batches.len());
+        let mut total_tweets = 0u64;
+
+        for batch in batches {
+            let q = vectorize_query(&snapshot.query_model(), &batch.tweets)?;
+            let n = cut.n_authors();
+
+            // The new author's fused similarity row against every
+            // existing author — the exact sequence the query path runs,
+            // so the grown x_total entry for (existing, new) is bitwise
+            // the score a query with these tweets would have reported.
+            let content_dots: Vec<f32> = (0..n)
+                .map(|a| dot(&q.content_unit, content_rows.unit_row(a)))
+                .collect();
+            let concept_dots: Vec<f32> = (0..n)
+                .map(|a| dot(&q.concept_centered_unit, concept_rows.unit_row(a)))
+                .collect();
+            let sims = fused_row_from_dots(&snapshot.query_model(), &content_dots, &concept_dots);
+            // Fused self-similarity for the diagonal: unit self-dots
+            // (exactly 1.0 for any non-degenerate vector) through the
+            // same fusion — finite by construction, ignored by the cut.
+            let self_sim = fused_row_from_dots(
+                &snapshot.query_model(),
+                &[dot(&q.content_unit, &q.content_unit)],
+                &[dot(&q.concept_centered_unit, &q.concept_centered_unit)],
+            )
+            .first()
+            .copied()
+            .ok_or(CoreError::Internal("one self-dot in, one score out"))?;
+
+            // Grow the snapshot: raw vectors, handle, x_total column+row.
+            snapshot.author_content.push_row(&q.content)?;
+            snapshot.author_concept.push_row(&q.concept)?;
+            for (row, &s) in snapshot.x_total.iter_mut().zip(&sims) {
+                row.push(s);
+            }
+            let mut qrow = sims.clone();
+            qrow.push(self_sim);
+            snapshot.x_total.push(qrow);
+            snapshot.author_handles.push(batch.handle.clone());
+
+            // Grow the derived rows with the same normalization
+            // `NormalizedRows::from_matrix` applies, then splice the new
+            // author's edges into the cached cut.
+            content_rows.push(&q.content)?;
+            let mut centered = q.concept.clone();
+            sub_assign(&mut centered, &snapshot.concept_means);
+            concept_rows.push(&centered)?;
+            cut.insert_author(&snapshot.x_total, &sims)?;
+
+            total_tweets += batch.tweets.len() as u64;
+            outcomes.push(IngestOutcome {
+                author_index: n,
+                handle: batch.handle.clone(),
+                n_tweets: batch.tweets.len(),
+            });
+        }
+
+        let mut parts = EngineParts {
+            content_rows: Arc::new(content_rows),
+            concept_rows: Arc::new(concept_rows),
+            cut: Arc::new(cut),
+            index: None,
+            quant: None,
+        };
+        if self.parts.index.is_some() {
+            // The coarse centroids predate the new rows; a stale index
+            // must never route a query, so it is dropped (entry points
+            // fall back to exact) and rebuilt by the next refit.
+            obs.incr("ingest.index_detached", 1);
+        }
+        snapshot.index = None;
+        if self.parts.quant.is_some() {
+            // Rebuild through the engine mutator so the quantized state
+            // is byte-identical to a fresh `enable_quant` on the grown
+            // rows (quantization is deterministic).
+            let mut tmp = QueryEngine::from_parts(snapshot.query_model(), parts.clone());
+            tmp.enable_quant();
+            parts = tmp.parts().clone();
+        }
+
+        obs.incr("ingest.batches", 1);
+        obs.incr("ingest.authors", batches.len() as u64);
+        obs.incr("ingest.tweets", total_tweets);
+        obs.record_duration("ingest.delta.seconds", start.elapsed());
+
+        Ok((
+            EngineGeneration {
+                snapshot,
+                parts,
+                mode: self.mode,
+            },
+            outcomes,
+        ))
+    }
+}
+
+/// The swap point between the serving workers and the
+/// ingest/refit publishers: a mutex-guarded `Arc` slot plus a
+/// monotonically increasing generation counter.
+///
+/// Readers call [`EngineCell::current`] once per request — lock, clone
+/// the `Arc`, unlock (nanoseconds; the lock is never held across any
+/// engine work) — so every request is served from exactly one
+/// generation, and a publish never blocks or drops a request: old
+/// generations stay alive until their last in-flight request drops its
+/// `Arc`.
+#[derive(Debug)]
+pub struct EngineCell {
+    slot: Mutex<Arc<EngineGeneration>>,
+    generation: AtomicU64,
+}
+
+impl EngineCell {
+    /// Wrap the initial generation (generation number 0).
+    pub fn new(initial: EngineGeneration) -> EngineCell {
+        let obs = soulmate_obs::global();
+        obs.set_gauge("serve.generation", 0.0);
+        EngineCell {
+            slot: Mutex::new(Arc::new(initial)),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current generation. Each call is one lock + `Arc` clone.
+    pub fn current(&self) -> Arc<EngineGeneration> {
+        // A poisoned lock only means a publisher panicked *between*
+        // assignments; the slot always holds a complete generation, so
+        // serving continues on whatever is present.
+        Arc::clone(&self.slot.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// The current generation number (0-based; bumped per publish).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Atomically swap in a new generation; returns its number.
+    ///
+    /// The observable swap pause — how long a concurrent
+    /// [`EngineCell::current`] can be made to wait — is the duration the
+    /// lock is held here, recorded as `serve.swap.seconds`.
+    pub fn publish(&self, next: EngineGeneration) -> u64 {
+        let obs = soulmate_obs::global();
+        let number = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let start = std::time::Instant::now();
+        {
+            let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+            *slot = Arc::new(next);
+        }
+        obs.record_duration("serve.swap.seconds", start.elapsed());
+        obs.set_gauge("serve.generation", number as f64);
+        number
+    }
+}
+
+/// The background-refit coordinator: owns the growing dataset, the
+/// pipeline configuration and the rebuild [`Trigger`], and runs full
+/// [`Pipeline::fit`] refits over the grown corpus.
+///
+/// [`RefitManager::absorb`] is called on every ingest (cheap, under a
+/// short lock); when it reports the trigger fired, the caller schedules
+/// [`RefitManager::refit`] on a background thread — the dataset is
+/// cloned under the lock and the (minutes-long at scale) fit runs
+/// outside it, so ingestion and serving continue throughout.
+#[derive(Debug)]
+pub struct RefitManager {
+    config: PipelineConfig,
+    mode: EngineMode,
+    /// Where refit snapshots are persisted (v3 binary, atomic
+    /// temp+rename), `None` to keep generations in memory only.
+    out_path: Option<PathBuf>,
+    inner: Mutex<RefitInner>,
+}
+
+#[derive(Debug)]
+struct RefitInner {
+    dataset: Dataset,
+    trigger: Trigger,
+}
+
+impl RefitManager {
+    /// Coordinate refits over `dataset` with the given fit config and
+    /// trigger interval (`Trigger::new(0)` never fires — delta-only
+    /// deployments use exactly that).
+    pub fn new(
+        dataset: Dataset,
+        config: PipelineConfig,
+        trigger: Trigger,
+        mode: EngineMode,
+        out_path: Option<PathBuf>,
+    ) -> RefitManager {
+        RefitManager {
+            config,
+            mode,
+            out_path,
+            inner: Mutex::new(RefitInner { dataset, trigger }),
+        }
+    }
+
+    /// Fold an ingested batch into the growing dataset and notify the
+    /// trigger with the tweet arrivals. Returns `true` when a refit is
+    /// due. (The eval-only ground-truth arrays are not extended — the
+    /// fit reads only the lexicon; linking precision for ingested
+    /// authors is a query-time question.)
+    pub fn absorb(&self, batches: &[IngestBatch]) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut new_tweets = 0usize;
+        for batch in batches {
+            // Dataset invariant: `authors[i].id == i`, `tweets[i].id == i`.
+            // Author/tweet counts stay far below u32::MAX in any corpus
+            // this system serves; saturate rather than wrap regardless.
+            let author_id = u32::try_from(inner.dataset.authors.len()).unwrap_or(u32::MAX);
+            inner.dataset.authors.push(Author {
+                id: author_id,
+                handle: batch.handle.clone(),
+            });
+            for (timestamp, text) in &batch.tweets {
+                let tweet_id = u32::try_from(inner.dataset.tweets.len()).unwrap_or(u32::MAX);
+                inner.dataset.tweets.push(Tweet {
+                    id: tweet_id,
+                    author: author_id,
+                    timestamp: *timestamp,
+                    text: text.clone(),
+                    popularity: 0,
+                });
+                new_tweets += 1;
+            }
+        }
+        inner.trigger.notify(new_tweets)
+    }
+
+    /// Tweets accumulated toward the next trigger firing.
+    pub fn pending(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .trigger
+            .pending()
+    }
+
+    /// How many refits the trigger has signalled so far.
+    pub fn times_fired(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .trigger
+            .times_fired()
+    }
+
+    /// Run one full refit over the grown dataset: clone the dataset
+    /// under the lock, [`Pipeline::fit`] outside it, persist the fresh
+    /// snapshot (when configured) through the atomic v3 binary writer,
+    /// and build the next generation. The caller publishes the result
+    /// through an [`EngineCell`].
+    ///
+    /// # Errors
+    /// Same conditions as [`Pipeline::fit`] /
+    /// [`EngineGeneration::from_snapshot`], plus I/O errors from the
+    /// snapshot writer.
+    pub fn refit(&self) -> Result<EngineGeneration, CoreError> {
+        let obs = soulmate_obs::global();
+        let start = std::time::Instant::now();
+        let dataset = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dataset
+            .clone();
+        let pipeline = Pipeline::fit(&dataset, self.config.clone())?;
+        let handles: Vec<String> = dataset.authors.iter().map(|a| a.handle.clone()).collect();
+        let snapshot = pipeline.snapshot(&handles);
+        if let Some(path) = &self.out_path {
+            snapshot.save_binary(path, false)?;
+        }
+        let generation = EngineGeneration::from_snapshot(snapshot, self.mode)?;
+        obs.incr("serve.refits", 1);
+        obs.record_duration("refit.seconds", start.elapsed());
+        Ok(generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use proptest::prelude::*;
+    use soulmate_corpus::{generate, GeneratorConfig};
+
+    fn fitted() -> (Dataset, Pipeline) {
+        let d = generate(&GeneratorConfig {
+            n_authors: 18,
+            n_communities: 4,
+            n_concepts: 6,
+            entities_per_concept: 10,
+            mean_tweets_per_author: 30,
+            ..GeneratorConfig::small()
+        })
+        .unwrap();
+        let p = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+        (d, p)
+    }
+
+    static FIT_SHARED: std::sync::OnceLock<(Dataset, PipelineSnapshot)> =
+        std::sync::OnceLock::new();
+
+    /// One fitted snapshot shared across proptest cases — fitting
+    /// dominates the case body by orders of magnitude.
+    fn fitted_shared() -> &'static (Dataset, PipelineSnapshot) {
+        FIT_SHARED.get_or_init(|| {
+            let (d, p) = fitted();
+            let handles: Vec<String> = d.authors.iter().map(|a| a.handle.clone()).collect();
+            let snapshot = p.snapshot(&handles);
+            (d, snapshot)
+        })
+    }
+
+    fn author_tweets(d: &Dataset, author: u32, take: usize) -> Vec<(Timestamp, String)> {
+        d.tweets
+            .iter()
+            .filter(|t| t.author == author)
+            .take(take)
+            .map(|t| (t.timestamp, t.text.clone()))
+            .collect()
+    }
+
+    fn batch(d: &Dataset, author: u32, take: usize, handle: &str) -> IngestBatch {
+        IngestBatch {
+            handle: handle.to_string(),
+            tweets: author_tweets(d, author, take),
+        }
+    }
+
+    /// The delta-vs-refit contract, engine level: after N delta inserts
+    /// the generation's engine must answer `link_query_authors`
+    /// **bit-identically** to a from-scratch engine built over the grown
+    /// snapshot (same matrices, same `x_total`) — similarities,
+    /// subgraphs and average weights all exact. What stays approximate
+    /// until a real refit is only the frozen embedding itself; given the
+    /// frozen resources, delta and rebuild are the same function.
+    #[test]
+    fn delta_ingest_matches_from_scratch_engine_on_grown_snapshot() {
+        let (d, snapshot) = fitted_shared();
+        let gen0 = EngineGeneration::from_snapshot(snapshot.clone(), EngineMode::Exact).unwrap();
+        let n0 = gen0.n_authors();
+
+        let batches = vec![
+            batch(d, 2, 9, "ingest-a"),
+            batch(d, 11, 5, "ingest-b"),
+            batch(d, 7, 12, "ingest-c"),
+        ];
+        let (gen1, outcomes) = gen0.ingest(&batches).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].author_index, n0);
+        assert_eq!(outcomes[2].author_index, n0 + 2);
+        assert_eq!(gen1.n_authors(), n0 + 3);
+        assert_eq!(gen0.n_authors(), n0, "source generation is untouched");
+        assert_eq!(gen1.snapshot().author_handles[n0], "ingest-a");
+
+        let fresh = QueryEngine::new(gen1.snapshot().query_model()).unwrap();
+        let delta = gen1.engine();
+        let queries: Vec<Vec<(Timestamp, String)>> = [0u32, 5, 9, 13]
+            .iter()
+            .map(|&a| author_tweets(d, a, 7))
+            .collect();
+        let want = fresh.link_query_authors(&queries).unwrap();
+        let got = delta.link_query_authors(&queries).unwrap();
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.query_index, g.query_index);
+            assert_eq!(w.similarities, g.similarities);
+            assert_eq!(w.subgraph, g.subgraph);
+            assert_eq!(w.subgraph_avg_weight, g.subgraph_avg_weight);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Random ingest sequences (random source authors, tweet counts,
+        /// batch splits) keep the delta engine bit-identical to the
+        /// from-scratch engine on the grown snapshot — including when the
+        /// ingested author is a near-duplicate of an existing one (ties
+        /// in the ranking prefixes).
+        #[test]
+        fn prop_delta_vs_refit_equivalence(
+            sources in proptest::collection::vec((0u32..18, 3usize..12), 1..5),
+            query_author in 0u32..18,
+        ) {
+            let (d, snapshot) = fitted_shared();
+            let gen0 =
+                EngineGeneration::from_snapshot(snapshot.clone(), EngineMode::Exact).unwrap();
+            let batches: Vec<IngestBatch> = sources
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, take))| batch(d, a, take, &format!("new-{i}")))
+                .collect();
+            let (gen1, _) = gen0.ingest(&batches).unwrap();
+            prop_assert_eq!(gen1.n_authors(), gen0.n_authors() + batches.len());
+
+            let fresh = QueryEngine::new(gen1.snapshot().query_model()).unwrap();
+            let tweets = author_tweets(d, query_author, 6);
+            let want = fresh.link_query(&tweets).unwrap();
+            let got = gen1.engine().link_query(&tweets).unwrap();
+            prop_assert_eq!(want.query_index, got.query_index);
+            prop_assert_eq!(&want.similarities, &got.similarities);
+            prop_assert_eq!(&want.subgraph, &got.subgraph);
+            prop_assert_eq!(want.subgraph_avg_weight, got.subgraph_avg_weight);
+        }
+    }
+
+    #[test]
+    fn quant_generation_rebuilds_quant_state_on_ingest() {
+        let (d, snapshot) = fitted_shared();
+        let gen0 = EngineGeneration::from_snapshot(snapshot.clone(), EngineMode::Quant).unwrap();
+        assert!(gen0.engine().quant_enabled());
+        let (gen1, _) = gen0.ingest(&[batch(d, 3, 8, "q-new")]).unwrap();
+        assert!(gen1.engine().quant_enabled(), "mode survives the delta");
+
+        // The rebuilt quantized state serves exactly like a fresh
+        // quantized engine over the grown snapshot.
+        let fresh = {
+            let mut e = QueryEngine::new(gen1.snapshot().query_model()).unwrap();
+            e.enable_quant();
+            e
+        };
+        let tweets = author_tweets(d, 8, 6);
+        let want = fresh.link_query_quant(&tweets, 0).unwrap();
+        let got = gen1.engine().link_query_quant(&tweets, 0).unwrap();
+        assert_eq!(want.similarities, got.similarities);
+        assert_eq!(want.subgraph, got.subgraph);
+    }
+
+    #[test]
+    fn ivf_generation_detaches_index_on_ingest() {
+        let (d, snapshot) = fitted_shared();
+        let gen0 = EngineGeneration::from_snapshot(snapshot.clone(), EngineMode::Ivf).unwrap();
+        assert!(gen0.engine().index().is_some());
+        let (gen1, _) = gen0.ingest(&[batch(d, 6, 8, "ivf-new")]).unwrap();
+        assert!(
+            gen1.engine().index().is_none(),
+            "stale index must not route queries over the grown model"
+        );
+        assert!(gen1.snapshot().index.is_none());
+        assert_eq!(gen1.mode(), EngineMode::Ivf);
+        // IVF entry points still answer (exact fallback), correctly.
+        let tweets = author_tweets(d, 1, 6);
+        let want = gen1.engine().link_query(&tweets).unwrap();
+        let got = gen1.engine().link_query_ivf(&tweets, 0).unwrap();
+        assert_eq!(want.similarities, got.similarities);
+    }
+
+    #[test]
+    fn ingest_rejects_empty_and_unvectorizable_batches() {
+        let (_, snapshot) = fitted_shared();
+        let gen0 = EngineGeneration::from_snapshot(snapshot.clone(), EngineMode::Exact).unwrap();
+        assert!(matches!(gen0.ingest(&[]), Err(CoreError::Invalid(_))));
+        let no_tweets = IngestBatch {
+            handle: "empty".into(),
+            tweets: vec![],
+        };
+        assert!(gen0.ingest(&[no_tweets]).is_err());
+        let oov = IngestBatch {
+            handle: "oov".into(),
+            tweets: vec![(Timestamp(0), "zzzzqqqq xxxxyyyy".into())],
+        };
+        assert!(gen0.ingest(&[oov]).is_err());
+    }
+
+    #[test]
+    fn engine_cell_swaps_generations_atomically() {
+        let (d, snapshot) = fitted_shared();
+        let gen0 = EngineGeneration::from_snapshot(snapshot.clone(), EngineMode::Exact).unwrap();
+        let n0 = gen0.n_authors();
+        let cell = EngineCell::new(gen0);
+        assert_eq!(cell.generation(), 0);
+
+        let held = cell.current(); // an in-flight request's view
+        let (gen1, _) = held.ingest(&[batch(d, 4, 8, "swap-new")]).unwrap();
+        assert_eq!(cell.publish(gen1), 1);
+        assert_eq!(cell.generation(), 1);
+        // The in-flight view still serves the old, consistent state...
+        assert_eq!(held.n_authors(), n0);
+        // ...while new requests see the published generation.
+        assert_eq!(cell.current().n_authors(), n0 + 1);
+    }
+
+    #[test]
+    fn zero_interval_trigger_never_fires_through_refit_manager() {
+        let (d, _) = fitted_shared();
+        let manager = RefitManager::new(
+            d.clone(),
+            PipelineConfig::fast(),
+            Trigger::new(0),
+            EngineMode::Exact,
+            None,
+        );
+        for i in 0..50 {
+            assert!(
+                !manager.absorb(&[batch(d, i % 18, 10, &format!("t-{i}"))]),
+                "interval=0 must never schedule a refit"
+            );
+        }
+        assert_eq!(manager.times_fired(), 0);
+        assert_eq!(manager.pending(), 0, "interval=0 accumulates nothing");
+    }
+
+    #[test]
+    fn refit_manager_fires_on_interval_and_refits_grown_dataset() {
+        let (d, _) = fitted_shared();
+        let n0 = d.authors.len();
+        let manager = RefitManager::new(
+            d.clone(),
+            PipelineConfig::fast(),
+            Trigger::new(12),
+            EngineMode::Exact,
+            None,
+        );
+        // 8 tweets: below the interval — no firing yet.
+        assert!(!manager.absorb(&[batch(d, 0, 8, "r-0")]));
+        assert_eq!(manager.pending(), 8);
+        // 8 more crosses 12 with overshoot 4.
+        assert!(manager.absorb(&[batch(d, 1, 8, "r-1")]));
+        assert_eq!(manager.pending(), 4);
+        assert_eq!(manager.times_fired(), 1);
+
+        let gen = manager.refit().unwrap();
+        assert_eq!(gen.n_authors(), n0 + 2, "refit sees the grown dataset");
+        assert_eq!(gen.mode(), EngineMode::Exact);
+        // The refit generation serves (its embedding is fresh, so only
+        // behaviourally checked — not bit-compared against the delta).
+        let out = gen.engine().link_query(&author_tweets(d, 2, 6)).unwrap();
+        assert_eq!(out.query_index, n0 + 2);
+    }
+
+    #[test]
+    fn refit_persists_snapshot_via_binary_writer() {
+        let (d, _) = fitted_shared();
+        let mut path = std::env::temp_dir();
+        path.push(format!("soulmate-refit-test-{}.bin", std::process::id()));
+        let manager = RefitManager::new(
+            d.clone(),
+            PipelineConfig::fast(),
+            Trigger::new(1),
+            EngineMode::Exact,
+            Some(path.clone()),
+        );
+        assert!(manager.absorb(&[batch(d, 5, 4, "persist-me")]));
+        let gen = manager.refit().unwrap();
+        let loaded = PipelineSnapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.author_handles, gen.snapshot().author_handles);
+        assert_eq!(loaded.author_handles.last().unwrap(), "persist-me");
+    }
+}

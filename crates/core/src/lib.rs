@@ -42,6 +42,7 @@ pub mod baselines;
 pub mod concepts;
 pub mod engine;
 pub mod error;
+pub mod ingest;
 pub mod online;
 pub mod pipeline;
 pub mod similarity;
@@ -56,6 +57,9 @@ pub use concepts::{
 };
 pub use engine::{CachedCut, QueryEngine, DEFAULT_QUANT_RERANK};
 pub use error::CoreError;
+pub use ingest::{
+    EngineCell, EngineGeneration, EngineMode, IngestBatch, IngestOutcome, RefitManager,
+};
 pub use online::{link_query, QueryModel, QueryOutcome, Trigger};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use similarity::{fuse_similarities, similarity_matrix, similarity_matrix_parallel};

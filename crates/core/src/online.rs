@@ -286,8 +286,13 @@ impl Pipeline {
 /// intervals to continuously rebuild the slabs and subsequently construct
 /// the vector representations."
 ///
-/// Counts arriving tweets and fires once `interval` have accumulated; the
-/// caller then re-runs [`Pipeline::fit`] over the grown dataset.
+/// Counts arriving tweets and fires once `interval` have accumulated.
+/// [`crate::ingest::RefitManager::absorb`] drives it on every ingested
+/// batch, and a firing schedules a full background
+/// [`crate::ingest::RefitManager::refit`] over the grown dataset whose
+/// result is hot-swapped into serving through an
+/// [`crate::ingest::EngineCell`] — the trigger interval is therefore the
+/// frozen-embedding staleness bound of the delta-ingest path.
 #[derive(Debug, Clone)]
 pub struct Trigger {
     interval: usize,

@@ -47,6 +47,6 @@ pub use protocol::{
 };
 pub use render::TextTable;
 pub use retrieval::{
-    quant_recall_at_k, quant_recall_sweep, recall_at_k, recall_sweep, QuantRecallReport,
-    RecallReport,
+    generation_agreement, quant_recall_at_k, quant_recall_sweep, recall_at_k, recall_sweep,
+    GenerationAgreementReport, QuantRecallReport, RecallReport,
 };

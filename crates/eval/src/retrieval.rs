@@ -199,6 +199,77 @@ pub fn quant_recall_sweep(
         .collect()
 }
 
+/// Ranking agreement between two engine generations over one query set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationAgreementReport {
+    /// Ranking depth `k` compared.
+    pub k: usize,
+    /// Queries evaluated.
+    pub n_queries: usize,
+    /// Mean fraction of the reference (refit) top-k also present in the
+    /// stale generation's top-k.
+    pub agreement_at_k: f64,
+    /// Worst per-query agreement — the staleness bound a deployment
+    /// actually cares about.
+    pub min_agreement: f64,
+}
+
+/// Measure top-`k` ranking agreement of a **stale** generation (one or
+/// more frozen-embedding delta ingests, DESIGN.md §17) against the
+/// **refit** generation over the same grown corpus. Both engines must
+/// serve the same author set; authors are matched by index. Agreement
+/// of 1.0 means delta staleness changed no top-k membership for this
+/// query set; the gap to 1.0 is the price paid for skipping the refit.
+///
+/// # Errors
+/// [`EvalError::Invalid`] when the engines disagree on author count or a
+/// query fails to vectorize; [`EvalError::InsufficientData`] for an
+/// empty query set or `k = 0`.
+pub fn generation_agreement(
+    stale: &QueryEngine<'_>,
+    refit: &QueryEngine<'_>,
+    queries: &[Vec<(Timestamp, String)>],
+    k: usize,
+) -> Result<GenerationAgreementReport, EvalError> {
+    if queries.is_empty() {
+        return Err(EvalError::InsufficientData("no queries".into()));
+    }
+    if k == 0 {
+        return Err(EvalError::InsufficientData("k must be positive".into()));
+    }
+    if stale.n_authors() != refit.n_authors() {
+        return Err(EvalError::Invalid(format!(
+            "generation author sets differ: stale serves {}, refit serves {}",
+            stale.n_authors(),
+            refit.n_authors()
+        )));
+    }
+    let k = k.min(stale.n_authors());
+    let core = |e: CoreError| EvalError::Invalid(e.to_string());
+    let mut sum = 0.0f64;
+    let mut min = 1.0f64;
+    for tweets in queries {
+        let s = stale.link_query(tweets).map_err(core)?;
+        let r = refit.link_query(tweets).map_err(core)?;
+        let stale_top = exact_top_k(&s.similarities, k);
+        let mut hits = 0usize;
+        for id in exact_top_k(&r.similarities, k) {
+            if stale_top.contains(&id) {
+                hits += 1;
+            }
+        }
+        let agreement = hits as f64 / k as f64;
+        sum += agreement;
+        min = min.min(agreement);
+    }
+    Ok(GenerationAgreementReport {
+        k,
+        n_queries: queries.len(),
+        agreement_at_k: sum / queries.len() as f64,
+        min_agreement: min,
+    })
+}
+
 /// [`recall_at_k`] across a ladder of probe widths — the recall/speed
 /// curve. Reports are index-aligned with `nprobes`.
 ///
@@ -344,6 +415,100 @@ mod tests {
         ));
         assert!(matches!(
             recall_at_k(&engine, &[], 5, 1),
+            Err(EvalError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn identical_generations_agree_perfectly() {
+        let (d, p) = fitted();
+        let engine = p.query_engine().unwrap();
+        let queries = queries_of(&d, &[1, 7, 13]);
+        let report = generation_agreement(&engine, &engine, &queries, 10).unwrap();
+        assert_eq!(report.agreement_at_k, 1.0);
+        assert_eq!(report.min_agreement, 1.0);
+        assert_eq!(report.n_queries, 3);
+        assert_eq!(report.k, 10);
+    }
+
+    #[test]
+    fn stale_delta_generation_mostly_agrees_with_refit() {
+        use soulmate_core::{EngineGeneration, EngineMode, IngestBatch, PipelineConfig};
+        let (mut d, p) = fitted();
+        let handles: Vec<String> = d.authors.iter().map(|a| a.handle.clone()).collect();
+        let snap = p.snapshot(&handles);
+        let batch = IngestBatch {
+            handle: "late-arrival".to_string(),
+            tweets: d
+                .tweets
+                .iter()
+                .filter(|t| t.author == 3)
+                .take(6)
+                .map(|t| (t.timestamp, t.text.clone()))
+                .collect(),
+        };
+        let gen0 = EngineGeneration::from_snapshot(snap, EngineMode::Exact).unwrap();
+        let (stale, _) = gen0.ingest(std::slice::from_ref(&batch)).unwrap();
+        // Grow the dataset the same way and refit from scratch.
+        let author_id = d.authors.len() as u32;
+        d.authors.push(soulmate_corpus::Author {
+            id: author_id,
+            handle: batch.handle.clone(),
+        });
+        for (ts, text) in &batch.tweets {
+            let tweet_id = d.tweets.len() as u32;
+            d.tweets.push(soulmate_corpus::Tweet {
+                id: tweet_id,
+                author: author_id,
+                timestamp: *ts,
+                text: text.clone(),
+                popularity: 0,
+            });
+        }
+        let refit = Pipeline::fit(&d, PipelineConfig::fast()).unwrap();
+        let refit_engine = refit.query_engine().unwrap();
+        let queries = queries_of(&d, &[0, 5, 11, 17, 23]);
+        let stale_engine = stale.engine();
+        let report = generation_agreement(&stale_engine, &refit_engine, &queries, 5).unwrap();
+        // One frozen-embedding insert barely perturbs a 25-author
+        // ranking; a collapse below half would mean the delta path is
+        // not tracking the refit at all.
+        assert!(
+            report.agreement_at_k >= 0.5,
+            "agreement {}",
+            report.agreement_at_k
+        );
+        assert!(report.min_agreement <= report.agreement_at_k);
+    }
+
+    #[test]
+    fn generation_agreement_rejects_mismatched_author_sets() {
+        use soulmate_core::{EngineGeneration, EngineMode, IngestBatch};
+        let (d, p) = fitted();
+        let handles: Vec<String> = d.authors.iter().map(|a| a.handle.clone()).collect();
+        let snap = p.snapshot(&handles);
+        let engine = p.query_engine().unwrap();
+        let gen0 = EngineGeneration::from_snapshot(snap, EngineMode::Exact).unwrap();
+        let (grown, _) = gen0
+            .ingest(&[IngestBatch {
+                handle: "extra".to_string(),
+                tweets: d
+                    .tweets
+                    .iter()
+                    .filter(|t| t.author == 0)
+                    .take(5)
+                    .map(|t| (t.timestamp, t.text.clone()))
+                    .collect(),
+            }])
+            .unwrap();
+        let grown_engine = grown.engine();
+        let queries = queries_of(&d, &[2]);
+        assert!(matches!(
+            generation_agreement(&grown_engine, &engine, &queries, 5),
+            Err(EvalError::Invalid(_))
+        ));
+        assert!(matches!(
+            generation_agreement(&engine, &engine, &[], 5),
             Err(EvalError::InsufficientData(_))
         ));
     }

@@ -67,6 +67,24 @@ impl NormalizedRows {
         NormalizedRows { unit, norms }
     }
 
+    /// Append one raw row, normalizing it exactly the way
+    /// [`NormalizedRows::from_matrix`] would have: the cached norm is the
+    /// row's L2 norm and a zero row is stored as-is with norm `0.0`.
+    ///
+    /// # Errors
+    /// Returns [`crate::error::LinalgError::ShapeMismatch`] if `row.len()`
+    /// differs from [`NormalizedRows::dim`].
+    pub fn push(&mut self, row: &[f32]) -> Result<(), crate::error::LinalgError> {
+        let mut unit_row = row.to_vec();
+        let n = l2_norm(&unit_row);
+        if n > 0.0 {
+            scale(&mut unit_row, 1.0 / n);
+        }
+        self.unit.push_row(&unit_row)?;
+        self.norms.push(n);
+        Ok(())
+    }
+
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {

@@ -393,6 +393,7 @@ mod tests {
         assert!(is_test_path("crates/bench/benches/online.rs"));
         assert!(!is_test_path("crates/core/src/engine.rs"));
         assert!(is_serving_path("crates/core/src/engine.rs"));
+        assert!(is_serving_path("crates/core/src/ingest.rs"));
         assert!(is_serving_path("./crates/cli/src/main.rs"));
         assert!(is_serving_path("crates/retrieval/src/ivf.rs"));
         assert!(is_serving_path("crates/serve/src/server.rs"));

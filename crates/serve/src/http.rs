@@ -2,7 +2,8 @@
 //!
 //! Exactly the subset the serve protocol needs: one request per
 //! connection, `Connection: close` semantics, `Content-Length` bodies
-//! (no chunked transfer coding). Every read is bounded — a header block
+//! (a request declaring any `Transfer-Encoding` is refused with 501
+//! rather than misframed). Every read is bounded — a header block
 //! larger than [`MAX_HEADER_BYTES`], a declared body larger than the
 //! configured cap, or a body the client never finishes sending all turn
 //! into typed errors, never into an unbounded buffer or a hung thread
@@ -40,6 +41,12 @@ pub enum HttpError {
         /// The configured cap.
         limit: usize,
     },
+    /// The request used a `Transfer-Encoding` (e.g. chunked) this
+    /// parser does not implement. RFC 7230 §3.3.3: a server that does
+    /// not understand the transfer coding must not guess at the body
+    /// framing — silently reading it as empty would desynchronise the
+    /// connection. → 501.
+    NotImplemented(String),
     /// The socket failed mid-read for a non-protocol reason. The
     /// connection is unusable; no response can be written.
     Io(std::io::Error),
@@ -52,6 +59,7 @@ impl std::fmt::Display for HttpError {
             HttpError::PayloadTooLarge { declared, limit } => {
                 write!(f, "payload of {declared} bytes exceeds limit of {limit}")
             }
+            HttpError::NotImplemented(m) => write!(f, "not implemented: {m}"),
             HttpError::Io(e) => write!(f, "socket error: {e}"),
         }
     }
@@ -100,6 +108,17 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::BadRequest(format!("malformed header `{line}`")));
         };
+        // This parser frames bodies by Content-Length only. Any
+        // Transfer-Encoding — chunked or otherwise — would previously be
+        // skipped here and the body silently parsed as empty; per RFC
+        // 7230 §3.3.3 an unsupported transfer coding must be refused
+        // outright instead of misframing the message.
+        if name.trim().eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::NotImplemented(format!(
+                "transfer-encoding `{}` is not supported; send a content-length body",
+                value.trim()
+            )));
+        }
         if name.trim().eq_ignore_ascii_case("content-length") {
             let parsed = value.trim().parse::<usize>().map_err(|_| {
                 HttpError::BadRequest(format!("invalid content-length `{}`", value.trim()))
@@ -209,6 +228,7 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -357,6 +377,28 @@ mod tests {
         })
         .unwrap();
         assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn transfer_encoding_is_refused_not_misframed() {
+        // Regression: a chunked body used to be silently parsed as
+        // empty (only Content-Length was inspected). It must be a
+        // typed NotImplemented error now, for ANY transfer coding.
+        for te in ["chunked", "gzip, chunked", "identity"] {
+            let raw = format!(
+                "POST /link HTTP/1.1\r\nTransfer-Encoding: {te}\r\n\r\n5\r\nhello\r\n0\r\n\r\n"
+            );
+            let err = roundtrip(1024, move |c| {
+                c.write_all(raw.as_bytes()).unwrap();
+            })
+            .unwrap_err();
+            match err {
+                HttpError::NotImplemented(m) => {
+                    assert!(m.contains("transfer-encoding"), "{m}")
+                }
+                other => panic!("te = {te:?}: expected NotImplemented, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,19 +1,25 @@
-//! `soulmate serve`: a long-running query server over a prepared
-//! [`soulmate_core::QueryEngine`].
+//! `soulmate serve`: a long-running query server over hot-swappable
+//! [`soulmate_core::EngineGeneration`]s.
 //!
 //! The CLI pays snapshot load + engine construction on *every* `link`
 //! invocation — 1.2 s at n=4096 before the first query runs. This crate
-//! amortises that cost: the engine is built once, shared behind an `Arc`
-//! by a fixed pool of worker threads, and queried over a deliberately
-//! minimal HTTP/1.1 surface with NDJSON bodies (one JSON object per
-//! line). See DESIGN.md §15 for the protocol, threading model,
-//! backpressure, and shutdown sequence.
+//! amortises that cost: an engine generation is built once, published
+//! through a shared [`soulmate_core::EngineCell`], and queried over a
+//! deliberately minimal HTTP/1.1 surface with NDJSON bodies (one JSON
+//! object per line). `POST /ingest` grows the serving generation with
+//! the frozen-embedding delta path and publishes the result; an
+//! attached [`soulmate_core::RefitManager`] runs full offline refits in
+//! the background and hot-swaps them in with zero dropped or blocked
+//! requests. See DESIGN.md §15 for the protocol, threading model,
+//! backpressure, and shutdown sequence, and §17 for ingestion and
+//! generation swaps.
 //!
 //! Zero dependencies beyond std and the workspace: the listener is a
 //! plain [`std::net::TcpListener`], the HTTP parser handles exactly the
-//! subset the protocol emits, and worker threads are scoped (the engine
-//! borrows from the snapshot, so `'static` spawns are off the table —
-//! `std::thread::scope` shares the borrow safely instead).
+//! subset the protocol emits, and worker threads are scoped (the cell
+//! and refit manager borrow from the caller, so `'static` spawns are
+//! off the table — `std::thread::scope` shares the borrows safely
+//! instead).
 
 // 100% safe Rust; soulmate-lint's `no-unsafe` rule double-checks this
 // guarantee at the token level.
@@ -32,5 +38,8 @@ mod protocol;
 mod server;
 
 pub use http::{read_request, write_response, HttpError, Request, MAX_HEADER_BYTES};
-pub use protocol::{error_body, error_kind, parse_link_body, render_outcomes, status_for};
-pub use server::{serve, ConnQueue, ServeConfig, ServeError};
+pub use protocol::{
+    error_body, error_kind, parse_ingest_body, parse_link_body, render_ingest_response,
+    render_outcomes, status_for,
+};
+pub use server::{serve, serve_with_refit, ConnQueue, ServeConfig, ServeError};

@@ -11,7 +11,7 @@
 //! `link_query_authors` output, so this module is the single source of
 //! truth for outcome formatting.
 
-use soulmate_core::{CoreError, QueryOutcome};
+use soulmate_core::{CoreError, IngestBatch, IngestOutcome, QueryOutcome};
 use soulmate_corpus::Timestamp;
 
 /// Machine-readable kind for every [`CoreError`] variant — the wire
@@ -130,6 +130,86 @@ fn parse_tweet(v: &serde_json::Value) -> Result<(Timestamp, String), String> {
     }
 }
 
+/// Parse a `/ingest` NDJSON body into new-author batches.
+///
+/// One line per new author: `{"handle": "name", "tweets": [[minute,
+/// "text"], ...]}`. The handle is mandatory (it becomes the author's
+/// identity in the grown snapshot) and tweets use the same pair/string
+/// forms as `/link` lines.
+///
+/// # Errors
+/// A human-readable message naming the offending line; the server turns
+/// it into a 400 with kind `parse`.
+pub fn parse_ingest_body(body: &str) -> Result<Vec<IngestBatch>, String> {
+    let mut batches = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = serde_json::from_str::<serde_json::Value>(line)
+            .map_err(|e| format!("line {}: {e}", i + 1))?;
+        let Some(handle) = value.get("handle").and_then(|h| h.as_str()) else {
+            return Err(format!(
+                "line {}: expected an object with a string `handle` key",
+                i + 1
+            ));
+        };
+        if handle.is_empty() {
+            return Err(format!("line {}: `handle` must be non-empty", i + 1));
+        }
+        let Some(tweets) = value.get("tweets").and_then(|t| t.as_array()) else {
+            return Err(format!(
+                "line {}: expected a `tweets` array alongside `handle`",
+                i + 1
+            ));
+        };
+        let mut group = Vec::with_capacity(tweets.len());
+        for (j, tweet) in tweets.iter().enumerate() {
+            group.push(
+                parse_tweet(tweet)
+                    .map_err(|why| format!("line {}, tweet {}: {why}", i + 1, j + 1))?,
+            );
+        }
+        batches.push(IngestBatch {
+            handle: handle.to_string(),
+            tweets: group,
+        });
+    }
+    Ok(batches)
+}
+
+/// Render the `/ingest` response: one JSON object carrying the
+/// generation that now serves the new authors, whether a background
+/// refit was scheduled by this batch, and one entry per ingested
+/// author in request order.
+pub fn render_ingest_response(
+    outcomes: &[IngestOutcome],
+    generation: u64,
+    refit_scheduled: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\"generation\":");
+    out.push_str(&generation.to_string());
+    out.push_str(",\"refit_scheduled\":");
+    out.push_str(if refit_scheduled { "true" } else { "false" });
+    out.push_str(",\"ingested\":[");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"author_index\":");
+        out.push_str(&o.author_index.to_string());
+        out.push_str(",\"handle\":\"");
+        out.push_str(&escape(&o.handle));
+        out.push_str("\",\"n_tweets\":");
+        out.push_str(&o.n_tweets.to_string());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Render outcomes as NDJSON, one line per query, trailing newline.
 ///
 /// Float formatting uses Rust's shortest-roundtrip `Display`, so a
@@ -243,6 +323,65 @@ mod tests {
         assert!(err.contains("tweet 1"), "{err}");
         let err = parse_link_body("true").unwrap_err();
         assert!(err.contains("expected a tweet array"), "{err}");
+    }
+
+    #[test]
+    fn parses_ingest_lines_and_names_bad_ones() {
+        let body = "{\"handle\": \"alice\", \"tweets\": [[3, \"hi there\"], \"bare\"]}\n\n{\"handle\": \"bob\", \"tweets\": []}\n";
+        let batches = parse_ingest_body(body).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].handle, "alice");
+        assert_eq!(
+            batches[0].tweets,
+            vec![
+                (Timestamp(3), "hi there".to_string()),
+                (Timestamp(0), "bare".to_string()),
+            ]
+        );
+        assert_eq!(batches[1].handle, "bob");
+        assert!(batches[1].tweets.is_empty());
+
+        let err = parse_ingest_body("[[1, \"no handle\"]]").unwrap_err();
+        assert!(err.contains("`handle`"), "{err}");
+        let err = parse_ingest_body("{\"handle\": \"\", \"tweets\": []}").unwrap_err();
+        assert!(err.contains("non-empty"), "{err}");
+        let err = parse_ingest_body("{\"handle\": \"x\"}").unwrap_err();
+        assert!(err.contains("`tweets` array"), "{err}");
+        let err = parse_ingest_body("{\"handle\": \"x\", \"tweets\": [[1, 2, 3]]}").unwrap_err();
+        assert!(err.starts_with("line 1, tweet 1"), "{err}");
+    }
+
+    #[test]
+    fn ingest_response_is_valid_json_with_escaped_handles() {
+        let outcomes = vec![
+            IngestOutcome {
+                author_index: 20,
+                handle: "quo\"ted".to_string(),
+                n_tweets: 5,
+            },
+            IngestOutcome {
+                author_index: 21,
+                handle: "plain".to_string(),
+                n_tweets: 2,
+            },
+        ];
+        let body = render_ingest_response(&outcomes, 7, true);
+        let v = serde_json::from_str::<serde_json::Value>(&body).unwrap();
+        assert_eq!(v.get("generation").and_then(|x| x.as_u64()), Some(7));
+        assert_eq!(
+            v.get("refit_scheduled").and_then(|x| x.as_bool()),
+            Some(true)
+        );
+        let ingested = v.get("ingested").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(ingested.len(), 2);
+        assert_eq!(
+            ingested[0].get("handle").and_then(|h| h.as_str()),
+            Some("quo\"ted")
+        );
+        assert_eq!(
+            ingested[1].get("author_index").and_then(|x| x.as_u64()),
+            Some(21)
+        );
     }
 
     #[test]

@@ -1,12 +1,27 @@
 //! The server proper: accept loop, bounded connection queue, fixed
-//! worker pool, request dispatch, and graceful shutdown.
+//! worker pool, request dispatch, generation hot-swap, and graceful
+//! shutdown.
 //!
-//! Threading model (DESIGN.md §15): the calling thread owns the accept
-//! loop; `threads` scoped workers share one `Arc<QueryEngine>` and pop
-//! accepted connections from a bounded queue. When the queue is full
-//! the accept loop answers 503 `overloaded` immediately instead of
-//! letting latency grow without bound — the queue depth *is* the
-//! backpressure contract.
+//! Threading model (DESIGN.md §15, §17): the calling thread owns the
+//! accept loop; `threads` scoped workers pop accepted connections from
+//! a bounded queue and, per request, clone the current
+//! [`EngineGeneration`](soulmate_core::EngineGeneration) out of the
+//! shared [`EngineCell`] (one `Arc` bump under a short lock). A request
+//! therefore runs against one immutable generation end to end — a
+//! concurrent `/ingest` or background refit publishing a new generation
+//! never blocks or tears an in-flight query. When the queue is full the
+//! accept loop answers 503 `overloaded` immediately instead of letting
+//! latency grow without bound — the queue depth *is* the backpressure
+//! contract.
+//!
+//! `/ingest` requests are serialized by a dedicated mutex: the delta
+//! path clones the current generation, grows it, and publishes — two
+//! concurrent ingests would both clone generation G and the second
+//! publish would silently drop the first's authors. Queries are never
+//! behind that lock. When a [`RefitManager`] is attached, each absorbed
+//! batch may arm its rebuild trigger; a dedicated scoped thread then
+//! runs the full `Pipeline::fit` refit off the request path and
+//! publishes the fresh generation through the same cell.
 //!
 //! Shutdown: safe zero-dependency Rust cannot trap SIGINT (a signal
 //! handler needs `unsafe` or a crate), so the supported trigger is
@@ -18,11 +33,11 @@
 
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::protocol;
-use soulmate_core::QueryEngine;
+use soulmate_core::{EngineCell, RefitManager};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Server tunables. The CLI maps its `serve` flags straight onto this.
@@ -183,15 +198,101 @@ impl<T> ConnQueue<T> {
     }
 }
 
+/// Wakes the background refit thread when an absorbed `/ingest` batch
+/// arms the rebuild trigger, and tells it to exit on shutdown. A refit
+/// request arriving while one is already running is coalesced into a
+/// single follow-up run (the flag is level-, not edge-triggered).
+struct RefitSignal {
+    state: Mutex<(bool, bool)>, // (refit pending, stop)
+    cv: Condvar,
+}
+
+impl RefitSignal {
+    fn new() -> RefitSignal {
+        RefitSignal {
+            state: Mutex::new((false, false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn request(&self) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.0 = true;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    fn stop(&self) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.1 = true;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Block until a refit is due (`true`) or shutdown is requested
+    /// (`false`). Shutdown wins: a pending refit at drain time is
+    /// abandoned — its data is safe in the [`RefitManager`]'s dataset
+    /// and will be picked up by the next server run's first refit.
+    fn wait(&self) -> bool {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if s.1 {
+                return false;
+            }
+            if s.0 {
+                s.0 = false;
+                return true;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Everything a worker needs to serve one connection. Borrowed shared
+/// state only — per-request engine access goes through `cell`.
+struct Ctx<'a> {
+    cell: &'a EngineCell,
+    refit: Option<&'a RefitManager>,
+    refit_signal: &'a RefitSignal,
+    /// Serializes `/ingest` clone-grow-publish cycles (see module docs).
+    ingest_lock: &'a Mutex<()>,
+    config: &'a ServeConfig,
+    shutdown: &'a AtomicBool,
+    local: SocketAddr,
+}
+
 /// Run the server until a `POST /shutdown` drains it. Blocks the
 /// calling thread (which runs the accept loop); `on_ready` fires once
 /// with the bound address — with `port: 0` this is the only way to
 /// learn the ephemeral port.
 ///
+/// Workers serve each request from whatever generation `cell` holds at
+/// that moment; `/ingest` publishes delta generations into the same
+/// cell. Without a [`RefitManager`] (this entry point) no background
+/// refits run — see [`serve_with_refit`].
+///
 /// # Errors
 /// [`ServeError::Bind`] when the listen socket cannot be created.
 pub fn serve<F: FnOnce(SocketAddr)>(
-    engine: &QueryEngine<'_>,
+    cell: &EngineCell,
+    config: &ServeConfig,
+    on_ready: F,
+) -> Result<(), ServeError> {
+    serve_with_refit(cell, None, config, on_ready)
+}
+
+/// [`serve`], plus an attached [`RefitManager`]: every `/ingest` batch
+/// is absorbed into the manager's growing dataset, and when its
+/// [`Trigger`](soulmate_core::Trigger) fires a dedicated scoped thread
+/// runs the full offline refit and hot-swaps the fresh generation into
+/// `cell` — queries in flight keep their generation, new requests see
+/// the new one, nothing blocks or drops.
+///
+/// # Errors
+/// [`ServeError::Bind`] when the listen socket cannot be created.
+pub fn serve_with_refit<F: FnOnce(SocketAddr)>(
+    cell: &EngineCell,
+    refit: Option<&RefitManager>,
     config: &ServeConfig,
     on_ready: F,
 ) -> Result<(), ServeError> {
@@ -206,19 +307,49 @@ pub fn serve<F: FnOnce(SocketAddr)>(
     })?;
     on_ready(local);
 
-    let engine = Arc::new(engine);
     let shutdown = AtomicBool::new(false);
     let queue: ConnQueue<TcpStream> = ConnQueue::new(config.queue_depth);
+    let refit_signal = RefitSignal::new();
+    let ingest_lock = Mutex::new(());
+    let ctx = Ctx {
+        cell,
+        refit,
+        refit_signal: &refit_signal,
+        ingest_lock: &ingest_lock,
+        config,
+        shutdown: &shutdown,
+        local,
+    };
+    let ctx = &ctx;
 
     std::thread::scope(|scope| {
+        if let Some(manager) = refit {
+            scope.spawn(move || {
+                while ctx.refit_signal.wait() {
+                    match manager.refit() {
+                        Ok(generation) => {
+                            ctx.cell.publish(generation);
+                        }
+                        Err(e) => {
+                            // The old generation keeps serving; the
+                            // failure is visible in metrics and the
+                            // next trigger firing retries over the
+                            // same (still-growing) dataset.
+                            let obs = soulmate_obs::global();
+                            obs.incr("serve.refit.errors", 1);
+                            drop(e);
+                        }
+                    }
+                }
+            });
+        }
         for _ in 0..config.threads.max(1) {
-            let engine = Arc::clone(&engine);
-            let (queue, shutdown) = (&queue, &shutdown);
+            let queue = &queue;
             scope.spawn(move || {
                 // Drain until the queue closes; `pop` returning `None`
                 // guarantees nothing accepted is left behind.
                 while let Some(stream) = queue.pop() {
-                    handle_connection(&engine, config, stream, shutdown, local);
+                    handle_connection(ctx, stream);
                 }
             });
         }
@@ -254,6 +385,7 @@ pub fn serve<F: FnOnce(SocketAddr)>(
             }
         }
         queue.close();
+        refit_signal.stop();
     });
     Ok(())
 }
@@ -282,14 +414,9 @@ fn reject_overloaded(mut stream: TcpStream) {
 /// Serve one connection end to end. Every failure path writes an HTTP
 /// error response (best-effort — the client may already be gone) and
 /// returns; nothing here panics.
-fn handle_connection(
-    engine: &QueryEngine<'_>,
-    config: &ServeConfig,
-    mut stream: TcpStream,
-    shutdown: &AtomicBool,
-    local: SocketAddr,
-) {
+fn handle_connection(ctx: &Ctx<'_>, mut stream: TcpStream) {
     let obs = soulmate_obs::global();
+    let config = ctx.config;
     stream.set_read_timeout(Some(config.read_timeout)).ok();
     stream.set_write_timeout(Some(config.read_timeout)).ok();
     stream.set_nodelay(true).ok();
@@ -313,18 +440,35 @@ fn handle_connection(
             );
             return;
         }
+        Err(HttpError::NotImplemented(why)) => {
+            obs.incr("serve.requests", 1);
+            respond(
+                &mut stream,
+                501,
+                &protocol::error_body("not_implemented", &why),
+            );
+            return;
+        }
         // The socket died; there is no one left to answer.
         Err(HttpError::Io(_)) => return,
     };
 
     obs.incr("serve.requests", 1);
     let started = Instant::now();
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/link") => handle_link(engine, config, &mut stream, &request),
+    // RFC 7230 §5.3.1: the request target is path + optional query
+    // (+ fragment from sloppy clients). Routes match on the path
+    // component only — `POST /link?verbose=1` must reach `/link`, not
+    // 404. The raw target is kept for the 404 message so a client sees
+    // exactly what it sent.
+    let route = request.path.split(['?', '#']).next().unwrap_or("");
+    match (request.method.as_str(), route) {
+        ("POST", "/link") => handle_link(ctx, &mut stream, &request),
+        ("POST", "/ingest") => handle_ingest(ctx, &mut stream, &request),
         ("GET", "/healthz") => {
             let body = format!(
-                "{{\"status\":\"ok\",\"authors\":{},\"threads\":{},\"queue_depth\":{}}}",
-                engine.n_authors(),
+                "{{\"status\":\"ok\",\"authors\":{},\"generation\":{},\"threads\":{},\"queue_depth\":{}}}",
+                ctx.cell.current().n_authors(),
+                ctx.cell.generation(),
                 config.threads,
                 config.queue_depth
             );
@@ -336,38 +480,38 @@ fn handle_connection(
         }
         ("POST", "/shutdown") => {
             respond(&mut stream, 202, "{\"status\":\"draining\"}");
-            shutdown.store(true, Ordering::Release);
+            ctx.shutdown.store(true, Ordering::Release);
             // Poke the blocking accept() so it observes the flag. The
             // accept loop drops this connection without queueing it.
             // A wildcard bind (0.0.0.0 / ::) is not a connectable
             // destination everywhere, so poke via loopback on the bound
             // port instead.
-            let poke = if local.ip().is_unspecified() {
-                let loopback: std::net::IpAddr = match local {
+            let poke = if ctx.local.ip().is_unspecified() {
+                let loopback: std::net::IpAddr = match ctx.local {
                     SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
                     SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
                 };
-                SocketAddr::new(loopback, local.port())
+                SocketAddr::new(loopback, ctx.local.port())
             } else {
-                local
+                ctx.local
             };
             TcpStream::connect(poke).ok();
         }
-        (_, "/link" | "/healthz" | "/metrics" | "/shutdown") => {
+        (_, "/link" | "/ingest" | "/healthz" | "/metrics" | "/shutdown") => {
             respond(
                 &mut stream,
                 405,
                 &protocol::error_body(
                     "method_not_allowed",
-                    &format!("{} is not supported on {}", request.method, request.path),
+                    &format!("{} is not supported on {route}", request.method),
                 ),
             );
         }
-        (_, path) => {
+        _ => {
             respond(
                 &mut stream,
                 404,
-                &protocol::error_body("not_found", &format!("no route for {path}")),
+                &protocol::error_body("not_found", &format!("no route for {}", request.path)),
             );
         }
     }
@@ -377,14 +521,12 @@ fn handle_connection(
 /// `POST /link`: parse the NDJSON batch, answer it with one
 /// `link_query_authors` call (the IVF variant when the engine carries
 /// an index, the quantized two-stage variant when the i8 fast path is
-/// built), and render the outcomes in request order.
-fn handle_link(
-    engine: &QueryEngine<'_>,
-    config: &ServeConfig,
-    stream: &mut TcpStream,
-    request: &Request,
-) {
+/// built), and render the outcomes in request order. The whole request
+/// is served from one generation pinned up front — a swap mid-request
+/// cannot tear it.
+fn handle_link(ctx: &Ctx<'_>, stream: &mut TcpStream, request: &Request) {
     let obs = soulmate_obs::global();
+    let config = ctx.config;
     let body = match std::str::from_utf8(&request.body) {
         Ok(b) => b,
         Err(_) => {
@@ -413,6 +555,10 @@ fn handle_link(
     }
     obs.record("serve.batch.size", queries.len() as f64);
 
+    // Pin the generation for this whole request: the Arc keeps it
+    // alive even if a swap retires it from the cell mid-query.
+    let generation = ctx.cell.current();
+    let engine = generation.engine();
     // The whole batch is one engine call — same contract as the CLI's
     // `--multi` path, so served responses stay bit-identical to it.
     let outcomes = if engine.index().is_some() {
@@ -428,6 +574,77 @@ fn handle_link(
             write_ok_ndjson(stream, &body);
         }
         Err(e) => {
+            respond(
+                stream,
+                protocol::status_for(&e),
+                &protocol::error_body(protocol::error_kind(&e), &e.to_string()),
+            );
+        }
+    }
+}
+
+/// `POST /ingest`: parse the NDJSON batch of new authors, grow the
+/// current generation with the frozen-embedding delta path, publish
+/// the grown generation, and (when a [`RefitManager`] is attached)
+/// absorb the batch toward the next full refit.
+fn handle_ingest(ctx: &Ctx<'_>, stream: &mut TcpStream, request: &Request) {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(b) => b,
+        Err(_) => {
+            respond(
+                stream,
+                400,
+                &protocol::error_body("parse", "request body is not UTF-8"),
+            );
+            return;
+        }
+    };
+    let batches = match protocol::parse_ingest_body(body) {
+        Ok(b) => b,
+        Err(why) => {
+            respond(stream, 400, &protocol::error_body("parse", &why));
+            return;
+        }
+    };
+    if batches.is_empty() {
+        respond(
+            stream,
+            400,
+            &protocol::error_body(
+                "invalid",
+                "empty batch: send one NDJSON author object per line",
+            ),
+        );
+        return;
+    }
+
+    // Serialize clone-grow-publish: without this, two concurrent
+    // ingests would both clone generation G and the later publish
+    // would silently drop the earlier one's authors. Queries never
+    // take this lock.
+    let guard = ctx
+        .ingest_lock
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let generation = ctx.cell.current();
+    match generation.ingest(&batches) {
+        Ok((next, outcomes)) => {
+            let generation = ctx.cell.publish(next);
+            // Absorb under the same lock so the refit dataset grows in
+            // publish order; `true` means the rebuild trigger fired.
+            let refit_scheduled = ctx.refit.is_some_and(|m| m.absorb(&batches));
+            drop(guard);
+            if refit_scheduled {
+                ctx.refit_signal.request();
+            }
+            respond(
+                stream,
+                200,
+                &protocol::render_ingest_response(&outcomes, generation, refit_scheduled),
+            );
+        }
+        Err(e) => {
+            drop(guard);
             respond(
                 stream,
                 protocol::status_for(&e),

@@ -1,16 +1,22 @@
 //! End-to-end suite: a real server on an ephemeral port, hammered by
 //! concurrent clients over real sockets.
 //!
-//! The invariants under test are the ISSUE 7 acceptance criteria:
-//! served responses are *bit-identical* to direct `link_query_authors`
-//! output, no accepted request is dropped under concurrency, fault
-//! injection (truncated bodies, oversized payloads, gibberish) yields
-//! 4xx — never a panic or a hang — and `POST /shutdown` drains
-//! everything in flight before `serve` returns.
+//! The invariants under test are the ISSUE 7 acceptance criteria plus
+//! the ISSUE 9 ingestion contract: served responses are *bit-identical*
+//! to direct `link_query_authors` output, no accepted request is
+//! dropped under concurrency, fault injection (truncated bodies,
+//! oversized payloads, gibberish, chunked transfer coding) yields
+//! typed 4xx/501 — never a panic or a hang — `POST /ingest` grows the
+//! serving generation in place, generation swaps never tear or drop a
+//! request, and `POST /shutdown` drains everything in flight before
+//! `serve` returns.
 
-use soulmate_core::{IvfConfig, Pipeline, PipelineConfig, PipelineSnapshot, QueryEngine};
+use soulmate_core::{
+    EngineCell, EngineGeneration, EngineMode, IvfConfig, Pipeline, PipelineConfig,
+    PipelineSnapshot, RefitManager, Trigger,
+};
 use soulmate_corpus::{generate, Dataset, GeneratorConfig, Timestamp};
-use soulmate_serve::{serve, ServeConfig};
+use soulmate_serve::{serve, serve_with_refit, ServeConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::mpsc;
@@ -80,17 +86,29 @@ fn parse_response(raw: &str) -> (u16, String) {
     (status, body.to_string())
 }
 
+/// An [`EngineCell`] holding one generation built from `snapshot`.
+fn cell(snapshot: &PipelineSnapshot, mode: EngineMode) -> EngineCell {
+    EngineCell::new(EngineGeneration::from_snapshot(snapshot.clone(), mode).unwrap())
+}
+
 /// Run `body(addr)` against a live server and shut it down afterwards;
 /// asserts the server exits cleanly.
-fn with_server(
-    engine: &QueryEngine<'_>,
+fn with_server(cell: &EngineCell, config: ServeConfig, body: impl FnOnce(SocketAddr) + Send) {
+    with_refit_server(cell, None, config, body);
+}
+
+/// [`with_server`] with an optional attached refit manager.
+fn with_refit_server(
+    cell: &EngineCell,
+    refit: Option<&RefitManager>,
     config: ServeConfig,
     body: impl FnOnce(SocketAddr) + Send,
 ) {
     std::thread::scope(|scope| {
         let (tx, rx) = mpsc::channel();
-        let handle =
-            scope.spawn(move || serve(engine, &config, move |addr| tx.send(addr).unwrap()));
+        let handle = scope.spawn(move || {
+            serve_with_refit(cell, refit, &config, move |addr| tx.send(addr).unwrap())
+        });
         let addr = rx
             .recv_timeout(Duration::from_secs(10))
             .expect("server never reported ready");
@@ -107,12 +125,13 @@ fn with_server(
 #[test]
 fn health_metrics_and_routing() {
     let (_, snapshot) = fixture();
-    let engine = snapshot.query_engine().unwrap();
-    with_server(&engine, ServeConfig::default(), |addr| {
+    let cell = cell(&snapshot, EngineMode::Exact);
+    with_server(&cell, ServeConfig::default(), |addr| {
         let (status, body) = exchange(addr, "GET", "/healthz", "");
         assert_eq!(status, 200);
         assert!(body.contains("\"status\":\"ok\""), "{body}");
         assert!(body.contains("\"authors\":16"), "{body}");
+        assert!(body.contains("\"generation\":0"), "{body}");
 
         let (status, body) = exchange(addr, "GET", "/metrics", "");
         assert_eq!(status, 200);
@@ -127,6 +146,69 @@ fn health_metrics_and_routing() {
         let (status, body) = exchange(addr, "GET", "/link", "");
         assert_eq!(status, 405);
         assert!(body.contains("\"kind\":\"method_not_allowed\""), "{body}");
+    });
+}
+
+#[test]
+fn routing_strips_query_strings_and_fragments() {
+    let (_, snapshot) = fixture();
+    let cell = cell(&snapshot, EngineMode::Exact);
+    with_server(&cell, ServeConfig::default(), |addr| {
+        // Regression: the router used to match the raw request target,
+        // so any query string 404'd a perfectly valid route.
+        let (status, body) = exchange(addr, "GET", "/healthz?probe=lb", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+        let (status, body) = exchange(addr, "GET", "/healthz#fragment", "");
+        assert_eq!(status, 200, "{body}");
+
+        // The query string reaches the handler, not the 404 arm: an
+        // empty /link body is the handler's own `invalid` 400.
+        let (status, body) = exchange(addr, "POST", "/link?verbose=1", "");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("\"kind\":\"invalid\""), "{body}");
+
+        // Method check happens on the stripped route too.
+        let (status, body) = exchange(addr, "GET", "/link?x=1", "");
+        assert_eq!(status, 405, "{body}");
+
+        // Unknown paths still 404 and the message keeps the raw
+        // target so clients see exactly what they sent.
+        let (status, body) = exchange(addr, "GET", "/nope?x=1", "");
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("/nope?x=1"), "{body}");
+    });
+}
+
+#[test]
+fn chunked_transfer_encoding_is_501_not_an_empty_body() {
+    let (_, snapshot) = fixture();
+    let cell = cell(&snapshot, EngineMode::Exact);
+    with_server(&cell, ServeConfig::default(), |addr| {
+        // Regression: a chunked /link request used to be parsed as an
+        // empty body (the header was silently ignored) and answered
+        // 400 `invalid` — misframing the connection. RFC 7230 §3.3.3
+        // requires refusing the unimplemented transfer coding.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(
+                b"POST /link HTTP/1.1\r\nHost: test\r\nTransfer-Encoding: chunked\r\n\r\n\
+                  10\r\n[[0, \"whatever\"]]\r\n0\r\n\r\n",
+            )
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (status, body) = parse_response(&raw);
+        assert_eq!(status, 501, "{body}");
+        assert!(body.contains("\"kind\":\"not_implemented\""), "{body}");
+
+        // The server is healthy afterwards.
+        let (status, _) = exchange(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
     });
 }
 
@@ -146,13 +228,15 @@ fn concurrent_mixed_load_is_bit_identical_and_lossless() {
             soulmate_serve::render_outcomes(&outcomes)
         })
         .collect();
+    drop(engine);
 
+    let cell = cell(&snapshot, EngineMode::Exact);
     let config = ServeConfig {
         threads: 4,
         queue_depth: 256,
         ..ServeConfig::default()
     };
-    with_server(&engine, config, |addr| {
+    with_server(&cell, config, |addr| {
         let per_client = 6usize;
         std::thread::scope(|scope| {
             let mut workers = Vec::new();
@@ -206,8 +290,10 @@ fn batches_match_the_multi_query_engine_path() {
     let groups: Vec<Vec<(Timestamp, String)>> =
         (0..4u32).map(|a| author_tweets(&dataset, a, 5)).collect();
     let direct = soulmate_serve::render_outcomes(&engine.link_query_authors(&groups).unwrap());
+    drop(engine);
 
-    with_server(&engine, ServeConfig::default(), |addr| {
+    let cell = cell(&snapshot, EngineMode::Exact);
+    with_server(&cell, ServeConfig::default(), |addr| {
         let body: String = groups
             .iter()
             .map(|g| query_line(g) + "\n")
@@ -233,8 +319,10 @@ fn ivf_serving_matches_the_ivf_engine_path() {
         (0..3u32).map(|a| author_tweets(&dataset, a, 5)).collect();
     let direct =
         soulmate_serve::render_outcomes(&engine.link_query_authors_ivf(&groups, 0).unwrap());
+    drop(engine);
 
-    with_server(&engine, ServeConfig::default(), |addr| {
+    let cell = cell(&snapshot, EngineMode::Ivf);
+    with_server(&cell, ServeConfig::default(), |addr| {
         let body: String = groups
             .iter()
             .map(|g| query_line(g) + "\n")
@@ -254,12 +342,14 @@ fn quant_serving_matches_the_quant_engine_path() {
         (0..3u32).map(|a| author_tweets(&dataset, a, 5)).collect();
     let direct =
         soulmate_serve::render_outcomes(&engine.link_query_authors_quant(&groups, 4).unwrap());
+    drop(engine);
 
+    let cell = cell(&snapshot, EngineMode::Quant);
     let config = ServeConfig {
         rerank: 4,
         ..ServeConfig::default()
     };
-    with_server(&engine, config, |addr| {
+    with_server(&cell, config, |addr| {
         let body: String = groups
             .iter()
             .map(|g| query_line(g) + "\n")
@@ -273,13 +363,13 @@ fn quant_serving_matches_the_quant_engine_path() {
 #[test]
 fn fault_injection_truncated_and_oversized_bodies() {
     let (_, snapshot) = fixture();
-    let engine = snapshot.query_engine().unwrap();
+    let cell = cell(&snapshot, EngineMode::Exact);
     let config = ServeConfig {
         max_body_bytes: 512,
         read_timeout: Duration::from_millis(300),
         ..ServeConfig::default()
     };
-    with_server(&engine, config, |addr| {
+    with_server(&cell, config, |addr| {
         // Oversized declared payload: refused up front with 413.
         let mut stream = TcpStream::connect(addr).unwrap();
         stream
@@ -343,7 +433,7 @@ fn fault_injection_truncated_and_oversized_bodies() {
 #[test]
 fn shutdown_drains_in_flight_requests() {
     let (dataset, snapshot) = fixture();
-    let engine = snapshot.query_engine().unwrap();
+    let cell = cell(&snapshot, EngineMode::Exact);
     let groups: Vec<Vec<(Timestamp, String)>> =
         (0..4u32).map(|a| author_tweets(&dataset, a, 6)).collect();
 
@@ -354,9 +444,9 @@ fn shutdown_drains_in_flight_requests() {
     };
     std::thread::scope(|scope| {
         let (tx, rx) = mpsc::channel();
-        let engine_ref = &engine;
+        let cell_ref = &cell;
         let server =
-            scope.spawn(move || serve(engine_ref, &config, move |addr| tx.send(addr).unwrap()));
+            scope.spawn(move || serve(cell_ref, &config, move |addr| tx.send(addr).unwrap()));
         let addr = rx.recv_timeout(Duration::from_secs(10)).unwrap();
 
         // Launch a wave of queries and, while they are in flight, the
@@ -388,5 +478,179 @@ fn shutdown_drains_in_flight_requests() {
             .expect("serve returned an error");
         // The listener is gone: new connections are refused.
         assert!(TcpStream::connect(addr).is_err());
+    });
+}
+
+/// NDJSON `/ingest` request line for one new author.
+fn ingest_line(handle: &str, tweets: &[(Timestamp, String)]) -> String {
+    let pairs: Vec<String> = tweets
+        .iter()
+        .map(|(ts, text)| format!("[{}, {}]", ts.0, serde_json::to_string(text).unwrap()))
+        .collect();
+    format!(
+        "{{\"handle\": {}, \"tweets\": [{}]}}",
+        serde_json::to_string(handle).unwrap(),
+        pairs.join(", ")
+    )
+}
+
+/// Poll `/healthz` until the reported generation reaches `want`.
+fn wait_for_generation(addr: SocketAddr, want: u64, timeout: Duration) {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let (status, body) = exchange(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200, "{body}");
+        let v = serde_json::from_str::<serde_json::Value>(&body).unwrap();
+        let generation = v.get("generation").and_then(|g| g.as_u64()).unwrap();
+        if generation >= want {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "generation never reached {want}: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn ingest_grows_the_serving_generation_in_place() {
+    let (dataset, snapshot) = fixture();
+    let serving = cell(&snapshot, EngineMode::Exact);
+
+    // Expected wire bytes: grow a generation directly with the same
+    // batch and render a probe query from it.
+    let new_tweets = author_tweets(&dataset, 3, 8);
+    let batches = vec![soulmate_core::IngestBatch {
+        handle: "newbie".to_string(),
+        tweets: new_tweets.clone(),
+    }];
+    let gen0 = EngineGeneration::from_snapshot(snapshot.clone(), EngineMode::Exact).unwrap();
+    let (grown, _) = gen0.ingest(&batches).unwrap();
+    let probe = author_tweets(&dataset, 1, 5);
+    let direct = soulmate_serve::render_outcomes(
+        &grown
+            .engine()
+            .link_query_authors(std::slice::from_ref(&probe))
+            .unwrap(),
+    );
+
+    with_server(&serving, ServeConfig::default(), |addr| {
+        let (status, body) = exchange(addr, "POST", "/ingest", &ingest_line("newbie", &new_tweets));
+        assert_eq!(status, 200, "{body}");
+        let v = serde_json::from_str::<serde_json::Value>(&body).unwrap();
+        assert_eq!(v.get("generation").and_then(|g| g.as_u64()), Some(1));
+        // No refit manager attached: nothing to schedule.
+        assert_eq!(
+            v.get("refit_scheduled").and_then(|r| r.as_bool()),
+            Some(false)
+        );
+        let ingested = v.get("ingested").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(ingested.len(), 1);
+        assert_eq!(
+            ingested[0].get("author_index").and_then(|x| x.as_u64()),
+            Some(16)
+        );
+        assert_eq!(
+            ingested[0].get("handle").and_then(|h| h.as_str()),
+            Some("newbie")
+        );
+
+        // /healthz reflects the swap immediately.
+        let (status, body) = exchange(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"authors\":17"), "{body}");
+        assert!(body.contains("\"generation\":1"), "{body}");
+
+        // Served queries are bit-identical to the directly-grown engine.
+        let (status, served) = exchange(addr, "POST", "/link", &query_line(&probe));
+        assert_eq!(status, 200, "{served}");
+        assert_eq!(served, direct, "served delta generation diverged");
+
+        // Malformed and unvectorizable ingest bodies are typed errors,
+        // and neither bumps the generation.
+        let (status, body) = exchange(addr, "POST", "/ingest", "{\"nope\": 1}");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("\"kind\":\"parse\""), "{body}");
+        let oov = ingest_line("ghost", &[(Timestamp(0), "zzzqqq xxyyzz".to_string())]);
+        let (status, body) = exchange(addr, "POST", "/ingest", &oov);
+        assert_eq!(status, 400, "{body}");
+        let (_, body) = exchange(addr, "GET", "/healthz", "");
+        assert!(body.contains("\"generation\":1"), "{body}");
+    });
+}
+
+#[test]
+fn generation_swaps_never_tear_or_drop_requests() {
+    let (dataset, snapshot) = fixture();
+    let serving = cell(&snapshot, EngineMode::Exact);
+    // Trigger fires once 6 tweets accumulate — the single ingest below
+    // crosses it, scheduling a background full refit.
+    let manager = RefitManager::new(
+        dataset.clone(),
+        PipelineConfig::fast(),
+        Trigger::new(6),
+        EngineMode::Exact,
+        None,
+    );
+    let config = ServeConfig {
+        threads: 4,
+        queue_depth: 256,
+        ..ServeConfig::default()
+    };
+    with_refit_server(&serving, Some(&manager), config, |addr| {
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let groups: Vec<Vec<(Timestamp, String)>> =
+            (0..4u32).map(|a| author_tweets(&dataset, a, 5)).collect();
+        std::thread::scope(|clients| {
+            let mut workers = Vec::new();
+            for c in 0..4usize {
+                let (stop, groups) = (&stop, &groups);
+                workers.push(clients.spawn(move || {
+                    let mut served = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let line = query_line(&groups[(c + served) % groups.len()]);
+                        let (status, body) = exchange(addr, "POST", "/link", &line);
+                        // Zero dropped, zero 5xx: every query during the
+                        // delta publish and the refit swap succeeds.
+                        assert_eq!(status, 200, "query failed during swap: {body}");
+                        // Consistency: the answer comes from exactly one
+                        // whole generation — 16 (seed), 17 (delta), or
+                        // 17-author refit — never a torn mixture.
+                        let v = serde_json::from_str::<serde_json::Value>(body.trim()).unwrap();
+                        let sims = v.get("similarities").and_then(|s| s.as_array()).unwrap();
+                        let n_authors = sims.len() - 1; // sims include the query row
+                        assert!(
+                            (16..=17).contains(&n_authors),
+                            "torn generation: {n_authors} authors"
+                        );
+                        served += 1;
+                    }
+                    served
+                }));
+            }
+
+            // Mid-load: ingest one author with 8 tweets (>= trigger 6).
+            let (status, body) = exchange(
+                addr,
+                "POST",
+                "/ingest",
+                &ingest_line("grow-1", &author_tweets(&dataset, 5, 8)),
+            );
+            assert_eq!(status, 200, "{body}");
+            assert!(body.contains("\"refit_scheduled\":true"), "{body}");
+            assert!(body.contains("\"generation\":1"), "{body}");
+
+            // Generation 2 is the background refit landing.
+            wait_for_generation(addr, 2, Duration::from_secs(120));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+            assert!(total > 0, "load generator never issued a query");
+        });
+
+        // The refit generation serves the grown author set.
+        let (status, body) = exchange(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"authors\":17"), "{body}");
     });
 }
