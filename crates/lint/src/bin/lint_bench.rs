@@ -1,0 +1,144 @@
+//! Wall-clock benchmark of the linter itself: lex + per-file rules +
+//! the cross-file drift phase over the whole workspace, reported as
+//! `BENCH_lint.json` next to the other `BENCH_*.json` records. The
+//! linter runs on every CI push, so its cost is part of the loop a
+//! contributor waits on; the budget (DESIGN.md §13) is five seconds
+//! for the full tree.
+//!
+//! ```text
+//! cargo run --release -p soulmate-lint --bin lint_bench -- [--out PATH] [paths…]
+//! ```
+//!
+//! Paths default to `crates src examples` (run it from the repo root);
+//! `./DESIGN.md` drives the drift phase when present.
+
+// Same guarantee as the library (binaries are separate crate roots).
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Timed lint passes; the first (untimed) pass warms the page cache so
+/// the numbers measure the linter, not the filesystem.
+const RUNS: u32 = 5;
+
+/// `y-m-d` (UTC) from a Unix timestamp — Howard Hinnant's
+/// `civil_from_days`, kept in `u64` so no cast can narrow.
+fn civil_date(secs: u64) -> String {
+    let days = secs / 86_400;
+    let z = days + 719_468;
+    let era = z / 146_097;
+    let doe = z % 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + u64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn run() -> Result<(), String> {
+    let mut out_path = PathBuf::from("BENCH_lint.json");
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "`--out` expects a path".to_string())?,
+                );
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!(
+                    "unknown flag `{flag}`\nusage: lint_bench [--out PATH] [paths…]"
+                ));
+            }
+            path => roots.push(PathBuf::from(path)),
+        }
+    }
+    if roots.is_empty() {
+        roots = ["crates", "src", "examples"]
+            .iter()
+            .map(PathBuf::from)
+            .filter(|p| p.is_dir())
+            .collect();
+        if roots.is_empty() {
+            return Err("no default roots here; pass paths explicitly".to_string());
+        }
+    }
+    let design = Path::new("DESIGN.md")
+        .is_file()
+        .then(|| PathBuf::from("DESIGN.md"));
+
+    let files = soulmate_lint::collect_rs_files(&roots).map_err(|e| e.to_string())?;
+    // Warmup, also the source of the reported diagnostic count.
+    let diags = soulmate_lint::lint_paths_with_design(&roots, design.as_deref())
+        .map_err(|e| e.to_string())?;
+
+    let mut seconds = Vec::with_capacity(RUNS.try_into().unwrap_or(0));
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let again = soulmate_lint::lint_paths_with_design(&roots, design.as_deref())
+            .map_err(|e| e.to_string())?;
+        seconds.push(t0.elapsed().as_secs_f64());
+        if again.len() != diags.len() {
+            return Err("diagnostic count changed between timed runs".to_string());
+        }
+    }
+    let best = seconds.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = seconds.iter().sum::<f64>() / f64::from(RUNS);
+
+    let date = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| civil_date(d.as_secs()))
+        .unwrap_or_else(|_| "unknown".to_string());
+    let payload = format!(
+        concat!(
+            "{{\n",
+            "  \"description\": \"Wall-clock cost of a full soulmate-lint run (lex, per-file rules, cross-file metric-name-drift) over the workspace. Budget: whole tree under 5 seconds, so the lint step never dominates a CI push.\",\n",
+            "  \"command\": \"cargo run --release -p soulmate-lint --bin lint_bench\",\n",
+            "  \"date\": \"{date}\",\n",
+            "  \"files\": {files},\n",
+            "  \"diagnostics\": {diags},\n",
+            "  \"runs\": {runs},\n",
+            "  \"wall_seconds_best\": {best:.6},\n",
+            "  \"wall_seconds_mean\": {mean:.6}\n",
+            "}}\n"
+        ),
+        date = date,
+        files = files.len(),
+        diags = diags.len(),
+        runs = RUNS,
+        best = best,
+        mean = mean,
+    );
+
+    // Sibling temp file + rename: same atomic-publish protocol the
+    // non-atomic-write rule demands of the workspace.
+    let tmp = out_path.with_extension("json.tmp");
+    std::fs::write(&tmp, &payload).map_err(|e| e.to_string())?;
+    std::fs::rename(&tmp, &out_path).map_err(|e| e.to_string())?;
+    eprintln!(
+        "lint_bench: {} files, {} diagnostics, best {:.3}s / mean {:.3}s over {} runs -> {}",
+        files.len(),
+        diags.len(),
+        best,
+        mean,
+        RUNS,
+        out_path.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -66,8 +66,9 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
 }
 
 /// Escape a string for JSON output (the crate is std-only by design, so
-/// no serde here; mirrors the escaping rules of RFC 8259).
-fn json_string(s: &str) -> String {
+/// no serde here; mirrors the escaping rules of RFC 8259). Shared with
+/// the SARIF renderer.
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -361,10 +361,18 @@ fn collect_suppressions(
     map
 }
 
-/// Lint one file's source. `path` is used both for diagnostics and for
+/// One file's per-file results plus the inputs the cross-file phase
+/// needs (today: literal metric registrations for `metric-name-drift`).
+pub struct FileAnalysis {
+    pub diags: Vec<Diagnostic>,
+    pub metric_sites: Vec<crate::metrics::MetricSite>,
+}
+
+/// Run the per-file phase over one file's source and collect the
+/// cross-file inputs. `path` is used both for diagnostics and for
 /// scope decisions (test vs. serving code), so callers should pass the
 /// path as reached from the lint roots (e.g. `crates/core/src/engine.rs`).
-pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+pub fn analyze_source(path: &str, src: &str) -> FileAnalysis {
     let lx = lex(src);
     let mut out = Vec::new();
     let suppressions = collect_suppressions(path, &lx.comments, &mut out);
@@ -379,8 +387,19 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
         serving: is_serving_path(path),
     };
     rules::run_all(&ctx, &mut out);
+    let metric_sites = crate::metrics::collect_sites(&ctx);
     sort_canonical(&mut out);
-    out
+    FileAnalysis {
+        diags: out,
+        metric_sites,
+    }
+}
+
+/// Lint one file's source: the per-file rules only. The cross-file
+/// `metric-name-drift` phase needs the whole file set plus DESIGN.md
+/// and runs in [`crate::lint_paths_with_design`].
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    analyze_source(path, src).diags
 }
 
 #[cfg(test)]

@@ -338,8 +338,13 @@ fn lex_char_or_lifetime<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
                 if cur.bytes.get(cur.i) == Some(&b'}') {
                     cur.i += 1;
                 }
-            } else if cur.i < cur.bytes.len() {
-                cur.i += utf8_len(cur.bytes[cur.i]);
+            } else if let Some(&e) = cur.bytes.get(cur.i) {
+                // A literal newline after the backslash is invalid Rust;
+                // leave it for the main loop so line accounting stays
+                // in sync even on files rustc would reject.
+                if e != b'\n' {
+                    cur.i += utf8_len(e);
+                }
             }
             if cur.bytes.get(cur.i) == Some(&b'\'') {
                 cur.i += 1;
@@ -362,6 +367,9 @@ fn lex_char_or_lifetime<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
                 push_token(cur, out, TokenKind::Lifetime, start, cur.i);
             }
         }
+        // A bare `'` at end of line (invalid Rust): emit the quote as
+        // punctuation and let the main loop account for the newline.
+        Some(&b'\n') => push_token(cur, out, TokenKind::Punct, start, cur.i),
         Some(&b) => {
             // ' ' or '(' etc: a one-char literal.
             cur.i += utf8_len(b);
@@ -441,8 +449,13 @@ fn lex_byte_char_tail<'a>(
     col: u32,
 ) {
     if cur.bytes.get(cur.i) == Some(&b'\\') {
-        cur.i += 2;
-    } else if cur.i < cur.bytes.len() {
+        cur.i += 1;
+        // The escaped byte — but never a raw newline (invalid Rust);
+        // leaving it to the main loop keeps line accounting in sync.
+        if cur.bytes.get(cur.i).is_some_and(|&b| b != b'\n') {
+            cur.i += 1;
+        }
+    } else if cur.bytes.get(cur.i).is_some_and(|&b| b != b'\n') {
         cur.i += 1;
     }
     if cur.bytes.get(cur.i) == Some(&b'\'') {
@@ -666,6 +679,61 @@ mod tests {
             "let c = '",
         ] {
             let _ = lex(src);
+        }
+    }
+
+    /// Line of the first token named `name`.
+    fn line_of(src: &str, name: &str) -> u32 {
+        lex(src)
+            .tokens
+            .iter()
+            .find(|t| t.text == name)
+            .unwrap_or_else(|| panic!("token {name:?} not found"))
+            .line
+    }
+
+    #[test]
+    fn crlf_line_endings_count_like_lf() {
+        // The same source under LF and CRLF must agree on every line
+        // number — CRLF checkouts (core.autocrlf on Windows) are real.
+        let lf = "fn a() {}\nfn b() {}\n// note\nfn c() {}\n";
+        let crlf = lf.replace('\n', "\r\n");
+        for name in ["a", "b", "c"] {
+            assert_eq!(line_of(lf, name), line_of(&crlf, name), "token {name}");
+        }
+        let (l, c) = (lex(lf), lex(&crlf));
+        assert_eq!(l.comments[0].line, c.comments[0].line);
+    }
+
+    #[test]
+    fn crlf_inside_strings_comments_and_raw_strings() {
+        let lf = "let s = \"one\ntwo\";\nlet r = r#\"three\nfour\"#;\n/* five\nsix */\nafter();\n";
+        let crlf = lf.replace('\n', "\r\n");
+        assert_eq!(line_of(lf, "after"), 7);
+        assert_eq!(line_of(&crlf, "after"), 7);
+    }
+
+    #[test]
+    fn crlf_escaped_line_continuation_in_string() {
+        // `\` + CRLF continuation: the `\r` sits between the backslash
+        // and the `\n`; the line still advances exactly once.
+        let src = "let s = \"one\\\r\n two\";\r\nafter();";
+        assert_eq!(line_of(src, "after"), 3);
+    }
+
+    #[test]
+    fn invalid_quote_before_newline_keeps_line_accounting() {
+        // Invalid Rust (rustc rejects it), but the linter must not let
+        // a stray quote swallow the newline and shift every later span.
+        for src in [
+            "let c = '\nafter();",    // bare ' at end of line
+            "let c = '\\\nafter();",  // '\ at end of line
+            "let c = b'\nafter();",   // b' at end of line
+            "let c = b'\\\nafter();", // b'\ at end of line
+            "let c = '\r\nafter();",  // CRLF variants
+            "let c = b'\\\r\nafter();",
+        ] {
+            assert_eq!(line_of(src, "after"), 2, "src: {src:?}");
         }
     }
 }

@@ -16,16 +16,30 @@
 //! - `todo-marker` — no work-in-progress markers on main;
 //! - `no-unsafe` — token-level double-check of `#![forbid(unsafe_code)]`.
 //!
+//! On top of the token rules, a lightweight [`syntax`] layer (block
+//! tree + item boundaries) and [`scopes`] (mutex-guard live ranges)
+//! power the concurrency pack of [`rules_concurrency`]:
+//!
+//! - `lock-order` — inverted nested acquisition order within a file;
+//! - `blocking-under-lock` — I/O, fits, sleeps, or a second `.lock()`
+//!   while a guard is live;
+//! - `lock-unwrap` — `.lock().unwrap()/.expect()` in serving code;
+//! - `condvar-no-loop` — `Condvar::wait*` outside a predicate loop;
+//!
+//! and a cross-file phase checks `metric-name-drift`: literal obs
+//! registry names vs. the DESIGN.md §11 inventory, both directions
+//! (see [`metrics`]).
+//!
 //! Diagnostics are span-accurate (`file:line:col`), rule IDs are stable,
 //! and per-line suppressions (`lint:allow(rule) -- reason`) *require* a
 //! written reason. Run it as:
 //!
 //! ```text
-//! cargo run -p soulmate-lint -- [--json] [paths…]
+//! cargo run -p soulmate-lint -- [--format text|json|sarif] [--design DESIGN.md] [paths…]
 //! ```
 //!
 //! See DESIGN.md §13 for the lexer model, the rule catalog, the
-//! suppression syntax, and the JSON diagnostic schema.
+//! suppression syntax, and the output schemas.
 
 // The linter guards the workspace's no-unsafe guarantee; it must hold
 // itself to the same bar.
@@ -34,24 +48,49 @@
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+pub mod metrics;
 pub mod rules;
+pub mod rules_concurrency;
+pub mod sarif;
+pub mod scopes;
+pub mod syntax;
 pub mod walk;
 
 pub use diag::{render_json, render_text, sort_canonical, Diagnostic};
-pub use engine::lint_source;
+pub use engine::{analyze_source, lint_source};
+pub use sarif::render_sarif;
 pub use walk::collect_rs_files;
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// Lint every `.rs` file reachable from `roots`; returns canonically
-/// sorted diagnostics (by path, line, col, rule).
+/// Lint every `.rs` file reachable from `roots` (per-file rules only);
+/// returns canonically sorted diagnostics (by path, line, col, rule).
 pub fn lint_paths(roots: &[PathBuf]) -> std::io::Result<Vec<Diagnostic>> {
+    lint_paths_with_design(roots, None)
+}
+
+/// Lint every `.rs` file reachable from `roots`, then — when a design
+/// document is supplied — run the cross-file `metric-name-drift` phase
+/// against its §11 metric inventory. Returns canonically sorted
+/// diagnostics (by path, line, col, rule).
+pub fn lint_paths_with_design(
+    roots: &[PathBuf],
+    design: Option<&Path>,
+) -> std::io::Result<Vec<Diagnostic>> {
     let files = collect_rs_files(roots)?;
     let mut out = Vec::new();
+    let mut sites = Vec::new();
     for file in &files {
         let src = std::fs::read_to_string(file)?;
         let label = file.to_string_lossy().replace('\\', "/");
-        out.extend(lint_source(&label, &src));
+        let analysis = analyze_source(&label, &src);
+        out.extend(analysis.diags);
+        sites.extend(analysis.metric_sites);
+    }
+    if let Some(design_path) = design {
+        let design_src = std::fs::read_to_string(design_path)?;
+        let label = design_path.to_string_lossy().replace('\\', "/");
+        metrics::check_drift(&sites, &label, &design_src, &mut out);
     }
     sort_canonical(&mut out);
     Ok(out)

@@ -1,10 +1,13 @@
 //! CLI for `soulmate-lint`.
 //!
 //! ```text
-//! soulmate-lint [--json] [paths…]
+//! soulmate-lint [--format text|json|sarif] [--design PATH] [--list-rules] [paths…]
 //! ```
 //!
-//! Paths default to the current directory. Exit codes: 0 = clean,
+//! Paths default to the current directory. The cross-file
+//! `metric-name-drift` phase runs against the document given by
+//! `--design`, or against `./DESIGN.md` when it exists (checkouts
+//! without one simply skip the phase). Exit codes: 0 = clean,
 //! 1 = diagnostics found, 2 = usage or I/O error.
 
 // Same guarantee as the library (binaries are separate crate roots).
@@ -13,16 +16,57 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: soulmate-lint [--json] [paths…]\n\
+const USAGE: &str =
+    "usage: soulmate-lint [--format text|json|sarif] [--design PATH] [--list-rules] [paths…]\n\
+       --format FMT   output format: text (default), json, or sarif (2.1.0)\n\
+       --json         alias for --format json\n\
+       --design PATH  design document for the metric-name-drift phase\n\
+                      (defaults to ./DESIGN.md when present)\n\
+       --list-rules   print `id\\tsummary` per catalog rule and exit\n\
        paths default to `.`; directories are walked recursively for .rs files\n\
        (skipping target/, .git/ and fixtures/ directories)";
 
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
+    let mut design: Option<PathBuf> = None;
     let mut roots: Vec<PathBuf> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        let got = other.unwrap_or("nothing");
+                        eprintln!(
+                            "error: `--format` expects text|json|sarif, got `{got}`\n{USAGE}"
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--design" => {
+                let Some(path) = args.next() else {
+                    eprintln!("error: `--design` expects a path\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                design = Some(PathBuf::from(path));
+            }
+            "--list-rules" => {
+                for (id, summary) in soulmate_lint::rules::CATALOG {
+                    println!("{id}\t{summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -37,8 +81,16 @@ fn main() -> ExitCode {
     if roots.is_empty() {
         roots.push(PathBuf::from("."));
     }
+    // An explicit --design must exist (exit 2 below via the I/O error);
+    // the implicit default only engages when the file is present.
+    if design.is_none() {
+        let default = PathBuf::from("DESIGN.md");
+        if default.is_file() {
+            design = Some(default);
+        }
+    }
 
-    let diags = match soulmate_lint::lint_paths(&roots) {
+    let diags = match soulmate_lint::lint_paths_with_design(&roots, design.as_deref()) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
@@ -46,21 +98,23 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
-        print!("{}", soulmate_lint::render_json(&diags));
-    } else {
-        print!("{}", soulmate_lint::render_text(&diags));
-        eprintln!(
-            "soulmate-lint: {} diagnostic{} ({} rule{} in catalog)",
-            diags.len(),
-            if diags.len() == 1 { "" } else { "s" },
-            soulmate_lint::rules::CATALOG.len(),
-            if soulmate_lint::rules::CATALOG.len() == 1 {
-                ""
-            } else {
-                "s"
-            },
-        );
+    match format {
+        Format::Json => print!("{}", soulmate_lint::render_json(&diags)),
+        Format::Sarif => print!("{}", soulmate_lint::render_sarif(&diags)),
+        Format::Text => {
+            print!("{}", soulmate_lint::render_text(&diags));
+            eprintln!(
+                "soulmate-lint: {} diagnostic{} ({} rule{} in catalog)",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" },
+                soulmate_lint::rules::CATALOG.len(),
+                if soulmate_lint::rules::CATALOG.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            );
+        }
     }
     if diags.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,420 @@
+//! The cross-file `metric-name-drift` pass.
+//!
+//! The obs registry is stringly keyed: a metric exists because some
+//! call site said `obs.incr("engine.builds", 1)`. DESIGN.md §11 keeps
+//! the human-readable inventory of those names — and nothing used to
+//! tie the two together, so they drifted (PR 7 shipped
+//! `kernels.gram_rect_rows` call sites the docs never mentioned).
+//! This pass collects every literal metric registration in the
+//! workspace, parses the inventory block out of DESIGN.md, and reports
+//! drift in both directions:
+//!
+//! - a call-site literal absent from the inventory;
+//! - a non-`(dynamic)` inventory entry no call site registers.
+//!
+//! Names built at runtime (`format!("{prefix}.calls")`) are invisible
+//! to the collector; the inventory documents them with a `(dynamic)`
+//! marker, which exempts them from the reverse check.
+//!
+//! ## Inventory format
+//!
+//! Between `<!-- metric-inventory:begin -->` and
+//! `<!-- metric-inventory:end -->` in DESIGN.md, every backtick-quoted
+//! token that looks like a metric name — contains a `.`, uses only
+//! `[A-Za-z0-9._<>]` — is an entry, so one bullet can list a family
+//! (`` `fit.runs`, `fit.vocab_size` — counters ``) while surrounding
+//! prose in backticks (`format!`, `IVF_METRICS`) stays inert.
+//! `(dynamic)` anywhere on a line marks every name on it dynamic.
+//! Stage-timer entries (`stage.<path>.seconds`) are matched against
+//! `span!` site names componentwise, since the registry key is
+//! assembled from the nesting of spans at runtime.
+
+use crate::diag::Diagnostic;
+use crate::engine::Ctx;
+use crate::lexer::TokenKind;
+
+pub const METRIC_NAME_DRIFT: &str = "metric-name-drift";
+
+/// How a name reaches the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// Direct registration: `incr`/`set_gauge`/`record`/
+    /// `record_duration`/`time` with a literal first argument.
+    Call,
+    /// A `span!(obs, "name")` segment; the registry key is
+    /// `stage.<joined spans>.seconds`.
+    Span,
+}
+
+/// One literal metric registration found in source.
+#[derive(Debug, Clone)]
+pub struct MetricSite {
+    pub name: String,
+    pub kind: SiteKind,
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    /// `lint:allow(metric-name-drift)` covered this line; the site
+    /// still participates in the reverse check but never reports.
+    pub suppressed: bool,
+}
+
+/// Registry methods whose first argument names the metric.
+const REGISTRY_CALLS: &[&str] = &["incr", "set_gauge", "record", "record_duration", "time"];
+
+/// Strip a string literal token down to its contents (`"x"`,
+/// `r"x"`, `r#"x"#` → `x`). Metric names never contain escapes.
+fn unquote(text: &str) -> Option<&str> {
+    let open = text.find('"')?;
+    let inner = &text[open + 1..];
+    let close = inner.rfind('"')?;
+    Some(&inner[..close])
+}
+
+/// Collect every literal metric registration in one file's tokens.
+/// Test code (test files, `#[cfg(test)]` ranges) is skipped — test
+/// metrics are scratch names, not part of the serving inventory.
+pub fn collect_sites(ctx: &Ctx<'_>) -> Vec<MetricSite> {
+    let tokens = ctx.tokens();
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || ctx.is_test(i) {
+            continue;
+        }
+        // `<recv>.incr("name", …)` and friends.
+        if REGISTRY_CALLS.contains(&t.text)
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(lit) = tokens.get(i + 2).filter(|l| l.kind == TokenKind::Str) {
+                if let Some(name) = unquote(lit.text) {
+                    out.push(MetricSite {
+                        name: name.to_string(),
+                        kind: SiteKind::Call,
+                        path: ctx.path.to_string(),
+                        line: lit.line,
+                        col: lit.col,
+                        suppressed: ctx.is_suppressed(METRIC_NAME_DRIFT, lit.line),
+                    });
+                }
+            }
+        }
+        // `span!(<registry expr>, "name")` — find the comma separating
+        // the two macro arguments, then take a literal after it.
+        if t.is_ident("span")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let mut depth = 1usize;
+            let mut j = i + 3;
+            while let Some(u) = tokens.get(j) {
+                if u.is_punct('(') {
+                    depth += 1;
+                } else if u.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if u.is_punct(',') && depth == 1 {
+                    if let Some(lit) = tokens.get(j + 1).filter(|l| l.kind == TokenKind::Str) {
+                        if let Some(name) = unquote(lit.text) {
+                            out.push(MetricSite {
+                                name: name.to_string(),
+                                kind: SiteKind::Span,
+                                path: ctx.path.to_string(),
+                                line: lit.line,
+                                col: lit.col,
+                                suppressed: ctx.is_suppressed(METRIC_NAME_DRIFT, lit.line),
+                            });
+                        }
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// One line of the DESIGN.md inventory block.
+#[derive(Debug, Clone)]
+pub struct InventoryEntry {
+    pub name: String,
+    /// 1-based line in the design document.
+    pub line: u32,
+    pub dynamic: bool,
+}
+
+/// Is a backticked token from the inventory block a metric name?
+/// Dotted, and limited to the characters metric names (and the
+/// `<L>`-style dynamic placeholders) actually use — which keeps code
+/// identifiers, paths and macros mentioned in prose out of the list.
+fn looks_like_metric(name: &str) -> bool {
+    name.contains('.')
+        && !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '<' | '>'))
+}
+
+const INVENTORY_BEGIN: &str = "<!-- metric-inventory:begin -->";
+const INVENTORY_END: &str = "<!-- metric-inventory:end -->";
+
+/// Parse the inventory block out of a design document. Returns `None`
+/// when the document has no block at all (then the pass is a no-op —
+/// scratch checkouts without DESIGN.md must not fail the lint).
+pub fn parse_inventory(design_src: &str) -> Option<Vec<InventoryEntry>> {
+    let mut inside = false;
+    let mut seen = false;
+    let mut entries = Vec::new();
+    for (idx, line) in design_src.lines().enumerate() {
+        let has_begin = line.contains(INVENTORY_BEGIN);
+        let has_end = line.contains(INVENTORY_END);
+        if has_begin && has_end {
+            // Prose *mentioning* both markers on one line (e.g. the
+            // §13 description of this very format) — not a boundary.
+            continue;
+        }
+        if has_begin {
+            inside = true;
+            seen = true;
+            continue;
+        }
+        if has_end {
+            inside = false;
+            continue;
+        }
+        if !inside {
+            continue;
+        }
+        let dynamic = line.contains("(dynamic)");
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            rest = &rest[open + 1..];
+            let Some(close) = rest.find('`') else { break };
+            let name = &rest[..close];
+            rest = &rest[close + 1..];
+            if looks_like_metric(name) {
+                entries.push(InventoryEntry {
+                    name: name.to_string(),
+                    // enumerate() over a document far below u32::MAX lines
+                    line: (idx + 1) as u32,
+                    dynamic,
+                });
+            }
+        }
+    }
+    seen.then_some(entries)
+}
+
+/// A `stage.….seconds` inventory entry's middle components, if it is one.
+fn stage_components(name: &str) -> Option<Vec<&str>> {
+    let middle = name.strip_prefix("stage.")?.strip_suffix(".seconds")?;
+    if middle.is_empty() {
+        return None;
+    }
+    Some(middle.split('.').collect())
+}
+
+/// Does a call-site `name` match the inventory?
+fn call_matches(name: &str, entries: &[InventoryEntry]) -> bool {
+    entries.iter().any(|e| e.name == name)
+}
+
+/// Does a `span!` segment `name` appear in some stage entry?
+fn span_matches(name: &str, entries: &[InventoryEntry]) -> bool {
+    entries
+        .iter()
+        .filter_map(|e| stage_components(&e.name))
+        .any(|comps| comps.contains(&name))
+}
+
+/// Run both directions of the drift check. `design_path` is only used
+/// to anchor reverse-direction diagnostics.
+pub fn check_drift(
+    sites: &[MetricSite],
+    design_path: &str,
+    design_src: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(entries) = parse_inventory(design_src) else {
+        return;
+    };
+    // Forward: every literal site must be documented.
+    for s in sites {
+        if s.suppressed {
+            continue;
+        }
+        let (ok, hint) = match s.kind {
+            SiteKind::Call => (call_matches(&s.name, &entries), "add it to the inventory"),
+            SiteKind::Span => (
+                span_matches(&s.name, &entries),
+                "add its `stage.….seconds` key to the inventory",
+            ),
+        };
+        if !ok {
+            out.push(Diagnostic {
+                path: s.path.clone(),
+                line: s.line,
+                col: s.col,
+                rule: METRIC_NAME_DRIFT,
+                message: format!(
+                    "metric `{}` is registered here but missing from the DESIGN.md §11 inventory; {hint} or rename the call site",
+                    s.name
+                ),
+            });
+        }
+    }
+    // Reverse: every documented non-dynamic entry must have a site.
+    for e in &entries {
+        if e.dynamic {
+            continue;
+        }
+        let ok = match stage_components(&e.name) {
+            Some(comps) => comps.iter().all(|c| {
+                sites
+                    .iter()
+                    .any(|s| s.kind == SiteKind::Span && s.name == *c)
+            }),
+            None => sites
+                .iter()
+                .any(|s| s.kind == SiteKind::Call && s.name == e.name),
+        };
+        if !ok {
+            out.push(Diagnostic {
+                path: design_path.to_string(),
+                line: e.line,
+                col: 1,
+                rule: METRIC_NAME_DRIFT,
+                message: format!(
+                    "inventory entry `{}` has no literal registration site in the linted code; remove the entry or mark it `(dynamic)` if the name is built at runtime",
+                    e.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_source;
+
+    const DESIGN: &str = "\
+# design\n\
+<!-- metric-inventory:begin -->\n\
+- `serve.requests` — counter\n\
+- `engine.query.seconds` — histogram\n\
+- `kernels.gram.calls` (dynamic) — per-prefix counter\n\
+- `stage.fit.encode.seconds` — stage timer\n\
+- `orphan.metric` — documented but never registered\n\
+<!-- metric-inventory:end -->\n";
+
+    fn drift(src: &str) -> Vec<Diagnostic> {
+        let a = analyze_source("crates/core/src/fixture.rs", src);
+        assert!(a.diags.is_empty(), "per-file rules fired: {:?}", a.diags);
+        let mut out = Vec::new();
+        check_drift(&a.metric_sites, "DESIGN.md", DESIGN, &mut out);
+        out
+    }
+
+    #[test]
+    fn documented_names_and_spans_are_clean_and_orphan_is_reported() {
+        let src = "fn f(obs: &Registry) {\n    obs.incr(\"serve.requests\", 1);\n    obs.record(\"engine.query.seconds\", 0.1);\n    let _fit = span!(obs, \"fit\");\n    let _enc = span!(obs, \"encode\");\n}\n";
+        let out = drift(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].path, "DESIGN.md");
+        assert_eq!(out[0].line, 7);
+        assert!(out[0].message.contains("orphan.metric"));
+    }
+
+    #[test]
+    fn unregistered_call_site_literal_is_reported_at_the_literal() {
+        let src = "fn f(obs: &Registry) {\n    obs.incr(\"serve.requests\", 1);\n    obs.record(\"engine.query.seconds\", 0.1);\n    let _fit = span!(obs, \"fit\");\n    let _enc = span!(obs, \"encode\");\n    obs.incr(\"serve.surprise\", 1);\n}\n";
+        let out = drift(src);
+        let fwd: Vec<_> = out.iter().filter(|d| d.path != "DESIGN.md").collect();
+        assert_eq!(fwd.len(), 1, "{out:?}");
+        assert_eq!((fwd[0].line, fwd[0].col), (6, 14));
+        assert!(fwd[0].message.contains("serve.surprise"));
+    }
+
+    #[test]
+    fn span_segment_not_in_any_stage_entry_is_reported() {
+        let src = "fn f(obs: &Registry) {\n    obs.incr(\"serve.requests\", 1);\n    obs.record(\"engine.query.seconds\", 0.1);\n    let _fit = span!(obs, \"fit\");\n    let _enc = span!(obs, \"encode\");\n    let _x = span!(obs, \"mystery\");\n}\n";
+        let out = drift(src);
+        let fwd: Vec<_> = out.iter().filter(|d| d.path != "DESIGN.md").collect();
+        assert_eq!(fwd.len(), 1, "{out:?}");
+        assert!(fwd[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn dynamic_entries_are_exempt_from_the_reverse_check() {
+        // `kernels.gram.calls` never appears as a literal below, yet
+        // only the deliberate orphan is reported.
+        let src = "fn f(obs: &Registry) {\n    obs.incr(\"serve.requests\", 1);\n    obs.record(\"engine.query.seconds\", 0.1);\n    let _fit = span!(obs, \"fit\");\n    let _enc = span!(obs, \"encode\");\n}\n";
+        let out = drift(src);
+        assert!(
+            !out.iter().any(|d| d.message.contains("kernels.gram")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn test_code_metric_names_are_not_collected() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(obs: &Registry) { obs.incr(\"scratch.name\", 1); }\n}\n";
+        let a = analyze_source("crates/core/src/fixture.rs", src);
+        assert!(a.metric_sites.is_empty(), "{:?}", a.metric_sites);
+    }
+
+    #[test]
+    fn missing_inventory_block_disables_the_pass() {
+        let a = analyze_source(
+            "crates/core/src/fixture.rs",
+            "fn f(obs: &Registry) { obs.incr(\"anything.at.all\", 1); }\n",
+        );
+        let mut out = Vec::new();
+        check_drift(
+            &a.metric_sites,
+            "DESIGN.md",
+            "# doc without a block\n",
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn prose_mentioning_both_markers_on_one_line_is_not_a_boundary() {
+        // Found by dogfooding: DESIGN.md §13 *describes* the inventory
+        // format, markers and all, after the real block has closed. A
+        // line carrying both markers must not reopen the block.
+        let design = "<!-- metric-inventory:begin -->\n\
+- `real.entry` — counter\n\
+<!-- metric-inventory:end -->\n\
+Prose: between `<!-- metric-inventory:begin -->` / `<!-- metric-inventory:end -->` markers.\n\
+- `not.an.entry` — just documentation\n";
+        let entries = parse_inventory(design).unwrap();
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["real.entry"]);
+    }
+
+    #[test]
+    fn one_line_can_list_several_names_and_prose_stays_inert() {
+        let design = "<!-- metric-inventory:begin -->\n\
+- `fit.runs`, `fit.vocab_size` (dynamic) — built with `format!` via `IVF_METRICS`\n\
+<!-- metric-inventory:end -->\n";
+        let entries = parse_inventory(design).unwrap();
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["fit.runs", "fit.vocab_size"]);
+        assert!(entries.iter().all(|e| e.dynamic));
+    }
+
+    #[test]
+    fn dynamic_first_argument_is_ignored() {
+        let src = "fn f(obs: &Registry, name: &str) { obs.incr(name, 1); obs.incr(&format!(\"{name}.calls\"), 1); }\n";
+        let a = analyze_source("crates/core/src/fixture.rs", src);
+        assert!(a.metric_sites.is_empty(), "{:?}", a.metric_sites);
+    }
+}

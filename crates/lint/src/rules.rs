@@ -7,6 +7,9 @@ use crate::diag::Diagnostic;
 use crate::engine::{Bless, Ctx};
 use crate::lexer::{Token, TokenKind};
 
+use crate::metrics::METRIC_NAME_DRIFT;
+use crate::rules_concurrency::{BLOCKING_UNDER_LOCK, CONDVAR_NO_LOOP, LOCK_ORDER, LOCK_UNWRAP};
+
 pub const NAN_COMPARATOR: &str = "nan-comparator";
 pub const NON_ATOMIC_WRITE: &str = "non-atomic-write";
 pub const PANIC_IN_SERVING: &str = "panic-in-serving";
@@ -26,6 +29,11 @@ pub const CATALOG: &[(&str, &str)] = &[
     (UNGUARDED_AS_CAST, "narrowing `as` cast needs an adjacent proof comment"),
     (TODO_MARKER, "TODO/FIXME/XXX markers and todo!/unimplemented! must not land on main"),
     (NO_UNSAFE, "the workspace is 100% safe Rust; `unsafe` is forbidden"),
+    (LOCK_ORDER, "two mutexes nested in inverted order across functions in one file risks deadlock; pick one acquisition order"),
+    (BLOCKING_UNDER_LOCK, "blocking call (I/O, Pipeline::fit, sleep, second .lock()) while a mutex guard is live stalls every thread behind the lock"),
+    (LOCK_UNWRAP, ".lock().unwrap()/.expect() in serving code panics on poison and cascades; recover with unwrap_or_else(PoisonError::into_inner) or a typed error"),
+    (CONDVAR_NO_LOOP, "Condvar::wait/wait_timeout outside a while/loop predicate loop proceeds on spurious wakeups; re-check the condition in a loop"),
+    (METRIC_NAME_DRIFT, "obs metric literals and the DESIGN.md §11 inventory must agree in both directions (dynamic names are documented with a `(dynamic)` marker)"),
 ];
 
 /// True for IDs accepted inside `lint:allow(…)`. `bad-suppression` is
@@ -43,6 +51,7 @@ pub fn run_all(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
     unguarded_as_cast(ctx, out);
     todo_marker(ctx, out);
     no_unsafe(ctx, out);
+    crate::rules_concurrency::run_concurrency(ctx, out);
 }
 
 /// Index of the `)` matching the `(` at `open`, if any.
@@ -159,9 +168,18 @@ fn panic_in_serving(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
         }
         let next_is_open_paren = tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
         let prev_is_dot = i > 0 && tokens[i - 1].is_punct('.');
+        // `.lock().unwrap()` is the sharper `lock-unwrap` rule's case
+        // (poisoning semantics, dedicated fix advice) — defer to it so
+        // one defect yields one diagnostic.
+        let after_lock_call = i >= 4
+            && tokens[i - 4].is_ident("lock")
+            && tokens[i - 3].is_punct('(')
+            && tokens[i - 2].is_punct(')')
+            && prev_is_dot;
         if t.is_ident("unwrap")
             && next_is_open_paren
             && prev_is_dot
+            && !after_lock_call
             && !ctx.is_blessed(i, Bless::Unwrap)
         {
             ctx.emit(
@@ -174,6 +192,7 @@ fn panic_in_serving(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
         if t.is_ident("expect")
             && next_is_open_paren
             && prev_is_dot
+            && !after_lock_call
             && !ctx.is_blessed(i, Bless::Expect)
         {
             ctx.emit(

@@ -1,0 +1,146 @@
+//! SARIF 2.1.0 output.
+//!
+//! Static Analysis Results Interchange Format — the schema GitHub code
+//! scanning ingests to turn lint findings into PR annotations. Like
+//! [`crate::diag::render_json`], the document is hand-rolled with a
+//! fixed key order, pre-sorted diagnostics, and no timestamps or
+//! absolute paths, so identical inputs produce byte-identical output
+//! (CI artifacts diff cleanly across runs).
+//!
+//! Only the minimal required subset of the spec is emitted:
+//! `tool.driver` with the full rule catalog (so viewers can show rule
+//! help without a network fetch), and one `result` per diagnostic with
+//! a `physicalLocation` region. `ruleIndex` points into the catalog
+//! array per the spec's lookup optimization.
+
+use crate::diag::{json_string, Diagnostic};
+use crate::rules;
+use std::fmt::Write as _;
+
+const SARIF_VERSION: &str = "2.1.0";
+const SCHEMA_URI: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// The catalog SARIF reports: every public rule plus the
+/// non-suppressible `bad-suppression` meta-rule, in stable order.
+fn full_catalog() -> Vec<(&'static str, &'static str)> {
+    let mut cat: Vec<(&str, &str)> = rules::CATALOG.to_vec();
+    cat.push((
+        rules::BAD_SUPPRESSION,
+        "malformed lint:allow suppression (missing reason or unknown rule); not itself suppressible",
+    ));
+    cat
+}
+
+/// Render `diags` (already canonically sorted) as a SARIF 2.1.0
+/// document. Byte-stable: fixed key order, no volatile fields.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let catalog = full_catalog();
+    let mut out = String::with_capacity(2048 + diags.len() * 256);
+    out.push_str("{\"$schema\":");
+    out.push_str(&json_string(SCHEMA_URI));
+    out.push_str(",\"version\":");
+    out.push_str(&json_string(SARIF_VERSION));
+    out.push_str(",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"soulmate-lint\",\"version\":");
+    out.push_str(&json_string(env!("CARGO_PKG_VERSION")));
+    out.push_str(",\"rules\":[");
+    for (i, (id, summary)) in catalog.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\"defaultConfiguration\":{{\"level\":\"error\"}}}}",
+            json_string(id),
+            json_string(summary)
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rule_index = catalog
+            .iter()
+            .position(|(id, _)| *id == d.rule)
+            .unwrap_or(usize::MAX);
+        out.push_str("{\"ruleId\":");
+        out.push_str(&json_string(d.rule));
+        if rule_index != usize::MAX {
+            let _ = write!(out, ",\"ruleIndex\":{rule_index}");
+        }
+        let _ = write!(
+            out,
+            ",\"level\":\"error\",\"message\":{{\"text\":{}}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_string(&d.message),
+            json_string(&d.path),
+            d.line,
+            d.col
+        );
+    }
+    out.push_str("]}]}");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                path: "crates/core/src/x.rs".into(),
+                line: 3,
+                col: 17,
+                rule: rules::PANIC_IN_SERVING,
+                message: "something \"quoted\"".into(),
+            },
+            Diagnostic {
+                path: "crates/serve/src/y.rs".into(),
+                line: 9,
+                col: 5,
+                rule: crate::rules_concurrency::LOCK_UNWRAP,
+                message: "m".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn sarif_is_byte_stable_across_runs() {
+        assert_eq!(render_sarif(&sample()), render_sarif(&sample()));
+    }
+
+    #[test]
+    fn sarif_contains_schema_rules_and_locations() {
+        let s = render_sarif(&sample());
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"soulmate-lint\""));
+        assert!(s.contains("\"id\":\"lock-order\""));
+        assert!(s.contains("\"id\":\"bad-suppression\""));
+        assert!(s.contains("\"uri\":\"crates/core/src/x.rs\""));
+        assert!(s.contains("\"startLine\":3"));
+        assert!(s.contains("\"startColumn\":17"));
+        assert!(s.contains("something \\\"quoted\\\""));
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn rule_index_points_into_the_catalog() {
+        let s = render_sarif(&sample());
+        // panic-in-serving is the third catalog entry (index 2).
+        let idx = rules::CATALOG
+            .iter()
+            .position(|(id, _)| *id == rules::PANIC_IN_SERVING)
+            .expect("cataloged");
+        assert!(s.contains(&format!(
+            "{{\"ruleId\":\"panic-in-serving\",\"ruleIndex\":{idx},"
+        )));
+    }
+
+    #[test]
+    fn empty_run_is_valid_and_stable() {
+        let s = render_sarif(&[]);
+        assert!(s.contains("\"results\":[]"));
+        assert_eq!(s, render_sarif(&[]));
+    }
+}

@@ -1,0 +1,449 @@
+//! Scope-tracked binding analysis for mutex guards.
+//!
+//! Finds every `<receiver>.lock()` acquisition in a file, works out
+//! which binding (if any) the guard landed in, and computes the token
+//! range over which the guard is *live*: from the call site to the end
+//! of its scope, truncated at an explicit `drop(<name>)`. The
+//! concurrency rules in [`crate::rules_concurrency`] are all questions
+//! about these live ranges.
+//!
+//! Binding classification is a small backwards scan over the statement
+//! holding the call, not a parse. The forms that appear in this
+//! workspace — and that the classifier must get right — are:
+//!
+//! - `let g = m.lock()…;` → live to the end of the enclosing block
+//! - `let Ok(mut g) = m.lock() else { … };` → same (the else block
+//!   diverges, so treating the guard as live across it is harmless)
+//! - `if let Ok(g) = m.lock() { … }` → live to the end of the `if` arm
+//! - `while let Ok(g) = m.lock() { … }` → live to the end of the body
+//! - `match m.lock() { … }` → live to the end of the match body
+//! - anything else (`m.lock().map(…)`, `m.lock()?.field`) → a
+//!   statement temporary, live to the next `;` at statement depth
+//!
+//! Mutex *identity* is the dotted receiver path read backwards from
+//! the call (`self.state`, `ctx.ingest_lock`). Two `lock()` calls on
+//! the same textual path are the same mutex; different paths are
+//! different mutexes. That is approximate on purpose — it is exactly
+//! the granularity the lock-order rule needs within one file.
+
+use crate::lexer::{Token, TokenKind};
+use crate::syntax::Syntax;
+
+/// One `.lock()` acquisition and the range its guard stays live.
+#[derive(Debug, Clone)]
+pub struct GuardSite {
+    /// Binding name, when the guard landed in a named pattern.
+    pub name: Option<String>,
+    /// Dotted receiver path identifying the mutex (`self.state`).
+    pub mutex: String,
+    /// Token index of the `lock` identifier.
+    pub lock_tok: usize,
+    /// Last token index (inclusive) at which the guard is live.
+    pub live_to: usize,
+    /// Name of the enclosing function.
+    pub fn_name: String,
+}
+
+fn is_p(tokens: &[Token<'_>], i: usize, p: char) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(p))
+}
+
+/// Collect the dotted receiver path ending just before the `.` at
+/// `dot`: idents and `self` joined by `.`/`::` (the lexer emits `::`
+/// as two `:` tokens), read backwards. Separators normalize to `.`.
+fn receiver_path(tokens: &[Token<'_>], dot: usize) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut j = dot;
+    // Alternate ident / separator, starting with the ident before `dot`.
+    loop {
+        if j == 0 {
+            break;
+        }
+        let t = &tokens[j - 1];
+        if t.kind == TokenKind::Ident && t.text != "await" {
+            parts.push(t.text);
+            j -= 1;
+        } else {
+            break;
+        }
+        if j == 0 {
+            break;
+        }
+        if is_p(tokens, j - 1, '.') {
+            j -= 1;
+        } else if j >= 2 && is_p(tokens, j - 1, ':') && is_p(tokens, j - 2, ':') {
+            j -= 2;
+        } else {
+            break;
+        }
+    }
+    parts.reverse();
+    parts.join(".")
+}
+
+/// Token index where the statement containing `at` begins, scanning
+/// backwards to the nearest `;` or block brace at statement depth
+/// (balanced groups from earlier expression text are skipped whole).
+fn statement_start(tokens: &[Token<'_>], at: usize, block_open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = at;
+    while j > block_open + 1 {
+        let t = &tokens[j - 1];
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                ")" | "]" | "}" => depth += 1,
+                "(" | "[" | "{" => {
+                    if depth == 0 {
+                        return j;
+                    }
+                    depth -= 1;
+                }
+                ";" => {
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j -= 1;
+    }
+    block_open + 1
+}
+
+/// The statement's binding shape, scanned between its start and the call.
+enum Binding {
+    /// `let <pat> = …` — guard scoped to the enclosing block.
+    Let(Option<String>),
+    /// `if let` / `while let` — guard scoped to the following block.
+    CondLet(Option<String>),
+    /// `match …` scrutinee — guard scoped to the match body block.
+    Match,
+    /// No binding: a statement temporary.
+    Temp,
+}
+
+fn classify_binding(tokens: &[Token<'_>], start: usize, lock_tok: usize) -> Binding {
+    let mut has_let: Option<usize> = None;
+    let mut has_match = false;
+    let mut cond = false;
+    let mut depth = 0usize;
+    for (off, t) in tokens[start..lock_tok].iter().enumerate() {
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident && depth == 0 {
+            match t.text {
+                "let" => has_let = Some(start + off),
+                "if" | "while" => cond = true,
+                "match" => has_match = true,
+                _ => {}
+            }
+        }
+    }
+    if let Some(l) = has_let {
+        let name = pattern_name(tokens, l + 1);
+        if cond {
+            Binding::CondLet(name)
+        } else {
+            Binding::Let(name)
+        }
+    } else if has_match {
+        Binding::Match
+    } else {
+        Binding::Temp
+    }
+}
+
+/// First plain identifier bound by the pattern after `let`: skips
+/// constructor names (`Ok`/`Some`/`Err`), parens, `mut`, `ref`, `_`.
+fn pattern_name(tokens: &[Token<'_>], mut j: usize) -> Option<String> {
+    let mut hops = 0;
+    while hops < 8 {
+        hops += 1;
+        let t = tokens.get(j)?;
+        match t.kind {
+            TokenKind::Ident => match t.text {
+                "Ok" | "Some" | "Err" | "mut" | "ref" | "_" => j += 1,
+                name => return Some(name.to_string()),
+            },
+            TokenKind::Punct if t.text == "(" => j += 1,
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Token index of the `{` opening the first block after `after`
+/// (used for `if let`/`while let`/`match` scope ends). The header
+/// between the binding and its block cannot contain a bare `{` in
+/// valid Rust, so the first brace is the one we want.
+fn next_block_open(tokens: &[Token<'_>], after: usize) -> Option<usize> {
+    (after..tokens.len()).find(|&k| is_p(tokens, k, '{'))
+}
+
+/// Next `;` at statement depth after `after`, for temporaries. Bounded
+/// by `limit` (the enclosing block close).
+fn next_semi(tokens: &[Token<'_>], after: usize, limit: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = after;
+    while k <= limit && k < tokens.len() {
+        let t = &tokens[k];
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return k;
+                    }
+                    depth -= 1;
+                }
+                ";" => {
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    limit
+}
+
+/// Does the expression chain after the `.lock()` call's closing paren
+/// still yield the guard? `;`, `{`, and `else` end the chain with the
+/// guard intact; `?` and poison-recovery adapters (`unwrap`, `expect`,
+/// `unwrap_or_else(PoisonError::into_inner)`, …) pass it through; any
+/// other method (`.map(…)`, `.is_ok()`) consumes it, so a `let` on the
+/// statement binds a derived value, not the guard.
+fn guard_retained(tokens: &[Token<'_>], close_paren: usize) -> bool {
+    const PASS_THROUGH: &[&str] = &[
+        "unwrap",
+        "expect",
+        "unwrap_or",
+        "unwrap_or_else",
+        "unwrap_or_default",
+        "into_inner",
+    ];
+    let mut j = close_paren;
+    loop {
+        let Some(next) = tokens.get(j + 1) else {
+            return true;
+        };
+        if next.is_punct(';') || next.is_punct('{') || next.is_ident("else") {
+            return true;
+        }
+        if next.is_punct('?') {
+            j += 1;
+            continue;
+        }
+        if next.is_punct('.') {
+            let keeps = tokens
+                .get(j + 2)
+                .is_some_and(|m| m.kind == TokenKind::Ident && PASS_THROUGH.contains(&m.text))
+                && is_p(tokens, j + 3, '(');
+            if keeps {
+                if let Some(end) = matching_paren(tokens, j + 3) {
+                    j = end;
+                    continue;
+                }
+            }
+            return false;
+        }
+        return false;
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`, if any.
+fn matching_paren(tokens: &[Token<'_>], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = open;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Find `drop ( <name> )` between `from` and `to`; the guard dies at
+/// the first one.
+fn drop_site(tokens: &[Token<'_>], from: usize, to: usize, name: &str) -> Option<usize> {
+    (from..=to.min(tokens.len().saturating_sub(1)).saturating_sub(3)).find(|&k| {
+        tokens[k].is_ident("drop")
+            && is_p(tokens, k + 1, '(')
+            && tokens[k + 2].is_ident(name)
+            && is_p(tokens, k + 3, ')')
+    })
+}
+
+/// Scan a token stream for `.lock()` acquisitions and compute each
+/// guard's live range. Only calls inside a function body are tracked.
+pub fn collect_guards(tokens: &[Token<'_>], syn: &Syntax) -> Vec<GuardSite> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("lock") {
+            continue;
+        }
+        // Shape: `<recv> . lock ( )` — empty parens exclude both
+        // declarations (`fn lock(&self)`) and UFCS forms.
+        if i == 0
+            || !is_p(tokens, i - 1, '.')
+            || !is_p(tokens, i + 1, '(')
+            || !is_p(tokens, i + 2, ')')
+        {
+            continue;
+        }
+        let Some(f) = syn.enclosing_fn(i) else {
+            continue;
+        };
+        let body = &syn.blocks[f.body];
+        let mutex = receiver_path(tokens, i - 1);
+        if mutex.is_empty() {
+            // Chained receiver (`make().lock()`): no stable identity.
+            continue;
+        }
+        let Some(block_id) = syn.innermost_block(i) else {
+            continue;
+        };
+        let block = &syn.blocks[block_id];
+        let start = statement_start(tokens, i, block.open);
+        let (name, live_to) = match classify_binding(tokens, start, i) {
+            // A `let` holds the guard only while the chain after
+            // `.lock()` passes it through; `let n = m.lock().map(…)…;`
+            // binds a derived value and the guard dies at the `;`.
+            Binding::Let(name) if guard_retained(tokens, i + 2) => (name, block.close),
+            Binding::Let(_) => (None, next_semi(tokens, i + 3, body.close)),
+            Binding::CondLet(name) => {
+                let end = next_block_open(tokens, i + 2)
+                    .and_then(|open| syn.blocks.iter().find(|b| b.open == open))
+                    .map(|b| b.close)
+                    .unwrap_or(block.close);
+                (name, end)
+            }
+            Binding::Match => {
+                let end = next_block_open(tokens, i + 2)
+                    .and_then(|open| syn.blocks.iter().find(|b| b.open == open))
+                    .map(|b| b.close)
+                    .unwrap_or(block.close);
+                (None, end)
+            }
+            Binding::Temp => (None, next_semi(tokens, i + 3, body.close)),
+        };
+        let live_to = match &name {
+            Some(n) => drop_site(tokens, i + 3, live_to, n).unwrap_or(live_to),
+            None => live_to,
+        };
+        out.push(GuardSite {
+            name,
+            mutex,
+            lock_tok: i,
+            live_to,
+            fn_name: f.name.clone(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn guards(src: &str) -> (Vec<String>, Vec<GuardSite>) {
+        let lx = lex(src);
+        let syn = Syntax::build(&lx.tokens);
+        let g = collect_guards(&lx.tokens, &syn);
+        let texts = lx.tokens.iter().map(|t| t.text.to_string()).collect();
+        (texts, g)
+    }
+
+    #[test]
+    fn let_binding_lives_to_block_end() {
+        let src = "fn f(&self) { let g = self.state.lock(); use_it(&g); }";
+        let (texts, g) = guards(src);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].mutex, "self.state");
+        assert_eq!(g[0].name.as_deref(), Some("g"));
+        assert_eq!(g[0].fn_name, "f");
+        assert_eq!(texts[g[0].live_to], "}");
+    }
+
+    #[test]
+    fn explicit_drop_truncates_liveness() {
+        let src = "fn f(&self) { let g = self.m.lock(); work(&g); drop(g); after(); }";
+        let (texts, g) = guards(src);
+        assert_eq!(texts[g[0].live_to], "drop");
+        let after = texts.iter().position(|t| t == "after").unwrap();
+        assert!(g[0].live_to < after);
+    }
+
+    #[test]
+    fn let_ok_else_pattern_binds_and_scopes_to_block() {
+        let src = "fn f(&self) { let Ok(mut s) = self.state.lock() else { return; }; s.push(1); }";
+        let (texts, g) = guards(src);
+        assert_eq!(g[0].name.as_deref(), Some("s"));
+        assert_eq!(texts[g[0].live_to], "}");
+        assert_eq!(g[0].live_to, texts.len() - 1);
+    }
+
+    #[test]
+    fn if_let_scopes_to_the_then_arm() {
+        let src = "fn f(&self) { if let Ok(s) = self.m.lock() { touch(&s); } outside(); }";
+        let (texts, g) = guards(src);
+        let outside = texts.iter().position(|t| t == "outside").unwrap();
+        assert!(g[0].live_to < outside);
+        assert_eq!(g[0].name.as_deref(), Some("s"));
+    }
+
+    #[test]
+    fn statement_temporary_dies_at_semicolon() {
+        let src =
+            "fn f(&self) -> usize { let n = self.m.lock().map(|s| s.items.len()).unwrap_or(0); n }";
+        let (texts, g) = guards(src);
+        assert_eq!(g[0].name, None);
+        assert_eq!(texts[g[0].live_to], ";");
+    }
+
+    #[test]
+    fn match_scrutinee_lives_to_match_body_end() {
+        let src = "fn f(&self) { match self.m.lock() { Ok(s) => go(&s), Err(_) => {} } tail(); }";
+        let (texts, g) = guards(src);
+        let tail = texts.iter().position(|t| t == "tail").unwrap();
+        assert!(g[0].live_to < tail);
+    }
+
+    #[test]
+    fn ufcs_and_declarations_are_not_acquisitions() {
+        let src =
+            "impl M { fn lock(&self) -> Guard { inner() } }\nfn g(m: &M) { let x = M::lock(m); }";
+        let (_, g) = guards(src);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn receiver_paths_distinguish_mutexes() {
+        let src = "fn f(ctx: &Ctx) { let a = ctx.ingest_lock.lock(); let b = self.inner.lock(); }";
+        let (_, g) = guards(src);
+        assert_eq!(g[0].mutex, "ctx.ingest_lock");
+        assert_eq!(g[1].mutex, "self.inner");
+    }
+
+    #[test]
+    fn guard_passed_to_wait_stays_live_in_loop() {
+        let src = "fn pop(&self) { let Ok(mut s) = self.state.lock() else { return; }; loop { s = self.ready.wait(s).unwrap_or_else(recover); } }";
+        let (texts, g) = guards(src);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].live_to, texts.len() - 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! A lightweight syntax layer over the token stream: a brace-matched
+//! block tree with item boundaries.
+//!
+//! The token rules of [`crate::rules`] are deliberately flat — they
+//! pattern-match small windows of the stream. The concurrency rules of
+//! [`crate::rules_concurrency`] need more: "is this `Condvar::wait`
+//! inside a loop?", "which function does this lock acquisition belong
+//! to?", "where does the enclosing scope end?". This module answers
+//! those questions with a single forward pass that matches `{`/`}`
+//! pairs into a [`Block`] tree and tags each block with the item that
+//! introduced it (`fn`/`impl`/`mod`/loop headers), without attempting
+//! to be a real Rust parser.
+//!
+//! The classifier is intentionally conservative: any brace it cannot
+//! attribute to an item or loop header becomes [`BlockKind::Other`]
+//! (struct literals, match bodies, closures, plain scopes). That is
+//! always safe for the consumers here — an `Other` block still nests
+//! correctly, it just carries no semantic label.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What introduced a brace block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A function body (`fn name(..) { .. }`).
+    Fn,
+    /// An `impl` block.
+    Impl,
+    /// An inline module (`mod name { .. }`).
+    Mod,
+    /// A loop body (`loop`/`while`/`while let`/`for` headers). The
+    /// condvar rule treats any of these as a valid re-check loop.
+    Loop,
+    /// Anything else: match bodies, struct literals, closures, bare
+    /// scopes, `if`/`else` arms.
+    Other,
+}
+
+/// One `{ .. }` region of the token stream.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Token index of the opening `{`.
+    pub open: usize,
+    /// Token index of the matching `}` (last token of the file when
+    /// the block is unterminated — the lexer never fails, neither do we).
+    pub close: usize,
+    /// Index into [`Syntax::blocks`] of the enclosing block, if any.
+    pub parent: Option<usize>,
+    pub kind: BlockKind,
+    /// Item name for `Fn`/`Mod` blocks (`None` elsewhere).
+    pub name: Option<String>,
+}
+
+/// A function item with a body in this file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub kw: usize,
+    /// Index into [`Syntax::blocks`] of the body block.
+    pub body: usize,
+}
+
+/// The block tree and function inventory of one file.
+#[derive(Debug, Default)]
+pub struct Syntax {
+    pub blocks: Vec<Block>,
+    pub fns: Vec<FnItem>,
+}
+
+/// The candidate label for the next `{` encountered, set by item and
+/// loop-header keywords and cleared by statement boundaries.
+struct Pending {
+    kind: BlockKind,
+    name: Option<String>,
+}
+
+impl Syntax {
+    /// One forward pass: match braces, classify blocks, record `fn`s.
+    pub fn build(tokens: &[Token<'_>]) -> Syntax {
+        let mut syn = Syntax::default();
+        let mut stack: Vec<usize> = Vec::new();
+        let mut pending: Option<Pending> = None;
+        // `fn` items pending a body: (name, kw index) — becomes a
+        // `FnItem` when its body `{` opens, dropped on `;` (trait
+        // method declarations have no body to index).
+        let mut pending_fn: Option<(String, usize)> = None;
+
+        let mut i = 0usize;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            match t.kind {
+                TokenKind::Ident => {
+                    // Item/loop headers claim the next `{` only when no
+                    // earlier header is already waiting for one: inside
+                    // `fn f() -> impl Iterator<..> {`, the `impl` in
+                    // return position must not steal the body from `fn`.
+                    if pending.is_none() {
+                        match t.text {
+                            "fn" => {
+                                // A name is what separates an item from a
+                                // function-pointer type (`fn(u32) -> u32`).
+                                if let Some(name) = tokens
+                                    .get(i + 1)
+                                    .filter(|n| n.kind == TokenKind::Ident)
+                                    .map(|n| n.text.to_string())
+                                {
+                                    pending = Some(Pending {
+                                        kind: BlockKind::Fn,
+                                        name: Some(name.clone()),
+                                    });
+                                    pending_fn = Some((name, i));
+                                }
+                            }
+                            "impl" => {
+                                pending = Some(Pending {
+                                    kind: BlockKind::Impl,
+                                    name: None,
+                                });
+                            }
+                            "mod" => {
+                                if let Some(name) = tokens
+                                    .get(i + 1)
+                                    .filter(|n| n.kind == TokenKind::Ident)
+                                    .map(|n| n.text.to_string())
+                                {
+                                    pending = Some(Pending {
+                                        kind: BlockKind::Mod,
+                                        name: Some(name),
+                                    });
+                                }
+                            }
+                            "loop" | "while" | "for" => {
+                                pending = Some(Pending {
+                                    kind: BlockKind::Loop,
+                                    name: None,
+                                });
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                TokenKind::Punct => match t.text.as_bytes().first() {
+                    Some(b'{') => {
+                        let p = pending.take();
+                        let (kind, name) = match p {
+                            Some(p) => (p.kind, p.name),
+                            None => (BlockKind::Other, None),
+                        };
+                        let id = syn.blocks.len();
+                        syn.blocks.push(Block {
+                            open: i,
+                            close: tokens.len().saturating_sub(1),
+                            parent: stack.last().copied(),
+                            kind,
+                            name: name.clone(),
+                        });
+                        if kind == BlockKind::Fn {
+                            if let Some((fname, kw)) = pending_fn.take() {
+                                syn.fns.push(FnItem {
+                                    name: fname,
+                                    kw,
+                                    body: id,
+                                });
+                            }
+                        }
+                        stack.push(id);
+                    }
+                    Some(b'}') => {
+                        if let Some(id) = stack.pop() {
+                            if let Some(b) = syn.blocks.get_mut(id) {
+                                b.close = i;
+                            }
+                        }
+                        pending = None;
+                    }
+                    Some(b';') => {
+                        pending = None;
+                        pending_fn = None;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        syn
+    }
+
+    /// Index of the innermost block whose *interior* contains `tok`
+    /// (open and close braces themselves count as inside).
+    pub fn innermost_block(&self, tok: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (id, b) in self.blocks.iter().enumerate() {
+            if b.open <= tok && tok <= b.close {
+                // Blocks are pushed outermost-first, so a later match
+                // is always at least as deeply nested.
+                best = Some(id);
+            }
+        }
+        best
+    }
+
+    /// The function whose body block contains `tok`, if any (innermost
+    /// wins for nested `fn` items).
+    pub fn enclosing_fn(&self, tok: usize) -> Option<&FnItem> {
+        let mut best: Option<&FnItem> = None;
+        for f in &self.fns {
+            let b = &self.blocks[f.body];
+            if b.open <= tok && tok <= b.close {
+                best = Some(f);
+            }
+        }
+        best
+    }
+
+    /// Is `tok` inside a loop body (`loop`/`while`/`for`) without
+    /// leaving its enclosing function? This is the condvar rule's
+    /// predicate-loop test: the walk stops at the first `Fn` block so a
+    /// loop *outside* a closure-free helper cannot vouch for a wait
+    /// inside it.
+    pub fn in_loop_within_fn(&self, tok: usize) -> bool {
+        let mut cur = self.innermost_block(tok);
+        while let Some(id) = cur {
+            let b = &self.blocks[id];
+            match b.kind {
+                BlockKind::Loop => return true,
+                BlockKind::Fn => return false,
+                _ => cur = b.parent,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn build(src: &str) -> (Vec<Token<'_>>, Syntax) {
+        let lx = lex(src);
+        let syn = Syntax::build(&lx.tokens);
+        (lx.tokens, syn)
+    }
+
+    fn tok_idx(tokens: &[Token<'_>], text: &str) -> usize {
+        tokens
+            .iter()
+            .position(|t| t.text == text)
+            .unwrap_or_else(|| panic!("token {text:?} not found"))
+    }
+
+    #[test]
+    fn fn_impl_mod_blocks_are_classified() {
+        let src = "mod m { impl Foo { fn bar(&self) { baz(); } } }";
+        let (tokens, syn) = build(src);
+        let kinds: Vec<BlockKind> = syn.blocks.iter().map(|b| b.kind).collect();
+        assert_eq!(kinds, vec![BlockKind::Mod, BlockKind::Impl, BlockKind::Fn]);
+        assert_eq!(syn.fns.len(), 1);
+        assert_eq!(syn.fns[0].name, "bar");
+        let baz = tok_idx(&tokens, "baz");
+        assert_eq!(syn.enclosing_fn(baz).map(|f| f.name.as_str()), Some("bar"));
+    }
+
+    #[test]
+    fn impl_in_return_position_does_not_steal_the_fn_body() {
+        let src = "fn make() -> impl Iterator<Item = u8> { src() }";
+        let (tokens, syn) = build(src);
+        assert_eq!(syn.blocks.len(), 1);
+        assert_eq!(syn.blocks[0].kind, BlockKind::Fn);
+        let call = tok_idx(&tokens, "src");
+        assert_eq!(
+            syn.enclosing_fn(call).map(|f| f.name.as_str()),
+            Some("make")
+        );
+    }
+
+    #[test]
+    fn impl_trait_in_arg_position_does_not_steal_either() {
+        let src = "fn apply(f: impl Fn() -> u8) -> u8 { f() }";
+        let (_, syn) = build(src);
+        assert_eq!(syn.blocks.len(), 1);
+        assert_eq!(syn.blocks[0].kind, BlockKind::Fn);
+    }
+
+    #[test]
+    fn loop_kinds_and_in_loop_predicate() {
+        let src = "fn f() { loop { inner(); } outer(); while x { w(); } for i in 0..9 { fo(); } }";
+        let (tokens, syn) = build(src);
+        assert!(syn.in_loop_within_fn(tok_idx(&tokens, "inner")));
+        assert!(!syn.in_loop_within_fn(tok_idx(&tokens, "outer")));
+        assert!(syn.in_loop_within_fn(tok_idx(&tokens, "w")));
+        assert!(syn.in_loop_within_fn(tok_idx(&tokens, "fo")));
+    }
+
+    #[test]
+    fn while_let_headers_count_as_loops() {
+        let src = "fn f(q: Q) { while let Some(x) = q.pop() { use_it(x); } }";
+        let (tokens, syn) = build(src);
+        assert!(syn.in_loop_within_fn(tok_idx(&tokens, "use_it")));
+    }
+
+    #[test]
+    fn loop_outside_fn_does_not_vouch_for_wait_inside_nested_fn() {
+        // A loop around a nested fn's *definition* says nothing about
+        // control flow inside its body.
+        let src = "fn outer() { loop { fn inner() { wait_here(); } inner(); } }";
+        let (tokens, syn) = build(src);
+        assert!(!syn.in_loop_within_fn(tok_idx(&tokens, "wait_here")));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn real(cb: fn(u32) -> u32) { cb(1); }";
+        let (_, syn) = build(src);
+        assert_eq!(syn.fns.len(), 1);
+        assert_eq!(syn.fns[0].name, "real");
+    }
+
+    #[test]
+    fn unterminated_block_closes_at_eof() {
+        let src = "fn f() { let x = 1;";
+        let (tokens, syn) = build(src);
+        assert_eq!(syn.blocks.len(), 1);
+        assert_eq!(syn.blocks[0].close, tokens.len() - 1);
+    }
+
+    #[test]
+    fn trait_method_declarations_without_bodies_are_skipped() {
+        let src = "trait T { fn decl(&self); fn with_body(&self) { go(); } }";
+        let (tokens, syn) = build(src);
+        assert_eq!(syn.fns.len(), 1);
+        assert_eq!(syn.fns[0].name, "with_body");
+        let go = tok_idx(&tokens, "go");
+        assert_eq!(
+            syn.enclosing_fn(go).map(|f| f.name.as_str()),
+            Some("with_body")
+        );
+    }
+
+    #[test]
+    fn nested_fns_resolve_to_the_innermost_body() {
+        let src = "fn outer() { fn inner() { here(); } there(); }";
+        let (tokens, syn) = build(src);
+        let here = tok_idx(&tokens, "here");
+        let there = tok_idx(&tokens, "there");
+        assert_eq!(
+            syn.enclosing_fn(here).map(|f| f.name.as_str()),
+            Some("inner")
+        );
+        assert_eq!(
+            syn.enclosing_fn(there).map(|f| f.name.as_str()),
+            Some("outer")
+        );
+    }
+}

@@ -3,6 +3,7 @@
 //! and lint-fixture corpora (`fixtures` directories hold deliberate
 //! violations for the linter's own tests).
 
+use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -12,13 +13,20 @@ const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
 /// entries are visited in sorted order so the file list — and therefore
 /// diagnostic ordering and JSON output — is reproducible across runs and
 /// filesystems.
+///
+/// Overlapping roots (`crates crates/serve`, `. ./crates`, absolute +
+/// relative spellings) reach the same file under several display paths;
+/// files are deduplicated by canonical identity, keeping the first
+/// spelling encountered, so no file is linted — and no finding
+/// reported — twice.
 pub fn collect_rs_files(roots: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
+    let mut seen: HashSet<PathBuf> = HashSet::new();
     for root in roots {
         if root.is_dir() {
-            walk_dir(root, &mut files)?;
+            walk_dir(root, &mut files, &mut seen)?;
         } else if root.is_file() {
-            files.push(root.clone());
+            push_file(root.clone(), &mut files, &mut seen);
         } else {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
@@ -27,11 +35,20 @@ pub fn collect_rs_files(roots: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
         }
     }
     files.sort();
-    files.dedup();
     Ok(files)
 }
 
-fn walk_dir(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+/// Record `path` unless its canonical identity was already seen. A path
+/// that fails to canonicalize (racing deletion) keys on its raw
+/// spelling — still deduplicating exact repeats.
+fn push_file(path: PathBuf, files: &mut Vec<PathBuf>, seen: &mut HashSet<PathBuf>) {
+    let key = std::fs::canonicalize(&path).unwrap_or_else(|_| path.clone());
+    if seen.insert(key) {
+        files.push(path);
+    }
+}
+
+fn walk_dir(dir: &Path, files: &mut Vec<PathBuf>, seen: &mut HashSet<PathBuf>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .map(|e| e.map(|e| e.path()))
         .collect::<io::Result<_>>()?;
@@ -40,10 +57,10 @@ fn walk_dir(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         if path.is_dir() {
             if !SKIP_DIRS.contains(&name) {
-                walk_dir(&path, files)?;
+                walk_dir(&path, files, seen)?;
             }
         } else if name.ends_with(".rs") {
-            files.push(path);
+            push_file(path, files, seen);
         }
     }
     Ok(())
@@ -80,6 +97,37 @@ mod tests {
             })
             .collect();
         assert_eq!(rel, vec!["a/first.rs", "b/ok.rs"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overlapping_roots_yield_each_file_once() {
+        let dir = std::env::temp_dir().join(format!("soulmate_lint_dedup_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/serve")).unwrap();
+        std::fs::write(dir.join("crates/serve/s.rs"), "fn f() {}").unwrap();
+        std::fs::write(dir.join("crates/top.rs"), "fn g() {}").unwrap();
+
+        // Same tree under different spellings: parent + child root,
+        // a `.`-prefixed respelling, and the file named directly.
+        let roots = vec![
+            dir.join("crates"),
+            dir.join("crates/serve"),
+            dir.join("crates").join(".").join("serve"),
+            dir.join("crates/serve/s.rs"),
+        ];
+        let files = collect_rs_files(&roots).unwrap();
+        let mut names: Vec<String> = files
+            .iter()
+            .map(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default()
+                    .to_string()
+            })
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["s.rs", "top.rs"]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -108,6 +108,141 @@ fn json_output_is_sorted_and_byte_stable() {
 }
 
 #[test]
+fn format_json_is_the_json_alias() {
+    let dir = scratch("fmtjson");
+    seed(
+        &dir,
+        "crates/demo/src/lib.rs",
+        "fn g(x: u64) -> u8 {\n    x as u8\n}\n",
+    );
+    let alias = run(&["--json", dir.to_str().unwrap()]);
+    let spelled = run(&["--format", "json", dir.to_str().unwrap()]);
+    assert_eq!(alias.status.code(), Some(1));
+    assert_eq!(alias.stdout, spelled.stdout);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sarif_output_is_byte_stable_and_well_formed() {
+    let dir = scratch("sarif");
+    seed(
+        &dir,
+        "crates/demo/src/lib.rs",
+        "fn g(x: u64) -> u8 {\n    x as u8\n}\n// TODO: later\n",
+    );
+    let first = run(&["--format", "sarif", dir.to_str().unwrap()]);
+    let second = run(&["--format", "sarif", dir.to_str().unwrap()]);
+    assert_eq!(first.status.code(), Some(1));
+    assert_eq!(
+        first.stdout, second.stdout,
+        "--format sarif must be byte-stable across runs"
+    );
+    let text = String::from_utf8(first.stdout).unwrap();
+    assert!(text.starts_with("{\"$schema\":"), "got: {text}");
+    assert!(text.contains("\"version\":\"2.1.0\""));
+    assert!(text.contains("\"name\":\"soulmate-lint\""));
+    assert!(text.contains("\"ruleId\":\"unguarded-as-cast\""));
+    assert!(text.contains("\"ruleId\":\"todo-marker\""));
+    assert!(text.ends_with('\n'), "SARIF output must end with a newline");
+    // A clean run still emits a complete log (exit 0, empty results).
+    let clean = scratch("sarif-clean");
+    seed(&clean, "crates/demo/src/lib.rs", "pub fn ok() {}\n");
+    let out = run(&["--format", "sarif", clean.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("\"results\":[]"));
+    fs::remove_dir_all(&dir).unwrap();
+    fs::remove_dir_all(&clean).unwrap();
+}
+
+#[test]
+fn list_rules_prints_the_full_catalog() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let ids: Vec<&str> = text
+        .lines()
+        .map(|l| l.split('\t').next().unwrap())
+        .collect();
+    for id in [
+        "nan-comparator",
+        "non-atomic-write",
+        "panic-in-serving",
+        "allow-without-proof",
+        "unguarded-as-cast",
+        "todo-marker",
+        "no-unsafe",
+        "lock-order",
+        "blocking-under-lock",
+        "lock-unwrap",
+        "condvar-no-loop",
+        "metric-name-drift",
+    ] {
+        assert!(ids.contains(&id), "missing {id} in: {text}");
+    }
+    // Every line is `id\tsummary` with a non-empty summary.
+    for line in text.lines() {
+        let (id, summary) = line.split_once('\t').expect("tab-separated");
+        assert!(!id.is_empty() && !summary.is_empty(), "bad line: {line}");
+    }
+}
+
+#[test]
+fn overlapping_roots_report_each_finding_once() {
+    let dir = scratch("overlap");
+    seed(
+        &dir,
+        "crates/demo/src/lib.rs",
+        "fn g(x: u64) -> u8 {\n    x as u8\n}\n",
+    );
+    let root = dir.to_str().unwrap().to_string();
+    let nested = dir.join("crates").join("demo");
+    let file = dir.join("crates/demo/src/lib.rs");
+    let out = run(&[
+        root.as_str(),
+        nested.to_str().unwrap(),
+        file.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        text.matches("unguarded-as-cast").count(),
+        1,
+        "deduped roots must lint the file once: {text}"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn design_flag_drives_the_drift_phase() {
+    let dir = scratch("design");
+    seed(
+        &dir,
+        "crates/demo/src/lib.rs",
+        "fn f(obs: &Registry) {\n    obs.incr(\"demo.hits\", 1);\n}\n",
+    );
+    seed(
+        &dir,
+        "DESIGN.md",
+        "# doc\n<!-- metric-inventory:begin -->\n- `demo.misses` — never registered\n<!-- metric-inventory:end -->\n",
+    );
+    let design = dir.join("DESIGN.md");
+    let out = run(&["--design", design.to_str().unwrap(), dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("demo.hits") && text.contains("demo.misses"),
+        "both drift directions expected: {text}"
+    );
+    // Without --design (and no ./DESIGN.md in the cwd the binary sees),
+    // the same tree is judged on per-file rules alone.
+    let without = run(&[dir.to_str().unwrap()]);
+    assert_eq!(without.status.code(), Some(0), "drift phase must be opt-in");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn unknown_flag_exits_two() {
     let out = run(&["--frobnicate"]);
     assert_eq!(out.status.code(), Some(2));

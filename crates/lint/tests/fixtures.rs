@@ -121,6 +121,106 @@ fn bad_suppression_fixtures() {
     assert!(ok.is_empty(), "unexpected: {ok:?}");
 }
 
+#[test]
+fn lock_unwrap_fixtures() {
+    let src = include_str!("fixtures/lock_unwrap_bad.rs");
+    let bad = lint_source(SERVING, src);
+    assert_eq!(
+        rules_and_lines(&bad),
+        vec![("lock-unwrap", 11), ("lock-unwrap", 16)],
+        "one diagnostic per acquisition, and no panic-in-serving double-report"
+    );
+    // Off the serving path the sharper rule does not apply.
+    assert!(lint_source(PLAIN, src).is_empty());
+    let ok = lint_source(SERVING, include_str!("fixtures/lock_unwrap_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+#[test]
+fn blocking_under_lock_fixtures() {
+    let bad = lint_source(PLAIN, include_str!("fixtures/blocking_under_lock_bad.rs"));
+    assert_eq!(
+        rules_and_lines(&bad),
+        vec![
+            ("blocking-under-lock", 14), // sleep under the drain guard
+            ("blocking-under-lock", 20), // second .lock() under the first
+        ]
+    );
+    // drop(guard) before the blocking call, a statement-temporary guard,
+    // and a reasoned suppression are all quiet.
+    let ok = lint_source(PLAIN, include_str!("fixtures/blocking_under_lock_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+#[test]
+fn lock_order_fixtures() {
+    let bad = lint_source(PLAIN, include_str!("fixtures/lock_order_bad.rs"));
+    assert_eq!(
+        rules_and_lines(&bad),
+        vec![
+            ("blocking-under-lock", 14), // stats.lock() under the index guard
+            ("blocking-under-lock", 19), // index.lock() under the stats guard
+            ("lock-order", 19),          // …and that one inverts rebuild's order
+        ]
+    );
+    let ok = lint_source(PLAIN, include_str!("fixtures/lock_order_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+#[test]
+fn condvar_no_loop_fixtures() {
+    let bad = lint_source(PLAIN, include_str!("fixtures/condvar_no_loop_bad.rs"));
+    assert_eq!(rules_and_lines(&bad), vec![("condvar-no-loop", 13)]);
+    let ok = lint_source(PLAIN, include_str!("fixtures/condvar_no_loop_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
+const DESIGN_FIXTURE: &str = include_str!("fixtures/metric_inventory.md");
+
+/// Run one fixture's sites against the fixture inventory, the way
+/// `lint_paths_with_design` does for the real workspace and DESIGN.md.
+fn drift(path: &str, src: &str) -> Vec<Diagnostic> {
+    let analysis = soulmate_lint::analyze_source(path, src);
+    assert!(
+        analysis.diags.is_empty(),
+        "per-file rules fired: {:?}",
+        analysis.diags
+    );
+    let mut out = Vec::new();
+    soulmate_lint::metrics::check_drift(
+        &analysis.metric_sites,
+        "metric_inventory.md",
+        DESIGN_FIXTURE,
+        &mut out,
+    );
+    soulmate_lint::sort_canonical(&mut out);
+    out
+}
+
+#[test]
+fn metric_name_drift_fixtures() {
+    let bad = drift(PLAIN, include_str!("fixtures/metric_name_drift_bad.rs"));
+    let got: Vec<(&str, u32, u32)> = bad
+        .iter()
+        .map(|d| (d.path.as_str(), d.line, d.col))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (PLAIN, 7, 14),                // forward: `serve.misses` undocumented
+            ("metric_inventory.md", 5, 1), // reverse: `serve.latency.seconds` unregistered
+            ("metric_inventory.md", 8, 1), // reverse: `orphan.name` unregistered
+        ],
+        "{bad:?}"
+    );
+    assert!(bad.iter().all(|d| d.rule == "metric-name-drift"));
+
+    // The ok fixture registers every non-dynamic entry and suppresses
+    // its experimental extra with a reason.
+    let ok = drift(PLAIN, include_str!("fixtures/metric_name_drift_ok.rs"));
+    assert!(ok.is_empty(), "unexpected: {ok:?}");
+}
+
 /// Every diagnostic a fixture produces names a rule from the public
 /// catalog (or the `bad-suppression` meta-rule), so docs and output can
 /// never drift apart.
@@ -135,6 +235,10 @@ fn fixture_diagnostics_use_cataloged_rule_ids() {
         include_str!("fixtures/todo_marker_bad.rs"),
         include_str!("fixtures/no_unsafe_bad.rs"),
         include_str!("fixtures/bad_suppression_bad.rs"),
+        include_str!("fixtures/lock_unwrap_bad.rs"),
+        include_str!("fixtures/blocking_under_lock_bad.rs"),
+        include_str!("fixtures/lock_order_bad.rs"),
+        include_str!("fixtures/condvar_no_loop_bad.rs"),
     ];
     for src in all {
         for d in lint_source(SERVING, src) {

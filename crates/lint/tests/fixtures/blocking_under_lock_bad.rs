@@ -1,0 +1,22 @@
+// Positive fixture: calls that can block for a long time while a mutex
+// guard is live starve every other thread contending for that lock.
+use std::sync::Mutex;
+use std::time::Duration;
+
+struct Queue {
+    items: Mutex<Vec<u8>>,
+    aux: Mutex<u64>,
+}
+
+impl Queue {
+    fn drain(&self) {
+        let mut g = self.items.lock().unwrap_or_else(|p| p.into_inner());
+        std::thread::sleep(Duration::from_millis(10));
+        g.clear();
+    }
+
+    fn nested(&self) {
+        let _g = self.items.lock().unwrap_or_else(|p| p.into_inner());
+        let _h = self.aux.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}

@@ -1,0 +1,31 @@
+// Negative fixture: dropping the guard before the blocking call, a
+// statement-temporary guard that dies at its semicolon, and a reasoned
+// suppression all silence the rule.
+use std::sync::Mutex;
+use std::time::Duration;
+
+struct Queue {
+    items: Mutex<Vec<u8>>,
+    aux: Mutex<u64>,
+}
+
+impl Queue {
+    fn swap_then_sleep(&self) {
+        let mut g = self.items.lock().unwrap_or_else(|p| p.into_inner());
+        g.clear();
+        drop(g);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    fn snapshot_len(&self) -> usize {
+        let n = self.items.lock().unwrap_or_else(|p| p.into_inner()).len();
+        std::thread::sleep(Duration::from_millis(1));
+        n
+    }
+
+    fn audited(&self) {
+        let _g = self.items.lock().unwrap_or_else(|p| p.into_inner());
+        // lint:allow(blocking-under-lock) -- startup-only path; no other thread is live yet
+        let _h = self.aux.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}

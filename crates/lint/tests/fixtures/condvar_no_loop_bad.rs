@@ -1,0 +1,15 @@
+// Positive fixture: a bare Condvar wait outside a predicate loop wakes
+// spuriously and proceeds on a condition that may not hold.
+use std::sync::{Condvar, Mutex};
+
+struct Gate {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn await_ready(&self) {
+        let g = self.ready.lock().unwrap_or_else(|p| p.into_inner());
+        let _g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+    }
+}

@@ -1,0 +1,32 @@
+// Negative fixture: the canonical predicate loop re-checks after every
+// wake, wait_while re-checks internally, and Child::wait is a different
+// API entirely.
+use std::process::Child;
+use std::sync::{Condvar, Mutex};
+
+struct Gate {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn await_ready(&self) {
+        let mut g = self.ready.lock().unwrap_or_else(|p| p.into_inner());
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn await_ready_checked(&self) {
+        let g = self.ready.lock().unwrap_or_else(|p| p.into_inner());
+        let _g = self
+            .cv
+            .wait_while(g, |ready| !*ready)
+            .unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+fn reap(child: &mut Child) -> std::io::Result<()> {
+    let _status = child.wait()?;
+    Ok(())
+}

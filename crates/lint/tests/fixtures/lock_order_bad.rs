@@ -1,0 +1,21 @@
+// Positive fixture: two functions acquire the same two mutexes in
+// opposite orders — the classic AB/BA deadlock shape. (The nested
+// second acquisitions also trip blocking-under-lock, by design.)
+use std::sync::Mutex;
+
+struct Engine {
+    index: Mutex<Vec<u32>>,
+    stats: Mutex<u64>,
+}
+
+impl Engine {
+    fn rebuild(&self) {
+        let _i = self.index.lock().unwrap_or_else(|p| p.into_inner());
+        let _s = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+    }
+
+    fn report(&self) {
+        let _s = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        let _i = self.index.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}

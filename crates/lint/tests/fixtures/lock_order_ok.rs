@@ -1,0 +1,23 @@
+// Negative fixture: both functions acquire index before stats — one
+// global order never inverts. blocking-under-lock is suppressed (with
+// reasons) so the fixture isolates the ordering rule.
+use std::sync::Mutex;
+
+struct Engine {
+    index: Mutex<Vec<u32>>,
+    stats: Mutex<u64>,
+}
+
+impl Engine {
+    fn rebuild(&self) {
+        let _i = self.index.lock().unwrap_or_else(|p| p.into_inner());
+        // lint:allow(blocking-under-lock) -- fixture isolates lock-order
+        let _s = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+    }
+
+    fn report(&self) {
+        let _i = self.index.lock().unwrap_or_else(|p| p.into_inner());
+        // lint:allow(blocking-under-lock) -- fixture isolates lock-order
+        let _s = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}

@@ -1,0 +1,18 @@
+// Positive fixture (linted under a crates/core/src/ path label): a
+// poisoned mutex panics the serving thread through .unwrap()/.expect().
+use std::sync::Mutex;
+
+struct Engine {
+    state: Mutex<u64>,
+}
+
+impl Engine {
+    fn bump(&self) {
+        let mut g = self.state.lock().unwrap();
+        *g += 1;
+    }
+
+    fn read(&self) -> u64 {
+        *self.state.lock().expect("engine state poisoned")
+    }
+}

@@ -1,0 +1,28 @@
+// Negative fixture (linted under a crates/core/src/ path label):
+// poison-tolerant acquisition in serving code, and plain unwrap in
+// test code, are both accepted.
+use std::sync::Mutex;
+
+struct Engine {
+    state: Mutex<u64>,
+}
+
+impl Engine {
+    fn bump(&self) {
+        let mut g = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *g += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let e = Engine {
+            state: Mutex::new(0),
+        };
+        assert_eq!(*e.state.lock().unwrap(), 0);
+    }
+}

@@ -1,0 +1,10 @@
+// Positive fixture: a registered literal the inventory does not list
+// (forward drift). Linted on its own, the inventory's `orphan.name`
+// and `serve.latency.seconds` entries also have no sites here, which
+// exercises the reverse direction.
+fn serve(obs: &Registry) {
+    obs.incr("serve.hits", 1);
+    obs.incr("serve.misses", 1);
+    let _fit = span!(obs, "fit");
+    let _enc = span!(obs, "encode");
+}

@@ -1,0 +1,12 @@
+// Negative fixture: every literal matches the inventory; dynamic names
+// are exempt from the reverse check and the experiment is suppressed
+// with a reason.
+fn serve(obs: &Registry) {
+    obs.incr("serve.hits", 1);
+    obs.record_duration("serve.latency.seconds", 0.01);
+    obs.incr("orphan.name", 1);
+    let _fit = span!(obs, "fit");
+    let _enc = span!(obs, "encode");
+    // lint:allow(metric-name-drift) -- experimental name; docs follow once it sticks
+    obs.incr("serve.experimental", 1);
+}
